@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Experiment C1 — "Application constraint checking" must be affordable
+ * and must pay for itself.
+ *
+ * Three question rows:
+ *  - coverage: what fraction of runtime checks does the prover
+ *    discharge on contract-annotated systems code? (counter
+ *    proved_pct on the verify benchmarks);
+ *  - cost: how does verification time scale with program size?
+ *    (BM_verify_program_size sweep — the prover must stay interactive);
+ *  - payoff: how much runtime do the discharged checks buy back?
+ *    (checked vs unchecked kernel execution).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "kernels.hpp"
+#include "lang/parser.hpp"
+#include "lang/resolver.hpp"
+#include "support/string_util.hpp"
+
+namespace bitc::bench {
+namespace {
+
+/** Generates a program with @p functions annotated array workers. */
+std::string generated_program(size_t functions) {
+    std::string source;
+    for (size_t f = 0; f < functions; ++f) {
+        source += str_format(
+            "(define (work%zu a : (array int64 64) n : int64) : int64\n"
+            "  (require (>= n 0)) (require (<= n 64))\n"
+            "  (let ((i 0) (acc 0))\n"
+            "    (while (< i n)\n"
+            "      (invariant (>= i 0)) (invariant (<= i n))\n"
+            "      (set! acc (+ acc (array-ref a i)))\n"
+            "      (set! i (+ i 1)))\n"
+            "    acc))\n",
+            f);
+    }
+    return source;
+}
+
+/** Verification wall-clock vs program size (functions). */
+void BM_verify_program_size(benchmark::State& state) {
+    std::string source =
+        generated_program(static_cast<size_t>(state.range(0)));
+    DiagnosticEngine diags;
+    size_t proved = 0;
+    size_t total = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto parsed = lang::parse_program(source, diags);
+        (void)lang::resolve_program(parsed.value(), diags);
+        auto typed = types::check_program(
+            std::move(parsed).take(), diags);
+        state.ResumeTiming();
+
+        auto report = verify::verify_program(typed.value());
+        proved = report.proved();
+        total = report.total();
+        benchmark::DoNotOptimize(report);
+    }
+    state.counters["functions"] = static_cast<double>(state.range(0));
+    state.counters["obligations"] = static_cast<double>(total);
+    state.counters["proved_pct"] =
+        total > 0 ? 100.0 * static_cast<double>(proved) /
+                        static_cast<double>(total)
+                  : 0.0;
+}
+BENCHMARK(BM_verify_program_size)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/** Coverage on the benchmark kernels (annotated systems code). */
+void BM_verify_kernels(benchmark::State& state) {
+    DiagnosticEngine diags;
+    double proved_pct = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto parsed = lang::parse_program(kernel_source(), diags);
+        (void)lang::resolve_program(parsed.value(), diags);
+        auto typed = types::check_program(
+            std::move(parsed).take(), diags);
+        state.ResumeTiming();
+        auto report = verify::verify_program(typed.value());
+        proved_pct = 100.0 * static_cast<double>(report.proved()) /
+                     static_cast<double>(report.total());
+        benchmark::DoNotOptimize(report);
+    }
+    state.counters["proved_pct"] = proved_pct;
+}
+BENCHMARK(BM_verify_kernels);
+
+/** The payoff: runtime with checks vs with proved checks dropped. */
+void BM_kernel_checked(benchmark::State& state) {
+    vm::BuildOptions options;
+    options.compiler.elide_proved_checks = false;
+    auto built = must_build(kernel_source(), options);
+    vm::VmConfig config;
+    config.heap_words = 1 << 20;
+    auto vm = built->instantiate(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(must_call(*vm, "checksum", {10}));
+        maybe_reset_region(*vm);
+    }
+}
+BENCHMARK(BM_kernel_checked);
+
+void BM_kernel_verified_unchecked(benchmark::State& state) {
+    vm::BuildOptions options;
+    options.compiler.elide_proved_checks = true;
+    auto built = must_build(kernel_source(), options);
+    vm::VmConfig config;
+    config.heap_words = 1 << 20;
+    auto vm = built->instantiate(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(must_call(*vm, "checksum", {10}));
+        maybe_reset_region(*vm);
+    }
+}
+BENCHMARK(BM_kernel_verified_unchecked);
+
+/** Solver scaling: entailment chains of growing length. */
+void BM_solver_chain(benchmark::State& state) {
+    using namespace bitc::verify;
+    size_t n = static_cast<size_t>(state.range(0));
+    std::vector<Formula::Ref> premises;
+    for (size_t i = 0; i + 1 < n; ++i) {
+        premises.push_back(Formula::le(
+            LinTerm::variable(static_cast<SymVar>(i)),
+            LinTerm::variable(static_cast<SymVar>(i + 1))));
+    }
+    auto goal = Formula::le(LinTerm::variable(0),
+                            LinTerm::variable(static_cast<SymVar>(n - 1)));
+    for (auto _ : state) {
+        Solver solver;
+        auto outcome = solver.prove_entails(premises, goal);
+        if (outcome != Outcome::kProved) {
+            state.SkipWithError("chain entailment not proved");
+            return;
+        }
+        benchmark::DoNotOptimize(outcome);
+    }
+    state.counters["chain_length"] = static_cast<double>(n);
+}
+BENCHMARK(BM_solver_chain)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace bitc::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Experiment C3 — "Control over data representation."
+ *
+ * Rows answer three questions:
+ *  - necessity: wire-format (packed/bit-precise) vs C natural layout —
+ *    the space cost of *not* controlling representation (counters
+ *    bytes_per_record), and the cache effect on scan throughput;
+ *  - affordability: what bit-granular field access costs vs aligned
+ *    access, across field widths (the sub-word tax is small and flat);
+ *  - safety: the checked codec vs raw shift/mask parsing — the
+ *    abstraction the layout engine buys costs little.
+ */
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "interop/packet_stages.hpp"
+#include "repr/codec.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::bench {
+namespace {
+
+using namespace bitc::repr;
+
+constexpr size_t kRecords = 4096;
+
+/** Builds a codec for the experiment's header under @p packing. */
+RecordCodec make_codec(Packing packing) {
+    RecordSpec spec = ipv4_header_spec();
+    spec.packing = packing;
+    if (packing != Packing::kPacked) spec.pinned_byte_size.reset();
+    auto layout = compute_layout(spec);
+    if (!layout.is_ok()) abort();
+    return RecordCodec(std::move(layout).take());
+}
+
+/** Fills a buffer of records with deterministic field values. */
+std::vector<uint8_t> make_records(const RecordCodec& codec) {
+    std::vector<uint8_t> buf(codec.layout().byte_size() * kRecords, 0);
+    Rng rng(7);
+    for (size_t r = 0; r < kRecords; ++r) {
+        std::span<uint8_t> rec(buf.data() + r * codec.layout().byte_size(),
+                               codec.layout().byte_size());
+        for (const FieldLayout& f : codec.layout().fields()) {
+            codec.write_field(rec, f,
+                              rng.next() & low_mask(f.bit_width));
+        }
+    }
+    return buf;
+}
+
+/** Scans every field of every record (parse throughput). */
+void BM_scan_layout(benchmark::State& state, Packing packing) {
+    RecordCodec codec = make_codec(packing);
+    std::vector<uint8_t> buf = make_records(codec);
+    size_t stride = codec.layout().byte_size();
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        for (size_t r = 0; r < kRecords; ++r) {
+            std::span<const uint8_t> rec(buf.data() + r * stride, stride);
+            for (const FieldLayout& f : codec.layout().fields()) {
+                acc += codec.read_field(rec, f);
+            }
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kRecords *
+                            codec.layout().fields().size());
+    state.counters["bytes_per_record"] =
+        static_cast<double>(codec.layout().byte_size());
+    state.counters["padding_bits"] =
+        static_cast<double>(codec.layout().padding_bits());
+}
+BENCHMARK_CAPTURE(BM_scan_layout, packed_wire_format, Packing::kPacked);
+BENCHMARK_CAPTURE(BM_scan_layout, natural_c_layout, Packing::kNatural);
+
+/** Round-trip serialise+parse (codec write path). */
+void BM_roundtrip_layout(benchmark::State& state, Packing packing) {
+    RecordCodec codec = make_codec(packing);
+    std::vector<uint8_t> buf(codec.layout().byte_size() * kRecords, 0);
+    size_t stride = codec.layout().byte_size();
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        for (size_t r = 0; r < kRecords; ++r) {
+            std::span<uint8_t> rec(buf.data() + r * stride, stride);
+            for (const FieldLayout& f : codec.layout().fields()) {
+                codec.write_field(rec, f, r + f.bit_offset);
+            }
+            for (const FieldLayout& f : codec.layout().fields()) {
+                acc += codec.read_field(rec, f);
+            }
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kRecords);
+}
+BENCHMARK_CAPTURE(BM_roundtrip_layout, packed_wire_format,
+                  Packing::kPacked);
+BENCHMARK_CAPTURE(BM_roundtrip_layout, natural_c_layout,
+                  Packing::kNatural);
+
+/** Bit-granular access cost across widths (aligned 8..unaligned 13). */
+void BM_field_width(benchmark::State& state) {
+    uint32_t width = static_cast<uint32_t>(state.range(0));
+    uint32_t offset = static_cast<uint32_t>(state.range(1));
+    std::vector<uint8_t> buf(64, 0);
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            write_bits(buf.data(), offset, width,
+                       static_cast<uint64_t>(i), BitOrder::kMsbFirst);
+            acc += read_bits(buf.data(), offset, width,
+                             BitOrder::kMsbFirst);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_field_width)
+    ->Args({8, 0})    // byte-aligned byte
+    ->Args({16, 0})   // aligned half-word
+    ->Args({4, 0})    // aligned nibble
+    ->Args({4, 3})    // misaligned nibble
+    ->Args({13, 3})   // the IPv4 fragment-offset shape
+    ->Args({33, 7})   // worst case: wide and misaligned
+    ->ArgNames({"width", "bit_offset"});
+
+/** The safety tax: checked codec vs raw hand-rolled shift/mask. */
+void BM_parse_handrolled_raw(benchmark::State& state) {
+    Rng rng(9);
+    std::vector<uint8_t> wire(20);
+    interop::generate_packet(rng, wire);
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        // What C programmers write: offsets burned into the code.
+        acc += static_cast<uint64_t>(wire[0] >> 4);            // version
+        acc += static_cast<uint64_t>(wire[8]);                 // ttl
+        acc += (static_cast<uint64_t>(wire[2]) << 8) | wire[3];// length
+        acc += (static_cast<uint64_t>(wire[16]) << 24) |
+               (static_cast<uint64_t>(wire[17]) << 16) |
+               (static_cast<uint64_t>(wire[18]) << 8) | wire[19];
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_parse_handrolled_raw);
+
+void BM_parse_codec_precomputed(benchmark::State& state) {
+    const RecordCodec& codec = interop::packet_codec();
+    Rng rng(9);
+    std::vector<uint8_t> wire(20);
+    interop::generate_packet(rng, wire);
+    FieldLayout version = codec.layout().field("version").value();
+    FieldLayout ttl = codec.layout().field("ttl").value();
+    FieldLayout length = codec.layout().field("total_length").value();
+    FieldLayout dst = codec.layout().field("dst_addr").value();
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        acc += codec.read_field(wire, version);
+        acc += codec.read_field(wire, ttl);
+        acc += codec.read_field(wire, length);
+        acc += codec.read_field(wire, dst);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_parse_codec_precomputed);
+
+void BM_parse_codec_by_name(benchmark::State& state) {
+    const RecordCodec& codec = interop::packet_codec();
+    Rng rng(9);
+    std::vector<uint8_t> wire(20);
+    interop::generate_packet(rng, wire);
+    uint64_t acc = 0;
+    for (auto _ : state) {
+        acc += codec.read(wire, "version").value();
+        acc += codec.read(wire, "ttl").value();
+        acc += codec.read(wire, "total_length").value();
+        acc += codec.read(wire, "dst_addr").value();
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_parse_codec_by_name);
+
+}  // namespace
+}  // namespace bitc::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Experiment C4 — "Managing shared state."
+ *
+ * Crosses the four ledger disciplines (coarse lock, fine ordered
+ * locks, STM, actor/message-passing) with thread counts on two
+ * workloads:
+ *   transfer — short conflicting critical sections (the composition
+ *              example made hot);
+ *   mixed    — transfers plus whole-ledger totals (the operation that
+ *              breaks lock composition and showcases STM snapshots).
+ *
+ * Read the rows as the paper's trade space: coarse serialises but
+ * never scales; fine scales transfers but total() locks the world;
+ * STM composes everything and pays in aborts (counter abort_pct);
+ * the actor serialises through a queue, buying isolation with latency.
+ * Plus a low-level row: uncontended vs contended atomic increments,
+ * the hardware floor every discipline builds on.
+ */
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+
+#include "concurrency/bank.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::bench {
+namespace {
+
+using namespace bitc::conc;
+
+constexpr size_t kAccounts = 64;
+constexpr int64_t kInitial = 10000;
+
+enum Discipline : int64_t {
+    kCoarse,
+    kFine,
+    kStm,
+    kActor,
+};
+
+std::unique_ptr<Bank> make_bank(int64_t discipline) {
+    switch (discipline) {
+      case kCoarse:
+        return std::make_unique<CoarseLockBank>(kAccounts, kInitial);
+      case kFine:
+        return std::make_unique<FineLockBank>(kAccounts, kInitial);
+      case kStm:
+        return std::make_unique<StmBank>(kAccounts, kInitial);
+      case kActor:
+        return std::make_unique<ActorBank>(kAccounts, kInitial);
+    }
+    return nullptr;
+}
+
+// One shared bank per benchmark run; threads hammer it together.
+std::unique_ptr<Bank> g_bank;
+
+void BM_transfers(benchmark::State& state) {
+    if (state.thread_index() == 0) {
+        g_bank = make_bank(state.range(0));
+    }
+    Rng rng(100 + static_cast<uint64_t>(state.thread_index()));
+    for (auto _ : state) {
+        size_t from = rng.next_below(kAccounts);
+        size_t to = rng.next_below(kAccounts);
+        if (from == to) to = (to + 1) % kAccounts;
+        benchmark::DoNotOptimize(g_bank->transfer(from, to, 1));
+    }
+    if (state.thread_index() == 0) {
+        state.counters["total_ok"] =
+            g_bank->total() ==
+                    static_cast<int64_t>(kAccounts) * kInitial
+                ? 1.0
+                : 0.0;
+        if (auto* stm = dynamic_cast<StmBank*>(g_bank.get())) {
+            StmStats stats = stm->stm().stats();
+            state.counters["abort_pct"] =
+                100.0 * static_cast<double>(stats.aborts) /
+                static_cast<double>(stats.commits + stats.aborts + 1);
+        }
+        g_bank.reset();
+    }
+}
+BENCHMARK(BM_transfers)
+    ->Arg(kCoarse)->Arg(kFine)->Arg(kStm)->Arg(kActor)
+    ->ArgName("bank")
+    ->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+void BM_mixed_with_totals(benchmark::State& state) {
+    if (state.thread_index() == 0) {
+        g_bank = make_bank(state.range(0));
+    }
+    Rng rng(200 + static_cast<uint64_t>(state.thread_index()));
+    int64_t observed = 0;
+    for (auto _ : state) {
+        if (rng.next_bool(0.1)) {
+            observed = g_bank->total();  // the composition-hostile op
+            benchmark::DoNotOptimize(observed);
+        } else {
+            size_t from = rng.next_below(kAccounts);
+            size_t to = rng.next_below(kAccounts);
+            if (from == to) to = (to + 1) % kAccounts;
+            benchmark::DoNotOptimize(g_bank->transfer(from, to, 1));
+        }
+    }
+    if (state.thread_index() == 0) {
+        state.counters["total_ok"] =
+            g_bank->total() ==
+                    static_cast<int64_t>(kAccounts) * kInitial
+                ? 1.0
+                : 0.0;
+        g_bank.reset();
+    }
+}
+BENCHMARK(BM_mixed_with_totals)
+    ->Arg(kCoarse)->Arg(kFine)->Arg(kStm)->Arg(kActor)
+    ->ArgName("bank")
+    ->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+// --- Hardware floor ---------------------------------------------------------
+
+std::atomic<uint64_t> g_counter{0};
+
+void BM_atomic_increment(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            g_counter.fetch_add(1, std::memory_order_relaxed));
+    }
+}
+BENCHMARK(BM_atomic_increment)->Threads(1)->Threads(4)->UseRealTime();
+
+/** STM's equivalent of the counter: a one-var transaction. */
+void BM_stm_counter(benchmark::State& state) {
+    static Stm stm;
+    static TVar counter(0);
+    for (auto _ : state) {
+        atomically(stm, [&](Txn& txn) {
+            txn.write(counter, txn.read(counter) + 1);
+        });
+    }
+    if (state.thread_index() == 0) {
+        state.counters["aborts"] =
+            static_cast<double>(stm.stats().aborts);
+    }
+}
+BENCHMARK(BM_stm_counter)->Threads(1)->Threads(4)->UseRealTime();
+
+}  // namespace
+}  // namespace bitc::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Experiment F2 — "Boxed representation can be optimised away."
+ *
+ * Measures the same array traversals over:
+ *   unboxed        — contiguous int64 storage (the C layout);
+ *   boxed_fresh    — pointer-per-element boxes, allocated in access
+ *                    order (the best case a perfect allocator gives);
+ *   boxed_scattered— the same boxes after heap aging randomises their
+ *                    placement (the steady-state of long-running
+ *                    systems code).
+ *
+ * The paper's claim reads off the rows: even *perfectly placed* boxes
+ * cost (extra indirection + 3x memory), and aged boxes cost several
+ * times more — a gap allocation-order locality cannot close, because
+ * systems processes run for months, not benchmarks.  The decomposition
+ * rows separate the indirection cost from the locality cost.
+ */
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "repr/boxed_value.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::bench {
+namespace {
+
+using repr::BoxedI64Array;
+using repr::UnboxedI64Array;
+
+constexpr size_t kSmall = 1 << 12;   // fits L1/L2
+constexpr size_t kLarge = 1 << 20;   // streams through LLC/memory
+
+template <typename Array>
+int64_t sum_all(const Array& a) {
+    int64_t acc = 0;
+    for (size_t i = 0; i < a.size(); ++i) acc += a.get(i);
+    return acc;
+}
+
+template <typename Array>
+int64_t prefix_scan(Array& a) {
+    int64_t acc = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        acc += a.get(i);
+        a.set(i, acc);
+    }
+    return acc;
+}
+
+template <typename Array>
+void fill_pattern(Array& a) {
+    for (size_t i = 0; i < a.size(); ++i) {
+        a.set(i, static_cast<int64_t>((i * 2654435761ull) & 0xffff));
+    }
+}
+
+// --- sum -------------------------------------------------------------------
+
+void BM_sum_unboxed(benchmark::State& state) {
+    UnboxedI64Array a(static_cast<size_t>(state.range(0)));
+    fill_pattern(a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sum_all(a));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["bytes/elem"] =
+        static_cast<double>(UnboxedI64Array::bytes_per_element());
+}
+BENCHMARK(BM_sum_unboxed)->Arg(kSmall)->Arg(kLarge);
+
+void BM_sum_boxed_fresh(benchmark::State& state) {
+    Rng rng(1);
+    BoxedI64Array a(static_cast<size_t>(state.range(0)),
+                    /*scatter=*/false, rng);
+    fill_pattern(a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sum_all(a));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["bytes/elem"] =
+        static_cast<double>(BoxedI64Array::bytes_per_element());
+}
+BENCHMARK(BM_sum_boxed_fresh)->Arg(kSmall)->Arg(kLarge);
+
+void BM_sum_boxed_scattered(benchmark::State& state) {
+    Rng rng(2);
+    BoxedI64Array a(static_cast<size_t>(state.range(0)),
+                    /*scatter=*/true, rng);
+    fill_pattern(a);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sum_all(a));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["bytes/elem"] =
+        static_cast<double>(BoxedI64Array::bytes_per_element());
+}
+BENCHMARK(BM_sum_boxed_scattered)->Arg(kSmall)->Arg(kLarge);
+
+// --- read-modify-write scan -------------------------------------------------
+
+void BM_scan_unboxed(benchmark::State& state) {
+    UnboxedI64Array a(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        fill_pattern(a);
+        benchmark::DoNotOptimize(prefix_scan(a));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_scan_unboxed)->Arg(kLarge);
+
+void BM_scan_boxed_fresh(benchmark::State& state) {
+    Rng rng(3);
+    BoxedI64Array a(static_cast<size_t>(state.range(0)), false, rng);
+    for (auto _ : state) {
+        fill_pattern(a);
+        benchmark::DoNotOptimize(prefix_scan(a));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_scan_boxed_fresh)->Arg(kLarge);
+
+void BM_scan_boxed_scattered(benchmark::State& state) {
+    Rng rng(4);
+    BoxedI64Array a(static_cast<size_t>(state.range(0)), true, rng);
+    for (auto _ : state) {
+        fill_pattern(a);
+        benchmark::DoNotOptimize(prefix_scan(a));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_scan_boxed_scattered)->Arg(kLarge);
+
+// --- binary search (pointer-chase amplification) ----------------------------
+
+template <typename Array>
+int64_t search_many(const Array& a, size_t queries) {
+    // a holds sorted values 0, 2, 4, ...; binary-search odd targets.
+    int64_t misses = 0;
+    Rng rng(5);
+    for (size_t q = 0; q < queries; ++q) {
+        int64_t target = static_cast<int64_t>(
+            rng.next_below(2 * a.size()) | 1);
+        size_t lo = 0;
+        size_t hi = a.size();
+        while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (a.get(mid) < target) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        misses += (lo < a.size() && a.get(lo) == target) ? 0 : 1;
+    }
+    return misses;
+}
+
+void BM_search_unboxed(benchmark::State& state) {
+    UnboxedI64Array a(static_cast<size_t>(state.range(0)));
+    for (size_t i = 0; i < a.size(); ++i) {
+        a.set(i, static_cast<int64_t>(2 * i));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(search_many(a, 4096));
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_search_unboxed)->Arg(kLarge);
+
+void BM_search_boxed_scattered(benchmark::State& state) {
+    Rng rng(6);
+    BoxedI64Array a(static_cast<size_t>(state.range(0)), true, rng);
+    for (size_t i = 0; i < a.size(); ++i) {
+        a.set(i, static_cast<int64_t>(2 * i));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(search_many(a, 4096));
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_search_boxed_scattered)->Arg(kLarge);
+
+}  // namespace
+}  // namespace bitc::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Experiment F4 — "The legacy problem is insurmountable."
+ *
+ * Sweeps the packet pipeline from all-legacy to all-migrated,
+ * including the pathological interleaving, plus raw FFI call overhead.
+ *
+ * The paper's counter-claim reads off the rows: per-packet cost grows
+ * smoothly with the number of migrated stages (no cliff), contiguous
+ * migration beats interleaved (fewer representation crossings —
+ * migrate along module boundaries), and every configuration computes
+ * identical results (route_checksum counter) — so a C replacement can
+ * be adopted one subsystem at a time.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "interop/migration.hpp"
+
+namespace bitc::bench {
+
+/** Native->native call baseline: what a C call costs. */
+int64_t plain_add3(int64_t a, int64_t b, int64_t c);
+
+namespace {
+
+using interop::kStageCount;
+using interop::MigrationConfig;
+using interop::MigrationPipeline;
+
+constexpr size_t kPacketsPerIteration = 2000;
+
+void BM_pipeline(benchmark::State& state,
+                 std::array<bool, kStageCount> migrated) {
+    MigrationConfig config;
+    config.migrated = migrated;
+    auto pipeline = MigrationPipeline::create(config);
+    if (!pipeline.is_ok()) {
+        state.SkipWithError(pipeline.status().to_string().c_str());
+        return;
+    }
+    uint64_t crossings = 0;
+    uint64_t packets = 0;
+    uint64_t route_checksum = 0;
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        Rng rng(seed);  // same stream every iteration & configuration
+        auto report = pipeline.value()->run(kPacketsPerIteration, rng);
+        if (!report.is_ok()) {
+            state.SkipWithError(report.status().to_string().c_str());
+            return;
+        }
+        crossings += report.value().boundary_crossings;
+        packets += report.value().packets;
+        route_checksum = report.value().route_checksum;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(packets));
+    state.counters["crossings_per_pkt"] =
+        packets > 0 ? static_cast<double>(crossings) /
+                          static_cast<double>(packets)
+                    : 0.0;
+    state.counters["migrated_stages"] =
+        static_cast<double>(config.migrated_count());
+    state.counters["route_checksum"] =
+        static_cast<double>(route_checksum);
+}
+
+BENCHMARK_CAPTURE(BM_pipeline, migrated_0of4_baseline,
+                  std::array<bool, 4>{false, false, false, false});
+BENCHMARK_CAPTURE(BM_pipeline, migrated_1of4_validate,
+                  std::array<bool, 4>{true, false, false, false});
+BENCHMARK_CAPTURE(BM_pipeline, migrated_2of4_contiguous,
+                  std::array<bool, 4>{true, true, false, false});
+BENCHMARK_CAPTURE(BM_pipeline, migrated_2of4_interleaved,
+                  std::array<bool, 4>{true, false, true, false});
+BENCHMARK_CAPTURE(BM_pipeline, migrated_3of4_contiguous,
+                  std::array<bool, 4>{true, true, true, false});
+BENCHMARK_CAPTURE(BM_pipeline, migrated_4of4_full,
+                  std::array<bool, 4>{true, true, true, true});
+
+// --- Raw boundary costs ------------------------------------------------------
+
+void BM_call_native_direct(benchmark::State& state) {
+    int64_t acc = 0;
+    for (auto _ : state) {
+        acc += plain_add3(acc, 1, 2);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_call_native_direct);
+
+/** VM->native FFI round trip (the managed-to-C direction). */
+void BM_call_vm_to_native_ffi(benchmark::State& state) {
+    vm::NativeRegistry registry;
+    (void)registry.add("add3", 3,
+                       [](std::span<const uint64_t> args)
+                           -> Result<uint64_t> {
+                           return args[0] + args[1] + args[2];
+                       });
+    vm::BuildOptions options;
+    options.compiler.natives = &registry;
+    auto built =
+        must_build("(define (f a b c) (native add3 a b c))", options);
+    vm::VmConfig config;
+    config.heap_words = 1 << 12;
+    auto vm = built->instantiate(config, &registry);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(must_call(*vm, "f", {1, 2, 3}));
+    }
+}
+BENCHMARK(BM_call_vm_to_native_ffi);
+
+/** C->VM entry (the legacy-calls-migrated direction, incl. marshalling). */
+void BM_call_native_to_vm_entry(benchmark::State& state) {
+    auto built = must_build("(define (g a b c) (+ a (+ b c)))");
+    vm::VmConfig config;
+    config.heap_words = 1 << 12;
+    auto vm = built->instantiate(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(must_call(*vm, "g", {1, 2, 3}));
+    }
+}
+BENCHMARK(BM_call_native_to_vm_entry);
+
+}  // namespace
+}  // namespace bitc::bench
+
+// Defined out of line so the optimiser cannot inline the baseline away.
+int64_t
+bitc::bench::plain_add3(int64_t a, int64_t b, int64_t c)
+{
+    return a + b + c;
+}
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Helpers shared by the experiment benches: building VM variants and
+ * attaching the counters the experiment tables report.
+ */
+#ifndef BITC_BENCH_BENCH_UTIL_HPP
+#define BITC_BENCH_BENCH_UTIL_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "memory/region_heap.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::bench {
+
+/** Builds a program once (abort on failure: benches need the build). */
+inline std::shared_ptr<vm::BuiltProgram>
+must_build(const std::string& source, vm::BuildOptions options = {})
+{
+    auto built = vm::build_program(source, options);
+    if (!built.is_ok()) {
+        fprintf(stderr, "bench build failed: %s\n",
+                built.status().to_string().c_str());
+        abort();
+    }
+    return std::shared_ptr<vm::BuiltProgram>(std::move(built).take());
+}
+
+/** Calls @p fn, aborting the bench on traps (they indicate bugs). */
+inline int64_t
+must_call(vm::Vm& vm, const std::string& fn,
+          std::initializer_list<int64_t> args)
+{
+    auto result = vm.call(fn, args);
+    if (!result.is_ok()) {
+        fprintf(stderr, "bench call %s failed: %s\n", fn.c_str(),
+                result.status().to_string().c_str());
+        abort();
+    }
+    return result.value();
+}
+
+/** Resets a region heap between iterations when the VM uses one. */
+inline void
+maybe_reset_region(vm::Vm& vm)
+{
+    if (auto* region = dynamic_cast<mem::RegionHeap*>(&vm.heap())) {
+        region->reset_region();
+    }
+}
+
+}  // namespace bitc::bench
+
+#endif  // BITC_BENCH_BENCH_UTIL_HPP

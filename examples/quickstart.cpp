@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Quickstart: the whole toolchain on one small program.
+ *
+ * Walks a BitC-like source file through every stage — parse, resolve,
+ * typecheck, verify, compile — printing each stage's artefacts, then
+ * runs it on two VM configurations and compares their cost profiles.
+ *
+ *   $ ./quickstart
+ */
+#include <cstdio>
+
+#include "support/string_util.hpp"
+#include "vm/pipeline.hpp"
+
+namespace {
+
+const char* kSource = R"bitc(
+; Clamped sum over a fixed-size table, with contracts the verifier can
+; discharge so the compiler can drop every runtime check.
+(define (fill-squares a : (array int64 32)) : unit
+  (let ((i 0))
+    (while (< i 32)
+      (invariant (>= i 0))
+      (invariant (<= i 32))
+      (array-set! a i (* i i))
+      (set! i (+ i 1)))))
+
+(define (table-sum a : (array int64 32) n : int64) : int64
+  (require (>= n 0)) (require (<= n 32))
+  (let ((i 0) (acc 0))
+    (while (< i n)
+      (invariant (>= i 0))
+      (invariant (<= i n))
+      (set! acc (+ acc (array-ref a i)))
+      (set! i (+ i 1)))
+    acc))
+
+(define (main n : int64) : int64
+  (require (>= n 0)) (require (<= n 32))
+  (let ((a (array-make 32 0)))
+    (fill-squares a)
+    (table-sum a n)))
+)bitc";
+
+}  // namespace
+
+int
+main()
+{
+    using namespace bitc;
+
+    std::printf("=== BitC-repro quickstart ===\n\n");
+    std::printf("--- source ---\n%s\n", kSource);
+
+    // Build: parse -> resolve -> typecheck -> verify -> compile.
+    vm::BuildOptions options;
+    options.compiler.elide_proved_checks = true;
+    auto built = vm::build_program(kSource, options);
+    if (!built.is_ok()) {
+        std::printf("build failed: %s\n",
+                    built.status().to_string().c_str());
+        return 1;
+    }
+    vm::BuiltProgram& program = *built.value();
+
+    // Inferred signatures.
+    std::printf("--- inferred types ---\n");
+    for (size_t i = 0; i < program.typed.function_count(); ++i) {
+        const auto& decl = program.typed.program().functions[i];
+        const auto& ft = program.typed.function_type(i);
+        std::string sig;
+        for (types::Type* p : ft.params) {
+            sig += program.typed.store().to_string(p) + " -> ";
+        }
+        sig += program.typed.store().to_string(ft.result);
+        std::printf("  %-14s : %s\n", decl.name.c_str(), sig.c_str());
+    }
+
+    // Verification: which checks were discharged statically?
+    std::printf("\n--- verification ---\n%s",
+                program.verification.to_string().c_str());
+
+    // Generated code for main.
+    std::printf("--- bytecode (main) ---\n");
+    for (const auto& fn : program.code.functions) {
+        if (fn.name == "main") {
+            std::printf("%s", fn.disassemble().c_str());
+        }
+    }
+
+    // Execute on two configurations.
+    std::printf("\n--- execution ---\n");
+    struct Config {
+        const char* label;
+        vm::VmConfig vm;
+    };
+    vm::VmConfig unboxed;
+    vm::VmConfig boxed;
+    boxed.mode = vm::ValueMode::kBoxed;
+    boxed.heap = vm::HeapPolicy::kGenerational;
+    const Config configs[] = {
+        {"unboxed + region", unboxed},
+        {"boxed + generational GC", boxed},
+    };
+    for (const Config& config : configs) {
+        auto vm = program.instantiate(config.vm);
+        auto result = vm->call("main", {10});
+        if (!result.is_ok()) {
+            std::printf("  %-24s trap: %s\n", config.label,
+                        result.status().to_string().c_str());
+            continue;
+        }
+        std::printf("  %-24s main(10) = %lld  (%llu instructions, "
+                    "%llu heap allocations)\n",
+                    config.label,
+                    static_cast<long long>(result.value()),
+                    static_cast<unsigned long long>(
+                        vm->instructions_executed()),
+                    static_cast<unsigned long long>(
+                        vm->heap().stats().allocations));
+    }
+
+    std::printf("\nsum of squares 0..9 = 285 on every configuration —\n"
+                "representation changes cost, never meaning.\n");
+    return 0;
+}

@@ -1,0 +1,305 @@
+#include "concurrency/bank.hpp"
+
+#include <cassert>
+
+namespace bitc::conc {
+
+// --- CoarseLockBank ----------------------------------------------------
+
+CoarseLockBank::CoarseLockBank(size_t accounts, int64_t initial_balance)
+    : balances_(accounts, initial_balance)
+{
+}
+
+void
+CoarseLockBank::deposit(size_t account, int64_t amount)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    balances_[account] += amount;
+}
+
+Status
+CoarseLockBank::transfer(size_t from, size_t to, int64_t amount)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (balances_[from] < amount) {
+        return failed_precondition_error("insufficient funds");
+    }
+    balances_[from] -= amount;
+    balances_[to] += amount;
+    return Status::ok();
+}
+
+int64_t
+CoarseLockBank::balance(size_t account) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return balances_[account];
+}
+
+int64_t
+CoarseLockBank::total() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    int64_t sum = 0;
+    for (int64_t b : balances_) sum += b;
+    return sum;
+}
+
+// --- FineLockBank ------------------------------------------------------
+
+FineLockBank::FineLockBank(size_t accounts, int64_t initial_balance)
+    : balances_(accounts, initial_balance)
+{
+    locks_.reserve(accounts);
+    for (size_t i = 0; i < accounts; ++i) {
+        locks_.push_back(std::make_unique<std::mutex>());
+    }
+}
+
+void
+FineLockBank::deposit(size_t account, int64_t amount)
+{
+    std::lock_guard<std::mutex> lock(*locks_[account]);
+    balances_[account] += amount;
+}
+
+Status
+FineLockBank::transfer(size_t from, size_t to, int64_t amount)
+{
+    assert(from != to);
+    // Global lock order (by index) prevents deadlock between concurrent
+    // opposite-direction transfers.
+    size_t first = std::min(from, to);
+    size_t second = std::max(from, to);
+    std::lock_guard<std::mutex> lock_a(*locks_[first]);
+    std::lock_guard<std::mutex> lock_b(*locks_[second]);
+    if (balances_[from] < amount) {
+        return failed_precondition_error("insufficient funds");
+    }
+    balances_[from] -= amount;
+    balances_[to] += amount;
+    return Status::ok();
+}
+
+int64_t
+FineLockBank::balance(size_t account) const
+{
+    std::lock_guard<std::mutex> lock(*locks_[account]);
+    return balances_[account];
+}
+
+int64_t
+FineLockBank::total() const
+{
+    // Lock the world, in order. Correct, and exactly the scaling cliff
+    // the composition argument predicts.
+    for (auto& lock : locks_) lock->lock();
+    int64_t sum = 0;
+    for (int64_t b : balances_) sum += b;
+    for (auto it = locks_.rbegin(); it != locks_.rend(); ++it) {
+        (*it)->unlock();
+    }
+    return sum;
+}
+
+int64_t
+FineLockBank::unsafe_total() const
+{
+    int64_t sum = 0;
+    for (int64_t b : balances_) sum += b;
+    return sum;
+}
+
+void
+FineLockBank::nonatomic_transfer(size_t from, size_t to, int64_t amount)
+{
+    deposit(from, -amount);
+    // Preemption here exposes money in neither account.
+    std::this_thread::yield();
+    deposit(to, amount);
+}
+
+// --- StmBank -------------------------------------------------------------
+
+namespace {
+
+int64_t
+as_signed(uint64_t bits)
+{
+    return static_cast<int64_t>(bits);
+}
+
+uint64_t
+as_bits(int64_t value)
+{
+    return static_cast<uint64_t>(value);
+}
+
+}  // namespace
+
+StmBank::StmBank(size_t accounts, int64_t initial_balance)
+{
+    accounts_.reserve(accounts);
+    for (size_t i = 0; i < accounts; ++i) {
+        accounts_.push_back(
+            std::make_unique<TVar>(as_bits(initial_balance)));
+    }
+}
+
+void
+StmBank::deposit(size_t account, int64_t amount)
+{
+    atomically(stm_, [&](Txn& txn) {
+        int64_t current = as_signed(txn.read(*accounts_[account]));
+        txn.write(*accounts_[account], as_bits(current + amount));
+    });
+}
+
+Status
+StmBank::transfer(size_t from, size_t to, int64_t amount)
+{
+    bool ok = atomically(stm_, [&](Txn& txn) {
+        int64_t src = as_signed(txn.read(*accounts_[from]));
+        if (src < amount) return false;
+        int64_t dst = as_signed(txn.read(*accounts_[to]));
+        txn.write(*accounts_[from], as_bits(src - amount));
+        txn.write(*accounts_[to], as_bits(dst + amount));
+        return true;
+    });
+    if (!ok) return failed_precondition_error("insufficient funds");
+    return Status::ok();
+}
+
+void
+StmBank::transfer_blocking(size_t from, size_t to, int64_t amount)
+{
+    atomically(stm_, [&](Txn& txn) {
+        int64_t src = as_signed(txn.read(*accounts_[from]));
+        if (src < amount) txn.retry();
+        int64_t dst = as_signed(txn.read(*accounts_[to]));
+        txn.write(*accounts_[from], as_bits(src - amount));
+        txn.write(*accounts_[to], as_bits(dst + amount));
+    });
+}
+
+int64_t
+StmBank::balance(size_t account) const
+{
+    return atomically(stm_, [&](Txn& txn) {
+        return as_signed(txn.read(*accounts_[account]));
+    });
+}
+
+int64_t
+StmBank::total() const
+{
+    // The composition payoff: a consistent whole-ledger snapshot is just
+    // a bigger transaction, no global lock required.
+    return atomically(stm_, [&](Txn& txn) {
+        int64_t sum = 0;
+        for (const auto& account : accounts_) {
+            sum += as_signed(txn.read(*account));
+        }
+        return sum;
+    });
+}
+
+// --- ActorBank -----------------------------------------------------------
+
+ActorBank::ActorBank(size_t accounts, int64_t initial_balance)
+    : account_count_(accounts), requests_(256)
+{
+    server_ = std::thread([this, accounts, initial_balance] {
+        std::vector<int64_t> balances(accounts, initial_balance);
+        while (true) {
+            auto request = requests_.recv();
+            if (!request.is_ok()) break;  // channel closed: shut down
+            const Request& op = request.value();
+            Result<int64_t> reply = int64_t{0};
+            switch (op.kind) {
+              case OpKind::kDeposit:
+                balances[op.from] += op.amount;
+                break;
+              case OpKind::kTransfer:
+                if (balances[op.from] < op.amount) {
+                    reply = failed_precondition_error(
+                        "insufficient funds");
+                } else {
+                    balances[op.from] -= op.amount;
+                    balances[op.to] += op.amount;
+                }
+                break;
+              case OpKind::kBalance:
+                reply = balances[op.from];
+                break;
+              case OpKind::kTotal: {
+                int64_t sum = 0;
+                for (int64_t b : balances) sum += b;
+                reply = sum;
+                break;
+              }
+            }
+            if (op.reply != nullptr) op.reply->set_value(std::move(reply));
+        }
+    });
+}
+
+ActorBank::~ActorBank()
+{
+    requests_.close();
+    if (server_.joinable()) server_.join();
+}
+
+Result<int64_t>
+ActorBank::call(Request request) const
+{
+    std::promise<Result<int64_t>> promise;
+    std::future<Result<int64_t>> future = promise.get_future();
+    request.reply = &promise;
+    Status sent = requests_.send(std::move(request));
+    if (!sent.is_ok()) return sent;
+    return future.get();
+}
+
+void
+ActorBank::deposit(size_t account, int64_t amount)
+{
+    Request request;
+    request.kind = OpKind::kDeposit;
+    request.from = account;
+    request.amount = amount;
+    (void)call(request);
+}
+
+Status
+ActorBank::transfer(size_t from, size_t to, int64_t amount)
+{
+    Request request;
+    request.kind = OpKind::kTransfer;
+    request.from = from;
+    request.to = to;
+    request.amount = amount;
+    return call(request).to_status();
+}
+
+int64_t
+ActorBank::balance(size_t account) const
+{
+    Request request;
+    request.kind = OpKind::kBalance;
+    request.from = account;
+    auto reply = call(request);
+    return reply.is_ok() ? reply.value() : 0;
+}
+
+int64_t
+ActorBank::total() const
+{
+    Request request;
+    request.kind = OpKind::kTotal;
+    auto reply = call(request);
+    return reply.is_ok() ? reply.value() : 0;
+}
+
+}  // namespace bitc::conc

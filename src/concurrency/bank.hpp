@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The bank-account composition apparatus from the shared-state
+ * challenge (C4).
+ *
+ * The lecture's rendering of the paper-era argument: a correctly locked
+ * account class does not compose into a correct transfer — preemption
+ * between debit and credit exposes an intermediate state, and no amount
+ * of careful coding inside the class can fix it; the locking
+ * requirement becomes part of the API.  The implementations here make
+ * that argument runnable:
+ *
+ *  - CoarseLockBank: one global lock — composes, does not scale.
+ *  - FineLockBank:   per-account locks, address-ordered 2-phase
+ *                    transfer — scales, but total() must lock the
+ *                    world and compose-by-caller is unsafe (see
+ *                    unsafe_total / nonatomic_transfer).
+ *  - StmBank:        transactions compose; blocking transfer via retry.
+ *  - ActorBank:      no shared state at all; a server thread owns the
+ *                    ledger and clients message it over a Channel.
+ */
+#ifndef BITC_CONCURRENCY_BANK_HPP
+#define BITC_CONCURRENCY_BANK_HPP
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "concurrency/channel.hpp"
+#include "concurrency/stm.hpp"
+#include "support/status.hpp"
+
+namespace bitc::conc {
+
+/** Shared interface all ledger implementations satisfy. */
+class Bank {
+  public:
+    virtual ~Bank() = default;
+
+    virtual const char* name() const = 0;
+    virtual size_t account_count() const = 0;
+
+    /** Adds @p amount (may be negative) to an account, unconditionally. */
+    virtual void deposit(size_t account, int64_t amount) = 0;
+
+    /**
+     * Atomically moves @p amount from one account to another; fails
+     * with kFailedPrecondition when funds are insufficient, leaving
+     * both balances untouched.
+     */
+    virtual Status transfer(size_t from, size_t to, int64_t amount) = 0;
+
+    virtual int64_t balance(size_t account) const = 0;
+
+    /** Atomic snapshot of the sum of all balances. */
+    virtual int64_t total() const = 0;
+};
+
+/** Single global mutex: trivially correct, serialises everything. */
+class CoarseLockBank : public Bank {
+  public:
+    explicit CoarseLockBank(size_t accounts, int64_t initial_balance);
+
+    const char* name() const override { return "coarse-lock"; }
+    size_t account_count() const override { return balances_.size(); }
+    void deposit(size_t account, int64_t amount) override;
+    Status transfer(size_t from, size_t to, int64_t amount) override;
+    int64_t balance(size_t account) const override;
+    int64_t total() const override;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<int64_t> balances_;
+};
+
+/** Per-account locks; transfer locks both ends in address order. */
+class FineLockBank : public Bank {
+  public:
+    explicit FineLockBank(size_t accounts, int64_t initial_balance);
+
+    const char* name() const override { return "fine-lock"; }
+    size_t account_count() const override { return balances_.size(); }
+    void deposit(size_t account, int64_t amount) override;
+    Status transfer(size_t from, size_t to, int64_t amount) override;
+    int64_t balance(size_t account) const override;
+    /** Correct but expensive: locks every account. */
+    int64_t total() const override;
+
+    /**
+     * The composition trap, kept on purpose: sums balances with no
+     * locks.  Under concurrent transfers this observes intermediate
+     * states — the bug class the paper says the lock model cannot
+     * abstract away.  Used by tests/examples to demonstrate, never by
+     * correct code.
+     */
+    int64_t unsafe_total() const;
+
+    /**
+     * The other composition trap: a transfer built from two
+     * individually-correct operations with no outer lock.  Exposes the
+     * money-in-neither/both-accounts window.
+     */
+    void nonatomic_transfer(size_t from, size_t to, int64_t amount);
+
+  private:
+    std::vector<std::unique_ptr<std::mutex>> locks_;
+    std::vector<int64_t> balances_;
+};
+
+/** Transactional ledger: one TVar per account. */
+class StmBank : public Bank {
+  public:
+    explicit StmBank(size_t accounts, int64_t initial_balance);
+
+    const char* name() const override { return "stm"; }
+    size_t account_count() const override { return accounts_.size(); }
+    void deposit(size_t account, int64_t amount) override;
+    Status transfer(size_t from, size_t to, int64_t amount) override;
+    int64_t balance(size_t account) const override;
+    int64_t total() const override;
+
+    /**
+     * Blocks (via transactional retry) until funds are available, then
+     * transfers — the composable blocking Harris et al. demonstrate.
+     */
+    void transfer_blocking(size_t from, size_t to, int64_t amount);
+
+    Stm& stm() { return stm_; }
+
+  private:
+    mutable Stm stm_;
+    std::vector<std::unique_ptr<TVar>> accounts_;
+};
+
+/** Actor ledger: a server thread owns the state; clients send messages. */
+class ActorBank : public Bank {
+  public:
+    explicit ActorBank(size_t accounts, int64_t initial_balance);
+    ~ActorBank() override;
+
+    const char* name() const override { return "actor"; }
+    size_t account_count() const override { return account_count_; }
+    void deposit(size_t account, int64_t amount) override;
+    Status transfer(size_t from, size_t to, int64_t amount) override;
+    int64_t balance(size_t account) const override;
+    int64_t total() const override;
+
+  private:
+    enum class OpKind { kDeposit, kTransfer, kBalance, kTotal };
+    struct Request {
+        OpKind kind;
+        size_t from = 0;
+        size_t to = 0;
+        int64_t amount = 0;
+        std::promise<Result<int64_t>>* reply = nullptr;
+    };
+
+    Result<int64_t> call(Request request) const;
+    void serve();
+
+    size_t account_count_;
+    mutable Channel<Request> requests_;
+    std::thread server_;
+};
+
+}  // namespace bitc::conc
+
+#endif  // BITC_CONCURRENCY_BANK_HPP

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bounded MPMC channel: the message-passing alternative in the
+ * shared-state experiment (C4).  Mirrors the Rust std::sync::mpsc /
+ * Go-channel shape the lecture material shows: blocking send/recv,
+ * close semantics, errors instead of exceptions.
+ */
+#ifndef BITC_CONCURRENCY_CHANNEL_HPP
+#define BITC_CONCURRENCY_CHANNEL_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "support/status.hpp"
+
+namespace bitc::conc {
+
+/**
+ * Bounded multi-producer multi-consumer channel.
+ *
+ * send blocks while full; recv blocks while empty.  After close(),
+ * sends fail immediately and recvs drain the backlog then fail with
+ * kFailedPrecondition — the "iterate until disconnect" idiom.
+ */
+template <typename T>
+class Channel {
+  public:
+    explicit Channel(size_t capacity) : capacity_(capacity) {}
+
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /** Blocking send. Fails if the channel is (or becomes) closed. */
+    Status send(T value) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [&] {
+            return closed_ || queue_.size() < capacity_;
+        });
+        if (closed_) {
+            return failed_precondition_error("send on closed channel");
+        }
+        queue_.push_back(std::move(value));
+        lock.unlock();
+        not_empty_.notify_one();
+        return Status::ok();
+    }
+
+    /** Non-blocking send; false when full or closed. */
+    bool try_send(T value) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || queue_.size() >= capacity_) return false;
+            queue_.push_back(std::move(value));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Blocking receive. Fails once closed and drained. */
+    Result<T> recv() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            return failed_precondition_error(
+                "recv on closed, empty channel");
+        }
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /** Non-blocking receive. */
+    std::optional<T> try_recv() {
+        std::optional<T> out;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (queue_.empty()) return std::nullopt;
+            out = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        not_full_.notify_one();
+        return out;
+    }
+
+    /** Closes the channel; wakes all waiters. Idempotent. */
+    void close() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    bool closed() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    size_t size() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.size();
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> queue_;
+    bool closed_ = false;
+};
+
+}  // namespace bitc::conc
+
+#endif  // BITC_CONCURRENCY_CHANNEL_HPP

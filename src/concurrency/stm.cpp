@@ -1,0 +1,145 @@
+#include "concurrency/stm.hpp"
+
+#include <algorithm>
+
+namespace bitc::conc {
+
+namespace {
+
+constexpr uint64_t kLockBit = 1;
+
+bool
+is_locked(uint64_t version_lock)
+{
+    return (version_lock & kLockBit) != 0;
+}
+
+uint64_t
+version_of(uint64_t version_lock)
+{
+    return version_lock >> 1;
+}
+
+}  // namespace
+
+bool
+Txn::in_write_set(const TVar* var) const
+{
+    return std::any_of(writes_.begin(), writes_.end(),
+                       [&](const WriteEntry& w) { return w.var == var; });
+}
+
+uint64_t
+Txn::read(TVar& var)
+{
+    // Read-own-writes: the latest buffered value wins.
+    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+        if (it->var == &var) return it->value;
+    }
+
+    // TL2 consistent-read protocol: sample the version lock on both
+    // sides of the value load and validate against the read stamp.
+    uint64_t vl1 = var.version_lock_.load(std::memory_order_acquire);
+    uint64_t value = var.value_.load(std::memory_order_acquire);
+    uint64_t vl2 = var.version_lock_.load(std::memory_order_acquire);
+    if (is_locked(vl1) || vl1 != vl2 || version_of(vl1) > rv_) {
+        throw TxnConflict{};
+    }
+    reads_.push_back({&var, version_of(vl1)});
+    return value;
+}
+
+void
+Txn::write(TVar& var, uint64_t value)
+{
+    writes_.push_back({&var, value});
+}
+
+bool
+Txn::commit()
+{
+    if (writes_.empty()) {
+        // Read-only transactions validated incrementally; TL2 needs no
+        // further work.
+        return true;
+    }
+
+    // Deduplicate (last write wins) and sort by address so every
+    // transaction acquires locks in a global order: no lock-order
+    // deadlock by construction.
+    std::vector<WriteEntry> final_writes;
+    for (auto it = writes_.rbegin(); it != writes_.rend(); ++it) {
+        bool seen = false;
+        for (const WriteEntry& w : final_writes) {
+            if (w.var == it->var) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen) final_writes.push_back(*it);
+    }
+    std::sort(final_writes.begin(), final_writes.end(),
+              [](const WriteEntry& a, const WriteEntry& b) {
+                  return a.var < b.var;
+              });
+
+    // Acquire write locks.
+    size_t locked = 0;
+    for (; locked < final_writes.size(); ++locked) {
+        TVar* var = final_writes[locked].var;
+        uint64_t vl =
+            var->version_lock_.load(std::memory_order_relaxed);
+        if (is_locked(vl) ||
+            !var->version_lock_.compare_exchange_strong(
+                vl, vl | kLockBit, std::memory_order_acquire)) {
+            break;
+        }
+    }
+    if (locked != final_writes.size()) {
+        for (size_t i = 0; i < locked; ++i) {
+            TVar* var = final_writes[i].var;
+            uint64_t vl =
+                var->version_lock_.load(std::memory_order_relaxed);
+            var->version_lock_.store(vl & ~kLockBit,
+                                     std::memory_order_release);
+        }
+        return false;
+    }
+
+    uint64_t wv = stm_.next_stamp();
+
+    // Validate the read set: every read version must be unchanged and
+    // unlocked (unless we hold the lock ourselves).
+    bool valid = true;
+    for (const ReadEntry& r : reads_) {
+        uint64_t vl =
+            r.var->version_lock_.load(std::memory_order_acquire);
+        bool locked_by_us = is_locked(vl) && in_write_set(r.var);
+        if ((is_locked(vl) && !locked_by_us) ||
+            version_of(vl) != r.version) {
+            valid = false;
+            break;
+        }
+    }
+
+    if (!valid) {
+        for (const WriteEntry& w : final_writes) {
+            uint64_t vl =
+                w.var->version_lock_.load(std::memory_order_relaxed);
+            w.var->version_lock_.store(vl & ~kLockBit,
+                                       std::memory_order_release);
+        }
+        return false;
+    }
+
+    // Publish values, then release locks with the new version.
+    for (const WriteEntry& w : final_writes) {
+        w.var->value_.store(w.value, std::memory_order_release);
+    }
+    for (const WriteEntry& w : final_writes) {
+        w.var->version_lock_.store(wv << 1, std::memory_order_release);
+    }
+    return true;
+}
+
+}  // namespace bitc::conc

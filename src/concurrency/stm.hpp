@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Software transactional memory: a word-based, lazy-versioning STM in
+ * the TL2 style, with the composable blocking combinators (retry /
+ * orElse) of Harris et al.'s "Composable Memory Transactions".
+ *
+ * This is the C4 apparatus: the paper's shared-state challenge is that
+ * lock-based code does not compose (the bank-transfer example); STM
+ * restores composition at a measurable cost in aborts and bookkeeping,
+ * which bench_c4_shared_state quantifies against locks and channels.
+ *
+ * Simplifications relative to a production TL2:
+ *  - retry() waits by bounded exponential backoff rather than parking
+ *    on the read set (semantics preserved, wakeups less precise);
+ *  - values are single 64-bit words (TVar), as in word-based STMs.
+ */
+#ifndef BITC_CONCURRENCY_STM_HPP
+#define BITC_CONCURRENCY_STM_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace bitc::conc {
+
+class Txn;
+
+/** Transactional variable holding one 64-bit word. */
+class TVar {
+  public:
+    explicit TVar(uint64_t initial = 0) : value_(initial) {}
+
+    TVar(const TVar&) = delete;
+    TVar& operator=(const TVar&) = delete;
+
+    /** Non-transactional read, for tests and post-run inspection only. */
+    uint64_t unsafe_load() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Txn;
+
+    // Low bit = write lock, remaining bits = commit version.
+    std::atomic<uint64_t> version_lock_{0};
+    std::atomic<uint64_t> value_;
+};
+
+/** Aggregate STM statistics (approximate under concurrency). */
+struct StmStats {
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t retries = 0;  ///< User-level retry() waits.
+};
+
+/** Shared STM context: the global version clock plus statistics. */
+class Stm {
+  public:
+    uint64_t read_stamp() const {
+        return clock_.load(std::memory_order_acquire);
+    }
+    uint64_t next_stamp() {
+        return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+
+    StmStats stats() const {
+        return {commits_.load(std::memory_order_relaxed),
+                aborts_.load(std::memory_order_relaxed),
+                retries_.load(std::memory_order_relaxed)};
+    }
+
+    void note_commit() { commits_.fetch_add(1, std::memory_order_relaxed); }
+    void note_abort() { aborts_.fetch_add(1, std::memory_order_relaxed); }
+    void note_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> clock_{0};
+    std::atomic<uint64_t> commits_{0};
+    std::atomic<uint64_t> aborts_{0};
+    std::atomic<uint64_t> retries_{0};
+};
+
+/** Internal control flow: the transaction saw an inconsistent state. */
+struct TxnConflict {};
+/** Internal control flow: the user called retry(). */
+struct TxnRetry {};
+
+/**
+ * One transaction attempt.  Created by atomically(); user code calls
+ * read/write/retry/or_else on the reference it is handed.
+ */
+class Txn {
+  public:
+    explicit Txn(Stm& stm) : stm_(stm), rv_(stm.read_stamp()) {}
+
+    /** Transactional read; throws TxnConflict on inconsistency. */
+    uint64_t read(TVar& var);
+
+    /** Transactional (buffered) write. */
+    void write(TVar& var, uint64_t value);
+
+    /** Blocks the transaction until the world changes (then re-runs). */
+    [[noreturn]] void retry() {
+        stm_.note_retry();
+        throw TxnRetry{};
+    }
+
+    /**
+     * Composable alternative: runs @p first; if it retries, rolls its
+     * writes back and runs @p second instead.  Reads from the failed
+     * branch stay in the read set (required for correct blocking).
+     */
+    template <typename F1, typename F2>
+    auto or_else(F1&& first, F2&& second) {
+        size_t write_mark = writes_.size();
+        try {
+            return first(*this);
+        } catch (const TxnRetry&) {
+            writes_.resize(write_mark);
+            return second(*this);
+        }
+    }
+
+    /** Attempts to commit; true on success. */
+    bool commit();
+
+    size_t read_set_size() const { return reads_.size(); }
+    size_t write_set_size() const { return writes_.size(); }
+
+  private:
+    struct ReadEntry {
+        TVar* var;
+        uint64_t version;
+    };
+    struct WriteEntry {
+        TVar* var;
+        uint64_t value;
+    };
+
+    bool in_write_set(const TVar* var) const;
+
+    Stm& stm_;
+    uint64_t rv_;  ///< Read stamp: snapshot version this txn runs at.
+    std::vector<ReadEntry> reads_;
+    std::vector<WriteEntry> writes_;
+};
+
+/**
+ * Runs @p fn transactionally until it commits, returning its result.
+ * @p fn must be idempotent up to its Txn operations (it may run many
+ * times) and must not perform irrevocable side effects.
+ */
+template <typename Fn>
+auto
+atomically(Stm& stm, Fn&& fn)
+{
+    uint32_t backoff = 1;
+    while (true) {
+        Txn txn(stm);
+        bool retry_wait = false;
+        try {
+            if constexpr (std::is_void_v<decltype(fn(txn))>) {
+                fn(txn);
+                if (txn.commit()) {
+                    stm.note_commit();
+                    return;
+                }
+            } else {
+                auto result = fn(txn);
+                if (txn.commit()) {
+                    stm.note_commit();
+                    return result;
+                }
+            }
+        } catch (const TxnConflict&) {
+            // fall through to back off and rerun
+        } catch (const TxnRetry&) {
+            retry_wait = true;
+        }
+        stm.note_abort();
+        // Bounded exponential backoff; retry() waits longer since it
+        // needs another thread to make progress first.
+        uint32_t spins = retry_wait ? backoff * 64 : backoff;
+        for (uint32_t i = 0; i < spins; ++i) {
+            std::this_thread::yield();
+        }
+        if (backoff < 1024) backoff *= 2;
+    }
+}
+
+}  // namespace bitc::conc
+
+#endif  // BITC_CONCURRENCY_STM_HPP

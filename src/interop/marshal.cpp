@@ -1,0 +1,48 @@
+#include "interop/marshal.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::interop {
+
+Status
+unmarshal_record(const repr::RecordCodec& codec,
+                 std::span<const uint8_t> wire,
+                 std::span<int64_t> fields)
+{
+    const auto& layout = codec.layout();
+    if (wire.size() < layout.byte_size()) {
+        return out_of_range_error("wire buffer too short");
+    }
+    if (fields.size() != layout.fields().size()) {
+        return invalid_argument_error(str_format(
+            "field buffer has %zu slots, record has %zu fields",
+            fields.size(), layout.fields().size()));
+    }
+    for (size_t i = 0; i < layout.fields().size(); ++i) {
+        fields[i] = static_cast<int64_t>(
+            codec.read_field(wire, layout.fields()[i]));
+    }
+    return Status::ok();
+}
+
+Status
+marshal_record(const repr::RecordCodec& codec,
+               std::span<const int64_t> fields, std::span<uint8_t> wire)
+{
+    const auto& layout = codec.layout();
+    if (wire.size() < layout.byte_size()) {
+        return out_of_range_error("wire buffer too short");
+    }
+    if (fields.size() != layout.fields().size()) {
+        return invalid_argument_error(str_format(
+            "field buffer has %zu slots, record has %zu fields",
+            fields.size(), layout.fields().size()));
+    }
+    for (size_t i = 0; i < layout.fields().size(); ++i) {
+        codec.write_field(wire, layout.fields()[i],
+                          static_cast<uint64_t>(fields[i]));
+    }
+    return Status::ok();
+}
+
+}  // namespace bitc::interop

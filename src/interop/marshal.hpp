@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Representation-boundary marshalling: wire-format byte buffers
+ * (legacy C view, accessed through repr codecs) <-> flat int64 field
+ * arrays (the managed-language view the VM consumes).
+ *
+ * Every legacy<->migrated transition in the F4 experiment pays exactly
+ * one unmarshal or marshal; keeping that cost small and measurable is
+ * the paper's argument for why incremental migration is viable.
+ */
+#ifndef BITC_INTEROP_MARSHAL_HPP
+#define BITC_INTEROP_MARSHAL_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "repr/codec.hpp"
+#include "support/status.hpp"
+
+namespace bitc::interop {
+
+/**
+ * Decodes every field of @p codec's record from @p wire into
+ * @p fields (in declaration order). @p fields must have exactly one
+ * slot per field.
+ */
+Status unmarshal_record(const repr::RecordCodec& codec,
+                        std::span<const uint8_t> wire,
+                        std::span<int64_t> fields);
+
+/**
+ * Encodes @p fields back into wire format.  Values are masked to
+ * their field widths (the VM already wrapped them; masking here keeps
+ * the function total).
+ */
+Status marshal_record(const repr::RecordCodec& codec,
+                      std::span<const int64_t> fields,
+                      std::span<uint8_t> wire);
+
+}  // namespace bitc::interop
+
+#endif  // BITC_INTEROP_MARSHAL_HPP

@@ -1,0 +1,129 @@
+#include "interop/migration.hpp"
+
+#include "interop/marshal.hpp"
+#include "memory/region_heap.hpp"
+#include "support/stats.hpp"
+
+namespace bitc::interop {
+
+MigrationPipeline::MigrationPipeline(
+    MigrationConfig config, std::unique_ptr<vm::BuiltProgram> built)
+    : config_(config), built_(std::move(built))
+{
+    if (built_ != nullptr) {
+        vm_ = built_->instantiate(config_.vm);
+    }
+}
+
+Result<std::unique_ptr<MigrationPipeline>>
+MigrationPipeline::create(MigrationConfig config)
+{
+    std::unique_ptr<vm::BuiltProgram> built;
+    if (config.migrated_count() > 0) {
+        vm::BuildOptions options;
+        options.compiler.elide_proved_checks = true;
+        BITC_ASSIGN_OR_RETURN(
+            built, vm::build_program(migrated_stage_source(), options));
+    }
+    return std::unique_ptr<MigrationPipeline>(
+        new MigrationPipeline(config, std::move(built)));
+}
+
+Status
+MigrationPipeline::process_packet(std::span<uint8_t> wire,
+                                  MigrationReport& report)
+{
+    int64_t fields[kFieldCount] = {0};
+    bool in_fields = false;  // current representation of the packet
+    bool dropped = false;
+    int64_t bucket = -1;
+
+    size_t stage = 0;
+    while (stage < kStageCount && !dropped) {
+        if (!config_.migrated[stage]) {
+            // Legacy world: needs wire representation.
+            if (in_fields) {
+                BITC_RETURN_IF_ERROR(
+                    marshal_record(packet_codec(), fields, wire));
+                in_fields = false;
+                ++report.boundary_crossings;
+            }
+            switch (stage) {
+              case kValidate:
+                dropped = legacy_validate(wire) == 0;
+                break;
+              case kDecrementTtl:
+                legacy_decrement_ttl(wire);
+                break;
+              case kChecksum:
+                legacy_checksum(wire);
+                break;
+              case kClassify:
+                bucket = legacy_classify(wire);
+                break;
+            }
+            ++stage;
+            continue;
+        }
+
+        // Migrated world: run the maximal contiguous migrated range in
+        // one VM entry.
+        size_t end = stage;
+        while (end < kStageCount && config_.migrated[end]) ++end;
+        if (!in_fields) {
+            BITC_RETURN_IF_ERROR(
+                unmarshal_record(packet_codec(), wire, fields));
+            in_fields = true;
+            ++report.boundary_crossings;
+        }
+        int64_t range[2] = {static_cast<int64_t>(stage),
+                            static_cast<int64_t>(end)};
+        auto result = vm_->call_with_buffer("run-stages", fields, range);
+        if (!result.is_ok()) return result.status();
+        if (result.value() == -1) {
+            dropped = true;
+        } else if (end == kStageCount) {
+            bucket = result.value();
+        }
+        stage = end;
+    }
+
+    if (dropped) {
+        ++report.dropped;
+    } else {
+        report.route_checksum += static_cast<uint64_t>(bucket + 1);
+        uint64_t checksum;
+        if (in_fields) {
+            checksum = static_cast<uint64_t>(fields[kHeaderChecksum]);
+        } else {
+            auto read = packet_codec().read(wire, "header_checksum");
+            BITC_RETURN_IF_ERROR(read.to_status());
+            checksum = read.value();
+        }
+        report.header_checksum_sum += checksum;
+    }
+    ++report.packets;
+    return Status::ok();
+}
+
+Result<MigrationReport>
+MigrationPipeline::run(size_t packet_count, Rng& rng)
+{
+    MigrationReport report;
+    auto* region =
+        vm_ != nullptr
+            ? dynamic_cast<mem::RegionHeap*>(&vm_->heap())
+            : nullptr;
+    uint64_t start = now_ns();
+    std::vector<uint8_t> wire(packet_codec().layout().byte_size());
+    for (size_t i = 0; i < packet_count; ++i) {
+        generate_packet(rng, wire);
+        BITC_RETURN_IF_ERROR(process_packet(wire, report));
+        // The region idiom: per-packet scratch dies wholesale.
+        if (region != nullptr) region->reset_region();
+    }
+    report.elapsed_ms = static_cast<double>(now_ns() - start) / 1e6;
+    return report;
+}
+
+}  // namespace bitc::interop

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The incremental-migration simulator (fallacy F4).
+ *
+ * A four-stage packet pipeline where each stage independently runs as
+ * legacy C++ (on wire bytes) or migrated BitC (on field arrays in the
+ * VM).  Data crosses the representation boundary only on world
+ * transitions; contiguous migrated stages share one VM entry.  The F4
+ * bench sweeps the migrated set from none to all and interleaved, and
+ * the report's checksums let tests assert that every configuration
+ * computes the same results.
+ */
+#ifndef BITC_INTEROP_MIGRATION_HPP
+#define BITC_INTEROP_MIGRATION_HPP
+
+#include <array>
+#include <memory>
+
+#include "interop/packet_stages.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::interop {
+
+/** Which stages are migrated, and how the VM side runs. */
+struct MigrationConfig {
+    std::array<bool, kStageCount> migrated{};  ///< false = legacy C++
+    vm::VmConfig vm;  ///< configuration for migrated stages
+
+    MigrationConfig() {
+        vm.mode = vm::ValueMode::kUnboxed;
+        vm.heap = vm::HeapPolicy::kRegion;
+        vm.heap_words = 1u << 16;
+        vm.stack_slots = 1u << 10;
+    }
+
+    /** Number of migrated stages. */
+    size_t migrated_count() const {
+        size_t n = 0;
+        for (bool m : migrated) n += m ? 1 : 0;
+        return n;
+    }
+};
+
+/** Aggregate results; identical across configurations by construction. */
+struct MigrationReport {
+    uint64_t packets = 0;
+    uint64_t dropped = 0;
+    uint64_t boundary_crossings = 0;   ///< wire <-> fields conversions
+    uint64_t route_checksum = 0;       ///< sum of (bucket+1) of kept pkts
+    uint64_t header_checksum_sum = 0;  ///< sum of final checksum fields
+    double elapsed_ms = 0;
+};
+
+/** A runnable pipeline instance. */
+class MigrationPipeline {
+  public:
+    /** Builds the migrated-stage program once per pipeline. */
+    static Result<std::unique_ptr<MigrationPipeline>> create(
+        MigrationConfig config);
+
+    /** Processes @p packet_count generated packets. */
+    Result<MigrationReport> run(size_t packet_count, Rng& rng);
+
+    const MigrationConfig& config() const { return config_; }
+
+  private:
+    MigrationPipeline(MigrationConfig config,
+                      std::unique_ptr<vm::BuiltProgram> built);
+
+    Status process_packet(std::span<uint8_t> wire,
+                          MigrationReport& report);
+
+    MigrationConfig config_;
+    std::unique_ptr<vm::BuiltProgram> built_;
+    std::unique_ptr<vm::Vm> vm_;
+};
+
+}  // namespace bitc::interop
+
+#endif  // BITC_INTEROP_MIGRATION_HPP

@@ -1,0 +1,179 @@
+#include "interop/packet_stages.hpp"
+
+#include <cassert>
+
+namespace bitc::interop {
+
+const char*
+stage_name(size_t stage)
+{
+    switch (stage) {
+      case kValidate: return "validate";
+      case kDecrementTtl: return "dec-ttl";
+      case kChecksum: return "checksum";
+      case kClassify: return "classify";
+    }
+    return "?";
+}
+
+const repr::RecordCodec&
+packet_codec()
+{
+    static const repr::RecordCodec* codec = [] {
+        auto layout = repr::compute_layout(repr::ipv4_header_spec());
+        assert(layout.is_ok());
+        return new repr::RecordCodec(std::move(layout).take());
+    }();
+    return *codec;
+}
+
+void
+generate_packet(Rng& rng, std::span<uint8_t> wire)
+{
+    const repr::RecordCodec& codec = packet_codec();
+    assert(wire.size() >= codec.layout().byte_size());
+    // ~5% of packets are invalid (bad version or expired TTL) so the
+    // validate stage has real work to do.
+    bool valid = !rng.next_bool(0.05);
+    struct FieldValue {
+        const char* name;
+        uint64_t value;
+    };
+    const FieldValue values[] = {
+        {"version", valid ? 4u : 6u},
+        {"ihl", 5},
+        {"dscp", rng.next_below(64)},
+        {"ecn", rng.next_below(4)},
+        {"total_length", 20 + rng.next_below(1481)},
+        {"identification", rng.next_below(65536)},
+        {"flags", rng.next_bool(0.5) ? 2u : 0u},
+        {"fragment_offset", rng.next_below(8192)},
+        {"ttl", valid ? 1 + rng.next_below(255) : 0},
+        {"protocol", rng.next_bool(0.5) ? 6u : 17u},
+        {"header_checksum", 0},
+        {"src_addr", rng.next() & 0xffffffffu},
+        {"dst_addr", rng.next() & 0xffffffffu},
+    };
+    for (const FieldValue& f : values) {
+        Status s = codec.write(wire, f.name, f.value);
+        assert(s.is_ok());
+        (void)s;
+    }
+}
+
+namespace {
+
+/** 16-bit big-endian word @p i of the header. */
+uint32_t
+wire_word(std::span<const uint8_t> wire, size_t i)
+{
+    return (static_cast<uint32_t>(wire[2 * i]) << 8) | wire[2 * i + 1];
+}
+
+}  // namespace
+
+int64_t
+legacy_validate(std::span<const uint8_t> wire)
+{
+    uint8_t version = wire[0] >> 4;
+    uint8_t ihl = wire[0] & 0xf;
+    uint8_t ttl = wire[8];
+    return (version == 4 && ihl >= 5 && ttl > 0) ? 1 : 0;
+}
+
+void
+legacy_decrement_ttl(std::span<uint8_t> wire)
+{
+    wire[8] = static_cast<uint8_t>(wire[8] - 1);
+}
+
+void
+legacy_checksum(std::span<uint8_t> wire)
+{
+    uint32_t sum = 0;
+    for (size_t i = 0; i < 10; ++i) {
+        if (i == 5) continue;  // checksum field counts as zero
+        sum += wire_word(wire, i);
+    }
+    sum = (sum & 0xffff) + (sum >> 16);
+    sum = (sum & 0xffff) + (sum >> 16);
+    uint16_t checksum = static_cast<uint16_t>(~sum);
+    wire[10] = static_cast<uint8_t>(checksum >> 8);
+    wire[11] = static_cast<uint8_t>(checksum & 0xff);
+}
+
+int64_t
+legacy_classify(std::span<const uint8_t> wire)
+{
+    return wire[16];  // top byte of dst_addr (big-endian)
+}
+
+const std::string&
+migrated_stage_source()
+{
+    static const std::string* source = new std::string(R"bitc(
+(define (validate p : (array int64 13)) : int64
+  (if (and (== (array-ref p 0) 4)
+           (and (>= (array-ref p 1) 5) (> (array-ref p 8) 0)))
+      1 0))
+
+(define (dec-ttl p : (array int64 13)) : int64
+  (array-set! p 8 (- (array-ref p 8) 1))
+  0)
+
+(define (fold16 s : int64) : int64
+  (+ (bitand s 65535) (>> s 16)))
+
+(define (checksum p : (array int64 13)) : int64
+  (let ((s 0))
+    (set! s (+ s (bitor (<< (array-ref p 0) 12)
+              (bitor (<< (array-ref p 1) 8)
+              (bitor (<< (array-ref p 2) 2) (array-ref p 3))))))
+    (set! s (+ s (array-ref p 4)))
+    (set! s (+ s (array-ref p 5)))
+    (set! s (+ s (bitor (<< (array-ref p 6) 13) (array-ref p 7))))
+    (set! s (+ s (bitor (<< (array-ref p 8) 8) (array-ref p 9))))
+    (set! s (+ s (>> (array-ref p 11) 16)))
+    (set! s (+ s (bitand (array-ref p 11) 65535)))
+    (set! s (+ s (>> (array-ref p 12) 16)))
+    (set! s (+ s (bitand (array-ref p 12) 65535)))
+    (set! s (fold16 s))
+    (set! s (fold16 s))
+    (array-set! p 10 (bitand (bitxor s 65535) 65535))
+    0))
+
+(define (classify p : (array int64 13)) : int64
+  (>> (array-ref p 12) 24))
+
+; Runs stages [start, end) in one VM entry; returns -1 when the packet
+; is dropped by validate, otherwise the classify bucket (or 0 when the
+; classify stage is outside the range).
+(define (run-stages p : (array int64 13) start : int64 end : int64)
+    : int64
+  (let ((result 0) (dropped 0) (i start))
+    (while (< i end)
+      (if (and (== i 0) (== dropped 0))
+          (if (== (validate p) 0) (set! dropped 1) (unit))
+          (unit))
+      (if (and (== i 1) (== dropped 0))
+          (begin (dec-ttl p) (unit))
+          (unit))
+      (if (and (== i 2) (== dropped 0))
+          (begin (checksum p) (unit))
+          (unit))
+      (if (and (== i 3) (== dropped 0))
+          (set! result (classify p))
+          (unit))
+      (set! i (+ i 1)))
+    (if (== dropped 1) -1 result)))
+)bitc");
+    return *source;
+}
+
+const char*
+migrated_stage_function(size_t stage)
+{
+    return stage_name(stage);
+}
+
+}  // namespace bitc::interop

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The packet-processing pipeline used by the legacy-migration
+ * experiment (F4): four stages over IPv4-style headers, each available
+ * in two implementations with identical semantics:
+ *
+ *  - a "legacy" C++ function operating directly on wire-format bytes
+ *    (what the installed base looks like), and
+ *  - a BitC source function operating on an unpacked field array
+ *    (what freshly migrated code looks like).
+ *
+ * Stages: validate -> decrement TTL -> recompute checksum -> classify.
+ */
+#ifndef BITC_INTEROP_PACKET_STAGES_HPP
+#define BITC_INTEROP_PACKET_STAGES_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "repr/codec.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::interop {
+
+/** Number of pipeline stages. */
+inline constexpr size_t kStageCount = 4;
+
+/** Stage indices (pipeline order). */
+enum Stage : size_t {
+    kValidate = 0,
+    kDecrementTtl = 1,
+    kChecksum = 2,
+    kClassify = 3,
+};
+
+const char* stage_name(size_t stage);
+
+/** Field indices within the unpacked IPv4 header array. */
+enum Field : size_t {
+    kVersion = 0, kIhl, kDscp, kEcn, kTotalLength, kIdentification,
+    kFlags, kFragmentOffset, kTtl, kProtocol, kHeaderChecksum,
+    kSrcAddr, kDstAddr,
+    kFieldCount,
+};
+
+/** Codec for the experiment's header format (shared by both worlds). */
+const repr::RecordCodec& packet_codec();
+
+/** Fills @p wire with a random valid-ish header. */
+void generate_packet(Rng& rng, std::span<uint8_t> wire);
+
+// --- Legacy (wire-format) implementations -------------------------------
+
+/** validate: version==4, ihl>=5, ttl>0. Returns 1 = keep, 0 = drop. */
+int64_t legacy_validate(std::span<const uint8_t> wire);
+
+/** Decrements TTL in place. */
+void legacy_decrement_ttl(std::span<uint8_t> wire);
+
+/**
+ * Recomputes the header checksum (simplified: 16-bit ones'-complement
+ * sum over the header with the checksum field zeroed).
+ */
+void legacy_checksum(std::span<uint8_t> wire);
+
+/** Returns the route bucket: top byte of the destination address. */
+int64_t legacy_classify(std::span<const uint8_t> wire);
+
+// --- Migrated (BitC) implementations -------------------------------------
+
+/**
+ * BitC source defining stage functions of the same semantics over a
+ * field array:
+ *   (validate p)   -> 0/1
+ *   (dec-ttl p)    -> unit-ish 0
+ *   (checksum p)   -> 0, updates field kHeaderChecksum
+ *   (classify p)   -> route bucket
+ */
+const std::string& migrated_stage_source();
+
+/** Entry-point name of stage @p stage in migrated_stage_source(). */
+const char* migrated_stage_function(size_t stage);
+
+}  // namespace bitc::interop
+
+#endif  // BITC_INTEROP_PACKET_STAGES_HPP

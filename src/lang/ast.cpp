@@ -1,0 +1,233 @@
+#include "lang/ast.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::lang {
+
+const char*
+prim_op_name(PrimOp op)
+{
+    switch (op) {
+      case PrimOp::kAdd: return "+";
+      case PrimOp::kSub: return "-";
+      case PrimOp::kMul: return "*";
+      case PrimOp::kDiv: return "/";
+      case PrimOp::kRem: return "%";
+      case PrimOp::kLt: return "<";
+      case PrimOp::kLe: return "<=";
+      case PrimOp::kGt: return ">";
+      case PrimOp::kGe: return ">=";
+      case PrimOp::kEq: return "==";
+      case PrimOp::kNe: return "!=";
+      case PrimOp::kAnd: return "and";
+      case PrimOp::kOr: return "or";
+      case PrimOp::kNot: return "not";
+      case PrimOp::kBitAnd: return "bitand";
+      case PrimOp::kBitOr: return "bitor";
+      case PrimOp::kBitXor: return "bitxor";
+      case PrimOp::kShl: return "<<";
+      case PrimOp::kShr: return ">>";
+      case PrimOp::kNeg: return "neg";
+    }
+    return "?";
+}
+
+const char*
+expr_kind_name(ExprKind kind)
+{
+    switch (kind) {
+      case ExprKind::kIntLit: return "int";
+      case ExprKind::kBoolLit: return "bool";
+      case ExprKind::kUnitLit: return "unit";
+      case ExprKind::kVar: return "var";
+      case ExprKind::kPrim: return "prim";
+      case ExprKind::kCall: return "call";
+      case ExprKind::kIf: return "if";
+      case ExprKind::kLet: return "let";
+      case ExprKind::kBegin: return "begin";
+      case ExprKind::kWhile: return "while";
+      case ExprKind::kSet: return "set!";
+      case ExprKind::kAssert: return "assert";
+      case ExprKind::kArrayMake: return "array-make";
+      case ExprKind::kArrayRef: return "array-ref";
+      case ExprKind::kArraySet: return "array-set!";
+      case ExprKind::kArrayLen: return "array-len";
+      case ExprKind::kNative: return "native";
+    }
+    return "?";
+}
+
+std::string
+TypeExpr::to_string() const
+{
+    switch (kind) {
+      case Kind::kNamed: return name;
+      case Kind::kArray:
+        return str_format("(array %s %lld)", elem->to_string().c_str(),
+                          static_cast<long long>(array_size));
+      case Kind::kFunc: {
+        std::string out = "(->";
+        for (const TypeExpr* p : params) {
+            out += ' ';
+            out += p->to_string();
+        }
+        out += ' ';
+        out += result->to_string();
+        out += ')';
+        return out;
+      }
+    }
+    return "?";
+}
+
+namespace {
+
+void
+append_exprs(std::string& out, const std::vector<Expr*>& exprs)
+{
+    for (const Expr* e : exprs) {
+        out += ' ';
+        out += e->to_string();
+    }
+}
+
+}  // namespace
+
+std::string
+Expr::to_string() const
+{
+    switch (kind) {
+      case ExprKind::kIntLit: return std::to_string(int_value);
+      case ExprKind::kBoolLit: return bool_value ? "#t" : "#f";
+      case ExprKind::kUnitLit: return "(unit)";
+      case ExprKind::kVar: return name;
+      case ExprKind::kPrim: {
+        std::string out = "(";
+        out += prim_op_name(prim);
+        append_exprs(out, args);
+        out += ')';
+        return out;
+      }
+      case ExprKind::kCall: {
+        std::string out = "(" + name;
+        append_exprs(out, args);
+        out += ')';
+        return out;
+      }
+      case ExprKind::kIf: {
+        std::string out = "(if";
+        append_exprs(out, args);
+        out += ')';
+        return out;
+      }
+      case ExprKind::kLet: {
+        std::string out = "(let (";
+        for (size_t i = 0; i < bindings.size(); ++i) {
+            if (i != 0) out += ' ';
+            out += '(' + bindings[i].name + ' ' +
+                   bindings[i].init->to_string() + ')';
+        }
+        out += ')';
+        append_exprs(out, body);
+        out += ')';
+        return out;
+      }
+      case ExprKind::kBegin: {
+        std::string out = "(begin";
+        append_exprs(out, args);
+        out += ')';
+        return out;
+      }
+      case ExprKind::kWhile: {
+        std::string out = "(while " + args[0]->to_string();
+        for (const Expr* inv : invariants) {
+            out += " (invariant " + inv->to_string() + ")";
+        }
+        append_exprs(out, body);
+        out += ')';
+        return out;
+      }
+      case ExprKind::kSet:
+        return "(set! " + name + " " + args[0]->to_string() + ")";
+      case ExprKind::kAssert:
+        return "(assert " + args[0]->to_string() + ")";
+      case ExprKind::kNative: {
+        std::string out = "(native " + name;
+        append_exprs(out, args);
+        out += ')';
+        return out;
+      }
+      case ExprKind::kArrayMake:
+      case ExprKind::kArrayRef:
+      case ExprKind::kArraySet:
+      case ExprKind::kArrayLen: {
+        std::string out = "(";
+        out += expr_kind_name(kind);
+        append_exprs(out, args);
+        out += ')';
+        return out;
+      }
+    }
+    return "?";
+}
+
+Expr*
+AstArena::make_expr(ExprKind kind, SourceSpan span)
+{
+    exprs_.push_back(std::make_unique<Expr>());
+    Expr* e = exprs_.back().get();
+    e->kind = kind;
+    e->span = span;
+    return e;
+}
+
+TypeExpr*
+AstArena::make_type(TypeExpr::Kind kind, SourceSpan span)
+{
+    types_.push_back(std::make_unique<TypeExpr>());
+    TypeExpr* t = types_.back().get();
+    t->kind = kind;
+    t->span = span;
+    return t;
+}
+
+int
+Program::find_function(const std::string& name) const
+{
+    for (size_t i = 0; i < functions.size(); ++i) {
+        if (functions[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+std::string
+Program::to_string() const
+{
+    std::string out;
+    for (const FunctionDecl& f : functions) {
+        out += "(define (" + f.name;
+        for (const Param& p : f.params) {
+            out += ' ' + p.name;
+            if (p.declared_type != nullptr) {
+                out += " : " + p.declared_type->to_string();
+            }
+        }
+        out += ')';
+        if (f.declared_result != nullptr) {
+            out += " : " + f.declared_result->to_string();
+        }
+        for (const Expr* r : f.requires_clauses) {
+            out += " (require " + r->to_string() + ")";
+        }
+        for (const Expr* e : f.ensures_clauses) {
+            out += " (ensure " + e->to_string() + ")";
+        }
+        for (const Expr* e : f.body) {
+            out += ' ' + e->to_string();
+        }
+        out += ")\n";
+    }
+    return out;
+}
+
+}  // namespace bitc::lang

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Abstract syntax of the BitC-like language.
+ *
+ * The language is deliberately the paper's target fragment: first-order
+ * functions over bit-precise integers, booleans, unit and fixed-size
+ * arrays, with mutation (set!, array-set!), while loops, and contract
+ * clauses (require / ensure / invariant / assert) feeding the verifier.
+ * Surface syntax is S-expressions; see parser.hpp for the grammar.
+ */
+#ifndef BITC_LANG_AST_HPP
+#define BITC_LANG_AST_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace bitc::lang {
+
+/** Built-in operators. */
+enum class PrimOp : uint8_t {
+    kAdd, kSub, kMul, kDiv, kRem,
+    kLt, kLe, kGt, kGe, kEq, kNe,
+    kAnd, kOr, kNot,
+    kBitAnd, kBitOr, kBitXor, kShl, kShr,
+    kNeg,
+};
+
+const char* prim_op_name(PrimOp op);
+
+/** Surface type expression, before checking. */
+struct TypeExpr {
+    enum class Kind : uint8_t { kNamed, kArray, kFunc };
+
+    Kind kind = Kind::kNamed;
+    SourceSpan span;
+    std::string name;                   ///< kNamed: "int32", "uint13"...
+    const TypeExpr* elem = nullptr;     ///< kArray element type.
+    int64_t array_size = 0;             ///< kArray length.
+    std::vector<const TypeExpr*> params;  ///< kFunc parameters.
+    const TypeExpr* result = nullptr;   ///< kFunc result.
+
+    std::string to_string() const;
+};
+
+/** AST node kinds. */
+enum class ExprKind : uint8_t {
+    kIntLit,
+    kBoolLit,
+    kUnitLit,
+    kVar,
+    kPrim,
+    kCall,
+    kIf,
+    kLet,
+    kBegin,
+    kWhile,
+    kSet,
+    kAssert,
+    kArrayMake,
+    kArrayRef,
+    kArraySet,
+    kArrayLen,
+    kNative,  ///< (native name arg...): FFI call through the registry
+};
+
+const char* expr_kind_name(ExprKind kind);
+
+struct Expr;
+
+/** One binding in a let form. */
+struct LetBinding {
+    std::string name;
+    const TypeExpr* declared_type = nullptr;  ///< optional annotation
+    Expr* init = nullptr;
+    int slot = -1;  ///< local slot, filled by the resolver
+};
+
+/**
+ * Expression node.  A single struct with kind-dependent fields keeps
+ * the consumers (checker, verifier, compiler) switch-based and flat,
+ * which is the dominant access pattern.
+ */
+struct Expr {
+    ExprKind kind = ExprKind::kUnitLit;
+    SourceSpan span;
+
+    int64_t int_value = 0;    ///< kIntLit
+    bool bool_value = false;  ///< kBoolLit
+
+    std::string name;  ///< kVar, kSet (target), kCall (callee)
+
+    PrimOp prim = PrimOp::kAdd;  ///< kPrim
+
+    /**
+     * Children, by kind:
+     *  kPrim/kCall: arguments
+     *  kIf: {condition, then, else}
+     *  kBegin: sequence
+     *  kWhile: {condition}, body in `body`
+     *  kSet: {value}
+     *  kAssert: {condition}
+     *  kArrayMake: {length, fill}
+     *  kArrayRef: {array, index}
+     *  kArraySet: {array, index, value}
+     *  kArrayLen: {array}
+     */
+    std::vector<Expr*> args;
+
+    std::vector<LetBinding> bindings;  ///< kLet
+    std::vector<Expr*> body;           ///< kLet, kWhile
+    std::vector<Expr*> invariants;     ///< kWhile loop invariants
+
+    // --- Resolver annotations -----------------------------------------
+    int local_slot = -1;     ///< kVar/kSet: slot of the local/param.
+    int callee_index = -1;   ///< kCall: index into Program::functions.
+
+    /** S-expression rendering (post-parse canonical form). */
+    std::string to_string() const;
+};
+
+/** Formal parameter of a function. */
+struct Param {
+    std::string name;
+    const TypeExpr* declared_type = nullptr;  ///< optional annotation
+    SourceSpan span;
+    int slot = -1;  ///< filled by the resolver (== parameter index)
+};
+
+/** Top-level function definition. */
+struct FunctionDecl {
+    std::string name;
+    SourceSpan span;
+    std::vector<Param> params;
+    const TypeExpr* declared_result = nullptr;  ///< optional annotation
+    std::vector<Expr*> requires_clauses;  ///< preconditions
+    std::vector<Expr*> ensures_clauses;   ///< postconditions ('result')
+    std::vector<Expr*> body;              ///< implicit begin
+
+    int num_locals = -1;  ///< total slots after resolution
+};
+
+/** Owns every AST node of one compilation unit. */
+class AstArena {
+  public:
+    Expr* make_expr(ExprKind kind, SourceSpan span);
+    TypeExpr* make_type(TypeExpr::Kind kind, SourceSpan span);
+
+  private:
+    std::vector<std::unique_ptr<Expr>> exprs_;
+    std::vector<std::unique_ptr<TypeExpr>> types_;
+};
+
+/** A parsed compilation unit. */
+struct Program {
+    std::shared_ptr<AstArena> arena;  ///< keeps nodes alive
+    std::vector<FunctionDecl> functions;
+
+    /** Index of function @p name, or -1. */
+    int find_function(const std::string& name) const;
+
+    std::string to_string() const;
+};
+
+/** The name the ensure clause uses for the function's return value. */
+inline constexpr const char* kResultName = "result";
+
+}  // namespace bitc::lang
+
+#endif  // BITC_LANG_AST_HPP

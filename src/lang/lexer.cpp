@@ -1,0 +1,197 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/string_util.hpp"
+
+namespace bitc::lang {
+
+const char*
+token_kind_name(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::kLParen: return "(";
+      case TokenKind::kRParen: return ")";
+      case TokenKind::kSymbol: return "symbol";
+      case TokenKind::kInt: return "int";
+      case TokenKind::kBool: return "bool";
+      case TokenKind::kColon: return ":";
+      case TokenKind::kEof: return "eof";
+    }
+    return "?";
+}
+
+std::string
+Token::to_string() const
+{
+    switch (kind) {
+      case TokenKind::kSymbol: return text;
+      case TokenKind::kInt: return std::to_string(int_value);
+      case TokenKind::kBool: return int_value != 0 ? "#t" : "#f";
+      default: return token_kind_name(kind);
+    }
+}
+
+namespace {
+
+/** Cursor over the source with line/column tracking. */
+class Cursor {
+  public:
+    explicit Cursor(std::string_view source) : source_(source) {}
+
+    bool at_end() const { return pos_ >= source_.size(); }
+    char peek() const { return at_end() ? '\0' : source_[pos_]; }
+
+    char advance() {
+        char c = source_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    SourceLoc loc() const { return {line_, column_}; }
+
+  private:
+    std::string_view source_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t column_ = 1;
+};
+
+bool
+is_symbol_char(char c)
+{
+    // Scheme-ish: anything printable that is not structural.
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+           std::strchr("+-*/%<>=!?_&|^~.@'", c) != nullptr;
+}
+
+}  // namespace
+
+std::vector<Token>
+lex(std::string_view source, DiagnosticEngine& diags)
+{
+    std::vector<Token> tokens;
+    Cursor cursor(source);
+
+    while (!cursor.at_end()) {
+        SourceLoc begin = cursor.loc();
+        char c = cursor.peek();
+
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            cursor.advance();
+            continue;
+        }
+        if (c == ';') {  // comment to end of line
+            while (!cursor.at_end() && cursor.peek() != '\n') {
+                cursor.advance();
+            }
+            continue;
+        }
+        if (c == '(') {
+            cursor.advance();
+            tokens.push_back(
+                {TokenKind::kLParen, {begin, cursor.loc()}, "", 0});
+            continue;
+        }
+        if (c == ')') {
+            cursor.advance();
+            tokens.push_back(
+                {TokenKind::kRParen, {begin, cursor.loc()}, "", 0});
+            continue;
+        }
+        if (c == ':') {
+            cursor.advance();
+            tokens.push_back(
+                {TokenKind::kColon, {begin, cursor.loc()}, "", 0});
+            continue;
+        }
+        if (c == '#') {
+            cursor.advance();
+            char tag = cursor.peek();
+            if (tag == 't' || tag == 'f') {
+                cursor.advance();
+                tokens.push_back({TokenKind::kBool,
+                                  {begin, cursor.loc()},
+                                  "",
+                                  tag == 't' ? 1 : 0});
+            } else {
+                diags.error({begin, cursor.loc()},
+                            "expected #t or #f after '#'");
+            }
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            std::string digits;
+            bool hex = false;
+            digits += cursor.advance();
+            if (digits == "0" && (cursor.peek() == 'x')) {
+                hex = true;
+                cursor.advance();
+                digits.clear();
+            }
+            while (!cursor.at_end() &&
+                   (std::isalnum(static_cast<unsigned char>(
+                        cursor.peek())) != 0)) {
+                digits += cursor.advance();
+            }
+            errno = 0;
+            char* end = nullptr;
+            unsigned long long value =
+                std::strtoull(digits.c_str(), &end, hex ? 16 : 10);
+            if (end == nullptr || *end != '\0') {
+                diags.error({begin, cursor.loc()},
+                            str_format("bad integer literal '%s'",
+                                       digits.c_str()));
+                continue;
+            }
+            tokens.push_back({TokenKind::kInt,
+                              {begin, cursor.loc()},
+                              "",
+                              static_cast<int64_t>(value)});
+            continue;
+        }
+
+        if (is_symbol_char(c)) {
+            std::string text;
+            text += cursor.advance();
+            while (!cursor.at_end() && is_symbol_char(cursor.peek())) {
+                text += cursor.advance();
+            }
+            // "-123" lexes as a symbol start; reinterpret as a literal.
+            if (text.size() > 1 && text[0] == '-' &&
+                std::isdigit(static_cast<unsigned char>(text[1])) != 0) {
+                errno = 0;
+                char* end = nullptr;
+                long long value = std::strtoll(text.c_str(), &end, 10);
+                if (end != nullptr && *end == '\0') {
+                    tokens.push_back({TokenKind::kInt,
+                                      {begin, cursor.loc()},
+                                      "",
+                                      value});
+                    continue;
+                }
+            }
+            tokens.push_back(
+                {TokenKind::kSymbol, {begin, cursor.loc()}, text, 0});
+            continue;
+        }
+
+        diags.error({begin, cursor.loc()},
+                    str_format("unexpected character '%c'", c));
+        cursor.advance();
+    }
+
+    tokens.push_back({TokenKind::kEof, {cursor.loc(), cursor.loc()}, "", 0});
+    return tokens;
+}
+
+}  // namespace bitc::lang

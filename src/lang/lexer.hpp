@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Lexer for the BitC-like surface syntax.
+ */
+#ifndef BITC_LANG_LEXER_HPP
+#define BITC_LANG_LEXER_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace bitc::lang {
+
+/**
+ * Tokenises @p source.  Lexical errors are reported to @p diags; the
+ * returned stream always ends with a kEof token and is usable (error
+ * characters are skipped) even when errors occurred.
+ */
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace bitc::lang
+
+#endif  // BITC_LANG_LEXER_HPP

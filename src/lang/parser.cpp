@@ -1,0 +1,444 @@
+#include "lang/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+
+#include "lang/lexer.hpp"
+#include "lang/sexpr.hpp"
+#include "support/string_util.hpp"
+
+namespace bitc::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, PrimOp>&
+prim_table()
+{
+    static const auto* table =
+        new std::unordered_map<std::string_view, PrimOp>{
+            {"+", PrimOp::kAdd},     {"-", PrimOp::kSub},
+            {"*", PrimOp::kMul},     {"/", PrimOp::kDiv},
+            {"%", PrimOp::kRem},     {"<", PrimOp::kLt},
+            {"<=", PrimOp::kLe},     {">", PrimOp::kGt},
+            {">=", PrimOp::kGe},     {"==", PrimOp::kEq},
+            {"!=", PrimOp::kNe},     {"and", PrimOp::kAnd},
+            {"or", PrimOp::kOr},     {"not", PrimOp::kNot},
+            {"bitand", PrimOp::kBitAnd}, {"bitor", PrimOp::kBitOr},
+            {"bitxor", PrimOp::kBitXor}, {"<<", PrimOp::kShl},
+            {">>", PrimOp::kShr},    {"neg", PrimOp::kNeg},
+        };
+    return *table;
+}
+
+/** Expected operand count per operator; 0 means "1 or 2" (minus). */
+int
+prim_arity(PrimOp op)
+{
+    switch (op) {
+      case PrimOp::kNot:
+      case PrimOp::kNeg:
+        return 1;
+      case PrimOp::kSub:
+        return 0;  // unary negation or binary subtraction
+      default:
+        return 2;
+    }
+}
+
+class Parser {
+  public:
+    Parser(AstArena& arena, DiagnosticEngine& diags)
+        : arena_(arena), diags_(diags) {}
+
+    void parse_top_level(const SExpr* form, Program& program) {
+        if (form->head() != "define") {
+            diags_.error(form->span,
+                         "expected (define ...) at top level");
+            return;
+        }
+        if (form->size() < 3 || !form->at(1)->is_list()) {
+            diags_.error(form->span,
+                         "define needs a (name params...) header and a "
+                         "body");
+            return;
+        }
+        FunctionDecl decl;
+        decl.span = form->span;
+        const SExpr* header = form->at(1);
+        if (header->size() == 0 ||
+            header->at(0)->kind != SExprKind::kSymbol) {
+            diags_.error(header->span, "function name must be a symbol");
+            return;
+        }
+        decl.name = header->at(0)->symbol;
+        parse_params(header, decl);
+
+        size_t pos = 2;
+        // Optional ": type" return annotation.
+        if (pos + 1 < form->size() && form->at(pos)->is_symbol(":")) {
+            decl.declared_result = parse_type(form->at(pos + 1));
+            pos += 2;
+        }
+        // Contract clauses, then body expressions.
+        for (; pos < form->size(); ++pos) {
+            const SExpr* item = form->at(pos);
+            if (item->head() == "require") {
+                if (item->size() != 2) {
+                    diags_.error(item->span, "require takes one expression");
+                    continue;
+                }
+                decl.requires_clauses.push_back(parse_expr(item->at(1)));
+            } else if (item->head() == "ensure") {
+                if (item->size() != 2) {
+                    diags_.error(item->span, "ensure takes one expression");
+                    continue;
+                }
+                decl.ensures_clauses.push_back(parse_expr(item->at(1)));
+            } else {
+                decl.body.push_back(parse_expr(item));
+            }
+        }
+        if (decl.body.empty()) {
+            diags_.error(form->span, str_format(
+                "function '%s' has an empty body", decl.name.c_str()));
+            return;
+        }
+        program.functions.push_back(std::move(decl));
+    }
+
+    Expr* parse_expr(const SExpr* form) {
+        switch (form->kind) {
+          case SExprKind::kInt: {
+            Expr* e = arena_.make_expr(ExprKind::kIntLit, form->span);
+            e->int_value = form->int_value;
+            return e;
+          }
+          case SExprKind::kBool: {
+            Expr* e = arena_.make_expr(ExprKind::kBoolLit, form->span);
+            e->bool_value = form->int_value != 0;
+            return e;
+          }
+          case SExprKind::kSymbol: {
+            Expr* e = arena_.make_expr(ExprKind::kVar, form->span);
+            e->name = form->symbol;
+            return e;
+          }
+          case SExprKind::kList:
+            return parse_list(form);
+        }
+        return error_expr(form->span, "unparseable expression");
+    }
+
+    const TypeExpr* parse_type(const SExpr* form) {
+        if (form->kind == SExprKind::kSymbol) {
+            std::string_view name = form->symbol;
+            if (named_type_is_valid(name)) {
+                TypeExpr* t =
+                    arena_.make_type(TypeExpr::Kind::kNamed, form->span);
+                t->name = name;
+                return t;
+            }
+            diags_.error(form->span,
+                         str_format("unknown type '%s'",
+                                    std::string(name).c_str()));
+            return fallback_type(form->span);
+        }
+        if (form->is_list() && form->head() == "array") {
+            if (form->size() != 3 ||
+                form->at(2)->kind != SExprKind::kInt) {
+                diags_.error(form->span,
+                             "array type is (array elem-type length)");
+                return fallback_type(form->span);
+            }
+            TypeExpr* t =
+                arena_.make_type(TypeExpr::Kind::kArray, form->span);
+            t->elem = parse_type(form->at(1));
+            t->array_size = form->at(2)->int_value;
+            if (t->array_size < 0) {
+                diags_.error(form->span, "array length must be >= 0");
+            }
+            return t;
+        }
+        diags_.error(form->span, "unparseable type");
+        return fallback_type(form->span);
+    }
+
+  private:
+    Expr* error_expr(SourceSpan span, std::string message) {
+        diags_.error(span, std::move(message));
+        return arena_.make_expr(ExprKind::kUnitLit, span);
+    }
+
+    TypeExpr* fallback_type(SourceSpan span) {
+        TypeExpr* t = arena_.make_type(TypeExpr::Kind::kNamed, span);
+        t->name = "int64";
+        return t;
+    }
+
+    static bool named_type_is_valid(std::string_view name) {
+        if (name == "bool" || name == "unit") return true;
+        std::string_view digits;
+        if (starts_with(name, "uint")) {
+            digits = name.substr(4);
+        } else if (starts_with(name, "int")) {
+            digits = name.substr(3);
+        } else {
+            return false;
+        }
+        if (digits.empty() || digits.size() > 2) return false;
+        int width = 0;
+        for (char c : digits) {
+            if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+                return false;
+            }
+            width = width * 10 + (c - '0');
+        }
+        return width >= 1 && width <= 64;
+    }
+
+    void parse_params(const SExpr* header, FunctionDecl& decl) {
+        size_t i = 1;
+        while (i < header->size()) {
+            const SExpr* p = header->at(i);
+            if (p->kind != SExprKind::kSymbol || p->symbol == ":") {
+                diags_.error(p->span, "expected parameter name");
+                ++i;
+                continue;
+            }
+            Param param;
+            param.name = p->symbol;
+            param.span = p->span;
+            if (i + 2 < header->size() + 1 && i + 1 < header->size() &&
+                header->at(i + 1)->is_symbol(":")) {
+                if (i + 2 >= header->size()) {
+                    diags_.error(p->span, "missing type after ':'");
+                    ++i;
+                } else {
+                    param.declared_type = parse_type(header->at(i + 2));
+                    i += 3;
+                }
+            } else {
+                ++i;
+            }
+            decl.params.push_back(std::move(param));
+        }
+    }
+
+    Expr* parse_list(const SExpr* form) {
+        if (form->size() == 0) {
+            return error_expr(form->span, "empty application ()");
+        }
+        std::string_view head = form->head();
+
+        if (head == "if") return parse_if(form);
+        if (head == "let") return parse_let(form);
+        if (head == "begin") return parse_begin(form);
+        if (head == "while") return parse_while(form);
+        if (head == "set!") return parse_set(form);
+        if (head == "assert") return parse_simple(form, ExprKind::kAssert, 1);
+        if (head == "unit") {
+            if (form->size() != 1) {
+                return error_expr(form->span, "(unit) takes no arguments");
+            }
+            return arena_.make_expr(ExprKind::kUnitLit, form->span);
+        }
+        if (head == "array-make") {
+            return parse_simple(form, ExprKind::kArrayMake, 2);
+        }
+        if (head == "array-ref") {
+            return parse_simple(form, ExprKind::kArrayRef, 2);
+        }
+        if (head == "array-set!") {
+            return parse_simple(form, ExprKind::kArraySet, 3);
+        }
+        if (head == "array-len") {
+            return parse_simple(form, ExprKind::kArrayLen, 1);
+        }
+        if (head == "native") {
+            if (form->size() < 2 ||
+                form->at(1)->kind != SExprKind::kSymbol) {
+                return error_expr(form->span,
+                                  "native is (native name arg...)");
+            }
+            Expr* e = arena_.make_expr(ExprKind::kNative, form->span);
+            e->name = form->at(1)->symbol;
+            for (size_t i = 2; i < form->size(); ++i) {
+                e->args.push_back(parse_expr(form->at(i)));
+            }
+            return e;
+        }
+
+        auto prim = prim_table().find(head);
+        if (prim != prim_table().end()) return parse_prim(form, prim->second);
+
+        // Otherwise: a call. The callee must be a symbol.
+        if (form->at(0)->kind != SExprKind::kSymbol) {
+            return error_expr(form->span,
+                              "callee must be a function name");
+        }
+        Expr* e = arena_.make_expr(ExprKind::kCall, form->span);
+        e->name = form->at(0)->symbol;
+        for (size_t i = 1; i < form->size(); ++i) {
+            e->args.push_back(parse_expr(form->at(i)));
+        }
+        return e;
+    }
+
+    Expr* parse_prim(const SExpr* form, PrimOp op) {
+        size_t argc = form->size() - 1;
+        int arity = prim_arity(op);
+        if (arity == 0) {  // minus: unary or binary
+            if (argc != 1 && argc != 2) {
+                return error_expr(form->span, "'-' takes 1 or 2 operands");
+            }
+            if (argc == 1) op = PrimOp::kNeg;
+        } else if (argc != static_cast<size_t>(arity)) {
+            return error_expr(
+                form->span,
+                str_format("'%s' takes %d operand(s), got %zu",
+                           prim_op_name(op), arity, argc));
+        }
+        Expr* e = arena_.make_expr(ExprKind::kPrim, form->span);
+        e->prim = op;
+        for (size_t i = 1; i < form->size(); ++i) {
+            e->args.push_back(parse_expr(form->at(i)));
+        }
+        return e;
+    }
+
+    Expr* parse_simple(const SExpr* form, ExprKind kind, size_t argc) {
+        if (form->size() != argc + 1) {
+            return error_expr(
+                form->span,
+                str_format("'%s' takes %zu argument(s)",
+                           expr_kind_name(kind), argc));
+        }
+        Expr* e = arena_.make_expr(kind, form->span);
+        for (size_t i = 1; i < form->size(); ++i) {
+            e->args.push_back(parse_expr(form->at(i)));
+        }
+        return e;
+    }
+
+    Expr* parse_if(const SExpr* form) {
+        if (form->size() != 3 && form->size() != 4) {
+            return error_expr(form->span,
+                              "if is (if cond then [else])");
+        }
+        Expr* e = arena_.make_expr(ExprKind::kIf, form->span);
+        e->args.push_back(parse_expr(form->at(1)));
+        e->args.push_back(parse_expr(form->at(2)));
+        if (form->size() == 4) {
+            e->args.push_back(parse_expr(form->at(3)));
+        } else {
+            e->args.push_back(
+                arena_.make_expr(ExprKind::kUnitLit, form->span));
+        }
+        return e;
+    }
+
+    Expr* parse_let(const SExpr* form) {
+        if (form->size() < 3 || !form->at(1)->is_list()) {
+            return error_expr(form->span,
+                              "let is (let ((name expr)...) body...)");
+        }
+        Expr* e = arena_.make_expr(ExprKind::kLet, form->span);
+        for (const SExpr* binding : form->at(1)->items) {
+            if (!binding->is_list() || binding->size() < 2 ||
+                binding->at(0)->kind != SExprKind::kSymbol) {
+                diags_.error(binding->span,
+                             "binding is (name [: type] expr)");
+                continue;
+            }
+            LetBinding b;
+            b.name = binding->at(0)->symbol;
+            if (binding->size() == 4 && binding->at(1)->is_symbol(":")) {
+                b.declared_type = parse_type(binding->at(2));
+                b.init = parse_expr(binding->at(3));
+            } else if (binding->size() == 2) {
+                b.init = parse_expr(binding->at(1));
+            } else {
+                diags_.error(binding->span,
+                             "binding is (name [: type] expr)");
+                continue;
+            }
+            e->bindings.push_back(std::move(b));
+        }
+        for (size_t i = 2; i < form->size(); ++i) {
+            e->body.push_back(parse_expr(form->at(i)));
+        }
+        return e;
+    }
+
+    Expr* parse_begin(const SExpr* form) {
+        if (form->size() < 2) {
+            return error_expr(form->span, "begin needs a body");
+        }
+        Expr* e = arena_.make_expr(ExprKind::kBegin, form->span);
+        for (size_t i = 1; i < form->size(); ++i) {
+            e->args.push_back(parse_expr(form->at(i)));
+        }
+        return e;
+    }
+
+    Expr* parse_while(const SExpr* form) {
+        if (form->size() < 2) {
+            return error_expr(form->span,
+                              "while is (while cond body...)");
+        }
+        Expr* e = arena_.make_expr(ExprKind::kWhile, form->span);
+        e->args.push_back(parse_expr(form->at(1)));
+        for (size_t i = 2; i < form->size(); ++i) {
+            const SExpr* item = form->at(i);
+            if (item->head() == "invariant") {
+                if (item->size() != 2) {
+                    diags_.error(item->span,
+                                 "invariant takes one expression");
+                    continue;
+                }
+                e->invariants.push_back(parse_expr(item->at(1)));
+            } else {
+                e->body.push_back(parse_expr(item));
+            }
+        }
+        return e;
+    }
+
+    Expr* parse_set(const SExpr* form) {
+        if (form->size() != 3 ||
+            form->at(1)->kind != SExprKind::kSymbol) {
+            return error_expr(form->span, "set! is (set! name expr)");
+        }
+        Expr* e = arena_.make_expr(ExprKind::kSet, form->span);
+        e->name = form->at(1)->symbol;
+        e->args.push_back(parse_expr(form->at(2)));
+        return e;
+    }
+
+    AstArena& arena_;
+    DiagnosticEngine& diags_;
+};
+
+}  // namespace
+
+Result<Program>
+parse_program(std::string_view source, DiagnosticEngine& diags)
+{
+    std::vector<Token> tokens = lex(source, diags);
+    SExprPool pool;
+    std::vector<const SExpr*> forms = read_sexprs(tokens, pool, diags);
+
+    Program program;
+    program.arena = std::make_shared<AstArena>();
+    Parser parser(*program.arena, diags);
+    for (const SExpr* form : forms) {
+        parser.parse_top_level(form, program);
+    }
+    if (diags.has_errors()) {
+        return parse_error(diags.first_error());
+    }
+    return program;
+}
+
+}  // namespace bitc::lang

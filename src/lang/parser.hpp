@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Parser: S-expressions -> AST.
+ *
+ * Grammar (S-expression shaped):
+ *
+ *   program   := define*
+ *   define    := (define (NAME param*) [":" type] clause* expr+)
+ *   param     := NAME | NAME ":" type
+ *   clause    := (require expr) | (ensure expr)
+ *   type      := int8..int64 | uintN | intN | bool | unit
+ *              | (array type INT)
+ *   expr      := INT | #t | #f | NAME
+ *              | (PRIM expr*)                    ; + - * / % < <= ...
+ *              | (NAME expr*)                    ; call
+ *              | (if expr expr [expr])
+ *              | (let ((NAME [":" type] expr)*) expr+)
+ *              | (begin expr+)
+ *              | (while expr (invariant expr)* expr*)
+ *              | (set! NAME expr)
+ *              | (assert expr)
+ *              | (array-make expr expr)
+ *              | (array-ref expr expr)
+ *              | (array-set! expr expr expr)
+ *              | (array-len expr)
+ *              | (unit)
+ */
+#ifndef BITC_LANG_PARSER_HPP
+#define BITC_LANG_PARSER_HPP
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+#include "support/status.hpp"
+
+namespace bitc::lang {
+
+/**
+ * Parses @p source into a Program.  All lexical/syntactic problems go
+ * to @p diags; the returned Result is an error iff diags has errors.
+ */
+Result<Program> parse_program(std::string_view source,
+                              DiagnosticEngine& diags);
+
+}  // namespace bitc::lang
+
+#endif  // BITC_LANG_PARSER_HPP

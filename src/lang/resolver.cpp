@@ -1,0 +1,190 @@
+#include "lang/resolver.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "support/string_util.hpp"
+
+namespace bitc::lang {
+
+namespace {
+
+/** Lexical scope stack mapping names to slots. */
+class Scopes {
+  public:
+    void push() { frames_.emplace_back(); }
+    void pop() { frames_.pop_back(); }
+
+    void bind(const std::string& name, int slot) {
+        frames_.back()[name] = slot;
+    }
+
+    /** Innermost binding, or -1. */
+    int lookup(const std::string& name) const {
+        for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end()) return found->second;
+        }
+        return -1;
+    }
+
+    bool bound_in_current(const std::string& name) const {
+        return frames_.back().contains(name);
+    }
+
+  private:
+    std::vector<std::unordered_map<std::string, int>> frames_;
+};
+
+class Resolver {
+  public:
+    Resolver(Program& program, DiagnosticEngine& diags)
+        : program_(program), diags_(diags) {}
+
+    void run() {
+        // Pass 1: collect function names (forward references allowed).
+        for (size_t i = 0; i < program_.functions.size(); ++i) {
+            const std::string& name = program_.functions[i].name;
+            if (function_index_.contains(name)) {
+                diags_.error(program_.functions[i].span,
+                             str_format("duplicate function '%s'",
+                                        name.c_str()));
+                continue;
+            }
+            function_index_[name] = static_cast<int>(i);
+        }
+        // Pass 2: resolve each body.
+        for (FunctionDecl& f : program_.functions) resolve_function(f);
+    }
+
+  private:
+    void resolve_function(FunctionDecl& f) {
+        next_slot_ = 0;
+        scopes_ = Scopes();
+        scopes_.push();
+        for (Param& p : f.params) {
+            if (scopes_.bound_in_current(p.name)) {
+                diags_.error(p.span,
+                             str_format("duplicate parameter '%s'",
+                                        p.name.c_str()));
+                continue;
+            }
+            p.slot = next_slot_++;
+            scopes_.bind(p.name, p.slot);
+        }
+        for (Expr* r : f.requires_clauses) resolve_expr(r);
+        // 'result' is visible only inside ensure clauses.
+        scopes_.push();
+        scopes_.bind(kResultName, kResultSlot);
+        for (Expr* e : f.ensures_clauses) resolve_expr(e);
+        scopes_.pop();
+        for (Expr* e : f.body) resolve_expr(e);
+        scopes_.pop();
+        f.num_locals = next_slot_;
+    }
+
+    void resolve_expr(Expr* e) {
+        switch (e->kind) {
+          case ExprKind::kIntLit:
+          case ExprKind::kBoolLit:
+          case ExprKind::kUnitLit:
+            return;
+          case ExprKind::kVar: {
+            int slot = scopes_.lookup(e->name);
+            if (slot == -1) {
+                // A bare function name is not a value in this language.
+                if (function_index_.contains(e->name)) {
+                    diags_.error(
+                        e->span,
+                        str_format("function '%s' used as a value "
+                                   "(first-class functions are not "
+                                   "supported)",
+                                   e->name.c_str()));
+                } else {
+                    diags_.error(e->span,
+                                 str_format("unbound identifier '%s'",
+                                            e->name.c_str()));
+                }
+                return;
+            }
+            e->local_slot = slot;
+            return;
+          }
+          case ExprKind::kSet: {
+            int slot = scopes_.lookup(e->name);
+            if (slot == -1) {
+                diags_.error(e->span,
+                             str_format("set! of unbound identifier '%s'",
+                                        e->name.c_str()));
+            } else if (slot == kResultSlot) {
+                diags_.error(e->span, "'result' is read-only");
+            } else {
+                e->local_slot = slot;
+            }
+            resolve_expr(e->args[0]);
+            return;
+          }
+          case ExprKind::kCall: {
+            auto it = function_index_.find(e->name);
+            if (it == function_index_.end()) {
+                diags_.error(e->span,
+                             str_format("call to unknown function '%s'",
+                                        e->name.c_str()));
+            } else {
+                e->callee_index = it->second;
+                const FunctionDecl& callee =
+                    program_.functions[it->second];
+                if (callee.params.size() != e->args.size()) {
+                    diags_.error(
+                        e->span,
+                        str_format("'%s' takes %zu argument(s), got %zu",
+                                   e->name.c_str(), callee.params.size(),
+                                   e->args.size()));
+                }
+            }
+            for (Expr* a : e->args) resolve_expr(a);
+            return;
+          }
+          case ExprKind::kLet: {
+            scopes_.push();
+            for (LetBinding& b : e->bindings) {
+                // Init is resolved in the outer scope (no recursion).
+                resolve_expr(b.init);
+                b.slot = next_slot_++;
+                scopes_.bind(b.name, b.slot);
+            }
+            for (Expr* item : e->body) resolve_expr(item);
+            scopes_.pop();
+            return;
+          }
+          case ExprKind::kWhile:
+            resolve_expr(e->args[0]);
+            for (Expr* inv : e->invariants) resolve_expr(inv);
+            for (Expr* item : e->body) resolve_expr(item);
+            return;
+          default:
+            for (Expr* a : e->args) resolve_expr(a);
+            return;
+        }
+    }
+
+    Program& program_;
+    DiagnosticEngine& diags_;
+    std::unordered_map<std::string, int> function_index_;
+    Scopes scopes_;
+    int next_slot_ = 0;
+};
+
+}  // namespace
+
+Status
+resolve_program(Program& program, DiagnosticEngine& diags)
+{
+    Resolver(program, diags).run();
+    if (diags.has_errors()) {
+        return parse_error(diags.first_error());
+    }
+    return Status::ok();
+}
+
+}  // namespace bitc::lang

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Name resolution: binds variable uses to local slots and calls to
+ * function indices, assigns let-binding slots, and rejects unbound or
+ * duplicate names.  Runs between parsing and type checking.
+ */
+#ifndef BITC_LANG_RESOLVER_HPP
+#define BITC_LANG_RESOLVER_HPP
+
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+#include "support/status.hpp"
+
+namespace bitc::lang {
+
+/** Sentinel slot for the 'result' pseudo-variable in ensure clauses. */
+inline constexpr int kResultSlot = -2;
+
+/**
+ * Resolves @p program in place.  On success every kVar/kSet has a
+ * local_slot, every kCall a callee_index, and every FunctionDecl a
+ * num_locals.  Diagnostics go to @p diags; returns an error Status iff
+ * any were errors.
+ */
+Status resolve_program(Program& program, DiagnosticEngine& diags);
+
+}  // namespace bitc::lang
+
+#endif  // BITC_LANG_RESOLVER_HPP

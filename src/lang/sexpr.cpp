@@ -1,0 +1,145 @@
+#include "lang/sexpr.hpp"
+
+namespace bitc::lang {
+
+std::string
+SExpr::to_string() const
+{
+    switch (kind) {
+      case SExprKind::kSymbol: return std::string(symbol);
+      case SExprKind::kInt: return std::to_string(int_value);
+      case SExprKind::kBool: return int_value != 0 ? "#t" : "#f";
+      case SExprKind::kList: {
+        std::string out = "(";
+        for (size_t i = 0; i < items.size(); ++i) {
+            if (i != 0) out += ' ';
+            out += items[i]->to_string();
+        }
+        out += ')';
+        return out;
+      }
+    }
+    return "?";
+}
+
+SExpr*
+SExprPool::make_symbol(SourceSpan span, std::string_view text)
+{
+    strings_.push_back(std::make_unique<std::string>(text));
+    nodes_.push_back(std::make_unique<SExpr>());
+    SExpr* node = nodes_.back().get();
+    node->kind = SExprKind::kSymbol;
+    node->span = span;
+    node->symbol = *strings_.back();
+    return node;
+}
+
+SExpr*
+SExprPool::make_int(SourceSpan span, int64_t value)
+{
+    nodes_.push_back(std::make_unique<SExpr>());
+    SExpr* node = nodes_.back().get();
+    node->kind = SExprKind::kInt;
+    node->span = span;
+    node->int_value = value;
+    return node;
+}
+
+SExpr*
+SExprPool::make_bool(SourceSpan span, bool value)
+{
+    nodes_.push_back(std::make_unique<SExpr>());
+    SExpr* node = nodes_.back().get();
+    node->kind = SExprKind::kBool;
+    node->span = span;
+    node->int_value = value ? 1 : 0;
+    return node;
+}
+
+SExpr*
+SExprPool::make_list(SourceSpan span)
+{
+    nodes_.push_back(std::make_unique<SExpr>());
+    SExpr* node = nodes_.back().get();
+    node->kind = SExprKind::kList;
+    node->span = span;
+    return node;
+}
+
+namespace {
+
+class Reader {
+  public:
+    Reader(const std::vector<Token>& tokens, SExprPool& pool,
+           DiagnosticEngine& diags)
+        : tokens_(tokens), pool_(pool), diags_(diags) {}
+
+    std::vector<const SExpr*> read_all() {
+        std::vector<const SExpr*> out;
+        while (peek().kind != TokenKind::kEof) {
+            const SExpr* e = read_one();
+            if (e != nullptr) out.push_back(e);
+        }
+        return out;
+    }
+
+  private:
+    const Token& peek() const { return tokens_[pos_]; }
+    const Token& advance() { return tokens_[pos_++]; }
+
+    const SExpr* read_one() {
+        const Token& token = advance();
+        switch (token.kind) {
+          case TokenKind::kSymbol:
+            return pool_.make_symbol(token.span, token.text);
+          case TokenKind::kInt:
+            return pool_.make_int(token.span, token.int_value);
+          case TokenKind::kBool:
+            return pool_.make_bool(token.span, token.int_value != 0);
+          case TokenKind::kColon:
+            // The parser treats ':' as an infix marker inside lists;
+            // surface it as the symbol ":".
+            return pool_.make_symbol(token.span, ":");
+          case TokenKind::kLParen: {
+            SExpr* list = pool_.make_list(token.span);
+            while (true) {
+                if (peek().kind == TokenKind::kEof) {
+                    diags_.error(token.span, "unclosed '('");
+                    break;
+                }
+                if (peek().kind == TokenKind::kRParen) {
+                    const Token& close = advance();
+                    list->span =
+                        SourceSpan::join(token.span, close.span);
+                    break;
+                }
+                const SExpr* item = read_one();
+                if (item != nullptr) list->items.push_back(item);
+            }
+            return list;
+          }
+          case TokenKind::kRParen:
+            diags_.error(token.span, "unmatched ')'");
+            return nullptr;
+          case TokenKind::kEof:
+            return nullptr;
+        }
+        return nullptr;
+    }
+
+    const std::vector<Token>& tokens_;
+    SExprPool& pool_;
+    DiagnosticEngine& diags_;
+    size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<const SExpr*>
+read_sexprs(const std::vector<Token>& tokens, SExprPool& pool,
+            DiagnosticEngine& diags)
+{
+    return Reader(tokens, pool, diags).read_all();
+}
+
+}  // namespace bitc::lang

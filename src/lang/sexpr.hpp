@@ -1,0 +1,81 @@
+/**
+ * @file
+ * S-expression trees: the uniform concrete syntax layer between the
+ * lexer and the parser, as in BitC's front end.
+ */
+#ifndef BITC_LANG_SEXPR_HPP
+#define BITC_LANG_SEXPR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/token.hpp"
+#include "support/arena.hpp"
+#include "support/diagnostics.hpp"
+
+namespace bitc::lang {
+
+/** Kinds of S-expression node. */
+enum class SExprKind : uint8_t {
+    kSymbol,
+    kInt,
+    kBool,
+    kList,
+};
+
+/**
+ * One node of the S-expression tree.  Arena-allocated; string payloads
+ * are owned by the SExprPool's side storage.
+ */
+struct SExpr {
+    SExprKind kind = SExprKind::kList;
+    SourceSpan span;
+    std::string_view symbol;       ///< kSymbol spelling.
+    int64_t int_value = 0;         ///< kInt value, kBool 0/1.
+    std::vector<const SExpr*> items;  ///< kList children.
+
+    bool is_symbol(std::string_view text) const {
+        return kind == SExprKind::kSymbol && symbol == text;
+    }
+    bool is_list() const { return kind == SExprKind::kList; }
+    size_t size() const { return items.size(); }
+    const SExpr* at(size_t i) const { return items[i]; }
+
+    /** Head symbol of a list ("define" in (define ...)); "" otherwise. */
+    std::string_view head() const {
+        if (is_list() && !items.empty() &&
+            items[0]->kind == SExprKind::kSymbol) {
+            return items[0]->symbol;
+        }
+        return "";
+    }
+
+    /** Re-renders the S-expression (canonical spacing). */
+    std::string to_string() const;
+};
+
+/** Owns the storage for a parsed S-expression forest. */
+class SExprPool {
+  public:
+    SExpr* make_symbol(SourceSpan span, std::string_view text);
+    SExpr* make_int(SourceSpan span, int64_t value);
+    SExpr* make_bool(SourceSpan span, bool value);
+    SExpr* make_list(SourceSpan span);
+
+  private:
+    std::vector<std::unique_ptr<SExpr>> nodes_;
+    std::vector<std::unique_ptr<std::string>> strings_;
+};
+
+/**
+ * Reads a whole token stream into a top-level list of S-expressions.
+ * Errors (unbalanced parens, stray tokens) go to @p diags.
+ */
+std::vector<const SExpr*> read_sexprs(const std::vector<Token>& tokens,
+                                      SExprPool& pool,
+                                      DiagnosticEngine& diags);
+
+}  // namespace bitc::lang
+
+#endif  // BITC_LANG_SEXPR_HPP

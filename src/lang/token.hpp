@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tokens of the BitC-like surface syntax.
+ *
+ * The concrete syntax is S-expression based, as BitC's was: atoms,
+ * parentheses, integer/boolean literals, and `:` type-annotation
+ * punctuation.  Comments run from ';' to end of line.
+ */
+#ifndef BITC_LANG_TOKEN_HPP
+#define BITC_LANG_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace bitc::lang {
+
+enum class TokenKind : uint8_t {
+    kLParen,
+    kRParen,
+    kSymbol,   ///< identifiers, keywords and operators alike
+    kInt,      ///< decimal or 0x hex integer literal
+    kBool,     ///< #t / #f
+    kColon,    ///< type annotation separator
+    kEof,
+};
+
+const char* token_kind_name(TokenKind kind);
+
+/** One lexed token. */
+struct Token {
+    TokenKind kind = TokenKind::kEof;
+    SourceSpan span;
+    std::string text;       ///< Symbol spelling (kSymbol).
+    int64_t int_value = 0;  ///< Value (kInt) or 0/1 (kBool).
+
+    std::string to_string() const;
+};
+
+}  // namespace bitc::lang
+
+#endif  // BITC_LANG_TOKEN_HPP

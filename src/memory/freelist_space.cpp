@@ -1,0 +1,135 @@
+#include "memory/freelist_space.hpp"
+
+#include <cassert>
+
+namespace bitc::mem {
+
+namespace {
+// In-block free metadata layout.
+constexpr size_t kNextWord = 0;
+constexpr size_t kSizeWord = 1;
+}  // namespace
+
+FreeListSpace::FreeListSpace(uint64_t* storage, size_t begin, size_t end)
+    : storage_(storage), begin_(begin), end_(end), cursor_(begin)
+{
+    assert(begin <= end);
+    heads_.fill(kNoBlock);
+}
+
+size_t
+FreeListSpace::class_index(size_t words) const
+{
+    assert(words >= kMinBlockWords);
+    if (words <= kMaxExact) return words - kMinBlockWords;
+    return heads_.size() - 1;  // large list
+}
+
+void
+FreeListSpace::push_block(uint32_t offset, size_t words)
+{
+    size_t cls = class_index(words);
+    storage_[offset + kNextWord] = heads_[cls];
+    storage_[offset + kSizeWord] = words;
+    heads_[cls] = offset;
+    free_list_words_ += words;
+}
+
+uint32_t
+FreeListSpace::pop_block(size_t cls)
+{
+    uint32_t offset = heads_[cls];
+    if (offset == kNoBlock) return kNoBlock;
+    heads_[cls] = static_cast<uint32_t>(storage_[offset + kNextWord]);
+    free_list_words_ -= storage_[offset + kSizeWord];
+    return offset;
+}
+
+uint32_t
+FreeListSpace::carve(size_t words)
+{
+    if (cursor_ + words > end_) return kNoBlock;
+    uint32_t offset = static_cast<uint32_t>(cursor_);
+    cursor_ += words;
+    return offset;
+}
+
+uint32_t
+FreeListSpace::split_search(size_t words)
+{
+    // Exact classes above the request, smallest first.
+    if (words <= kMaxExact) {
+        for (size_t sz = words + 1; sz <= kMaxExact; ++sz) {
+            // A split remainder below kMinBlockWords would leak; skip
+            // donor sizes that cannot split cleanly.
+            if (sz - words != 0 && sz - words < kMinBlockWords) continue;
+            size_t cls = class_index(sz);
+            uint32_t offset = pop_block(cls);
+            if (offset == kNoBlock) continue;
+            if (sz > words) {
+                push_block(offset + static_cast<uint32_t>(words),
+                           sz - words);
+            }
+            return offset;
+        }
+    }
+    // First fit in the large list.
+    size_t large = heads_.size() - 1;
+    uint32_t prev = kNoBlock;
+    uint32_t cur = heads_[large];
+    while (cur != kNoBlock) {
+        size_t sz = storage_[cur + kSizeWord];
+        if (sz == words || sz >= words + kMinBlockWords) {
+            uint32_t next = static_cast<uint32_t>(storage_[cur + kNextWord]);
+            if (prev == kNoBlock) {
+                heads_[large] = next;
+            } else {
+                storage_[prev + kNextWord] = next;
+            }
+            free_list_words_ -= sz;
+            if (sz > words) {
+                push_block(cur + static_cast<uint32_t>(words), sz - words);
+            }
+            return cur;
+        }
+        prev = cur;
+        cur = static_cast<uint32_t>(storage_[cur + kNextWord]);
+    }
+    return kNoBlock;
+}
+
+uint32_t
+FreeListSpace::allocate(size_t words)
+{
+    words = round_up(words);
+    // Reuse freed blocks before touching the wilderness: keeps the
+    // footprint tight and exercises the free lists the way malloc does.
+    if (words <= kMaxExact) {
+        uint32_t offset = pop_block(class_index(words));
+        if (offset != kNoBlock) return offset;
+    } else {
+        uint32_t offset = split_search(words);
+        if (offset != kNoBlock) return offset;
+    }
+    uint32_t offset = carve(words);
+    if (offset != kNoBlock) return offset;
+    return split_search(words);
+}
+
+void
+FreeListSpace::free_block(uint32_t offset, size_t words)
+{
+    words = round_up(words);
+    assert(offset >= begin_ && offset + words <= cursor_);
+    push_block(offset, words);
+}
+
+void
+FreeListSpace::reset()
+{
+    heads_.fill(kNoBlock);
+    free_list_words_ = 0;
+    cursor_ = begin_;
+}
+
+}  // namespace bitc::mem

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Segregated-fit free-list space: the word-range allocator underneath
+ * the manual, reference-counting, mark–sweep and generational (old
+ * generation) heaps.  This is the malloc-style machinery whose idioms
+ * the paper says a systems language must let programmers keep (C2).
+ */
+#ifndef BITC_MEMORY_FREELIST_SPACE_HPP
+#define BITC_MEMORY_FREELIST_SPACE_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bitc::mem {
+
+/**
+ * Allocates word ranges out of a fixed segment of a heap's storage.
+ *
+ * Free blocks are chained through their own storage (word 0 = next
+ * offset, word 1 = block size), so the allocator needs no side memory
+ * proportional to the free set.  Sizes 2..kMaxExact words get exact
+ * size classes; larger blocks live on a first-fit list.
+ */
+class FreeListSpace {
+  public:
+    static constexpr size_t kMinBlockWords = 2;
+    static constexpr size_t kMaxExact = 64;
+    static constexpr uint32_t kNoBlock = 0xffffffffu;
+
+    /**
+     * @param storage Backing array shared with the owning heap.
+     * @param begin   First word offset this space may hand out.
+     * @param end     One past the last word offset.
+     */
+    FreeListSpace(uint64_t* storage, size_t begin, size_t end);
+
+    /**
+     * Allocates @p words (rounded up to kMinBlockWords).
+     * Returns the word offset, or kNoBlock when no room is found.
+     */
+    uint32_t allocate(size_t words);
+
+    /** Returns the block at @p offset, @p words long, to the free set. */
+    void free_block(uint32_t offset, size_t words);
+
+    /** Drops all free lists and resets the bump cursor to begin. */
+    void reset();
+
+    /** Words not currently handed out (free lists + wilderness). */
+    size_t free_words() const { return free_list_words_ + wilderness_words(); }
+    /** Untouched tail not yet carved into blocks. */
+    size_t wilderness_words() const { return end_ - cursor_; }
+    size_t capacity_words() const { return end_ - begin_; }
+
+    /** Rounds a request up to an allocatable block size. */
+    static size_t round_up(size_t words) {
+        return words < kMinBlockWords ? kMinBlockWords : words;
+    }
+
+  private:
+    size_t class_index(size_t words) const;
+    uint32_t pop_block(size_t cls);
+    void push_block(uint32_t offset, size_t words);
+    uint32_t carve(size_t words);
+    uint32_t split_search(size_t words);
+
+    uint64_t* storage_;
+    size_t begin_;
+    size_t end_;
+    size_t cursor_;
+    size_t free_list_words_ = 0;
+    // heads[i] for exact class size i+kMinBlockWords; last entry = large.
+    std::array<uint32_t, kMaxExact - kMinBlockWords + 2> heads_;
+};
+
+}  // namespace bitc::mem
+
+#endif  // BITC_MEMORY_FREELIST_SPACE_HPP

@@ -1,0 +1,217 @@
+#include "memory/generational_heap.hpp"
+
+#include <cstring>
+
+#include "support/string_util.hpp"
+
+namespace bitc::mem {
+
+namespace {
+
+bool
+flag_set(const uint64_t* words, uint8_t flag)
+{
+    return (ObjHeader::flags(words[0]) & flag) != 0;
+}
+
+void
+set_flag(uint64_t* words, uint8_t flag)
+{
+    words[0] = ObjHeader::with_flags(
+        words[0], static_cast<uint8_t>(ObjHeader::flags(words[0]) | flag));
+}
+
+void
+clear_flag(uint64_t* words, uint8_t flag)
+{
+    words[0] = ObjHeader::with_flags(
+        words[0],
+        static_cast<uint8_t>(ObjHeader::flags(words[0]) & ~flag));
+}
+
+}  // namespace
+
+Result<ObjRef>
+GenerationalHeap::allocate(uint32_t num_slots, uint32_t num_refs,
+                           uint8_t tag)
+{
+    uint32_t words = object_words(num_slots);
+
+    // Oversized objects skip the nursery entirely (pretenuring).
+    if (words > nursery_words_ / 4) {
+        uint32_t offset =
+            old_space_.allocate(FreeListSpace::round_up(words));
+        if (offset == FreeListSpace::kNoBlock) {
+            collect();
+            offset = old_space_.allocate(FreeListSpace::round_up(words));
+            if (offset == FreeListSpace::kNoBlock) {
+                return resource_exhausted_error(
+                    str_format("old generation exhausted (%u words)",
+                               words));
+            }
+        }
+        ObjRef ref = bind_handle(offset, num_slots, num_refs, tag);
+        set_flag(obj_words(ref), kFlagTenured);
+        account_alloc(
+            static_cast<uint32_t>(FreeListSpace::round_up(words)));
+        return ref;
+    }
+
+    if (nursery_cursor_ + words > nursery_words_) {
+        BITC_RETURN_IF_ERROR(minor_collect());
+        if (nursery_cursor_ + words > nursery_words_) {
+            return resource_exhausted_error("nursery too small");
+        }
+    }
+    size_t offset = nursery_cursor_;
+    nursery_cursor_ += words;
+    ObjRef ref = bind_handle(offset, num_slots, num_refs, tag);
+    account_alloc(words);
+    return ref;
+}
+
+void
+GenerationalHeap::store_ref(ObjRef ref, uint32_t index, ObjRef target)
+{
+    ManagedHeap::store_ref(ref, index, target);
+    // Barrier: record old->nursery edges so minor collections need not
+    // scan the whole old generation.
+    if (target != kNullRef && !in_nursery(ref) && in_nursery(target)) {
+        uint64_t* w = obj_words(ref);
+        if (!flag_set(w, kFlagRemembered)) {
+            set_flag(w, kFlagRemembered);
+            remembered_.push_back(ref);
+            ++stats_.barrier_hits;
+        }
+    }
+}
+
+Status
+GenerationalHeap::minor_collect()
+{
+    ScopedTimer timer(pause_stats_);
+    ++stats_.minor_collections;
+
+    // Guarantee promotion room: evacuating can move at most the words
+    // currently in the nursery.
+    if (old_space_.free_words() < nursery_cursor_) {
+        std::vector<bool> marked(table_.size(), false);
+        mark_all(marked);
+        sweep_old(marked);
+        ++stats_.collections;
+    }
+    return evacuate_nursery();
+}
+
+Status
+GenerationalHeap::evacuate_nursery()
+{
+    std::vector<bool> promoted(table_.size(), false);
+    std::vector<ObjRef> worklist;
+
+    auto promote = [&](ObjRef ref) -> Status {
+        if (ref == kNullRef || promoted[ref] || !in_nursery(ref)) {
+            return Status::ok();
+        }
+        promoted[ref] = true;
+        uint32_t words = object_words(num_slots(ref));
+        uint32_t offset =
+            old_space_.allocate(FreeListSpace::round_up(words));
+        if (offset == FreeListSpace::kNoBlock) {
+            return resource_exhausted_error(
+                "old generation exhausted during promotion");
+        }
+        std::memcpy(storage_.get() + offset, storage_.get() + table_[ref],
+                    words * sizeof(uint64_t));
+        table_[ref] = offset;
+        set_flag(obj_words(ref), kFlagTenured);
+        // Promotion may round the block up; charge the slack.
+        stats_.words_in_use +=
+            FreeListSpace::round_up(words) - words;
+        worklist.push_back(ref);
+        return Status::ok();
+    };
+
+    for (ObjRef* root : roots_) BITC_RETURN_IF_ERROR(promote(*root));
+    for (ObjRef old_obj : remembered_) {
+        if (table_[old_obj] == kFreeEntry) continue;
+        uint32_t refs = num_refs(old_obj);
+        for (uint32_t i = 0; i < refs; ++i) {
+            BITC_RETURN_IF_ERROR(promote(load_ref(old_obj, i)));
+        }
+        clear_flag(obj_words(old_obj), kFlagRemembered);
+    }
+    remembered_.clear();
+
+    while (!worklist.empty()) {
+        ObjRef cur = worklist.back();
+        worklist.pop_back();
+        uint32_t refs = num_refs(cur);
+        for (uint32_t i = 0; i < refs; ++i) {
+            BITC_RETURN_IF_ERROR(promote(load_ref(cur, i)));
+        }
+    }
+
+    // Unpromoted nursery objects are dead.
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry || !in_nursery(ref)) continue;
+        account_free(object_words(num_slots(ref)));
+        release_handle(ref);
+    }
+    nursery_cursor_ = 0;
+    return Status::ok();
+}
+
+void
+GenerationalHeap::mark_all(std::vector<bool>& marked) const
+{
+    std::vector<ObjRef> worklist;
+    for (ObjRef* root : roots_) {
+        if (*root != kNullRef && !marked[*root]) {
+            marked[*root] = true;
+            worklist.push_back(*root);
+        }
+    }
+    while (!worklist.empty()) {
+        ObjRef cur = worklist.back();
+        worklist.pop_back();
+        uint32_t refs = num_refs(cur);
+        for (uint32_t i = 0; i < refs; ++i) {
+            ObjRef child = load_ref(cur, i);
+            if (child != kNullRef && !marked[child]) {
+                marked[child] = true;
+                worklist.push_back(child);
+            }
+        }
+    }
+}
+
+void
+GenerationalHeap::sweep_old(const std::vector<bool>& marked)
+{
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry || in_nursery(ref) || marked[ref]) {
+            continue;
+        }
+        size_t words =
+            FreeListSpace::round_up(object_words(num_slots(ref)));
+        uint32_t offset = table_[ref];
+        release_handle(ref);
+        old_space_.free_block(offset, words);
+        account_free(static_cast<uint32_t>(words));
+    }
+}
+
+void
+GenerationalHeap::collect()
+{
+    Status status = minor_collect();
+    (void)status;  // Full collection below reclaims regardless.
+    ScopedTimer timer(pause_stats_);
+    ++stats_.collections;
+    std::vector<bool> marked(table_.size(), false);
+    mark_all(marked);
+    sweep_old(marked);
+}
+
+}  // namespace bitc::mem

@@ -1,0 +1,82 @@
+#include "memory/heap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bitc::mem {
+
+ManagedHeap::ManagedHeap(size_t heap_words)
+    : storage_(std::make_unique<uint64_t[]>(heap_words)),
+      heap_words_(heap_words)
+{
+    // Entry 0 is reserved so that ObjRef 0 can be the null reference.
+    table_.push_back(kFreeEntry);
+}
+
+void
+ManagedHeap::remove_root(ObjRef* root)
+{
+    // Roots are overwhelmingly removed LIFO (RAII LocalRoots, VM stack
+    // teardown), so search from the back: O(1) on that path.
+    auto it = std::find(roots_.rbegin(), roots_.rend(), root);
+    assert(it != roots_.rend());
+    *it = roots_.back();
+    roots_.pop_back();
+}
+
+ObjRef
+ManagedHeap::bind_handle(size_t word_offset, uint32_t num_slots,
+                         uint32_t num_refs, uint8_t tag)
+{
+    assert(num_refs <= num_slots);
+    ObjRef ref;
+    if (!free_ids_.empty()) {
+        ref = free_ids_.back();
+        free_ids_.pop_back();
+        table_[ref] = static_cast<uint32_t>(word_offset);
+    } else {
+        ref = static_cast<ObjRef>(table_.size());
+        table_.push_back(static_cast<uint32_t>(word_offset));
+    }
+    uint64_t* w = storage_.get() + word_offset;
+    w[0] = ObjHeader::pack(num_slots, num_refs, tag);
+    std::memset(w + 1, 0, num_slots * sizeof(uint64_t));
+    ++live_objects_;
+    return ref;
+}
+
+void
+ManagedHeap::release_handle(ObjRef ref)
+{
+    assert(is_live(ref));
+    table_[ref] = kFreeEntry;
+    free_ids_.push_back(ref);
+    assert(live_objects_ > 0);
+    --live_objects_;
+}
+
+void
+ManagedHeap::account_alloc(uint32_t words)
+{
+    ++stats_.allocations;
+    stats_.bytes_allocated += words * sizeof(uint64_t);
+    stats_.words_in_use += words;
+    stats_.peak_words_in_use =
+        std::max(stats_.peak_words_in_use, stats_.words_in_use);
+}
+
+void
+ManagedHeap::account_free(uint32_t words)
+{
+    ++stats_.frees;
+    assert(stats_.words_in_use >= words);
+    stats_.words_in_use -= words;
+}
+
+void
+LocalRoot::set(ObjRef ref)
+{
+    heap_.root_assign(&ref_, ref);
+}
+
+}  // namespace bitc::mem

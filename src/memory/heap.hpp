@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Abstract managed heap: the common substrate every storage-management
+ * policy (region, manual free list, reference counting, mark–sweep,
+ * semispace copying, generational) implements.
+ *
+ * This is the experimental apparatus for the paper's challenge C2
+ * ("idiomatic manual storage management"): the C2 bench runs identical
+ * mutator programs against each backend and compares throughput, pause
+ * percentiles and footprint.
+ */
+#ifndef BITC_MEMORY_HEAP_HPP
+#define BITC_MEMORY_HEAP_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memory/object_model.hpp"
+#include "support/stats.hpp"
+#include "support/status.hpp"
+
+namespace bitc::mem {
+
+/** Aggregate counters every heap maintains. */
+struct HeapStats {
+    uint64_t allocations = 0;        ///< Successful allocate() calls.
+    uint64_t bytes_allocated = 0;    ///< Cumulative payload+header bytes.
+    uint64_t frees = 0;              ///< Objects reclaimed (any cause).
+    uint64_t collections = 0;        ///< Full/major collections.
+    uint64_t minor_collections = 0;  ///< Nursery collections (generational).
+    uint64_t barrier_hits = 0;       ///< Write-barrier slow paths taken.
+    uint64_t words_in_use = 0;       ///< Live words right now.
+    uint64_t peak_words_in_use = 0;  ///< High-water mark of words_in_use.
+};
+
+/**
+ * A heap of slotted objects addressed by handle.
+ *
+ * Thread-compatible, not thread-safe: each mutator thread owns its heap
+ * (the shared-state story is the concurrency module's job, per the
+ * paper's challenge C4).
+ */
+class ManagedHeap {
+  public:
+    /** @param heap_words Capacity of the storage array in 64-bit words. */
+    explicit ManagedHeap(size_t heap_words);
+    virtual ~ManagedHeap() = default;
+
+    ManagedHeap(const ManagedHeap&) = delete;
+    ManagedHeap& operator=(const ManagedHeap&) = delete;
+
+    /** Policy name for reports, e.g. "mark-sweep". */
+    virtual const char* name() const = 0;
+
+    /**
+     * Allocates an object with @p num_slots slots, the first @p num_refs
+     * of which hold references (initialised to null; raw slots zeroed).
+     * May trigger a collection. Fails with kResourceExhausted when the
+     * policy cannot find room.
+     */
+    virtual Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
+                                    uint8_t tag) = 0;
+
+    /**
+     * Explicitly frees an object (manual policy). Backends with automatic
+     * reclamation ignore it (region) or treat it as a logical release.
+     */
+    virtual void free_object(ObjRef ref) { (void)ref; }
+
+    /** True when the mutator must call free_object to reclaim. */
+    virtual bool needs_explicit_free() const { return false; }
+
+    /** Forces a full collection (no-op where meaningless). */
+    virtual void collect() {}
+
+    // --- Object access -----------------------------------------------
+
+    /** Raw slot load. @p index must be < num_slots. */
+    uint64_t load(ObjRef ref, uint32_t index) const {
+        const uint64_t* w = obj_words(ref);
+        assert(index < ObjHeader::num_slots(w[0]));
+        return w[1 + index];
+    }
+
+    /** Raw slot store into the data region [num_refs, num_slots). */
+    void store(ObjRef ref, uint32_t index, uint64_t value) {
+        uint64_t* w = obj_words(ref);
+        assert(index < ObjHeader::num_slots(w[0]));
+        assert(index >= ObjHeader::num_refs(w[0]));
+        w[1 + index] = value;
+    }
+
+    /** Reference slot load. @p index must be < num_refs. */
+    ObjRef load_ref(ObjRef ref, uint32_t index) const {
+        const uint64_t* w = obj_words(ref);
+        assert(index < ObjHeader::num_refs(w[0]));
+        return static_cast<ObjRef>(w[1 + index]);
+    }
+
+    /**
+     * Reference slot store. Virtual so policies can interpose barriers
+     * (RC count maintenance, generational remembered set).
+     */
+    virtual void store_ref(ObjRef ref, uint32_t index, ObjRef target) {
+        uint64_t* w = obj_words(ref);
+        assert(index < ObjHeader::num_refs(w[0]));
+        w[1 + index] = target;
+    }
+
+    uint32_t num_slots(ObjRef ref) const {
+        return ObjHeader::num_slots(obj_words(ref)[0]);
+    }
+    uint32_t num_refs(ObjRef ref) const {
+        return ObjHeader::num_refs(obj_words(ref)[0]);
+    }
+    uint8_t tag(ObjRef ref) const {
+        return ObjHeader::tag(obj_words(ref)[0]);
+    }
+
+    /** True if @p ref names a currently-allocated object. */
+    bool is_live(ObjRef ref) const {
+        return ref != kNullRef && ref < table_.size() &&
+               table_[ref] != kFreeEntry;
+    }
+
+    // --- Roots --------------------------------------------------------
+
+    /**
+     * Registers @p root as a GC root. The pointed-to ObjRef may be
+     * updated by the mutator at any time between collections.
+     * RC heaps additionally count the current referent.
+     */
+    virtual void add_root(ObjRef* root) { roots_.push_back(root); }
+
+    /** Unregisters a root previously added with add_root. */
+    virtual void remove_root(ObjRef* root);
+
+    /**
+     * Assigns through a registered root. Mutators must use this (or
+     * LocalRoot::set) instead of writing *root directly so that
+     * reference-counting policies can maintain counts.
+     */
+    virtual void root_assign(ObjRef* root, ObjRef value) { *root = value; }
+
+    size_t root_count() const { return roots_.size(); }
+
+    // --- Introspection -------------------------------------------------
+
+    const HeapStats& stats() const { return stats_; }
+    /** Pause-time samples in ns (collections and slow-path frees). */
+    const SampleStats& pause_stats() const { return pause_stats_; }
+    size_t heap_words() const { return heap_words_; }
+    /** Count of currently live objects. */
+    size_t live_objects() const { return live_objects_; }
+
+  protected:
+    static constexpr uint32_t kFreeEntry = 0xffffffffu;
+
+    uint64_t* obj_words(ObjRef ref) {
+        assert(is_live(ref));
+        return storage_.get() + table_[ref];
+    }
+    const uint64_t* obj_words(ObjRef ref) const {
+        assert(is_live(ref));
+        return storage_.get() + table_[ref];
+    }
+
+    /** Binds a fresh handle id to @p word_offset and writes the header. */
+    ObjRef bind_handle(size_t word_offset, uint32_t num_slots,
+                       uint32_t num_refs, uint8_t tag);
+
+    /** Releases a handle id for reuse (object storage handled by caller). */
+    void release_handle(ObjRef ref);
+
+    /** Updates in-use accounting after an allocation of @p words. */
+    void account_alloc(uint32_t words);
+    /** Updates in-use accounting after reclaiming @p words. */
+    void account_free(uint32_t words);
+
+    std::unique_ptr<uint64_t[]> storage_;
+    size_t heap_words_;
+    /** Handle table: object id -> word offset (kFreeEntry when free). */
+    std::vector<uint32_t> table_;
+    std::vector<uint32_t> free_ids_;
+    std::vector<ObjRef*> roots_;
+    size_t live_objects_ = 0;
+    HeapStats stats_;
+    SampleStats pause_stats_;
+};
+
+/** RAII root registration for a stack-local reference. */
+class LocalRoot {
+  public:
+    LocalRoot(ManagedHeap& heap, ObjRef initial = kNullRef)
+        : heap_(heap), ref_(initial) {
+        heap_.add_root(&ref_);
+    }
+    ~LocalRoot() { heap_.remove_root(&ref_); }
+    LocalRoot(const LocalRoot&) = delete;
+    LocalRoot& operator=(const LocalRoot&) = delete;
+
+    ObjRef get() const { return ref_; }
+    void set(ObjRef ref);
+    operator ObjRef() const { return ref_; }
+
+  private:
+    ManagedHeap& heap_;
+    ObjRef ref_;
+};
+
+}  // namespace bitc::mem
+
+#endif  // BITC_MEMORY_HEAP_HPP

@@ -1,0 +1,33 @@
+#include "memory/manual_heap.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::mem {
+
+Result<ObjRef>
+ManualHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+{
+    size_t words = FreeListSpace::round_up(object_words(num_slots));
+    uint32_t offset = space_.allocate(words);
+    if (offset == FreeListSpace::kNoBlock) {
+        return resource_exhausted_error(
+            str_format("manual heap exhausted (%zu words requested)",
+                       words));
+    }
+    ObjRef ref = bind_handle(offset, num_slots, num_refs, tag);
+    account_alloc(static_cast<uint32_t>(words));
+    return ref;
+}
+
+void
+ManualHeap::free_object(ObjRef ref)
+{
+    assert(is_live(ref));
+    size_t words = FreeListSpace::round_up(object_words(num_slots(ref)));
+    uint32_t offset = table_[ref];
+    release_handle(ref);
+    space_.free_block(offset, words);
+    account_free(static_cast<uint32_t>(words));
+}
+
+}  // namespace bitc::mem

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Manual heap: segregated-fit malloc/free.  The C baseline discipline
+ * every other policy in the C2 experiment is compared against.
+ */
+#ifndef BITC_MEMORY_MANUAL_HEAP_HPP
+#define BITC_MEMORY_MANUAL_HEAP_HPP
+
+#include "memory/freelist_space.hpp"
+#include "memory/heap.hpp"
+
+namespace bitc::mem {
+
+/**
+ * Explicitly managed heap. The mutator is responsible for calling
+ * free_object exactly once per object; the heap does not trace, count
+ * or otherwise police references (dangling handles are caught only by
+ * the debug-build is_live assertions).
+ */
+class ManualHeap : public ManagedHeap {
+  public:
+    explicit ManualHeap(size_t heap_words)
+        : ManagedHeap(heap_words),
+          space_(storage_.get(), 0, heap_words) {}
+
+    const char* name() const override { return "manual"; }
+
+    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
+                            uint8_t tag) override;
+
+    void free_object(ObjRef ref) override;
+
+    bool needs_explicit_free() const override { return true; }
+
+    /** Words sitting on free lists (fragmentation probe). */
+    size_t free_list_words() const {
+        return space_.free_words() - space_.wilderness_words();
+    }
+
+  private:
+    FreeListSpace space_;
+};
+
+}  // namespace bitc::mem
+
+#endif  // BITC_MEMORY_MANUAL_HEAP_HPP

@@ -1,0 +1,89 @@
+#include "memory/markcompact_heap.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/string_util.hpp"
+
+namespace bitc::mem {
+
+Result<ObjRef>
+MarkCompactHeap::allocate(uint32_t num_slots, uint32_t num_refs,
+                          uint8_t tag)
+{
+    uint32_t words = object_words(num_slots);
+    if (cursor_ + words > heap_words_) {
+        collect();
+        if (cursor_ + words > heap_words_) {
+            return resource_exhausted_error(
+                str_format("mark-compact heap exhausted (%zu live "
+                           "words)", cursor_));
+        }
+    }
+    size_t offset = cursor_;
+    cursor_ += words;
+    ObjRef ref = bind_handle(offset, num_slots, num_refs, tag);
+    account_alloc(words);
+    return ref;
+}
+
+void
+MarkCompactHeap::collect()
+{
+    ScopedTimer timer(pause_stats_);
+    ++stats_.collections;
+
+    // Mark.
+    std::vector<bool> marked(table_.size(), false);
+    std::vector<ObjRef> worklist;
+    for (ObjRef* root : roots_) {
+        if (*root != kNullRef && !marked[*root]) {
+            marked[*root] = true;
+            worklist.push_back(*root);
+        }
+    }
+    while (!worklist.empty()) {
+        ObjRef cur = worklist.back();
+        worklist.pop_back();
+        uint32_t refs = num_refs(cur);
+        for (uint32_t i = 0; i < refs; ++i) {
+            ObjRef child = load_ref(cur, i);
+            if (child != kNullRef && !marked[child]) {
+                marked[child] = true;
+                worklist.push_back(child);
+            }
+        }
+    }
+
+    // Release dead handles, gather survivors in address order.
+    std::vector<ObjRef> live;
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        if (!marked[ref]) {
+            account_free(object_words(num_slots(ref)));
+            release_handle(ref);
+        } else {
+            live.push_back(ref);
+        }
+    }
+    std::sort(live.begin(), live.end(), [&](ObjRef a, ObjRef b) {
+        return table_[a] < table_[b];
+    });
+
+    // Slide: address order is preserved, so memmove never overlaps
+    // incorrectly (destination <= source for every object).
+    size_t to = 0;
+    for (ObjRef ref : live) {
+        uint32_t words = object_words(num_slots(ref));
+        size_t from = table_[ref];
+        if (from != to) {
+            std::memmove(storage_.get() + to, storage_.get() + from,
+                         words * sizeof(uint64_t));
+            table_[ref] = static_cast<uint32_t>(to);
+        }
+        to += words;
+    }
+    cursor_ = to;
+}
+
+}  // namespace bitc::mem

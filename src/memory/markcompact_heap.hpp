@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Mark–compact collector: bump allocation, stop-the-world sliding
+ * compaction.  Completes the classic-collector taxonomy (Wilson's
+ * survey, which the paper's era relied on): unlike mark–sweep it never
+ * fragments and keeps allocation a pure bump, at the price of moving
+ * every live object during collection — the longest pauses in the C2
+ * matrix, traded for the tightest post-collection locality.
+ */
+#ifndef BITC_MEMORY_MARKCOMPACT_HEAP_HPP
+#define BITC_MEMORY_MARKCOMPACT_HEAP_HPP
+
+#include <vector>
+
+#include "memory/heap.hpp"
+
+namespace bitc::mem {
+
+/**
+ * Sliding mark–compact heap.  Handles make the slide trivial to apply
+ * (only the table is rewritten), but the full live set is still copied
+ * within storage, preserving address order.
+ */
+class MarkCompactHeap : public ManagedHeap {
+  public:
+    explicit MarkCompactHeap(size_t heap_words)
+        : ManagedHeap(heap_words) {}
+
+    const char* name() const override { return "mark-compact"; }
+
+    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
+                            uint8_t tag) override;
+
+    void collect() override;
+
+    /** Words between the compaction cursor and the end of storage. */
+    size_t free_words() const { return heap_words_ - cursor_; }
+
+  private:
+    size_t cursor_ = 0;
+};
+
+}  // namespace bitc::mem
+
+#endif  // BITC_MEMORY_MARKCOMPACT_HEAP_HPP

@@ -1,0 +1,75 @@
+#include "memory/marksweep_heap.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::mem {
+
+Result<ObjRef>
+MarkSweepHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+{
+    size_t words = FreeListSpace::round_up(object_words(num_slots));
+    if (stats_.words_in_use + words > trigger_words_ &&
+        allocated_since_gc_ >= heap_words_ / 8) {
+        collect();
+    }
+    uint32_t offset = space_.allocate(words);
+    if (offset == FreeListSpace::kNoBlock) {
+        collect();
+        offset = space_.allocate(words);
+        if (offset == FreeListSpace::kNoBlock) {
+            return resource_exhausted_error(
+                str_format("mark-sweep heap exhausted (%zu words)", words));
+        }
+    }
+    ObjRef ref = bind_handle(offset, num_slots, num_refs, tag);
+    account_alloc(static_cast<uint32_t>(words));
+    allocated_since_gc_ += words;
+    return ref;
+}
+
+void
+MarkSweepHeap::mark_from_roots(std::vector<bool>& marked) const
+{
+    std::vector<ObjRef> worklist;
+    for (ObjRef* root : roots_) {
+        if (*root != kNullRef && !marked[*root]) {
+            marked[*root] = true;
+            worklist.push_back(*root);
+        }
+    }
+    while (!worklist.empty()) {
+        ObjRef cur = worklist.back();
+        worklist.pop_back();
+        uint32_t refs = num_refs(cur);
+        for (uint32_t i = 0; i < refs; ++i) {
+            ObjRef child = load_ref(cur, i);
+            if (child != kNullRef && !marked[child]) {
+                marked[child] = true;
+                worklist.push_back(child);
+            }
+        }
+    }
+}
+
+void
+MarkSweepHeap::collect()
+{
+    ScopedTimer timer(pause_stats_);
+    ++stats_.collections;
+    allocated_since_gc_ = 0;
+
+    std::vector<bool> marked(table_.size(), false);
+    mark_from_roots(marked);
+
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry || marked[ref]) continue;
+        size_t words =
+            FreeListSpace::round_up(object_words(num_slots(ref)));
+        uint32_t offset = table_[ref];
+        release_handle(ref);
+        space_.free_block(offset, words);
+        account_free(static_cast<uint32_t>(words));
+    }
+}
+
+}  // namespace bitc::mem

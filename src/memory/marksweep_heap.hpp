@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stop-the-world mark–sweep collector over a segregated-fit space.
+ * The classic tracing GC of Wilson's survey; the C2 experiment's
+ * representative of "perceived high overhead, unpredictable timing".
+ */
+#ifndef BITC_MEMORY_MARKSWEEP_HEAP_HPP
+#define BITC_MEMORY_MARKSWEEP_HEAP_HPP
+
+#include <vector>
+
+#include "memory/freelist_space.hpp"
+#include "memory/heap.hpp"
+
+namespace bitc::mem {
+
+/**
+ * Mark–sweep heap. Collection is triggered by allocation failure or an
+ * occupancy threshold; the mutator never frees.
+ */
+class MarkSweepHeap : public ManagedHeap {
+  public:
+    /**
+     * @param heap_words      Storage capacity.
+     * @param trigger_ratio   Collect when words_in_use exceeds this
+     *                        fraction of capacity at an allocation.
+     */
+    explicit MarkSweepHeap(size_t heap_words, double trigger_ratio = 0.75)
+        : ManagedHeap(heap_words),
+          space_(storage_.get(), 0, heap_words),
+          trigger_words_(static_cast<size_t>(
+              static_cast<double>(heap_words) * trigger_ratio)) {}
+
+    const char* name() const override { return "mark-sweep"; }
+
+    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
+                            uint8_t tag) override;
+
+    void collect() override;
+
+  private:
+    void mark_from_roots(std::vector<bool>& marked) const;
+
+    FreeListSpace space_;
+    size_t trigger_words_;
+    // Words allocated since the last collection; paces the trigger so a
+    // large live set does not degenerate into a collection per allocation.
+    size_t allocated_since_gc_ = 0;
+};
+
+}  // namespace bitc::mem
+
+#endif  // BITC_MEMORY_MARKSWEEP_HEAP_HPP

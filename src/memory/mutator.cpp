@@ -1,0 +1,280 @@
+#include "memory/mutator.hpp"
+
+#include <vector>
+
+#include "memory/region_heap.hpp"
+#include "support/stats.hpp"
+
+namespace bitc::mem {
+
+namespace {
+
+/** Millisecond wall-clock span helper. */
+double
+ms_since(uint64_t start_ns)
+{
+    return static_cast<double>(now_ns() - start_ns) / 1e6;
+}
+
+}  // namespace
+
+Result<MutatorReport>
+run_churn(ManagedHeap& heap, uint64_t total, uint32_t window,
+          uint32_t slots, Rng& rng)
+{
+    MutatorReport report;
+    uint64_t start = now_ns();
+
+    auto* region = dynamic_cast<RegionHeap*>(&heap);
+    if (region != nullptr) {
+        // Region idiom: lifetimes are phase-shaped, so the window is a
+        // region released wholesale each phase.
+        uint64_t allocated = 0;
+        while (allocated < total) {
+            size_t mark = region->mark();
+            uint64_t phase = std::min<uint64_t>(window, total - allocated);
+            for (uint64_t i = 0; i < phase; ++i) {
+                uint32_t sz = static_cast<uint32_t>(
+                    slots / 2 + rng.next_below(slots + 1));
+                BITC_ASSIGN_OR_RETURN(ObjRef obj,
+                                      heap.allocate(sz, 0, 1));
+                heap.store(obj, 0, allocated + i);
+                report.check_value += heap.load(obj, 0);
+            }
+            allocated += phase;
+            region->release_to(mark);
+        }
+        report.operations = allocated;
+        report.elapsed_ms = ms_since(start);
+        return report;
+    }
+
+    // General idiom: FIFO window of live objects.
+    std::vector<ObjRef> ring(window, kNullRef);
+    for (ObjRef& slot : ring) heap.add_root(&slot);
+
+    Status failure = Status::ok();
+    for (uint64_t i = 0; i < total; ++i) {
+        uint32_t idx = static_cast<uint32_t>(i % window);
+        ObjRef old = ring[idx];
+        if (old != kNullRef) {
+            report.check_value += heap.load(old, 0);
+            heap.root_assign(&ring[idx], kNullRef);
+            if (heap.needs_explicit_free()) heap.free_object(old);
+        }
+        uint32_t sz = static_cast<uint32_t>(
+            slots / 2 + rng.next_below(slots + 1));
+        auto obj = heap.allocate(sz, 0, 1);
+        if (!obj.is_ok()) {
+            failure = obj.status();
+            break;
+        }
+        heap.store(obj.value(), 0, i);
+        heap.root_assign(&ring[idx], obj.value());
+        ++report.operations;
+    }
+
+    // Drain the window so the checksum covers every allocated object
+    // (matching the region path, which checksums at allocation time).
+    for (ObjRef& slot : ring) {
+        if (slot != kNullRef) {
+            report.check_value += heap.load(slot, 0);
+            ObjRef old = slot;
+            heap.root_assign(&slot, kNullRef);
+            if (heap.needs_explicit_free()) heap.free_object(old);
+        }
+    }
+
+    for (ObjRef& slot : ring) heap.remove_root(&slot);
+    if (!failure.is_ok()) return failure;
+    report.elapsed_ms = ms_since(start);
+    return report;
+}
+
+namespace {
+
+constexpr uint8_t kTreeTag = 2;
+
+/**
+ * Builds a balanced tree of @p depth. Subtrees are held in LocalRoots
+ * (a shadow stack) because any allocation may trigger a collection.
+ */
+Result<ObjRef>
+build_tree(ManagedHeap& heap, uint32_t depth)
+{
+    if (depth == 0) {
+        BITC_ASSIGN_OR_RETURN(ObjRef leaf, heap.allocate(3, 2, kTreeTag));
+        heap.store(leaf, 2, 1);  // subtree node count
+        return leaf;
+    }
+    LocalRoot left(heap);
+    {
+        BITC_ASSIGN_OR_RETURN(ObjRef l, build_tree(heap, depth - 1));
+        left.set(l);
+    }
+    LocalRoot right(heap);
+    {
+        BITC_ASSIGN_OR_RETURN(ObjRef r, build_tree(heap, depth - 1));
+        right.set(r);
+    }
+    BITC_ASSIGN_OR_RETURN(ObjRef node, heap.allocate(3, 2, kTreeTag));
+    heap.store_ref(node, 0, left.get());
+    heap.store_ref(node, 1, right.get());
+    heap.store(node, 2,
+               heap.load(left.get(), 2) + heap.load(right.get(), 2) + 1);
+    return node;
+}
+
+/** Post-order explicit free for the manual policy. */
+void
+free_tree(ManagedHeap& heap, ObjRef node)
+{
+    if (node == kNullRef) return;
+    free_tree(heap, heap.load_ref(node, 0));
+    free_tree(heap, heap.load_ref(node, 1));
+    heap.free_object(node);
+}
+
+/** Iterative node count of a tree (validation checksum). */
+uint64_t
+count_tree(const ManagedHeap& heap, ObjRef root)
+{
+    if (root == kNullRef) return 0;
+    uint64_t count = 0;
+    std::vector<ObjRef> stack{root};
+    while (!stack.empty()) {
+        ObjRef cur = stack.back();
+        stack.pop_back();
+        ++count;
+        for (uint32_t i = 0; i < 2; ++i) {
+            ObjRef child = heap.load_ref(cur, i);
+            if (child != kNullRef) stack.push_back(child);
+        }
+    }
+    return count;
+}
+
+}  // namespace
+
+Result<MutatorReport>
+run_binary_trees(ManagedHeap& heap, uint32_t depth, uint32_t iterations)
+{
+    MutatorReport report;
+    uint64_t start = now_ns();
+    auto* region = dynamic_cast<RegionHeap*>(&heap);
+
+    // One long-lived tree survives the whole run (old-generation bait).
+    LocalRoot long_lived(heap);
+    {
+        BITC_ASSIGN_OR_RETURN(ObjRef t, build_tree(heap, depth));
+        long_lived.set(t);
+    }
+
+    for (uint32_t iter = 0; iter < iterations; ++iter) {
+        size_t mark = region != nullptr ? region->mark() : 0;
+        LocalRoot scratch(heap);
+        {
+            BITC_ASSIGN_OR_RETURN(ObjRef t, build_tree(heap, depth));
+            scratch.set(t);
+        }
+        report.check_value += count_tree(heap, scratch.get());
+        ObjRef dead = scratch.get();
+        scratch.set(kNullRef);
+        if (region != nullptr) {
+            region->release_to(mark);
+        } else if (heap.needs_explicit_free()) {
+            free_tree(heap, dead);
+        }
+        ++report.operations;
+    }
+
+    report.check_value += count_tree(heap, long_lived.get());
+    report.elapsed_ms = ms_since(start);
+    return report;
+}
+
+Result<MutatorReport>
+run_graph_mutation(ManagedHeap& heap, uint32_t node_count, uint32_t fanout,
+                   uint64_t mutations, Rng& rng)
+{
+    MutatorReport report;
+    uint64_t start = now_ns();
+    constexpr uint8_t kNodeTag = 3;
+
+    // The manual policy cannot know a node's in-degree from the heap, so
+    // the idiomatic-C pattern is an intrusive count maintained by the
+    // application. That bookkeeping is part of what C2 measures.
+    const bool manual = heap.needs_explicit_free();
+    std::vector<uint32_t> indegree;
+
+    auto inc = [&](ObjRef ref) {
+        if (!manual || ref == kNullRef) return;
+        if (indegree.size() <= ref) indegree.resize(ref + 1, 0);
+        ++indegree[ref];
+    };
+    std::vector<ObjRef> dec_stack;
+    auto dec = [&](ObjRef ref) {
+        if (!manual || ref == kNullRef) return;
+        dec_stack.push_back(ref);
+        while (!dec_stack.empty()) {
+            ObjRef cur = dec_stack.back();
+            dec_stack.pop_back();
+            if (--indegree[cur] != 0) continue;
+            for (uint32_t i = 0; i < fanout; ++i) {
+                ObjRef child = heap.load_ref(cur, i);
+                if (child != kNullRef) dec_stack.push_back(child);
+            }
+            heap.free_object(cur);
+        }
+    };
+
+    LocalRoot array_root(heap);
+    {
+        BITC_ASSIGN_OR_RETURN(ObjRef arr,
+                              heap.allocate(node_count, node_count, 4));
+        array_root.set(arr);
+    }
+    ObjRef array = array_root.get();
+
+    for (uint32_t i = 0; i < node_count; ++i) {
+        BITC_ASSIGN_OR_RETURN(ObjRef node,
+                              heap.allocate(fanout + 1, fanout, kNodeTag));
+        heap.store(node, fanout, i);
+        inc(node);
+        heap.store_ref(array, i, node);
+    }
+
+    for (uint64_t m = 0; m < mutations; ++m) {
+        uint32_t i = static_cast<uint32_t>(rng.next_below(node_count));
+        ObjRef node = heap.load_ref(array, i);
+        if (rng.next_bool(0.1)) {
+            // Replace the node wholesale; the old one may become garbage.
+            auto fresh = heap.allocate(fanout + 1, fanout, kNodeTag);
+            if (!fresh.is_ok()) return fresh.status();
+            heap.store(fresh.value(), fanout, node_count + m);
+            ObjRef old = node;
+            inc(fresh.value());
+            heap.store_ref(array, i, fresh.value());
+            dec(old);
+        } else {
+            // Rewire one edge.
+            uint32_t j = static_cast<uint32_t>(rng.next_below(fanout));
+            uint32_t t = static_cast<uint32_t>(rng.next_below(node_count));
+            ObjRef target = heap.load_ref(array, t);
+            ObjRef old = heap.load_ref(node, j);
+            inc(target);
+            heap.store_ref(node, j, target);
+            dec(old);
+        }
+        ++report.operations;
+    }
+
+    for (uint32_t i = 0; i < node_count; ++i) {
+        ObjRef node = heap.load_ref(array, i);
+        report.check_value += heap.load(node, fanout);
+    }
+    report.elapsed_ms = ms_since(start);
+    return report;
+}
+
+}  // namespace bitc::mem

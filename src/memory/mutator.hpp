@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Mutator programs for the storage-management experiment (C2).
+ *
+ * Each workload runs unchanged against any ManagedHeap backend; the
+ * only policy-specific behaviour is how dead objects are released
+ * (explicit free for the manual heap, dropped references elsewhere,
+ * bulk release for regions), selected by the heap's own capabilities.
+ */
+#ifndef BITC_MEMORY_MUTATOR_HPP
+#define BITC_MEMORY_MUTATOR_HPP
+
+#include <cstdint>
+
+#include "memory/heap.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace bitc::mem {
+
+/** Result counters a workload reports. */
+struct MutatorReport {
+    uint64_t operations = 0;     ///< Workload-defined unit of progress.
+    uint64_t check_value = 0;    ///< Order-independent checksum over live data.
+    double elapsed_ms = 0.0;
+};
+
+/**
+ * Sliding-window churn: allocate short-lived objects, keep the most
+ * recent @p window live, release the rest.  Models packet-buffer /
+ * request-scratch allocation in systems code.
+ *
+ * @param heap     Backend under test.
+ * @param total    Objects to allocate in total.
+ * @param window   Live window size.
+ * @param slots    Payload slots per object.
+ * @param rng      Workload randomness (object sizes jitter by +/-50%).
+ */
+Result<MutatorReport> run_churn(ManagedHeap& heap, uint64_t total,
+                                uint32_t window, uint32_t slots, Rng& rng);
+
+/**
+ * GCBench-style balanced binary trees: builds and drops trees of
+ * @p depth, @p iterations times, keeping one long-lived tree alive.
+ * Stresses tracing (deep object graphs, pointer-heavy payloads).
+ */
+Result<MutatorReport> run_binary_trees(ManagedHeap& heap, uint32_t depth,
+                                       uint32_t iterations);
+
+/**
+ * Random graph mutation: @p node_count objects, each with @p fanout
+ * reference slots, rewired @p mutations times.  Stresses the write
+ * barrier (RC count traffic, generational remembered set).
+ */
+Result<MutatorReport> run_graph_mutation(ManagedHeap& heap,
+                                         uint32_t node_count,
+                                         uint32_t fanout,
+                                         uint64_t mutations, Rng& rng);
+
+}  // namespace bitc::mem
+
+#endif  // BITC_MEMORY_MUTATOR_HPP

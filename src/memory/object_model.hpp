@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Object model shared by every managed-heap backend.
+ *
+ * All heaps in this module allocate *objects*: a one-word header followed
+ * by N 64-bit slots.  Slots [0, num_refs) hold references (ObjRef ids);
+ * slots [num_refs, num_slots) hold raw data.  This pointers-first layout
+ * is what lets tracing collectors find children without per-type maps,
+ * and mirrors how real runtimes (OCaml, early ML kits) lay objects out —
+ * the representation regime Shapiro's fallacy F2 is about.
+ *
+ * Mutators address objects through a handle id (ObjRef), never a raw
+ * pointer, so moving collectors can relocate objects by updating the
+ * handle table.  Every backend pays the same one-indirection cost, which
+ * keeps cross-backend comparisons fair.
+ */
+#ifndef BITC_MEMORY_OBJECT_MODEL_HPP
+#define BITC_MEMORY_OBJECT_MODEL_HPP
+
+#include <cstdint>
+
+namespace bitc::mem {
+
+/** Opaque object handle. 0 is the null reference. */
+using ObjRef = uint32_t;
+
+/** The null object reference. */
+inline constexpr ObjRef kNullRef = 0;
+
+/**
+ * Packed object header.
+ *
+ * Layout (one 64-bit word):
+ *   bits  0..23  num_slots  (total 64-bit slots in the payload)
+ *   bits 24..47  num_refs   (leading slots that hold ObjRefs)
+ *   bits 48..55  tag        (application type tag, opaque to the heap)
+ *   bits 56..63  flags      (collector scratch: mark bits, generation...)
+ */
+struct ObjHeader {
+    static constexpr uint64_t kSlotsMask = 0xffffffull;
+    static constexpr int kRefsShift = 24;
+    static constexpr int kTagShift = 48;
+    static constexpr int kFlagsShift = 56;
+
+    static uint64_t pack(uint32_t num_slots, uint32_t num_refs,
+                         uint8_t tag) {
+        return (static_cast<uint64_t>(num_slots) & kSlotsMask) |
+               ((static_cast<uint64_t>(num_refs) & kSlotsMask)
+                << kRefsShift) |
+               (static_cast<uint64_t>(tag) << kTagShift);
+    }
+
+    static uint32_t num_slots(uint64_t header) {
+        return static_cast<uint32_t>(header & kSlotsMask);
+    }
+    static uint32_t num_refs(uint64_t header) {
+        return static_cast<uint32_t>((header >> kRefsShift) & kSlotsMask);
+    }
+    static uint8_t tag(uint64_t header) {
+        return static_cast<uint8_t>((header >> kTagShift) & 0xff);
+    }
+    static uint8_t flags(uint64_t header) {
+        return static_cast<uint8_t>(header >> kFlagsShift);
+    }
+    static uint64_t with_flags(uint64_t header, uint8_t flags) {
+        return (header & ~(0xffull << kFlagsShift)) |
+               (static_cast<uint64_t>(flags) << kFlagsShift);
+    }
+};
+
+/** Collector flag bits stored in the header's flags byte. */
+enum ObjFlags : uint8_t {
+    kFlagMarked = 1u << 0,   ///< Tracing mark bit.
+    kFlagRemembered = 1u << 1,///< In the generational remembered set.
+    kFlagTenured = 1u << 2,  ///< Object lives in the old generation.
+};
+
+/** Words occupied by an object with @p num_slots payload slots. */
+inline constexpr uint32_t
+object_words(uint32_t num_slots)
+{
+    return 1 + num_slots;  // header + payload
+}
+
+}  // namespace bitc::mem
+
+#endif  // BITC_MEMORY_OBJECT_MODEL_HPP

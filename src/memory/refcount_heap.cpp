@@ -1,0 +1,155 @@
+#include "memory/refcount_heap.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::mem {
+
+Result<ObjRef>
+RefCountHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+{
+    size_t words = FreeListSpace::round_up(object_words(num_slots));
+    uint32_t offset = space_.allocate(words);
+    if (offset == FreeListSpace::kNoBlock) {
+        // Cyclic garbage may be clogging the heap; trace, then retry.
+        collect();
+        offset = space_.allocate(words);
+        if (offset == FreeListSpace::kNoBlock) {
+            return resource_exhausted_error(
+                str_format("refcount heap exhausted (%zu words)", words));
+        }
+    }
+    ObjRef ref = bind_handle(offset, num_slots, num_refs, tag);
+    if (counts_.size() <= ref) counts_.resize(ref + 1, 0);
+    counts_[ref] = 0;  // unreferenced until stored or rooted
+    account_alloc(static_cast<uint32_t>(words));
+    return ref;
+}
+
+void
+RefCountHeap::increment(ObjRef ref)
+{
+    if (ref == kNullRef) return;
+    ++counts_[ref];
+}
+
+void
+RefCountHeap::decrement(ObjRef ref)
+{
+    if (ref == kNullRef) return;
+    // Iterative transitive release: recursion on a long list would
+    // otherwise overflow the C++ stack (a classic RC implementation bug).
+    dec_worklist_.push_back(ref);
+    while (!dec_worklist_.empty()) {
+        ObjRef cur = dec_worklist_.back();
+        dec_worklist_.pop_back();
+        assert(counts_[cur] > 0);
+        if (--counts_[cur] != 0) continue;
+        uint32_t refs = num_refs(cur);
+        for (uint32_t i = 0; i < refs; ++i) {
+            ObjRef child = load_ref(cur, i);
+            if (child != kNullRef) dec_worklist_.push_back(child);
+        }
+        reclaim(cur);
+    }
+}
+
+void
+RefCountHeap::reclaim(ObjRef ref)
+{
+    size_t words = FreeListSpace::round_up(object_words(num_slots(ref)));
+    uint32_t offset = table_[ref];
+    release_handle(ref);
+    space_.free_block(offset, words);
+    account_free(static_cast<uint32_t>(words));
+}
+
+void
+RefCountHeap::store_ref(ObjRef ref, uint32_t index, ObjRef target)
+{
+    ObjRef old = load_ref(ref, index);
+    if (old == target) return;
+    ++stats_.barrier_hits;
+    increment(target);
+    ManagedHeap::store_ref(ref, index, target);
+    decrement(old);
+}
+
+void
+RefCountHeap::add_root(ObjRef* root)
+{
+    ManagedHeap::add_root(root);
+    increment(*root);
+}
+
+void
+RefCountHeap::remove_root(ObjRef* root)
+{
+    ObjRef value = *root;
+    ManagedHeap::remove_root(root);
+    decrement(value);
+}
+
+void
+RefCountHeap::root_assign(ObjRef* root, ObjRef value)
+{
+    ObjRef old = *root;
+    if (old == value) return;
+    increment(value);
+    *root = value;
+    decrement(old);
+}
+
+void
+RefCountHeap::collect()
+{
+    ScopedTimer timer(pause_stats_);
+    ++stats_.collections;
+
+    // Mark phase from the roots.
+    std::vector<bool> marked(table_.size(), false);
+    std::vector<ObjRef> worklist;
+    for (ObjRef* root : roots_) {
+        if (*root != kNullRef && !marked[*root]) {
+            marked[*root] = true;
+            worklist.push_back(*root);
+        }
+    }
+    while (!worklist.empty()) {
+        ObjRef cur = worklist.back();
+        worklist.pop_back();
+        uint32_t refs = num_refs(cur);
+        for (uint32_t i = 0; i < refs; ++i) {
+            ObjRef child = load_ref(cur, i);
+            if (child != kNullRef && !marked[child]) {
+                marked[child] = true;
+                worklist.push_back(child);
+            }
+        }
+    }
+
+    // Sweep: free unmarked (cyclic) garbage directly, bypassing counts.
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry || marked[ref]) continue;
+        reclaim(ref);
+    }
+
+    // Counts of survivors may reference freed cycle members; recompute
+    // from scratch so the invariant (count == in-edges + root-edges)
+    // holds again.
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] != kFreeEntry) counts_[ref] = 0;
+    }
+    for (ObjRef* root : roots_) {
+        if (*root != kNullRef) ++counts_[*root];
+    }
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        uint32_t refs = num_refs(ref);
+        for (uint32_t i = 0; i < refs; ++i) {
+            ObjRef child = load_ref(ref, i);
+            if (child != kNullRef) ++counts_[child];
+        }
+    }
+}
+
+}  // namespace bitc::mem

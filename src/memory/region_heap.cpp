@@ -1,0 +1,41 @@
+#include "memory/region_heap.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::mem {
+
+Result<ObjRef>
+RegionHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+{
+    uint32_t words = object_words(num_slots);
+    if (cursor_ + words > heap_words_) {
+        return resource_exhausted_error(
+            str_format("region heap full (%zu of %zu words used)",
+                       cursor_, heap_words_));
+    }
+    size_t offset = cursor_;
+    cursor_ += words;
+    ObjRef ref = bind_handle(offset, num_slots, num_refs, tag);
+    account_alloc(words);
+    return ref;
+}
+
+void
+RegionHeap::release_to(size_t mark)
+{
+    assert(mark <= cursor_);
+    ScopedTimer timer(pause_stats_);
+    // Handles are not offset-ordered, so scan the table for objects at
+    // or past the mark. O(table) — the bulk-free cost the region model
+    // amortises over the whole region's population.
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        if (table_[ref] >= mark) {
+            account_free(object_words(num_slots(ref)));
+            release_handle(ref);
+        }
+    }
+    cursor_ = mark;
+}
+
+}  // namespace bitc::mem

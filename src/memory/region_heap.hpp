@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Region (arena) heap: bump-pointer allocation, bulk deallocation at
+ * region marks.  The predictable, compile-time-checkable discipline the
+ * paper (and the Cyclone/MLKit line it cites) holds up as the idiomatic
+ * alternative to both malloc/free and GC — challenge C2.
+ */
+#ifndef BITC_MEMORY_REGION_HEAP_HPP
+#define BITC_MEMORY_REGION_HEAP_HPP
+
+#include "memory/heap.hpp"
+
+namespace bitc::mem {
+
+/**
+ * Bump allocator with LIFO region semantics.
+ *
+ * free_object is a no-op; storage is reclaimed only by release_to(mark)
+ * or reset_region(), which free *every* object allocated after the
+ * mark.  This is exactly the lifetime discipline region type systems
+ * enforce statically; here the dynamic heap enforces it by bulk
+ * invalidation (handles of released objects die).
+ */
+class RegionHeap : public ManagedHeap {
+  public:
+    explicit RegionHeap(size_t heap_words) : ManagedHeap(heap_words) {}
+
+    const char* name() const override { return "region"; }
+
+    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
+                            uint8_t tag) override;
+
+    /** Current region mark; pass to release_to to end the region. */
+    size_t mark() const { return cursor_; }
+
+    /**
+     * Frees every object allocated at or after @p mark (their handles
+     * become invalid) and rewinds the bump cursor.
+     */
+    void release_to(size_t mark);
+
+    /** Frees everything in the heap. */
+    void reset_region() { release_to(0); }
+
+  private:
+    size_t cursor_ = 0;
+};
+
+}  // namespace bitc::mem
+
+#endif  // BITC_MEMORY_REGION_HEAP_HPP

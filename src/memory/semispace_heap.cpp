@@ -1,0 +1,73 @@
+#include "memory/semispace_heap.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "support/string_util.hpp"
+
+namespace bitc::mem {
+
+Result<ObjRef>
+SemispaceHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+{
+    uint32_t words = object_words(num_slots);
+    if (cursor_ + words > half_words_) {
+        collect();
+        if (cursor_ + words > half_words_) {
+            return resource_exhausted_error(
+                str_format("semispace exhausted (%zu live words)",
+                           cursor_));
+        }
+    }
+    size_t offset = from_base_ + cursor_;
+    cursor_ += words;
+    ObjRef ref = bind_handle(offset, num_slots, num_refs, tag);
+    account_alloc(words);
+    return ref;
+}
+
+void
+SemispaceHeap::collect()
+{
+    ScopedTimer timer(pause_stats_);
+    ++stats_.collections;
+
+    std::vector<bool> copied(table_.size(), false);
+    std::vector<ObjRef> worklist;
+    size_t to_cursor = 0;
+
+    auto evacuate = [&](ObjRef ref) {
+        if (ref == kNullRef || copied[ref]) return;
+        copied[ref] = true;
+        uint32_t words = object_words(num_slots(ref));
+        assert(to_cursor + words <= half_words_);
+        std::memcpy(storage_.get() + to_base_ + to_cursor,
+                    storage_.get() + table_[ref],
+                    words * sizeof(uint64_t));
+        table_[ref] = static_cast<uint32_t>(to_base_ + to_cursor);
+        to_cursor += words;
+        worklist.push_back(ref);
+    };
+
+    for (ObjRef* root : roots_) evacuate(*root);
+    while (!worklist.empty()) {
+        ObjRef cur = worklist.back();
+        worklist.pop_back();
+        uint32_t refs = num_refs(cur);
+        for (uint32_t i = 0; i < refs; ++i) {
+            evacuate(load_ref(cur, i));
+        }
+    }
+
+    // Anything not copied is garbage; its handle dies.
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry || copied[ref]) continue;
+        account_free(object_words(num_slots(ref)));
+        release_handle(ref);
+    }
+
+    std::swap(from_base_, to_base_);
+    cursor_ = to_cursor;
+}
+
+}  // namespace bitc::mem

@@ -1,0 +1,121 @@
+#include "repr/bitfield.hpp"
+
+#include <cassert>
+
+#include "repr/scalar_type.hpp"
+
+namespace bitc::repr {
+
+namespace {
+
+uint64_t
+read_bits_lsb(const uint8_t* buffer, size_t bit_offset, uint32_t width)
+{
+    uint64_t out = 0;
+    size_t byte = bit_offset / 8;
+    uint32_t shift = static_cast<uint32_t>(bit_offset % 8);
+    uint32_t produced = 0;
+    while (produced < width) {
+        uint32_t take = 8 - shift;
+        if (take > width - produced) take = width - produced;
+        uint64_t bits =
+            (static_cast<uint64_t>(buffer[byte]) >> shift) &
+            low_mask(take);
+        out |= bits << produced;
+        produced += take;
+        shift = 0;
+        ++byte;
+    }
+    return out;
+}
+
+void
+write_bits_lsb(uint8_t* buffer, size_t bit_offset, uint32_t width,
+               uint64_t value)
+{
+    size_t byte = bit_offset / 8;
+    uint32_t shift = static_cast<uint32_t>(bit_offset % 8);
+    uint32_t consumed = 0;
+    while (consumed < width) {
+        uint32_t take = 8 - shift;
+        if (take > width - consumed) take = width - consumed;
+        uint8_t mask = static_cast<uint8_t>(low_mask(take) << shift);
+        uint8_t bits = static_cast<uint8_t>(
+            ((value >> consumed) & low_mask(take)) << shift);
+        buffer[byte] = static_cast<uint8_t>((buffer[byte] & ~mask) | bits);
+        consumed += take;
+        shift = 0;
+        ++byte;
+    }
+}
+
+uint64_t
+read_bits_msb(const uint8_t* buffer, size_t bit_offset, uint32_t width)
+{
+    // Network order: earlier bits are more significant in the result.
+    uint64_t out = 0;
+    size_t byte = bit_offset / 8;
+    uint32_t used = static_cast<uint32_t>(bit_offset % 8);
+    uint32_t remaining = width;
+    while (remaining > 0) {
+        uint32_t avail = 8 - used;
+        uint32_t take = avail < remaining ? avail : remaining;
+        // Bits [used, used+take) of this byte, MSB-first.
+        uint64_t bits =
+            (static_cast<uint64_t>(buffer[byte]) >> (avail - take)) &
+            low_mask(take);
+        out = (out << take) | bits;
+        remaining -= take;
+        used = 0;
+        ++byte;
+    }
+    return out;
+}
+
+void
+write_bits_msb(uint8_t* buffer, size_t bit_offset, uint32_t width,
+               uint64_t value)
+{
+    size_t byte = bit_offset / 8;
+    uint32_t used = static_cast<uint32_t>(bit_offset % 8);
+    uint32_t remaining = width;
+    while (remaining > 0) {
+        uint32_t avail = 8 - used;
+        uint32_t take = avail < remaining ? avail : remaining;
+        uint32_t down = avail - take;
+        uint8_t mask =
+            static_cast<uint8_t>(low_mask(take) << down);
+        uint8_t bits = static_cast<uint8_t>(
+            ((value >> (remaining - take)) & low_mask(take)) << down);
+        buffer[byte] = static_cast<uint8_t>((buffer[byte] & ~mask) | bits);
+        remaining -= take;
+        used = 0;
+        ++byte;
+    }
+}
+
+}  // namespace
+
+uint64_t
+read_bits(const uint8_t* buffer, size_t bit_offset, uint32_t width,
+          BitOrder order)
+{
+    assert(width >= 1 && width <= 64);
+    return order == BitOrder::kLsbFirst
+               ? read_bits_lsb(buffer, bit_offset, width)
+               : read_bits_msb(buffer, bit_offset, width);
+}
+
+void
+write_bits(uint8_t* buffer, size_t bit_offset, uint32_t width,
+           uint64_t value, BitOrder order)
+{
+    assert(width >= 1 && width <= 64);
+    if (order == BitOrder::kLsbFirst) {
+        write_bits_lsb(buffer, bit_offset, width, value);
+    } else {
+        write_bits_msb(buffer, bit_offset, width, value);
+    }
+}
+
+}  // namespace bitc::repr

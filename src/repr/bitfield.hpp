@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bit-granular loads and stores into byte buffers.
+ *
+ * Two bit orders are supported:
+ *  - little-endian bit order: bit 0 is the LSB of byte 0 (in-memory
+ *    structs, page-table entries on x86-class machines);
+ *  - big-endian / network bit order: bit 0 is the MSB of byte 0 (the
+ *    order RFC packet diagrams are drawn in).
+ *
+ * These are the primitives the layout engine and codecs are built on;
+ * they are deliberately branch-light because the C3 experiment measures
+ * their cost against natural-width accesses.
+ */
+#ifndef BITC_REPR_BITFIELD_HPP
+#define BITC_REPR_BITFIELD_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bitc::repr {
+
+/** Bit numbering convention within a buffer. */
+enum class BitOrder : uint8_t {
+    kLsbFirst,  ///< bit 0 = LSB of byte 0 (little-endian structs)
+    kMsbFirst,  ///< bit 0 = MSB of byte 0 (network headers)
+};
+
+/**
+ * Reads @p width bits (1..64) starting at absolute bit offset
+ * @p bit_offset.  The caller guarantees the buffer covers the range.
+ */
+uint64_t read_bits(const uint8_t* buffer, size_t bit_offset,
+                   uint32_t width, BitOrder order);
+
+/**
+ * Writes the low @p width bits of @p value at @p bit_offset, leaving
+ * surrounding bits untouched.
+ */
+void write_bits(uint8_t* buffer, size_t bit_offset, uint32_t width,
+                uint64_t value, BitOrder order);
+
+}  // namespace bitc::repr
+
+#endif  // BITC_REPR_BITFIELD_HPP

@@ -1,0 +1,32 @@
+#include "repr/boxed_value.hpp"
+
+namespace bitc::repr {
+
+BoxedI64Array::BoxedI64Array(size_t size, bool scatter, Rng& rng)
+{
+    pool_.reserve(size);
+    slots_.assign(size, nullptr);
+
+    if (!scatter) {
+        for (size_t i = 0; i < size; ++i) {
+            pool_.push_back(std::make_unique<I64Box>(I64Box{1, 0}));
+            slots_[i] = pool_.back().get();
+        }
+        return;
+    }
+
+    // Allocate boxes in a random permutation of the access order, so
+    // slot i's box is (almost surely) far from slot i+1's box.
+    std::vector<size_t> order(size);
+    for (size_t i = 0; i < size; ++i) order[i] = i;
+    for (size_t i = size; i > 1; --i) {
+        size_t j = rng.next_below(i);
+        std::swap(order[i - 1], order[j]);
+    }
+    for (size_t i = 0; i < size; ++i) {
+        pool_.push_back(std::make_unique<I64Box>(I64Box{1, 0}));
+        slots_[order[i]] = pool_.back().get();
+    }
+}
+
+}  // namespace bitc::repr

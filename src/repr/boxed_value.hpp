@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Boxed vs unboxed sequence representations — the apparatus for
+ * fallacy F2 ("boxed representation can be optimised away").
+ *
+ * UnboxedI64Array stores elements inline, contiguously, the way C (and
+ * BitC) lay out arrays.  BoxedI64Array stores a pointer per element to
+ * a heap-allocated box carrying a tag word, the uniform representation
+ * ML-family runtimes use for polymorphic data.  The optional scatter
+ * mode randomises box allocation order relative to access order,
+ * modelling the heap entropy a long-running program accumulates.
+ */
+#ifndef BITC_REPR_BOXED_VALUE_HPP
+#define BITC_REPR_BOXED_VALUE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace bitc::repr {
+
+/** A heap box: tag word + payload, 16 bytes, as in typical runtimes. */
+struct I64Box {
+    uint64_t tag;
+    int64_t value;
+};
+
+/** Contiguous unboxed storage (the representation systems code wants). */
+class UnboxedI64Array {
+  public:
+    explicit UnboxedI64Array(size_t size) : data_(size, 0) {}
+
+    size_t size() const { return data_.size(); }
+    int64_t get(size_t i) const { return data_[i]; }
+    void set(size_t i, int64_t v) { data_[i] = v; }
+
+    /** Raw storage, for memcpy-style interop (F4). */
+    const int64_t* data() const { return data_.data(); }
+    int64_t* data() { return data_.data(); }
+
+    /** Bytes of storage per element. */
+    static constexpr size_t bytes_per_element() { return sizeof(int64_t); }
+
+  private:
+    std::vector<int64_t> data_;
+};
+
+/** Pointer-per-element boxed storage (the uniform ML representation). */
+class BoxedI64Array {
+  public:
+    /**
+     * @param size    Element count.
+     * @param scatter When true, boxes are allocated in random order so
+     *                that logically-adjacent elements are not heap-
+     *                adjacent (aged-heap locality).
+     * @param rng     Randomness for scatter mode.
+     */
+    BoxedI64Array(size_t size, bool scatter, Rng& rng);
+
+    size_t size() const { return slots_.size(); }
+    int64_t get(size_t i) const { return slots_[i]->value; }
+    void set(size_t i, int64_t v) { slots_[i]->value = v; }
+
+    /** Pointer + box bytes per element. */
+    static constexpr size_t bytes_per_element() {
+        return sizeof(I64Box*) + sizeof(I64Box);
+    }
+
+  private:
+    // The pool owns the boxes; slots_ holds the access-order pointers.
+    std::vector<std::unique_ptr<I64Box>> pool_;
+    std::vector<I64Box*> slots_;
+};
+
+}  // namespace bitc::repr
+
+#endif  // BITC_REPR_BOXED_VALUE_HPP

@@ -1,0 +1,133 @@
+#include "repr/codec.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::repr {
+
+Status
+RecordCodec::check_buffer(size_t bytes) const
+{
+    if (bytes < layout_.byte_size()) {
+        return out_of_range_error(
+            str_format("buffer of %zu bytes shorter than record '%s' "
+                       "(%u bytes)",
+                       bytes, layout_.name().c_str(),
+                       layout_.byte_size()));
+    }
+    return Status::ok();
+}
+
+Result<uint64_t>
+RecordCodec::read(std::span<const uint8_t> buffer,
+                  const std::string& name) const
+{
+    BITC_RETURN_IF_ERROR(check_buffer(buffer.size()));
+    BITC_ASSIGN_OR_RETURN(FieldLayout field, layout_.field(name));
+    return read_field(buffer, field);
+}
+
+Result<int64_t>
+RecordCodec::read_signed(std::span<const uint8_t> buffer,
+                         const std::string& name) const
+{
+    BITC_RETURN_IF_ERROR(check_buffer(buffer.size()));
+    BITC_ASSIGN_OR_RETURN(FieldLayout field, layout_.field(name));
+    uint64_t raw = read_field(buffer, field);
+    if (field.type.is_signed()) {
+        return sign_extend(raw, field.bit_width);
+    }
+    return static_cast<int64_t>(raw);
+}
+
+Status
+RecordCodec::write(std::span<uint8_t> buffer, const std::string& name,
+                   uint64_t value) const
+{
+    BITC_RETURN_IF_ERROR(check_buffer(buffer.size()));
+    BITC_ASSIGN_OR_RETURN(FieldLayout field, layout_.field(name));
+    BITC_ASSIGN_OR_RETURN(uint64_t raw, field.type.checked_convert(value));
+    write_field(buffer, field, raw);
+    return Status::ok();
+}
+
+Status
+RecordCodec::write_signed(std::span<uint8_t> buffer,
+                          const std::string& name, int64_t value) const
+{
+    BITC_RETURN_IF_ERROR(check_buffer(buffer.size()));
+    BITC_ASSIGN_OR_RETURN(FieldLayout field, layout_.field(name));
+    if (field.type.is_signed()) {
+        if (value < field.type.min_signed() ||
+            value > field.type.max_signed()) {
+            return out_of_range_error(
+                str_format("value %lld does not fit %s",
+                           static_cast<long long>(value),
+                           field.type.to_string().c_str()));
+        }
+        write_field(buffer, field,
+                    static_cast<uint64_t>(value) &
+                        low_mask(field.bit_width));
+        return Status::ok();
+    }
+    if (value < 0) {
+        return out_of_range_error("negative value into unsigned field");
+    }
+    BITC_ASSIGN_OR_RETURN(
+        uint64_t raw,
+        field.type.checked_convert(static_cast<uint64_t>(value)));
+    write_field(buffer, field, raw);
+    return Status::ok();
+}
+
+RecordSpec
+ipv4_header_spec()
+{
+    RecordSpec spec;
+    spec.name = "ipv4_header";
+    spec.packing = Packing::kPacked;
+    spec.bit_order = BitOrder::kMsbFirst;
+    spec.pinned_byte_size = 20;
+    spec.fields = {
+        {"version", ScalarType::uint_type(4)},
+        {"ihl", ScalarType::uint_type(4)},
+        {"dscp", ScalarType::uint_type(6)},
+        {"ecn", ScalarType::uint_type(2)},
+        {"total_length", ScalarType::uint_type(16)},
+        {"identification", ScalarType::uint_type(16)},
+        {"flags", ScalarType::uint_type(3)},
+        {"fragment_offset", ScalarType::uint_type(13)},
+        {"ttl", ScalarType::uint_type(8)},
+        {"protocol", ScalarType::uint_type(8)},
+        {"header_checksum", ScalarType::uint_type(16)},
+        {"src_addr", ScalarType::uint_type(32)},
+        {"dst_addr", ScalarType::uint_type(32)},
+    };
+    return spec;
+}
+
+RecordSpec
+page_table_entry_spec()
+{
+    RecordSpec spec;
+    spec.name = "page_table_entry";
+    spec.packing = Packing::kExplicit;
+    spec.bit_order = BitOrder::kLsbFirst;
+    spec.pinned_byte_size = 8;
+    spec.fields = {
+        {"present", ScalarType::boolean(), 0},
+        {"writable", ScalarType::boolean(), 1},
+        {"user", ScalarType::boolean(), 2},
+        {"write_through", ScalarType::boolean(), 3},
+        {"cache_disable", ScalarType::boolean(), 4},
+        {"accessed", ScalarType::boolean(), 5},
+        {"dirty", ScalarType::boolean(), 6},
+        {"page_size", ScalarType::boolean(), 7},
+        {"global", ScalarType::boolean(), 8},
+        {"frame", ScalarType::uint_type(40), 12},
+        {"pkey", ScalarType::uint_type(4), 59},
+        {"no_execute", ScalarType::boolean(), 63},
+    };
+    return spec;
+}
+
+}  // namespace bitc::repr

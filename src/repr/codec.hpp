@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Record codec: typed, bounds-checked field access over raw byte
+ * buffers, driven by a RecordLayout.
+ *
+ * This is the LangSec-flavoured half of C3: a parser whose structure is
+ * *derived from the declared representation* instead of hand-written
+ * shifts and masks, eliminating the offset-arithmetic bug class.
+ */
+#ifndef BITC_REPR_CODEC_HPP
+#define BITC_REPR_CODEC_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "repr/layout.hpp"
+#include "support/status.hpp"
+
+namespace bitc::repr {
+
+/**
+ * Reads and writes fields of one record type within byte buffers.
+ * Stateless and cheap to copy; holds the layout by value.
+ */
+class RecordCodec {
+  public:
+    explicit RecordCodec(RecordLayout layout) : layout_(std::move(layout)) {}
+
+    const RecordLayout& layout() const { return layout_; }
+
+    /**
+     * Reads field @p name from @p buffer (which must hold at least one
+     * record starting at byte 0).  Integers are returned zero-extended;
+     * use read_signed for sign-extension.
+     */
+    Result<uint64_t> read(std::span<const uint8_t> buffer,
+                          const std::string& name) const;
+
+    /** Reads a signed field, sign-extended to 64 bits. */
+    Result<int64_t> read_signed(std::span<const uint8_t> buffer,
+                                const std::string& name) const;
+
+    /**
+     * Writes field @p name.  Fails with kOutOfRange if @p value does
+     * not fit the field's declared width (no silent truncation).
+     */
+    Status write(std::span<uint8_t> buffer, const std::string& name,
+                 uint64_t value) const;
+
+    /** Writes a signed value with range checking. */
+    Status write_signed(std::span<uint8_t> buffer, const std::string& name,
+                        int64_t value) const;
+
+    /** Reads by precomputed FieldLayout: the hot path for parsers. */
+    uint64_t read_field(std::span<const uint8_t> buffer,
+                        const FieldLayout& field) const {
+        return read_bits(buffer.data(), field.bit_offset, field.bit_width,
+                         layout_.bit_order());
+    }
+
+    /** Writes by precomputed FieldLayout without range checks. */
+    void write_field(std::span<uint8_t> buffer, const FieldLayout& field,
+                     uint64_t value) const {
+        write_bits(buffer.data(), field.bit_offset, field.bit_width,
+                   value & low_mask(field.bit_width),
+                   layout_.bit_order());
+    }
+
+  private:
+    Status check_buffer(size_t bytes) const;
+
+    RecordLayout layout_;
+};
+
+/** The IPv4-style header used throughout docs, tests and benches. */
+RecordSpec ipv4_header_spec();
+
+/** An x86-64-style page-table entry (explicit bit placement). */
+RecordSpec page_table_entry_spec();
+
+}  // namespace bitc::repr
+
+#endif  // BITC_REPR_CODEC_HPP

@@ -1,0 +1,189 @@
+#include "repr/layout.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/string_util.hpp"
+
+namespace bitc::repr {
+
+RecordLayout::RecordLayout(std::string name, BitOrder order,
+                           std::vector<FieldLayout> fields,
+                           uint32_t byte_size, uint32_t alignment_bytes)
+    : name_(std::move(name)),
+      bit_order_(order),
+      fields_(std::move(fields)),
+      byte_size_(byte_size),
+      alignment_(alignment_bytes)
+{
+}
+
+Result<FieldLayout>
+RecordLayout::field(const std::string& name) const
+{
+    for (const FieldLayout& f : fields_) {
+        if (f.name == name) return f;
+    }
+    return not_found_error(
+        str_format("no field '%s' in record '%s'", name.c_str(),
+                   name_.c_str()));
+}
+
+bool
+RecordLayout::has_field(const std::string& name) const
+{
+    return std::any_of(fields_.begin(), fields_.end(),
+                       [&](const FieldLayout& f) { return f.name == name; });
+}
+
+uint64_t
+RecordLayout::padding_bits() const
+{
+    // Count covered bits with a bitmap; records are small.
+    std::vector<bool> covered(byte_size_ * 8ull, false);
+    for (const FieldLayout& f : fields_) {
+        for (uint64_t b = f.bit_offset; b < f.bit_offset + f.bit_width;
+             ++b) {
+            covered[b] = true;
+        }
+    }
+    uint64_t pad = 0;
+    for (bool c : covered) {
+        if (!c) ++pad;
+    }
+    return pad;
+}
+
+std::string
+RecordLayout::describe() const
+{
+    std::string out = str_format("record %s (%u bytes, align %u)\n",
+                                 name_.c_str(), byte_size_, alignment_);
+    for (const FieldLayout& f : fields_) {
+        out += str_format("  %-16s : %-7s @ bit %llu width %u\n",
+                          f.name.c_str(), f.type.to_string().c_str(),
+                          static_cast<unsigned long long>(f.bit_offset),
+                          f.bit_width);
+    }
+    return out;
+}
+
+namespace {
+
+/** Byte alignment C would give the scalar (capped at 8). */
+uint32_t
+natural_alignment_bytes(ScalarType type)
+{
+    uint32_t bytes = (type.bits() + 7) / 8;
+    // Round up to a power of two, cap at 8.
+    uint32_t align = 1;
+    while (align < bytes) align <<= 1;
+    return std::min(align, 8u);
+}
+
+uint64_t
+align_up(uint64_t value, uint64_t alignment)
+{
+    return (value + alignment - 1) / alignment * alignment;
+}
+
+Status
+check_overlap(const std::vector<FieldLayout>& fields)
+{
+    std::vector<FieldLayout> sorted = fields;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FieldLayout& a, const FieldLayout& b) {
+                  return a.bit_offset < b.bit_offset;
+              });
+    for (size_t i = 1; i < sorted.size(); ++i) {
+        const FieldLayout& prev = sorted[i - 1];
+        const FieldLayout& cur = sorted[i];
+        if (prev.bit_offset + prev.bit_width > cur.bit_offset) {
+            return invalid_argument_error(
+                str_format("fields '%s' and '%s' overlap",
+                           prev.name.c_str(), cur.name.c_str()));
+        }
+    }
+    return Status::ok();
+}
+
+}  // namespace
+
+Result<RecordLayout>
+compute_layout(const RecordSpec& spec)
+{
+    std::unordered_set<std::string> names;
+    for (const FieldSpec& f : spec.fields) {
+        BITC_RETURN_IF_ERROR(f.type.validate());
+        if (!names.insert(f.name).second) {
+            return already_exists_error(
+                str_format("duplicate field '%s' in record '%s'",
+                           f.name.c_str(), spec.name.c_str()));
+        }
+        if (spec.packing == Packing::kExplicit && !f.bit_offset) {
+            return invalid_argument_error(
+                str_format("field '%s' needs a bit offset under "
+                           "explicit packing", f.name.c_str()));
+        }
+    }
+
+    std::vector<FieldLayout> fields;
+    fields.reserve(spec.fields.size());
+    uint64_t cursor = 0;   // next free bit
+    uint64_t end_bit = 0;  // highest bit used so far
+    uint32_t max_align = 1;
+
+    for (const FieldSpec& f : spec.fields) {
+        FieldLayout out;
+        out.name = f.name;
+        out.type = f.type;
+        out.bit_width = f.type.bits();
+        switch (spec.packing) {
+          case Packing::kNatural: {
+            uint32_t align = natural_alignment_bytes(f.type);
+            max_align = std::max(max_align, align);
+            // Natural mode widens sub-byte scalars to whole bytes and
+            // aligns like C would; the padding cost is what the packed
+            // mode exists to avoid.
+            uint32_t width_bytes = (f.type.bits() + 7) / 8;
+            cursor = align_up(cursor, align * 8ull);
+            out.bit_offset = cursor;
+            cursor += width_bytes * 8ull;
+            break;
+          }
+          case Packing::kPacked:
+            out.bit_offset = cursor;
+            cursor += f.type.bits();
+            break;
+          case Packing::kExplicit:
+            out.bit_offset = *f.bit_offset;
+            break;
+        }
+        end_bit = std::max(end_bit, out.bit_offset + out.bit_width);
+        fields.push_back(out);
+    }
+
+    if (!spec.allow_overlap) {
+        BITC_RETURN_IF_ERROR(check_overlap(fields));
+    }
+
+    uint32_t byte_size = static_cast<uint32_t>((end_bit + 7) / 8);
+    if (spec.packing == Packing::kNatural) {
+        byte_size = static_cast<uint32_t>(
+            align_up(byte_size, max_align));
+    }
+    if (spec.pinned_byte_size) {
+        if (byte_size > *spec.pinned_byte_size) {
+            return invalid_argument_error(str_format(
+                "record '%s' needs %u bytes but is pinned to %u",
+                spec.name.c_str(), byte_size, *spec.pinned_byte_size));
+        }
+        byte_size = *spec.pinned_byte_size;
+    }
+
+    return RecordLayout(spec.name, spec.bit_order, std::move(fields),
+                        byte_size,
+                        spec.packing == Packing::kNatural ? max_align : 1);
+}
+
+}  // namespace bitc::repr

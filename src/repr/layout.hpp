@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Struct layout engine: computes exact bit placement for records
+ * described with bit-precise field specs under three packing regimes.
+ *
+ * This is the C3 artefact: the programmer states the representation
+ * ("a 4-bit version, then a 4-bit IHL, then ...") and the engine both
+ * computes it and *checks* it (overlaps, width violations, size pins),
+ * turning representation intent into a machine-checked contract —
+ * exactly what Shapiro argues C structs-with-macros cannot give and
+ * HM-boxed records refuse to express.
+ */
+#ifndef BITC_REPR_LAYOUT_HPP
+#define BITC_REPR_LAYOUT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "repr/bitfield.hpp"
+#include "repr/scalar_type.hpp"
+#include "support/status.hpp"
+
+namespace bitc::repr {
+
+/** How fields are placed within a record. */
+enum class Packing : uint8_t {
+    kNatural,  ///< C-like: byte-aligned to min(size, 8) with padding.
+    kPacked,   ///< Bit-contiguous: each field at the next free bit.
+    kExplicit, ///< Every field carries its own bit offset.
+};
+
+/** One field in a record spec. */
+struct FieldSpec {
+    std::string name;
+    ScalarType type = ScalarType::uint_type(32);
+    /** kExplicit packing: absolute bit offset; ignored otherwise. */
+    std::optional<uint64_t> bit_offset;
+
+    FieldSpec(std::string n, ScalarType t)
+        : name(std::move(n)), type(t) {}
+    FieldSpec(std::string n, ScalarType t, uint64_t offset)
+        : name(std::move(n)), type(t), bit_offset(offset) {}
+};
+
+/** A record type description, prior to layout. */
+struct RecordSpec {
+    std::string name;
+    Packing packing = Packing::kNatural;
+    BitOrder bit_order = BitOrder::kLsbFirst;
+    /** Fields may overlap in kExplicit packing (unions/views). */
+    bool allow_overlap = false;
+    /** If set, the layout must occupy exactly this many bytes. */
+    std::optional<uint32_t> pinned_byte_size;
+    std::vector<FieldSpec> fields;
+};
+
+/** A field with its placement decided. */
+struct FieldLayout {
+    std::string name;
+    ScalarType type = ScalarType::uint_type(32);
+    uint64_t bit_offset = 0;
+    uint32_t bit_width = 0;
+};
+
+/** A fully laid-out record. */
+class RecordLayout {
+  public:
+    RecordLayout(std::string name, BitOrder order,
+                 std::vector<FieldLayout> fields, uint32_t byte_size,
+                 uint32_t alignment_bytes);
+
+    const std::string& name() const { return name_; }
+    BitOrder bit_order() const { return bit_order_; }
+    uint32_t byte_size() const { return byte_size_; }
+    uint32_t alignment_bytes() const { return alignment_; }
+    const std::vector<FieldLayout>& fields() const { return fields_; }
+
+    /** Field lookup by name. */
+    Result<FieldLayout> field(const std::string& name) const;
+    bool has_field(const std::string& name) const;
+
+    /** Bits of padding (bits covered by no field). */
+    uint64_t padding_bits() const;
+
+    /** One line per field: "version : uint4 @ bit 0". */
+    std::string describe() const;
+
+  private:
+    std::string name_;
+    BitOrder bit_order_;
+    std::vector<FieldLayout> fields_;
+    uint32_t byte_size_;
+    uint32_t alignment_;
+};
+
+/**
+ * Computes a RecordLayout from a RecordSpec, validating:
+ *  - every scalar type is well-formed;
+ *  - field names are unique;
+ *  - explicit placements do not overlap (unless allow_overlap);
+ *  - the result fits a pinned size, when pinned.
+ */
+Result<RecordLayout> compute_layout(const RecordSpec& spec);
+
+}  // namespace bitc::repr
+
+#endif  // BITC_REPR_LAYOUT_HPP

@@ -1,0 +1,129 @@
+#include "repr/scalar_type.hpp"
+
+#include <cassert>
+
+#include "support/string_util.hpp"
+
+namespace bitc::repr {
+
+uint64_t
+low_mask(uint32_t bits)
+{
+    assert(bits >= 1 && bits <= 64);
+    return bits == 64 ? ~0ull : (1ull << bits) - 1;
+}
+
+int64_t
+sign_extend(uint64_t value, uint32_t bits)
+{
+    assert(bits >= 1 && bits <= 64);
+    if (bits == 64) return static_cast<int64_t>(value);
+    uint64_t sign_bit = 1ull << (bits - 1);
+    uint64_t masked = value & low_mask(bits);
+    return static_cast<int64_t>((masked ^ sign_bit) - sign_bit);
+}
+
+Status
+ScalarType::validate() const
+{
+    switch (class_) {
+      case ScalarClass::kUnsigned:
+        if (bits_ < 1 || bits_ > 64) {
+            return invalid_argument_error(
+                str_format("uint width %u out of 1..64", bits_));
+        }
+        return Status::ok();
+      case ScalarClass::kSigned:
+        if (bits_ < 2 || bits_ > 64) {
+            return invalid_argument_error(
+                str_format("int width %u out of 2..64", bits_));
+        }
+        return Status::ok();
+      case ScalarClass::kFloat:
+        if (bits_ != 32 && bits_ != 64) {
+            return invalid_argument_error(
+                str_format("float width %u not 32 or 64", bits_));
+        }
+        return Status::ok();
+      case ScalarClass::kBool:
+        if (bits_ != 1) {
+            return invalid_argument_error("bool must be 1 bit");
+        }
+        return Status::ok();
+    }
+    return internal_error("bad scalar class");
+}
+
+uint64_t
+ScalarType::max_raw() const
+{
+    assert(is_integer() || class_ == ScalarClass::kBool);
+    if (class_ == ScalarClass::kSigned) {
+        return low_mask(bits_) >> 1;  // 0111...1
+    }
+    return low_mask(bits_);
+}
+
+int64_t
+ScalarType::min_signed() const
+{
+    assert(is_signed());
+    return -static_cast<int64_t>(1ull << (bits_ - 1));
+}
+
+int64_t
+ScalarType::max_signed() const
+{
+    assert(is_signed());
+    return static_cast<int64_t>(max_raw());
+}
+
+bool
+ScalarType::fits(uint64_t value) const
+{
+    switch (class_) {
+      case ScalarClass::kBool:
+        return value <= 1;
+      case ScalarClass::kUnsigned:
+        return value <= max_raw();
+      case ScalarClass::kSigned: {
+        int64_t sv = static_cast<int64_t>(value);
+        return sv >= min_signed() && sv <= max_signed();
+      }
+      case ScalarClass::kFloat:
+        return bits_ == 64 || (value >> 32) == 0;
+    }
+    return false;
+}
+
+Result<uint64_t>
+ScalarType::checked_convert(uint64_t value) const
+{
+    if (!fits(value)) {
+        return out_of_range_error(
+            str_format("value %llu does not fit %s",
+                       static_cast<unsigned long long>(value),
+                       to_string().c_str()));
+    }
+    return value & (bits_ == 64 ? ~0ull : low_mask(bits_));
+}
+
+uint64_t
+ScalarType::wrap(uint64_t value) const
+{
+    return value & low_mask(bits_);
+}
+
+std::string
+ScalarType::to_string() const
+{
+    switch (class_) {
+      case ScalarClass::kUnsigned: return str_format("uint%u", bits_);
+      case ScalarClass::kSigned: return str_format("int%u", bits_);
+      case ScalarClass::kFloat: return str_format("f%u", bits_);
+      case ScalarClass::kBool: return "bool";
+    }
+    return "?";
+}
+
+}  // namespace bitc::repr

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bit-precise scalar types.
+ *
+ * Challenge C3 ("control over data representation") demands types whose
+ * machine representation is exact and programmer-chosen: a 3-bit flags
+ * field, a 13-bit length, a signed 24-bit sample.  ScalarType is that
+ * vocabulary; the layout engine and codecs consume it, and the language
+ * front end surfaces it as (bit uint 13)-style type expressions.
+ */
+#ifndef BITC_REPR_SCALAR_TYPE_HPP
+#define BITC_REPR_SCALAR_TYPE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace bitc::repr {
+
+/** Interpretation of a scalar's bit pattern. */
+enum class ScalarClass : uint8_t {
+    kUnsigned,  ///< Zero-extended integer, any width 1..64.
+    kSigned,    ///< Two's-complement integer, any width 2..64.
+    kFloat,     ///< IEEE-754 binary32 or binary64 only.
+    kBool,      ///< One bit, 0 or 1.
+};
+
+/**
+ * A scalar with exact bit width.  Value type; compares structurally.
+ */
+class ScalarType {
+  public:
+    /** Unsigned integer of @p bits (1..64). */
+    static ScalarType uint_type(uint32_t bits) {
+        return ScalarType(ScalarClass::kUnsigned, bits);
+    }
+    /** Signed two's-complement integer of @p bits (2..64). */
+    static ScalarType int_type(uint32_t bits) {
+        return ScalarType(ScalarClass::kSigned, bits);
+    }
+    static ScalarType f32() { return ScalarType(ScalarClass::kFloat, 32); }
+    static ScalarType f64() { return ScalarType(ScalarClass::kFloat, 64); }
+    static ScalarType boolean() { return ScalarType(ScalarClass::kBool, 1); }
+
+    ScalarClass scalar_class() const { return class_; }
+    uint32_t bits() const { return bits_; }
+
+    bool is_integer() const {
+        return class_ == ScalarClass::kUnsigned ||
+               class_ == ScalarClass::kSigned;
+    }
+    bool is_signed() const { return class_ == ScalarClass::kSigned; }
+    bool is_float() const { return class_ == ScalarClass::kFloat; }
+
+    /** Checks width constraints for the class. */
+    Status validate() const;
+
+    /** Largest representable value, as raw bits (integers only). */
+    uint64_t max_raw() const;
+    /** Smallest representable signed value (signed only). */
+    int64_t min_signed() const;
+    int64_t max_signed() const;
+
+    /**
+     * True if @p value (interpreted per the class) is representable.
+     * For unsigned/bool the argument is the zero-extended value; for
+     * signed it is the sign-extended value reinterpreted as uint64.
+     */
+    bool fits(uint64_t value) const;
+
+    /**
+     * Narrows @p value to this type, failing (kOutOfRange) on overflow
+     * instead of silently truncating — the "safe conversion function"
+     * discipline the paper's security discussion calls for.
+     */
+    Result<uint64_t> checked_convert(uint64_t value) const;
+
+    /** Truncates/sign-extends @p value to the type's width (C-style). */
+    uint64_t wrap(uint64_t value) const;
+
+    /** "uint13", "int24", "f32", "bool" rendering. */
+    std::string to_string() const;
+
+    bool operator==(const ScalarType&) const = default;
+
+  private:
+    ScalarType(ScalarClass cls, uint32_t bits) : class_(cls), bits_(bits) {}
+
+    ScalarClass class_;
+    uint32_t bits_;
+};
+
+/** Sign-extends the low @p bits of @p value to 64 bits. */
+int64_t sign_extend(uint64_t value, uint32_t bits);
+
+/** Mask with the low @p bits set (bits in 1..64). */
+uint64_t low_mask(uint32_t bits);
+
+}  // namespace bitc::repr
+
+#endif  // BITC_REPR_SCALAR_TYPE_HPP

@@ -1,0 +1,66 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bitc {
+
+namespace {
+
+/** Bytes to add to @p address to reach @p alignment. */
+size_t
+align_gap(const std::byte* base, size_t used, size_t alignment)
+{
+    auto address = reinterpret_cast<uintptr_t>(base) + used;
+    uintptr_t aligned = (address + alignment - 1) & ~(alignment - 1);
+    return aligned - address;
+}
+
+}  // namespace
+
+void*
+Arena::allocate(size_t bytes, size_t alignment)
+{
+    assert(alignment != 0 && (alignment & (alignment - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+
+    if (!chunks_.empty()) {
+        Chunk& chunk = chunks_.back();
+        size_t gap = align_gap(chunk.data.get(), chunk.used, alignment);
+        if (chunk.used + gap + bytes <= chunk.size) {
+            void* p = chunk.data.get() + chunk.used + gap;
+            chunk.used += gap + bytes;
+            bytes_allocated_ += bytes;
+            return p;
+        }
+    }
+    add_chunk(bytes + alignment);
+    Chunk& chunk = chunks_.back();
+    size_t gap = align_gap(chunk.data.get(), chunk.used, alignment);
+    assert(chunk.used + gap + bytes <= chunk.size);
+    void* p = chunk.data.get() + chunk.used + gap;
+    chunk.used += gap + bytes;
+    bytes_allocated_ += bytes;
+    return p;
+}
+
+void
+Arena::add_chunk(size_t min_bytes)
+{
+    size_t size = std::max(next_chunk_bytes_, min_bytes);
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(size);
+    chunk.size = size;
+    chunks_.push_back(std::move(chunk));
+    // Geometric growth caps per-allocation chunk overhead at O(1) amortized.
+    next_chunk_bytes_ = std::min<size_t>(next_chunk_bytes_ * 2, 1u << 20);
+}
+
+void
+Arena::reset()
+{
+    chunks_.clear();
+    bytes_allocated_ = 0;
+}
+
+}  // namespace bitc

@@ -1,0 +1,75 @@
+#include "support/diagnostics.hpp"
+
+namespace bitc {
+
+const char*
+severity_name(Severity severity)
+{
+    switch (severity) {
+      case Severity::kNote: return "note";
+      case Severity::kWarning: return "warning";
+      case Severity::kError: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::to_string() const
+{
+    std::string out = span.to_string();
+    out += ": ";
+    out += severity_name(severity);
+    out += ": ";
+    out += message;
+    return out;
+}
+
+void
+DiagnosticEngine::error(SourceSpan span, std::string message)
+{
+    diagnostics_.push_back({Severity::kError, span, std::move(message)});
+    ++error_count_;
+}
+
+void
+DiagnosticEngine::warning(SourceSpan span, std::string message)
+{
+    diagnostics_.push_back({Severity::kWarning, span, std::move(message)});
+    ++warning_count_;
+}
+
+void
+DiagnosticEngine::note(SourceSpan span, std::string message)
+{
+    diagnostics_.push_back({Severity::kNote, span, std::move(message)});
+}
+
+std::string
+DiagnosticEngine::to_string() const
+{
+    std::string out;
+    for (const Diagnostic& d : diagnostics_) {
+        out += d.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+DiagnosticEngine::first_error() const
+{
+    for (const Diagnostic& d : diagnostics_) {
+        if (d.severity == Severity::kError) return d.message;
+    }
+    return "";
+}
+
+void
+DiagnosticEngine::clear()
+{
+    diagnostics_.clear();
+    error_count_ = 0;
+    warning_count_ = 0;
+}
+
+}  // namespace bitc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Diagnostic accumulation for the language pipeline.
+ *
+ * Every front-end stage (lexer, parser, type checker, verifier) reports
+ * problems into a DiagnosticEngine instead of printing or aborting, so
+ * tests can assert on exact diagnostics and tools can render them.
+ */
+#ifndef BITC_SUPPORT_DIAGNOSTICS_HPP
+#define BITC_SUPPORT_DIAGNOSTICS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace bitc {
+
+/** Severity of a diagnostic. Errors make the pipeline fail. */
+enum class Severity { kNote, kWarning, kError };
+
+const char* severity_name(Severity severity);
+
+/** One reported problem, anchored to a source span. */
+struct Diagnostic {
+    Severity severity = Severity::kError;
+    SourceSpan span;
+    std::string message;
+
+    /** "3:7: error: unbound identifier 'x'" rendering. */
+    std::string to_string() const;
+};
+
+/**
+ * Collects diagnostics produced while processing one compilation unit.
+ */
+class DiagnosticEngine {
+  public:
+    void error(SourceSpan span, std::string message);
+    void warning(SourceSpan span, std::string message);
+    void note(SourceSpan span, std::string message);
+
+    bool has_errors() const { return error_count_ > 0; }
+    size_t error_count() const { return error_count_; }
+    size_t warning_count() const { return warning_count_; }
+
+    const std::vector<Diagnostic>& diagnostics() const {
+        return diagnostics_;
+    }
+
+    /** All diagnostics, one per line. */
+    std::string to_string() const;
+
+    /** Message of the first error, or "" if none; handy in tests. */
+    std::string first_error() const;
+
+    void clear();
+
+  private:
+    std::vector<Diagnostic> diagnostics_;
+    size_t error_count_ = 0;
+    size_t warning_count_ = 0;
+};
+
+}  // namespace bitc
+
+#endif  // BITC_SUPPORT_DIAGNOSTICS_HPP

@@ -1,0 +1,25 @@
+#include "support/intern.hpp"
+
+#include <cassert>
+
+namespace bitc {
+
+Symbol
+SymbolTable::intern(std::string_view text)
+{
+    auto it = index_.find(std::string(text));
+    if (it != index_.end()) return Symbol(it->second);
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(text);
+    index_.emplace(strings_.back(), id);
+    return Symbol(id);
+}
+
+const std::string&
+SymbolTable::text(Symbol symbol) const
+{
+    assert(symbol.is_valid() && symbol.id() < strings_.size());
+    return strings_[symbol.id()];
+}
+
+}  // namespace bitc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * String interning.  Symbols are small value types comparing by id,
+ * which keeps AST nodes and type terms compact and comparison O(1).
+ */
+#ifndef BITC_SUPPORT_INTERN_HPP
+#define BITC_SUPPORT_INTERN_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bitc {
+
+class SymbolTable;
+
+/** An interned string; valid only with the SymbolTable that produced it. */
+class Symbol {
+  public:
+    Symbol() : id_(kInvalidId) {}
+
+    bool is_valid() const { return id_ != kInvalidId; }
+    uint32_t id() const { return id_; }
+
+    bool operator==(const Symbol&) const = default;
+    /** Orders by intern id (creation order), not lexicographically. */
+    bool operator<(const Symbol& other) const { return id_ < other.id_; }
+
+  private:
+    friend class SymbolTable;
+    explicit Symbol(uint32_t id) : id_(id) {}
+
+    static constexpr uint32_t kInvalidId = 0xffffffffu;
+    uint32_t id_;
+};
+
+/** Owns interned strings; lookup by content, O(1) resolve by Symbol. */
+class SymbolTable {
+  public:
+    /** Interns @p text, returning the existing Symbol if already present. */
+    Symbol intern(std::string_view text);
+
+    /** The text of @p symbol; asserts the symbol came from this table. */
+    const std::string& text(Symbol symbol) const;
+
+    size_t size() const { return strings_.size(); }
+
+  private:
+    std::unordered_map<std::string, uint32_t> index_;
+    std::vector<std::string> strings_;
+};
+
+}  // namespace bitc
+
+namespace std {
+template <>
+struct hash<bitc::Symbol> {
+    size_t operator()(const bitc::Symbol& s) const noexcept {
+        return std::hash<uint32_t>()(s.id());
+    }
+};
+}  // namespace std
+
+#endif  // BITC_SUPPORT_INTERN_HPP

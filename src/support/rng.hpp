@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic xorshift128+ RNG for workload generators and property
+ * tests.  Deterministic seeding keeps every benchmark and property test
+ * reproducible run-to-run, which the experiment harness relies on.
+ */
+#ifndef BITC_SUPPORT_RNG_HPP
+#define BITC_SUPPORT_RNG_HPP
+
+#include <cstdint>
+
+namespace bitc {
+
+/** xorshift128+ generator; not cryptographic, very fast, deterministic. */
+class Rng {
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+        // splitmix64 seeding avoids correlated low-entropy states.
+        state_[0] = splitmix(seed);
+        state_[1] = splitmix(seed + 0xbf58476d1ce4e5b9ull);
+    }
+
+    /** Uniform 64-bit value. */
+    uint64_t next() {
+        uint64_t s1 = state_[0];
+        const uint64_t s0 = state_[1];
+        state_[0] = s0;
+        s1 ^= s1 << 23;
+        state_[1] = s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26);
+        return state_[1] + s0;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    uint64_t next_below(uint64_t bound) { return next() % bound; }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t next_in(int64_t lo, int64_t hi) {
+        return lo + static_cast<int64_t>(
+            next_below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double next_double() {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  private:
+    static uint64_t splitmix(uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    uint64_t state_[2];
+};
+
+}  // namespace bitc
+
+#endif  // BITC_SUPPORT_RNG_HPP

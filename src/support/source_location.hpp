@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Source positions and spans for the BitC-like language front end.
+ */
+#ifndef BITC_SUPPORT_SOURCE_LOCATION_HPP
+#define BITC_SUPPORT_SOURCE_LOCATION_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace bitc {
+
+/** A 1-based (line, column) position within a named source buffer. */
+struct SourceLoc {
+    uint32_t line = 0;
+    uint32_t column = 0;
+
+    bool is_valid() const { return line != 0; }
+
+    bool operator==(const SourceLoc&) const = default;
+
+    /** "12:3" rendering; "?" when invalid. */
+    std::string to_string() const {
+        if (!is_valid()) return "?";
+        return std::to_string(line) + ":" + std::to_string(column);
+    }
+};
+
+/** Half-open span [begin, end) over a source buffer. */
+struct SourceSpan {
+    SourceLoc begin;
+    SourceLoc end;
+
+    bool is_valid() const { return begin.is_valid(); }
+
+    bool operator==(const SourceSpan&) const = default;
+
+    std::string to_string() const { return begin.to_string(); }
+
+    /** Smallest span covering both operands. */
+    static SourceSpan join(const SourceSpan& a, const SourceSpan& b) {
+        if (!a.is_valid()) return b;
+        if (!b.is_valid()) return a;
+        return SourceSpan{a.begin, b.end};
+    }
+};
+
+}  // namespace bitc
+
+#endif  // BITC_SUPPORT_SOURCE_LOCATION_HPP

@@ -1,0 +1,83 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace bitc {
+
+double
+SampleStats::min() const
+{
+    assert(!samples_.empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleStats::max() const
+{
+    assert(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleStats::sum() const
+{
+    double total = 0;
+    for (double s : samples_) total += s;
+    return total;
+}
+
+double
+SampleStats::mean() const
+{
+    assert(!samples_.empty());
+    return sum() / static_cast<double>(samples_.size());
+}
+
+double
+SampleStats::stddev() const
+{
+    assert(!samples_.empty());
+    double m = mean();
+    double acc = 0;
+    for (double s : samples_) acc += (s - m) * (s - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double
+SampleStats::percentile(double q) const
+{
+    assert(!samples_.empty());
+    assert(q >= 0.0 && q <= 1.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+    if (rank >= sorted.size()) rank = sorted.size() - 1;
+    return sorted[rank];
+}
+
+std::string
+SampleStats::summary() const
+{
+    if (samples_.empty()) return "n=0";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%zu mean=%.1f p50=%.1f p99=%.1f max=%.1f",
+                  count(), mean(), percentile(0.50), percentile(0.99),
+                  max());
+    return buf;
+}
+
+uint64_t
+now_ns()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace bitc

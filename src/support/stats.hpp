@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Latency/throughput statistics used by the experiment harness,
+ * notably pause-time percentiles for the storage-management study (C2).
+ */
+#ifndef BITC_SUPPORT_STATS_HPP
+#define BITC_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitc {
+
+/**
+ * Records individual samples (e.g. nanosecond pause times) and reports
+ * order statistics.  Stores raw samples; fine for the ~1e6 sample scale
+ * of these experiments.
+ */
+class SampleStats {
+  public:
+    void record(double value) { samples_.push_back(value); }
+    void clear() { samples_.clear(); }
+
+    size_t count() const { return samples_.size(); }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double stddev() const;
+    /** q in [0,1]; nearest-rank percentile. Requires count() > 0. */
+    double percentile(double q) const;
+    double sum() const;
+
+    /** "n=100 mean=1.2 p50=1.0 p99=3.4 max=9.1" rendering. */
+    std::string summary() const;
+
+  private:
+    // percentile() sorts a copy lazily; recording stays O(1).
+    std::vector<double> samples_;
+};
+
+/** Monotonic wall-clock in nanoseconds. */
+uint64_t now_ns();
+
+/** RAII timer recording elapsed ns into a SampleStats on destruction. */
+class ScopedTimer {
+  public:
+    explicit ScopedTimer(SampleStats& stats)
+        : stats_(stats), start_(now_ns()) {}
+    ~ScopedTimer() {
+        stats_.record(static_cast<double>(now_ns() - start_));
+    }
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    SampleStats& stats_;
+    uint64_t start_;
+};
+
+}  // namespace bitc
+
+#endif  // BITC_SUPPORT_STATS_HPP

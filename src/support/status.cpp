@@ -1,0 +1,63 @@
+#include "support/status.hpp"
+
+namespace bitc {
+
+const char*
+status_code_name(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kInvalidArgument: return "invalid argument";
+      case StatusCode::kNotFound: return "not found";
+      case StatusCode::kAlreadyExists: return "already exists";
+      case StatusCode::kOutOfRange: return "out of range";
+      case StatusCode::kResourceExhausted: return "resource exhausted";
+      case StatusCode::kFailedPrecondition: return "failed precondition";
+      case StatusCode::kUnimplemented: return "unimplemented";
+      case StatusCode::kInternal: return "internal";
+      case StatusCode::kTypeError: return "type error";
+      case StatusCode::kParseError: return "parse error";
+      case StatusCode::kVerifyError: return "verify error";
+      case StatusCode::kRuntimeError: return "runtime error";
+    }
+    return "unknown";
+}
+
+std::string
+Status::to_string() const
+{
+    if (is_ok()) return "ok";
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+Status invalid_argument_error(std::string m)
+{ return Status(StatusCode::kInvalidArgument, std::move(m)); }
+Status not_found_error(std::string m)
+{ return Status(StatusCode::kNotFound, std::move(m)); }
+Status already_exists_error(std::string m)
+{ return Status(StatusCode::kAlreadyExists, std::move(m)); }
+Status out_of_range_error(std::string m)
+{ return Status(StatusCode::kOutOfRange, std::move(m)); }
+Status resource_exhausted_error(std::string m)
+{ return Status(StatusCode::kResourceExhausted, std::move(m)); }
+Status failed_precondition_error(std::string m)
+{ return Status(StatusCode::kFailedPrecondition, std::move(m)); }
+Status unimplemented_error(std::string m)
+{ return Status(StatusCode::kUnimplemented, std::move(m)); }
+Status internal_error(std::string m)
+{ return Status(StatusCode::kInternal, std::move(m)); }
+Status type_error(std::string m)
+{ return Status(StatusCode::kTypeError, std::move(m)); }
+Status parse_error(std::string m)
+{ return Status(StatusCode::kParseError, std::move(m)); }
+Status verify_error(std::string m)
+{ return Status(StatusCode::kVerifyError, std::move(m)); }
+Status runtime_error(std::string m)
+{ return Status(StatusCode::kRuntimeError, std::move(m)); }
+
+}  // namespace bitc

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Error-handling primitives used across the BitC reproduction toolchain.
+ *
+ * Systems code in the style the paper advocates does not throw exceptions
+ * across module boundaries; every fallible public API in this repository
+ * returns a Status or a Result<T>.  Both are cheap value types.
+ */
+#ifndef BITC_SUPPORT_STATUS_HPP
+#define BITC_SUPPORT_STATUS_HPP
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace bitc {
+
+/** Coarse classification of failures, in the spirit of POSIX errno. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,   ///< Caller passed something malformed.
+    kNotFound,          ///< Lookup failed (symbol, type, function...).
+    kAlreadyExists,     ///< Duplicate definition.
+    kOutOfRange,        ///< Index / value outside its domain.
+    kResourceExhausted, ///< Allocator or budget ran dry.
+    kFailedPrecondition,///< Call sequencing or state error.
+    kUnimplemented,     ///< Feature intentionally absent.
+    kInternal,          ///< Invariant violation inside the toolchain.
+    kTypeError,         ///< Type-check failure in the language pipeline.
+    kParseError,        ///< Syntax error in the language pipeline.
+    kVerifyError,       ///< A verification condition was refuted.
+    kRuntimeError,      ///< VM trap (bounds, overflow, null...).
+};
+
+/** Human-readable name for a StatusCode ("kTypeError" -> "type error"). */
+const char* status_code_name(StatusCode code);
+
+/**
+ * Result of a fallible operation that produces no value.
+ *
+ * An OK status carries no message and is trivially cheap to copy.
+ */
+class Status {
+  public:
+    /** Constructs an OK status. */
+    Status() : code_(StatusCode::kOk) {}
+
+    /** Constructs a failed status; @p code must not be kOk. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {
+        assert(code != StatusCode::kOk);
+    }
+
+    static Status ok() { return Status(); }
+
+    bool is_ok() const { return code_ == StatusCode::kOk; }
+    explicit operator bool() const { return is_ok(); }
+
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** "type error: expected int32, got bool" style rendering. */
+    std::string to_string() const;
+
+  private:
+    StatusCode code_;
+    std::string message_;
+};
+
+/** Convenience factories mirroring the StatusCode enumerators. */
+Status invalid_argument_error(std::string message);
+Status not_found_error(std::string message);
+Status already_exists_error(std::string message);
+Status out_of_range_error(std::string message);
+Status resource_exhausted_error(std::string message);
+Status failed_precondition_error(std::string message);
+Status unimplemented_error(std::string message);
+Status internal_error(std::string message);
+Status type_error(std::string message);
+Status parse_error(std::string message);
+Status verify_error(std::string message);
+Status runtime_error(std::string message);
+
+/**
+ * Result of a fallible operation producing a T on success.
+ *
+ * Holds either a value or a non-OK Status.  Accessors assert on misuse;
+ * callers are expected to branch on ok() first (the toolchain never
+ * dereferences an error Result).
+ */
+template <typename T>
+class Result {
+  public:
+    /** Implicit from a value: `return 42;`. */
+    Result(T value) : state_(std::move(value)) {}
+    /** Implicit from an error status: `return type_error(...)`. */
+    Result(Status status) : state_(std::move(status)) {
+        assert(!std::get<Status>(state_).is_ok());
+    }
+
+    bool is_ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return is_ok(); }
+
+    /** The contained value; requires is_ok(). */
+    const T& value() const& {
+        assert(is_ok());
+        return std::get<T>(state_);
+    }
+    T& value() & {
+        assert(is_ok());
+        return std::get<T>(state_);
+    }
+    T&& take() && {
+        assert(is_ok());
+        return std::get<T>(std::move(state_));
+    }
+
+    /** The error status; requires !is_ok(). */
+    const Status& status() const {
+        assert(!is_ok());
+        return std::get<Status>(state_);
+    }
+
+    /** OK status or the error, for code that only needs the Status. */
+    Status to_status() const {
+        return is_ok() ? Status::ok() : status();
+    }
+
+  private:
+    std::variant<T, Status> state_;
+};
+
+/**
+ * Propagates an error Status out of the current function.
+ * Usage: BITC_RETURN_IF_ERROR(do_thing());
+ */
+#define BITC_RETURN_IF_ERROR(expr)                                         \
+    do {                                                                    \
+        ::bitc::Status bitc_status_ = (expr);                               \
+        if (!bitc_status_.is_ok()) return bitc_status_;                     \
+    } while (0)
+
+/**
+ * Unwraps a Result<T> into a local, propagating errors.
+ * Usage: BITC_ASSIGN_OR_RETURN(auto x, compute());
+ */
+#define BITC_ASSIGN_OR_RETURN(decl, expr)                                   \
+    BITC_ASSIGN_OR_RETURN_IMPL_(                                            \
+        BITC_STATUS_CONCAT_(bitc_result_, __LINE__), decl, expr)
+
+#define BITC_STATUS_CONCAT_INNER_(a, b) a##b
+#define BITC_STATUS_CONCAT_(a, b) BITC_STATUS_CONCAT_INNER_(a, b)
+#define BITC_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr)                        \
+    auto tmp = (expr);                                                      \
+    if (!tmp.is_ok()) return tmp.status();                                  \
+    decl = std::move(tmp).take()
+
+}  // namespace bitc
+
+#endif  // BITC_SUPPORT_STATUS_HPP

@@ -1,0 +1,86 @@
+#include "support/string_util.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace bitc {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == sep) {
+            out.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+join(const std::vector<std::string>& parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool
+starts_with(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t b = 0;
+    size_t e = text.size();
+    while (b < e && (text[b] == ' ' || text[b] == '\t' ||
+                     text[b] == '\n' || text[b] == '\r')) {
+        ++b;
+    }
+    while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t' ||
+                     text[e - 1] == '\n' || text[e - 1] == '\r')) {
+        --e;
+    }
+    return text.substr(b, e - b);
+}
+
+std::string
+str_format(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(needed > 0 ? static_cast<size_t>(needed) : 0, '\0');
+    if (needed > 0) {
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+human_bytes(uint64_t bytes)
+{
+    const char* units[] = {"B", "KiB", "MiB", "GiB"};
+    double value = static_cast<double>(bytes);
+    size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < 4) {
+        value /= 1024.0;
+        ++unit;
+    }
+    return str_format("%.1f %s", value, units[unit]);
+}
+
+}  // namespace bitc

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string helpers shared by the front end and the harness.
+ */
+#ifndef BITC_SUPPORT_STRING_UTIL_HPP
+#define BITC_SUPPORT_STRING_UTIL_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bitc {
+
+/** Splits on @p sep; empty fields are preserved. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Joins with @p sep. */
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/** True if @p text begins with @p prefix. */
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/** Strips ASCII whitespace from both ends. */
+std::string_view trim(std::string_view text);
+
+/** printf-style formatting into a std::string. */
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Renders a byte count as "1.5 KiB" style. */
+std::string human_bytes(uint64_t bytes);
+
+}  // namespace bitc
+
+#endif  // BITC_SUPPORT_STRING_UTIL_HPP

@@ -1,0 +1,419 @@
+#include "types/checker.hpp"
+
+#include <cctype>
+
+#include "lang/resolver.hpp"
+#include "support/string_util.hpp"
+
+namespace bitc::types {
+
+using lang::Expr;
+using lang::ExprKind;
+using lang::FunctionDecl;
+using lang::PrimOp;
+using lang::TypeExpr;
+
+namespace {
+
+/** Parses "int32"/"uint13"/"bool"/"unit" into width/sign. */
+bool
+parse_named_type(const std::string& name, uint32_t* bits,
+                 bool* is_signed)
+{
+    std::string_view digits;
+    if (starts_with(name, "uint")) {
+        *is_signed = false;
+        digits = std::string_view(name).substr(4);
+    } else if (starts_with(name, "int")) {
+        *is_signed = true;
+        digits = std::string_view(name).substr(3);
+    } else {
+        return false;
+    }
+    uint32_t width = 0;
+    for (char c : digits) {
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+        width = width * 10 + static_cast<uint32_t>(c - '0');
+    }
+    if (width < 1 || width > 64) return false;
+    if (*is_signed && width < 2) return false;
+    *bits = width;
+    return true;
+}
+
+/** True if @p value is representable in the integer type @p type. */
+bool
+literal_fits(int64_t value, const Type* type)
+{
+    if (type->bits == 64) {
+        // int64 covers everything the lexer can produce; uint64
+        // accepts the same bit patterns (negative literals wrap).
+        return true;
+    }
+    if (type->is_signed) {
+        int64_t lo = -(int64_t{1} << (type->bits - 1));
+        int64_t hi = (int64_t{1} << (type->bits - 1)) - 1;
+        return value >= lo && value <= hi;
+    }
+    if (value < 0) return false;
+    uint64_t hi = (uint64_t{1} << type->bits) - 1;
+    return static_cast<uint64_t>(value) <= hi;
+}
+
+}  // namespace
+
+/** Walks the resolved AST, inferring and recording types. */
+class TypeChecker {
+  public:
+    TypeChecker(TypedProgram& out, DiagnosticEngine& diags)
+        : out_(out), store_(out.store_), diags_(diags) {}
+
+    void run() {
+        auto& functions = out_.program_.functions;
+
+        // Assume a raw (ungeneralised) type for every function so
+        // recursion and forward references check monomorphically.
+        assumed_.reserve(functions.size());
+        for (FunctionDecl& f : functions) {
+            FunctionType ft;
+            for (lang::Param& p : f.params) {
+                ft.params.push_back(p.declared_type != nullptr
+                                        ? convert(p.declared_type)
+                                        : store_.fresh_var());
+            }
+            ft.result = f.declared_result != nullptr
+                            ? convert(f.declared_result)
+                            : store_.fresh_var();
+            assumed_.push_back(ft);
+            schemes_.push_back({});  // generalised later
+            generalized_.push_back(false);
+        }
+
+        for (size_t i = 0; i < functions.size(); ++i) {
+            check_function(i);
+            generalize(i);
+        }
+
+        // Defaulting: remaining numeric vars become int64, others unit.
+        for (auto& [expr, type] : out_.expr_types_) {
+            store_.default_free_vars(type);
+        }
+        for (FunctionType& ft : assumed_) {
+            for (Type* p : ft.params) store_.default_free_vars(p);
+            store_.default_free_vars(ft.result);
+        }
+        out_.function_types_ = assumed_;
+
+        // Literal range checking against the now-concrete types.
+        for (const Expr* lit : literals_) {
+            Type* t = out_.type_of(lit);
+            if (t->kind == TypeKind::kInt &&
+                !literal_fits(lit->int_value, t)) {
+                diags_.error(lit->span,
+                             str_format("literal %lld does not fit %s",
+                                        static_cast<long long>(
+                                            lit->int_value),
+                                        store_.to_string(t).c_str()));
+            }
+        }
+    }
+
+  private:
+    Type* convert(const TypeExpr* te) {
+        switch (te->kind) {
+          case TypeExpr::Kind::kNamed: {
+            if (te->name == "bool") return store_.bool_type();
+            if (te->name == "unit") return store_.unit_type();
+            uint32_t bits = 0;
+            bool is_signed = false;
+            if (parse_named_type(te->name, &bits, &is_signed)) {
+                return store_.int_type(bits, is_signed);
+            }
+            diags_.error(te->span,
+                         str_format("unknown type '%s'",
+                                    te->name.c_str()));
+            return store_.fresh_var();
+          }
+          case TypeExpr::Kind::kArray:
+            return store_.array_type(convert(te->elem), te->array_size);
+          case TypeExpr::Kind::kFunc: {
+            std::vector<Type*> params;
+            for (const TypeExpr* p : te->params) {
+                params.push_back(convert(p));
+            }
+            return store_.func_type(std::move(params),
+                                    convert(te->result));
+          }
+        }
+        return store_.fresh_var();
+    }
+
+    void check_function(size_t index) {
+        FunctionDecl& f = out_.program_.functions[index];
+        const FunctionType& ft = assumed_[index];
+
+        locals_.assign(static_cast<size_t>(f.num_locals), nullptr);
+        for (size_t i = 0; i < f.params.size(); ++i) {
+            locals_[static_cast<size_t>(f.params[i].slot)] = ft.params[i];
+        }
+        result_type_ = ft.result;
+
+        for (Expr* r : f.requires_clauses) {
+            expect(r, store_.bool_type(), "require clause");
+        }
+        for (Expr* e : f.ensures_clauses) {
+            expect(e, store_.bool_type(), "ensure clause");
+        }
+
+        Type* body_type = store_.unit_type();
+        for (Expr* e : f.body) body_type = infer(e);
+        unify_or_report(body_type, ft.result, f.span,
+                        "function body vs declared result");
+    }
+
+    void generalize(size_t index) {
+        // Quantify variables free in this function's type but not in
+        // any other not-yet-generalised function's assumed type (those
+        // may still be constrained by later bodies).
+        std::vector<Type*> candidates;
+        Type* self = store_.func_type(assumed_[index].params,
+                                      assumed_[index].result);
+        store_.free_vars(self, candidates);
+        std::vector<Type*> pinned;
+        for (size_t j = 0; j < assumed_.size(); ++j) {
+            if (j == index || generalized_[j]) continue;
+            for (Type* p : assumed_[j].params) store_.free_vars(p, pinned);
+            store_.free_vars(assumed_[j].result, pinned);
+        }
+        TypeScheme scheme;
+        for (Type* v : candidates) {
+            bool is_pinned = false;
+            for (Type* p : pinned) {
+                if (store_.prune(p) == v) {
+                    is_pinned = true;
+                    break;
+                }
+            }
+            if (!is_pinned) scheme.quantified.push_back(v);
+        }
+        scheme.body = self;
+        schemes_[index] = scheme;
+        generalized_[index] = true;
+    }
+
+    Type* record(const Expr* e, Type* t) {
+        out_.expr_types_[e] = t;
+        return t;
+    }
+
+    void unify_or_report(Type* a, Type* b, SourceSpan span,
+                         const char* context) {
+        Status s = store_.unify(a, b);
+        if (!s.is_ok()) {
+            diags_.error(span, str_format("%s (%s)", s.message().c_str(),
+                                          context));
+        }
+    }
+
+    Type* expect(Expr* e, Type* want, const char* context) {
+        Type* got = infer(e);
+        unify_or_report(got, want, e->span, context);
+        return got;
+    }
+
+    Type* infer(Expr* e) {
+        switch (e->kind) {
+          case ExprKind::kIntLit: {
+            literals_.push_back(e);
+            return record(e, store_.fresh_var(/*numeric=*/true));
+          }
+          case ExprKind::kBoolLit:
+            return record(e, store_.bool_type());
+          case ExprKind::kUnitLit:
+            return record(e, store_.unit_type());
+          case ExprKind::kVar: {
+            if (e->local_slot == lang::kResultSlot) {
+                return record(e, result_type_);
+            }
+            if (e->local_slot < 0) return record(e, store_.fresh_var());
+            return record(
+                e, locals_[static_cast<size_t>(e->local_slot)]);
+          }
+          case ExprKind::kPrim:
+            return record(e, infer_prim(e));
+          case ExprKind::kCall:
+            return record(e, infer_call(e));
+          case ExprKind::kIf: {
+            expect(e->args[0], store_.bool_type(), "if condition");
+            Type* then_type = infer(e->args[1]);
+            Type* else_type = infer(e->args[2]);
+            unify_or_report(then_type, else_type, e->span,
+                            "if branches");
+            return record(e, then_type);
+          }
+          case ExprKind::kLet: {
+            for (lang::LetBinding& b : e->bindings) {
+                Type* init_type = infer(b.init);
+                if (b.declared_type != nullptr) {
+                    unify_or_report(init_type, convert(b.declared_type),
+                                    b.init->span, "let annotation");
+                }
+                locals_[static_cast<size_t>(b.slot)] = init_type;
+            }
+            Type* last = store_.unit_type();
+            for (Expr* item : e->body) last = infer(item);
+            return record(e, last);
+          }
+          case ExprKind::kBegin: {
+            Type* last = store_.unit_type();
+            for (Expr* item : e->args) last = infer(item);
+            return record(e, last);
+          }
+          case ExprKind::kWhile: {
+            expect(e->args[0], store_.bool_type(), "while condition");
+            for (Expr* inv : e->invariants) {
+                expect(inv, store_.bool_type(), "loop invariant");
+            }
+            for (Expr* item : e->body) infer(item);
+            return record(e, store_.unit_type());
+          }
+          case ExprKind::kSet: {
+            Type* value_type = infer(e->args[0]);
+            if (e->local_slot >= 0) {
+                unify_or_report(
+                    value_type,
+                    locals_[static_cast<size_t>(e->local_slot)], e->span,
+                    "set! value vs variable");
+            }
+            return record(e, store_.unit_type());
+          }
+          case ExprKind::kAssert:
+            expect(e->args[0], store_.bool_type(), "assert condition");
+            return record(e, store_.unit_type());
+          case ExprKind::kArrayMake: {
+            expect(e->args[0], store_.fresh_var(/*numeric=*/true),
+                   "array length");
+            Type* elem = infer(e->args[1]);
+            int64_t size = kUnknownSize;
+            if (e->args[0]->kind == ExprKind::kIntLit) {
+                size = e->args[0]->int_value;
+            }
+            return record(e, store_.array_type(elem, size));
+          }
+          case ExprKind::kArrayRef: {
+            Type* elem = store_.fresh_var();
+            expect(e->args[0],
+                   store_.array_type(elem, kUnknownSize), "array-ref");
+            expect(e->args[1], store_.fresh_var(/*numeric=*/true),
+                   "array index");
+            return record(e, elem);
+          }
+          case ExprKind::kArraySet: {
+            Type* elem = store_.fresh_var();
+            expect(e->args[0],
+                   store_.array_type(elem, kUnknownSize), "array-set!");
+            expect(e->args[1], store_.fresh_var(/*numeric=*/true),
+                   "array index");
+            expect(e->args[2], elem, "array-set! value");
+            return record(e, store_.unit_type());
+          }
+          case ExprKind::kArrayLen: {
+            Type* elem = store_.fresh_var();
+            expect(e->args[0],
+                   store_.array_type(elem, kUnknownSize), "array-len");
+            return record(e, store_.int64_type());
+          }
+          case ExprKind::kNative: {
+            // The C ABI boundary: words in, word out. Arguments must
+            // be integers; the result is an inferred integer.
+            for (Expr* a : e->args) {
+                expect(a, store_.fresh_var(/*numeric=*/true),
+                       "native argument");
+            }
+            return record(e, store_.fresh_var(/*numeric=*/true));
+          }
+        }
+        return record(e, store_.unit_type());
+    }
+
+    Type* infer_prim(Expr* e) {
+        switch (e->prim) {
+          case PrimOp::kAdd: case PrimOp::kSub: case PrimOp::kMul:
+          case PrimOp::kDiv: case PrimOp::kRem:
+          case PrimOp::kBitAnd: case PrimOp::kBitOr:
+          case PrimOp::kBitXor: case PrimOp::kShl: case PrimOp::kShr: {
+            Type* t = store_.fresh_var(/*numeric=*/true);
+            expect(e->args[0], t, "arithmetic operand");
+            expect(e->args[1], t, "arithmetic operand");
+            return t;
+          }
+          case PrimOp::kNeg: {
+            Type* t = store_.fresh_var(/*numeric=*/true);
+            expect(e->args[0], t, "negation operand");
+            return t;
+          }
+          case PrimOp::kLt: case PrimOp::kLe:
+          case PrimOp::kGt: case PrimOp::kGe:
+          case PrimOp::kEq: case PrimOp::kNe: {
+            Type* t = store_.fresh_var(/*numeric=*/true);
+            expect(e->args[0], t, "comparison operand");
+            expect(e->args[1], t, "comparison operand");
+            return store_.bool_type();
+          }
+          case PrimOp::kAnd: case PrimOp::kOr: {
+            expect(e->args[0], store_.bool_type(), "logical operand");
+            expect(e->args[1], store_.bool_type(), "logical operand");
+            return store_.bool_type();
+          }
+          case PrimOp::kNot:
+            expect(e->args[0], store_.bool_type(), "not operand");
+            return store_.bool_type();
+        }
+        return store_.unit_type();
+    }
+
+    Type* infer_call(Expr* e) {
+        if (e->callee_index < 0) return store_.fresh_var();
+        size_t callee = static_cast<size_t>(e->callee_index);
+        Type* callee_type;
+        if (generalized_[callee]) {
+            callee_type = store_.instantiate(schemes_[callee]);
+        } else {
+            callee_type = store_.func_type(assumed_[callee].params,
+                                           assumed_[callee].result);
+        }
+        std::vector<Type*> arg_types;
+        arg_types.reserve(e->args.size());
+        for (Expr* a : e->args) arg_types.push_back(infer(a));
+        Type* result = store_.fresh_var();
+        unify_or_report(callee_type,
+                        store_.func_type(std::move(arg_types), result),
+                        e->span, "call");
+        return result;
+    }
+
+    TypedProgram& out_;
+    TypeStore& store_;
+    DiagnosticEngine& diags_;
+    std::vector<FunctionType> assumed_;
+    std::vector<TypeScheme> schemes_;
+    std::vector<bool> generalized_;
+    std::vector<Type*> locals_;
+    Type* result_type_ = nullptr;
+    std::vector<const Expr*> literals_;
+};
+
+Result<TypedProgram>
+check_program(lang::Program program, DiagnosticEngine& diags)
+{
+    TypedProgram typed;
+    typed.program_ = std::move(program);
+    TypeChecker checker(typed, diags);
+    checker.run();
+    if (diags.has_errors()) {
+        return type_error(diags.first_error());
+    }
+    return typed;
+}
+
+}  // namespace bitc::types

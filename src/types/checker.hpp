@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Type checker / inferencer for the BitC-like language.
+ *
+ * Hindley–Milner let-polymorphism at the top level (functions are
+ * generalised in definition order; recursion and forward references
+ * are monomorphic, as in the ML value restriction tradition), with
+ * bit-precise integer types flowing from annotations and numeric
+ * variables defaulting to int64.
+ */
+#ifndef BITC_TYPES_CHECKER_HPP
+#define BITC_TYPES_CHECKER_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+#include "support/status.hpp"
+#include "types/type.hpp"
+
+namespace bitc::types {
+
+/** A function's checked signature. */
+struct FunctionType {
+    std::vector<Type*> params;
+    Type* result = nullptr;
+};
+
+/**
+ * A type-checked program: the AST plus the store that owns its types
+ * and a side table typing every expression.  Move-only.
+ */
+class TypedProgram {
+  public:
+    TypedProgram() = default;
+    TypedProgram(TypedProgram&&) = default;
+    TypedProgram& operator=(TypedProgram&&) = default;
+
+    const lang::Program& program() const { return program_; }
+    lang::Program& program() { return program_; }
+    TypeStore& store() { return store_; }
+
+    /** Concrete (post-defaulting) type of an expression node. */
+    Type* type_of(const lang::Expr* expr) {
+        auto it = expr_types_.find(expr);
+        return it == expr_types_.end() ? store_.unit_type()
+                                       : store_.prune(it->second);
+    }
+
+    const FunctionType& function_type(size_t index) const {
+        return function_types_[index];
+    }
+    size_t function_count() const { return function_types_.size(); }
+
+  private:
+    friend class TypeChecker;
+    friend Result<TypedProgram> check_program(lang::Program program,
+                                              DiagnosticEngine& diags);
+
+    lang::Program program_;
+    TypeStore store_;
+    std::unordered_map<const lang::Expr*, Type*> expr_types_;
+    std::vector<FunctionType> function_types_;
+};
+
+/**
+ * Checks @p program (which must already be resolved), consuming it.
+ * Diagnostics go to @p diags; the Result is an error iff errors were
+ * reported.
+ */
+Result<TypedProgram> check_program(lang::Program program,
+                                   DiagnosticEngine& diags);
+
+}  // namespace bitc::types
+
+#endif  // BITC_TYPES_CHECKER_HPP

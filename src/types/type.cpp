@@ -1,0 +1,282 @@
+#include "types/type.hpp"
+
+#include <algorithm>
+
+#include "support/string_util.hpp"
+
+namespace bitc::types {
+
+TypeStore::TypeStore()
+{
+    bool_ = make(TypeKind::kBool);
+    unit_ = make(TypeKind::kUnit);
+    int64_ = int_type(64, true);
+}
+
+Type*
+TypeStore::make(TypeKind kind)
+{
+    pool_.push_back(std::make_unique<Type>());
+    Type* t = pool_.back().get();
+    t->kind = kind;
+    return t;
+}
+
+Type*
+TypeStore::int_type(uint32_t bits, bool is_signed)
+{
+    // Int types are small and freely duplicated; no interning needed.
+    Type* t = make(TypeKind::kInt);
+    t->bits = bits;
+    t->is_signed = is_signed;
+    return t;
+}
+
+Type*
+TypeStore::array_type(Type* elem, int64_t size)
+{
+    Type* t = make(TypeKind::kArray);
+    t->elem = elem;
+    t->size = size;
+    return t;
+}
+
+Type*
+TypeStore::func_type(std::vector<Type*> params, Type* result)
+{
+    Type* t = make(TypeKind::kFunc);
+    t->params = std::move(params);
+    t->result = result;
+    return t;
+}
+
+Type*
+TypeStore::fresh_var(bool numeric)
+{
+    Type* t = make(TypeKind::kVar);
+    t->var_id = next_var_id_++;
+    t->numeric = numeric;
+    return t;
+}
+
+Type*
+TypeStore::prune(Type* type)
+{
+    if (type->kind == TypeKind::kVar && type->instance != nullptr) {
+        type->instance = prune(type->instance);
+        return type->instance;
+    }
+    return type;
+}
+
+bool
+TypeStore::occurs_in(Type* var, Type* type)
+{
+    type = prune(type);
+    if (type == var) return true;
+    switch (type->kind) {
+      case TypeKind::kArray:
+        return occurs_in(var, type->elem);
+      case TypeKind::kFunc:
+        for (Type* p : type->params) {
+            if (occurs_in(var, p)) return true;
+        }
+        return occurs_in(var, type->result);
+      default:
+        return false;
+    }
+}
+
+Status
+TypeStore::unify(Type* a, Type* b)
+{
+    a = prune(a);
+    b = prune(b);
+    if (a == b) return Status::ok();
+
+    if (a->kind == TypeKind::kVar) {
+        if (occurs_in(a, b)) {
+            return type_error(
+                str_format("infinite type: %s occurs in %s",
+                           to_string(a).c_str(), to_string(b).c_str()));
+        }
+        // A numeric variable may bind only to integers or to other
+        // variables (which then inherit the numeric constraint).
+        if (a->numeric) {
+            if (b->kind == TypeKind::kVar) {
+                b->numeric = true;
+            } else if (b->kind != TypeKind::kInt) {
+                return type_error(
+                    str_format("numeric type required, got %s",
+                               to_string(b).c_str()));
+            }
+        }
+        a->instance = b;
+        return Status::ok();
+    }
+    if (b->kind == TypeKind::kVar) return unify(b, a);
+
+    if (a->kind != b->kind) {
+        return type_error(str_format("type mismatch: %s vs %s",
+                                     to_string(a).c_str(),
+                                     to_string(b).c_str()));
+    }
+    switch (a->kind) {
+      case TypeKind::kBool:
+      case TypeKind::kUnit:
+        return Status::ok();
+      case TypeKind::kInt:
+        if (a->bits != b->bits || a->is_signed != b->is_signed) {
+            return type_error(str_format("type mismatch: %s vs %s",
+                                         to_string(a).c_str(),
+                                         to_string(b).c_str()));
+        }
+        return Status::ok();
+      case TypeKind::kArray:
+        if (a->size != kUnknownSize && b->size != kUnknownSize &&
+            a->size != b->size) {
+            return type_error(str_format(
+                "array length mismatch: %lld vs %lld",
+                static_cast<long long>(a->size),
+                static_cast<long long>(b->size)));
+        }
+        return unify(a->elem, b->elem);
+      case TypeKind::kFunc: {
+        if (a->params.size() != b->params.size()) {
+            return type_error(str_format(
+                "arity mismatch: %zu vs %zu parameters",
+                a->params.size(), b->params.size()));
+        }
+        for (size_t i = 0; i < a->params.size(); ++i) {
+            BITC_RETURN_IF_ERROR(unify(a->params[i], b->params[i]));
+        }
+        return unify(a->result, b->result);
+      }
+      case TypeKind::kVar:
+        break;  // handled above
+    }
+    return internal_error("unreachable unify case");
+}
+
+void
+TypeStore::default_free_vars(Type* type)
+{
+    type = prune(type);
+    switch (type->kind) {
+      case TypeKind::kVar:
+        type->instance = type->numeric ? int64_ : unit_;
+        return;
+      case TypeKind::kArray:
+        default_free_vars(type->elem);
+        return;
+      case TypeKind::kFunc:
+        for (Type* p : type->params) default_free_vars(p);
+        default_free_vars(type->result);
+        return;
+      default:
+        return;
+    }
+}
+
+void
+TypeStore::free_vars(Type* type, std::vector<Type*>& out)
+{
+    type = prune(type);
+    switch (type->kind) {
+      case TypeKind::kVar:
+        if (std::find(out.begin(), out.end(), type) == out.end()) {
+            out.push_back(type);
+        }
+        return;
+      case TypeKind::kArray:
+        free_vars(type->elem, out);
+        return;
+      case TypeKind::kFunc:
+        for (Type* p : type->params) free_vars(p, out);
+        free_vars(type->result, out);
+        return;
+      default:
+        return;
+    }
+}
+
+Type*
+TypeStore::instantiate_rec(Type* type,
+                           std::vector<std::pair<Type*, Type*>>& mapping)
+{
+    type = prune(type);
+    switch (type->kind) {
+      case TypeKind::kVar: {
+        for (const auto& [from, to] : mapping) {
+            if (from == type) return to;
+        }
+        return type;  // free but not quantified: stays shared
+      }
+      case TypeKind::kArray:
+        return array_type(instantiate_rec(type->elem, mapping),
+                          type->size);
+      case TypeKind::kFunc: {
+        std::vector<Type*> params;
+        params.reserve(type->params.size());
+        for (Type* p : type->params) {
+            params.push_back(instantiate_rec(p, mapping));
+        }
+        return func_type(std::move(params),
+                         instantiate_rec(type->result, mapping));
+      }
+      default:
+        return type;
+    }
+}
+
+Type*
+TypeStore::instantiate(const TypeScheme& scheme)
+{
+    std::vector<std::pair<Type*, Type*>> mapping;
+    mapping.reserve(scheme.quantified.size());
+    for (Type* q : scheme.quantified) {
+        Type* pruned = prune(q);
+        if (pruned->kind == TypeKind::kVar) {
+            mapping.emplace_back(pruned, fresh_var(pruned->numeric));
+        }
+    }
+    return instantiate_rec(scheme.body, mapping);
+}
+
+std::string
+TypeStore::to_string(Type* type)
+{
+    type = prune(type);
+    switch (type->kind) {
+      case TypeKind::kInt:
+        return str_format("%sint%u", type->is_signed ? "" : "u",
+                          type->bits);
+      case TypeKind::kBool: return "bool";
+      case TypeKind::kUnit: return "unit";
+      case TypeKind::kArray:
+        if (type->size == kUnknownSize) {
+            return str_format("(array %s ?)",
+                              to_string(type->elem).c_str());
+        }
+        return str_format("(array %s %lld)",
+                          to_string(type->elem).c_str(),
+                          static_cast<long long>(type->size));
+      case TypeKind::kFunc: {
+        std::string out = "(->";
+        for (Type* p : type->params) {
+            out += ' ';
+            out += to_string(p);
+        }
+        out += ' ';
+        out += to_string(type->result);
+        out += ')';
+        return out;
+      }
+      case TypeKind::kVar:
+        return str_format("'%s%u", type->numeric ? "n" : "a",
+                          type->var_id);
+    }
+    return "?";
+}
+
+}  // namespace bitc::types

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Semantic types and unification for the BitC-like language.
+ *
+ * The type language is the paper's target fragment: bit-precise
+ * integers (int2..int64, uint1..uint64), bool, unit, fixed-size arrays
+ * and first-order function types, plus inference variables.  Numeric
+ * literals and arithmetic use *numeric* type variables — variables that
+ * may only ever unify with integer types — giving ML-style inference
+ * over C-style representation types without full type classes (the
+ * BitC compromise).
+ */
+#ifndef BITC_TYPES_TYPE_HPP
+#define BITC_TYPES_TYPE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace bitc::types {
+
+enum class TypeKind : uint8_t {
+    kInt,
+    kBool,
+    kUnit,
+    kArray,
+    kFunc,
+    kVar,
+};
+
+/** Size of an array whose length is not statically known. */
+inline constexpr int64_t kUnknownSize = -1;
+
+/**
+ * A type term.  Allocate only through TypeStore; nodes are mutated
+ * during unification (kVar instance binding) and must not be shared
+ * across stores.
+ */
+struct Type {
+    TypeKind kind = TypeKind::kUnit;
+
+    // kInt
+    uint32_t bits = 0;
+    bool is_signed = false;
+
+    // kArray
+    Type* elem = nullptr;
+    int64_t size = kUnknownSize;
+
+    // kFunc
+    std::vector<Type*> params;
+    Type* result = nullptr;
+
+    // kVar
+    uint32_t var_id = 0;
+    bool numeric = false;    ///< May only unify with integer types.
+    Type* instance = nullptr;  ///< Union-find binding (null = free).
+};
+
+/** A polymorphic type: quantified variable nodes plus a body. */
+struct TypeScheme {
+    std::vector<Type*> quantified;
+    Type* body = nullptr;
+};
+
+/**
+ * Allocates and unifies types for one program.  Owns every node it
+ * creates; node addresses are stable for the store's lifetime.
+ */
+class TypeStore {
+  public:
+    TypeStore();
+    TypeStore(TypeStore&&) = default;
+    TypeStore& operator=(TypeStore&&) = default;
+
+    Type* int_type(uint32_t bits, bool is_signed);
+    Type* int64_type() { return int64_; }
+    Type* bool_type() { return bool_; }
+    Type* unit_type() { return unit_; }
+    Type* array_type(Type* elem, int64_t size);
+    Type* func_type(std::vector<Type*> params, Type* result);
+    Type* fresh_var(bool numeric = false);
+
+    /** Follows and compresses instance chains; never returns a bound var. */
+    Type* prune(Type* type);
+
+    /** True if the pruned @p var occurs inside @p type (occurs check). */
+    bool occurs_in(Type* var, Type* type);
+
+    /**
+     * Makes the two types equal, binding variables as needed.  On
+     * failure returns kTypeError with a rendered mismatch message and
+     * leaves the store in a partially-unified state (callers abort the
+     * pipeline on error, so no rollback machinery is needed).
+     */
+    Status unify(Type* a, Type* b);
+
+    /**
+     * Replaces every free variable with its default: numeric vars
+     * become int64, other vars unit.  Called once after inference so
+     * downstream passes see only concrete types.
+     */
+    void default_free_vars(Type* type);
+
+    /** Instantiates a scheme with fresh variables. */
+    Type* instantiate(const TypeScheme& scheme);
+
+    /** Collects the free (unbound) variables reachable from @p type. */
+    void free_vars(Type* type, std::vector<Type*>& out);
+
+    /** "int32", "(array int8 10)", "(-> int64 int64)", "'a", "'n#". */
+    std::string to_string(Type* type);
+
+  private:
+    Type* make(TypeKind kind);
+    Type* instantiate_rec(Type* type,
+                          std::vector<std::pair<Type*, Type*>>& mapping);
+
+    std::vector<std::unique_ptr<Type>> pool_;
+    uint32_t next_var_id_ = 0;
+    Type* bool_ = nullptr;
+    Type* unit_ = nullptr;
+    Type* int64_ = nullptr;
+};
+
+}  // namespace bitc::types
+
+#endif  // BITC_TYPES_TYPE_HPP

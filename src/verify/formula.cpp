@@ -1,0 +1,113 @@
+#include "verify/formula.hpp"
+
+namespace bitc::verify {
+
+Formula::Ref
+Formula::truth()
+{
+    static Ref instance = std::shared_ptr<Formula>(
+        new Formula(FormulaKind::kTrue));
+    return instance;
+}
+
+Formula::Ref
+Formula::falsity()
+{
+    static Ref instance = std::shared_ptr<Formula>(
+        new Formula(FormulaKind::kFalse));
+    return instance;
+}
+
+Formula::Ref
+Formula::le_zero(LinTerm term)
+{
+    if (term.is_constant()) {
+        return term.constant() <= 0 ? truth() : falsity();
+    }
+    auto f = std::shared_ptr<Formula>(new Formula(FormulaKind::kAtomLe));
+    f->term_ = std::move(term);
+    return f;
+}
+
+Formula::Ref
+Formula::eq_zero(LinTerm term)
+{
+    if (term.is_constant()) {
+        return term.constant() == 0 ? truth() : falsity();
+    }
+    auto f = std::shared_ptr<Formula>(new Formula(FormulaKind::kAtomEq));
+    f->term_ = std::move(term);
+    return f;
+}
+
+Formula::Ref
+Formula::conj(std::vector<Ref> parts)
+{
+    std::vector<Ref> kept;
+    for (Ref& p : parts) {
+        if (p->kind() == FormulaKind::kTrue) continue;
+        if (p->kind() == FormulaKind::kFalse) return falsity();
+        kept.push_back(std::move(p));
+    }
+    if (kept.empty()) return truth();
+    if (kept.size() == 1) return kept[0];
+    auto f = std::shared_ptr<Formula>(new Formula(FormulaKind::kAnd));
+    f->children_ = std::move(kept);
+    return f;
+}
+
+Formula::Ref
+Formula::disj(std::vector<Ref> parts)
+{
+    std::vector<Ref> kept;
+    for (Ref& p : parts) {
+        if (p->kind() == FormulaKind::kFalse) continue;
+        if (p->kind() == FormulaKind::kTrue) return truth();
+        kept.push_back(std::move(p));
+    }
+    if (kept.empty()) return falsity();
+    if (kept.size() == 1) return kept[0];
+    auto f = std::shared_ptr<Formula>(new Formula(FormulaKind::kOr));
+    f->children_ = std::move(kept);
+    return f;
+}
+
+Formula::Ref
+Formula::negate(Ref f)
+{
+    switch (f->kind()) {
+      case FormulaKind::kTrue: return falsity();
+      case FormulaKind::kFalse: return truth();
+      case FormulaKind::kNot: return f->children()[0];
+      default: {
+        auto out = std::shared_ptr<Formula>(new Formula(FormulaKind::kNot));
+        out->children_ = {std::move(f)};
+        return out;
+      }
+    }
+}
+
+std::string
+Formula::to_string() const
+{
+    switch (kind_) {
+      case FormulaKind::kTrue: return "true";
+      case FormulaKind::kFalse: return "false";
+      case FormulaKind::kAtomLe: return "(" + term_.to_string() + " <= 0)";
+      case FormulaKind::kAtomEq: return "(" + term_.to_string() + " == 0)";
+      case FormulaKind::kNot: return "(not " + children_[0]->to_string() + ")";
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        std::string out = kind_ == FormulaKind::kAnd ? "(and" : "(or";
+        for (const Ref& c : children_) {
+            out += ' ';
+            out += c->to_string();
+        }
+        out += ')';
+        return out;
+      }
+    }
+    return "?";
+}
+
+}  // namespace bitc::verify

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quantifier-free formulas over linear integer atoms.
+ *
+ * Canonical atoms are (term <= 0) and (term == 0); every comparison the
+ * source language can write lowers onto these using integer tightening
+ * (a < b  ==>  a - b + 1 <= 0).
+ */
+#ifndef BITC_VERIFY_FORMULA_HPP
+#define BITC_VERIFY_FORMULA_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "verify/term.hpp"
+
+namespace bitc::verify {
+
+enum class FormulaKind : uint8_t {
+    kTrue,
+    kFalse,
+    kAtomLe,  ///< term <= 0
+    kAtomEq,  ///< term == 0
+    kAnd,
+    kOr,
+    kNot,
+};
+
+/**
+ * Immutable formula node.  Shared_ptr-based DAG so sub-formulas can be
+ * reused freely during VC generation.
+ */
+class Formula {
+  public:
+    using Ref = std::shared_ptr<const Formula>;
+
+    static Ref truth();
+    static Ref falsity();
+    /** term <= 0 */
+    static Ref le_zero(LinTerm term);
+    /** term == 0 */
+    static Ref eq_zero(LinTerm term);
+    /** a <= b */
+    static Ref le(const LinTerm& a, const LinTerm& b) {
+        return le_zero(a.sub(b));
+    }
+    /** a < b (integer tightening) */
+    static Ref lt(const LinTerm& a, const LinTerm& b) {
+        return le_zero(a.sub(b).add(LinTerm(1)));
+    }
+    /** a == b */
+    static Ref eq(const LinTerm& a, const LinTerm& b) {
+        return eq_zero(a.sub(b));
+    }
+    static Ref conj(std::vector<Ref> parts);
+    static Ref disj(std::vector<Ref> parts);
+    static Ref negate(Ref f);
+    static Ref implies(Ref antecedent, Ref consequent) {
+        return disj({negate(std::move(antecedent)),
+                     std::move(consequent)});
+    }
+
+    FormulaKind kind() const { return kind_; }
+    const LinTerm& term() const { return term_; }
+    const std::vector<Ref>& children() const { return children_; }
+
+    std::string to_string() const;
+
+  private:
+    explicit Formula(FormulaKind kind) : kind_(kind) {}
+
+    FormulaKind kind_;
+    LinTerm term_;          ///< kAtomLe / kAtomEq
+    std::vector<Ref> children_;  ///< kAnd / kOr / kNot
+};
+
+}  // namespace bitc::verify
+
+#endif  // BITC_VERIFY_FORMULA_HPP

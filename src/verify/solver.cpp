@@ -1,0 +1,252 @@
+#include "verify/solver.hpp"
+
+#include <numeric>
+#include <optional>
+
+namespace bitc::verify {
+
+namespace {
+
+/** a*b with overflow detection. */
+std::optional<int64_t>
+checked_mul(int64_t a, int64_t b)
+{
+    int64_t out;
+    if (__builtin_mul_overflow(a, b, &out)) return std::nullopt;
+    return out;
+}
+
+std::optional<int64_t>
+checked_add(int64_t a, int64_t b)
+{
+    int64_t out;
+    if (__builtin_add_overflow(a, b, &out)) return std::nullopt;
+    return out;
+}
+
+/** term1*s1 + term2*s2, or nullopt on overflow. */
+std::optional<LinTerm>
+checked_combine(const LinTerm& a, int64_t sa, const LinTerm& b, int64_t sb)
+{
+    auto k1 = checked_mul(a.constant(), sa);
+    auto k2 = checked_mul(b.constant(), sb);
+    if (!k1 || !k2) return std::nullopt;
+    auto k = checked_add(*k1, *k2);
+    if (!k) return std::nullopt;
+    LinTerm result(*k);
+    for (const auto& [var, coeff] : a.coefficients()) {
+        auto c = checked_mul(coeff, sa);
+        if (!c) return std::nullopt;
+        result = result.add(LinTerm::variable(var).scale(*c));
+    }
+    for (const auto& [var, coeff] : b.coefficients()) {
+        auto c = checked_mul(coeff, sb);
+        if (!c) return std::nullopt;
+        result = result.add(LinTerm::variable(var).scale(*c));
+    }
+    return result;
+}
+
+/**
+ * Integer tightening: divides a (sum <= 0) constraint by the gcd of
+ * its coefficients, rounding the constant toward the tighter bound.
+ */
+LinTerm
+tighten(const LinTerm& term)
+{
+    if (term.coefficients().empty()) return term;
+    int64_t g = 0;
+    for (const auto& [var, coeff] : term.coefficients()) {
+        g = std::gcd(g, coeff < 0 ? -coeff : coeff);
+    }
+    if (g <= 1) return term;
+    // sum(c_i x_i) <= -k  ==>  sum(c_i/g x_i) <= floor(-k/g)
+    int64_t k = term.constant();
+    int64_t rhs = -k;
+    int64_t floored =
+        rhs >= 0 ? rhs / g : -((-rhs + g - 1) / g);
+    LinTerm out(-floored);
+    for (const auto& [var, coeff] : term.coefficients()) {
+        out = out.add(LinTerm::variable(var).scale(coeff / g));
+    }
+    return out;
+}
+
+}  // namespace
+
+bool
+Solver::to_dnf(const Formula::Ref& formula, bool negated,
+               std::vector<Conjunct>& out) const
+{
+    switch (formula->kind()) {
+      case FormulaKind::kTrue:
+        if (negated) {
+            // false: contributes no disjunct
+        } else {
+            out.push_back({});
+        }
+        return true;
+      case FormulaKind::kFalse:
+        return to_dnf(Formula::truth(), !negated, out);
+      case FormulaKind::kAtomLe: {
+        if (!negated) {
+            out.push_back({formula->term()});
+        } else {
+            // !(t <= 0)  ==>  t >= 1  ==>  -t + 1 <= 0
+            out.push_back({formula->term().negate().add(LinTerm(1))});
+        }
+        return true;
+      }
+      case FormulaKind::kAtomEq: {
+        if (!negated) {
+            out.push_back(
+                {formula->term(), formula->term().negate()});
+        } else {
+            // t != 0  ==>  t <= -1  or  -t <= -1
+            out.push_back({formula->term().add(LinTerm(1))});
+            out.push_back({formula->term().negate().add(LinTerm(1))});
+        }
+        return true;
+      }
+      case FormulaKind::kNot:
+        return to_dnf(formula->children()[0], !negated, out);
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        bool is_and =
+            (formula->kind() == FormulaKind::kAnd) != negated;
+        if (!is_and) {
+            // Disjunction: concatenate children's disjuncts.
+            for (const Formula::Ref& child : formula->children()) {
+                if (!to_dnf(child, negated, out)) return false;
+                if (out.size() > config_.max_disjuncts) return false;
+            }
+            return true;
+        }
+        // Conjunction: cross product of children's disjuncts.
+        std::vector<Conjunct> acc = {{}};
+        for (const Formula::Ref& child : formula->children()) {
+            std::vector<Conjunct> child_dnf;
+            if (!to_dnf(child, negated, child_dnf)) return false;
+            std::vector<Conjunct> next;
+            for (const Conjunct& a : acc) {
+                for (const Conjunct& b : child_dnf) {
+                    Conjunct merged = a;
+                    merged.insert(merged.end(), b.begin(), b.end());
+                    next.push_back(std::move(merged));
+                    if (next.size() > config_.max_disjuncts) {
+                        return false;
+                    }
+                }
+            }
+            acc = std::move(next);
+        }
+        out.insert(out.end(), acc.begin(), acc.end());
+        return out.size() <= config_.max_disjuncts;
+      }
+    }
+    return false;
+}
+
+bool
+Solver::conjunct_unsat(Conjunct constraints)
+{
+    // Fourier–Motzkin: repeatedly eliminate a variable, looking for a
+    // constant contradiction (k <= 0 with k > 0).
+    while (true) {
+        // Scan constants; drop trivially-true constraints.
+        Conjunct active;
+        for (LinTerm& c : constraints) {
+            c = tighten(c);
+            if (c.is_constant()) {
+                if (c.constant() > 0) return true;  // contradiction
+                continue;
+            }
+            active.push_back(std::move(c));
+        }
+        if (active.empty()) return false;  // satisfiable
+
+        // Pick the variable with the fewest pair combinations.
+        SymVar best_var = active[0].coefficients().begin()->first;
+        size_t best_cost = SIZE_MAX;
+        {
+            std::map<SymVar, std::pair<size_t, size_t>> counts;
+            for (const LinTerm& c : active) {
+                for (const auto& [var, coeff] : c.coefficients()) {
+                    if (coeff > 0) {
+                        counts[var].first++;
+                    } else {
+                        counts[var].second++;
+                    }
+                }
+            }
+            for (const auto& [var, uppers_lowers] : counts) {
+                size_t cost =
+                    uppers_lowers.first * uppers_lowers.second;
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best_var = var;
+                }
+            }
+        }
+
+        Conjunct next;
+        std::vector<const LinTerm*> uppers;  // coeff > 0
+        std::vector<const LinTerm*> lowers;  // coeff < 0
+        for (const LinTerm& c : active) {
+            int64_t coeff = c.coefficient(best_var);
+            if (coeff > 0) {
+                uppers.push_back(&c);
+            } else if (coeff < 0) {
+                lowers.push_back(&c);
+            } else {
+                next.push_back(c);
+            }
+        }
+        for (const LinTerm* u : uppers) {
+            for (const LinTerm* l : lowers) {
+                int64_t cu = u->coefficient(best_var);
+                int64_t cl = l->coefficient(best_var);  // negative
+                auto combined = checked_combine(*u, -cl, *l, cu);
+                if (!combined) return false;  // overflow: give up
+                next.push_back(std::move(*combined));
+                if (next.size() > config_.max_constraints) {
+                    return false;  // blowup: give up (sound)
+                }
+            }
+        }
+        ++stats_.fm_eliminations;
+        constraints = std::move(next);
+        if (constraints.empty()) return false;
+    }
+}
+
+Outcome
+Solver::prove_valid(const Formula::Ref& formula)
+{
+    ++stats_.queries;
+    // Valid iff the negation is unsatisfiable.
+    std::vector<Conjunct> dnf;
+    if (!to_dnf(formula, /*negated=*/true, dnf)) {
+        ++stats_.unknown;
+        return Outcome::kUnknown;
+    }
+    for (Conjunct& conj : dnf) {
+        if (!conjunct_unsat(std::move(conj))) {
+            ++stats_.unknown;
+            return Outcome::kUnknown;
+        }
+    }
+    ++stats_.proved;
+    return Outcome::kProved;
+}
+
+Outcome
+Solver::prove_entails(const std::vector<Formula::Ref>& premises,
+                      const Formula::Ref& goal)
+{
+    std::vector<Formula::Ref> parts = premises;
+    return prove_valid(
+        Formula::implies(Formula::conj(std::move(parts)), goal));
+}
+
+}  // namespace bitc::verify

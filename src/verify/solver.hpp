@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Decision procedure for the verifier: validity of quantifier-free
+ * linear integer formulas by DNF expansion plus Fourier–Motzkin
+ * elimination (rational relaxation with integer tightening).
+ *
+ * Sound and incomplete, by design: kProved is trustworthy; kUnknown
+ * means "insert the runtime check" — exactly the varying-measure
+ * automated reasoning posture the paper sets for BitC.
+ */
+#ifndef BITC_VERIFY_SOLVER_HPP
+#define BITC_VERIFY_SOLVER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/formula.hpp"
+
+namespace bitc::verify {
+
+/** Result of a proof attempt. */
+enum class Outcome : uint8_t {
+    kProved,   ///< The formula is valid (holds for all integer inputs).
+    kUnknown,  ///< Not proved: falsifiable, non-linear, or too big.
+};
+
+/** Tuning and blowup guards. */
+struct SolverConfig {
+    size_t max_disjuncts = 512;    ///< DNF expansion cap.
+    size_t max_constraints = 4096; ///< FM working-set cap.
+};
+
+/** Cumulative counters for the C1 experiment. */
+struct SolverStats {
+    uint64_t queries = 0;
+    uint64_t proved = 0;
+    uint64_t unknown = 0;
+    uint64_t fm_eliminations = 0;  ///< Variables eliminated in total.
+};
+
+/** Stateless (except statistics) solver instance. */
+class Solver {
+  public:
+    explicit Solver(SolverConfig config = {}) : config_(config) {}
+
+    /** Is @p formula true under every integer assignment? */
+    Outcome prove_valid(const Formula::Ref& formula);
+
+    /** Do @p premises entail @p goal? */
+    Outcome prove_entails(const std::vector<Formula::Ref>& premises,
+                          const Formula::Ref& goal);
+
+    const SolverStats& stats() const { return stats_; }
+
+  private:
+    /** One <=-0 constraint in a conjunct. */
+    using Constraint = LinTerm;
+    using Conjunct = std::vector<Constraint>;
+
+    /** Expands !formula (or formula) into DNF; false on cap blowout. */
+    bool to_dnf(const Formula::Ref& formula, bool negated,
+                std::vector<Conjunct>& out) const;
+
+    /** True when the conjunct has no rational (hence no int) solution. */
+    bool conjunct_unsat(Conjunct constraints);
+
+    SolverConfig config_;
+    SolverStats stats_;
+};
+
+}  // namespace bitc::verify
+
+#endif  // BITC_VERIFY_SOLVER_HPP

@@ -1,0 +1,65 @@
+#include "verify/term.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::verify {
+
+void
+LinTerm::normalize()
+{
+    for (auto it = coeffs_.begin(); it != coeffs_.end();) {
+        if (it->second == 0) {
+            it = coeffs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+LinTerm
+LinTerm::add(const LinTerm& other) const
+{
+    LinTerm out = *this;
+    out.constant_ += other.constant_;
+    for (const auto& [var, coeff] : other.coeffs_) {
+        out.coeffs_[var] += coeff;
+    }
+    out.normalize();
+    return out;
+}
+
+LinTerm
+LinTerm::sub(const LinTerm& other) const
+{
+    return add(other.negate());
+}
+
+LinTerm
+LinTerm::scale(int64_t factor) const
+{
+    LinTerm out;
+    out.constant_ = constant_ * factor;
+    if (factor != 0) {
+        for (const auto& [var, coeff] : coeffs_) {
+            out.coeffs_[var] = coeff * factor;
+        }
+    }
+    return out;
+}
+
+std::string
+LinTerm::to_string() const
+{
+    std::string out;
+    for (const auto& [var, coeff] : coeffs_) {
+        if (!out.empty()) out += " + ";
+        out += str_format("%lld*v%u", static_cast<long long>(coeff), var);
+    }
+    if (out.empty() || constant_ != 0) {
+        if (!out.empty()) out += " + ";
+        out += str_format("%lld", static_cast<long long>(constant_));
+    }
+    return out;
+}
+
+}  // namespace bitc::verify

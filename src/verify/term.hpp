@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Linear integer terms: the arithmetic fragment the constraint checker
+ * reasons about exactly.  A term is sum(coeff_i * var_i) + constant
+ * over symbolic variables; anything non-linear becomes a fresh opaque
+ * variable (sound abstraction, loses precision).
+ */
+#ifndef BITC_VERIFY_TERM_HPP
+#define BITC_VERIFY_TERM_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bitc::verify {
+
+/** Identifier of a symbolic integer variable. */
+using SymVar = uint32_t;
+
+/** A linear combination of symbolic variables plus a constant. */
+class LinTerm {
+  public:
+    LinTerm() = default;
+    /** The constant term @p value. */
+    explicit LinTerm(int64_t value) : constant_(value) {}
+
+    /** The term 1 * var. */
+    static LinTerm variable(SymVar var) {
+        LinTerm t;
+        t.coeffs_[var] = 1;
+        return t;
+    }
+
+    int64_t constant() const { return constant_; }
+    const std::map<SymVar, int64_t>& coefficients() const {
+        return coeffs_;
+    }
+
+    bool is_constant() const { return coeffs_.empty(); }
+
+    /** Coefficient of @p var (0 when absent). */
+    int64_t coefficient(SymVar var) const {
+        auto it = coeffs_.find(var);
+        return it == coeffs_.end() ? 0 : it->second;
+    }
+
+    LinTerm add(const LinTerm& other) const;
+    LinTerm sub(const LinTerm& other) const;
+    LinTerm scale(int64_t factor) const;
+    LinTerm negate() const { return scale(-1); }
+
+    bool operator==(const LinTerm&) const = default;
+
+    /** "2*v3 + -1*v7 + 4" rendering. */
+    std::string to_string() const;
+
+  private:
+    void normalize();
+
+    std::map<SymVar, int64_t> coeffs_;
+    int64_t constant_ = 0;
+};
+
+}  // namespace bitc::verify
+
+#endif  // BITC_VERIFY_TERM_HPP

@@ -1,0 +1,764 @@
+/**
+ * @file
+ * Symbolic execution engine behind verify_program (see verifier.hpp).
+ */
+#include <optional>
+#include <set>
+
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "verify/verifier.hpp"
+
+#include "lang/resolver.hpp"
+
+namespace bitc::verify {
+
+using lang::Expr;
+using lang::ExprKind;
+using lang::FunctionDecl;
+using lang::PrimOp;
+using types::Type;
+using types::TypeKind;
+using types::TypedProgram;
+
+const char*
+obligation_kind_name(ObligationKind kind)
+{
+    switch (kind) {
+      case ObligationKind::kAssert: return "assert";
+      case ObligationKind::kBoundsLower: return "bounds-lower";
+      case ObligationKind::kBoundsUpper: return "bounds-upper";
+      case ObligationKind::kAllocSize: return "alloc-size";
+      case ObligationKind::kDivByZero: return "div-by-zero";
+      case ObligationKind::kEnsure: return "ensure";
+      case ObligationKind::kRequireAtCall: return "require-at-call";
+      case ObligationKind::kInvariantEntry: return "invariant-entry";
+      case ObligationKind::kInvariantPreserved:
+        return "invariant-preserved";
+      case ObligationKind::kOverflow: return "overflow";
+    }
+    return "?";
+}
+
+size_t
+VerifyReport::total() const
+{
+    size_t n = 0;
+    for (const FunctionReport& f : functions) n += f.obligations.size();
+    return n;
+}
+
+size_t
+VerifyReport::proved() const
+{
+    size_t n = 0;
+    for (const FunctionReport& f : functions) {
+        for (const Obligation& o : f.obligations) {
+            if (o.outcome == Outcome::kProved) ++n;
+        }
+    }
+    return n;
+}
+
+void
+VerifyReport::index()
+{
+    proved_mask_.clear();
+    for (const FunctionReport& f : functions) {
+        for (const Obligation& o : f.obligations) {
+            if (o.outcome == Outcome::kProved && o.site != nullptr) {
+                proved_mask_[o.site] |=
+                    1u << static_cast<uint32_t>(o.kind);
+            }
+        }
+    }
+}
+
+bool
+VerifyReport::is_proved(const lang::Expr* site,
+                        ObligationKind kind) const
+{
+    auto it = proved_mask_.find(site);
+    if (it == proved_mask_.end()) return false;
+    return (it->second & (1u << static_cast<uint32_t>(kind))) != 0;
+}
+
+std::string
+VerifyReport::to_string() const
+{
+    std::string out = str_format(
+        "verification: %zu/%zu obligations proved (%.1f ms)\n", proved(),
+        total(), elapsed_ms);
+    for (const FunctionReport& f : functions) {
+        out += "  " + f.function + ":\n";
+        for (const Obligation& o : f.obligations) {
+            out += str_format(
+                "    [%s] %-19s %s : %s\n",
+                o.outcome == Outcome::kProved ? "proved " : "runtime",
+                obligation_kind_name(o.kind), o.span.to_string().c_str(),
+                o.description.c_str());
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Symbolic value: which field is meaningful depends on static type. */
+struct SymVal {
+    LinTerm term;                       ///< integer value
+    Formula::Ref truth = Formula::truth();  ///< boolean value
+    std::optional<LinTerm> array_len;   ///< array length, if tracked
+};
+
+/** Collects the local slots assigned anywhere within @p e. */
+void
+collect_assigned(const Expr* e, std::set<int>& out)
+{
+    if (e->kind == ExprKind::kSet && e->local_slot >= 0) {
+        out.insert(e->local_slot);
+    }
+    for (const Expr* a : e->args) collect_assigned(a, out);
+    for (const Expr* b : e->body) collect_assigned(b, out);
+    for (const lang::LetBinding& b : e->bindings) {
+        collect_assigned(b.init, out);
+    }
+}
+
+class FunctionVerifier {
+  public:
+    FunctionVerifier(TypedProgram& program, Solver& solver,
+                     FunctionReport& report, bool overflow_obligations)
+        : program_(program),
+          solver_(solver),
+          report_(report),
+          overflow_obligations_(overflow_obligations) {}
+
+    void run(size_t function_index) {
+        const FunctionDecl& f =
+            program_.program().functions[function_index];
+        state_.assign(static_cast<size_t>(f.num_locals), SymVal{});
+
+        // Parameters: fresh symbols, constrained by their bit-precise
+        // types (the C3 synergy) and by the require clauses.
+        const types::FunctionType& ft =
+            program_.function_type(function_index);
+        for (size_t i = 0; i < f.params.size(); ++i) {
+            state_[static_cast<size_t>(f.params[i].slot)] =
+                fresh_of_type(program_.store().prune(ft.params[i]));
+        }
+        for (const Expr* r : f.requires_clauses) {
+            assume(eval(const_cast<Expr*>(r)).truth);
+        }
+
+        SymVal result;
+        for (Expr* e : f.body) result = eval(e);
+
+        // Postconditions.
+        result_ = result;
+        in_ensures_ = true;
+        for (Expr* e : f.ensures_clauses) {
+            SymVal v = eval(e);
+            obligation(ObligationKind::kEnsure, e->span, e,
+                       "ensure " + e->to_string(), v.truth);
+        }
+        in_ensures_ = false;
+    }
+
+  private:
+    // --- Symbol management ---------------------------------------------
+
+    LinTerm fresh() { return LinTerm::variable(next_var_++); }
+
+    /** Fresh symbol constrained to its type's representable range. */
+    SymVal fresh_of_type(Type* type) {
+        SymVal v;
+        switch (type->kind) {
+          case TypeKind::kInt: {
+            v.term = fresh();
+            if (type->bits < 63) {
+                if (type->is_signed) {
+                    int64_t lo = -(int64_t{1} << (type->bits - 1));
+                    int64_t hi = (int64_t{1} << (type->bits - 1)) - 1;
+                    assume(Formula::le(LinTerm(lo), v.term));
+                    assume(Formula::le(v.term, LinTerm(hi)));
+                } else {
+                    int64_t hi = (int64_t{1} << type->bits) - 1;
+                    assume(Formula::le(LinTerm(0), v.term));
+                    assume(Formula::le(v.term, LinTerm(hi)));
+                }
+            } else if (!type->is_signed) {
+                assume(Formula::le(LinTerm(0), v.term));
+            }
+            return v;
+          }
+          case TypeKind::kBool: {
+            v.term = fresh();
+            assume(Formula::le(LinTerm(0), v.term));
+            assume(Formula::le(v.term, LinTerm(1)));
+            v.truth = Formula::eq(v.term, LinTerm(1));
+            return v;
+          }
+          case TypeKind::kArray: {
+            if (type->size != types::kUnknownSize) {
+                v.array_len = LinTerm(type->size);
+            } else {
+                LinTerm len = fresh();
+                assume(Formula::le(LinTerm(0), len));
+                v.array_len = len;
+            }
+            return v;
+          }
+          default:
+            v.term = fresh();
+            return v;
+        }
+    }
+
+    void assume(Formula::Ref f) { assumptions_.push_back(std::move(f)); }
+
+    void obligation(ObligationKind kind, SourceSpan span,
+                    const Expr* site, std::string description,
+                    Formula::Ref goal) {
+        Obligation o;
+        o.kind = kind;
+        o.span = span;
+        o.site = site;
+        o.description = std::move(description);
+        o.outcome = solver_.prove_entails(assumptions_, goal);
+        report_.obligations.push_back(std::move(o));
+    }
+
+    void havoc_slots(const std::set<int>& slots) {
+        for (int slot : slots) {
+            // Reconstruct range facts from the (unchanging) static type
+            // is not directly available per slot here; a plain fresh
+            // symbol is sound.
+            SymVal v;
+            v.term = fresh();
+            v.truth = opaque_bool();
+            v.array_len = state_[static_cast<size_t>(slot)].array_len;
+            state_[static_cast<size_t>(slot)] = v;
+        }
+    }
+
+    Formula::Ref opaque_bool() {
+        LinTerm b = fresh();
+        assume(Formula::le(LinTerm(0), b));
+        assume(Formula::le(b, LinTerm(1)));
+        return Formula::eq(b, LinTerm(1));
+    }
+
+    // --- Evaluation ------------------------------------------------------
+
+    SymVal eval(Expr* e) {
+        switch (e->kind) {
+          case ExprKind::kIntLit: {
+            SymVal v;
+            v.term = LinTerm(e->int_value);
+            return v;
+          }
+          case ExprKind::kBoolLit: {
+            SymVal v;
+            v.truth = e->bool_value ? Formula::truth()
+                                    : Formula::falsity();
+            v.term = LinTerm(e->bool_value ? 1 : 0);
+            return v;
+          }
+          case ExprKind::kUnitLit:
+            return SymVal{};
+          case ExprKind::kVar: {
+            if (e->local_slot == lang::kResultSlot) return result_;
+            if (e->local_slot < 0) return SymVal{};
+            return state_[static_cast<size_t>(e->local_slot)];
+          }
+          case ExprKind::kPrim:
+            return eval_prim(e);
+          case ExprKind::kCall:
+            return eval_call(e);
+          case ExprKind::kIf:
+            return eval_if(e);
+          case ExprKind::kLet: {
+            for (lang::LetBinding& b : e->bindings) {
+                state_[static_cast<size_t>(b.slot)] = eval(b.init);
+            }
+            SymVal last;
+            for (Expr* item : e->body) last = eval(item);
+            return last;
+          }
+          case ExprKind::kBegin: {
+            SymVal last;
+            for (Expr* item : e->args) last = eval(item);
+            return last;
+          }
+          case ExprKind::kWhile:
+            return eval_while(e);
+          case ExprKind::kSet: {
+            SymVal v = eval(e->args[0]);
+            if (e->local_slot >= 0) {
+                state_[static_cast<size_t>(e->local_slot)] = v;
+            }
+            return SymVal{};
+          }
+          case ExprKind::kAssert: {
+            SymVal v = eval(e->args[0]);
+            obligation(ObligationKind::kAssert, e->span, e,
+                       "assert " + e->args[0]->to_string(), v.truth);
+            // Downstream code may rely on the asserted fact (checked
+            // statically or dynamically, it holds past this point).
+            assume(v.truth);
+            return SymVal{};
+          }
+          case ExprKind::kArrayMake: {
+            SymVal len = eval(e->args[0]);
+            eval(e->args[1]);
+            obligation(ObligationKind::kAllocSize, e->span, e,
+                       "array-make length >= 0",
+                       Formula::le(LinTerm(0), len.term));
+            SymVal v;
+            v.array_len = len.term;
+            return v;
+          }
+          case ExprKind::kArrayRef: {
+            SymVal arr = eval(e->args[0]);
+            SymVal idx = eval(e->args[1]);
+            bounds_obligations(e, arr, idx);
+            Type* t = program_.type_of(e);
+            return fresh_of_type(t);
+          }
+          case ExprKind::kArraySet: {
+            SymVal arr = eval(e->args[0]);
+            SymVal idx = eval(e->args[1]);
+            eval(e->args[2]);
+            bounds_obligations(e, arr, idx);
+            return SymVal{};
+          }
+          case ExprKind::kArrayLen: {
+            SymVal arr = eval(e->args[0]);
+            SymVal v;
+            if (arr.array_len) {
+                v.term = *arr.array_len;
+            } else {
+                v.term = fresh();
+                assume(Formula::le(LinTerm(0), v.term));
+            }
+            return v;
+          }
+          case ExprKind::kNative: {
+            // Foreign code: arguments evaluated, result fully opaque.
+            for (Expr* a : e->args) eval(a);
+            SymVal v;
+            v.term = fresh();
+            return v;
+          }
+        }
+        return SymVal{};
+    }
+
+    void bounds_obligations(const Expr* e, const SymVal& arr,
+                            const SymVal& idx) {
+        obligation(ObligationKind::kBoundsLower, e->span, e,
+                   "0 <= index", Formula::le(LinTerm(0), idx.term));
+        if (arr.array_len) {
+            obligation(ObligationKind::kBoundsUpper, e->span, e,
+                       "index < length",
+                       Formula::lt(idx.term, *arr.array_len));
+        } else {
+            Obligation o;
+            o.kind = ObligationKind::kBoundsUpper;
+            o.span = e->span;
+            o.site = e;
+            o.description = "index < length (length unknown)";
+            o.outcome = Outcome::kUnknown;
+            report_.obligations.push_back(std::move(o));
+        }
+        // Past this point the access succeeded (either statically
+        // proved or dynamically checked), so the facts hold.
+        assume(Formula::le(LinTerm(0), idx.term));
+        if (arr.array_len) {
+            assume(Formula::lt(idx.term, *arr.array_len));
+        }
+    }
+
+    SymVal eval_prim(Expr* e) {
+        switch (e->prim) {
+          case PrimOp::kAdd: case PrimOp::kSub: {
+            SymVal a = eval(e->args[0]);
+            SymVal b = eval(e->args[1]);
+            SymVal v;
+            v.term = e->prim == PrimOp::kAdd ? a.term.add(b.term)
+                                             : a.term.sub(b.term);
+            overflow_obligation(e, v.term);
+            return v;
+          }
+          case PrimOp::kMul: {
+            SymVal a = eval(e->args[0]);
+            SymVal b = eval(e->args[1]);
+            SymVal v;
+            if (a.term.is_constant()) {
+                v.term = b.term.scale(a.term.constant());
+                overflow_obligation(e, v.term);
+            } else if (b.term.is_constant()) {
+                v.term = a.term.scale(b.term.constant());
+                overflow_obligation(e, v.term);
+            } else {
+                v.term = fresh();  // non-linear: opaque
+                overflow_obligation(e, v.term);
+            }
+            return v;
+          }
+          case PrimOp::kDiv: case PrimOp::kRem: {
+            SymVal a = eval(e->args[0]);
+            SymVal b = eval(e->args[1]);
+            obligation(ObligationKind::kDivByZero, e->span, e,
+                       "divisor != 0",
+                       Formula::negate(
+                           Formula::eq(b.term, LinTerm(0))));
+            SymVal v;
+            v.term = fresh();
+            if (e->prim == PrimOp::kRem && b.term.is_constant() &&
+                b.term.constant() > 0) {
+                // 0 <= a % k < k for a >= 0; we only assume the
+                // unconditionally-true integer fact |a%k| < k.
+                assume(Formula::lt(v.term, b.term));
+                assume(Formula::lt(b.term.negate(), v.term));
+            }
+            (void)a;
+            return v;
+          }
+          case PrimOp::kNeg: {
+            SymVal a = eval(e->args[0]);
+            SymVal v;
+            v.term = a.term.negate();
+            overflow_obligation(e, v.term);
+            return v;
+          }
+          case PrimOp::kBitAnd: {
+            SymVal a = eval(e->args[0]);
+            SymVal b = eval(e->args[1]);
+            SymVal v;
+            v.term = fresh();
+            // The ring-buffer idiom: masking with a non-negative
+            // constant bounds the result, 0 <= x & m <= m. This is
+            // what makes (array-ref buf (bitand i 15)) check-free.
+            int64_t mask = 0;
+            bool has_mask = false;
+            if (a.term.is_constant() && a.term.constant() >= 0) {
+                mask = a.term.constant();
+                has_mask = true;
+            } else if (b.term.is_constant() && b.term.constant() >= 0) {
+                mask = b.term.constant();
+                has_mask = true;
+            }
+            if (has_mask) {
+                assume(Formula::le(LinTerm(0), v.term));
+                assume(Formula::le(v.term, LinTerm(mask)));
+            }
+            return v;
+          }
+          case PrimOp::kBitOr:
+          case PrimOp::kBitXor: case PrimOp::kShl: case PrimOp::kShr: {
+            eval(e->args[0]);
+            eval(e->args[1]);
+            SymVal v;
+            v.term = fresh();  // bit-level ops are opaque to the prover
+            return v;
+          }
+          case PrimOp::kLt: case PrimOp::kLe:
+          case PrimOp::kGt: case PrimOp::kGe: {
+            SymVal a = eval(e->args[0]);
+            SymVal b = eval(e->args[1]);
+            SymVal v;
+            switch (e->prim) {
+              case PrimOp::kLt: v.truth = Formula::lt(a.term, b.term); break;
+              case PrimOp::kLe: v.truth = Formula::le(a.term, b.term); break;
+              case PrimOp::kGt: v.truth = Formula::lt(b.term, a.term); break;
+              default: v.truth = Formula::le(b.term, a.term); break;
+            }
+            return v;
+          }
+          case PrimOp::kEq: case PrimOp::kNe: {
+            SymVal a = eval(e->args[0]);
+            SymVal b = eval(e->args[1]);
+            SymVal v;
+            v.truth = Formula::eq(a.term, b.term);
+            if (e->prim == PrimOp::kNe) {
+                v.truth = Formula::negate(v.truth);
+            }
+            return v;
+          }
+          case PrimOp::kAnd: case PrimOp::kOr: {
+            SymVal a = eval(e->args[0]);
+            SymVal b = eval(e->args[1]);
+            SymVal v;
+            v.truth = e->prim == PrimOp::kAnd
+                          ? Formula::conj({a.truth, b.truth})
+                          : Formula::disj({a.truth, b.truth});
+            return v;
+          }
+          case PrimOp::kNot: {
+            SymVal a = eval(e->args[0]);
+            SymVal v;
+            v.truth = Formula::negate(a.truth);
+            return v;
+          }
+        }
+        return SymVal{};
+    }
+
+    /**
+     * Opt-in: prove the ideal result of a narrow-typed arithmetic
+     * expression fits its declared width (so runtime wrapping is
+     * provably a no-op).  The result is never assumed — wrapping
+     * semantics remain the runtime truth when the proof fails.
+     */
+    void overflow_obligation(Expr* e, const LinTerm& term) {
+        if (!overflow_obligations_) return;
+        Type* t = program_.type_of(e);
+        if (t->kind != TypeKind::kInt || t->bits >= 64) return;
+        int64_t lo;
+        int64_t hi;
+        if (t->is_signed) {
+            lo = -(int64_t{1} << (t->bits - 1));
+            hi = (int64_t{1} << (t->bits - 1)) - 1;
+        } else {
+            lo = 0;
+            hi = static_cast<int64_t>((uint64_t{1} << t->bits) - 1);
+        }
+        obligation(ObligationKind::kOverflow, e->span, e,
+                   "result fits " + program_.store().to_string(t),
+                   Formula::conj({Formula::le(LinTerm(lo), term),
+                                  Formula::le(term, LinTerm(hi))}));
+    }
+
+    SymVal eval_call(Expr* e) {
+        std::vector<SymVal> arg_vals;
+        arg_vals.reserve(e->args.size());
+        for (Expr* a : e->args) arg_vals.push_back(eval(a));
+        if (e->callee_index < 0) return SymVal{};
+        const FunctionDecl& callee =
+            program_.program().functions[static_cast<size_t>(
+                e->callee_index)];
+
+        // Check callee preconditions with arguments substituted by
+        // evaluating the clause in the callee's parameter frame.
+        FrameSwap swap(this, callee, arg_vals);
+        for (const Expr* r : callee.requires_clauses) {
+            SymVal cond = eval(const_cast<Expr*>(r));
+            swap.exit();
+            obligation(ObligationKind::kRequireAtCall, e->span, e,
+                       callee.name + " requires " + r->to_string(),
+                       cond.truth);
+            swap.enter();
+        }
+
+        // Assume the callee's postconditions about the fresh result.
+        Type* result_type = program_.type_of(e);
+        swap.exit();
+        SymVal result = fresh_of_type(result_type);
+        swap.enter();
+        SymVal saved_result = result_;
+        bool saved_in_ensures = in_ensures_;
+        result_ = result;
+        in_ensures_ = true;
+        for (const Expr* en : callee.ensures_clauses) {
+            SymVal fact = eval(const_cast<Expr*>(en));
+            swap.exit();
+            assume(fact.truth);
+            swap.enter();
+        }
+        result_ = saved_result;
+        in_ensures_ = saved_in_ensures;
+        return result;
+    }
+
+    /** Temporarily runs eval in a callee's parameter frame. */
+    class FrameSwap {
+      public:
+        FrameSwap(FunctionVerifier* owner, const FunctionDecl& callee,
+                  const std::vector<SymVal>& args)
+            : owner_(owner) {
+            frame_.assign(static_cast<size_t>(callee.num_locals),
+                          SymVal{});
+            for (size_t i = 0;
+                 i < callee.params.size() && i < args.size(); ++i) {
+                frame_[static_cast<size_t>(callee.params[i].slot)] =
+                    args[i];
+            }
+            enter();
+        }
+        ~FrameSwap() {
+            if (entered_) exit();
+        }
+        void enter() {
+            saved_ = std::move(owner_->state_);
+            owner_->state_ = frame_;
+            entered_ = true;
+        }
+        void exit() {
+            owner_->state_ = std::move(saved_);
+            entered_ = false;
+        }
+
+      private:
+        FunctionVerifier* owner_;
+        std::vector<SymVal> frame_;
+        std::vector<SymVal> saved_;
+        bool entered_ = false;
+    };
+
+    SymVal eval_if(Expr* e) {
+        SymVal cond = eval(e->args[0]);
+
+        // Run each branch against its own copy of the state, with the
+        // branch condition assumed for its obligations.
+        std::vector<SymVal> pre_state = state_;
+        size_t assume_mark = assumptions_.size();
+
+        assume(cond.truth);
+        SymVal then_val = eval(e->args[1]);
+        std::vector<SymVal> then_state = std::move(state_);
+        std::vector<Formula::Ref> then_assumed(
+            assumptions_.begin() + static_cast<long>(assume_mark) + 1,
+            assumptions_.end());
+        assumptions_.resize(assume_mark);
+
+        state_ = pre_state;
+        assume(Formula::negate(cond.truth));
+        SymVal else_val = eval(e->args[2]);
+        std::vector<SymVal> else_state = std::move(state_);
+        std::vector<Formula::Ref> else_assumed(
+            assumptions_.begin() + static_cast<long>(assume_mark) + 1,
+            assumptions_.end());
+        assumptions_.resize(assume_mark);
+
+        // Join: conditional facts survive as implications.
+        std::vector<Formula::Ref> then_parts = std::move(then_assumed);
+        std::vector<Formula::Ref> else_parts = std::move(else_assumed);
+        state_ = pre_state;
+
+        // Merge slot values and the result value.
+        for (size_t i = 0; i < state_.size(); ++i) {
+            merge_slot(cond.truth, then_state[i], else_state[i],
+                       &state_[i], then_parts, else_parts);
+        }
+        SymVal merged;
+        merge_slot(cond.truth, then_val, else_val, &merged, then_parts,
+                   else_parts);
+
+        assume(Formula::implies(cond.truth,
+                                Formula::conj(std::move(then_parts))));
+        assume(Formula::implies(Formula::negate(cond.truth),
+                                Formula::conj(std::move(else_parts))));
+        return merged;
+    }
+
+    /**
+     * Phi-joins a value across the two arms of an if: integer views get
+     * a fresh symbol defined per-branch by implication; boolean views
+     * get the exact if-then-else formula (a definition, not an
+     * assumption, so it is sound for every slot type).
+     */
+    void merge_slot(const Formula::Ref& cond, const SymVal& then_v,
+                    const SymVal& else_v, SymVal* out,
+                    std::vector<Formula::Ref>& then_parts,
+                    std::vector<Formula::Ref>& else_parts) {
+        if (then_v.term == else_v.term && then_v.truth == else_v.truth &&
+            then_v.array_len == else_v.array_len) {
+            *out = then_v;
+            return;
+        }
+        SymVal merged;
+        merged.term = fresh();
+        merged.array_len = then_v.array_len;  // lengths are immutable
+        then_parts.push_back(Formula::eq(merged.term, then_v.term));
+        else_parts.push_back(Formula::eq(merged.term, else_v.term));
+        merged.truth = Formula::disj(
+            {Formula::conj({cond, then_v.truth}),
+             Formula::conj({Formula::negate(cond), else_v.truth})});
+        *out = merged;
+    }
+
+    SymVal eval_while(Expr* e) {
+        // Collect the slots the body can change.
+        std::set<int> assigned;
+        for (const Expr* b : e->body) collect_assigned(b, assigned);
+        collect_assigned(e->args[0], assigned);
+
+        // 1. Invariants hold on entry.
+        for (Expr* inv : e->invariants) {
+            SymVal v = eval(inv);
+            obligation(ObligationKind::kInvariantEntry, inv->span, inv,
+                       "invariant on entry: " + inv->to_string(),
+                       v.truth);
+        }
+
+        // 2. Arbitrary iteration: havoc, assume invariant & condition,
+        //    run body, require invariants preserved.
+        havoc_slots(assigned);
+        size_t mark = assumptions_.size();
+        for (Expr* inv : e->invariants) assume(eval(inv).truth);
+        SymVal cond = eval(e->args[0]);
+        assume(cond.truth);
+        for (Expr* item : e->body) eval(item);
+        for (Expr* inv : e->invariants) {
+            SymVal v = eval(inv);
+            obligation(ObligationKind::kInvariantPreserved, inv->span,
+                       inv,
+                       "invariant preserved: " + inv->to_string(),
+                       v.truth);
+        }
+        assumptions_.resize(mark);  // discard iteration-local facts
+
+        // 3. After the loop: havoc again, assume invariants & !cond.
+        havoc_slots(assigned);
+        for (Expr* inv : e->invariants) assume(eval(inv).truth);
+        SymVal exit_cond = eval(e->args[0]);
+        assume(Formula::negate(exit_cond.truth));
+        return SymVal{};
+    }
+
+    TypedProgram& program_;
+    Solver& solver_;
+    FunctionReport& report_;
+    std::vector<SymVal> state_;
+    std::vector<Formula::Ref> assumptions_;
+    SymVar next_var_ = 0;
+    SymVal result_;
+    bool in_ensures_ = false;
+    bool overflow_obligations_ = false;
+};
+
+}  // namespace
+
+VerifyReport
+verify_program_with_options(TypedProgram& program,
+                            const VerifyOptions& options)
+{
+    VerifyReport report;
+    Solver solver(options.solver);
+    uint64_t start = now_ns();
+    for (size_t i = 0; i < program.program().functions.size(); ++i) {
+        FunctionReport fr;
+        fr.function = program.program().functions[i].name;
+        FunctionVerifier verifier(program, solver, fr,
+                                  options.overflow_obligations);
+        verifier.run(i);
+        report.functions.push_back(std::move(fr));
+    }
+    report.elapsed_ms =
+        static_cast<double>(now_ns() - start) / 1e6;
+    report.solver_stats = solver.stats();
+    report.index();
+    return report;
+}
+
+VerifyReport
+verify_program(TypedProgram& program, SolverConfig config)
+{
+    VerifyOptions options;
+    options.solver = config;
+    return verify_program_with_options(program, options);
+}
+
+}  // namespace bitc::verify

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The constraint checker (paper challenge C1): symbolically executes
+ * each typed function, generating proof obligations for
+ *
+ *   - (assert e) and (require e)/(ensure e) contracts,
+ *   - array bounds at every array-ref / array-set!,
+ *   - allocation sizes at array-make,
+ *   - division by zero at / and %,
+ *   - loop invariant entry and preservation,
+ *   - callee preconditions at call sites,
+ *
+ * and discharging them with the linear-arithmetic solver.  kProved
+ * obligations let the compiler drop the corresponding runtime check
+ * (bounds-check elimination); kUnknown ones keep it.  Bit-precise
+ * parameter types contribute range assumptions (an int8 argument is
+ * known to lie in [-128, 127]) — the C3-feeds-C1 synergy the paper's
+ * design argues for.
+ *
+ * The verifier assumes ideal (non-wrapping) integer arithmetic, the
+ * usual Hoare-logic idealisation; overflow obligations are future work.
+ */
+#ifndef BITC_VERIFY_VERIFIER_HPP
+#define BITC_VERIFY_VERIFIER_HPP
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types/checker.hpp"
+#include "verify/solver.hpp"
+
+namespace bitc::verify {
+
+/** What a single obligation protects. */
+enum class ObligationKind : uint8_t {
+    kAssert,
+    kBoundsLower,        ///< 0 <= index
+    kBoundsUpper,        ///< index < length
+    kAllocSize,          ///< array-make length >= 0
+    kDivByZero,          ///< divisor != 0
+    kEnsure,
+    kRequireAtCall,      ///< callee precondition at a call site
+    kInvariantEntry,
+    kInvariantPreserved,
+    kOverflow,           ///< ideal result fits the declared bit width
+};
+
+const char* obligation_kind_name(ObligationKind kind);
+
+/** One generated-and-attempted proof obligation. */
+struct Obligation {
+    ObligationKind kind;
+    SourceSpan span;
+    const lang::Expr* site = nullptr;  ///< AST node being protected.
+    std::string description;
+    Outcome outcome = Outcome::kUnknown;
+};
+
+/** Per-function verification results. */
+struct FunctionReport {
+    std::string function;
+    std::vector<Obligation> obligations;
+};
+
+/** Whole-program verification results. */
+class VerifyReport {
+  public:
+    std::vector<FunctionReport> functions;
+    SolverStats solver_stats;
+    double elapsed_ms = 0;
+
+    size_t total() const;
+    size_t proved() const;
+    size_t unknown() const { return total() - proved(); }
+
+    /**
+     * True when the obligation of @p kind anchored at @p site was
+     * proved — the compiler's license to drop that runtime check.
+     */
+    bool is_proved(const lang::Expr* site, ObligationKind kind) const;
+
+    /** Multi-line human-readable report. */
+    std::string to_string() const;
+
+    void index();  ///< (Re)builds the is_proved lookup table.
+
+  private:
+    std::unordered_map<const lang::Expr*, uint32_t> proved_mask_;
+};
+
+/** Verifier behaviour switches. */
+struct VerifyOptions {
+    SolverConfig solver;
+    /**
+     * Also emit kOverflow obligations: for every +, -, neg and
+     * constant-scaled * whose static type is narrower than 64 bits,
+     * prove the *ideal* result stays within the declared width (so
+     * runtime wrapping never actually occurs).  Off by default: the
+     * systems idioms that rely on wrapping (hashes, checksums,
+     * masking) legitimately fail these obligations.
+     */
+    bool overflow_obligations = false;
+};
+
+/**
+ * Verifies every function of @p program.  Never fails: unprovable
+ * obligations are reported as kUnknown, not errors.
+ */
+VerifyReport verify_program(types::TypedProgram& program,
+                            SolverConfig config = {});
+
+/** As above, with full options. */
+VerifyReport verify_program_with_options(types::TypedProgram& program,
+                                         const VerifyOptions& options);
+
+}  // namespace bitc::verify
+
+#endif  // BITC_VERIFY_VERIFIER_HPP

@@ -1,0 +1,127 @@
+#include "vm/bytecode.hpp"
+
+#include <map>
+
+#include "support/string_util.hpp"
+
+namespace bitc::vm {
+
+const char*
+op_name(Op op)
+{
+    switch (op) {
+      case Op::kConst: return "const";
+      case Op::kUnit: return "unit";
+      case Op::kPop: return "pop";
+      case Op::kLocalGet: return "local.get";
+      case Op::kLocalSet: return "local.set";
+      case Op::kAdd: return "add";
+      case Op::kSub: return "sub";
+      case Op::kMul: return "mul";
+      case Op::kDiv: return "div";
+      case Op::kRem: return "rem";
+      case Op::kNeg: return "neg";
+      case Op::kShl: return "shl";
+      case Op::kShr: return "shr";
+      case Op::kBitAnd: return "and";
+      case Op::kBitOr: return "or";
+      case Op::kBitXor: return "xor";
+      case Op::kLt: return "lt";
+      case Op::kLe: return "le";
+      case Op::kGt: return "gt";
+      case Op::kGe: return "ge";
+      case Op::kEq: return "eq";
+      case Op::kNe: return "ne";
+      case Op::kNot: return "not";
+      case Op::kWrap: return "wrap";
+      case Op::kJump: return "jump";
+      case Op::kJumpIfFalse: return "jump_if_false";
+      case Op::kCall: return "call";
+      case Op::kCallNative: return "call_native";
+      case Op::kRet: return "ret";
+      case Op::kArrayMake: return "array.make";
+      case Op::kArrayGet: return "array.get";
+      case Op::kArraySet: return "array.set";
+      case Op::kArrayLen: return "array.len";
+      case Op::kAssert: return "assert";
+      case Op::kHalt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+Instr::to_string() const
+{
+    switch (op) {
+      case Op::kConst: {
+        int64_t value =
+            (static_cast<int64_t>(b) << 32) |
+            static_cast<int64_t>(static_cast<uint32_t>(a));
+        return str_format("const %lld", static_cast<long long>(value));
+      }
+      case Op::kLocalGet:
+      case Op::kLocalSet:
+      case Op::kJump:
+      case Op::kJumpIfFalse:
+      case Op::kCall:
+        return str_format("%s %d", op_name(op), a);
+      case Op::kWrap:
+        return str_format("wrap %d%s", a,
+                          (b & kFlagSigned) != 0 ? "s" : "u");
+      case Op::kArrayGet:
+      case Op::kArraySet: {
+        std::string flags;
+        if ((b & kFlagCheckLower) != 0) flags += " lo";
+        if ((b & kFlagCheckUpper) != 0) flags += " hi";
+        return std::string(op_name(op)) +
+               (flags.empty() ? " unchecked" : flags);
+      }
+      default:
+        return op_name(op);
+    }
+}
+
+std::string
+CompiledFunction::disassemble() const
+{
+    std::string out =
+        str_format("%s (params=%u locals=%u):\n", name.c_str(),
+                   num_params, num_locals);
+    for (size_t i = 0; i < code.size(); ++i) {
+        out += str_format("  %4zu: %s\n", i,
+                          code[i].to_string().c_str());
+    }
+    return out;
+}
+
+Result<uint32_t>
+CompiledProgram::find(const std::string& name) const
+{
+    for (size_t i = 0; i < functions.size(); ++i) {
+        if (functions[i].name == name) {
+            return static_cast<uint32_t>(i);
+        }
+    }
+    return not_found_error(
+        str_format("no function '%s'", name.c_str()));
+}
+
+std::string
+CompiledProgram::disassemble() const
+{
+    std::string out;
+    for (const CompiledFunction& f : functions) out += f.disassemble();
+    return out;
+}
+
+std::vector<std::pair<std::string, size_t>>
+CompiledProgram::op_histogram() const
+{
+    std::map<std::string, size_t> counts;
+    for (const CompiledFunction& f : functions) {
+        for (const Instr& i : f.code) ++counts[op_name(i.op)];
+    }
+    return {counts.begin(), counts.end()};
+}
+
+}  // namespace bitc::vm

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Stack bytecode for the BitC-like VM.
+ *
+ * The instruction set is deliberately transparent (one op, one obvious
+ * machine action) because fallacy F3 is about predictability: the
+ * experiment needs a cost model a systems programmer can reason about.
+ */
+#ifndef BITC_VM_BYTECODE_HPP
+#define BITC_VM_BYTECODE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace bitc::vm {
+
+enum class Op : uint8_t {
+    kConst,      ///< push immediate (a = low 32 bits, b = high 32 bits)
+    kUnit,       ///< push unit/0
+    kPop,        ///< drop top of stack
+    kLocalGet,   ///< push locals[a]
+    kLocalSet,   ///< locals[a] = pop
+    // Arithmetic (b bit0: signed). Operands popped right-then-left.
+    kAdd, kSub, kMul, kDiv, kRem, kNeg,
+    kShl, kShr, kBitAnd, kBitOr, kBitXor,
+    // Comparisons (b bit0: signed); push 1/0.
+    kLt, kLe, kGt, kGe, kEq, kNe,
+    kNot,        ///< logical not of 0/1
+    kWrap,       ///< wrap top to a-bit integer (b bit0: signed)
+    kJump,       ///< pc = a
+    kJumpIfFalse,///< pop; if 0, pc = a
+    kCall,       ///< call function a (argc from callee signature)
+    kCallNative, ///< call native function a (b = argc)
+    kRet,        ///< return top of stack
+    kArrayMake,  ///< pop fill, len; push new array ref
+    kArrayGet,   ///< pop idx, array; push elem.
+                 ///< b bit1: check lower bound, bit2: check upper.
+    kArraySet,   ///< pop value, idx, array; push nothing
+    kArrayLen,   ///< pop array; push length
+    kAssert,     ///< pop; trap if 0
+    kHalt,       ///< stop (end of entry frame)
+};
+
+const char* op_name(Op op);
+
+/** Signedness flag in the b operand of arithmetic/compare ops. */
+inline constexpr int32_t kFlagSigned = 1 << 0;
+/** Bounds-check flags in the b operand of array ops. */
+inline constexpr int32_t kFlagCheckLower = 1 << 1;
+inline constexpr int32_t kFlagCheckUpper = 1 << 2;
+
+/** One instruction; fixed width for cheap dispatch. */
+struct Instr {
+    Op op = Op::kHalt;
+    int32_t a = 0;
+    int32_t b = 0;
+
+    std::string to_string() const;
+};
+
+/** A compiled function. */
+struct CompiledFunction {
+    std::string name;
+    uint32_t num_params = 0;
+    uint32_t num_locals = 0;  ///< including params
+    std::vector<Instr> code;
+
+    std::string disassemble() const;
+};
+
+/** A compiled program: functions plus entry lookup. */
+struct CompiledProgram {
+    std::vector<CompiledFunction> functions;
+
+    /** Index of @p name, or error. */
+    Result<uint32_t> find(const std::string& name) const;
+
+    std::string disassemble() const;
+
+    /** Static instruction counts per op (transparency reports). */
+    std::vector<std::pair<std::string, size_t>> op_histogram() const;
+};
+
+}  // namespace bitc::vm
+
+#endif  // BITC_VM_BYTECODE_HPP

@@ -1,0 +1,363 @@
+#include "vm/compiler.hpp"
+
+#include <optional>
+
+#include "lang/resolver.hpp"
+#include "support/string_util.hpp"
+
+namespace bitc::vm {
+
+using lang::Expr;
+using lang::ExprKind;
+using lang::FunctionDecl;
+using lang::PrimOp;
+using types::Type;
+using types::TypeKind;
+using types::TypedProgram;
+using verify::ObligationKind;
+
+namespace {
+
+/** Compile-time constant folding over the typed AST. */
+class Folder {
+  public:
+    /** Constant value of @p e, if statically known. */
+    static std::optional<int64_t> fold(const Expr* e) {
+        switch (e->kind) {
+          case ExprKind::kIntLit:
+            return e->int_value;
+          case ExprKind::kBoolLit:
+            return e->bool_value ? 1 : 0;
+          case ExprKind::kPrim:
+            return fold_prim(e);
+          default:
+            return std::nullopt;
+        }
+    }
+
+  private:
+    static std::optional<int64_t> fold_prim(const Expr* e) {
+        std::optional<int64_t> a = fold(e->args[0]);
+        if (!a) return std::nullopt;
+        if (e->prim == PrimOp::kNot) return *a == 0 ? 1 : 0;
+        if (e->prim == PrimOp::kNeg) return -*a;
+        std::optional<int64_t> b = fold(e->args[1]);
+        if (!b) return std::nullopt;
+        switch (e->prim) {
+          case PrimOp::kAdd: return *a + *b;
+          case PrimOp::kSub: return *a - *b;
+          case PrimOp::kMul: return *a * *b;
+          case PrimOp::kDiv:
+            if (*b == 0) return std::nullopt;  // leave the trap in
+            return *a / *b;
+          case PrimOp::kRem:
+            if (*b == 0) return std::nullopt;
+            return *a % *b;
+          case PrimOp::kLt: return *a < *b ? 1 : 0;
+          case PrimOp::kLe: return *a <= *b ? 1 : 0;
+          case PrimOp::kGt: return *a > *b ? 1 : 0;
+          case PrimOp::kGe: return *a >= *b ? 1 : 0;
+          case PrimOp::kEq: return *a == *b ? 1 : 0;
+          case PrimOp::kNe: return *a != *b ? 1 : 0;
+          case PrimOp::kAnd: return (*a != 0 && *b != 0) ? 1 : 0;
+          case PrimOp::kOr: return (*a != 0 || *b != 0) ? 1 : 0;
+          case PrimOp::kBitAnd: return *a & *b;
+          case PrimOp::kBitOr: return *a | *b;
+          case PrimOp::kBitXor: return *a ^ *b;
+          case PrimOp::kShl:
+            if (*b < 0 || *b > 63) return std::nullopt;
+            return static_cast<int64_t>(
+                static_cast<uint64_t>(*a) << *b);
+          case PrimOp::kShr:
+            if (*b < 0 || *b > 63) return std::nullopt;
+            return *a >> *b;
+          default:
+            return std::nullopt;
+        }
+    }
+};
+
+class FunctionCompiler {
+  public:
+    FunctionCompiler(TypedProgram& program,
+                     const CompilerOptions& options,
+                     CompiledFunction& out)
+        : program_(program), options_(options), out_(out) {}
+
+    Status run(const FunctionDecl& decl) {
+        out_.name = decl.name;
+        out_.num_params = static_cast<uint32_t>(decl.params.size());
+        out_.num_locals = static_cast<uint32_t>(decl.num_locals);
+        for (size_t i = 0; i < decl.body.size(); ++i) {
+            bool last = i + 1 == decl.body.size();
+            BITC_RETURN_IF_ERROR(
+                compile(decl.body[i], /*want_value=*/last));
+        }
+        emit(Op::kRet);
+        return Status::ok();
+    }
+
+  private:
+    void emit(Op op, int32_t a = 0, int32_t b = 0) {
+        out_.code.push_back({op, a, b});
+    }
+
+    size_t emit_patch(Op op) {
+        out_.code.push_back({op, -1, 0});
+        return out_.code.size() - 1;
+    }
+
+    void patch(size_t index) {
+        out_.code[index].a = static_cast<int32_t>(out_.code.size());
+    }
+
+    void emit_const(int64_t value) {
+        emit(Op::kConst,
+             static_cast<int32_t>(value & 0xffffffffll),
+             static_cast<int32_t>(value >> 32));
+    }
+
+    /** The signedness flag for the static type of @p e. */
+    int32_t signed_flag(const Expr* e) {
+        Type* t = program_.type_of(const_cast<Expr*>(e));
+        return (t->kind == TypeKind::kInt && !t->is_signed)
+                   ? 0
+                   : kFlagSigned;
+    }
+
+    /** Emits kWrap if the static type is a sub-64-bit integer. */
+    void emit_wrap(const Expr* e) {
+        Type* t = program_.type_of(const_cast<Expr*>(e));
+        if (t->kind == TypeKind::kInt && t->bits < 64) {
+            emit(Op::kWrap, static_cast<int32_t>(t->bits),
+                 t->is_signed ? kFlagSigned : 0);
+        }
+    }
+
+    Status compile(const Expr* e, bool want_value) {
+        // Constant folding: any foldable subtree becomes one kConst.
+        if (options_.constant_fold) {
+            if (auto value = Folder::fold(e)) {
+                if (want_value) emit_const(*value);
+                return Status::ok();
+            }
+        }
+        switch (e->kind) {
+          case ExprKind::kIntLit:
+            if (want_value) emit_const(e->int_value);
+            return Status::ok();
+          case ExprKind::kBoolLit:
+            if (want_value) emit_const(e->bool_value ? 1 : 0);
+            return Status::ok();
+          case ExprKind::kUnitLit:
+            if (want_value) emit(Op::kUnit);
+            return Status::ok();
+          case ExprKind::kVar:
+            if (want_value) {
+                if (e->local_slot < 0) {
+                    return internal_error("unresolved variable '" +
+                                          e->name + "'");
+                }
+                emit(Op::kLocalGet, e->local_slot);
+            }
+            return Status::ok();
+          case ExprKind::kPrim:
+            return compile_prim(e, want_value);
+          case ExprKind::kCall: {
+            for (const Expr* a : e->args) {
+                BITC_RETURN_IF_ERROR(compile(a, true));
+            }
+            emit(Op::kCall, e->callee_index);
+            if (!want_value) emit(Op::kPop);
+            return Status::ok();
+          }
+          case ExprKind::kNative: {
+            if (options_.natives == nullptr) {
+                return invalid_argument_error(
+                    "program uses (native ...) but no native registry "
+                    "was provided");
+            }
+            BITC_ASSIGN_OR_RETURN(uint32_t index,
+                                  options_.natives->find(e->name));
+            if (options_.natives->arity(index) != e->args.size()) {
+                return invalid_argument_error(str_format(
+                    "native '%s' takes %u argument(s), got %zu",
+                    e->name.c_str(), options_.natives->arity(index),
+                    e->args.size()));
+            }
+            for (const Expr* a : e->args) {
+                BITC_RETURN_IF_ERROR(compile(a, true));
+            }
+            emit(Op::kCallNative, static_cast<int32_t>(index),
+                 static_cast<int32_t>(e->args.size()));
+            if (!want_value) emit(Op::kPop);
+            return Status::ok();
+          }
+          case ExprKind::kIf: {
+            BITC_RETURN_IF_ERROR(compile(e->args[0], true));
+            size_t to_else = emit_patch(Op::kJumpIfFalse);
+            BITC_RETURN_IF_ERROR(compile(e->args[1], want_value));
+            size_t to_end = emit_patch(Op::kJump);
+            patch(to_else);
+            BITC_RETURN_IF_ERROR(compile(e->args[2], want_value));
+            patch(to_end);
+            return Status::ok();
+          }
+          case ExprKind::kLet: {
+            for (const lang::LetBinding& b : e->bindings) {
+                BITC_RETURN_IF_ERROR(compile(b.init, true));
+                emit(Op::kLocalSet, b.slot);
+            }
+            return compile_body(e->body, want_value);
+          }
+          case ExprKind::kBegin: {
+            return compile_body(e->args, want_value);
+          }
+          case ExprKind::kWhile: {
+            size_t loop_top = out_.code.size();
+            BITC_RETURN_IF_ERROR(compile(e->args[0], true));
+            size_t to_exit = emit_patch(Op::kJumpIfFalse);
+            for (const Expr* item : e->body) {
+                BITC_RETURN_IF_ERROR(compile(item, false));
+            }
+            emit(Op::kJump, static_cast<int32_t>(loop_top));
+            patch(to_exit);
+            if (want_value) emit(Op::kUnit);
+            return Status::ok();
+          }
+          case ExprKind::kSet: {
+            BITC_RETURN_IF_ERROR(compile(e->args[0], true));
+            emit(Op::kLocalSet, e->local_slot);
+            if (want_value) emit(Op::kUnit);
+            return Status::ok();
+          }
+          case ExprKind::kAssert: {
+            if (proved(e, ObligationKind::kAssert)) {
+                // Statically discharged; contract code vanishes.
+                if (want_value) emit(Op::kUnit);
+                return Status::ok();
+            }
+            BITC_RETURN_IF_ERROR(compile(e->args[0], true));
+            emit(Op::kAssert);
+            if (want_value) emit(Op::kUnit);
+            return Status::ok();
+          }
+          case ExprKind::kArrayMake: {
+            BITC_RETURN_IF_ERROR(compile(e->args[0], true));
+            BITC_RETURN_IF_ERROR(compile(e->args[1], true));
+            emit(Op::kArrayMake);
+            if (!want_value) emit(Op::kPop);
+            return Status::ok();
+          }
+          case ExprKind::kArrayRef: {
+            BITC_RETURN_IF_ERROR(compile(e->args[0], true));
+            BITC_RETURN_IF_ERROR(compile(e->args[1], true));
+            emit(Op::kArrayGet, 0, bounds_flags(e));
+            if (!want_value) emit(Op::kPop);
+            return Status::ok();
+          }
+          case ExprKind::kArraySet: {
+            BITC_RETURN_IF_ERROR(compile(e->args[0], true));
+            BITC_RETURN_IF_ERROR(compile(e->args[1], true));
+            BITC_RETURN_IF_ERROR(compile(e->args[2], true));
+            emit(Op::kArraySet, 0, bounds_flags(e));
+            if (want_value) emit(Op::kUnit);
+            return Status::ok();
+          }
+          case ExprKind::kArrayLen: {
+            BITC_RETURN_IF_ERROR(compile(e->args[0], true));
+            emit(Op::kArrayLen);
+            if (!want_value) emit(Op::kPop);
+            return Status::ok();
+          }
+        }
+        return internal_error("unhandled expression kind");
+    }
+
+    Status compile_body(const std::vector<Expr*>& body,
+                        bool want_value) {
+        if (body.empty()) {
+            if (want_value) emit(Op::kUnit);
+            return Status::ok();
+        }
+        for (size_t i = 0; i < body.size(); ++i) {
+            bool last = i + 1 == body.size();
+            BITC_RETURN_IF_ERROR(compile(body[i], last && want_value));
+        }
+        return Status::ok();
+    }
+
+    bool proved(const Expr* e, ObligationKind kind) const {
+        return options_.elide_proved_checks &&
+               options_.proofs != nullptr &&
+               options_.proofs->is_proved(e, kind);
+    }
+
+    int32_t bounds_flags(const Expr* e) const {
+        int32_t flags = kFlagCheckLower | kFlagCheckUpper;
+        if (proved(e, ObligationKind::kBoundsLower)) {
+            flags &= ~kFlagCheckLower;
+        }
+        if (proved(e, ObligationKind::kBoundsUpper)) {
+            flags &= ~kFlagCheckUpper;
+        }
+        return flags;
+    }
+
+    Status compile_prim(const Expr* e, bool want_value) {
+        for (const Expr* a : e->args) {
+            BITC_RETURN_IF_ERROR(compile(a, true));
+        }
+        int32_t sign = signed_flag(e->args[0]);
+        bool needs_wrap = true;
+        switch (e->prim) {
+          case PrimOp::kAdd: emit(Op::kAdd); break;
+          case PrimOp::kSub: emit(Op::kSub); break;
+          case PrimOp::kMul: emit(Op::kMul); break;
+          case PrimOp::kDiv: emit(Op::kDiv, 0, sign); break;
+          case PrimOp::kRem: emit(Op::kRem, 0, sign); break;
+          case PrimOp::kNeg: emit(Op::kNeg); break;
+          case PrimOp::kShl: emit(Op::kShl); break;
+          case PrimOp::kShr: emit(Op::kShr, 0, sign); break;
+          case PrimOp::kBitAnd: emit(Op::kBitAnd); break;
+          case PrimOp::kBitOr: emit(Op::kBitOr); break;
+          case PrimOp::kBitXor: emit(Op::kBitXor); break;
+          case PrimOp::kLt: emit(Op::kLt, 0, sign); needs_wrap = false; break;
+          case PrimOp::kLe: emit(Op::kLe, 0, sign); needs_wrap = false; break;
+          case PrimOp::kGt: emit(Op::kGt, 0, sign); needs_wrap = false; break;
+          case PrimOp::kGe: emit(Op::kGe, 0, sign); needs_wrap = false; break;
+          case PrimOp::kEq: emit(Op::kEq); needs_wrap = false; break;
+          case PrimOp::kNe: emit(Op::kNe); needs_wrap = false; break;
+          case PrimOp::kAnd: emit(Op::kBitAnd); needs_wrap = false; break;
+          case PrimOp::kOr: emit(Op::kBitOr); needs_wrap = false; break;
+          case PrimOp::kNot: emit(Op::kNot); needs_wrap = false; break;
+        }
+        // Bit-precise semantics: results wrap to their declared width.
+        if (needs_wrap) emit_wrap(e);
+        if (!want_value) emit(Op::kPop);
+        return Status::ok();
+    }
+
+    TypedProgram& program_;
+    const CompilerOptions& options_;
+    CompiledFunction& out_;
+};
+
+}  // namespace
+
+Result<CompiledProgram>
+compile_program(types::TypedProgram& program,
+                const CompilerOptions& options)
+{
+    CompiledProgram out;
+    out.functions.reserve(program.program().functions.size());
+    for (const FunctionDecl& decl : program.program().functions) {
+        CompiledFunction fn;
+        FunctionCompiler compiler(program, options, fn);
+        BITC_RETURN_IF_ERROR(compiler.run(decl));
+        out.functions.push_back(std::move(fn));
+    }
+    return out;
+}
+
+}  // namespace bitc::vm

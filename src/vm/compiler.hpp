@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Bytecode compiler: typed AST -> CompiledProgram.
+ *
+ * The optimisation switches are the levers of the F3 experiment:
+ *
+ *  - constant folding (classic strength-free fold over literals);
+ *  - bounds-check elimination, licensed exclusively by the verifier's
+ *    proof report (C1 feeding the optimiser) — never by heuristics;
+ *  - assert elision for statically proved assertions.
+ */
+#ifndef BITC_VM_COMPILER_HPP
+#define BITC_VM_COMPILER_HPP
+
+#include "types/checker.hpp"
+#include "verify/verifier.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/native.hpp"
+
+namespace bitc::vm {
+
+/** Compilation switches. */
+struct CompilerOptions {
+    /** Fold constant subexpressions at compile time. */
+    bool constant_fold = true;
+    /**
+     * Drop bounds checks / asserts the verifier proved.  Requires
+     * @ref proofs; without it every check is kept.
+     */
+    bool elide_proved_checks = false;
+    const verify::VerifyReport* proofs = nullptr;
+    /** Native registry for (native "name" ...) calls; may be null. */
+    const NativeRegistry* natives = nullptr;
+};
+
+/** Compiles a checked program. */
+Result<CompiledProgram> compile_program(types::TypedProgram& program,
+                                        const CompilerOptions& options);
+
+}  // namespace bitc::vm
+
+#endif  // BITC_VM_COMPILER_HPP

@@ -1,0 +1,742 @@
+#include "vm/interpreter.hpp"
+
+#include <cassert>
+
+#include "memory/generational_heap.hpp"
+#include "memory/manual_heap.hpp"
+#include "memory/markcompact_heap.hpp"
+#include "memory/marksweep_heap.hpp"
+#include "memory/refcount_heap.hpp"
+#include "memory/region_heap.hpp"
+#include "memory/semispace_heap.hpp"
+#include "repr/scalar_type.hpp"
+#include "support/string_util.hpp"
+
+namespace bitc::vm {
+
+using mem::ManagedHeap;
+using mem::ObjRef;
+
+namespace {
+
+constexpr uint8_t kBoxTag = 1;
+constexpr uint8_t kArrayTag = 2;
+constexpr uint32_t kMaxArrayLen = 1u << 22;
+
+}  // namespace
+
+const char*
+value_mode_name(ValueMode mode)
+{
+    return mode == ValueMode::kUnboxed ? "unboxed" : "boxed";
+}
+
+const char*
+heap_policy_name(HeapPolicy policy)
+{
+    switch (policy) {
+      case HeapPolicy::kRegion: return "region";
+      case HeapPolicy::kManual: return "manual";
+      case HeapPolicy::kRefCount: return "refcount";
+      case HeapPolicy::kMarkSweep: return "mark-sweep";
+      case HeapPolicy::kMarkCompact: return "mark-compact";
+      case HeapPolicy::kSemispace: return "semispace";
+      case HeapPolicy::kGenerational: return "generational";
+    }
+    return "?";
+}
+
+std::unique_ptr<ManagedHeap>
+make_heap(HeapPolicy policy, size_t heap_words)
+{
+    switch (policy) {
+      case HeapPolicy::kRegion:
+        return std::make_unique<mem::RegionHeap>(heap_words);
+      case HeapPolicy::kManual:
+        return std::make_unique<mem::ManualHeap>(heap_words);
+      case HeapPolicy::kRefCount:
+        return std::make_unique<mem::RefCountHeap>(heap_words);
+      case HeapPolicy::kMarkSweep:
+        return std::make_unique<mem::MarkSweepHeap>(heap_words);
+      case HeapPolicy::kMarkCompact:
+        return std::make_unique<mem::MarkCompactHeap>(heap_words);
+      case HeapPolicy::kSemispace:
+        return std::make_unique<mem::SemispaceHeap>(heap_words);
+      case HeapPolicy::kGenerational:
+        return std::make_unique<mem::GenerationalHeap>(
+            heap_words, std::max<size_t>(heap_words / 16, 1024));
+    }
+    return nullptr;
+}
+
+Vm::Vm(const CompiledProgram& program, const NativeRegistry* natives,
+       VmConfig config)
+    : program_(program),
+      natives_(natives),
+      config_(config),
+      heap_(make_heap(config.heap, config.heap_words))
+{
+}
+
+Vm::~Vm() = default;
+
+Status
+Vm::validate() const
+{
+    if (config_.mode == ValueMode::kUnboxed &&
+        config_.heap != HeapPolicy::kRegion &&
+        config_.heap != HeapPolicy::kManual) {
+        return invalid_argument_error(str_format(
+            "unboxed mode requires a non-collecting heap policy "
+            "(region or manual), got %s; a tracer cannot see raw "
+            "words as roots",
+            heap_policy_name(config_.heap)));
+    }
+    return Status::ok();
+}
+
+namespace {
+
+/** Execution engine; one instance per Vm::call. */
+template <ValueMode mode>
+class Machine {
+    using Slot =
+        std::conditional_t<mode == ValueMode::kBoxed, ObjRef, uint64_t>;
+
+    struct Frame {
+        uint32_t function;
+        uint32_t pc;
+        uint32_t base;
+    };
+
+  public:
+    Machine(const CompiledProgram& program,
+            const NativeRegistry* natives, ManagedHeap& heap,
+            const VmConfig& config, uint64_t& instructions)
+        : program_(program),
+          natives_(natives),
+          heap_(heap),
+          config_(config),
+          instructions_(instructions)
+    {
+        stack_.assign(config.stack_slots, Slot{});
+        if constexpr (mode == ValueMode::kBoxed) {
+            for (Slot& slot : stack_) heap_.add_root(&slot);
+        }
+    }
+
+    ~Machine() {
+        if (buffer_rooted_) heap_.remove_root(&buffer_array_);
+        if constexpr (mode == ValueMode::kBoxed) {
+            for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+                heap_.remove_root(&*it);
+            }
+        }
+    }
+
+    Result<int64_t> execute(uint32_t entry, std::span<const int64_t> args,
+                            std::span<int64_t> buffer = {}) {
+        const CompiledFunction* entry_fn = &program_.functions[entry];
+        size_t provided = args.size() + (buffer.empty() ? 0 : 1);
+        if (provided != entry_fn->num_params) {
+            return invalid_argument_error(str_format(
+                "'%s' takes %u argument(s), got %zu",
+                entry_fn->name.c_str(), entry_fn->num_params, provided));
+        }
+        if (!buffer.empty()) {
+            BITC_RETURN_IF_ERROR(push_buffer_array(buffer));
+        }
+        for (int64_t a : args) {
+            BITC_RETURN_IF_ERROR(push_int(a));
+        }
+        BITC_RETURN_IF_ERROR(reserve_locals(entry_fn, 0));
+        auto result = main_loop(entry);
+        if (result.is_ok() && !buffer.empty()) {
+            copy_buffer_out(buffer);
+        }
+        return result;
+    }
+
+    void set_budget(uint64_t end) { budget_end_ = end; }
+
+  private:
+    Result<int64_t> main_loop(uint32_t entry) {
+        const CompiledFunction* fn = &program_.functions[entry];
+        uint32_t base = 0;
+        uint32_t pc = 0;
+        uint32_t current = entry;
+
+        while (true) {
+            if (config_.max_instructions != 0 &&
+                instructions_ >= budget_end_) {
+                return resource_exhausted_error(
+                    "instruction budget exceeded");
+            }
+            ++instructions_;
+            const Instr& instr = fn->code[pc++];
+            switch (instr.op) {
+              case Op::kConst: {
+                int64_t value =
+                    (static_cast<int64_t>(instr.b) << 32) |
+                    static_cast<int64_t>(
+                        static_cast<uint32_t>(instr.a));
+                BITC_RETURN_IF_ERROR(push_int(value));
+                break;
+              }
+              case Op::kUnit:
+                BITC_RETURN_IF_ERROR(push_int(0));
+                break;
+              case Op::kPop:
+                drop(1);
+                break;
+              case Op::kLocalGet:
+                BITC_RETURN_IF_ERROR(
+                    push_slot(base + static_cast<uint32_t>(instr.a)));
+                break;
+              case Op::kLocalSet:
+                move_top_to(base + static_cast<uint32_t>(instr.a));
+                break;
+              case Op::kAdd: case Op::kSub: case Op::kMul:
+              case Op::kShl: case Op::kBitAnd: case Op::kBitOr:
+              case Op::kBitXor: {
+                int64_t b = top_int(0);
+                int64_t a = top_int(1);
+                int64_t r = 0;
+                switch (instr.op) {
+                  case Op::kAdd:
+                    r = static_cast<int64_t>(
+                        static_cast<uint64_t>(a) +
+                        static_cast<uint64_t>(b));
+                    break;
+                  case Op::kSub:
+                    r = static_cast<int64_t>(
+                        static_cast<uint64_t>(a) -
+                        static_cast<uint64_t>(b));
+                    break;
+                  case Op::kMul:
+                    r = static_cast<int64_t>(
+                        static_cast<uint64_t>(a) *
+                        static_cast<uint64_t>(b));
+                    break;
+                  case Op::kShl:
+                    r = static_cast<int64_t>(static_cast<uint64_t>(a)
+                                             << (b & 63));
+                    break;
+                  case Op::kBitAnd: r = a & b; break;
+                  case Op::kBitOr: r = a | b; break;
+                  default: r = a ^ b; break;
+                }
+                BITC_RETURN_IF_ERROR(replace2_int(r));
+                break;
+              }
+              case Op::kDiv: case Op::kRem: {
+                int64_t b = top_int(0);
+                int64_t a = top_int(1);
+                if (b == 0) {
+                    return runtime_error("division by zero");
+                }
+                int64_t r;
+                if ((instr.b & kFlagSigned) != 0) {
+                    if (a == INT64_MIN && b == -1) {
+                        return runtime_error(
+                            "signed division overflow");
+                    }
+                    r = instr.op == Op::kDiv ? a / b : a % b;
+                } else {
+                    uint64_t ua = static_cast<uint64_t>(a);
+                    uint64_t ub = static_cast<uint64_t>(b);
+                    r = static_cast<int64_t>(
+                        instr.op == Op::kDiv ? ua / ub : ua % ub);
+                }
+                BITC_RETURN_IF_ERROR(replace2_int(r));
+                break;
+              }
+              case Op::kShr: {
+                int64_t b = top_int(0);
+                int64_t a = top_int(1);
+                int64_t r;
+                if ((instr.b & kFlagSigned) != 0) {
+                    r = a >> (b & 63);
+                } else {
+                    r = static_cast<int64_t>(static_cast<uint64_t>(a) >>
+                                             (b & 63));
+                }
+                BITC_RETURN_IF_ERROR(replace2_int(r));
+                break;
+              }
+              case Op::kNeg: {
+                int64_t a = top_int(0);
+                BITC_RETURN_IF_ERROR(replace1_int(
+                    static_cast<int64_t>(-static_cast<uint64_t>(a))));
+                break;
+              }
+              case Op::kNot: {
+                int64_t a = top_int(0);
+                BITC_RETURN_IF_ERROR(replace1_int(a == 0 ? 1 : 0));
+                break;
+              }
+              case Op::kLt: case Op::kLe: case Op::kGt: case Op::kGe: {
+                int64_t b = top_int(0);
+                int64_t a = top_int(1);
+                bool result;
+                if ((instr.b & kFlagSigned) != 0) {
+                    switch (instr.op) {
+                      case Op::kLt: result = a < b; break;
+                      case Op::kLe: result = a <= b; break;
+                      case Op::kGt: result = a > b; break;
+                      default: result = a >= b; break;
+                    }
+                } else {
+                    uint64_t ua = static_cast<uint64_t>(a);
+                    uint64_t ub = static_cast<uint64_t>(b);
+                    switch (instr.op) {
+                      case Op::kLt: result = ua < ub; break;
+                      case Op::kLe: result = ua <= ub; break;
+                      case Op::kGt: result = ua > ub; break;
+                      default: result = ua >= ub; break;
+                    }
+                }
+                BITC_RETURN_IF_ERROR(replace2_int(result ? 1 : 0));
+                break;
+              }
+              case Op::kEq: case Op::kNe: {
+                int64_t b = top_int(0);
+                int64_t a = top_int(1);
+                bool result = instr.op == Op::kEq ? a == b : a != b;
+                BITC_RETURN_IF_ERROR(replace2_int(result ? 1 : 0));
+                break;
+              }
+              case Op::kWrap: {
+                int64_t a = top_int(0);
+                uint32_t bits = static_cast<uint32_t>(instr.a);
+                uint64_t wrapped =
+                    static_cast<uint64_t>(a) & repr::low_mask(bits);
+                int64_t r =
+                    (instr.b & kFlagSigned) != 0
+                        ? repr::sign_extend(wrapped, bits)
+                        : static_cast<int64_t>(wrapped);
+                BITC_RETURN_IF_ERROR(replace1_int(r));
+                break;
+              }
+              case Op::kJump:
+                pc = static_cast<uint32_t>(instr.a);
+                break;
+              case Op::kJumpIfFalse: {
+                int64_t cond = top_int(0);
+                drop(1);
+                if (cond == 0) pc = static_cast<uint32_t>(instr.a);
+                break;
+              }
+              case Op::kCall: {
+                const CompiledFunction* callee =
+                    &program_.functions[static_cast<uint32_t>(instr.a)];
+                frames_.push_back({current, pc, base});
+                if (frames_.size() > config_.stack_slots / 4) {
+                    return resource_exhausted_error(
+                        "call stack overflow");
+                }
+                base = static_cast<uint32_t>(sp_) - callee->num_params;
+                BITC_RETURN_IF_ERROR(reserve_locals(callee, base));
+                fn = callee;
+                current = static_cast<uint32_t>(instr.a);
+                pc = 0;
+                break;
+              }
+              case Op::kCallNative: {
+                if (natives_ == nullptr) {
+                    return internal_error("no native registry");
+                }
+                uint32_t argc = static_cast<uint32_t>(instr.b);
+                native_args_.clear();
+                for (uint32_t i = argc; i > 0; --i) {
+                    native_args_.push_back(
+                        static_cast<uint64_t>(top_int(i - 1)));
+                }
+                auto result = natives_->function(
+                    static_cast<uint32_t>(instr.a))(native_args_);
+                if (!result.is_ok()) return result.status();
+                drop(argc);
+                BITC_RETURN_IF_ERROR(
+                    push_int(static_cast<int64_t>(result.value())));
+                break;
+              }
+              case Op::kRet: {
+                // Result sits on top; collapse the frame beneath it.
+                // (When the frame is empty the result already sits at
+                // base and moving would pop it.)
+                if (base != sp_ - 1) {
+                    put(base, stack_[sp_ - 1]);
+                    shrink_to(base + 1);
+                }
+                if (frames_.empty()) {
+                    int64_t result = top_int(0);
+                    drop(1);
+                    return result;
+                }
+                Frame f = frames_.back();
+                frames_.pop_back();
+                current = f.function;
+                fn = &program_.functions[current];
+                pc = f.pc;
+                base = f.base;
+                break;
+              }
+              case Op::kArrayMake: {
+                int64_t fill = top_int(0);
+                int64_t len = top_int(1);
+                if (len < 0 || len > kMaxArrayLen) {
+                    return runtime_error(str_format(
+                        "bad array length %lld",
+                        static_cast<long long>(len)));
+                }
+                BITC_RETURN_IF_ERROR(make_array(len, fill));
+                break;
+              }
+              case Op::kArrayGet: {
+                int64_t idx = top_int(0);
+                BITC_ASSIGN_OR_RETURN(ObjRef array, array_at(1));
+                BITC_RETURN_IF_ERROR(
+                    bounds_check(instr.b, idx, array));
+                BITC_RETURN_IF_ERROR(array_get(array, idx));
+                break;
+              }
+              case Op::kArraySet: {
+                int64_t idx = top_int(1);
+                BITC_ASSIGN_OR_RETURN(ObjRef array, array_at(2));
+                BITC_RETURN_IF_ERROR(
+                    bounds_check(instr.b, idx, array));
+                array_set(array, idx);
+                break;
+              }
+              case Op::kArrayLen: {
+                BITC_ASSIGN_OR_RETURN(ObjRef array, array_at(0));
+                int64_t len = heap_.num_slots(array);
+                drop(1);
+                BITC_RETURN_IF_ERROR(push_int(len));
+                break;
+              }
+              case Op::kAssert: {
+                int64_t cond = top_int(0);
+                drop(1);
+                if (cond == 0) {
+                    return runtime_error("assertion failed");
+                }
+                break;
+              }
+              case Op::kHalt:
+                return internal_error("halt in function body");
+            }
+        }
+    }
+
+    // --- Buffer marshalling (the FFI boundary) ---------------------------
+
+    Status push_buffer_array(std::span<const int64_t> buffer) {
+        uint32_t n = static_cast<uint32_t>(buffer.size());
+        if constexpr (mode == ValueMode::kBoxed) {
+            // Box every element first (each rooted on the stack), then
+            // build the array from the rooted boxes.
+            for (int64_t v : buffer) {
+                BITC_RETURN_IF_ERROR(push_int(v));
+            }
+            auto array = heap_.allocate(n, n, kArrayTag);
+            if (!array.is_ok()) return array.status();
+            for (uint32_t i = 0; i < n; ++i) {
+                heap_.store_ref(array.value(), i, stack_[sp_ - n + i]);
+            }
+            buffer_array_ = array.value();
+            heap_.add_root(&buffer_array_);
+            buffer_rooted_ = true;
+            drop(n);
+            return push_raw(buffer_array_);
+        } else {
+            auto array = heap_.allocate(n, 0, kArrayTag);
+            if (!array.is_ok()) return array.status();
+            for (uint32_t i = 0; i < n; ++i) {
+                heap_.store(array.value(), i,
+                            static_cast<uint64_t>(buffer[i]));
+            }
+            buffer_array_ = array.value();
+            heap_.add_root(&buffer_array_);
+            buffer_rooted_ = true;
+            return push_raw(static_cast<uint64_t>(buffer_array_));
+        }
+    }
+
+    void copy_buffer_out(std::span<int64_t> buffer) {
+        for (uint32_t i = 0; i < buffer.size(); ++i) {
+            if constexpr (mode == ValueMode::kBoxed) {
+                buffer[i] = unbox(heap_.load_ref(buffer_array_, i));
+            } else {
+                buffer[i] =
+                    static_cast<int64_t>(heap_.load(buffer_array_, i));
+            }
+        }
+    }
+
+    // --- Stack primitives ------------------------------------------------
+
+    Status overflow_check(size_t needed) {
+        if (sp_ + needed > stack_.size()) {
+            return resource_exhausted_error("value stack overflow");
+        }
+        return Status::ok();
+    }
+
+    /** Writes a slot; in boxed mode this is the rooted-store path. */
+    void put(size_t index, Slot value) {
+        if constexpr (mode == ValueMode::kBoxed) {
+            heap_.root_assign(&stack_[index], value);
+        } else {
+            stack_[index] = value;
+        }
+    }
+
+    Status push_int(int64_t value) {
+        BITC_RETURN_IF_ERROR(overflow_check(1));
+        if constexpr (mode == ValueMode::kBoxed) {
+            BITC_ASSIGN_OR_RETURN(ObjRef box, box_int(value));
+            put(sp_++, box);
+        } else {
+            put(sp_++, static_cast<uint64_t>(value));
+        }
+        return Status::ok();
+    }
+
+    Status push_raw(Slot value) {
+        BITC_RETURN_IF_ERROR(overflow_check(1));
+        put(sp_++, value);
+        return Status::ok();
+    }
+
+    Status push_slot(uint32_t index) {
+        return push_raw(stack_[index]);
+    }
+
+    /** Integer view of the slot @p depth below the top. */
+    int64_t top_int(size_t depth) {
+        Slot s = stack_[sp_ - 1 - depth];
+        if constexpr (mode == ValueMode::kBoxed) {
+            return unbox(s);
+        } else {
+            return static_cast<int64_t>(s);
+        }
+    }
+
+    void drop(size_t count) {
+        for (size_t i = 0; i < count; ++i) {
+            --sp_;
+            if constexpr (mode == ValueMode::kBoxed) {
+                // Clearing keeps dead boxes reclaimable and the root
+                // set precise.
+                put(sp_, mem::kNullRef);
+            }
+        }
+    }
+
+    /** Pops the top into slot @p index. */
+    void move_top_to(uint32_t index) {
+        Slot top = stack_[sp_ - 1];
+        put(index, top);
+        drop(1);
+    }
+
+    void shrink_to(uint32_t new_sp) {
+        while (sp_ > new_sp) drop(1);
+    }
+
+    /** Replaces the top two slots with an int result. */
+    Status replace2_int(int64_t value) {
+        if constexpr (mode == ValueMode::kBoxed) {
+            // Box before touching the operands: the allocation may
+            // collect, and the operands are still rooted on the stack.
+            BITC_ASSIGN_OR_RETURN(ObjRef box, box_int(value));
+            put(sp_ - 2, box);
+            drop(1);
+        } else {
+            stack_[sp_ - 2] = static_cast<uint64_t>(value);
+            --sp_;
+        }
+        return Status::ok();
+    }
+
+    Status replace1_int(int64_t value) {
+        if constexpr (mode == ValueMode::kBoxed) {
+            BITC_ASSIGN_OR_RETURN(ObjRef box, box_int(value));
+            put(sp_ - 1, box);
+        } else {
+            stack_[sp_ - 1] = static_cast<uint64_t>(value);
+        }
+        return Status::ok();
+    }
+
+    Status reserve_locals(const CompiledFunction* fn, uint32_t base) {
+        size_t needed = base + fn->num_locals;
+        if (needed > stack_.size()) {
+            return resource_exhausted_error("value stack overflow");
+        }
+        while (sp_ < needed) {
+            put(sp_++, Slot{});
+        }
+        return Status::ok();
+    }
+
+    // --- Boxing ----------------------------------------------------------
+
+    Result<ObjRef> box_int(int64_t value) {
+        auto box = heap_.allocate(1, 0, kBoxTag);
+        if (!box.is_ok()) return box.status();
+        heap_.store(box.value(), 0, static_cast<uint64_t>(value));
+        return box.value();
+    }
+
+    int64_t unbox(ObjRef box) {
+        assert(heap_.is_live(box));
+        return static_cast<int64_t>(heap_.load(box, 0));
+    }
+
+    // --- Arrays ----------------------------------------------------------
+
+    Result<ObjRef> array_at(size_t depth) {
+        Slot s = stack_[sp_ - 1 - depth];
+        ObjRef ref = static_cast<ObjRef>(s);
+        if (!heap_.is_live(ref)) {
+            return runtime_error("invalid array reference");
+        }
+        return ref;
+    }
+
+    Status bounds_check(int32_t flags, int64_t idx, ObjRef array) {
+        if ((flags & kFlagCheckLower) != 0 && idx < 0) {
+            return runtime_error(str_format(
+                "index %lld below zero", static_cast<long long>(idx)));
+        }
+        if ((flags & kFlagCheckUpper) != 0 &&
+            idx >= static_cast<int64_t>(heap_.num_slots(array))) {
+            return runtime_error(str_format(
+                "index %lld beyond length %u",
+                static_cast<long long>(idx), heap_.num_slots(array)));
+        }
+        return Status::ok();
+    }
+
+    Status make_array(int64_t len, int64_t fill) {
+        if constexpr (mode == ValueMode::kBoxed) {
+            // Fill box is on the stack (rooted); array slots share it.
+            auto array = heap_.allocate(static_cast<uint32_t>(len),
+                                        static_cast<uint32_t>(len),
+                                        kArrayTag);
+            if (!array.is_ok()) return array.status();
+            ObjRef fill_box = stack_[sp_ - 1];
+            for (int64_t i = 0; i < len; ++i) {
+                heap_.store_ref(array.value(),
+                                static_cast<uint32_t>(i), fill_box);
+            }
+            // Root the array (over the len slot) before the operand
+            // slots are cleared, so no window exists in which it is
+            // unreferenced.
+            put(sp_ - 2, array.value());
+            drop(1);
+            return Status::ok();
+        } else {
+            auto array = heap_.allocate(static_cast<uint32_t>(len), 0,
+                                        kArrayTag);
+            if (!array.is_ok()) return array.status();
+            for (int64_t i = 0; i < len; ++i) {
+                heap_.store(array.value(), static_cast<uint32_t>(i),
+                            static_cast<uint64_t>(fill));
+            }
+            put(sp_ - 2, static_cast<uint64_t>(array.value()));
+            drop(1);
+            return Status::ok();
+        }
+    }
+
+    Status array_get(ObjRef array, int64_t idx) {
+        if constexpr (mode == ValueMode::kBoxed) {
+            ObjRef elem =
+                heap_.load_ref(array, static_cast<uint32_t>(idx));
+            // Root the element over the array's slot before dropping
+            // the index: root_assign increments the element before the
+            // array loses its stack reference, so a cascading free of
+            // the array cannot take the element with it.
+            put(sp_ - 2, elem);
+            drop(1);
+            return Status::ok();
+        } else {
+            uint64_t value =
+                heap_.load(array, static_cast<uint32_t>(idx));
+            put(sp_ - 2, value);
+            drop(1);
+            return Status::ok();
+        }
+    }
+
+    void array_set(ObjRef array, int64_t idx) {
+        if constexpr (mode == ValueMode::kBoxed) {
+            ObjRef value = stack_[sp_ - 1];
+            heap_.store_ref(array, static_cast<uint32_t>(idx), value);
+        } else {
+            heap_.store(array, static_cast<uint32_t>(idx),
+                        stack_[sp_ - 1]);
+        }
+        drop(3);
+    }
+
+    const CompiledProgram& program_;
+    const NativeRegistry* natives_;
+    ManagedHeap& heap_;
+    const VmConfig& config_;
+    uint64_t& instructions_;
+    uint64_t budget_end_ = UINT64_MAX;
+
+    std::vector<Slot> stack_;
+    size_t sp_ = 0;
+    std::vector<Frame> frames_;
+    std::vector<uint64_t> native_args_;
+    ObjRef buffer_array_ = mem::kNullRef;
+    bool buffer_rooted_ = false;
+};
+
+}  // namespace
+
+template <ValueMode mode>
+Result<int64_t>
+Vm::run(uint32_t function, std::span<const int64_t> args,
+        std::span<int64_t> buffer)
+{
+    Machine<mode> machine(program_, natives_, *heap_, config_,
+                          instructions_);
+    if (config_.max_instructions != 0) {
+        machine.set_budget(instructions_ + config_.max_instructions);
+    }
+    return machine.execute(function, args, buffer);
+}
+
+Result<int64_t>
+Vm::call(const std::string& name, std::span<const int64_t> args)
+{
+    BITC_RETURN_IF_ERROR(validate());
+    BITC_ASSIGN_OR_RETURN(uint32_t index, program_.find(name));
+    if (config_.mode == ValueMode::kBoxed) {
+        return run<ValueMode::kBoxed>(index, args, {});
+    }
+    return run<ValueMode::kUnboxed>(index, args, {});
+}
+
+Result<int64_t>
+Vm::call_with_buffer(const std::string& name, std::span<int64_t> buffer,
+                     std::span<const int64_t> extra_args)
+{
+    BITC_RETURN_IF_ERROR(validate());
+    if (buffer.empty()) {
+        return invalid_argument_error("buffer must be non-empty");
+    }
+    BITC_ASSIGN_OR_RETURN(uint32_t index, program_.find(name));
+    if (config_.mode == ValueMode::kBoxed) {
+        return run<ValueMode::kBoxed>(index, extra_args, buffer);
+    }
+    return run<ValueMode::kUnboxed>(index, extra_args, buffer);
+}
+
+}  // namespace bitc::vm

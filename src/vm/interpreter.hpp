@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The BitC VM: a bytecode interpreter with two value representations
+ * and six storage-management policies, crossing the axes of fallacies
+ * F1 (performance factors), F2 (boxing) and F3 (optimiser recovery).
+ *
+ * Value modes:
+ *  - kUnboxed: 64-bit machine words on the stack; arrays are heap
+ *    objects with raw slots.  Requires a non-collecting heap policy
+ *    (region or manual), since raw words are invisible to a tracer.
+ *  - kBoxed: every value (ints, bools, unit) is a heap box; the stack
+ *    holds object references, each slot registered as a GC root, so
+ *    any collector policy works.  This is the uniform representation
+ *    regime of classic ML runtimes — F2's subject.
+ */
+#ifndef BITC_VM_INTERPRETER_HPP
+#define BITC_VM_INTERPRETER_HPP
+
+#include <memory>
+#include <span>
+
+#include "memory/heap.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/native.hpp"
+
+namespace bitc::vm {
+
+enum class ValueMode : uint8_t { kUnboxed, kBoxed };
+
+enum class HeapPolicy : uint8_t {
+    kRegion,
+    kManual,
+    kRefCount,
+    kMarkSweep,
+    kMarkCompact,
+    kSemispace,
+    kGenerational,
+};
+
+const char* value_mode_name(ValueMode mode);
+const char* heap_policy_name(HeapPolicy policy);
+
+/** VM construction parameters. */
+struct VmConfig {
+    ValueMode mode = ValueMode::kUnboxed;
+    HeapPolicy heap = HeapPolicy::kRegion;
+    size_t heap_words = 1u << 22;   ///< 32 MiB of 64-bit words.
+    size_t stack_slots = 1u << 16;  ///< Value-stack capacity.
+    uint64_t max_instructions = 0;  ///< 0 = unlimited.
+};
+
+/**
+ * An executable program instance.  Owns its heap; thread-compatible.
+ */
+class Vm {
+  public:
+    /**
+     * @param program  Compiled code (borrowed; must outlive the Vm).
+     * @param natives  Registry for kCallNative (may be null).
+     */
+    Vm(const CompiledProgram& program, const NativeRegistry* natives,
+       VmConfig config);
+    ~Vm();
+
+    Vm(const Vm&) = delete;
+    Vm& operator=(const Vm&) = delete;
+
+    /** Validates the configuration (mode/heap compatibility). */
+    Status validate() const;
+
+    /**
+     * Calls function @p name with integer arguments, running to
+     * completion.  Traps surface as kRuntimeError.
+     */
+    Result<int64_t> call(const std::string& name,
+                         std::span<const int64_t> args);
+
+    /** Braced-list convenience: vm.call("f", {1, 2}). */
+    Result<int64_t> call(const std::string& name,
+                         std::initializer_list<int64_t> args) {
+        return call(name,
+                    std::span<const int64_t>(args.begin(), args.size()));
+    }
+
+    /**
+     * Calls @p name passing a fresh VM array as the first argument,
+     * marshalled in from @p buffer and back out after the call — the
+     * copy-across-the-representation-boundary every FFI crossing pays
+     * (fallacy F4's measurable cost).  Extra integer arguments follow
+     * the array parameter.
+     */
+    Result<int64_t> call_with_buffer(
+        const std::string& name, std::span<int64_t> buffer,
+        std::span<const int64_t> extra_args = {});
+
+    /** Instructions retired over the VM's lifetime. */
+    uint64_t instructions_executed() const { return instructions_; }
+
+    /** The heap backing this VM (allocation/pause statistics). */
+    const mem::ManagedHeap& heap() const { return *heap_; }
+    mem::ManagedHeap& heap() { return *heap_; }
+
+    const VmConfig& config() const { return config_; }
+
+  private:
+    template <ValueMode mode>
+    Result<int64_t> run(uint32_t function, std::span<const int64_t> args,
+                        std::span<int64_t> buffer);
+
+    const CompiledProgram& program_;
+    const NativeRegistry* natives_;
+    VmConfig config_;
+    std::unique_ptr<mem::ManagedHeap> heap_;
+    uint64_t instructions_ = 0;
+};
+
+/** Builds the heap a policy names (exposed for tests and benches). */
+std::unique_ptr<mem::ManagedHeap> make_heap(HeapPolicy policy,
+                                            size_t heap_words);
+
+}  // namespace bitc::vm
+
+#endif  // BITC_VM_INTERPRETER_HPP

@@ -1,0 +1,33 @@
+#include "vm/native.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::vm {
+
+Status
+NativeRegistry::add(const std::string& name, uint32_t arity, NativeFn fn)
+{
+    for (const Entry& e : entries_) {
+        if (e.name == name) {
+            return already_exists_error(
+                str_format("native '%s' already registered",
+                           name.c_str()));
+        }
+    }
+    entries_.push_back({name, arity, std::move(fn)});
+    return Status::ok();
+}
+
+Result<uint32_t>
+NativeRegistry::find(const std::string& name) const
+{
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].name == name) {
+            return static_cast<uint32_t>(i);
+        }
+    }
+    return not_found_error(
+        str_format("no native function '%s'", name.c_str()));
+}
+
+}  // namespace bitc::vm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Native (C ABI) function registry: the FFI boundary for the legacy
+ * experiment (F4).  Source programs call natives with
+ * (native "name" arg...); the VM marshals arguments out of its value
+ * representation and the result back in — the marshalling cost being
+ * exactly what the F4 bench measures.
+ */
+#ifndef BITC_VM_NATIVE_HPP
+#define BITC_VM_NATIVE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace bitc::vm {
+
+/** A registered native function: raw 64-bit words in and out. */
+using NativeFn =
+    std::function<Result<uint64_t>(std::span<const uint64_t>)>;
+
+/** Name -> callable table, fixed before compilation. */
+class NativeRegistry {
+  public:
+    /** Registers @p fn; duplicate names are an error. */
+    Status add(const std::string& name, uint32_t arity, NativeFn fn);
+
+    Result<uint32_t> find(const std::string& name) const;
+
+    const NativeFn& function(uint32_t index) const {
+        return entries_[index].fn;
+    }
+    uint32_t arity(uint32_t index) const {
+        return entries_[index].arity;
+    }
+    const std::string& name(uint32_t index) const {
+        return entries_[index].name;
+    }
+    size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry {
+        std::string name;
+        uint32_t arity;
+        NativeFn fn;
+    };
+    std::vector<Entry> entries_;
+};
+
+}  // namespace bitc::vm
+
+#endif  // BITC_VM_NATIVE_HPP

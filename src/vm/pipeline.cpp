@@ -1,0 +1,34 @@
+#include "vm/pipeline.hpp"
+
+#include "lang/parser.hpp"
+#include "lang/resolver.hpp"
+
+namespace bitc::vm {
+
+Result<std::unique_ptr<BuiltProgram>>
+build_program(std::string_view source, BuildOptions options)
+{
+    DiagnosticEngine diags;
+    BITC_ASSIGN_OR_RETURN(lang::Program parsed,
+                          lang::parse_program(source, diags));
+    BITC_RETURN_IF_ERROR(lang::resolve_program(parsed, diags));
+    BITC_ASSIGN_OR_RETURN(
+        types::TypedProgram typed,
+        types::check_program(std::move(parsed), diags));
+
+    auto built = std::make_unique<BuiltProgram>();
+    built->typed = std::move(typed);
+    if (options.verify) {
+        built->verification =
+            verify::verify_program(built->typed, options.solver);
+        if (options.compiler.proofs == nullptr) {
+            options.compiler.proofs = &built->verification;
+        }
+    }
+    BITC_ASSIGN_OR_RETURN(
+        built->code,
+        compile_program(built->typed, options.compiler));
+    return built;
+}
+
+}  // namespace bitc::vm

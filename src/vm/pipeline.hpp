@@ -1,0 +1,53 @@
+/**
+ * @file
+ * One-call front door over the whole toolchain:
+ * source -> lex/parse -> resolve -> typecheck -> verify -> compile.
+ *
+ * This is the public API examples and benches use; the individual
+ * stages remain available for tools that need partial pipelines.
+ */
+#ifndef BITC_VM_PIPELINE_HPP
+#define BITC_VM_PIPELINE_HPP
+
+#include <memory>
+#include <string_view>
+
+#include "types/checker.hpp"
+#include "verify/verifier.hpp"
+#include "vm/compiler.hpp"
+#include "vm/interpreter.hpp"
+
+namespace bitc::vm {
+
+/** Pipeline switches. */
+struct BuildOptions {
+    bool verify = true;              ///< run the constraint checker
+    CompilerOptions compiler;        ///< codegen switches
+    verify::SolverConfig solver;     ///< prover limits
+};
+
+/** Everything the pipeline produced, ready to instantiate VMs from. */
+struct BuiltProgram {
+    types::TypedProgram typed;
+    verify::VerifyReport verification;
+    CompiledProgram code;
+
+    /** Creates an executable instance (many VMs may share one build). */
+    std::unique_ptr<Vm> instantiate(VmConfig config,
+                                    const NativeRegistry* natives =
+                                        nullptr) const {
+        return std::make_unique<Vm>(code, natives, config);
+    }
+};
+
+/**
+ * Runs the full pipeline on @p source.  When options.compiler.proofs
+ * is null and options.verify is set, the fresh verification report is
+ * wired into the compiler automatically.
+ */
+Result<std::unique_ptr<BuiltProgram>> build_program(
+    std::string_view source, BuildOptions options = {});
+
+}  // namespace bitc::vm
+
+#endif  // BITC_VM_PIPELINE_HPP

@@ -1,0 +1,134 @@
+#include "concurrency/channel.hpp"
+
+#include <gtest/gtest.h>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace bitc::conc {
+namespace {
+
+TEST(ChannelTest, FifoSingleThread) {
+    Channel<int> ch(8);
+    ASSERT_TRUE(ch.send(1).is_ok());
+    ASSERT_TRUE(ch.send(2).is_ok());
+    ASSERT_TRUE(ch.send(3).is_ok());
+    EXPECT_EQ(ch.recv().value(), 1);
+    EXPECT_EQ(ch.recv().value(), 2);
+    EXPECT_EQ(ch.recv().value(), 3);
+}
+
+TEST(ChannelTest, TrySendFailsWhenFull) {
+    Channel<int> ch(2);
+    EXPECT_TRUE(ch.try_send(1));
+    EXPECT_TRUE(ch.try_send(2));
+    EXPECT_FALSE(ch.try_send(3));
+    EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(ChannelTest, TryRecvOnEmptyReturnsNothing) {
+    Channel<int> ch(2);
+    EXPECT_FALSE(ch.try_recv().has_value());
+    ch.try_send(9);
+    auto v = ch.try_recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+}
+
+TEST(ChannelTest, SendAfterCloseFails) {
+    Channel<int> ch(2);
+    ch.close();
+    EXPECT_FALSE(ch.send(1).is_ok());
+    EXPECT_FALSE(ch.try_send(1));
+    EXPECT_TRUE(ch.closed());
+}
+
+TEST(ChannelTest, RecvDrainsBacklogAfterClose) {
+    Channel<int> ch(4);
+    ASSERT_TRUE(ch.send(10).is_ok());
+    ASSERT_TRUE(ch.send(20).is_ok());
+    ch.close();
+    EXPECT_EQ(ch.recv().value(), 10);
+    EXPECT_EQ(ch.recv().value(), 20);
+    auto end = ch.recv();
+    ASSERT_FALSE(end.is_ok());
+    EXPECT_EQ(end.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ChannelTest, CloseWakesBlockedReceiver) {
+    Channel<int> ch(1);
+    std::thread receiver([&] {
+        auto r = ch.recv();
+        EXPECT_FALSE(r.is_ok());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ch.close();
+    receiver.join();
+}
+
+TEST(ChannelTest, BlockingSendWaitsForRoom) {
+    Channel<int> ch(1);
+    ASSERT_TRUE(ch.send(1).is_ok());
+    std::atomic<bool> sent{false};
+    std::thread sender([&] {
+        ASSERT_TRUE(ch.send(2).is_ok());
+        sent = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(sent.load()) << "send should block while full";
+    EXPECT_EQ(ch.recv().value(), 1);
+    sender.join();
+    EXPECT_TRUE(sent.load());
+    EXPECT_EQ(ch.recv().value(), 2);
+}
+
+TEST(ChannelTest, MpmcConservesMessages) {
+    Channel<uint64_t> ch(64);
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr uint64_t kPerProducer = 10000;
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (uint64_t i = 0; i < kPerProducer; ++i) {
+                ASSERT_TRUE(
+                    ch.send(static_cast<uint64_t>(p) * kPerProducer + i)
+                        .is_ok());
+            }
+        });
+    }
+
+    std::atomic<uint64_t> received_sum{0};
+    std::atomic<uint64_t> received_count{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            while (true) {
+                auto v = ch.recv();
+                if (!v.is_ok()) break;
+                received_sum += v.value();
+                ++received_count;
+            }
+        });
+    }
+
+    for (auto& t : producers) t.join();
+    ch.close();
+    for (auto& t : consumers) t.join();
+
+    uint64_t n = kProducers * kPerProducer;
+    EXPECT_EQ(received_count.load(), n);
+    EXPECT_EQ(received_sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ChannelTest, MoveOnlyPayloads) {
+    Channel<std::unique_ptr<int>> ch(2);
+    ASSERT_TRUE(ch.send(std::make_unique<int>(5)).is_ok());
+    auto out = ch.recv();
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_EQ(*out.value(), 5);
+}
+
+}  // namespace
+}  // namespace bitc::conc

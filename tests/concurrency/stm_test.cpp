@@ -1,0 +1,213 @@
+#include "concurrency/stm.hpp"
+
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+namespace bitc::conc {
+namespace {
+
+TEST(StmTest, SingleThreadedReadWrite) {
+    Stm stm;
+    TVar var(10);
+    atomically(stm, [&](Txn& txn) {
+        uint64_t v = txn.read(var);
+        txn.write(var, v + 5);
+    });
+    EXPECT_EQ(var.unsafe_load(), 15u);
+    EXPECT_EQ(stm.stats().commits, 1u);
+    EXPECT_EQ(stm.stats().aborts, 0u);
+}
+
+TEST(StmTest, ReadOwnWrites) {
+    Stm stm;
+    TVar var(1);
+    uint64_t seen = atomically(stm, [&](Txn& txn) {
+        txn.write(var, 42);
+        return txn.read(var);
+    });
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(StmTest, LastWriteWins) {
+    Stm stm;
+    TVar var(0);
+    atomically(stm, [&](Txn& txn) {
+        txn.write(var, 1);
+        txn.write(var, 2);
+        txn.write(var, 3);
+    });
+    EXPECT_EQ(var.unsafe_load(), 3u);
+}
+
+TEST(StmTest, ReturnsValueFromBody) {
+    Stm stm;
+    TVar var(7);
+    uint64_t doubled = atomically(stm, [&](Txn& txn) {
+        return txn.read(var) * 2;
+    });
+    EXPECT_EQ(doubled, 14u);
+}
+
+TEST(StmTest, ConcurrentIncrementsLoseNothing) {
+    Stm stm;
+    TVar counter(0);
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIncrements; ++i) {
+                atomically(stm, [&](Txn& txn) {
+                    txn.write(counter, txn.read(counter) + 1);
+                });
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(counter.unsafe_load(),
+              static_cast<uint64_t>(kThreads * kIncrements));
+    EXPECT_EQ(stm.stats().commits,
+              static_cast<uint64_t>(kThreads * kIncrements));
+}
+
+TEST(StmTest, ConsistentSnapshotAcrossTwoVars) {
+    // Invariant: a + b == 100 under concurrent transfers between them.
+    Stm stm;
+    TVar a(50);
+    TVar b(50);
+    std::atomic<bool> stop{false};
+    std::atomic<int> violations{0};
+
+    std::thread mutator([&] {
+        for (int i = 0; i < 20000; ++i) {
+            atomically(stm, [&](Txn& txn) {
+                uint64_t av = txn.read(a);
+                uint64_t bv = txn.read(b);
+                txn.write(a, av - 1);
+                txn.write(b, bv + 1);
+            });
+        }
+        stop = true;
+    });
+    std::thread observer([&] {
+        while (!stop) {
+            uint64_t sum = atomically(stm, [&](Txn& txn) {
+                return txn.read(a) + txn.read(b);
+            });
+            if (sum != 100) ++violations;
+        }
+    });
+    mutator.join();
+    observer.join();
+    EXPECT_EQ(violations.load(), 0)
+        << "observer saw a torn intermediate state";
+}
+
+TEST(StmTest, RetryBlocksUntilConditionHolds) {
+    Stm stm;
+    TVar flag(0);
+    TVar result(0);
+
+    std::thread waiter([&] {
+        atomically(stm, [&](Txn& txn) {
+            if (txn.read(flag) == 0) txn.retry();
+            txn.write(result, 99);
+        });
+    });
+    // Give the waiter time to block on the unset flag.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(result.unsafe_load(), 0u);
+    atomically(stm, [&](Txn& txn) { txn.write(flag, 1); });
+    waiter.join();
+    EXPECT_EQ(result.unsafe_load(), 99u);
+    EXPECT_GE(stm.stats().retries, 1u);
+}
+
+TEST(StmTest, OrElseTakesFirstBranchWhenItSucceeds) {
+    Stm stm;
+    TVar var(5);
+    uint64_t taken = atomically(stm, [&](Txn& txn) {
+        return txn.or_else(
+            [&](Txn& t) -> uint64_t { return t.read(var); },
+            [&](Txn&) -> uint64_t { return 999; });
+    });
+    EXPECT_EQ(taken, 5u);
+}
+
+TEST(StmTest, OrElseFallsThroughOnRetry) {
+    Stm stm;
+    TVar empty_queue(0);
+    TVar fallback(77);
+    uint64_t taken = atomically(stm, [&](Txn& txn) {
+        return txn.or_else(
+            [&](Txn& t) -> uint64_t {
+                if (t.read(empty_queue) == 0) t.retry();
+                return t.read(empty_queue);
+            },
+            [&](Txn& t) -> uint64_t { return t.read(fallback); });
+    });
+    EXPECT_EQ(taken, 77u);
+}
+
+TEST(StmTest, OrElseRollsBackFirstBranchWrites) {
+    Stm stm;
+    TVar var(0);
+    TVar other(0);
+    atomically(stm, [&](Txn& txn) {
+        txn.or_else(
+            [&](Txn& t) {
+                t.write(var, 123);  // must be rolled back
+                t.retry();
+            },
+            [&](Txn& t) { t.write(other, 1); });
+    });
+    EXPECT_EQ(var.unsafe_load(), 0u)
+        << "first branch's write leaked through retry";
+    EXPECT_EQ(other.unsafe_load(), 1u);
+}
+
+TEST(StmTest, WriteOnlyTransactionsCommit) {
+    Stm stm;
+    TVar a(0);
+    TVar b(0);
+    atomically(stm, [&](Txn& txn) {
+        txn.write(a, 1);
+        txn.write(b, 2);
+    });
+    EXPECT_EQ(a.unsafe_load(), 1u);
+    EXPECT_EQ(b.unsafe_load(), 2u);
+}
+
+TEST(StmTest, ManyVarsTransactionalSwapPreservesMultiset) {
+    Stm stm;
+    constexpr size_t kVars = 16;
+    std::vector<std::unique_ptr<TVar>> vars;
+    for (size_t i = 0; i < kVars; ++i) {
+        vars.push_back(std::make_unique<TVar>(i));
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 2000; ++i) {
+                size_t x = (t + i) % kVars;
+                size_t y = (t * 7 + i * 3 + 1) % kVars;
+                if (x == y) continue;
+                atomically(stm, [&](Txn& txn) {
+                    uint64_t xv = txn.read(*vars[x]);
+                    uint64_t yv = txn.read(*vars[y]);
+                    txn.write(*vars[x], yv);
+                    txn.write(*vars[y], xv);
+                });
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    // Swaps permute values; the sum is invariant.
+    uint64_t sum = 0;
+    for (auto& v : vars) sum += v->unsafe_load();
+    EXPECT_EQ(sum, kVars * (kVars - 1) / 2);
+}
+
+}  // namespace
+}  // namespace bitc::conc

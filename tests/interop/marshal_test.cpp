@@ -1,0 +1,62 @@
+#include "interop/marshal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "interop/packet_stages.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::interop {
+namespace {
+
+TEST(MarshalTest, RoundTripsEveryFieldOfTheHeader) {
+    Rng rng(1);
+    std::vector<uint8_t> wire(packet_codec().layout().byte_size());
+    generate_packet(rng, wire);
+
+    int64_t fields[kFieldCount];
+    ASSERT_TRUE(unmarshal_record(packet_codec(), wire, fields).is_ok());
+
+    std::vector<uint8_t> back(wire.size(), 0);
+    ASSERT_TRUE(marshal_record(packet_codec(), fields, back).is_ok());
+    EXPECT_EQ(wire, back);
+}
+
+TEST(MarshalTest, FieldOrderMatchesEnum) {
+    Rng rng(2);
+    std::vector<uint8_t> wire(packet_codec().layout().byte_size());
+    generate_packet(rng, wire);
+    int64_t fields[kFieldCount];
+    ASSERT_TRUE(unmarshal_record(packet_codec(), wire, fields).is_ok());
+    EXPECT_EQ(fields[kVersion], 4);
+    EXPECT_EQ(fields[kIhl], 5);
+    auto ttl = packet_codec().read(wire, "ttl");
+    ASSERT_TRUE(ttl.is_ok());
+    EXPECT_EQ(static_cast<uint64_t>(fields[kTtl]), ttl.value());
+}
+
+TEST(MarshalTest, ShortWireBufferRejected) {
+    int64_t fields[kFieldCount] = {0};
+    std::vector<uint8_t> tiny(4);
+    EXPECT_FALSE(unmarshal_record(packet_codec(), tiny, fields).is_ok());
+    EXPECT_FALSE(marshal_record(packet_codec(), fields, tiny).is_ok());
+}
+
+TEST(MarshalTest, WrongFieldCountRejected) {
+    std::vector<uint8_t> wire(packet_codec().layout().byte_size());
+    int64_t too_few[3] = {0};
+    EXPECT_FALSE(
+        unmarshal_record(packet_codec(), wire, too_few).is_ok());
+}
+
+TEST(MarshalTest, OverwideValuesAreMasked) {
+    std::vector<uint8_t> wire(packet_codec().layout().byte_size(), 0);
+    int64_t fields[kFieldCount] = {0};
+    fields[kVersion] = 0x14;  // 5 bits into a 4-bit field
+    ASSERT_TRUE(marshal_record(packet_codec(), fields, wire).is_ok());
+    auto version = packet_codec().read(wire, "version");
+    ASSERT_TRUE(version.is_ok());
+    EXPECT_EQ(version.value(), 0x4u);
+}
+
+}  // namespace
+}  // namespace bitc::interop

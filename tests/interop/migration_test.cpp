@@ -1,0 +1,116 @@
+/**
+ * The F4 property: every migration configuration — all-legacy,
+ * all-migrated, and every interleaving — computes identical results on
+ * the same packet stream; only cost differs.
+ */
+#include "interop/migration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::interop {
+namespace {
+
+MigrationReport run_config(std::array<bool, kStageCount> migrated,
+                           size_t packets = 2000, uint64_t seed = 42) {
+    MigrationConfig config;
+    config.migrated = migrated;
+    auto pipeline = MigrationPipeline::create(config);
+    EXPECT_TRUE(pipeline.is_ok()) << pipeline.status().to_string();
+    Rng rng(seed);
+    auto report = pipeline.value()->run(packets, rng);
+    EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+    return report.is_ok() ? report.value() : MigrationReport{};
+}
+
+TEST(MigrationTest, AllLegacyBaselineProcessesEverything) {
+    MigrationReport report = run_config({false, false, false, false});
+    EXPECT_EQ(report.packets, 2000u);
+    EXPECT_GT(report.dropped, 0u);
+    EXPECT_LT(report.dropped, 300u);
+    EXPECT_EQ(report.boundary_crossings, 0u);
+    EXPECT_GT(report.route_checksum, 0u);
+}
+
+TEST(MigrationTest, AllMigratedMatchesAllLegacy) {
+    MigrationReport legacy = run_config({false, false, false, false});
+    MigrationReport migrated = run_config({true, true, true, true});
+    EXPECT_EQ(migrated.packets, legacy.packets);
+    EXPECT_EQ(migrated.dropped, legacy.dropped);
+    EXPECT_EQ(migrated.route_checksum, legacy.route_checksum);
+    EXPECT_EQ(migrated.header_checksum_sum, legacy.header_checksum_sum);
+    // One unmarshal per packet, no marshal back (fields world at end).
+    EXPECT_EQ(migrated.boundary_crossings, legacy.packets);
+}
+
+TEST(MigrationTest, EverySingleStageMigrationMatches) {
+    MigrationReport baseline = run_config({false, false, false, false});
+    for (size_t stage = 0; stage < kStageCount; ++stage) {
+        std::array<bool, kStageCount> migrated{};
+        migrated[stage] = true;
+        MigrationReport report = run_config(migrated);
+        EXPECT_EQ(report.dropped, baseline.dropped)
+            << "stage " << stage_name(stage);
+        EXPECT_EQ(report.route_checksum, baseline.route_checksum)
+            << "stage " << stage_name(stage);
+        EXPECT_EQ(report.header_checksum_sum,
+                  baseline.header_checksum_sum)
+            << "stage " << stage_name(stage);
+    }
+}
+
+TEST(MigrationTest, InterleavingCostsMoreCrossings) {
+    // Contiguous: stages 0-1 migrated -> 1 crossing in, 1 out, per
+    // kept packet path. Interleaved: stages 0 and 2 -> up to 4.
+    MigrationReport contiguous = run_config({true, true, false, false});
+    MigrationReport interleaved = run_config({true, false, true, false});
+    EXPECT_GT(interleaved.boundary_crossings,
+              contiguous.boundary_crossings);
+    // Same results regardless.
+    EXPECT_EQ(interleaved.route_checksum, contiguous.route_checksum);
+}
+
+TEST(MigrationTest, AllSixteenConfigurationsAgree) {
+    MigrationReport baseline = run_config({false, false, false, false},
+                                          500, 7);
+    for (uint32_t mask = 1; mask < 16; ++mask) {
+        std::array<bool, kStageCount> migrated{};
+        for (size_t s = 0; s < kStageCount; ++s) {
+            migrated[s] = (mask & (1u << s)) != 0;
+        }
+        MigrationReport report = run_config(migrated, 500, 7);
+        EXPECT_EQ(report.dropped, baseline.dropped) << "mask " << mask;
+        EXPECT_EQ(report.route_checksum, baseline.route_checksum)
+            << "mask " << mask;
+        EXPECT_EQ(report.header_checksum_sum,
+                  baseline.header_checksum_sum)
+            << "mask " << mask;
+    }
+}
+
+TEST(MigrationTest, BoxedVmConfigurationAlsoAgrees) {
+    MigrationReport baseline = run_config({false, false, false, false},
+                                          300, 9);
+    MigrationConfig config;
+    config.migrated = {true, true, true, true};
+    config.vm.mode = vm::ValueMode::kBoxed;
+    config.vm.heap = vm::HeapPolicy::kGenerational;
+    config.vm.heap_words = 1 << 16;
+    auto pipeline = MigrationPipeline::create(config);
+    ASSERT_TRUE(pipeline.is_ok());
+    Rng rng(9);
+    auto report = pipeline.value()->run(300, rng);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    EXPECT_EQ(report.value().route_checksum, baseline.route_checksum);
+    EXPECT_EQ(report.value().header_checksum_sum,
+              baseline.header_checksum_sum);
+}
+
+TEST(MigrationTest, MigratedCountHelper) {
+    MigrationConfig config;
+    EXPECT_EQ(config.migrated_count(), 0u);
+    config.migrated = {true, false, true, false};
+    EXPECT_EQ(config.migrated_count(), 2u);
+}
+
+}  // namespace
+}  // namespace bitc::interop

@@ -1,0 +1,138 @@
+/**
+ * Equivalence tests: the legacy (wire-format C++) and migrated (BitC)
+ * stage implementations must agree on every packet.
+ */
+#include "interop/packet_stages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "interop/marshal.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::interop {
+namespace {
+
+class StageEquivalenceTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        auto built = vm::build_program(migrated_stage_source());
+        ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+        built_ = std::move(built).take();
+        vm_ = built_->instantiate({});
+    }
+
+    /** Runs a migrated stage on the unpacked form of @p wire. */
+    int64_t run_migrated(const char* fn, std::span<uint8_t> wire) {
+        int64_t fields[kFieldCount];
+        EXPECT_TRUE(
+            unmarshal_record(packet_codec(), wire, fields).is_ok());
+        auto result = vm_->call_with_buffer(fn, fields);
+        EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+        EXPECT_TRUE(
+            marshal_record(packet_codec(), fields, wire).is_ok());
+        return result.is_ok() ? result.value() : INT64_MIN;
+    }
+
+    std::unique_ptr<vm::BuiltProgram> built_;
+    std::unique_ptr<vm::Vm> vm_;
+};
+
+TEST_F(StageEquivalenceTest, ValidateAgreesOnManyPackets) {
+    Rng rng(10);
+    std::vector<uint8_t> wire(20);
+    for (int i = 0; i < 500; ++i) {
+        generate_packet(rng, wire);
+        std::vector<uint8_t> copy = wire;
+        EXPECT_EQ(legacy_validate(wire), run_migrated("validate", copy));
+    }
+}
+
+TEST_F(StageEquivalenceTest, DecrementTtlAgrees) {
+    Rng rng(11);
+    std::vector<uint8_t> wire(20);
+    for (int i = 0; i < 200; ++i) {
+        generate_packet(rng, wire);
+        std::vector<uint8_t> legacy_copy = wire;
+        std::vector<uint8_t> migrated_copy = wire;
+        legacy_decrement_ttl(legacy_copy);
+        run_migrated("dec-ttl", migrated_copy);
+        EXPECT_EQ(legacy_copy, migrated_copy);
+    }
+}
+
+TEST_F(StageEquivalenceTest, ChecksumAgreesByteForByte) {
+    Rng rng(12);
+    std::vector<uint8_t> wire(20);
+    for (int i = 0; i < 200; ++i) {
+        generate_packet(rng, wire);
+        std::vector<uint8_t> legacy_copy = wire;
+        std::vector<uint8_t> migrated_copy = wire;
+        legacy_checksum(legacy_copy);
+        run_migrated("checksum", migrated_copy);
+        EXPECT_EQ(legacy_copy, migrated_copy) << "packet " << i;
+    }
+}
+
+TEST_F(StageEquivalenceTest, ClassifyAgrees) {
+    Rng rng(13);
+    std::vector<uint8_t> wire(20);
+    for (int i = 0; i < 200; ++i) {
+        generate_packet(rng, wire);
+        std::vector<uint8_t> copy = wire;
+        EXPECT_EQ(legacy_classify(wire), run_migrated("classify", copy));
+    }
+}
+
+TEST_F(StageEquivalenceTest, RunStagesMatchesIndividualStages) {
+    Rng rng(14);
+    std::vector<uint8_t> wire(20);
+    for (int i = 0; i < 100; ++i) {
+        generate_packet(rng, wire);
+        // All four stages individually (legacy path).
+        std::vector<uint8_t> legacy_copy = wire;
+        int64_t legacy_bucket = -1;
+        if (legacy_validate(legacy_copy) != 0) {
+            legacy_decrement_ttl(legacy_copy);
+            legacy_checksum(legacy_copy);
+            legacy_bucket = legacy_classify(legacy_copy);
+        }
+        // All four in one VM entry.
+        int64_t fields[kFieldCount];
+        ASSERT_TRUE(
+            unmarshal_record(packet_codec(), wire, fields).is_ok());
+        int64_t range[2] = {0, 4};
+        auto result = vm_->call_with_buffer("run-stages", fields, range);
+        ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+        if (legacy_bucket == -1) {
+            EXPECT_EQ(result.value(), -1);
+        } else {
+            EXPECT_EQ(result.value(), legacy_bucket);
+            std::vector<uint8_t> migrated_wire(20);
+            ASSERT_TRUE(marshal_record(packet_codec(), fields,
+                                       migrated_wire)
+                            .is_ok());
+            EXPECT_EQ(legacy_copy, migrated_wire);
+        }
+    }
+}
+
+TEST(PacketGeneratorTest, MostPacketsAreValid) {
+    Rng rng(15);
+    std::vector<uint8_t> wire(20);
+    int valid = 0;
+    for (int i = 0; i < 1000; ++i) {
+        generate_packet(rng, wire);
+        valid += legacy_validate(wire) != 0 ? 1 : 0;
+    }
+    EXPECT_GT(valid, 900);
+    EXPECT_LT(valid, 1000);
+}
+
+TEST(PacketStagesTest, StageNamesAreStable) {
+    EXPECT_STREQ(stage_name(kValidate), "validate");
+    EXPECT_STREQ(stage_name(kClassify), "classify");
+    EXPECT_STREQ(migrated_stage_function(kChecksum), "checksum");
+}
+
+}  // namespace
+}  // namespace bitc::interop

@@ -1,0 +1,103 @@
+#include "lang/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::lang {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view source) {
+    DiagnosticEngine diags;
+    auto tokens = lex(source, diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+    return tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+    auto tokens = lex_ok("");
+    ASSERT_EQ(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, ParensAndSymbols) {
+    auto tokens = lex_ok("(define foo)");
+    ASSERT_EQ(tokens.size(), 5u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::kLParen);
+    EXPECT_EQ(tokens[1].kind, TokenKind::kSymbol);
+    EXPECT_EQ(tokens[1].text, "define");
+    EXPECT_EQ(tokens[2].text, "foo");
+    EXPECT_EQ(tokens[3].kind, TokenKind::kRParen);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+    auto tokens = lex_ok("0 42 1000000 0xff");
+    EXPECT_EQ(tokens[0].int_value, 0);
+    EXPECT_EQ(tokens[1].int_value, 42);
+    EXPECT_EQ(tokens[2].int_value, 1000000);
+    EXPECT_EQ(tokens[3].int_value, 255);
+}
+
+TEST(LexerTest, NegativeLiteralVsMinusSymbol) {
+    auto tokens = lex_ok("-5 - -x");
+    EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+    EXPECT_EQ(tokens[0].int_value, -5);
+    EXPECT_EQ(tokens[1].kind, TokenKind::kSymbol);
+    EXPECT_EQ(tokens[1].text, "-");
+    EXPECT_EQ(tokens[2].kind, TokenKind::kSymbol);
+    EXPECT_EQ(tokens[2].text, "-x");
+}
+
+TEST(LexerTest, Booleans) {
+    auto tokens = lex_ok("#t #f");
+    EXPECT_EQ(tokens[0].kind, TokenKind::kBool);
+    EXPECT_EQ(tokens[0].int_value, 1);
+    EXPECT_EQ(tokens[1].int_value, 0);
+}
+
+TEST(LexerTest, OperatorSymbols) {
+    auto tokens = lex_ok("+ - <= == set! array-ref");
+    EXPECT_EQ(tokens[0].text, "+");
+    EXPECT_EQ(tokens[2].text, "<=");
+    EXPECT_EQ(tokens[3].text, "==");
+    EXPECT_EQ(tokens[4].text, "set!");
+    EXPECT_EQ(tokens[5].text, "array-ref");
+}
+
+TEST(LexerTest, ColonIsItsOwnToken) {
+    auto tokens = lex_ok("x : int32");
+    EXPECT_EQ(tokens[0].text, "x");
+    EXPECT_EQ(tokens[1].kind, TokenKind::kColon);
+    EXPECT_EQ(tokens[2].text, "int32");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+    auto tokens = lex_ok("a ; this is a comment\nb");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+    auto tokens = lex_ok("a\n  b");
+    EXPECT_EQ(tokens[0].span.begin.line, 1u);
+    EXPECT_EQ(tokens[0].span.begin.column, 1u);
+    EXPECT_EQ(tokens[1].span.begin.line, 2u);
+    EXPECT_EQ(tokens[1].span.begin.column, 3u);
+}
+
+TEST(LexerTest, BadCharacterIsReported) {
+    DiagnosticEngine diags;
+    auto tokens = lex("a $ b", diags);
+    EXPECT_TRUE(diags.has_errors());
+    // Stream remains usable around the error.
+    EXPECT_EQ(tokens[0].text, "a");
+    EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, BadHashIsReported) {
+    DiagnosticEngine diags;
+    lex("#q", diags);
+    EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace bitc::lang

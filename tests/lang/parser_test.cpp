@@ -1,0 +1,185 @@
+#include "lang/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::lang {
+namespace {
+
+Program parse_ok(std::string_view source) {
+    DiagnosticEngine diags;
+    auto program = parse_program(source, diags);
+    EXPECT_TRUE(program.is_ok()) << diags.to_string();
+    return std::move(program).take();
+}
+
+std::string parse_error_message(std::string_view source) {
+    DiagnosticEngine diags;
+    auto program = parse_program(source, diags);
+    EXPECT_FALSE(program.is_ok());
+    return diags.first_error();
+}
+
+TEST(ParserTest, SimpleFunction) {
+    Program p = parse_ok("(define (inc x : int32) : int32 (+ x 1))");
+    ASSERT_EQ(p.functions.size(), 1u);
+    const FunctionDecl& f = p.functions[0];
+    EXPECT_EQ(f.name, "inc");
+    ASSERT_EQ(f.params.size(), 1u);
+    EXPECT_EQ(f.params[0].name, "x");
+    ASSERT_NE(f.params[0].declared_type, nullptr);
+    EXPECT_EQ(f.params[0].declared_type->to_string(), "int32");
+    ASSERT_NE(f.declared_result, nullptr);
+    EXPECT_EQ(f.declared_result->to_string(), "int32");
+    ASSERT_EQ(f.body.size(), 1u);
+    EXPECT_EQ(f.body[0]->to_string(), "(+ x 1)");
+}
+
+TEST(ParserTest, UnannotatedParams) {
+    Program p = parse_ok("(define (id x) x)");
+    EXPECT_EQ(p.functions[0].params[0].declared_type, nullptr);
+    EXPECT_EQ(p.functions[0].declared_result, nullptr);
+}
+
+TEST(ParserTest, MixedAnnotations) {
+    Program p = parse_ok("(define (f a b : int8 c) a)");
+    const auto& params = p.functions[0].params;
+    ASSERT_EQ(params.size(), 3u);
+    EXPECT_EQ(params[0].declared_type, nullptr);
+    ASSERT_NE(params[1].declared_type, nullptr);
+    EXPECT_EQ(params[1].declared_type->to_string(), "int8");
+    EXPECT_EQ(params[2].declared_type, nullptr);
+}
+
+TEST(ParserTest, ContractClauses) {
+    Program p = parse_ok(
+        "(define (safe-div a b) : int64"
+        "  (require (!= b 0))"
+        "  (ensure (>= result 0))"
+        "  (/ a b))");
+    const FunctionDecl& f = p.functions[0];
+    ASSERT_EQ(f.requires_clauses.size(), 1u);
+    ASSERT_EQ(f.ensures_clauses.size(), 1u);
+    EXPECT_EQ(f.requires_clauses[0]->to_string(), "(!= b 0)");
+    EXPECT_EQ(f.ensures_clauses[0]->to_string(), "(>= result 0)");
+    ASSERT_EQ(f.body.size(), 1u);
+}
+
+TEST(ParserTest, LetWithAnnotations) {
+    Program p = parse_ok(
+        "(define (f) (let ((x 1) (y : int8 2)) (+ x y)))");
+    Expr* let = p.functions[0].body[0];
+    ASSERT_EQ(let->kind, ExprKind::kLet);
+    ASSERT_EQ(let->bindings.size(), 2u);
+    EXPECT_EQ(let->bindings[0].declared_type, nullptr);
+    ASSERT_NE(let->bindings[1].declared_type, nullptr);
+    EXPECT_EQ(let->bindings[1].declared_type->to_string(), "int8");
+}
+
+TEST(ParserTest, WhileWithInvariant) {
+    Program p = parse_ok(
+        "(define (f) (let ((i 0))"
+        "  (while (< i 10) (invariant (>= i 0)) (set! i (+ i 1)))))");
+    Expr* let = p.functions[0].body[0];
+    Expr* loop = let->body[0];
+    ASSERT_EQ(loop->kind, ExprKind::kWhile);
+    ASSERT_EQ(loop->invariants.size(), 1u);
+    ASSERT_EQ(loop->body.size(), 1u);
+    EXPECT_EQ(loop->body[0]->kind, ExprKind::kSet);
+}
+
+TEST(ParserTest, IfWithoutElseGetsUnit) {
+    Program p = parse_ok("(define (f b : bool) (if b (unit)))");
+    Expr* branch = p.functions[0].body[0];
+    ASSERT_EQ(branch->kind, ExprKind::kIf);
+    ASSERT_EQ(branch->args.size(), 3u);
+    EXPECT_EQ(branch->args[2]->kind, ExprKind::kUnitLit);
+}
+
+TEST(ParserTest, ArrayForms) {
+    Program p = parse_ok(
+        "(define (f a : (array int32 8))"
+        "  (array-set! a 0 (array-ref a 1))"
+        "  (array-len a))");
+    EXPECT_EQ(p.functions[0].params[0].declared_type->to_string(),
+              "(array int32 8)");
+    EXPECT_EQ(p.functions[0].body[0]->kind, ExprKind::kArraySet);
+    EXPECT_EQ(p.functions[0].body[1]->kind, ExprKind::kArrayLen);
+}
+
+TEST(ParserTest, UnaryMinusBecomesNeg) {
+    Program p = parse_ok("(define (f x) (- x))");
+    Expr* e = p.functions[0].body[0];
+    ASSERT_EQ(e->kind, ExprKind::kPrim);
+    EXPECT_EQ(e->prim, PrimOp::kNeg);
+    Program p2 = parse_ok("(define (f x y) (- x y))");
+    EXPECT_EQ(p2.functions[0].body[0]->prim, PrimOp::kSub);
+}
+
+TEST(ParserTest, MultipleDefines) {
+    Program p = parse_ok(
+        "(define (f) 1)\n(define (g) (f))\n(define (h) 3)");
+    EXPECT_EQ(p.functions.size(), 3u);
+    EXPECT_EQ(p.find_function("g"), 1);
+    EXPECT_EQ(p.find_function("missing"), -1);
+}
+
+// --- Error cases --------------------------------------------------------
+
+TEST(ParserTest, TopLevelMustBeDefine) {
+    EXPECT_NE(parse_error_message("(+ 1 2)").find("define"),
+              std::string::npos);
+}
+
+TEST(ParserTest, EmptyBodyRejected) {
+    EXPECT_NE(parse_error_message("(define (f))").find("body"),
+              std::string::npos);
+    EXPECT_NE(parse_error_message("(define (f) (require #t))")
+                  .find("empty body"),
+              std::string::npos);
+}
+
+TEST(ParserTest, WrongPrimArity) {
+    EXPECT_NE(parse_error_message("(define (f) (+ 1 2 3))")
+                  .find("operand"),
+              std::string::npos);
+    EXPECT_NE(parse_error_message("(define (f) (not #t #f))")
+                  .find("operand"),
+              std::string::npos);
+}
+
+TEST(ParserTest, BadArrayType) {
+    EXPECT_FALSE(
+        parse_error_message("(define (f a : (array int32)) a)").empty());
+}
+
+TEST(ParserTest, UnknownNamedType) {
+    EXPECT_NE(parse_error_message("(define (f x : float99) x)")
+                  .find("unknown type"),
+              std::string::npos);
+    EXPECT_NE(parse_error_message("(define (f x : uint65) x)")
+                  .find("unknown type"),
+              std::string::npos);
+}
+
+TEST(ParserTest, EmptyApplicationRejected) {
+    EXPECT_NE(parse_error_message("(define (f) ())").find("empty"),
+              std::string::npos);
+}
+
+TEST(ParserTest, SetRequiresSymbolTarget) {
+    EXPECT_FALSE(
+        parse_error_message("(define (f) (set! 3 4))").empty());
+}
+
+TEST(ParserTest, ProgramToStringRoundTrips) {
+    const char* source =
+        "(define (fib n : int64) : int64 "
+        "(if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+    Program p1 = parse_ok(source);
+    std::string rendered = p1.to_string();
+    Program p2 = parse_ok(rendered);
+    EXPECT_EQ(rendered, p2.to_string());
+}
+
+}  // namespace
+}  // namespace bitc::lang

@@ -1,0 +1,136 @@
+#include "lang/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+
+namespace bitc::lang {
+namespace {
+
+Program resolve_ok(std::string_view source) {
+    DiagnosticEngine diags;
+    auto program = parse_program(source, diags);
+    EXPECT_TRUE(program.is_ok()) << diags.to_string();
+    Program p = std::move(program).take();
+    Status s = resolve_program(p, diags);
+    EXPECT_TRUE(s.is_ok()) << diags.to_string();
+    return p;
+}
+
+std::string resolve_error(std::string_view source) {
+    DiagnosticEngine diags;
+    auto program = parse_program(source, diags);
+    EXPECT_TRUE(program.is_ok()) << diags.to_string();
+    Program p = std::move(program).take();
+    Status s = resolve_program(p, diags);
+    EXPECT_FALSE(s.is_ok());
+    return diags.first_error();
+}
+
+TEST(ResolverTest, ParamsGetSequentialSlots) {
+    Program p = resolve_ok("(define (f a b c) c)");
+    EXPECT_EQ(p.functions[0].params[0].slot, 0);
+    EXPECT_EQ(p.functions[0].params[1].slot, 1);
+    EXPECT_EQ(p.functions[0].params[2].slot, 2);
+    EXPECT_EQ(p.functions[0].num_locals, 3);
+    EXPECT_EQ(p.functions[0].body[0]->local_slot, 2);
+}
+
+TEST(ResolverTest, LetBindingsExtendSlots) {
+    Program p = resolve_ok("(define (f a) (let ((x 1) (y 2)) y))");
+    Expr* let = p.functions[0].body[0];
+    EXPECT_EQ(let->bindings[0].slot, 1);
+    EXPECT_EQ(let->bindings[1].slot, 2);
+    EXPECT_EQ(p.functions[0].num_locals, 3);
+    EXPECT_EQ(let->body[0]->local_slot, 2);
+}
+
+TEST(ResolverTest, InnerLetShadowsOuter) {
+    Program p = resolve_ok(
+        "(define (f x) (let ((x 2)) (let ((x 3)) x)))");
+    Expr* outer = p.functions[0].body[0];
+    Expr* inner = outer->body[0];
+    EXPECT_EQ(inner->body[0]->local_slot, inner->bindings[0].slot);
+    EXPECT_NE(inner->bindings[0].slot, outer->bindings[0].slot);
+}
+
+TEST(ResolverTest, LetInitSeesOuterScopeNotItself) {
+    Program p = resolve_ok("(define (f x) (let ((x (+ x 1))) x))");
+    Expr* let = p.functions[0].body[0];
+    // The init's x is the parameter (slot 0), not the new binding.
+    EXPECT_EQ(let->bindings[0].init->args[0]->local_slot, 0);
+    EXPECT_EQ(let->body[0]->local_slot, let->bindings[0].slot);
+}
+
+TEST(ResolverTest, CallsResolveToFunctionIndices) {
+    Program p = resolve_ok(
+        "(define (f) (g))\n(define (g) 1)");
+    EXPECT_EQ(p.functions[0].body[0]->callee_index, 1)
+        << "forward reference must resolve";
+}
+
+TEST(ResolverTest, RecursionResolves) {
+    Program p = resolve_ok("(define (f n) (if (< n 1) 0 (f (- n 1))))");
+    Expr* if_expr = p.functions[0].body[0];
+    EXPECT_EQ(if_expr->args[2]->callee_index, 0);
+}
+
+TEST(ResolverTest, ResultVisibleOnlyInEnsures) {
+    Program p = resolve_ok(
+        "(define (f x) : int64 (ensure (== result x)) x)");
+    Expr* ensure = p.functions[0].ensures_clauses[0];
+    EXPECT_EQ(ensure->args[0]->local_slot, kResultSlot);
+}
+
+TEST(ResolverTest, UnboundVariableReported) {
+    EXPECT_NE(resolve_error("(define (f) y)").find("unbound"),
+              std::string::npos);
+}
+
+TEST(ResolverTest, ResultOutsideEnsuresIsUnbound) {
+    EXPECT_NE(resolve_error("(define (f) result)").find("unbound"),
+              std::string::npos);
+}
+
+TEST(ResolverTest, UnknownCalleeReported) {
+    EXPECT_NE(resolve_error("(define (f) (nope 1))").find("unknown"),
+              std::string::npos);
+}
+
+TEST(ResolverTest, ArityMismatchReported) {
+    EXPECT_NE(resolve_error("(define (f x) x)\n(define (g) (f 1 2))")
+                  .find("argument"),
+              std::string::npos);
+}
+
+TEST(ResolverTest, DuplicateFunctionReported) {
+    EXPECT_NE(resolve_error("(define (f) 1)\n(define (f) 2)")
+                  .find("duplicate"),
+              std::string::npos);
+}
+
+TEST(ResolverTest, DuplicateParameterReported) {
+    EXPECT_NE(resolve_error("(define (f x x) x)").find("duplicate"),
+              std::string::npos);
+}
+
+TEST(ResolverTest, FunctionAsValueReported) {
+    EXPECT_NE(resolve_error("(define (f) 1)\n(define (g) f)")
+                  .find("first-class"),
+              std::string::npos);
+}
+
+TEST(ResolverTest, SetOfUnboundReported) {
+    EXPECT_NE(resolve_error("(define (f) (set! q 1))").find("unbound"),
+              std::string::npos);
+}
+
+TEST(ResolverTest, SetOfResultReported) {
+    EXPECT_NE(resolve_error("(define (f) : int64 "
+                            "(ensure (begin (set! result 2) #t)) 1)")
+                  .find("read-only"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace bitc::lang

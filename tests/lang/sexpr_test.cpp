@@ -1,0 +1,83 @@
+#include "lang/sexpr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/lexer.hpp"
+
+namespace bitc::lang {
+namespace {
+
+std::vector<const SExpr*> read_ok(std::string_view source,
+                                  SExprPool& pool) {
+    DiagnosticEngine diags;
+    auto tokens = lex(source, diags);
+    auto forms = read_sexprs(tokens, pool, diags);
+    EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+    return forms;
+}
+
+TEST(SExprTest, ReadsAtoms) {
+    SExprPool pool;
+    auto forms = read_ok("foo 42 #t", pool);
+    ASSERT_EQ(forms.size(), 3u);
+    EXPECT_TRUE(forms[0]->is_symbol("foo"));
+    EXPECT_EQ(forms[1]->kind, SExprKind::kInt);
+    EXPECT_EQ(forms[1]->int_value, 42);
+    EXPECT_EQ(forms[2]->kind, SExprKind::kBool);
+}
+
+TEST(SExprTest, ReadsNestedLists) {
+    SExprPool pool;
+    auto forms = read_ok("(a (b c) d)", pool);
+    ASSERT_EQ(forms.size(), 1u);
+    const SExpr* list = forms[0];
+    ASSERT_TRUE(list->is_list());
+    ASSERT_EQ(list->size(), 3u);
+    EXPECT_EQ(list->head(), "a");
+    EXPECT_TRUE(list->at(1)->is_list());
+    EXPECT_EQ(list->at(1)->head(), "b");
+    EXPECT_TRUE(list->at(2)->is_symbol("d"));
+}
+
+TEST(SExprTest, RoundTripsToString) {
+    SExprPool pool;
+    auto forms = read_ok("(define (f x) (+ x 1))", pool);
+    ASSERT_EQ(forms.size(), 1u);
+    EXPECT_EQ(forms[0]->to_string(), "(define (f x) (+ x 1))");
+}
+
+TEST(SExprTest, UnclosedParenReported) {
+    SExprPool pool;
+    DiagnosticEngine diags;
+    auto tokens = lex("(a (b)", diags);
+    read_sexprs(tokens, pool, diags);
+    EXPECT_TRUE(diags.has_errors());
+    EXPECT_NE(diags.first_error().find("unclosed"), std::string::npos);
+}
+
+TEST(SExprTest, StrayCloseParenReported) {
+    SExprPool pool;
+    DiagnosticEngine diags;
+    auto tokens = lex("a ) b", diags);
+    auto forms = read_sexprs(tokens, pool, diags);
+    EXPECT_TRUE(diags.has_errors());
+    EXPECT_EQ(forms.size(), 2u);  // a and b still read
+}
+
+TEST(SExprTest, ColonBecomesSymbol) {
+    SExprPool pool;
+    auto forms = read_ok("(x : int32)", pool);
+    ASSERT_EQ(forms[0]->size(), 3u);
+    EXPECT_TRUE(forms[0]->at(1)->is_symbol(":"));
+}
+
+TEST(SExprTest, EmptyListHasEmptyHead) {
+    SExprPool pool;
+    auto forms = read_ok("()", pool);
+    ASSERT_EQ(forms.size(), 1u);
+    EXPECT_TRUE(forms[0]->is_list());
+    EXPECT_EQ(forms[0]->head(), "");
+}
+
+}  // namespace
+}  // namespace bitc::lang

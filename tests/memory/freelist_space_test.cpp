@@ -1,0 +1,131 @@
+#include "memory/freelist_space.hpp"
+
+#include <gtest/gtest.h>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace bitc::mem {
+namespace {
+
+class FreeListSpaceTest : public ::testing::Test {
+  protected:
+    static constexpr size_t kWords = 4096;
+    FreeListSpaceTest()
+        : storage_(std::make_unique<uint64_t[]>(kWords)),
+          space_(storage_.get(), 0, kWords) {}
+
+    std::unique_ptr<uint64_t[]> storage_;
+    FreeListSpace space_;
+};
+
+TEST_F(FreeListSpaceTest, AllocatesDistinctBlocks) {
+    uint32_t a = space_.allocate(4);
+    uint32_t b = space_.allocate(4);
+    ASSERT_NE(a, FreeListSpace::kNoBlock);
+    ASSERT_NE(b, FreeListSpace::kNoBlock);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(FreeListSpaceTest, ReusesFreedBlockOfSameSize) {
+    uint32_t a = space_.allocate(8);
+    space_.free_block(a, 8);
+    uint32_t b = space_.allocate(8);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(FreeListSpaceTest, RoundsTinyRequestsUp) {
+    EXPECT_EQ(FreeListSpace::round_up(0), FreeListSpace::kMinBlockWords);
+    EXPECT_EQ(FreeListSpace::round_up(1), FreeListSpace::kMinBlockWords);
+    EXPECT_EQ(FreeListSpace::round_up(5), 5u);
+}
+
+TEST_F(FreeListSpaceTest, ExhaustionReturnsNoBlock) {
+    std::vector<uint32_t> blocks;
+    while (true) {
+        uint32_t b = space_.allocate(64);
+        if (b == FreeListSpace::kNoBlock) break;
+        blocks.push_back(b);
+    }
+    EXPECT_EQ(blocks.size(), kWords / 64);
+    // Free one and the allocation succeeds again.
+    space_.free_block(blocks.back(), 64);
+    EXPECT_NE(space_.allocate(64), FreeListSpace::kNoBlock);
+}
+
+TEST_F(FreeListSpaceTest, SplitsLargerBlocks) {
+    uint32_t big = space_.allocate(32);
+    // Consume the wilderness so future allocations must split.
+    while (space_.allocate(64) != FreeListSpace::kNoBlock) {
+    }
+    space_.free_block(big, 32);
+    uint32_t small = space_.allocate(8);
+    ASSERT_NE(small, FreeListSpace::kNoBlock);
+    // The split remainder should also be allocatable.
+    uint32_t rest = space_.allocate(24);
+    ASSERT_NE(rest, FreeListSpace::kNoBlock);
+}
+
+TEST_F(FreeListSpaceTest, LargeListFirstFit) {
+    uint32_t huge = space_.allocate(1000);
+    ASSERT_NE(huge, FreeListSpace::kNoBlock);
+    space_.free_block(huge, 1000);
+    // Request bigger than every exact class: served from the large list.
+    uint32_t again = space_.allocate(200);
+    ASSERT_NE(again, FreeListSpace::kNoBlock);
+    EXPECT_EQ(again, huge);
+}
+
+TEST_F(FreeListSpaceTest, FreeWordsAccounting) {
+    size_t initial = space_.free_words();
+    EXPECT_EQ(initial, kWords);
+    uint32_t a = space_.allocate(16);
+    EXPECT_EQ(space_.free_words(), kWords - 16);
+    space_.free_block(a, 16);
+    EXPECT_EQ(space_.free_words(), kWords);
+}
+
+TEST_F(FreeListSpaceTest, ResetRestoresFullCapacity) {
+    for (int i = 0; i < 10; ++i) space_.allocate(32);
+    space_.reset();
+    EXPECT_EQ(space_.free_words(), kWords);
+    EXPECT_NE(space_.allocate(kWords), FreeListSpace::kNoBlock);
+}
+
+TEST_F(FreeListSpaceTest, NoOverlapUnderRandomChurn) {
+    // Property: live blocks never overlap, under randomized alloc/free.
+    Rng rng(2026);
+    struct Block {
+        uint32_t offset;
+        size_t words;
+    };
+    std::vector<Block> live;
+    for (int step = 0; step < 20000; ++step) {
+        if (live.empty() || rng.next_bool(0.55)) {
+            size_t words = FreeListSpace::round_up(2 + rng.next_below(40));
+            uint32_t off = space_.allocate(words);
+            if (off == FreeListSpace::kNoBlock) continue;
+            live.push_back({off, words});
+        } else {
+            size_t idx = rng.next_below(live.size());
+            space_.free_block(live[idx].offset, live[idx].words);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+    }
+    std::set<std::pair<uint32_t, uint32_t>> ranges;
+    for (const Block& b : live) {
+        ranges.insert({b.offset,
+                       b.offset + static_cast<uint32_t>(b.words)});
+    }
+    uint32_t prev_end = 0;
+    for (const auto& [begin, end] : ranges) {
+        EXPECT_GE(begin, prev_end) << "overlapping blocks";
+        prev_end = end;
+    }
+}
+
+}  // namespace
+}  // namespace bitc::mem

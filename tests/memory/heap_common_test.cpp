@@ -1,0 +1,183 @@
+/**
+ * Behaviour every ManagedHeap backend must share, run as a
+ * parameterized suite across all six policies.
+ */
+#include <gtest/gtest.h>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "memory/generational_heap.hpp"
+#include "memory/heap.hpp"
+#include "memory/manual_heap.hpp"
+#include "memory/markcompact_heap.hpp"
+#include "memory/marksweep_heap.hpp"
+#include "memory/refcount_heap.hpp"
+#include "memory/region_heap.hpp"
+#include "memory/semispace_heap.hpp"
+
+namespace bitc::mem {
+namespace {
+
+constexpr size_t kHeapWords = 1 << 16;
+
+using HeapFactory = std::function<std::unique_ptr<ManagedHeap>()>;
+
+struct HeapParam {
+    std::string label;
+    HeapFactory make;
+};
+
+class HeapCommonTest : public ::testing::TestWithParam<HeapParam> {
+  protected:
+    void SetUp() override { heap_ = GetParam().make(); }
+    std::unique_ptr<ManagedHeap> heap_;
+};
+
+TEST_P(HeapCommonTest, AllocateAndAccessDataSlots) {
+    auto obj = heap_->allocate(4, 0, 7);
+    ASSERT_TRUE(obj.is_ok());
+    ObjRef ref = obj.value();
+    EXPECT_TRUE(heap_->is_live(ref));
+    EXPECT_EQ(heap_->num_slots(ref), 4u);
+    EXPECT_EQ(heap_->num_refs(ref), 0u);
+    EXPECT_EQ(heap_->tag(ref), 7u);
+
+    heap_->store(ref, 0, 0xdeadbeefull);
+    heap_->store(ref, 3, 42);
+    EXPECT_EQ(heap_->load(ref, 0), 0xdeadbeefull);
+    EXPECT_EQ(heap_->load(ref, 3), 42u);
+}
+
+TEST_P(HeapCommonTest, FreshObjectSlotsAreZeroed) {
+    auto obj = heap_->allocate(8, 2, 1);
+    ASSERT_TRUE(obj.is_ok());
+    for (uint32_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(heap_->load_ref(obj.value(), i), kNullRef);
+    }
+    for (uint32_t i = 2; i < 8; ++i) {
+        EXPECT_EQ(heap_->load(obj.value(), i), 0u);
+    }
+}
+
+TEST_P(HeapCommonTest, ReferenceSlotsLinkObjects) {
+    LocalRoot a(*heap_);
+    {
+        auto r = heap_->allocate(2, 1, 1);
+        ASSERT_TRUE(r.is_ok());
+        a.set(r.value());
+    }
+    LocalRoot b(*heap_);
+    {
+        auto r = heap_->allocate(2, 1, 1);
+        ASSERT_TRUE(r.is_ok());
+        b.set(r.value());
+    }
+    heap_->store_ref(a.get(), 0, b.get());
+    heap_->store(b.get(), 1, 99);
+    EXPECT_EQ(heap_->load_ref(a.get(), 0), b.get());
+    EXPECT_EQ(heap_->load(heap_->load_ref(a.get(), 0), 1), 99u);
+}
+
+TEST_P(HeapCommonTest, NullRefIsNeverLive) {
+    EXPECT_FALSE(heap_->is_live(kNullRef));
+}
+
+TEST_P(HeapCommonTest, StatsTrackAllocations) {
+    auto r1 = heap_->allocate(4, 0, 1);
+    auto r2 = heap_->allocate(4, 0, 1);
+    ASSERT_TRUE(r1.is_ok());
+    ASSERT_TRUE(r2.is_ok());
+    EXPECT_EQ(heap_->stats().allocations, 2u);
+    EXPECT_GT(heap_->stats().bytes_allocated, 0u);
+    EXPECT_GT(heap_->stats().words_in_use, 0u);
+    EXPECT_GE(heap_->stats().peak_words_in_use,
+              heap_->stats().words_in_use);
+}
+
+TEST_P(HeapCommonTest, RootedDataSurvivesCollection) {
+    LocalRoot root(*heap_);
+    {
+        auto r = heap_->allocate(3, 1, 1);
+        ASSERT_TRUE(r.is_ok());
+        root.set(r.value());
+    }
+    heap_->store(root.get(), 2, 1234);
+    // Hang a child off the root as well.
+    {
+        auto child = heap_->allocate(2, 0, 1);
+        ASSERT_TRUE(child.is_ok());
+        heap_->store(child.value(), 1, 5678);
+        heap_->store_ref(root.get(), 0, child.value());
+    }
+    heap_->collect();
+    ASSERT_TRUE(heap_->is_live(root.get()));
+    EXPECT_EQ(heap_->load(root.get(), 2), 1234u);
+    ObjRef child = heap_->load_ref(root.get(), 0);
+    ASSERT_TRUE(heap_->is_live(child));
+    EXPECT_EQ(heap_->load(child, 1), 5678u);
+}
+
+TEST_P(HeapCommonTest, ManyObjectsRetainDistinctIdentity) {
+    constexpr int kCount = 100;
+    std::vector<ObjRef> refs(kCount, kNullRef);
+    for (auto& r : refs) heap_->add_root(&r);
+    for (int i = 0; i < kCount; ++i) {
+        auto obj = heap_->allocate(2, 0, 1);
+        ASSERT_TRUE(obj.is_ok());
+        heap_->store(obj.value(), 1, static_cast<uint64_t>(i));
+        heap_->root_assign(&refs[i], obj.value());
+    }
+    heap_->collect();
+    for (int i = 0; i < kCount; ++i) {
+        EXPECT_EQ(heap_->load(refs[i], 1), static_cast<uint64_t>(i));
+    }
+    for (auto& r : refs) heap_->remove_root(&r);
+}
+
+TEST_P(HeapCommonTest, ZeroSlotObjectsAreAllocatable) {
+    auto obj = heap_->allocate(0, 0, 9);
+    ASSERT_TRUE(obj.is_ok());
+    EXPECT_EQ(heap_->num_slots(obj.value()), 0u);
+    EXPECT_EQ(heap_->tag(obj.value()), 9u);
+}
+
+TEST_P(HeapCommonTest, LiveObjectCountTracksAllocations) {
+    size_t before = heap_->live_objects();
+    auto a = heap_->allocate(1, 0, 1);
+    auto b = heap_->allocate(1, 0, 1);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(heap_->live_objects(), before + 2);
+}
+
+std::vector<HeapParam> all_heaps() {
+    return {
+        {"manual",
+         [] { return std::make_unique<ManualHeap>(kHeapWords); }},
+        {"region",
+         [] { return std::make_unique<RegionHeap>(kHeapWords); }},
+        {"refcount",
+         [] { return std::make_unique<RefCountHeap>(kHeapWords); }},
+        {"marksweep",
+         [] { return std::make_unique<MarkSweepHeap>(kHeapWords); }},
+        {"markcompact",
+         [] { return std::make_unique<MarkCompactHeap>(kHeapWords); }},
+        {"semispace",
+         [] { return std::make_unique<SemispaceHeap>(kHeapWords * 2); }},
+        {"generational",
+         [] {
+             return std::make_unique<GenerationalHeap>(kHeapWords,
+                                                       kHeapWords / 8);
+         }},
+    };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, HeapCommonTest, ::testing::ValuesIn(all_heaps()),
+    [](const ::testing::TestParamInfo<HeapParam>& info) {
+        return info.param.label;
+    });
+
+}  // namespace
+}  // namespace bitc::mem

@@ -1,0 +1,173 @@
+/**
+ * Differential fuzzing of the storage policies: a random mutation
+ * script (allocate / drop / rewire / read / collect) runs against each
+ * heap while a plain C++ shadow model tracks what every live object
+ * must contain.  Any divergence — lost objects, wrong payloads after
+ * compaction, premature reclamation — fails loudly.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "memory/generational_heap.hpp"
+#include "memory/markcompact_heap.hpp"
+#include "memory/marksweep_heap.hpp"
+#include "memory/refcount_heap.hpp"
+#include "memory/semispace_heap.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::mem {
+namespace {
+
+/** Shadow model of one rooted object. */
+struct ShadowObject {
+    uint64_t payload;                 // data slot value
+    std::vector<int> children;        // indices into the root table, -1=null
+};
+
+struct FuzzParam {
+    std::string label;
+    std::function<std::unique_ptr<ManagedHeap>()> make;
+};
+
+class HeapFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(HeapFuzzTest, RandomScriptMatchesShadowModel) {
+    constexpr int kRoots = 24;
+    constexpr uint32_t kChildren = 3;
+    constexpr int kSteps = 6000;
+
+    auto heap = GetParam().make();
+    Rng rng(0xF022 + kSteps);
+
+    // Root table: parallel arrays of heap refs and shadow objects.
+    std::vector<ObjRef> roots(kRoots, kNullRef);
+    std::vector<std::unique_ptr<ShadowObject>> shadow(kRoots);
+    for (auto& r : roots) heap->add_root(&r);
+
+    auto check_one = [&](int i) {
+        if (shadow[i] == nullptr) {
+            EXPECT_EQ(roots[i], kNullRef);
+            return;
+        }
+        ASSERT_TRUE(heap->is_live(roots[i])) << "slot " << i;
+        EXPECT_EQ(heap->load(roots[i], kChildren), shadow[i]->payload)
+            << "slot " << i;
+        for (uint32_t c = 0; c < kChildren; ++c) {
+            ObjRef child = heap->load_ref(roots[i], c);
+            int expected = shadow[i]->children[c];
+            if (expected == -1) {
+                EXPECT_EQ(child, kNullRef);
+            } else {
+                EXPECT_EQ(child, roots[expected])
+                    << "slot " << i << " child " << c;
+            }
+        }
+    };
+
+    for (int step = 0; step < kSteps; ++step) {
+        switch (rng.next_below(10)) {
+          case 0: case 1: case 2: case 3: {  // allocate into a slot
+            int i = static_cast<int>(rng.next_below(kRoots));
+            // The shadow model identifies objects by their root slot,
+            // so edges to the slot's previous occupant must be cut
+            // before the slot is rebound to a fresh object.
+            for (int k = 0; k < kRoots; ++k) {
+                if (shadow[k] == nullptr) continue;
+                for (uint32_t c = 0; c < kChildren; ++c) {
+                    if (shadow[k]->children[c] == i) {
+                        heap->store_ref(roots[k], c, kNullRef);
+                        shadow[k]->children[c] = -1;
+                    }
+                }
+            }
+            auto obj = heap->allocate(kChildren + 1, kChildren, 1);
+            if (!obj.is_ok()) break;  // full is fine; GC may be off
+            uint64_t payload = rng.next();
+            heap->store(obj.value(), kChildren, payload);
+            heap->root_assign(&roots[i], obj.value());
+            shadow[i] = std::make_unique<ShadowObject>();
+            shadow[i]->payload = payload;
+            shadow[i]->children.assign(kChildren, -1);
+            break;
+          }
+          case 4: case 5: {  // rewire an edge (possibly cyclic)
+            int i = static_cast<int>(rng.next_below(kRoots));
+            int j = static_cast<int>(rng.next_below(kRoots));
+            if (shadow[i] == nullptr) break;
+            uint32_t c =
+                static_cast<uint32_t>(rng.next_below(kChildren));
+            if (shadow[j] == nullptr) {
+                heap->store_ref(roots[i], c, kNullRef);
+                shadow[i]->children[c] = -1;
+            } else {
+                heap->store_ref(roots[i], c, roots[j]);
+                shadow[i]->children[c] = j;
+            }
+            break;
+          }
+          case 6: {  // drop a root (object may die; edges to it were
+                     // via the root table only in the shadow model, so
+                     // clear them first to keep the model exact)
+            int i = static_cast<int>(rng.next_below(kRoots));
+            if (shadow[i] == nullptr) break;
+            for (int k = 0; k < kRoots; ++k) {
+                if (shadow[k] == nullptr) continue;
+                for (uint32_t c = 0; c < kChildren; ++c) {
+                    if (shadow[k]->children[c] == i) {
+                        heap->store_ref(roots[k], c, kNullRef);
+                        shadow[k]->children[c] = -1;
+                    }
+                }
+            }
+            heap->root_assign(&roots[i], kNullRef);
+            shadow[i] = nullptr;
+            break;
+          }
+          case 7: {  // force a collection
+            heap->collect();
+            break;
+          }
+          default: {  // read-validate one random slot
+            check_one(static_cast<int>(rng.next_below(kRoots)));
+            break;
+          }
+        }
+    }
+
+    // Full sweep at the end, after one more collection.
+    heap->collect();
+    for (int i = 0; i < kRoots; ++i) check_one(i);
+
+    for (auto& r : roots) heap->remove_root(&r);
+}
+
+std::vector<FuzzParam> fuzz_heaps() {
+    static constexpr size_t kWords = 1 << 14;
+    return {
+        {"refcount",
+         [] { return std::make_unique<RefCountHeap>(kWords); }},
+        {"marksweep",
+         [] { return std::make_unique<MarkSweepHeap>(kWords); }},
+        {"markcompact",
+         [] { return std::make_unique<MarkCompactHeap>(kWords); }},
+        {"semispace",
+         [] { return std::make_unique<SemispaceHeap>(kWords * 2); }},
+        {"generational",
+         [] {
+             return std::make_unique<GenerationalHeap>(kWords,
+                                                       kWords / 8);
+         }},
+    };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TracingPolicies, HeapFuzzTest, ::testing::ValuesIn(fuzz_heaps()),
+    [](const ::testing::TestParamInfo<FuzzParam>& info) {
+        return info.param.label;
+    });
+
+}  // namespace
+}  // namespace bitc::mem

@@ -1,0 +1,91 @@
+#include "memory/manual_heap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::mem {
+namespace {
+
+TEST(ManualHeapTest, FreeMakesHandleDead) {
+    ManualHeap heap(1024);
+    auto obj = heap.allocate(4, 0, 1);
+    ASSERT_TRUE(obj.is_ok());
+    heap.free_object(obj.value());
+    EXPECT_FALSE(heap.is_live(obj.value()));
+    EXPECT_EQ(heap.stats().frees, 1u);
+}
+
+TEST(ManualHeapTest, FreedStorageIsReused) {
+    ManualHeap heap(64);
+    // Fill the heap completely, then free one and reallocate.
+    std::vector<ObjRef> refs;
+    while (true) {
+        auto obj = heap.allocate(6, 0, 1);
+        if (!obj.is_ok()) break;
+        refs.push_back(obj.value());
+    }
+    ASSERT_FALSE(refs.empty());
+    heap.free_object(refs[0]);
+    auto again = heap.allocate(6, 0, 1);
+    EXPECT_TRUE(again.is_ok());
+}
+
+TEST(ManualHeapTest, ExhaustionReportsResourceExhausted) {
+    ManualHeap heap(32);
+    auto a = heap.allocate(30, 0, 1);
+    ASSERT_TRUE(a.is_ok());
+    auto b = heap.allocate(30, 0, 1);
+    ASSERT_FALSE(b.is_ok());
+    EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ManualHeapTest, NeedsExplicitFree) {
+    ManualHeap heap(256);
+    EXPECT_TRUE(heap.needs_explicit_free());
+}
+
+TEST(ManualHeapTest, WordsInUseGoesToZeroAfterFullFree) {
+    ManualHeap heap(4096);
+    std::vector<ObjRef> refs;
+    for (int i = 0; i < 50; ++i) {
+        auto obj = heap.allocate(static_cast<uint32_t>(i % 7 + 1), 0, 1);
+        ASSERT_TRUE(obj.is_ok());
+        refs.push_back(obj.value());
+    }
+    for (ObjRef r : refs) heap.free_object(r);
+    EXPECT_EQ(heap.stats().words_in_use, 0u);
+    EXPECT_EQ(heap.live_objects(), 0u);
+}
+
+TEST(ManualHeapTest, CollectIsANoOp) {
+    ManualHeap heap(1024);
+    auto obj = heap.allocate(2, 0, 1);
+    ASSERT_TRUE(obj.is_ok());
+    // No roots registered: a tracing heap would reclaim; manual must not.
+    heap.collect();
+    EXPECT_TRUE(heap.is_live(obj.value()));
+}
+
+TEST(ManualHeapTest, HandleIdsAreRecycled) {
+    ManualHeap heap(1024);
+    auto a = heap.allocate(2, 0, 1);
+    ASSERT_TRUE(a.is_ok());
+    ObjRef old_id = a.value();
+    heap.free_object(old_id);
+    auto b = heap.allocate(2, 0, 1);
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(b.value(), old_id);
+}
+
+TEST(ManualHeapTest, FragmentationProbeSeesFreedBlocks) {
+    ManualHeap heap(4096);
+    auto a = heap.allocate(10, 0, 1);
+    auto b = heap.allocate(10, 0, 1);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(heap.free_list_words(), 0u);
+    heap.free_object(a.value());
+    EXPECT_EQ(heap.free_list_words(), 11u);  // header + 10 slots
+}
+
+}  // namespace
+}  // namespace bitc::mem

@@ -1,0 +1,94 @@
+#include "memory/region_heap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::mem {
+namespace {
+
+TEST(RegionHeapTest, ReleaseToFreesEverythingAfterMark) {
+    RegionHeap heap(1024);
+    auto keep = heap.allocate(2, 0, 1);
+    ASSERT_TRUE(keep.is_ok());
+    size_t mark = heap.mark();
+    auto drop1 = heap.allocate(2, 0, 1);
+    auto drop2 = heap.allocate(2, 0, 1);
+    ASSERT_TRUE(drop1.is_ok());
+    ASSERT_TRUE(drop2.is_ok());
+
+    heap.release_to(mark);
+    EXPECT_TRUE(heap.is_live(keep.value()));
+    EXPECT_FALSE(heap.is_live(drop1.value()));
+    EXPECT_FALSE(heap.is_live(drop2.value()));
+}
+
+TEST(RegionHeapTest, StorageIsReusedAfterRelease) {
+    RegionHeap heap(64);
+    size_t mark = heap.mark();
+    for (int round = 0; round < 100; ++round) {
+        auto a = heap.allocate(20, 0, 1);
+        ASSERT_TRUE(a.is_ok()) << "round " << round;
+        heap.release_to(mark);
+    }
+}
+
+TEST(RegionHeapTest, ExhaustionWithoutRelease) {
+    RegionHeap heap(64);
+    auto a = heap.allocate(30, 0, 1);
+    auto b = heap.allocate(30, 0, 1);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    auto c = heap.allocate(30, 0, 1);
+    ASSERT_FALSE(c.is_ok());
+    EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RegionHeapTest, NestedRegionsReleaseInLifoOrder) {
+    RegionHeap heap(1024);
+    auto outer = heap.allocate(2, 0, 1);
+    size_t outer_mark = heap.mark();
+    auto middle = heap.allocate(2, 0, 1);
+    size_t inner_mark = heap.mark();
+    auto inner = heap.allocate(2, 0, 1);
+    ASSERT_TRUE(outer.is_ok());
+    ASSERT_TRUE(middle.is_ok());
+    ASSERT_TRUE(inner.is_ok());
+
+    heap.release_to(inner_mark);
+    EXPECT_TRUE(heap.is_live(middle.value()));
+    EXPECT_FALSE(heap.is_live(inner.value()));
+
+    heap.release_to(outer_mark);
+    EXPECT_TRUE(heap.is_live(outer.value()));
+    EXPECT_FALSE(heap.is_live(middle.value()));
+}
+
+TEST(RegionHeapTest, ResetRegionEmptiesHeap) {
+    RegionHeap heap(1024);
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(heap.allocate(4, 0, 1).is_ok());
+    }
+    heap.reset_region();
+    EXPECT_EQ(heap.live_objects(), 0u);
+    EXPECT_EQ(heap.stats().words_in_use, 0u);
+    EXPECT_EQ(heap.mark(), 0u);
+}
+
+TEST(RegionHeapTest, FreeObjectIsIgnored) {
+    RegionHeap heap(1024);
+    auto obj = heap.allocate(2, 0, 1);
+    ASSERT_TRUE(obj.is_ok());
+    heap.free_object(obj.value());
+    EXPECT_TRUE(heap.is_live(obj.value()));
+    EXPECT_FALSE(heap.needs_explicit_free());
+}
+
+TEST(RegionHeapTest, PauseStatsRecordReleases) {
+    RegionHeap heap(1024);
+    size_t mark = heap.mark();
+    ASSERT_TRUE(heap.allocate(4, 0, 1).is_ok());
+    heap.release_to(mark);
+    EXPECT_EQ(heap.pause_stats().count(), 1u);
+}
+
+}  // namespace
+}  // namespace bitc::mem

@@ -1,0 +1,258 @@
+/** Tracing-collector specifics: mark–sweep, semispace, generational. */
+#include <gtest/gtest.h>
+
+#include "memory/generational_heap.hpp"
+#include "memory/markcompact_heap.hpp"
+#include "memory/marksweep_heap.hpp"
+#include "memory/semispace_heap.hpp"
+
+namespace bitc::mem {
+namespace {
+
+TEST(MarkSweepTest, UnreachableObjectsAreSwept) {
+    MarkSweepHeap heap(1024);
+    auto garbage = heap.allocate(4, 0, 1);
+    ASSERT_TRUE(garbage.is_ok());
+    heap.collect();
+    EXPECT_FALSE(heap.is_live(garbage.value()));
+}
+
+TEST(MarkSweepTest, CyclesAreCollected) {
+    MarkSweepHeap heap(1024);
+    ObjRef a_ref;
+    {
+        LocalRoot a(heap);
+        LocalRoot b(heap);
+        auto ra = heap.allocate(1, 1, 1);
+        auto rb = heap.allocate(1, 1, 1);
+        ASSERT_TRUE(ra.is_ok());
+        ASSERT_TRUE(rb.is_ok());
+        a.set(ra.value());
+        b.set(rb.value());
+        heap.store_ref(a.get(), 0, b.get());
+        heap.store_ref(b.get(), 0, a.get());
+        a_ref = a.get();
+    }
+    heap.collect();
+    EXPECT_FALSE(heap.is_live(a_ref));
+}
+
+TEST(MarkSweepTest, AllocationFailureTriggersCollection) {
+    MarkSweepHeap heap(128);
+    // Unrooted garbage fills the heap; allocation must reclaim it.
+    for (int i = 0; i < 100; ++i) {
+        auto obj = heap.allocate(8, 0, 1);
+        ASSERT_TRUE(obj.is_ok()) << "iteration " << i;
+    }
+    EXPECT_GE(heap.stats().collections, 1u);
+}
+
+TEST(MarkSweepTest, PauseStatsAccumulate) {
+    MarkSweepHeap heap(1024);
+    heap.collect();
+    heap.collect();
+    EXPECT_EQ(heap.pause_stats().count(), 2u);
+}
+
+TEST(MarkCompactTest, CompactionSlidesSurvivorsTogether) {
+    MarkCompactHeap heap(1024);
+    // Allocate A, garbage, B; after collection the free space must be
+    // one contiguous tail (no fragmentation).
+    LocalRoot a(heap);
+    {
+        auto r = heap.allocate(4, 0, 1);
+        ASSERT_TRUE(r.is_ok());
+        a.set(r.value());
+    }
+    ASSERT_TRUE(heap.allocate(64, 0, 1).is_ok());  // garbage between
+    LocalRoot b(heap);
+    {
+        auto r = heap.allocate(4, 0, 1);
+        ASSERT_TRUE(r.is_ok());
+        b.set(r.value());
+    }
+    heap.store(a.get(), 0, 111);
+    heap.store(b.get(), 0, 222);
+    size_t free_before = heap.free_words();
+    heap.collect();
+    EXPECT_EQ(heap.load(a.get(), 0), 111u);
+    EXPECT_EQ(heap.load(b.get(), 0), 222u);
+    // The 65 garbage words came back as contiguous wilderness.
+    EXPECT_EQ(heap.free_words(), free_before + 65);
+    // A single allocation of that whole extent must now succeed.
+    EXPECT_TRUE(heap
+                    .allocate(static_cast<uint32_t>(heap.free_words()) -
+                                  1,
+                              0, 1)
+                    .is_ok());
+}
+
+TEST(MarkCompactTest, AddressOrderIsPreserved) {
+    MarkCompactHeap heap(4096);
+    std::vector<ObjRef> refs(8, kNullRef);
+    for (auto& r : refs) heap.add_root(&r);
+    for (int i = 0; i < 8; ++i) {
+        auto obj = heap.allocate(2, 0, 1);
+        ASSERT_TRUE(obj.is_ok());
+        heap.store(obj.value(), 0, static_cast<uint64_t>(i));
+        heap.root_assign(&refs[i], obj.value());
+    }
+    // Kill the even ones, collect, check the odd ones kept order.
+    for (int i = 0; i < 8; i += 2) heap.root_assign(&refs[i], kNullRef);
+    heap.collect();
+    for (int i = 1; i < 8; i += 2) {
+        EXPECT_EQ(heap.load(refs[i], 0), static_cast<uint64_t>(i));
+    }
+    for (auto& r : refs) heap.remove_root(&r);
+}
+
+TEST(MarkCompactTest, ExhaustionTriggersCompaction) {
+    MarkCompactHeap heap(256);
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(heap.allocate(8, 0, 1).is_ok()) << "iteration " << i;
+    }
+    EXPECT_GE(heap.stats().collections, 1u);
+}
+
+TEST(SemispaceTest, CollectionCompactsAndPreservesData) {
+    SemispaceHeap heap(2048);
+    LocalRoot root(heap);
+    {
+        auto r = heap.allocate(3, 1, 1);
+        ASSERT_TRUE(r.is_ok());
+        root.set(r.value());
+    }
+    heap.store(root.get(), 2, 777);
+    // Interleave garbage so the survivor moves.
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(heap.allocate(8, 0, 1).is_ok());
+    }
+    heap.collect();
+    EXPECT_EQ(heap.load(root.get(), 2), 777u);
+}
+
+TEST(SemispaceTest, HandleStaysValidAcrossMoves) {
+    SemispaceHeap heap(2048);
+    LocalRoot root(heap);
+    {
+        auto r = heap.allocate(2, 0, 1);
+        ASSERT_TRUE(r.is_ok());
+        root.set(r.value());
+    }
+    ObjRef id = root.get();
+    for (int i = 0; i < 5; ++i) heap.collect();
+    EXPECT_EQ(root.get(), id) << "handle id must be stable";
+    EXPECT_TRUE(heap.is_live(id));
+}
+
+TEST(SemispaceTest, GarbageReclaimedAutomaticallyUnderPressure) {
+    SemispaceHeap heap(1024);  // 512-word semispaces
+    for (int i = 0; i < 500; ++i) {
+        ASSERT_TRUE(heap.allocate(8, 0, 1).is_ok()) << "iteration " << i;
+    }
+    EXPECT_GE(heap.stats().collections, 1u);
+}
+
+TEST(SemispaceTest, LiveSetLargerThanSemispaceFails) {
+    SemispaceHeap heap(128);  // 64-word semispaces
+    std::vector<ObjRef> refs(20, kNullRef);
+    for (auto& r : refs) heap.add_root(&r);
+    bool failed = false;
+    for (auto& r : refs) {
+        auto obj = heap.allocate(8, 0, 1);
+        if (!obj.is_ok()) {
+            failed = true;
+            EXPECT_EQ(obj.status().code(),
+                      StatusCode::kResourceExhausted);
+            break;
+        }
+        heap.root_assign(&r, obj.value());
+    }
+    EXPECT_TRUE(failed);
+    for (auto& r : refs) heap.remove_root(&r);
+}
+
+TEST(GenerationalTest, MinorCollectionPromotesSurvivors) {
+    GenerationalHeap heap(1 << 14, 1 << 8);
+    LocalRoot root(heap);
+    {
+        auto r = heap.allocate(2, 0, 1);
+        ASSERT_TRUE(r.is_ok());
+        root.set(r.value());
+    }
+    heap.store(root.get(), 1, 31337);
+    EXPECT_TRUE(heap.in_nursery(root.get()));
+    ASSERT_TRUE(heap.minor_collect().is_ok());
+    EXPECT_FALSE(heap.in_nursery(root.get()));
+    EXPECT_EQ(heap.load(root.get(), 1), 31337u);
+    EXPECT_EQ(heap.stats().minor_collections, 1u);
+}
+
+TEST(GenerationalTest, DeadNurseryObjectsDieInMinor) {
+    GenerationalHeap heap(1 << 14, 1 << 8);
+    auto garbage = heap.allocate(2, 0, 1);
+    ASSERT_TRUE(garbage.is_ok());
+    ASSERT_TRUE(heap.minor_collect().is_ok());
+    EXPECT_FALSE(heap.is_live(garbage.value()));
+}
+
+TEST(GenerationalTest, WriteBarrierTracksOldToYoungEdges) {
+    GenerationalHeap heap(1 << 14, 1 << 8);
+    LocalRoot old_obj(heap);
+    {
+        auto r = heap.allocate(1, 1, 1);
+        ASSERT_TRUE(r.is_ok());
+        old_obj.set(r.value());
+    }
+    ASSERT_TRUE(heap.minor_collect().is_ok());  // promote old_obj
+    ASSERT_FALSE(heap.in_nursery(old_obj.get()));
+
+    // Young object referenced ONLY from the old generation.
+    auto young = heap.allocate(2, 0, 1);
+    ASSERT_TRUE(young.is_ok());
+    heap.store(young.value(), 1, 424242);
+    heap.store_ref(old_obj.get(), 0, young.value());
+    EXPECT_EQ(heap.remembered_set_size(), 1u);
+
+    ASSERT_TRUE(heap.minor_collect().is_ok());
+    ObjRef promoted = heap.load_ref(old_obj.get(), 0);
+    ASSERT_TRUE(heap.is_live(promoted));
+    EXPECT_EQ(heap.load(promoted, 1), 424242u);
+}
+
+TEST(GenerationalTest, OversizedObjectsArePretenured) {
+    GenerationalHeap heap(1 << 14, 1 << 8);
+    // > nursery/4 words goes straight to the old generation.
+    auto big = heap.allocate(128, 0, 1);
+    ASSERT_TRUE(big.is_ok());
+    EXPECT_FALSE(heap.in_nursery(big.value()));
+}
+
+TEST(GenerationalTest, FullCollectionReclaimsOldGarbage) {
+    GenerationalHeap heap(1 << 14, 1 << 8);
+    ObjRef dead;
+    {
+        LocalRoot tmp(heap);
+        auto r = heap.allocate(2, 0, 1);
+        ASSERT_TRUE(r.is_ok());
+        tmp.set(r.value());
+        ASSERT_TRUE(heap.minor_collect().is_ok());  // tenure it
+        dead = tmp.get();
+    }
+    ASSERT_TRUE(heap.is_live(dead)) << "tenured, root just dropped";
+    heap.collect();
+    EXPECT_FALSE(heap.is_live(dead));
+}
+
+TEST(GenerationalTest, SteadyChurnRunsManyMinorsFewMajors) {
+    GenerationalHeap heap(1 << 14, 1 << 8);
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(heap.allocate(4, 0, 1).is_ok()) << "iteration " << i;
+    }
+    EXPECT_GT(heap.stats().minor_collections, 10u);
+    // Nothing survives, so the old generation should stay quiet.
+    EXPECT_LE(heap.stats().collections, 2u);
+}
+
+}  // namespace
+}  // namespace bitc::mem

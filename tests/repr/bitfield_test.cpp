@@ -1,0 +1,122 @@
+#include "repr/bitfield.hpp"
+
+#include <array>
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "repr/scalar_type.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::repr {
+namespace {
+
+TEST(BitfieldLsbTest, ByteAlignedRoundTrip) {
+    std::array<uint8_t, 8> buf{};
+    write_bits(buf.data(), 8, 8, 0xab, BitOrder::kLsbFirst);
+    EXPECT_EQ(buf[1], 0xab);
+    EXPECT_EQ(read_bits(buf.data(), 8, 8, BitOrder::kLsbFirst), 0xabu);
+}
+
+TEST(BitfieldLsbTest, SubByteFieldsDoNotDisturbNeighbours) {
+    std::array<uint8_t, 2> buf{};
+    buf.fill(0xff);
+    write_bits(buf.data(), 3, 4, 0x0, BitOrder::kLsbFirst);
+    // Bits 3..6 cleared, everything else intact.
+    EXPECT_EQ(buf[0], 0b10000111);
+    EXPECT_EQ(buf[1], 0xff);
+}
+
+TEST(BitfieldLsbTest, StraddlesByteBoundary) {
+    std::array<uint8_t, 4> buf{};
+    write_bits(buf.data(), 6, 10, 0x3ff, BitOrder::kLsbFirst);
+    EXPECT_EQ(read_bits(buf.data(), 6, 10, BitOrder::kLsbFirst), 0x3ffu);
+    EXPECT_EQ(buf[0], 0b11000000);
+    EXPECT_EQ(buf[1], 0xff);
+}
+
+TEST(BitfieldLsbTest, SixtyFourBitField) {
+    std::array<uint8_t, 16> buf{};
+    uint64_t v = 0x0123456789abcdefull;
+    write_bits(buf.data(), 5, 64, v, BitOrder::kLsbFirst);
+    EXPECT_EQ(read_bits(buf.data(), 5, 64, BitOrder::kLsbFirst), v);
+}
+
+TEST(BitfieldMsbTest, NetworkOrderNibbles) {
+    // IPv4's first byte: version (high nibble) then IHL (low nibble).
+    std::array<uint8_t, 1> buf{};
+    write_bits(buf.data(), 0, 4, 4, BitOrder::kMsbFirst);   // version=4
+    write_bits(buf.data(), 4, 4, 5, BitOrder::kMsbFirst);   // ihl=5
+    EXPECT_EQ(buf[0], 0x45);
+    EXPECT_EQ(read_bits(buf.data(), 0, 4, BitOrder::kMsbFirst), 4u);
+    EXPECT_EQ(read_bits(buf.data(), 4, 4, BitOrder::kMsbFirst), 5u);
+}
+
+TEST(BitfieldMsbTest, MultiByteBigEndianValue) {
+    std::array<uint8_t, 4> buf{};
+    write_bits(buf.data(), 0, 16, 0x1234, BitOrder::kMsbFirst);
+    EXPECT_EQ(buf[0], 0x12);
+    EXPECT_EQ(buf[1], 0x34);
+    EXPECT_EQ(read_bits(buf.data(), 0, 16, BitOrder::kMsbFirst), 0x1234u);
+}
+
+TEST(BitfieldMsbTest, ThirteenBitFieldAcrossBytes) {
+    // IPv4 fragment offset: 13 bits following 3 flag bits.
+    std::array<uint8_t, 2> buf{};
+    write_bits(buf.data(), 0, 3, 0b010, BitOrder::kMsbFirst);
+    write_bits(buf.data(), 3, 13, 1234, BitOrder::kMsbFirst);
+    EXPECT_EQ(read_bits(buf.data(), 0, 3, BitOrder::kMsbFirst), 0b010u);
+    EXPECT_EQ(read_bits(buf.data(), 3, 13, BitOrder::kMsbFirst), 1234u);
+}
+
+struct SweepParam {
+    size_t bit_offset;
+    uint32_t width;
+};
+
+class BitfieldSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BitfieldSweep, RandomRoundTripsBothOrders) {
+    auto [offset, width] = GetParam();
+    Rng rng(offset * 131 + width);
+    for (BitOrder order : {BitOrder::kLsbFirst, BitOrder::kMsbFirst}) {
+        std::array<uint8_t, 24> buf{};
+        for (int trial = 0; trial < 50; ++trial) {
+            uint64_t value = rng.next() & low_mask(width);
+            write_bits(buf.data(), offset, width, value, order);
+            EXPECT_EQ(read_bits(buf.data(), offset, width, order), value)
+                << "offset=" << offset << " width=" << width
+                << " order=" << static_cast<int>(order);
+        }
+    }
+}
+
+TEST_P(BitfieldSweep, WritePreservesSurroundingBits) {
+    auto [offset, width] = GetParam();
+    Rng rng(offset * 977 + width);
+    for (BitOrder order : {BitOrder::kLsbFirst, BitOrder::kMsbFirst}) {
+        std::array<uint8_t, 24> buf;
+        for (size_t i = 0; i < buf.size(); ++i) {
+            buf[i] = static_cast<uint8_t>(rng.next());
+        }
+        std::array<uint8_t, 24> before = buf;
+        write_bits(buf.data(), offset, width, rng.next() & low_mask(width),
+                   order);
+        // Bytes entirely outside the field must be untouched.
+        size_t first_byte = offset / 8;
+        size_t last_byte = (offset + width - 1) / 8;
+        for (size_t i = 0; i < buf.size(); ++i) {
+            if (i < first_byte || i > last_byte) {
+                EXPECT_EQ(buf[i], before[i]) << "byte " << i;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OffsetsAndWidths, BitfieldSweep,
+    ::testing::Combine(::testing::Values(0, 1, 3, 7, 8, 13, 21),
+                       ::testing::Values(1, 3, 4, 8, 13, 16, 24, 33, 64)));
+
+}  // namespace
+}  // namespace bitc::repr

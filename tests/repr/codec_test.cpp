@@ -1,0 +1,152 @@
+#include "repr/codec.hpp"
+
+#include <array>
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace bitc::repr {
+namespace {
+
+RecordCodec make_codec(const RecordSpec& spec) {
+    auto layout = compute_layout(spec);
+    EXPECT_TRUE(layout.is_ok()) << layout.status().to_string();
+    return RecordCodec(std::move(layout).take());
+}
+
+TEST(CodecTest, Ipv4HeaderLaysOutTwentyBytes) {
+    RecordCodec codec = make_codec(ipv4_header_spec());
+    EXPECT_EQ(codec.layout().byte_size(), 20u);
+    EXPECT_EQ(codec.layout().padding_bits(), 0u);
+}
+
+TEST(CodecTest, Ipv4FirstByteMatchesWireFormat) {
+    RecordCodec codec = make_codec(ipv4_header_spec());
+    std::array<uint8_t, 20> buf{};
+    ASSERT_TRUE(codec.write(buf, "version", 4).is_ok());
+    ASSERT_TRUE(codec.write(buf, "ihl", 5).is_ok());
+    EXPECT_EQ(buf[0], 0x45) << "the canonical IPv4 first byte";
+}
+
+TEST(CodecTest, Ipv4RoundTripsAllFields) {
+    RecordCodec codec = make_codec(ipv4_header_spec());
+    std::array<uint8_t, 20> buf{};
+    struct Expected {
+        const char* field;
+        uint64_t value;
+    };
+    const Expected values[] = {
+        {"version", 4},          {"ihl", 5},
+        {"dscp", 46},            {"ecn", 1},
+        {"total_length", 1500},  {"identification", 0xbeef},
+        {"flags", 2},            {"fragment_offset", 777},
+        {"ttl", 64},             {"protocol", 6},
+        {"header_checksum", 0},  {"src_addr", 0xc0a80001},
+        {"dst_addr", 0x08080808},
+    };
+    for (const auto& [field, value] : values) {
+        ASSERT_TRUE(codec.write(buf, field, value).is_ok()) << field;
+    }
+    for (const auto& [field, value] : values) {
+        auto read = codec.read(buf, field);
+        ASSERT_TRUE(read.is_ok()) << field;
+        EXPECT_EQ(read.value(), value) << field;
+    }
+}
+
+TEST(CodecTest, WriteRejectsOverflowingValues) {
+    RecordCodec codec = make_codec(ipv4_header_spec());
+    std::array<uint8_t, 20> buf{};
+    auto status = codec.write(buf, "version", 16);  // 4-bit field
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
+TEST(CodecTest, ShortBufferIsRejectedNotOverrun) {
+    RecordCodec codec = make_codec(ipv4_header_spec());
+    std::array<uint8_t, 10> buf{};
+    auto read = codec.read(buf, "dst_addr");
+    ASSERT_FALSE(read.is_ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kOutOfRange);
+    EXPECT_FALSE(codec.write(buf, "ttl", 1).is_ok());
+}
+
+TEST(CodecTest, UnknownFieldIsNotFound) {
+    RecordCodec codec = make_codec(ipv4_header_spec());
+    std::array<uint8_t, 20> buf{};
+    auto read = codec.read(buf, "no_such_field");
+    ASSERT_FALSE(read.is_ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CodecTest, PageTableEntryBitsLandWhereIntelSaysTheyDo) {
+    RecordCodec codec = make_codec(page_table_entry_spec());
+    EXPECT_EQ(codec.layout().byte_size(), 8u);
+    std::array<uint8_t, 8> buf{};
+    ASSERT_TRUE(codec.write(buf, "present", 1).is_ok());
+    ASSERT_TRUE(codec.write(buf, "writable", 1).is_ok());
+    ASSERT_TRUE(codec.write(buf, "frame", 0x123456).is_ok());
+    ASSERT_TRUE(codec.write(buf, "no_execute", 1).is_ok());
+    // P|W bits of the low byte.
+    EXPECT_EQ(buf[0] & 0x3, 0x3);
+    // NX is bit 63.
+    EXPECT_EQ(buf[7] & 0x80, 0x80);
+    // Frame starts at bit 12: value 0x123456 << 12 within the word.
+    uint64_t word = 0;
+    for (int i = 7; i >= 0; --i) word = (word << 8) | buf[i];
+    EXPECT_EQ((word >> 12) & 0xffffffffffull, 0x123456u);
+}
+
+TEST(CodecTest, SignedFieldsSignExtend) {
+    RecordSpec spec;
+    spec.name = "audio";
+    spec.packing = Packing::kPacked;
+    spec.fields = {{"sample", ScalarType::int_type(24)}};
+    RecordCodec codec = make_codec(spec);
+    std::array<uint8_t, 3> buf{};
+    ASSERT_TRUE(codec.write_signed(buf, "sample", -12345).is_ok());
+    auto read = codec.read_signed(buf, "sample");
+    ASSERT_TRUE(read.is_ok());
+    EXPECT_EQ(read.value(), -12345);
+}
+
+TEST(CodecTest, SignedWriteRejectsOutOfRange) {
+    RecordSpec spec;
+    spec.name = "tiny";
+    spec.packing = Packing::kPacked;
+    spec.fields = {{"v", ScalarType::int_type(4)}};
+    RecordCodec codec = make_codec(spec);
+    std::array<uint8_t, 1> buf{};
+    EXPECT_TRUE(codec.write_signed(buf, "v", -8).is_ok());
+    EXPECT_TRUE(codec.write_signed(buf, "v", 7).is_ok());
+    EXPECT_FALSE(codec.write_signed(buf, "v", 8).is_ok());
+    EXPECT_FALSE(codec.write_signed(buf, "v", -9).is_ok());
+}
+
+TEST(CodecTest, NegativeIntoUnsignedRejected) {
+    RecordCodec codec = make_codec(ipv4_header_spec());
+    std::array<uint8_t, 20> buf{};
+    EXPECT_FALSE(codec.write_signed(buf, "ttl", -1).is_ok());
+}
+
+TEST(CodecTest, RandomRoundTripEveryFieldOfBothSpecs) {
+    Rng rng(0xC0DEC);
+    for (const RecordSpec& spec :
+         {ipv4_header_spec(), page_table_entry_spec()}) {
+        RecordCodec codec = make_codec(spec);
+        std::vector<uint8_t> buf(codec.layout().byte_size(), 0);
+        for (int trial = 0; trial < 200; ++trial) {
+            for (const FieldLayout& f : codec.layout().fields()) {
+                uint64_t v = rng.next() & low_mask(f.bit_width);
+                ASSERT_TRUE(codec.write(buf, f.name, v).is_ok());
+                auto back = codec.read(buf, f.name);
+                ASSERT_TRUE(back.is_ok());
+                EXPECT_EQ(back.value(), v)
+                    << spec.name << "." << f.name;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace bitc::repr

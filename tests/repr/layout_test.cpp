@@ -1,0 +1,193 @@
+#include "repr/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::repr {
+namespace {
+
+TEST(LayoutTest, PackedFieldsAreBitContiguous) {
+    RecordSpec spec;
+    spec.name = "flags";
+    spec.packing = Packing::kPacked;
+    spec.fields = {
+        {"a", ScalarType::uint_type(3)},
+        {"b", ScalarType::uint_type(5)},
+        {"c", ScalarType::uint_type(13)},
+    };
+    auto layout = compute_layout(spec);
+    ASSERT_TRUE(layout.is_ok()) << layout.status().to_string();
+    EXPECT_EQ(layout.value().fields()[0].bit_offset, 0u);
+    EXPECT_EQ(layout.value().fields()[1].bit_offset, 3u);
+    EXPECT_EQ(layout.value().fields()[2].bit_offset, 8u);
+    EXPECT_EQ(layout.value().byte_size(), 3u);  // 21 bits -> 3 bytes
+    EXPECT_EQ(layout.value().padding_bits(), 3u);
+}
+
+TEST(LayoutTest, NaturalPackingInsertsCStylePadding) {
+    RecordSpec spec;
+    spec.name = "mixed";
+    spec.packing = Packing::kNatural;
+    spec.fields = {
+        {"tag", ScalarType::uint_type(8)},
+        {"value", ScalarType::uint_type(64)},
+        {"flag", ScalarType::uint_type(8)},
+    };
+    auto layout = compute_layout(spec);
+    ASSERT_TRUE(layout.is_ok());
+    const auto& fields = layout.value().fields();
+    EXPECT_EQ(fields[0].bit_offset, 0u);
+    EXPECT_EQ(fields[1].bit_offset, 64u);   // aligned to 8 bytes
+    EXPECT_EQ(fields[2].bit_offset, 128u);
+    EXPECT_EQ(layout.value().byte_size(), 24u);  // trailing pad to align
+    EXPECT_EQ(layout.value().alignment_bytes(), 8u);
+}
+
+TEST(LayoutTest, PackedSavesSpaceOverNatural) {
+    RecordSpec packed;
+    packed.name = "p";
+    packed.packing = Packing::kPacked;
+    RecordSpec natural = packed;
+    natural.name = "n";
+    natural.packing = Packing::kNatural;
+    for (RecordSpec* s : {&packed, &natural}) {
+        s->fields = {
+            {"a", ScalarType::uint_type(1)},
+            {"b", ScalarType::uint_type(17)},
+            {"c", ScalarType::uint_type(3)},
+            {"d", ScalarType::uint_type(32)},
+        };
+    }
+    auto p = compute_layout(packed);
+    auto n = compute_layout(natural);
+    ASSERT_TRUE(p.is_ok());
+    ASSERT_TRUE(n.is_ok());
+    EXPECT_LT(p.value().byte_size(), n.value().byte_size());
+}
+
+TEST(LayoutTest, ExplicitPlacementIsHonoured) {
+    RecordSpec spec;
+    spec.name = "pte";
+    spec.packing = Packing::kExplicit;
+    spec.fields = {
+        {"present", ScalarType::boolean(), 0},
+        {"frame", ScalarType::uint_type(40), 12},
+    };
+    auto layout = compute_layout(spec);
+    ASSERT_TRUE(layout.is_ok());
+    auto frame = layout.value().field("frame");
+    ASSERT_TRUE(frame.is_ok());
+    EXPECT_EQ(frame.value().bit_offset, 12u);
+    EXPECT_EQ(layout.value().byte_size(), 7u);  // bits 12..51
+}
+
+TEST(LayoutTest, ExplicitWithoutOffsetIsRejected) {
+    RecordSpec spec;
+    spec.name = "bad";
+    spec.packing = Packing::kExplicit;
+    spec.fields = {{"x", ScalarType::uint_type(8)}};
+    auto layout = compute_layout(spec);
+    ASSERT_FALSE(layout.is_ok());
+    EXPECT_EQ(layout.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LayoutTest, OverlapIsRejectedByDefault) {
+    RecordSpec spec;
+    spec.name = "clash";
+    spec.packing = Packing::kExplicit;
+    spec.fields = {
+        {"a", ScalarType::uint_type(8), 0},
+        {"b", ScalarType::uint_type(8), 4},
+    };
+    auto layout = compute_layout(spec);
+    ASSERT_FALSE(layout.is_ok());
+    EXPECT_NE(layout.status().message().find("overlap"),
+              std::string::npos);
+}
+
+TEST(LayoutTest, OverlapAllowedForUnions) {
+    RecordSpec spec;
+    spec.name = "view";
+    spec.packing = Packing::kExplicit;
+    spec.allow_overlap = true;
+    spec.fields = {
+        {"word", ScalarType::uint_type(32), 0},
+        {"low_half", ScalarType::uint_type(16), 0},
+    };
+    EXPECT_TRUE(compute_layout(spec).is_ok());
+}
+
+TEST(LayoutTest, DuplicateFieldNamesRejected) {
+    RecordSpec spec;
+    spec.name = "dup";
+    spec.packing = Packing::kPacked;
+    spec.fields = {
+        {"x", ScalarType::uint_type(8)},
+        {"x", ScalarType::uint_type(8)},
+    };
+    auto layout = compute_layout(spec);
+    ASSERT_FALSE(layout.is_ok());
+    EXPECT_EQ(layout.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(LayoutTest, PinnedSizeTooSmallIsRejected) {
+    RecordSpec spec;
+    spec.name = "pinned";
+    spec.packing = Packing::kPacked;
+    spec.pinned_byte_size = 1;
+    spec.fields = {{"wide", ScalarType::uint_type(32)}};
+    EXPECT_FALSE(compute_layout(spec).is_ok());
+}
+
+TEST(LayoutTest, PinnedSizePadsOut) {
+    RecordSpec spec;
+    spec.name = "padded";
+    spec.packing = Packing::kPacked;
+    spec.pinned_byte_size = 16;
+    spec.fields = {{"x", ScalarType::uint_type(8)}};
+    auto layout = compute_layout(spec);
+    ASSERT_TRUE(layout.is_ok());
+    EXPECT_EQ(layout.value().byte_size(), 16u);
+    EXPECT_EQ(layout.value().padding_bits(), 15u * 8);
+}
+
+TEST(LayoutTest, InvalidScalarRejected) {
+    RecordSpec spec;
+    spec.name = "badscalar";
+    spec.packing = Packing::kPacked;
+    spec.fields = {{"x", ScalarType::uint_type(99)}};
+    EXPECT_FALSE(compute_layout(spec).is_ok());
+}
+
+TEST(LayoutTest, FieldLookupByName) {
+    RecordSpec spec;
+    spec.name = "lookup";
+    spec.packing = Packing::kPacked;
+    spec.fields = {
+        {"first", ScalarType::uint_type(4)},
+        {"second", ScalarType::uint_type(4)},
+    };
+    auto layout = compute_layout(spec);
+    ASSERT_TRUE(layout.is_ok());
+    EXPECT_TRUE(layout.value().has_field("second"));
+    EXPECT_FALSE(layout.value().has_field("third"));
+    EXPECT_FALSE(layout.value().field("third").is_ok());
+}
+
+TEST(LayoutTest, DescribeListsEveryField) {
+    RecordSpec spec;
+    spec.name = "doc";
+    spec.packing = Packing::kPacked;
+    spec.fields = {
+        {"alpha", ScalarType::uint_type(4)},
+        {"beta", ScalarType::int_type(12)},
+    };
+    auto layout = compute_layout(spec);
+    ASSERT_TRUE(layout.is_ok());
+    std::string desc = layout.value().describe();
+    EXPECT_NE(desc.find("alpha"), std::string::npos);
+    EXPECT_NE(desc.find("beta"), std::string::npos);
+    EXPECT_NE(desc.find("int12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bitc::repr

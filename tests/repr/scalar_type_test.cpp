@@ -1,0 +1,110 @@
+#include "repr/scalar_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::repr {
+namespace {
+
+TEST(ScalarTypeTest, RendersNames) {
+    EXPECT_EQ(ScalarType::uint_type(13).to_string(), "uint13");
+    EXPECT_EQ(ScalarType::int_type(24).to_string(), "int24");
+    EXPECT_EQ(ScalarType::f32().to_string(), "f32");
+    EXPECT_EQ(ScalarType::f64().to_string(), "f64");
+    EXPECT_EQ(ScalarType::boolean().to_string(), "bool");
+}
+
+TEST(ScalarTypeTest, ValidatesWidths) {
+    EXPECT_TRUE(ScalarType::uint_type(1).validate().is_ok());
+    EXPECT_TRUE(ScalarType::uint_type(64).validate().is_ok());
+    EXPECT_FALSE(ScalarType::uint_type(0).validate().is_ok());
+    EXPECT_FALSE(ScalarType::uint_type(65).validate().is_ok());
+    EXPECT_FALSE(ScalarType::int_type(1).validate().is_ok());
+    EXPECT_TRUE(ScalarType::int_type(2).validate().is_ok());
+}
+
+TEST(ScalarTypeTest, UnsignedRange) {
+    ScalarType u13 = ScalarType::uint_type(13);
+    EXPECT_EQ(u13.max_raw(), 8191u);
+    EXPECT_TRUE(u13.fits(8191));
+    EXPECT_FALSE(u13.fits(8192));
+    EXPECT_TRUE(u13.fits(0));
+}
+
+TEST(ScalarTypeTest, SignedRange) {
+    ScalarType i8 = ScalarType::int_type(8);
+    EXPECT_EQ(i8.min_signed(), -128);
+    EXPECT_EQ(i8.max_signed(), 127);
+    EXPECT_TRUE(i8.fits(static_cast<uint64_t>(-128)));
+    EXPECT_TRUE(i8.fits(127));
+    EXPECT_FALSE(i8.fits(128));
+    EXPECT_FALSE(i8.fits(static_cast<uint64_t>(-129)));
+}
+
+TEST(ScalarTypeTest, CheckedConvertRejectsOverflow) {
+    ScalarType u4 = ScalarType::uint_type(4);
+    auto ok = u4.checked_convert(15);
+    ASSERT_TRUE(ok.is_ok());
+    EXPECT_EQ(ok.value(), 15u);
+    auto bad = u4.checked_convert(16);
+    ASSERT_FALSE(bad.is_ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ScalarTypeTest, WrapTruncatesLikeC) {
+    ScalarType u4 = ScalarType::uint_type(4);
+    EXPECT_EQ(u4.wrap(0x1f), 0xfu);
+    EXPECT_EQ(ScalarType::uint_type(64).wrap(~0ull), ~0ull);
+}
+
+TEST(ScalarTypeTest, BoolFitsOnlyZeroOne) {
+    ScalarType b = ScalarType::boolean();
+    EXPECT_TRUE(b.fits(0));
+    EXPECT_TRUE(b.fits(1));
+    EXPECT_FALSE(b.fits(2));
+}
+
+TEST(SignExtendTest, ExtendsNegatives) {
+    EXPECT_EQ(sign_extend(0xf, 4), -1);
+    EXPECT_EQ(sign_extend(0x7, 4), 7);
+    EXPECT_EQ(sign_extend(0x8, 4), -8);
+    EXPECT_EQ(sign_extend(0x80, 8), -128);
+    EXPECT_EQ(sign_extend(0xffffffffffffffffull, 64), -1);
+}
+
+TEST(LowMaskTest, Boundaries) {
+    EXPECT_EQ(low_mask(1), 1u);
+    EXPECT_EQ(low_mask(8), 0xffu);
+    EXPECT_EQ(low_mask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+class ScalarWidthSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ScalarWidthSweep, RoundTripMaxValueThroughCheckedConvert) {
+    uint32_t bits = GetParam();
+    ScalarType t = ScalarType::uint_type(bits);
+    auto r = t.checked_convert(t.max_raw());
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value(), t.max_raw());
+    if (bits < 64) {
+        EXPECT_FALSE(t.checked_convert(t.max_raw() + 1).is_ok());
+    }
+}
+
+TEST_P(ScalarWidthSweep, SignedExtremesRoundTrip) {
+    uint32_t bits = GetParam();
+    if (bits < 2) return;
+    ScalarType t = ScalarType::int_type(bits);
+    EXPECT_EQ(sign_extend(static_cast<uint64_t>(t.min_signed()), bits),
+              t.min_signed());
+    EXPECT_EQ(sign_extend(static_cast<uint64_t>(t.max_signed()), bits),
+              t.max_signed());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, ScalarWidthSweep,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 13u, 16u,
+                                           24u, 31u, 32u, 33u, 48u, 63u,
+                                           64u));
+
+}  // namespace
+}  // namespace bitc::repr

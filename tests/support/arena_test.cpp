@@ -1,0 +1,75 @@
+#include "support/arena.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <gtest/gtest.h>
+
+namespace bitc {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDistinctAndWritable) {
+    Arena arena;
+    int* a = arena.create<int>(1);
+    int* b = arena.create<int>(2);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(*a, 1);
+    EXPECT_EQ(*b, 2);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+    Arena arena;
+    arena.allocate(1, 1);
+    void* p = arena.allocate(8, 64);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+}
+
+TEST(ArenaTest, GrowsAcrossChunks) {
+    Arena arena(64);
+    for (int i = 0; i < 100; ++i) {
+        void* p = arena.allocate(32);
+        std::memset(p, 0xab, 32);
+    }
+    EXPECT_GT(arena.chunk_count(), 1u);
+    EXPECT_EQ(arena.bytes_allocated(), 3200u);
+}
+
+TEST(ArenaTest, LargeAllocationExceedingChunkSize) {
+    Arena arena(64);
+    void* p = arena.allocate(100000);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0, 100000);
+}
+
+TEST(ArenaTest, ResetReleasesEverything) {
+    Arena arena;
+    arena.allocate(1000);
+    arena.reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+    EXPECT_EQ(arena.chunk_count(), 0u);
+}
+
+TEST(ArenaTest, ZeroByteAllocationReturnsUniquePointers) {
+    Arena arena;
+    void* a = arena.allocate(0);
+    void* b = arena.allocate(0);
+    EXPECT_NE(a, b);
+}
+
+struct Node {
+    Node* next;
+    uint64_t payload;
+};
+
+TEST(ArenaTest, BuildsLinkedStructures) {
+    Arena arena;
+    Node* head = nullptr;
+    for (uint64_t i = 0; i < 1000; ++i) {
+        head = arena.create<Node>(head, i);
+    }
+    uint64_t sum = 0;
+    for (Node* n = head; n != nullptr; n = n->next) sum += n->payload;
+    EXPECT_EQ(sum, 999u * 1000u / 2);
+}
+
+}  // namespace
+}  // namespace bitc

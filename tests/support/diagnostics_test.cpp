@@ -1,0 +1,81 @@
+#include "support/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc {
+namespace {
+
+SourceSpan span_at(uint32_t line, uint32_t col) {
+    return SourceSpan{{line, col}, {line, col + 1}};
+}
+
+TEST(DiagnosticsTest, StartsEmpty) {
+    DiagnosticEngine engine;
+    EXPECT_FALSE(engine.has_errors());
+    EXPECT_EQ(engine.error_count(), 0u);
+    EXPECT_EQ(engine.first_error(), "");
+}
+
+TEST(DiagnosticsTest, ErrorsAreCounted) {
+    DiagnosticEngine engine;
+    engine.error(span_at(1, 1), "first");
+    engine.warning(span_at(2, 1), "careful");
+    engine.error(span_at(3, 1), "second");
+    EXPECT_TRUE(engine.has_errors());
+    EXPECT_EQ(engine.error_count(), 2u);
+    EXPECT_EQ(engine.warning_count(), 1u);
+    EXPECT_EQ(engine.first_error(), "first");
+}
+
+TEST(DiagnosticsTest, NotesDoNotTripErrorFlag) {
+    DiagnosticEngine engine;
+    engine.note(span_at(1, 1), "fyi");
+    EXPECT_FALSE(engine.has_errors());
+}
+
+TEST(DiagnosticsTest, RendersLocationAndSeverity) {
+    DiagnosticEngine engine;
+    engine.error(span_at(12, 3), "unbound identifier 'x'");
+    EXPECT_EQ(engine.diagnostics()[0].to_string(),
+              "12:3: error: unbound identifier 'x'");
+}
+
+TEST(DiagnosticsTest, ToStringJoinsLines) {
+    DiagnosticEngine engine;
+    engine.error(span_at(1, 1), "a");
+    engine.warning(span_at(2, 2), "b");
+    EXPECT_EQ(engine.to_string(),
+              "1:1: error: a\n2:2: warning: b\n");
+}
+
+TEST(DiagnosticsTest, ClearResets) {
+    DiagnosticEngine engine;
+    engine.error(span_at(1, 1), "a");
+    engine.clear();
+    EXPECT_FALSE(engine.has_errors());
+    EXPECT_TRUE(engine.diagnostics().empty());
+}
+
+TEST(SourceSpanTest, JoinCoversBoth) {
+    SourceSpan a{{1, 2}, {1, 5}};
+    SourceSpan b{{3, 1}, {3, 9}};
+    SourceSpan joined = SourceSpan::join(a, b);
+    EXPECT_EQ(joined.begin, (SourceLoc{1, 2}));
+    EXPECT_EQ(joined.end, (SourceLoc{3, 9}));
+}
+
+TEST(SourceSpanTest, JoinWithInvalidKeepsValid) {
+    SourceSpan a{{1, 2}, {1, 5}};
+    SourceSpan invalid;
+    EXPECT_EQ(SourceSpan::join(a, invalid), a);
+    EXPECT_EQ(SourceSpan::join(invalid, a), a);
+}
+
+TEST(SourceLocTest, InvalidRendersQuestionMark) {
+    SourceLoc loc;
+    EXPECT_EQ(loc.to_string(), "?");
+    EXPECT_EQ((SourceLoc{4, 7}).to_string(), "4:7");
+}
+
+}  // namespace
+}  // namespace bitc

@@ -1,0 +1,66 @@
+#include "support/intern.hpp"
+
+#include <gtest/gtest.h>
+#include <unordered_set>
+
+namespace bitc {
+namespace {
+
+TEST(InternTest, SameTextSameSymbol) {
+    SymbolTable table;
+    Symbol a = table.intern("foo");
+    Symbol b = table.intern("foo");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(InternTest, DifferentTextDifferentSymbol) {
+    SymbolTable table;
+    Symbol a = table.intern("foo");
+    Symbol b = table.intern("bar");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(InternTest, ResolvesBackToText) {
+    SymbolTable table;
+    Symbol a = table.intern("lambda");
+    EXPECT_EQ(table.text(a), "lambda");
+}
+
+TEST(InternTest, DefaultSymbolIsInvalid) {
+    Symbol s;
+    EXPECT_FALSE(s.is_valid());
+}
+
+TEST(InternTest, EmptyStringIsInternable) {
+    SymbolTable table;
+    Symbol s = table.intern("");
+    EXPECT_TRUE(s.is_valid());
+    EXPECT_EQ(table.text(s), "");
+}
+
+TEST(InternTest, UsableInHashContainers) {
+    SymbolTable table;
+    std::unordered_set<Symbol> set;
+    set.insert(table.intern("a"));
+    set.insert(table.intern("b"));
+    set.insert(table.intern("a"));
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.contains(table.intern("a")));
+    EXPECT_FALSE(set.contains(table.intern("c")));
+}
+
+TEST(InternTest, ManySymbolsStayStable) {
+    SymbolTable table;
+    std::vector<Symbol> symbols;
+    for (int i = 0; i < 1000; ++i) {
+        symbols.push_back(table.intern("sym" + std::to_string(i)));
+    }
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(table.text(symbols[i]), "sym" + std::to_string(i));
+    }
+}
+
+}  // namespace
+}  // namespace bitc

@@ -1,0 +1,69 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.next_below(17), 17u);
+    }
+}
+
+TEST(RngTest, NextInIsInclusive) {
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = rng.next_in(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+    Rng rng(99);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of uniform(0,1) should be close to 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+    Rng rng(123);
+    int trues = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (rng.next_bool(0.25)) ++trues;
+    }
+    EXPECT_NEAR(static_cast<double>(trues) / 10000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace bitc

@@ -1,0 +1,63 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc {
+namespace {
+
+TEST(SampleStatsTest, BasicMoments) {
+    SampleStats stats;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.record(v);
+    EXPECT_EQ(stats.count(), 5u);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 15.0);
+    EXPECT_NEAR(stats.stddev(), 1.4142, 1e-3);
+}
+
+TEST(SampleStatsTest, PercentilesAreOrderStatistics) {
+    SampleStats stats;
+    for (int i = 99; i >= 0; --i) stats.record(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(stats.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(1.0), 99.0);
+}
+
+TEST(SampleStatsTest, SummaryMentionsCount) {
+    SampleStats stats;
+    stats.record(10.0);
+    EXPECT_NE(stats.summary().find("n=1"), std::string::npos);
+    SampleStats empty;
+    EXPECT_EQ(empty.summary(), "n=0");
+}
+
+TEST(SampleStatsTest, ClearEmpties) {
+    SampleStats stats;
+    stats.record(1.0);
+    stats.clear();
+    EXPECT_EQ(stats.count(), 0u);
+}
+
+TEST(ScopedTimerTest, RecordsNonNegativeDuration) {
+    SampleStats stats;
+    {
+        ScopedTimer timer(stats);
+        int x = 0;
+        for (int i = 0; i < 1000; ++i) x += i;
+        testing::internal::GetArgvs();  // opaque call: keeps loop alive
+        (void)x;
+    }
+    ASSERT_EQ(stats.count(), 1u);
+    EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(NowNsTest, Monotonic) {
+    uint64_t a = now_ns();
+    uint64_t b = now_ns();
+    EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace bitc

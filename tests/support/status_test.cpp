@@ -1,0 +1,101 @@
+#include "support/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+    Status s;
+    EXPECT_TRUE(s.is_ok());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+    Status s = type_error("expected int32, got bool");
+    EXPECT_FALSE(s.is_ok());
+    EXPECT_EQ(s.code(), StatusCode::kTypeError);
+    EXPECT_EQ(s.message(), "expected int32, got bool");
+    EXPECT_EQ(s.to_string(), "type error: expected int32, got bool");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+    EXPECT_EQ(invalid_argument_error("x").code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(not_found_error("x").code(), StatusCode::kNotFound);
+    EXPECT_EQ(already_exists_error("x").code(),
+              StatusCode::kAlreadyExists);
+    EXPECT_EQ(out_of_range_error("x").code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(resource_exhausted_error("x").code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(failed_precondition_error("x").code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(unimplemented_error("x").code(), StatusCode::kUnimplemented);
+    EXPECT_EQ(internal_error("x").code(), StatusCode::kInternal);
+    EXPECT_EQ(type_error("x").code(), StatusCode::kTypeError);
+    EXPECT_EQ(parse_error("x").code(), StatusCode::kParseError);
+    EXPECT_EQ(verify_error("x").code(), StatusCode::kVerifyError);
+    EXPECT_EQ(runtime_error("x").code(), StatusCode::kRuntimeError);
+}
+
+TEST(ResultTest, HoldsValue) {
+    Result<int> r = 42;
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_TRUE(r.to_status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+    Result<int> r = not_found_error("nope");
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(r.to_status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+    Result<std::string> r = std::string("payload");
+    std::string s = std::move(r).take();
+    EXPECT_EQ(s, "payload");
+}
+
+Result<int> half(int x) {
+    if (x % 2 != 0) return invalid_argument_error("odd");
+    return x / 2;
+}
+
+Result<int> quarter(int x) {
+    BITC_ASSIGN_OR_RETURN(int h, half(x));
+    BITC_ASSIGN_OR_RETURN(int q, half(h));
+    return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+    auto ok = quarter(8);
+    ASSERT_TRUE(ok.is_ok());
+    EXPECT_EQ(ok.value(), 2);
+
+    auto err = quarter(6);  // 6/2 = 3 which is odd
+    ASSERT_FALSE(err.is_ok());
+    EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status check_positive(int x) {
+    if (x <= 0) return out_of_range_error("not positive");
+    return Status::ok();
+}
+
+Status check_both(int a, int b) {
+    BITC_RETURN_IF_ERROR(check_positive(a));
+    BITC_RETURN_IF_ERROR(check_positive(b));
+    return Status::ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+    EXPECT_TRUE(check_both(1, 2).is_ok());
+    EXPECT_FALSE(check_both(1, -2).is_ok());
+    EXPECT_FALSE(check_both(-1, 2).is_ok());
+}
+
+}  // namespace
+}  // namespace bitc

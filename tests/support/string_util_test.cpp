@@ -1,0 +1,64 @@
+#include "support/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc {
+namespace {
+
+TEST(SplitTest, SplitsOnSeparator) {
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, PreservesEmptyFields) {
+    auto parts = split(",a,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "a");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitTest, EmptyInputYieldsSingleEmptyField) {
+    auto parts = split("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+    std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(join(parts, "::"), "x::y::z");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StartsWithTest, Basic) {
+    EXPECT_TRUE(starts_with("foobar", "foo"));
+    EXPECT_FALSE(starts_with("foobar", "bar"));
+    EXPECT_TRUE(starts_with("foo", ""));
+    EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(TrimTest, StripsBothEnds) {
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+    EXPECT_EQ(str_format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(str_format("%s", "plain"), "plain");
+    EXPECT_EQ(str_format("%.2f", 3.14159), "3.14");
+}
+
+TEST(HumanBytesTest, PicksUnits) {
+    EXPECT_EQ(human_bytes(512), "512.0 B");
+    EXPECT_EQ(human_bytes(2048), "2.0 KiB");
+    EXPECT_EQ(human_bytes(3u << 20), "3.0 MiB");
+    EXPECT_EQ(human_bytes(5ull << 30), "5.0 GiB");
+}
+
+}  // namespace
+}  // namespace bitc

@@ -1,0 +1,228 @@
+#include "types/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/resolver.hpp"
+
+namespace bitc::types {
+namespace {
+
+TypedProgram check_ok(std::string_view source) {
+    DiagnosticEngine diags;
+    auto parsed = lang::parse_program(source, diags);
+    EXPECT_TRUE(parsed.is_ok()) << diags.to_string();
+    lang::Program program = std::move(parsed).take();
+    EXPECT_TRUE(lang::resolve_program(program, diags).is_ok())
+        << diags.to_string();
+    auto typed = check_program(std::move(program), diags);
+    EXPECT_TRUE(typed.is_ok()) << diags.to_string();
+    return std::move(typed).take();
+}
+
+std::string check_error(std::string_view source) {
+    DiagnosticEngine diags;
+    auto parsed = lang::parse_program(source, diags);
+    EXPECT_TRUE(parsed.is_ok()) << diags.to_string();
+    lang::Program program = std::move(parsed).take();
+    EXPECT_TRUE(lang::resolve_program(program, diags).is_ok())
+        << diags.to_string();
+    auto typed = check_program(std::move(program), diags);
+    EXPECT_FALSE(typed.is_ok());
+    return diags.first_error();
+}
+
+/** Rendered signature of function @p index. */
+std::string signature(TypedProgram& tp, size_t index) {
+    const FunctionType& ft = tp.function_type(index);
+    std::string out = "(->";
+    for (Type* p : ft.params) {
+        out += ' ';
+        out += tp.store().to_string(p);
+    }
+    out += ' ';
+    out += tp.store().to_string(ft.result);
+    out += ')';
+    return out;
+}
+
+TEST(CheckerTest, AnnotatedSignatureIsKept) {
+    auto tp = check_ok("(define (inc x : int32) : int32 (+ x 1))");
+    EXPECT_EQ(signature(tp, 0), "(-> int32 int32)");
+}
+
+TEST(CheckerTest, UnannotatedArithmeticDefaultsToInt64) {
+    auto tp = check_ok("(define (double x) (+ x x))");
+    EXPECT_EQ(signature(tp, 0), "(-> int64 int64)");
+}
+
+TEST(CheckerTest, WidthsPropagateFromAnnotations) {
+    auto tp = check_ok("(define (f x : uint13) (+ x 1))");
+    EXPECT_EQ(signature(tp, 0), "(-> uint13 uint13)");
+}
+
+TEST(CheckerTest, ReturnAnnotationConstrainsBody) {
+    auto tp = check_ok("(define (f x) : int8 (+ x 1))");
+    EXPECT_EQ(signature(tp, 0), "(-> int8 int8)");
+}
+
+TEST(CheckerTest, MixedWidthArithmeticRejected) {
+    std::string err = check_error(
+        "(define (f a : int8 b : int16) (+ a b))");
+    EXPECT_NE(err.find("mismatch"), std::string::npos);
+}
+
+TEST(CheckerTest, BoolArithmeticRejected) {
+    std::string err = check_error("(define (f b : bool) (+ b 1))");
+    EXPECT_NE(err.find("numeric"), std::string::npos);
+}
+
+TEST(CheckerTest, IfConditionMustBeBool) {
+    EXPECT_FALSE(check_error("(define (f) (if 1 2 3))").empty());
+}
+
+TEST(CheckerTest, IfBranchesMustAgree) {
+    EXPECT_FALSE(
+        check_error("(define (f b : bool) (if b 1 #t))").empty());
+}
+
+TEST(CheckerTest, ComparisonYieldsBool) {
+    auto tp = check_ok("(define (f x y) (< x y))");
+    EXPECT_EQ(signature(tp, 0), "(-> int64 int64 bool)");
+}
+
+TEST(CheckerTest, PolymorphicIdentityGeneralizes) {
+    auto tp = check_ok(
+        "(define (id x) x)"
+        "(define (use-both) : int32"
+        "  (let ((b (id #t)))"
+        "    (if b (id 7) (id 8))))");
+    // id must be usable at bool and int32 simultaneously.
+    EXPECT_EQ(signature(tp, 1), "(-> int32)");
+}
+
+TEST(CheckerTest, MonomorphicRecursionChecks) {
+    auto tp = check_ok(
+        "(define (fib n : int64) : int64"
+        "  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))");
+    EXPECT_EQ(signature(tp, 0), "(-> int64 int64)");
+}
+
+TEST(CheckerTest, ForwardReferenceChecks) {
+    auto tp = check_ok(
+        "(define (even? n : int64) : bool"
+        "  (if (== n 0) #t (odd? (- n 1))))"
+        "(define (odd? n : int64) : bool"
+        "  (if (== n 0) #f (even? (- n 1))))");
+    EXPECT_EQ(signature(tp, 0), "(-> int64 bool)");
+    EXPECT_EQ(signature(tp, 1), "(-> int64 bool)");
+}
+
+TEST(CheckerTest, SetMustPreserveVariableType) {
+    EXPECT_FALSE(check_error(
+        "(define (f) (let ((x 1)) (set! x #t)))").empty());
+}
+
+TEST(CheckerTest, LetAnnotationEnforced) {
+    EXPECT_FALSE(
+        check_error("(define (f) (let ((x : bool 3)) x))").empty());
+    auto tp = check_ok("(define (f) (let ((x : int8 3)) x))");
+    EXPECT_EQ(signature(tp, 0), "(-> int8)");
+}
+
+TEST(CheckerTest, WhileBodyTypesAndResultUnit) {
+    auto tp = check_ok(
+        "(define (count) : int64"
+        "  (let ((i 0))"
+        "    (while (< i 10) (set! i (+ i 1)))"
+        "    i))");
+    EXPECT_EQ(signature(tp, 0), "(-> int64)");
+}
+
+TEST(CheckerTest, WhileConditionMustBeBool) {
+    EXPECT_FALSE(check_error("(define (f) (while 1 (unit)))").empty());
+}
+
+TEST(CheckerTest, ArrayElementTypeFlows) {
+    auto tp = check_ok(
+        "(define (sum a : (array int32 4)) : int32"
+        "  (+ (array-ref a 0) (array-ref a 1)))");
+    EXPECT_EQ(signature(tp, 0), "(-> (array int32 4) int32)");
+}
+
+TEST(CheckerTest, ArrayMakeInfersSizeFromLiteral) {
+    auto tp = check_ok("(define (f) (array-make 8 0))");
+    Type* result = tp.function_type(0).result;
+    EXPECT_EQ(tp.store().to_string(result), "(array int64 8)");
+}
+
+TEST(CheckerTest, ArraySetValueMustMatchElem) {
+    EXPECT_FALSE(check_error(
+        "(define (f a : (array int32 4)) (array-set! a 0 #t))").empty());
+}
+
+TEST(CheckerTest, ArrayLengthMismatchRejected) {
+    EXPECT_FALSE(check_error(
+        "(define (g a : (array int64 4)) : int64 (array-ref a 0))"
+        "(define (f) (g (array-make 5 0)))").empty());
+}
+
+TEST(CheckerTest, AssertTakesBool) {
+    EXPECT_FALSE(check_error("(define (f) (assert 3))").empty());
+    check_ok("(define (f x) (assert (< x 10)) x)");
+}
+
+TEST(CheckerTest, ContractsMustBeBool) {
+    EXPECT_FALSE(check_error(
+        "(define (f x) (require (+ x 1)) x)").empty());
+    EXPECT_FALSE(check_error(
+        "(define (f x) : int64 (ensure (+ result 1)) x)").empty());
+}
+
+TEST(CheckerTest, EnsureResultHasFunctionResultType) {
+    auto tp = check_ok(
+        "(define (abs x : int32) : int32"
+        "  (ensure (>= result 0))"
+        "  (if (< x 0) (- 0 x) x))");
+    EXPECT_EQ(signature(tp, 0), "(-> int32 int32)");
+}
+
+TEST(CheckerTest, LiteralTooWideForAnnotatedType) {
+    std::string err =
+        check_error("(define (f x : int8) : int8 (+ x 300))");
+    EXPECT_NE(err.find("does not fit"), std::string::npos);
+}
+
+TEST(CheckerTest, NegativeLiteralIntoUnsignedRejected) {
+    std::string err =
+        check_error("(define (f x : uint8) : uint8 (+ x -1))");
+    EXPECT_NE(err.find("does not fit"), std::string::npos);
+}
+
+TEST(CheckerTest, LiteralBoundaryValuesAccepted) {
+    check_ok("(define (f x : int8) (+ x 127))");
+    check_ok("(define (f2 x : int8) (+ x -128))");
+    check_ok("(define (g x : uint8) (+ x 255))");
+}
+
+TEST(CheckerTest, ExprTypesAreRecorded) {
+    auto tp = check_ok("(define (f x : int16) (< (+ x 1) 5))");
+    const lang::Expr* body = tp.program().functions[0].body[0];
+    EXPECT_EQ(tp.store().to_string(tp.type_of(body)), "bool");
+    EXPECT_EQ(tp.store().to_string(tp.type_of(body->args[0])), "int16");
+}
+
+TEST(CheckerTest, CallResultTypeFlowsToCaller) {
+    auto tp = check_ok(
+        "(define (five) : int8 5)"
+        "(define (six) (+ (five) 1))");
+    EXPECT_EQ(signature(tp, 1), "(-> int8)");
+}
+
+TEST(CheckerTest, UnitFunctionDefaultsWork) {
+    auto tp = check_ok("(define (noop) (unit))");
+    EXPECT_EQ(signature(tp, 0), "(-> unit)");
+}
+
+}  // namespace
+}  // namespace bitc::types

@@ -1,0 +1,148 @@
+#include "types/type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::types {
+namespace {
+
+TEST(TypeStoreTest, RendersTypes) {
+    TypeStore store;
+    EXPECT_EQ(store.to_string(store.int_type(32, true)), "int32");
+    EXPECT_EQ(store.to_string(store.int_type(13, false)), "uint13");
+    EXPECT_EQ(store.to_string(store.bool_type()), "bool");
+    EXPECT_EQ(store.to_string(store.unit_type()), "unit");
+    Type* arr = store.array_type(store.int_type(8, true), 10);
+    EXPECT_EQ(store.to_string(arr), "(array int8 10)");
+    Type* f = store.func_type({store.int64_type()}, store.bool_type());
+    EXPECT_EQ(store.to_string(f), "(-> int64 bool)");
+}
+
+TEST(TypeStoreTest, UnifyIdenticalConcrete) {
+    TypeStore store;
+    EXPECT_TRUE(
+        store.unify(store.int_type(32, true), store.int_type(32, true))
+            .is_ok());
+    EXPECT_TRUE(store.unify(store.bool_type(), store.bool_type()).is_ok());
+}
+
+TEST(TypeStoreTest, UnifyMismatchedWidthsFails) {
+    TypeStore store;
+    EXPECT_FALSE(
+        store.unify(store.int_type(32, true), store.int_type(64, true))
+            .is_ok());
+    EXPECT_FALSE(
+        store.unify(store.int_type(32, true), store.int_type(32, false))
+            .is_ok());
+}
+
+TEST(TypeStoreTest, VariableBindsAndPrunes) {
+    TypeStore store;
+    Type* v = store.fresh_var();
+    ASSERT_TRUE(store.unify(v, store.int_type(16, true)).is_ok());
+    EXPECT_EQ(store.to_string(v), "int16");
+    EXPECT_EQ(store.prune(v)->kind, TypeKind::kInt);
+}
+
+TEST(TypeStoreTest, TransitiveVariableChains) {
+    TypeStore store;
+    Type* a = store.fresh_var();
+    Type* b = store.fresh_var();
+    Type* c = store.fresh_var();
+    ASSERT_TRUE(store.unify(a, b).is_ok());
+    ASSERT_TRUE(store.unify(b, c).is_ok());
+    ASSERT_TRUE(store.unify(c, store.bool_type()).is_ok());
+    EXPECT_EQ(store.prune(a), store.bool_type());
+}
+
+TEST(TypeStoreTest, OccursCheckRejectsInfiniteType) {
+    TypeStore store;
+    Type* v = store.fresh_var();
+    Type* arr = store.array_type(v, 4);
+    auto status = store.unify(v, arr);
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_NE(status.message().find("infinite"), std::string::npos);
+}
+
+TEST(TypeStoreTest, NumericVarAcceptsIntsOnly) {
+    TypeStore store;
+    Type* n = store.fresh_var(/*numeric=*/true);
+    EXPECT_FALSE(store.unify(n, store.bool_type()).is_ok());
+    Type* n2 = store.fresh_var(/*numeric=*/true);
+    EXPECT_TRUE(store.unify(n2, store.int_type(8, false)).is_ok());
+}
+
+TEST(TypeStoreTest, NumericConstraintPropagatesThroughVars) {
+    TypeStore store;
+    Type* n = store.fresh_var(/*numeric=*/true);
+    Type* plain = store.fresh_var();
+    ASSERT_TRUE(store.unify(n, plain).is_ok());
+    // plain inherited the numeric constraint.
+    EXPECT_FALSE(store.unify(plain, store.bool_type()).is_ok());
+}
+
+TEST(TypeStoreTest, ArraySizesMustAgreeWhenKnown) {
+    TypeStore store;
+    Type* a = store.array_type(store.int64_type(), 8);
+    Type* b = store.array_type(store.int64_type(), 9);
+    EXPECT_FALSE(store.unify(a, b).is_ok());
+    Type* c = store.array_type(store.int64_type(), kUnknownSize);
+    EXPECT_TRUE(store.unify(a, c).is_ok());
+}
+
+TEST(TypeStoreTest, FuncArityMismatchFails) {
+    TypeStore store;
+    Type* f1 = store.func_type({store.int64_type()}, store.unit_type());
+    Type* f2 = store.func_type(
+        {store.int64_type(), store.int64_type()}, store.unit_type());
+    auto status = store.unify(f1, f2);
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_NE(status.message().find("arity"), std::string::npos);
+}
+
+TEST(TypeStoreTest, DefaultingNumericToInt64PlainToUnit) {
+    TypeStore store;
+    Type* n = store.fresh_var(/*numeric=*/true);
+    Type* p = store.fresh_var();
+    store.default_free_vars(n);
+    store.default_free_vars(p);
+    EXPECT_EQ(store.to_string(n), "int64");
+    EXPECT_EQ(store.to_string(p), "unit");
+}
+
+TEST(TypeStoreTest, InstantiationMakesFreshCopies) {
+    TypeStore store;
+    Type* v = store.fresh_var();
+    TypeScheme scheme{{v}, store.func_type({v}, v)};
+    Type* inst1 = store.instantiate(scheme);
+    Type* inst2 = store.instantiate(scheme);
+    // Unifying one instance's domain must not constrain the other.
+    ASSERT_TRUE(
+        store.unify(inst1->params[0], store.bool_type()).is_ok());
+    EXPECT_TRUE(
+        store.unify(inst2->params[0], store.int64_type()).is_ok());
+    EXPECT_EQ(store.prune(inst1->result), store.bool_type());
+}
+
+TEST(TypeStoreTest, InstantiationPreservesNumericFlag) {
+    TypeStore store;
+    Type* n = store.fresh_var(/*numeric=*/true);
+    TypeScheme scheme{{n}, store.func_type({n}, n)};
+    Type* inst = store.instantiate(scheme);
+    EXPECT_FALSE(
+        store.unify(inst->params[0], store.bool_type()).is_ok());
+}
+
+TEST(TypeStoreTest, FreeVarsCollectsUnboundOnly) {
+    TypeStore store;
+    Type* a = store.fresh_var();
+    Type* b = store.fresh_var();
+    ASSERT_TRUE(store.unify(b, store.bool_type()).is_ok());
+    Type* f = store.func_type({a, b}, a);
+    std::vector<Type*> out;
+    store.free_vars(f, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], a);
+}
+
+}  // namespace
+}  // namespace bitc::types

@@ -1,0 +1,84 @@
+#include "verify/formula.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::verify {
+namespace {
+
+TEST(LinTermTest, ArithmeticCombines) {
+    LinTerm x = LinTerm::variable(1);
+    LinTerm y = LinTerm::variable(2);
+    LinTerm t = x.scale(2).add(y).add(LinTerm(5));
+    EXPECT_EQ(t.coefficient(1), 2);
+    EXPECT_EQ(t.coefficient(2), 1);
+    EXPECT_EQ(t.constant(), 5);
+}
+
+TEST(LinTermTest, CancellationDropsVariables) {
+    LinTerm x = LinTerm::variable(1);
+    LinTerm t = x.add(LinTerm(3)).sub(x);
+    EXPECT_TRUE(t.is_constant());
+    EXPECT_EQ(t.constant(), 3);
+}
+
+TEST(LinTermTest, ScaleByZeroIsConstantZero) {
+    LinTerm x = LinTerm::variable(1).add(LinTerm(7));
+    LinTerm t = x.scale(0);
+    EXPECT_TRUE(t.is_constant());
+    EXPECT_EQ(t.constant(), 0);
+}
+
+TEST(LinTermTest, NegateFlipsEverything) {
+    LinTerm t = LinTerm::variable(3).scale(4).add(LinTerm(-2)).negate();
+    EXPECT_EQ(t.coefficient(3), -4);
+    EXPECT_EQ(t.constant(), 2);
+}
+
+TEST(FormulaTest, ConstantFoldingAtoms) {
+    EXPECT_EQ(Formula::le_zero(LinTerm(-1))->kind(), FormulaKind::kTrue);
+    EXPECT_EQ(Formula::le_zero(LinTerm(0))->kind(), FormulaKind::kTrue);
+    EXPECT_EQ(Formula::le_zero(LinTerm(1))->kind(), FormulaKind::kFalse);
+    EXPECT_EQ(Formula::eq_zero(LinTerm(0))->kind(), FormulaKind::kTrue);
+    EXPECT_EQ(Formula::eq_zero(LinTerm(2))->kind(), FormulaKind::kFalse);
+}
+
+TEST(FormulaTest, ConjSimplifies) {
+    auto t = Formula::truth();
+    auto f = Formula::falsity();
+    EXPECT_EQ(Formula::conj({t, t})->kind(), FormulaKind::kTrue);
+    EXPECT_EQ(Formula::conj({t, f})->kind(), FormulaKind::kFalse);
+    auto atom = Formula::lt(LinTerm::variable(1), LinTerm(5));
+    EXPECT_EQ(Formula::conj({t, atom}), atom);
+}
+
+TEST(FormulaTest, DisjSimplifies) {
+    auto t = Formula::truth();
+    auto f = Formula::falsity();
+    EXPECT_EQ(Formula::disj({f, f})->kind(), FormulaKind::kFalse);
+    EXPECT_EQ(Formula::disj({f, t})->kind(), FormulaKind::kTrue);
+    auto atom = Formula::lt(LinTerm::variable(1), LinTerm(5));
+    EXPECT_EQ(Formula::disj({f, atom}), atom);
+}
+
+TEST(FormulaTest, DoubleNegationCancels) {
+    auto atom = Formula::lt(LinTerm::variable(1), LinTerm(5));
+    EXPECT_EQ(Formula::negate(Formula::negate(atom)), atom);
+}
+
+TEST(FormulaTest, IntegerTighteningInLt) {
+    // x < 5 should become x - 4 <= 0.
+    auto f = Formula::lt(LinTerm::variable(1), LinTerm(5));
+    ASSERT_EQ(f->kind(), FormulaKind::kAtomLe);
+    EXPECT_EQ(f->term().coefficient(1), 1);
+    EXPECT_EQ(f->term().constant(), -4);
+}
+
+TEST(FormulaTest, RendersReadably) {
+    auto f = Formula::conj(
+        {Formula::le(LinTerm(0), LinTerm::variable(1)),
+         Formula::lt(LinTerm::variable(1), LinTerm(10))});
+    EXPECT_NE(f->to_string().find("and"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bitc::verify

@@ -1,0 +1,374 @@
+#include "verify/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/resolver.hpp"
+
+namespace bitc::verify {
+namespace {
+
+struct Verified {
+    types::TypedProgram typed;
+    VerifyReport report;
+};
+
+Verified verify_source(std::string_view source) {
+    DiagnosticEngine diags;
+    auto parsed = lang::parse_program(source, diags);
+    EXPECT_TRUE(parsed.is_ok()) << diags.to_string();
+    lang::Program program = std::move(parsed).take();
+    EXPECT_TRUE(lang::resolve_program(program, diags).is_ok())
+        << diags.to_string();
+    auto typed = types::check_program(std::move(program), diags);
+    EXPECT_TRUE(typed.is_ok()) << diags.to_string();
+    Verified out{std::move(typed).take(), {}};
+    out.report = verify_program(out.typed);
+    return out;
+}
+
+/** Outcomes of all obligations of @p kind, across all functions. */
+std::vector<Outcome> outcomes_of(const VerifyReport& report,
+                                 ObligationKind kind) {
+    std::vector<Outcome> out;
+    for (const auto& f : report.functions) {
+        for (const auto& o : f.obligations) {
+            if (o.kind == kind) out.push_back(o.outcome);
+        }
+    }
+    return out;
+}
+
+TEST(VerifierTest, TrivialAssertProves) {
+    auto v = verify_source("(define (f) (assert (< 1 2)) 0)");
+    auto outcomes = outcomes_of(v.report, ObligationKind::kAssert);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0], Outcome::kProved);
+}
+
+TEST(VerifierTest, FalseAssertIsUnknown) {
+    auto v = verify_source("(define (f) (assert (< 2 1)) 0)");
+    auto outcomes = outcomes_of(v.report, ObligationKind::kAssert);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0], Outcome::kUnknown);
+}
+
+TEST(VerifierTest, RequireDischargesAssert) {
+    auto v = verify_source(
+        "(define (f x) (require (< x 10)) (assert (< x 11)) x)");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kAssert)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, ConstantIndexBoundsProve) {
+    auto v = verify_source(
+        "(define (f a : (array int64 8)) : int64 (array-ref a 3))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, OutOfBoundsConstantIndexIsUnknown) {
+    auto v = verify_source(
+        "(define (f a : (array int64 8)) : int64 (array-ref a 9))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kUnknown);
+}
+
+TEST(VerifierTest, RequireBoundsFlowToIndex) {
+    auto v = verify_source(
+        "(define (get a : (array int64 100) i : int64) : int64"
+        "  (require (>= i 0)) (require (< i 100))"
+        "  (array-ref a i))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, BitPreciseParamTypeProvesBounds) {
+    // A uint5 index is 0..31 by construction: no require needed for a
+    // 32-element array. This is the C3-representation / C1-verification
+    // synergy.
+    auto v = verify_source(
+        "(define (get a : (array int64 32) i : uint5) : int64"
+        "  (array-ref a i))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, TooWideParamTypeLeavesUpperUnknown) {
+    auto v = verify_source(
+        "(define (get a : (array int64 32) i : uint6) : int64"
+        "  (array-ref a i))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kUnknown);
+}
+
+TEST(VerifierTest, IfGuardDischargesBranchObligation) {
+    auto v = verify_source(
+        "(define (safe a : (array int64 10) i : int64) : int64"
+        "  (if (and (>= i 0) (< i 10)) (array-ref a i) 0))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, DivByZeroObligations) {
+    auto v1 = verify_source("(define (f x) (/ x 2))");
+    EXPECT_EQ(outcomes_of(v1.report, ObligationKind::kDivByZero)[0],
+              Outcome::kProved);
+    auto v2 = verify_source("(define (f x y) (/ x y))");
+    EXPECT_EQ(outcomes_of(v2.report, ObligationKind::kDivByZero)[0],
+              Outcome::kUnknown);
+    auto v3 = verify_source(
+        "(define (f x y) (require (> y 0)) (/ x y))");
+    EXPECT_EQ(outcomes_of(v3.report, ObligationKind::kDivByZero)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, EnsureProvedFromBranches) {
+    auto v = verify_source(
+        "(define (max2 a b) : int64"
+        "  (ensure (>= result a))"
+        "  (ensure (>= result b))"
+        "  (if (> a b) a b))");
+    auto outcomes = outcomes_of(v.report, ObligationKind::kEnsure);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0], Outcome::kProved);
+    EXPECT_EQ(outcomes[1], Outcome::kProved);
+}
+
+TEST(VerifierTest, WrongEnsureIsUnknown) {
+    auto v = verify_source(
+        "(define (broken a b) : int64 (ensure (> result a)) a)");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kEnsure)[0],
+              Outcome::kUnknown);
+}
+
+TEST(VerifierTest, CalleeRequireCheckedAtCallSite) {
+    auto v = verify_source(
+        "(define (idx a : (array int64 10) i : int64) : int64"
+        "  (require (>= i 0)) (require (< i 10))"
+        "  (array-ref a i))"
+        "(define (good a : (array int64 10)) : int64 (idx a 5))"
+        "(define (bad a : (array int64 10)) : int64 (idx a 15))");
+    auto outcomes =
+        outcomes_of(v.report, ObligationKind::kRequireAtCall);
+    // good: two proved; bad: lower proved, upper unknown.
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_EQ(outcomes[0], Outcome::kProved);
+    EXPECT_EQ(outcomes[1], Outcome::kProved);
+    EXPECT_EQ(outcomes[2], Outcome::kProved);
+    EXPECT_EQ(outcomes[3], Outcome::kUnknown);
+}
+
+TEST(VerifierTest, CalleeEnsureAssumedAtCallSite) {
+    auto v = verify_source(
+        "(define (abs x) : int64 (ensure (>= result 0))"
+        "  (if (< x 0) (- 0 x) x))"
+        "(define (f a : (array int64 10) x : int64) : int64"
+        "  (let ((i (abs x)))"
+        "    (if (< i 10) (array-ref a i) 0)))");
+    // Lower bound needs abs's ensure; upper needs the if guard.
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, LoopInvariantProtocol) {
+    auto v = verify_source(
+        "(define (fill a : (array int64 64)) : unit"
+        "  (let ((i 0))"
+        "    (while (< i 64)"
+        "      (invariant (>= i 0))"
+        "      (invariant (<= i 64))"
+        "      (array-set! a i 7)"
+        "      (set! i (+ i 1)))))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kInvariantEntry),
+              (std::vector<Outcome>{Outcome::kProved, Outcome::kProved}));
+    EXPECT_EQ(
+        outcomes_of(v.report, ObligationKind::kInvariantPreserved),
+        (std::vector<Outcome>{Outcome::kProved, Outcome::kProved}));
+    // In-loop bounds follow from invariant + condition.
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, LoopWithoutInvariantLeavesBoundsUnknown) {
+    auto v = verify_source(
+        "(define (fill a : (array int64 64)) : unit"
+        "  (let ((i 0))"
+        "    (while (< i 64)"
+        "      (array-set! a i 7)"
+        "      (set! i (+ i 1)))))");
+    // Without an invariant the havocked i has no lower bound.
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kUnknown);
+    // The loop condition still gives the upper bound.
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, BrokenInvariantReportedUnknown) {
+    auto v = verify_source(
+        "(define (f) : unit"
+        "  (let ((i 0))"
+        "    (while (< i 10)"
+        "      (invariant (<= i 3))"  // not preserved
+        "      (set! i (+ i 1)))))");
+    auto preserved =
+        outcomes_of(v.report, ObligationKind::kInvariantPreserved);
+    ASSERT_EQ(preserved.size(), 1u);
+    EXPECT_EQ(preserved[0], Outcome::kUnknown);
+}
+
+TEST(VerifierTest, AllocSizeObligation) {
+    auto v1 = verify_source("(define (f) (array-make 8 0))");
+    EXPECT_EQ(outcomes_of(v1.report, ObligationKind::kAllocSize)[0],
+              Outcome::kProved);
+    auto v2 = verify_source("(define (f n : int64) (array-make n 0))");
+    EXPECT_EQ(outcomes_of(v2.report, ObligationKind::kAllocSize)[0],
+              Outcome::kUnknown);
+}
+
+TEST(VerifierTest, AssertActsAsAssumeDownstream) {
+    auto v = verify_source(
+        "(define (f a : (array int64 10) i : int64) : int64"
+        "  (assert (>= i 0)) (assert (< i 10))"
+        "  (array-ref a i))");
+    // The asserts themselves are unknown (nothing implies them)...
+    auto asserts = outcomes_of(v.report, ObligationKind::kAssert);
+    EXPECT_EQ(asserts[0], Outcome::kUnknown);
+    // ...but the bounds checks after them are discharged.
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, ReportRendersAndIndexes) {
+    auto v = verify_source(
+        "(define (f a : (array int64 8)) : int64 (array-ref a 3))");
+    EXPECT_GT(v.report.total(), 0u);
+    EXPECT_EQ(v.report.proved(), v.report.total());
+    std::string rendered = v.report.to_string();
+    EXPECT_NE(rendered.find("bounds-upper"), std::string::npos);
+
+    const lang::Expr* site = v.typed.program().functions[0].body[0];
+    EXPECT_TRUE(v.report.is_proved(site, ObligationKind::kBoundsUpper));
+    EXPECT_TRUE(v.report.is_proved(site, ObligationKind::kBoundsLower));
+}
+
+TEST(VerifierTest, MaskedIndexIsBounded) {
+    // The ring-buffer idiom: (bitand i 15) lies in [0, 15], so a
+    // 16-slot buffer access needs no runtime checks.
+    auto v = verify_source(
+        "(define (ring buf : (array int64 16) i : int64) : int64"
+        "  (array-ref buf (bitand i 15)))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+TEST(VerifierTest, MaskTooWideLeavesUpperUnknown) {
+    auto v = verify_source(
+        "(define (ring buf : (array int64 16) i : int64) : int64"
+        "  (array-ref buf (bitand i 31)))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsLower)[0],
+              Outcome::kProved);
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kUnknown);
+}
+
+TEST(VerifierTest, MaskOnEitherSide) {
+    auto v = verify_source(
+        "(define (ring buf : (array int64 16) i : int64) : int64"
+        "  (array-ref buf (bitand 15 i)))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kProved);
+}
+
+Verified verify_overflow(std::string_view source) {
+    DiagnosticEngine diags;
+    auto parsed = lang::parse_program(source, diags);
+    EXPECT_TRUE(parsed.is_ok()) << diags.to_string();
+    lang::Program program = std::move(parsed).take();
+    EXPECT_TRUE(lang::resolve_program(program, diags).is_ok());
+    auto typed = types::check_program(std::move(program), diags);
+    EXPECT_TRUE(typed.is_ok()) << diags.to_string();
+    Verified out{std::move(typed).take(), {}};
+    VerifyOptions options;
+    options.overflow_obligations = true;
+    out.report = verify_program_with_options(out.typed, options);
+    return out;
+}
+
+TEST(VerifierTest, OverflowObligationsOffByDefault) {
+    auto v = verify_source("(define (f x : int8) : int8 (+ x 1))");
+    EXPECT_TRUE(outcomes_of(v.report, ObligationKind::kOverflow).empty());
+}
+
+TEST(VerifierTest, OverflowProvedWhenRangeGuarded) {
+    auto v = verify_overflow(
+        "(define (f x : int8) : int8 (require (< x 100)) "
+        "(require (> x -100)) (+ x 1))");
+    auto outcomes = outcomes_of(v.report, ObligationKind::kOverflow);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0], Outcome::kProved);
+}
+
+TEST(VerifierTest, OverflowUnknownWhenUnguarded) {
+    // x could be 127: x + 1 wraps.
+    auto v = verify_overflow("(define (f x : int8) : int8 (+ x 1))");
+    auto outcomes = outcomes_of(v.report, ObligationKind::kOverflow);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0], Outcome::kUnknown);
+}
+
+TEST(VerifierTest, OverflowUsesTypeRangeOfOperands) {
+    // uint4 operands: max 15 + 15 = 30 fits uint8 result... but the
+    // result type here is uint4 via unification, so 15+15 can wrap.
+    auto v1 = verify_overflow(
+        "(define (f x : uint4 y : uint4) : uint4 (+ x y))");
+    EXPECT_EQ(outcomes_of(v1.report, ObligationKind::kOverflow)[0],
+              Outcome::kUnknown);
+    // With operand guards the sum provably fits (7 + 7 = 14 <= 15).
+    auto v2 = verify_overflow(
+        "(define (f x : uint4 y : uint4) : uint4 "
+        "(require (< x 8)) (require (< y 8)) (+ x y))");
+    auto outcomes = outcomes_of(v2.report, ObligationKind::kOverflow);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0], Outcome::kProved);
+}
+
+TEST(VerifierTest, SixtyFourBitArithmeticHasNoOverflowObligation) {
+    auto v = verify_overflow("(define (f x : int64) (+ x 1))");
+    EXPECT_TRUE(outcomes_of(v.report, ObligationKind::kOverflow).empty());
+}
+
+TEST(VerifierTest, MutationInvalidatesEarlierFacts) {
+    // After set! the old bound must not stick to the new value.
+    auto v = verify_source(
+        "(define (f a : (array int64 10) i : int64) : int64"
+        "  (require (>= i 0)) (require (< i 10))"
+        "  (let ((j i))"
+        "    (set! j (+ j 100))"
+        "    (array-ref a j)))");
+    EXPECT_EQ(outcomes_of(v.report, ObligationKind::kBoundsUpper)[0],
+              Outcome::kUnknown)
+        << "j+100 must not inherit j's old upper bound";
+}
+
+}  // namespace
+}  // namespace bitc::verify

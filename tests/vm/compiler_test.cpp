@@ -1,0 +1,198 @@
+#include "vm/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "lang/resolver.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::vm {
+namespace {
+
+/** Compiles with explicit options, returning the program. */
+CompiledProgram compile_with(std::string_view source,
+                             CompilerOptions options) {
+    DiagnosticEngine diags;
+    auto parsed = lang::parse_program(source, diags);
+    EXPECT_TRUE(parsed.is_ok()) << diags.to_string();
+    lang::Program program = std::move(parsed).take();
+    EXPECT_TRUE(lang::resolve_program(program, diags).is_ok());
+    auto typed = types::check_program(std::move(program), diags);
+    EXPECT_TRUE(typed.is_ok()) << diags.to_string();
+    types::TypedProgram tp = std::move(typed).take();
+    verify::VerifyReport report = verify::verify_program(tp);
+    if (options.elide_proved_checks && options.proofs == nullptr) {
+        options.proofs = &report;
+    }
+    auto compiled = compile_program(tp, options);
+    EXPECT_TRUE(compiled.is_ok()) << compiled.status().to_string();
+    return std::move(compiled).take();
+}
+
+size_t count_op(const CompiledProgram& program, Op op) {
+    size_t n = 0;
+    for (const auto& f : program.functions) {
+        for (const auto& i : f.code) {
+            if (i.op == op) ++n;
+        }
+    }
+    return n;
+}
+
+TEST(CompilerTest, ConstantFoldingCollapsesLiteralTrees) {
+    CompilerOptions fold;
+    fold.constant_fold = true;
+    CompilerOptions no_fold;
+    no_fold.constant_fold = false;
+
+    const char* source = "(define (f) (+ (* 3 4) (- 10 2)))";
+    auto folded = compile_with(source, fold);
+    auto unfolded = compile_with(source, no_fold);
+    EXPECT_LT(folded.functions[0].code.size(),
+              unfolded.functions[0].code.size());
+    EXPECT_EQ(count_op(folded, Op::kAdd), 0u);
+    EXPECT_EQ(count_op(unfolded, Op::kAdd), 1u);
+}
+
+TEST(CompilerTest, FoldingNeverFoldsDivisionByZero) {
+    CompilerOptions fold;
+    fold.constant_fold = true;
+    auto program = compile_with("(define (f) (/ 1 0))", fold);
+    EXPECT_EQ(count_op(program, Op::kDiv), 1u)
+        << "the trap must survive folding";
+}
+
+TEST(CompilerTest, BoundsChecksKeptWithoutProofs) {
+    CompilerOptions options;  // elide off
+    auto program = compile_with(
+        "(define (f a : (array int64 8)) : int64 (array-ref a 3))",
+        options);
+    bool found = false;
+    for (const auto& i : program.functions[0].code) {
+        if (i.op == Op::kArrayGet) {
+            found = true;
+            EXPECT_NE(i.b & kFlagCheckLower, 0);
+            EXPECT_NE(i.b & kFlagCheckUpper, 0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CompilerTest, ProvedBoundsChecksAreElided) {
+    CompilerOptions options;
+    options.elide_proved_checks = true;
+    auto program = compile_with(
+        "(define (f a : (array int64 8)) : int64 (array-ref a 3))",
+        options);
+    for (const auto& i : program.functions[0].code) {
+        if (i.op == Op::kArrayGet) {
+            EXPECT_EQ(i.b & kFlagCheckLower, 0);
+            EXPECT_EQ(i.b & kFlagCheckUpper, 0);
+        }
+    }
+}
+
+TEST(CompilerTest, UnprovedSideKeepsItsCheck) {
+    CompilerOptions options;
+    options.elide_proved_checks = true;
+    // Lower bound provable (uint index), upper not (index may be 100).
+    auto program = compile_with(
+        "(define (f a : (array int64 8) i : uint32) : int64"
+        "  (array-ref a i))",
+        options);
+    for (const auto& i : program.functions[0].code) {
+        if (i.op == Op::kArrayGet) {
+            EXPECT_EQ(i.b & kFlagCheckLower, 0) << "lower was proved";
+            EXPECT_NE(i.b & kFlagCheckUpper, 0) << "upper was not";
+        }
+    }
+}
+
+TEST(CompilerTest, ProvedAssertsVanish) {
+    CompilerOptions options;
+    options.elide_proved_checks = true;
+    auto program = compile_with(
+        "(define (f x : int64) (require (> x 0))"
+        "  (assert (>= x 1)) x)",
+        options);
+    EXPECT_EQ(count_op(program, Op::kAssert), 0u);
+
+    CompilerOptions keep;
+    auto unopt = compile_with(
+        "(define (f x : int64) (require (> x 0))"
+        "  (assert (>= x 1)) x)",
+        keep);
+    EXPECT_EQ(count_op(unopt, Op::kAssert), 1u);
+}
+
+TEST(CompilerTest, NarrowArithmeticGetsWrapOps) {
+    CompilerOptions options;
+    options.constant_fold = false;
+    auto narrow = compile_with("(define (f x : uint8) (+ x 1))", options);
+    EXPECT_EQ(count_op(narrow, Op::kWrap), 1u);
+    auto wide = compile_with("(define (f x : int64) (+ x 1))", options);
+    EXPECT_EQ(count_op(wide, Op::kWrap), 0u);
+}
+
+TEST(CompilerTest, SignednessFlagsOnComparisons) {
+    CompilerOptions options;
+    options.constant_fold = false;
+    auto program = compile_with(
+        "(define (f x : uint32 y : uint32) (< x y))"
+        "(define (g x : int32 y : int32) (< x y))",
+        options);
+    for (const auto& i : program.functions[0].code) {
+        if (i.op == Op::kLt) {
+            EXPECT_EQ(i.b & kFlagSigned, 0);
+        }
+    }
+    for (const auto& i : program.functions[1].code) {
+        if (i.op == Op::kLt) {
+            EXPECT_NE(i.b & kFlagSigned, 0);
+        }
+    }
+}
+
+TEST(CompilerTest, DisassemblerMentionsFunctionsAndOps) {
+    CompilerOptions options;
+    auto program = compile_with(
+        "(define (answer) : int64 42)", options);
+    std::string text = program.disassemble();
+    EXPECT_NE(text.find("answer"), std::string::npos);
+    EXPECT_NE(text.find("const 42"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(CompilerTest, OpHistogramCountsInstructions) {
+    CompilerOptions options;
+    options.constant_fold = false;
+    auto program = compile_with("(define (f x) (+ x (+ x x)))", options);
+    auto histogram = program.op_histogram();
+    bool saw_add = false;
+    for (const auto& [name, count] : histogram) {
+        if (name == "add") {
+            saw_add = true;
+            EXPECT_EQ(count, 2u);
+        }
+    }
+    EXPECT_TRUE(saw_add);
+}
+
+TEST(CompilerTest, NativeWithoutRegistryFails) {
+    DiagnosticEngine diags;
+    auto parsed =
+        lang::parse_program("(define (f) (native clock))", diags);
+    ASSERT_TRUE(parsed.is_ok());
+    lang::Program program = std::move(parsed).take();
+    ASSERT_TRUE(lang::resolve_program(program, diags).is_ok());
+    auto typed = types::check_program(std::move(program), diags);
+    ASSERT_TRUE(typed.is_ok());
+    types::TypedProgram tp = std::move(typed).take();
+    auto compiled = compile_program(tp, {});
+    ASSERT_FALSE(compiled.is_ok());
+    EXPECT_NE(compiled.status().message().find("native"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace bitc::vm

@@ -1,0 +1,164 @@
+/** Interpreter internals: heap interaction, reclamation, statistics. */
+#include "vm/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/pipeline.hpp"
+
+namespace bitc::vm {
+namespace {
+
+std::unique_ptr<BuiltProgram> build_ok(std::string_view source) {
+    auto built = build_program(source);
+    EXPECT_TRUE(built.is_ok()) << built.status().to_string();
+    return std::move(built).take();
+}
+
+TEST(InterpreterTest, BoxedModeAllocatesPerValue) {
+    auto built = build_ok("(define (f x y) (+ x y))");
+    VmConfig unboxed;
+    unboxed.mode = ValueMode::kUnboxed;
+    VmConfig boxed;
+    boxed.mode = ValueMode::kBoxed;
+    boxed.heap = HeapPolicy::kMarkSweep;
+
+    auto vm_u = built->instantiate(unboxed);
+    auto vm_b = built->instantiate(boxed);
+    ASSERT_TRUE(vm_u->call("f", {1, 2}).is_ok());
+    ASSERT_TRUE(vm_b->call("f", {1, 2}).is_ok());
+    EXPECT_EQ(vm_u->heap().stats().allocations, 0u)
+        << "no heap traffic for scalar code unboxed";
+    EXPECT_GT(vm_b->heap().stats().allocations, 0u)
+        << "every value is a box";
+}
+
+TEST(InterpreterTest, BoxedGarbageIsCollectedUnderPressure) {
+    // Enough churn that a small mark-sweep heap must collect.
+    auto built = build_ok(
+        "(define (churn n : int64) : int64"
+        "  (let ((acc 0) (i 0))"
+        "    (while (< i n)"
+        "      (set! acc (+ acc i))"
+        "      (set! i (+ i 1)))"
+        "    acc))");
+    VmConfig config;
+    config.mode = ValueMode::kBoxed;
+    config.heap = HeapPolicy::kMarkSweep;
+    config.heap_words = 1 << 12;  // small: forces collections
+    auto vm = built->instantiate(config);
+    auto result = vm->call("churn", {20000});
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_EQ(result.value(), 19999LL * 20000 / 2);
+    EXPECT_GT(vm->heap().stats().collections, 0u);
+}
+
+TEST(InterpreterTest, RefcountReclaimsEagerly) {
+    auto built = build_ok(
+        "(define (f n : int64) : int64"
+        "  (let ((acc 0) (i 0))"
+        "    (while (< i n)"
+        "      (set! acc (+ acc 1))"
+        "      (set! i (+ i 1)))"
+        "    acc))");
+    VmConfig config;
+    config.mode = ValueMode::kBoxed;
+    config.heap = HeapPolicy::kRefCount;
+    config.heap_words = 1 << 12;  // tiny heap: only works if eager
+    auto vm = built->instantiate(config);
+    auto result = vm->call("f", {50000});
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    // Eager reclamation keeps the live set tiny despite huge traffic.
+    EXPECT_GT(vm->heap().stats().frees, 40000u);
+    EXPECT_LT(vm->heap().live_objects(), 64u);
+}
+
+TEST(InterpreterTest, SemispaceSurvivesMovesWithLiveArrays) {
+    auto built = build_ok(
+        "(define (f n : int64) : int64"
+        "  (let ((keep (array-make 32 7)) (i 0) (acc 0))"
+        "    (while (< i n)"
+        "      (let ((junk (array-make 32 i)))"
+        "        (set! acc (+ acc (array-ref junk 0))))"
+        "      (set! i (+ i 1)))"
+        "    (+ acc (array-ref keep 31))))");
+    VmConfig config;
+    config.mode = ValueMode::kBoxed;
+    config.heap = HeapPolicy::kSemispace;
+    config.heap_words = 1 << 14;
+    auto vm = built->instantiate(config);
+    auto result = vm->call("f", {2000});
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_EQ(result.value(), 1999LL * 2000 / 2 + 7);
+    EXPECT_GT(vm->heap().stats().collections, 0u)
+        << "the survivor array must have moved at least once";
+}
+
+TEST(InterpreterTest, HeapExhaustionSurfacesCleanly) {
+    auto built = build_ok(
+        "(define (hog) : int64"
+        "  (let ((a (array-make 100000 1))) (array-ref a 0)))");
+    VmConfig config;
+    config.heap_words = 1 << 10;  // far too small
+    auto vm = built->instantiate(config);
+    auto result = vm->call("hog", {});
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(InterpreterTest, NegativeArrayLengthTraps) {
+    auto built = build_ok(
+        "(define (f n : int64) (array-make n 0))");
+    auto vm = built->instantiate({});
+    auto result = vm->call("f", {-5});
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_NE(result.status().message().find("bad array length"),
+              std::string::npos);
+}
+
+TEST(InterpreterTest, MultipleCallsReuseTheHeap) {
+    auto built = build_ok("(define (f) (array-make 8 1))");
+    VmConfig config;
+    config.mode = ValueMode::kBoxed;
+    config.heap = HeapPolicy::kMarkSweep;
+    auto vm = built->instantiate(config);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(vm->call("f", {}).is_ok()) << "iteration " << i;
+    }
+    // Heap survives across calls; garbage from prior calls reclaimable.
+    EXPECT_GT(vm->heap().stats().allocations, 100u);
+}
+
+TEST(InterpreterTest, InstructionCountScalesWithWork) {
+    auto built = build_ok(
+        "(define (loop n : int64) : int64"
+        "  (let ((i 0)) (while (< i n) (set! i (+ i 1))) i))");
+    auto vm_small = built->instantiate({});
+    auto vm_large = built->instantiate({});
+    ASSERT_TRUE(vm_small->call("loop", {10}).is_ok());
+    ASSERT_TRUE(vm_large->call("loop", {1000}).is_ok());
+    EXPECT_GT(vm_large->instructions_executed(),
+              10 * vm_small->instructions_executed());
+}
+
+TEST(InterpreterTest, ModeAndPolicyNames) {
+    EXPECT_STREQ(value_mode_name(ValueMode::kUnboxed), "unboxed");
+    EXPECT_STREQ(value_mode_name(ValueMode::kBoxed), "boxed");
+    EXPECT_STREQ(heap_policy_name(HeapPolicy::kGenerational),
+                 "generational");
+}
+
+TEST(MakeHeapTest, BuildsEveryPolicy) {
+    for (HeapPolicy policy :
+         {HeapPolicy::kRegion, HeapPolicy::kManual, HeapPolicy::kRefCount,
+          HeapPolicy::kMarkSweep, HeapPolicy::kMarkCompact,
+          HeapPolicy::kSemispace,
+          HeapPolicy::kGenerational}) {
+        auto heap = make_heap(policy, 1 << 12);
+        ASSERT_NE(heap, nullptr);
+        EXPECT_TRUE(heap->allocate(4, 0, 1).is_ok())
+            << heap_policy_name(policy);
+    }
+}
+
+}  // namespace
+}  // namespace bitc::vm

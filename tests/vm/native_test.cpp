@@ -1,0 +1,116 @@
+/** FFI boundary tests (the F4 apparatus). */
+#include "vm/native.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/pipeline.hpp"
+
+namespace bitc::vm {
+namespace {
+
+NativeRegistry make_registry() {
+    NativeRegistry registry;
+    EXPECT_TRUE(registry
+                    .add("add3",
+                         3,
+                         [](std::span<const uint64_t> args)
+                             -> Result<uint64_t> {
+                             return args[0] + args[1] + args[2];
+                         })
+                    .is_ok());
+    EXPECT_TRUE(registry
+                    .add("fail", 0,
+                         [](std::span<const uint64_t>)
+                             -> Result<uint64_t> {
+                             return runtime_error("native exploded");
+                         })
+                    .is_ok());
+    return registry;
+}
+
+std::unique_ptr<BuiltProgram> build_with_natives(
+    std::string_view source, const NativeRegistry& registry) {
+    BuildOptions options;
+    options.compiler.natives = &registry;
+    auto built = build_program(source, options);
+    EXPECT_TRUE(built.is_ok()) << built.status().to_string();
+    return std::move(built).take();
+}
+
+TEST(NativeRegistryTest, DuplicateNamesRejected) {
+    NativeRegistry registry;
+    auto fn = [](std::span<const uint64_t>) -> Result<uint64_t> {
+        return 0;
+    };
+    ASSERT_TRUE(registry.add("f", 0, fn).is_ok());
+    EXPECT_FALSE(registry.add("f", 1, fn).is_ok());
+}
+
+TEST(NativeRegistryTest, LookupByName) {
+    NativeRegistry registry = make_registry();
+    auto found = registry.find("add3");
+    ASSERT_TRUE(found.is_ok());
+    EXPECT_EQ(registry.arity(found.value()), 3u);
+    EXPECT_EQ(registry.name(found.value()), "add3");
+    EXPECT_FALSE(registry.find("nope").is_ok());
+}
+
+TEST(NativeCallTest, RoundTripsThroughBothModes) {
+    NativeRegistry registry = make_registry();
+    auto built = build_with_natives(
+        "(define (f x y z) (native add3 x y z))", registry);
+    for (ValueMode mode : {ValueMode::kUnboxed, ValueMode::kBoxed}) {
+        VmConfig config;
+        config.mode = mode;
+        config.heap = mode == ValueMode::kBoxed ? HeapPolicy::kMarkSweep
+                                                : HeapPolicy::kRegion;
+        auto vm = built->instantiate(config, &registry);
+        auto result = vm->call("f", {10, 20, 30});
+        ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+        EXPECT_EQ(result.value(), 60);
+    }
+}
+
+TEST(NativeCallTest, NativeErrorsPropagateAsTraps) {
+    NativeRegistry registry = make_registry();
+    auto built =
+        build_with_natives("(define (f) (native fail))", registry);
+    auto vm = built->instantiate({}, &registry);
+    auto result = vm->call("f", {});
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_NE(result.status().message().find("native exploded"),
+              std::string::npos);
+}
+
+TEST(NativeCallTest, ArityMismatchCaughtAtCompileTime) {
+    NativeRegistry registry = make_registry();
+    BuildOptions options;
+    options.compiler.natives = &registry;
+    auto built =
+        build_program("(define (f x) (native add3 x))", options);
+    ASSERT_FALSE(built.is_ok());
+    EXPECT_NE(built.status().message().find("argument"),
+              std::string::npos);
+}
+
+TEST(NativeCallTest, UnknownNativeCaughtAtCompileTime) {
+    NativeRegistry registry = make_registry();
+    BuildOptions options;
+    options.compiler.natives = &registry;
+    auto built = build_program("(define (f) (native mystery))", options);
+    ASSERT_FALSE(built.is_ok());
+    EXPECT_EQ(built.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NativeCallTest, ResultsFeedBackIntoLanguageArithmetic) {
+    NativeRegistry registry = make_registry();
+    auto built = build_with_natives(
+        "(define (f x) (* 2 (native add3 x x x)))", registry);
+    auto vm = built->instantiate({}, &registry);
+    auto result = vm->call("f", {5});
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result.value(), 30);
+}
+
+}  // namespace
+}  // namespace bitc::vm

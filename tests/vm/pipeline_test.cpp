@@ -1,0 +1,267 @@
+/**
+ * End-to-end language tests: source in, value out, across every value
+ * mode x heap policy combination that is legal.
+ */
+#include "vm/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::vm {
+namespace {
+
+int64_t run(std::string_view source, const std::string& fn,
+            std::vector<int64_t> args, VmConfig config = {}) {
+    auto built = build_program(source);
+    EXPECT_TRUE(built.is_ok()) << built.status().to_string();
+    auto vm = built.value()->instantiate(config);
+    auto result = vm->call(fn, args);
+    EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+    return result.is_ok() ? result.value() : INT64_MIN;
+}
+
+struct ModeParam {
+    std::string label;
+    VmConfig config;
+};
+
+class AllModesTest : public ::testing::TestWithParam<ModeParam> {};
+
+TEST_P(AllModesTest, Arithmetic) {
+    EXPECT_EQ(run("(define (f x y) (+ (* x 3) (/ y 2)))", "f", {5, 8},
+                  GetParam().config),
+              19);
+}
+
+TEST_P(AllModesTest, RecursionFib) {
+    EXPECT_EQ(run("(define (fib n : int64) : int64"
+                  "  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+                  "fib", {15}, GetParam().config),
+              610);
+}
+
+TEST_P(AllModesTest, MutualRecursion) {
+    const char* source =
+        "(define (even? n : int64) : bool"
+        "  (if (== n 0) #t (odd? (- n 1))))"
+        "(define (odd? n : int64) : bool"
+        "  (if (== n 0) #f (even? (- n 1))))";
+    EXPECT_EQ(run(source, "even?", {10}, GetParam().config), 1);
+    EXPECT_EQ(run(source, "even?", {11}, GetParam().config), 0);
+}
+
+TEST_P(AllModesTest, LoopsAndMutation) {
+    const char* source =
+        "(define (sum-to n : int64) : int64"
+        "  (let ((i 0) (acc 0))"
+        "    (while (< i n)"
+        "      (set! i (+ i 1))"
+        "      (set! acc (+ acc i)))"
+        "    acc))";
+    EXPECT_EQ(run(source, "sum-to", {100}, GetParam().config), 5050);
+}
+
+TEST_P(AllModesTest, Arrays) {
+    const char* source =
+        "(define (rev-sum n : int64) : int64"
+        "  (let ((a (array-make 64 0)) (i 0) (acc 0))"
+        "    (while (< i 64)"
+        "      (array-set! a i (* i i))"
+        "      (set! i (+ i 1)))"
+        "    (set! i 63)"
+        "    (while (>= i 0)"
+        "      (set! acc (+ acc (array-ref a i)))"
+        "      (set! i (- i 1)))"
+        "    acc))";
+    // sum of squares 0..63 = 63*64*127/6
+    EXPECT_EQ(run(source, "rev-sum", {0}, GetParam().config), 85344);
+}
+
+TEST_P(AllModesTest, BitPreciseWrapping) {
+    // uint8 arithmetic wraps at 256.
+    const char* source =
+        "(define (wrap8 x : uint8) : uint8 (+ x 200))";
+    EXPECT_EQ(run(source, "wrap8", {100}, GetParam().config),
+              (100 + 200) % 256);
+}
+
+TEST_P(AllModesTest, SignedNarrowWrapping) {
+    // int8: 120 + 10 wraps to -126.
+    const char* source = "(define (w x : int8) : int8 (+ x 10))";
+    EXPECT_EQ(run(source, "w", {120}, GetParam().config), -126);
+}
+
+TEST_P(AllModesTest, GarbageHeavyWorkload) {
+    // Allocates a fresh array per iteration: exercises reclamation on
+    // every policy that reclaims (and region growth where not).
+    const char* source =
+        "(define (churn n : int64) : int64"
+        "  (let ((acc 0) (i 0))"
+        "    (while (< i n)"
+        "      (let ((a (array-make 16 i)))"
+        "        (set! acc (+ acc (array-ref a 7))))"
+        "      (set! i (+ i 1)))"
+        "    acc))";
+    VmConfig config = GetParam().config;
+    EXPECT_EQ(run(source, "churn", {1000}, config), 999 * 1000 / 2);
+}
+
+std::vector<ModeParam> all_modes() {
+    std::vector<ModeParam> out;
+    VmConfig base;
+    base.heap_words = 1 << 20;
+    base.stack_slots = 1 << 12;
+
+    VmConfig c = base;
+    c.mode = ValueMode::kUnboxed;
+    c.heap = HeapPolicy::kRegion;
+    out.push_back({"unboxed_region", c});
+    c.heap = HeapPolicy::kManual;
+    out.push_back({"unboxed_manual", c});
+
+    c.mode = ValueMode::kBoxed;
+    c.heap = HeapPolicy::kRegion;
+    VmConfig big = c;
+    big.heap_words = 1 << 22;  // boxed region never frees; needs room
+    out.push_back({"boxed_region", big});
+    c.heap = HeapPolicy::kRefCount;
+    out.push_back({"boxed_refcount", c});
+    c.heap = HeapPolicy::kMarkSweep;
+    out.push_back({"boxed_marksweep", c});
+    c.heap = HeapPolicy::kMarkCompact;
+    out.push_back({"boxed_markcompact", c});
+    c.heap = HeapPolicy::kSemispace;
+    out.push_back({"boxed_semispace", c});
+    c.heap = HeapPolicy::kGenerational;
+    out.push_back({"boxed_generational", c});
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndHeaps, AllModesTest, ::testing::ValuesIn(all_modes()),
+    [](const ::testing::TestParamInfo<ModeParam>& info) {
+        return info.param.label;
+    });
+
+// --- Mode-independent pipeline behaviour --------------------------------
+
+TEST(PipelineTest, UnboxedWithTracingHeapIsRejected) {
+    auto built = build_program("(define (f) 1)");
+    ASSERT_TRUE(built.is_ok());
+    VmConfig config;
+    config.mode = ValueMode::kUnboxed;
+    config.heap = HeapPolicy::kMarkSweep;
+    auto vm = built.value()->instantiate(config);
+    auto result = vm->call("f", {});
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineTest, TypeErrorSurfacesFromBuild) {
+    auto built = build_program("(define (f b : bool) (+ b 1))");
+    ASSERT_FALSE(built.is_ok());
+    EXPECT_EQ(built.status().code(), StatusCode::kTypeError);
+}
+
+TEST(PipelineTest, VerificationReportIsPopulated) {
+    auto built = build_program(
+        "(define (f a : (array int64 8)) : int64 (array-ref a 3))");
+    ASSERT_TRUE(built.is_ok());
+    EXPECT_GT(built.value()->verification.total(), 0u);
+    EXPECT_EQ(built.value()->verification.proved(),
+              built.value()->verification.total());
+}
+
+TEST(PipelineTest, DivisionByZeroTraps) {
+    auto built = build_program("(define (f x y) (/ x y))");
+    ASSERT_TRUE(built.is_ok());
+    auto vm = built.value()->instantiate({});
+    auto result = vm->call("f", {10, 0});
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kRuntimeError);
+    EXPECT_NE(result.status().message().find("division"),
+              std::string::npos);
+}
+
+TEST(PipelineTest, OutOfBoundsTrapsWithChecksOn) {
+    auto built = build_program(
+        "(define (f a : (array int64 8) i : int64) : int64"
+        "  (array-ref a i))"
+        "(define (g i : int64) : int64 (f (array-make 8 1) i))");
+    ASSERT_TRUE(built.is_ok());
+    auto vm = built.value()->instantiate({});
+    EXPECT_TRUE(vm->call("g", {7}).is_ok());
+    auto bad = vm->call("g", {8});
+    ASSERT_FALSE(bad.is_ok());
+    EXPECT_NE(bad.status().message().find("beyond length"),
+              std::string::npos);
+    auto neg = vm->call("g", {-1});
+    ASSERT_FALSE(neg.is_ok());
+    EXPECT_NE(neg.status().message().find("below zero"),
+              std::string::npos);
+}
+
+TEST(PipelineTest, FailedAssertTraps) {
+    auto built = build_program(
+        "(define (f x : int64) : int64 (assert (> x 0)) x)");
+    ASSERT_TRUE(built.is_ok());
+    auto vm = built.value()->instantiate({});
+    EXPECT_TRUE(vm->call("f", {5}).is_ok());
+    auto bad = vm->call("f", {-5});
+    ASSERT_FALSE(bad.is_ok());
+    EXPECT_NE(bad.status().message().find("assertion"),
+              std::string::npos);
+}
+
+TEST(PipelineTest, InstructionBudgetStopsRunawayLoops) {
+    auto built = build_program(
+        "(define (spin) : int64 (while #t (unit)) 0)");
+    ASSERT_TRUE(built.is_ok());
+    VmConfig config;
+    config.max_instructions = 10000;
+    auto vm = built.value()->instantiate(config);
+    auto result = vm->call("spin", {});
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PipelineTest, DeepRecursionOverflowsGracefully) {
+    auto built = build_program(
+        "(define (down n : int64) : int64"
+        "  (if (== n 0) 0 (down (- n 1))))");
+    ASSERT_TRUE(built.is_ok());
+    VmConfig config;
+    config.stack_slots = 256;
+    auto vm = built.value()->instantiate(config);
+    auto result = vm->call("down", {100000});
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PipelineTest, WrongArgumentCountRejected) {
+    auto built = build_program("(define (f x y) (+ x y))");
+    ASSERT_TRUE(built.is_ok());
+    auto vm = built.value()->instantiate({});
+    auto result = vm->call("f", {1});
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineTest, UnknownEntryFunction) {
+    auto built = build_program("(define (f) 1)");
+    ASSERT_TRUE(built.is_ok());
+    auto vm = built.value()->instantiate({});
+    EXPECT_EQ(vm->call("missing", {}).status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST(PipelineTest, InstructionsCountedAndHeapVisible) {
+    auto built = build_program("(define (f) (array-make 4 9))");
+    ASSERT_TRUE(built.is_ok());
+    auto vm = built.value()->instantiate({});
+    ASSERT_TRUE(vm->call("f", {}).is_ok());
+    EXPECT_GT(vm->instructions_executed(), 0u);
+    EXPECT_GT(vm->heap().stats().allocations, 0u);
+}
+
+}  // namespace
+}  // namespace bitc::vm

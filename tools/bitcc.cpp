@@ -1,0 +1,273 @@
+/**
+ * @file
+ * bitcc — the BitC-repro command-line driver.
+ *
+ *   bitcc check   FILE              parse + resolve + typecheck
+ *   bitcc verify  FILE              ... + print the verification report
+ *   bitcc disasm  FILE [opts]       ... + compile, print bytecode
+ *   bitcc run     FILE [opts] -- [ARGS...]
+ *                                   ... + execute (entry: main)
+ *
+ * Options:
+ *   --entry NAME          entry function for run (default: main)
+ *   --mode unboxed|boxed  value representation (default: unboxed)
+ *   --heap POLICY         region|manual|refcount|mark-sweep|mark-compact|semispace|
+ *                         generational (default: region / generational)
+ *   --heap-words N        heap size in 64-bit words (default: 4M)
+ *   --no-fold             disable constant folding
+ *   --no-bce              keep all checks even when proved
+ *   --no-verify           skip verification entirely
+ *   --overflow            also emit overflow obligations (verify)
+ *   --stats               print instruction/heap statistics after run
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/string_util.hpp"
+#include "lang/parser.hpp"
+#include "lang/resolver.hpp"
+#include "vm/pipeline.hpp"
+
+namespace {
+
+using namespace bitc;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bitcc {check|verify|disasm|run} FILE [options] "
+        "[-- args...]\n"
+        "  --entry NAME --mode unboxed|boxed --heap POLICY\n"
+        "  --heap-words N --no-fold --no-bce --no-verify --overflow "
+        "--stats\n");
+    return 2;
+}
+
+Result<std::string>
+read_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return not_found_error(
+            str_format("cannot open '%s'", path.c_str()));
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+struct Options {
+    std::string command;
+    std::string file;
+    std::string entry = "main";
+    vm::VmConfig vm;
+    bool fold = true;
+    bool bce = true;
+    bool verify = true;
+    bool overflow = false;
+    bool stats = false;
+    bool heap_set = false;
+    std::vector<int64_t> args;
+};
+
+Result<vm::HeapPolicy>
+parse_heap(const std::string& name)
+{
+    if (name == "region") return vm::HeapPolicy::kRegion;
+    if (name == "manual") return vm::HeapPolicy::kManual;
+    if (name == "refcount") return vm::HeapPolicy::kRefCount;
+    if (name == "mark-sweep") return vm::HeapPolicy::kMarkSweep;
+    if (name == "mark-compact") return vm::HeapPolicy::kMarkCompact;
+    if (name == "semispace") return vm::HeapPolicy::kSemispace;
+    if (name == "generational") return vm::HeapPolicy::kGenerational;
+    return invalid_argument_error(
+        str_format("unknown heap policy '%s'", name.c_str()));
+}
+
+Result<Options>
+parse_args(int argc, char** argv)
+{
+    if (argc < 3) return invalid_argument_error("missing arguments");
+    Options options;
+    options.command = argv[1];
+    options.file = argv[2];
+    int i = 3;
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--") {
+            ++i;
+            break;
+        }
+        auto next = [&]() -> Result<std::string> {
+            if (i + 1 >= argc) {
+                return invalid_argument_error(arg + " needs a value");
+            }
+            return std::string(argv[++i]);
+        };
+        if (arg == "--entry") {
+            BITC_ASSIGN_OR_RETURN(options.entry, next());
+        } else if (arg == "--mode") {
+            BITC_ASSIGN_OR_RETURN(std::string mode, next());
+            if (mode == "boxed") {
+                options.vm.mode = vm::ValueMode::kBoxed;
+                if (!options.heap_set) {
+                    options.vm.heap = vm::HeapPolicy::kGenerational;
+                }
+            } else if (mode == "unboxed") {
+                options.vm.mode = vm::ValueMode::kUnboxed;
+            } else {
+                return invalid_argument_error("bad --mode");
+            }
+        } else if (arg == "--heap") {
+            BITC_ASSIGN_OR_RETURN(std::string heap, next());
+            BITC_ASSIGN_OR_RETURN(options.vm.heap, parse_heap(heap));
+            options.heap_set = true;
+        } else if (arg == "--heap-words") {
+            BITC_ASSIGN_OR_RETURN(std::string words, next());
+            options.vm.heap_words = std::strtoull(words.c_str(),
+                                                  nullptr, 10);
+        } else if (arg == "--no-fold") {
+            options.fold = false;
+        } else if (arg == "--no-bce") {
+            options.bce = false;
+        } else if (arg == "--no-verify") {
+            options.verify = false;
+        } else if (arg == "--overflow") {
+            options.overflow = true;
+        } else if (arg == "--stats") {
+            options.stats = true;
+        } else {
+            return invalid_argument_error("unknown option " + arg);
+        }
+    }
+    for (; i < argc; ++i) {
+        options.args.push_back(std::strtoll(argv[i], nullptr, 10));
+    }
+    return options;
+}
+
+int
+run_command(const Options& options)
+{
+    auto source = read_file(options.file);
+    if (!source.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     source.status().to_string().c_str());
+        return 1;
+    }
+
+    // Front-end stages with full diagnostics.
+    DiagnosticEngine diags;
+    auto parsed = lang::parse_program(source.value(), diags);
+    if (parsed.is_ok()) {
+        (void)lang::resolve_program(parsed.value(), diags);
+    }
+    if (diags.has_errors()) {
+        std::fprintf(stderr, "%s", diags.to_string().c_str());
+        return 1;
+    }
+    auto typed = types::check_program(std::move(parsed).take(), diags);
+    if (!typed.is_ok()) {
+        std::fprintf(stderr, "%s", diags.to_string().c_str());
+        return 1;
+    }
+    types::TypedProgram program = std::move(typed).take();
+
+    if (options.command == "check") {
+        std::printf("%s: ok (%zu function(s))\n", options.file.c_str(),
+                    program.program().functions.size());
+        for (size_t f = 0; f < program.function_count(); ++f) {
+            const auto& ft = program.function_type(f);
+            std::string sig = "(->";
+            for (types::Type* p : ft.params) {
+                sig += ' ';
+                sig += program.store().to_string(p);
+            }
+            sig += ' ';
+            sig += program.store().to_string(ft.result);
+            sig += ')';
+            std::printf("  %-20s %s\n",
+                        program.program().functions[f].name.c_str(),
+                        sig.c_str());
+        }
+        return 0;
+    }
+
+    verify::VerifyReport report;
+    if (options.verify) {
+        verify::VerifyOptions vopts;
+        vopts.overflow_obligations = options.overflow;
+        report = verify::verify_program_with_options(program, vopts);
+    }
+    if (options.command == "verify") {
+        std::printf("%s", report.to_string().c_str());
+        return report.unknown() == 0 ? 0 : 3;
+    }
+
+    vm::CompilerOptions copts;
+    copts.constant_fold = options.fold;
+    copts.elide_proved_checks = options.bce && options.verify;
+    copts.proofs = options.verify ? &report : nullptr;
+    auto compiled = vm::compile_program(program, copts);
+    if (!compiled.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     compiled.status().to_string().c_str());
+        return 1;
+    }
+
+    if (options.command == "disasm") {
+        std::printf("%s", compiled.value().disassemble().c_str());
+        return 0;
+    }
+
+    if (options.command != "run") return usage();
+
+    vm::Vm vm(compiled.value(), nullptr, options.vm);
+    auto result = vm.call(options.entry, options.args);
+    if (!result.is_ok()) {
+        std::fprintf(stderr, "bitcc: trap: %s\n",
+                     result.status().to_string().c_str());
+        return 4;
+    }
+    std::printf("%lld\n", static_cast<long long>(result.value()));
+    if (options.stats) {
+        const auto& heap_stats = vm.heap().stats();
+        std::fprintf(
+            stderr,
+            "stats: %llu instructions, %llu allocations (%s), "
+            "%llu collections, verified %zu/%zu checks\n",
+            static_cast<unsigned long long>(vm.instructions_executed()),
+            static_cast<unsigned long long>(heap_stats.allocations),
+            human_bytes(heap_stats.bytes_allocated).c_str(),
+            static_cast<unsigned long long>(heap_stats.collections +
+                                            heap_stats.minor_collections),
+            report.proved(), report.total());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 3) return usage();
+    auto options = parse_args(argc, argv);
+    if (!options.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     options.status().to_string().c_str());
+        return usage();
+    }
+    const std::string& command = options.value().command;
+    if (command != "check" && command != "verify" &&
+        command != "disasm" && command != "run") {
+        return usage();
+    }
+    return run_command(options.value());
+}
