@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_c1_constraints.cpp" "bench/CMakeFiles/bench_c1_constraints.dir/bench_c1_constraints.cpp.o" "gcc" "bench/CMakeFiles/bench_c1_constraints.dir/bench_c1_constraints.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/bitc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interop/CMakeFiles/bitc_interop.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/bitc_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/bitc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/repr/CMakeFiles/bitc_repr.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bitc_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/bitc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/bitc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

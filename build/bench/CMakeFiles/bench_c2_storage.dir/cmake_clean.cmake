@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_storage.dir/bench_c2_storage.cpp.o"
+  "CMakeFiles/bench_c2_storage.dir/bench_c2_storage.cpp.o.d"
+  "bench_c2_storage"
+  "bench_c2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

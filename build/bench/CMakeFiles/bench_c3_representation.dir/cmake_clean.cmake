@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_representation.dir/bench_c3_representation.cpp.o"
+  "CMakeFiles/bench_c3_representation.dir/bench_c3_representation.cpp.o.d"
+  "bench_c3_representation"
+  "bench_c3_representation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_representation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

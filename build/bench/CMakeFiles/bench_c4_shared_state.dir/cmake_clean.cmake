@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_shared_state.dir/bench_c4_shared_state.cpp.o"
+  "CMakeFiles/bench_c4_shared_state.dir/bench_c4_shared_state.cpp.o.d"
+  "bench_c4_shared_state"
+  "bench_c4_shared_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_shared_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

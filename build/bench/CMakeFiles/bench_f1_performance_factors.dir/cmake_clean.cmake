@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_performance_factors.dir/bench_f1_performance_factors.cpp.o"
+  "CMakeFiles/bench_f1_performance_factors.dir/bench_f1_performance_factors.cpp.o.d"
+  "bench_f1_performance_factors"
+  "bench_f1_performance_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_performance_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

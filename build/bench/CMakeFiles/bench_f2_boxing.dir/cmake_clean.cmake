@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_boxing.dir/bench_f2_boxing.cpp.o"
+  "CMakeFiles/bench_f2_boxing.dir/bench_f2_boxing.cpp.o.d"
+  "bench_f2_boxing"
+  "bench_f2_boxing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_boxing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_optimizer.dir/bench_f3_optimizer.cpp.o"
+  "CMakeFiles/bench_f3_optimizer.dir/bench_f3_optimizer.cpp.o.d"
+  "bench_f3_optimizer"
+  "bench_f3_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_legacy.dir/bench_f4_legacy.cpp.o"
+  "CMakeFiles/bench_f4_legacy.dir/bench_f4_legacy.cpp.o.d"
+  "bench_f4_legacy"
+  "bench_f4_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capability_ipc.dir/capability_ipc.cpp.o"
+  "CMakeFiles/capability_ipc.dir/capability_ipc.cpp.o.d"
+  "capability_ipc"
+  "capability_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capability_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

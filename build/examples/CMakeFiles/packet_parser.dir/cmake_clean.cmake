@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_parser.dir/packet_parser.cpp.o"
+  "CMakeFiles/packet_parser.dir/packet_parser.cpp.o.d"
+  "packet_parser"
+  "packet_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "main\\(10\\) = 285" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_packet_parser "/root/repo/build/examples/packet_parser" "20000")
+set_tests_properties(example_packet_parser PROPERTIES  PASS_REGULAR_EXPRESSION "parsed 20000 packets" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bank_stm "/root/repo/build/examples/bank_stm" "2000")
+set_tests_properties(example_bank_stm PROPERTIES  PASS_REGULAR_EXPRESSION "total preserved: yes" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_capability_ipc "/root/repo/build/examples/capability_ipc" "20000")
+set_tests_properties(example_capability_ipc PROPERTIES  PASS_REGULAR_EXPRESSION "checksum: .* ok" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_region_lifetimes "/root/repo/build/examples/region_lifetimes" "200000")
+set_tests_properties(example_region_lifetimes PROPERTIES  PASS_REGULAR_EXPRESSION "the config" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

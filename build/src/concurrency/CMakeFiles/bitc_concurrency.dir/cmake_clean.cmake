@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitc_concurrency.dir/bank.cpp.o"
+  "CMakeFiles/bitc_concurrency.dir/bank.cpp.o.d"
+  "CMakeFiles/bitc_concurrency.dir/stm.cpp.o"
+  "CMakeFiles/bitc_concurrency.dir/stm.cpp.o.d"
+  "libbitc_concurrency.a"
+  "libbitc_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitc_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

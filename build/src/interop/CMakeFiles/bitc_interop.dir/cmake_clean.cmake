@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitc_interop.dir/marshal.cpp.o"
+  "CMakeFiles/bitc_interop.dir/marshal.cpp.o.d"
+  "CMakeFiles/bitc_interop.dir/migration.cpp.o"
+  "CMakeFiles/bitc_interop.dir/migration.cpp.o.d"
+  "CMakeFiles/bitc_interop.dir/packet_stages.cpp.o"
+  "CMakeFiles/bitc_interop.dir/packet_stages.cpp.o.d"
+  "libbitc_interop.a"
+  "libbitc_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitc_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

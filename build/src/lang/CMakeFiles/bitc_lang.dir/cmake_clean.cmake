@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitc_lang.dir/ast.cpp.o"
+  "CMakeFiles/bitc_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/bitc_lang.dir/lexer.cpp.o"
+  "CMakeFiles/bitc_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/bitc_lang.dir/parser.cpp.o"
+  "CMakeFiles/bitc_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/bitc_lang.dir/resolver.cpp.o"
+  "CMakeFiles/bitc_lang.dir/resolver.cpp.o.d"
+  "CMakeFiles/bitc_lang.dir/sexpr.cpp.o"
+  "CMakeFiles/bitc_lang.dir/sexpr.cpp.o.d"
+  "libbitc_lang.a"
+  "libbitc_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitc_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

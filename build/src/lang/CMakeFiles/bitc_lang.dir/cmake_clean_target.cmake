@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbitc_lang.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/freelist_space.cpp" "src/memory/CMakeFiles/bitc_memory.dir/freelist_space.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/freelist_space.cpp.o.d"
+  "/root/repo/src/memory/generational_heap.cpp" "src/memory/CMakeFiles/bitc_memory.dir/generational_heap.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/generational_heap.cpp.o.d"
+  "/root/repo/src/memory/heap.cpp" "src/memory/CMakeFiles/bitc_memory.dir/heap.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/heap.cpp.o.d"
+  "/root/repo/src/memory/manual_heap.cpp" "src/memory/CMakeFiles/bitc_memory.dir/manual_heap.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/manual_heap.cpp.o.d"
+  "/root/repo/src/memory/markcompact_heap.cpp" "src/memory/CMakeFiles/bitc_memory.dir/markcompact_heap.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/markcompact_heap.cpp.o.d"
+  "/root/repo/src/memory/marksweep_heap.cpp" "src/memory/CMakeFiles/bitc_memory.dir/marksweep_heap.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/marksweep_heap.cpp.o.d"
+  "/root/repo/src/memory/mutator.cpp" "src/memory/CMakeFiles/bitc_memory.dir/mutator.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/mutator.cpp.o.d"
+  "/root/repo/src/memory/refcount_heap.cpp" "src/memory/CMakeFiles/bitc_memory.dir/refcount_heap.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/refcount_heap.cpp.o.d"
+  "/root/repo/src/memory/region_heap.cpp" "src/memory/CMakeFiles/bitc_memory.dir/region_heap.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/region_heap.cpp.o.d"
+  "/root/repo/src/memory/semispace_heap.cpp" "src/memory/CMakeFiles/bitc_memory.dir/semispace_heap.cpp.o" "gcc" "src/memory/CMakeFiles/bitc_memory.dir/semispace_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

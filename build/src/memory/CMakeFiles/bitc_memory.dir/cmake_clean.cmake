@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitc_memory.dir/freelist_space.cpp.o"
+  "CMakeFiles/bitc_memory.dir/freelist_space.cpp.o.d"
+  "CMakeFiles/bitc_memory.dir/generational_heap.cpp.o"
+  "CMakeFiles/bitc_memory.dir/generational_heap.cpp.o.d"
+  "CMakeFiles/bitc_memory.dir/heap.cpp.o"
+  "CMakeFiles/bitc_memory.dir/heap.cpp.o.d"
+  "CMakeFiles/bitc_memory.dir/manual_heap.cpp.o"
+  "CMakeFiles/bitc_memory.dir/manual_heap.cpp.o.d"
+  "CMakeFiles/bitc_memory.dir/markcompact_heap.cpp.o"
+  "CMakeFiles/bitc_memory.dir/markcompact_heap.cpp.o.d"
+  "CMakeFiles/bitc_memory.dir/marksweep_heap.cpp.o"
+  "CMakeFiles/bitc_memory.dir/marksweep_heap.cpp.o.d"
+  "CMakeFiles/bitc_memory.dir/mutator.cpp.o"
+  "CMakeFiles/bitc_memory.dir/mutator.cpp.o.d"
+  "CMakeFiles/bitc_memory.dir/refcount_heap.cpp.o"
+  "CMakeFiles/bitc_memory.dir/refcount_heap.cpp.o.d"
+  "CMakeFiles/bitc_memory.dir/region_heap.cpp.o"
+  "CMakeFiles/bitc_memory.dir/region_heap.cpp.o.d"
+  "CMakeFiles/bitc_memory.dir/semispace_heap.cpp.o"
+  "CMakeFiles/bitc_memory.dir/semispace_heap.cpp.o.d"
+  "libbitc_memory.a"
+  "libbitc_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitc_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bitc_memory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repr/bitfield.cpp" "src/repr/CMakeFiles/bitc_repr.dir/bitfield.cpp.o" "gcc" "src/repr/CMakeFiles/bitc_repr.dir/bitfield.cpp.o.d"
+  "/root/repo/src/repr/boxed_value.cpp" "src/repr/CMakeFiles/bitc_repr.dir/boxed_value.cpp.o" "gcc" "src/repr/CMakeFiles/bitc_repr.dir/boxed_value.cpp.o.d"
+  "/root/repo/src/repr/codec.cpp" "src/repr/CMakeFiles/bitc_repr.dir/codec.cpp.o" "gcc" "src/repr/CMakeFiles/bitc_repr.dir/codec.cpp.o.d"
+  "/root/repo/src/repr/layout.cpp" "src/repr/CMakeFiles/bitc_repr.dir/layout.cpp.o" "gcc" "src/repr/CMakeFiles/bitc_repr.dir/layout.cpp.o.d"
+  "/root/repo/src/repr/scalar_type.cpp" "src/repr/CMakeFiles/bitc_repr.dir/scalar_type.cpp.o" "gcc" "src/repr/CMakeFiles/bitc_repr.dir/scalar_type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

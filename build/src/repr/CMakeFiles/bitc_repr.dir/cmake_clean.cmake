@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitc_repr.dir/bitfield.cpp.o"
+  "CMakeFiles/bitc_repr.dir/bitfield.cpp.o.d"
+  "CMakeFiles/bitc_repr.dir/boxed_value.cpp.o"
+  "CMakeFiles/bitc_repr.dir/boxed_value.cpp.o.d"
+  "CMakeFiles/bitc_repr.dir/codec.cpp.o"
+  "CMakeFiles/bitc_repr.dir/codec.cpp.o.d"
+  "CMakeFiles/bitc_repr.dir/layout.cpp.o"
+  "CMakeFiles/bitc_repr.dir/layout.cpp.o.d"
+  "CMakeFiles/bitc_repr.dir/scalar_type.cpp.o"
+  "CMakeFiles/bitc_repr.dir/scalar_type.cpp.o.d"
+  "libbitc_repr.a"
+  "libbitc_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitc_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitc_support.dir/arena.cpp.o"
+  "CMakeFiles/bitc_support.dir/arena.cpp.o.d"
+  "CMakeFiles/bitc_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/bitc_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/bitc_support.dir/intern.cpp.o"
+  "CMakeFiles/bitc_support.dir/intern.cpp.o.d"
+  "CMakeFiles/bitc_support.dir/stats.cpp.o"
+  "CMakeFiles/bitc_support.dir/stats.cpp.o.d"
+  "CMakeFiles/bitc_support.dir/status.cpp.o"
+  "CMakeFiles/bitc_support.dir/status.cpp.o.d"
+  "CMakeFiles/bitc_support.dir/string_util.cpp.o"
+  "CMakeFiles/bitc_support.dir/string_util.cpp.o.d"
+  "libbitc_support.a"
+  "libbitc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitc_types.dir/checker.cpp.o"
+  "CMakeFiles/bitc_types.dir/checker.cpp.o.d"
+  "CMakeFiles/bitc_types.dir/type.cpp.o"
+  "CMakeFiles/bitc_types.dir/type.cpp.o.d"
+  "libbitc_types.a"
+  "libbitc_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitc_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/formula.cpp" "src/verify/CMakeFiles/bitc_verify.dir/formula.cpp.o" "gcc" "src/verify/CMakeFiles/bitc_verify.dir/formula.cpp.o.d"
+  "/root/repo/src/verify/solver.cpp" "src/verify/CMakeFiles/bitc_verify.dir/solver.cpp.o" "gcc" "src/verify/CMakeFiles/bitc_verify.dir/solver.cpp.o.d"
+  "/root/repo/src/verify/term.cpp" "src/verify/CMakeFiles/bitc_verify.dir/term.cpp.o" "gcc" "src/verify/CMakeFiles/bitc_verify.dir/term.cpp.o.d"
+  "/root/repo/src/verify/vcgen.cpp" "src/verify/CMakeFiles/bitc_verify.dir/vcgen.cpp.o" "gcc" "src/verify/CMakeFiles/bitc_verify.dir/vcgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/bitc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/bitc_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

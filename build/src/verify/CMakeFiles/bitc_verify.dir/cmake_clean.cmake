@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitc_verify.dir/formula.cpp.o"
+  "CMakeFiles/bitc_verify.dir/formula.cpp.o.d"
+  "CMakeFiles/bitc_verify.dir/solver.cpp.o"
+  "CMakeFiles/bitc_verify.dir/solver.cpp.o.d"
+  "CMakeFiles/bitc_verify.dir/term.cpp.o"
+  "CMakeFiles/bitc_verify.dir/term.cpp.o.d"
+  "CMakeFiles/bitc_verify.dir/vcgen.cpp.o"
+  "CMakeFiles/bitc_verify.dir/vcgen.cpp.o.d"
+  "libbitc_verify.a"
+  "libbitc_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitc_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

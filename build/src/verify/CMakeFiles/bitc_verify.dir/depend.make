@@ -1,0 +1,2 @@
+# Empty dependencies file for bitc_verify.
+# This may be replaced when dependencies are built.

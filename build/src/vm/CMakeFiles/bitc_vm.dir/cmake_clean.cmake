@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitc_vm.dir/bytecode.cpp.o"
+  "CMakeFiles/bitc_vm.dir/bytecode.cpp.o.d"
+  "CMakeFiles/bitc_vm.dir/compiler.cpp.o"
+  "CMakeFiles/bitc_vm.dir/compiler.cpp.o.d"
+  "CMakeFiles/bitc_vm.dir/interpreter.cpp.o"
+  "CMakeFiles/bitc_vm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/bitc_vm.dir/native.cpp.o"
+  "CMakeFiles/bitc_vm.dir/native.cpp.o.d"
+  "CMakeFiles/bitc_vm.dir/pipeline.cpp.o"
+  "CMakeFiles/bitc_vm.dir/pipeline.cpp.o.d"
+  "libbitc_vm.a"
+  "libbitc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/concurrency/bank_test.cpp" "tests/concurrency/CMakeFiles/concurrency_test.dir/bank_test.cpp.o" "gcc" "tests/concurrency/CMakeFiles/concurrency_test.dir/bank_test.cpp.o.d"
+  "/root/repo/tests/concurrency/channel_test.cpp" "tests/concurrency/CMakeFiles/concurrency_test.dir/channel_test.cpp.o" "gcc" "tests/concurrency/CMakeFiles/concurrency_test.dir/channel_test.cpp.o.d"
+  "/root/repo/tests/concurrency/stm_queue_test.cpp" "tests/concurrency/CMakeFiles/concurrency_test.dir/stm_queue_test.cpp.o" "gcc" "tests/concurrency/CMakeFiles/concurrency_test.dir/stm_queue_test.cpp.o.d"
+  "/root/repo/tests/concurrency/stm_test.cpp" "tests/concurrency/CMakeFiles/concurrency_test.dir/stm_test.cpp.o" "gcc" "tests/concurrency/CMakeFiles/concurrency_test.dir/stm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/concurrency/CMakeFiles/bitc_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_test.dir/bank_test.cpp.o"
+  "CMakeFiles/concurrency_test.dir/bank_test.cpp.o.d"
+  "CMakeFiles/concurrency_test.dir/channel_test.cpp.o"
+  "CMakeFiles/concurrency_test.dir/channel_test.cpp.o.d"
+  "CMakeFiles/concurrency_test.dir/stm_queue_test.cpp.o"
+  "CMakeFiles/concurrency_test.dir/stm_queue_test.cpp.o.d"
+  "CMakeFiles/concurrency_test.dir/stm_test.cpp.o"
+  "CMakeFiles/concurrency_test.dir/stm_test.cpp.o.d"
+  "concurrency_test"
+  "concurrency_test.pdb"
+  "concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

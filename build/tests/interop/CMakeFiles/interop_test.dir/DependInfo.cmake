@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/interop/marshal_test.cpp" "tests/interop/CMakeFiles/interop_test.dir/marshal_test.cpp.o" "gcc" "tests/interop/CMakeFiles/interop_test.dir/marshal_test.cpp.o.d"
+  "/root/repo/tests/interop/migration_test.cpp" "tests/interop/CMakeFiles/interop_test.dir/migration_test.cpp.o" "gcc" "tests/interop/CMakeFiles/interop_test.dir/migration_test.cpp.o.d"
+  "/root/repo/tests/interop/packet_stages_test.cpp" "tests/interop/CMakeFiles/interop_test.dir/packet_stages_test.cpp.o" "gcc" "tests/interop/CMakeFiles/interop_test.dir/packet_stages_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interop/CMakeFiles/bitc_interop.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bitc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/repr/CMakeFiles/bitc_repr.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bitc_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/bitc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/bitc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/bitc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

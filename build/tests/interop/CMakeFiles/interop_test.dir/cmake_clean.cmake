@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_test.dir/marshal_test.cpp.o"
+  "CMakeFiles/interop_test.dir/marshal_test.cpp.o.d"
+  "CMakeFiles/interop_test.dir/migration_test.cpp.o"
+  "CMakeFiles/interop_test.dir/migration_test.cpp.o.d"
+  "CMakeFiles/interop_test.dir/packet_stages_test.cpp.o"
+  "CMakeFiles/interop_test.dir/packet_stages_test.cpp.o.d"
+  "interop_test"
+  "interop_test.pdb"
+  "interop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memory/freelist_space_test.cpp" "tests/memory/CMakeFiles/memory_test.dir/freelist_space_test.cpp.o" "gcc" "tests/memory/CMakeFiles/memory_test.dir/freelist_space_test.cpp.o.d"
+  "/root/repo/tests/memory/heap_common_test.cpp" "tests/memory/CMakeFiles/memory_test.dir/heap_common_test.cpp.o" "gcc" "tests/memory/CMakeFiles/memory_test.dir/heap_common_test.cpp.o.d"
+  "/root/repo/tests/memory/heap_fuzz_test.cpp" "tests/memory/CMakeFiles/memory_test.dir/heap_fuzz_test.cpp.o" "gcc" "tests/memory/CMakeFiles/memory_test.dir/heap_fuzz_test.cpp.o.d"
+  "/root/repo/tests/memory/manual_heap_test.cpp" "tests/memory/CMakeFiles/memory_test.dir/manual_heap_test.cpp.o" "gcc" "tests/memory/CMakeFiles/memory_test.dir/manual_heap_test.cpp.o.d"
+  "/root/repo/tests/memory/mutator_test.cpp" "tests/memory/CMakeFiles/memory_test.dir/mutator_test.cpp.o" "gcc" "tests/memory/CMakeFiles/memory_test.dir/mutator_test.cpp.o.d"
+  "/root/repo/tests/memory/refcount_heap_test.cpp" "tests/memory/CMakeFiles/memory_test.dir/refcount_heap_test.cpp.o" "gcc" "tests/memory/CMakeFiles/memory_test.dir/refcount_heap_test.cpp.o.d"
+  "/root/repo/tests/memory/region_heap_test.cpp" "tests/memory/CMakeFiles/memory_test.dir/region_heap_test.cpp.o" "gcc" "tests/memory/CMakeFiles/memory_test.dir/region_heap_test.cpp.o.d"
+  "/root/repo/tests/memory/tracing_gc_test.cpp" "tests/memory/CMakeFiles/memory_test.dir/tracing_gc_test.cpp.o" "gcc" "tests/memory/CMakeFiles/memory_test.dir/tracing_gc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memory/CMakeFiles/bitc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_test.dir/freelist_space_test.cpp.o"
+  "CMakeFiles/memory_test.dir/freelist_space_test.cpp.o.d"
+  "CMakeFiles/memory_test.dir/heap_common_test.cpp.o"
+  "CMakeFiles/memory_test.dir/heap_common_test.cpp.o.d"
+  "CMakeFiles/memory_test.dir/heap_fuzz_test.cpp.o"
+  "CMakeFiles/memory_test.dir/heap_fuzz_test.cpp.o.d"
+  "CMakeFiles/memory_test.dir/manual_heap_test.cpp.o"
+  "CMakeFiles/memory_test.dir/manual_heap_test.cpp.o.d"
+  "CMakeFiles/memory_test.dir/mutator_test.cpp.o"
+  "CMakeFiles/memory_test.dir/mutator_test.cpp.o.d"
+  "CMakeFiles/memory_test.dir/refcount_heap_test.cpp.o"
+  "CMakeFiles/memory_test.dir/refcount_heap_test.cpp.o.d"
+  "CMakeFiles/memory_test.dir/region_heap_test.cpp.o"
+  "CMakeFiles/memory_test.dir/region_heap_test.cpp.o.d"
+  "CMakeFiles/memory_test.dir/tracing_gc_test.cpp.o"
+  "CMakeFiles/memory_test.dir/tracing_gc_test.cpp.o.d"
+  "memory_test"
+  "memory_test.pdb"
+  "memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/repr/bitfield_test.cpp" "tests/repr/CMakeFiles/repr_test.dir/bitfield_test.cpp.o" "gcc" "tests/repr/CMakeFiles/repr_test.dir/bitfield_test.cpp.o.d"
+  "/root/repo/tests/repr/boxed_value_test.cpp" "tests/repr/CMakeFiles/repr_test.dir/boxed_value_test.cpp.o" "gcc" "tests/repr/CMakeFiles/repr_test.dir/boxed_value_test.cpp.o.d"
+  "/root/repo/tests/repr/codec_test.cpp" "tests/repr/CMakeFiles/repr_test.dir/codec_test.cpp.o" "gcc" "tests/repr/CMakeFiles/repr_test.dir/codec_test.cpp.o.d"
+  "/root/repo/tests/repr/layout_test.cpp" "tests/repr/CMakeFiles/repr_test.dir/layout_test.cpp.o" "gcc" "tests/repr/CMakeFiles/repr_test.dir/layout_test.cpp.o.d"
+  "/root/repo/tests/repr/scalar_type_test.cpp" "tests/repr/CMakeFiles/repr_test.dir/scalar_type_test.cpp.o" "gcc" "tests/repr/CMakeFiles/repr_test.dir/scalar_type_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/repr/CMakeFiles/bitc_repr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repr_test.dir/bitfield_test.cpp.o"
+  "CMakeFiles/repr_test.dir/bitfield_test.cpp.o.d"
+  "CMakeFiles/repr_test.dir/boxed_value_test.cpp.o"
+  "CMakeFiles/repr_test.dir/boxed_value_test.cpp.o.d"
+  "CMakeFiles/repr_test.dir/codec_test.cpp.o"
+  "CMakeFiles/repr_test.dir/codec_test.cpp.o.d"
+  "CMakeFiles/repr_test.dir/layout_test.cpp.o"
+  "CMakeFiles/repr_test.dir/layout_test.cpp.o.d"
+  "CMakeFiles/repr_test.dir/scalar_type_test.cpp.o"
+  "CMakeFiles/repr_test.dir/scalar_type_test.cpp.o.d"
+  "repr_test"
+  "repr_test.pdb"
+  "repr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/arena_test.cpp" "tests/support/CMakeFiles/support_test.dir/arena_test.cpp.o" "gcc" "tests/support/CMakeFiles/support_test.dir/arena_test.cpp.o.d"
+  "/root/repo/tests/support/diagnostics_test.cpp" "tests/support/CMakeFiles/support_test.dir/diagnostics_test.cpp.o" "gcc" "tests/support/CMakeFiles/support_test.dir/diagnostics_test.cpp.o.d"
+  "/root/repo/tests/support/intern_test.cpp" "tests/support/CMakeFiles/support_test.dir/intern_test.cpp.o" "gcc" "tests/support/CMakeFiles/support_test.dir/intern_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/support/CMakeFiles/support_test.dir/rng_test.cpp.o" "gcc" "tests/support/CMakeFiles/support_test.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/support/stats_test.cpp" "tests/support/CMakeFiles/support_test.dir/stats_test.cpp.o" "gcc" "tests/support/CMakeFiles/support_test.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/support/status_test.cpp" "tests/support/CMakeFiles/support_test.dir/status_test.cpp.o" "gcc" "tests/support/CMakeFiles/support_test.dir/status_test.cpp.o.d"
+  "/root/repo/tests/support/string_util_test.cpp" "tests/support/CMakeFiles/support_test.dir/string_util_test.cpp.o" "gcc" "tests/support/CMakeFiles/support_test.dir/string_util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

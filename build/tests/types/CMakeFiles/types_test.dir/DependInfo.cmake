@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/types/checker_test.cpp" "tests/types/CMakeFiles/types_test.dir/checker_test.cpp.o" "gcc" "tests/types/CMakeFiles/types_test.dir/checker_test.cpp.o.d"
+  "/root/repo/tests/types/type_test.cpp" "tests/types/CMakeFiles/types_test.dir/type_test.cpp.o" "gcc" "tests/types/CMakeFiles/types_test.dir/type_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/bitc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/bitc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm/compiler_test.cpp" "tests/vm/CMakeFiles/vm_test.dir/compiler_test.cpp.o" "gcc" "tests/vm/CMakeFiles/vm_test.dir/compiler_test.cpp.o.d"
+  "/root/repo/tests/vm/interpreter_test.cpp" "tests/vm/CMakeFiles/vm_test.dir/interpreter_test.cpp.o" "gcc" "tests/vm/CMakeFiles/vm_test.dir/interpreter_test.cpp.o.d"
+  "/root/repo/tests/vm/native_test.cpp" "tests/vm/CMakeFiles/vm_test.dir/native_test.cpp.o" "gcc" "tests/vm/CMakeFiles/vm_test.dir/native_test.cpp.o.d"
+  "/root/repo/tests/vm/pipeline_test.cpp" "tests/vm/CMakeFiles/vm_test.dir/pipeline_test.cpp.o" "gcc" "tests/vm/CMakeFiles/vm_test.dir/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/bitc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/bitc_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/bitc_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/bitc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/bitc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/repr/CMakeFiles/bitc_repr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bitc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitcc.dir/bitcc.cpp.o"
+  "CMakeFiles/bitcc.dir/bitcc.cpp.o.d"
+  "bitcc"
+  "bitcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bitcc_run_fib "/root/repo/build/tools/bitcc" "run" "/root/repo/examples/bitc/fib.bitc")
+set_tests_properties(bitcc_run_fib PROPERTIES  PASS_REGULAR_EXPRESSION "6765" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bitcc_run_fib_boxed "/root/repo/build/tools/bitcc" "run" "/root/repo/examples/bitc/fib.bitc" "--mode" "boxed" "--heap" "mark-compact")
+set_tests_properties(bitcc_run_fib_boxed PROPERTIES  PASS_REGULAR_EXPRESSION "6765" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bitcc_verify_bounded_buffer "/root/repo/build/tools/bitcc" "verify" "/root/repo/examples/bitc/bounded_buffer.bitc")
+set_tests_properties(bitcc_verify_bounded_buffer PROPERTIES  PASS_REGULAR_EXPRESSION "7/7 obligations proved" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bitcc_check_reports_signatures "/root/repo/build/tools/bitcc" "check" "/root/repo/examples/bitc/fib.bitc")
+set_tests_properties(bitcc_check_reports_signatures PROPERTIES  PASS_REGULAR_EXPRESSION "fib.*int64 int64" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bitcc_disasm_shows_unchecked "/root/repo/build/tools/bitcc" "disasm" "/root/repo/examples/bitc/bounded_buffer.bitc")
+set_tests_properties(bitcc_disasm_shows_unchecked PROPERTIES  PASS_REGULAR_EXPRESSION "array.set unchecked" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bitcc_overflow_obligations "/root/repo/build/tools/bitcc" "verify" "/root/repo/examples/bitc/saturating_add.bitc" "--overflow")
+set_tests_properties(bitcc_overflow_obligations PROPERTIES  PASS_REGULAR_EXPRESSION "overflow" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bitcc_run_saturating "/root/repo/build/tools/bitcc" "run" "/root/repo/examples/bitc/saturating_add.bitc")
+set_tests_properties(bitcc_run_saturating PROPERTIES  PASS_REGULAR_EXPRESSION "127" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
