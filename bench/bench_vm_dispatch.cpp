@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Dispatch-strategy sweep: {unboxed, boxed} x {switch, threaded} x
+ * heap policies over the shared systems kernels, reported as a JSON
+ * baseline (BENCH_vm_dispatch.json) so the perf trajectory across PRs
+ * is measured rather than asserted.
+ *
+ * This is the quantified half of fallacies F1/F3: the interpreter's
+ * dispatch loop is exactly the kind of integer-factor cost the paper
+ * says matters (F1) and the optimiser cannot recover on its own (F3)
+ * — restructuring the loop for the branch predictor does.
+ *
+ * Usage: bench_vm_dispatch [OUTPUT.json]
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "kernels.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::bench {
+namespace {
+
+using vm::DispatchMode;
+using vm::HeapPolicy;
+using vm::ValueMode;
+
+// Local twin of bench_util's must_build: bench_util.hpp pulls in
+// google-benchmark, which this self-timing sweep doesn't link.
+std::unique_ptr<vm::BuiltProgram>
+must_build(const std::string& source)
+{
+    auto built = vm::build_program(source);
+    if (!built.is_ok()) {
+        fprintf(stderr, "bench build failed: %s\n",
+                built.status().to_string().c_str());
+        abort();
+    }
+    return std::move(built).take();
+}
+
+struct Kernel {
+    const char* entry;
+    std::vector<int64_t> args;
+};
+
+struct Config {
+    ValueMode mode;
+    HeapPolicy heap;
+};
+
+struct Row {
+    const char* kernel;
+    std::vector<int64_t> args;
+    Config config;
+    uint64_t instructions = 0;
+    uint64_t switch_ns = 0;
+    uint64_t threaded_ns = 0;
+
+    double speedup() const {
+        return static_cast<double>(switch_ns) /
+               static_cast<double>(threaded_ns);
+    }
+    double mips(uint64_t ns) const {
+        return static_cast<double>(instructions) * 1e3 /
+               static_cast<double>(ns);
+    }
+};
+
+constexpr int kRepeats = 7;
+
+/**
+ * Median wall time of kRepeats fresh-VM runs; checks the result.
+ * Each repeat constructs its VM outside the timed window: the heap
+ * arena alone is tens of megabytes of zeroed storage, which would
+ * otherwise swamp the dispatch loop we are measuring.
+ */
+uint64_t
+measure(const vm::BuiltProgram& built, const Kernel& kernel,
+        vm::VmConfig config, int64_t expected, uint64_t* instructions)
+{
+    std::vector<uint64_t> samples;
+    samples.reserve(kRepeats);
+    for (int r = 0; r < kRepeats; ++r) {
+        vm::Vm vm(built.code, nullptr, config);
+        auto start = std::chrono::steady_clock::now();
+        auto result = vm.call(kernel.entry, kernel.args);
+        auto end = std::chrono::steady_clock::now();
+        if (!result.is_ok()) {
+            fprintf(stderr, "bench run %s failed: %s\n", kernel.entry,
+                    result.status().to_string().c_str());
+            abort();
+        }
+        if (result.value() != expected) {
+            fprintf(stderr,
+                    "bench %s (%s/%s/%s): result %lld != expected "
+                    "%lld — dispatch modes disagree\n",
+                    kernel.entry, value_mode_name(config.mode),
+                    heap_policy_name(config.heap),
+                    dispatch_mode_name(config.dispatch),
+                    static_cast<long long>(result.value()),
+                    static_cast<long long>(expected));
+            abort();
+        }
+        samples.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - start)
+                .count()));
+        *instructions = vm.instructions_executed();
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    double log_sum = 0;
+    for (double x : xs) log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+std::string
+json_args(const std::vector<int64_t>& args)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(args[i]);
+    }
+    return out + "]";
+}
+
+}  // namespace
+}  // namespace bitc::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace bitc;
+    using namespace bitc::bench;
+
+    const char* out_path =
+        argc > 1 ? argv[1] : "BENCH_vm_dispatch.json";
+
+    auto built = must_build(kernel_source());
+
+    const Kernel kernels[] = {
+        {"checksum", {40}},
+        {"sieve", {65536}},
+        {"hash-churn", {4000}},
+    };
+    const Config configs[] = {
+        {ValueMode::kUnboxed, HeapPolicy::kRegion},
+        {ValueMode::kUnboxed, HeapPolicy::kManual},
+        {ValueMode::kBoxed, HeapPolicy::kGenerational},
+        {ValueMode::kBoxed, HeapPolicy::kMarkSweep},
+    };
+
+    std::vector<Row> rows;
+    for (const Kernel& kernel : kernels) {
+        // Reference result from the portable loop; every other
+        // configuration must reproduce it exactly.
+        vm::VmConfig reference;
+        reference.dispatch = DispatchMode::kSwitch;
+        auto expected = vm::run_built(*built, kernel.entry, kernel.args,
+                                      reference);
+        if (!expected.is_ok()) {
+            fprintf(stderr, "reference run failed: %s\n",
+                    expected.status().to_string().c_str());
+            return 1;
+        }
+        for (const Config& config : configs) {
+            Row row;
+            row.kernel = kernel.entry;
+            row.args = kernel.args;
+            row.config = config;
+            vm::VmConfig vmc;
+            vmc.mode = config.mode;
+            vmc.heap = config.heap;
+            vmc.dispatch = DispatchMode::kSwitch;
+            row.switch_ns = measure(*built, kernel, vmc,
+                                    expected.value(),
+                                    &row.instructions);
+            vmc.dispatch = DispatchMode::kThreaded;
+            row.threaded_ns = measure(*built, kernel, vmc,
+                                      expected.value(),
+                                      &row.instructions);
+            rows.push_back(row);
+            printf("%-10s %-7s %-12s  switch %8.1f Mips  threaded "
+                   "%8.1f Mips  speedup %.2fx\n",
+                   row.kernel, value_mode_name(config.mode),
+                   heap_policy_name(config.heap),
+                   row.mips(row.switch_ns), row.mips(row.threaded_ns),
+                   row.speedup());
+        }
+    }
+
+    std::vector<double> unboxed_speedups;
+    std::vector<double> boxed_speedups;
+    for (const Row& row : rows) {
+        (row.config.mode == ValueMode::kUnboxed ? unboxed_speedups
+                                                : boxed_speedups)
+            .push_back(row.speedup());
+    }
+    double geomean_unboxed = geomean(unboxed_speedups);
+    double geomean_boxed = geomean(boxed_speedups);
+    printf("geomean threaded speedup: unboxed %.2fx, boxed %.2fx\n",
+           geomean_unboxed, geomean_boxed);
+
+    FILE* out = fopen(out_path, "w");
+    if (out == nullptr) {
+        fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    char stamp[64];
+    std::time_t now = std::time(nullptr);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&now));
+    fprintf(out, "{\n");
+    fprintf(out, "  \"bench\": \"vm_dispatch\",\n");
+    fprintf(out, "  \"date_utc\": \"%s\",\n", stamp);
+    fprintf(out, "  \"repeats\": %d,\n", kRepeats);
+    fprintf(out, "  \"threaded_dispatch_available\": %s,\n",
+            vm::threaded_dispatch_available() ? "true" : "false");
+    fprintf(out, "  \"geomean_threaded_speedup_unboxed\": %.3f,\n",
+            geomean_unboxed);
+    fprintf(out, "  \"geomean_threaded_speedup_boxed\": %.3f,\n",
+            geomean_boxed);
+    fprintf(out, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        fprintf(out,
+                "    {\"kernel\": \"%s\", \"args\": %s, "
+                "\"mode\": \"%s\", \"heap\": \"%s\", "
+                "\"instructions\": %llu, "
+                "\"switch_ns\": %llu, \"threaded_ns\": %llu, "
+                "\"switch_mips\": %.1f, \"threaded_mips\": %.1f, "
+                "\"speedup\": %.3f}%s\n",
+                row.kernel, json_args(row.args).c_str(),
+                value_mode_name(row.config.mode),
+                heap_policy_name(row.config.heap),
+                static_cast<unsigned long long>(row.instructions),
+                static_cast<unsigned long long>(row.switch_ns),
+                static_cast<unsigned long long>(row.threaded_ns),
+                row.mips(row.switch_ns), row.mips(row.threaded_ns),
+                row.speedup(), i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(out, "  ]\n}\n");
+    fclose(out);
+    printf("wrote %s\n", out_path);
+    return 0;
+}

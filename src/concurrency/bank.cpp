@@ -112,11 +112,16 @@ FineLockBank::unsafe_total() const
 }
 
 void
-FineLockBank::nonatomic_transfer(size_t from, size_t to, int64_t amount)
+FineLockBank::nonatomic_transfer(size_t from, size_t to, int64_t amount,
+                                 const std::function<void()>& between)
 {
     deposit(from, -amount);
     // Preemption here exposes money in neither account.
-    std::this_thread::yield();
+    if (between) {
+        between();
+    } else {
+        std::this_thread::yield();
+    }
     deposit(to, amount);
 }
 

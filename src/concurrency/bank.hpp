@@ -23,6 +23,7 @@
 #define BITC_CONCURRENCY_BANK_HPP
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -102,8 +103,15 @@ class FineLockBank : public Bank {
      * The other composition trap: a transfer built from two
      * individually-correct operations with no outer lock.  Exposes the
      * money-in-neither/both-accounts window.
+     *
+     * @p between runs between the debit and the credit — i.e. inside
+     * the torn window — standing in for the preemption a scheduler
+     * would inject.  Tests use it to observe the intermediate state
+     * deterministically instead of racing for it; when empty, a plain
+     * yield widens the window as before.
      */
-    void nonatomic_transfer(size_t from, size_t to, int64_t amount);
+    void nonatomic_transfer(size_t from, size_t to, int64_t amount,
+                            const std::function<void()>& between = {});
 
   private:
     std::vector<std::unique_ptr<std::mutex>> locks_;

@@ -110,6 +110,19 @@ class ManagedHeap {
         w[1 + index] = target;
     }
 
+    /**
+     * Direct pointer to an object's slot words, bypassing the handle
+     * table on every access.  Valid only until the next allocation,
+     * free or collection: moving policies relocate storage, so callers
+     * must re-resolve after anything that can collect.  The VM's
+     * unboxed fast paths (which run only over the non-moving region
+     * and manual policies) are the intended user.
+     */
+    uint64_t* slots(ObjRef ref) { return obj_words(ref) + 1; }
+    const uint64_t* slots(ObjRef ref) const {
+        return obj_words(ref) + 1;
+    }
+
     uint32_t num_slots(ObjRef ref) const {
         return ObjHeader::num_slots(obj_words(ref)[0]);
     }

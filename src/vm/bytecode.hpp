@@ -44,6 +44,9 @@ enum class Op : uint8_t {
     kHalt,       ///< stop (end of entry frame)
 };
 
+/** Number of opcodes (kHalt is last); sizes dispatch/profile tables. */
+inline constexpr size_t kNumOps = static_cast<size_t>(Op::kHalt) + 1;
+
 const char* op_name(Op op);
 
 /** Signedness flag in the b operand of arithmetic/compare ops. */

@@ -1,6 +1,8 @@
 #include "vm/interpreter.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "memory/generational_heap.hpp"
 #include "memory/manual_heap.hpp"
@@ -23,12 +25,74 @@ constexpr uint8_t kBoxTag = 1;
 constexpr uint8_t kArrayTag = 2;
 constexpr uint32_t kMaxArrayLen = 1u << 22;
 
+// Labels-as-values is a GCC/Clang extension; elsewhere kThreaded
+// silently degrades to the switch loop (semantics are identical).
+#if defined(__GNUC__) || defined(__clang__)
+#define BITC_VM_COMPUTED_GOTO 1
+#else
+#define BITC_VM_COMPUTED_GOTO 0
+#endif
+
 }  // namespace
 
 const char*
 value_mode_name(ValueMode mode)
 {
     return mode == ValueMode::kUnboxed ? "unboxed" : "boxed";
+}
+
+const char*
+dispatch_mode_name(DispatchMode mode)
+{
+    return mode == DispatchMode::kThreaded ? "threaded" : "switch";
+}
+
+bool
+threaded_dispatch_available()
+{
+    return BITC_VM_COMPUTED_GOTO != 0;
+}
+
+uint64_t
+OpProfile::total_count() const
+{
+    uint64_t sum = 0;
+    for (uint64_t c : counts) sum += c;
+    return sum;
+}
+
+uint64_t
+OpProfile::total_nanos() const
+{
+    uint64_t sum = 0;
+    for (uint64_t n : nanos) sum += n;
+    return sum;
+}
+
+std::string
+OpProfile::to_string() const
+{
+    std::vector<size_t> order;
+    for (size_t i = 0; i < kNumOps; ++i) {
+        if (counts[i] != 0) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+        return counts[a] > counts[b];
+    });
+    std::string out = str_format("%-16s %14s %14s %8s\n", "op", "count",
+                                 "ns", "ns/op");
+    for (size_t i : order) {
+        out += str_format(
+            "%-16s %14llu %14llu %8.1f\n", op_name(static_cast<Op>(i)),
+            static_cast<unsigned long long>(counts[i]),
+            static_cast<unsigned long long>(nanos[i]),
+            static_cast<double>(nanos[i]) /
+                static_cast<double>(counts[i]));
+    }
+    out += str_format("%-16s %14llu %14llu\n", "total",
+                      static_cast<unsigned long long>(total_count()),
+                      static_cast<unsigned long long>(total_nanos()));
+    return out;
 }
 
 const char*
@@ -112,12 +176,14 @@ class Machine {
   public:
     Machine(const CompiledProgram& program,
             const NativeRegistry* natives, ManagedHeap& heap,
-            const VmConfig& config, uint64_t& instructions)
+            const VmConfig& config, uint64_t& instructions,
+            OpProfile* profile)
         : program_(program),
           natives_(natives),
           heap_(heap),
           config_(config),
-          instructions_(instructions)
+          instructions_(instructions),
+          profile_(profile)
     {
         stack_.assign(config.stack_slots, Slot{});
         if constexpr (mode == ValueMode::kBoxed) {
@@ -150,7 +216,7 @@ class Machine {
             BITC_RETURN_IF_ERROR(push_int(a));
         }
         BITC_RETURN_IF_ERROR(reserve_locals(entry_fn, 0));
-        auto result = main_loop(entry);
+        auto result = run_dispatch(entry);
         if (result.is_ok() && !buffer.empty()) {
             copy_buffer_out(buffer);
         }
@@ -160,7 +226,46 @@ class Machine {
     void set_budget(uint64_t end) { budget_end_ = end; }
 
   private:
-    Result<int64_t> main_loop(uint32_t entry) {
+    /** Routes to the configured inner loop, profiled or not. */
+    Result<int64_t> run_dispatch(uint32_t entry) {
+        const bool threaded =
+            config_.dispatch == DispatchMode::kThreaded &&
+            threaded_dispatch_available();
+        if (profile_ != nullptr) {
+            return threaded ? loop_threaded<true>(entry)
+                            : loop_switch<true>(entry);
+        }
+        return threaded ? loop_threaded<false>(entry)
+                        : loop_switch<false>(entry);
+    }
+
+    /**
+     * Attributes elapsed time to the previously dispatched opcode and
+     * counts the new one.  Called once per instruction in profiled
+     * loops only; the last opcode of a run (always kRet) keeps its
+     * count but not its final slice of time.
+     */
+    void profile_tick(size_t op) {
+        auto now = std::chrono::steady_clock::now();
+        if (prof_prev_op_ != kNumOps) {
+            profile_->nanos[prof_prev_op_] += static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now - prof_prev_time_)
+                    .count());
+        }
+        ++profile_->counts[op];
+        prof_prev_op_ = op;
+        prof_prev_time_ = now;
+    }
+
+    /**
+     * The portable baseline: one `switch` per instruction, nested
+     * switches for the flag-driven op clusters.  Kept byte-for-byte
+     * equivalent to the threaded loop (the differential tests hold
+     * both to identical results and retire counts).
+     */
+    template <bool profiled>
+    Result<int64_t> loop_switch(uint32_t entry) {
         const CompiledFunction* fn = &program_.functions[entry];
         uint32_t base = 0;
         uint32_t pc = 0;
@@ -174,6 +279,9 @@ class Machine {
             }
             ++instructions_;
             const Instr& instr = fn->code[pc++];
+            if constexpr (profiled) {
+                profile_tick(static_cast<size_t>(instr.op));
+            }
             switch (instr.op) {
               case Op::kConst: {
                 int64_t value =
@@ -428,6 +536,16 @@ class Machine {
             }
         }
     }
+
+    /**
+     * The threaded loop: computed-goto dispatch with each opcode's
+     * operand decode specialised at its own label (no nested flag
+     * switches on the hot cluster) and unboxed fast paths that touch
+     * stack slots directly.  Defined out of class below; compiles to
+     * loop_switch when labels-as-values is unavailable.
+     */
+    template <bool profiled>
+    Result<int64_t> loop_threaded(uint32_t entry);
 
     // --- Buffer marshalling (the FFI boundary) ---------------------------
 
@@ -688,6 +806,9 @@ class Machine {
     ManagedHeap& heap_;
     const VmConfig& config_;
     uint64_t& instructions_;
+    OpProfile* profile_ = nullptr;
+    size_t prof_prev_op_ = kNumOps;
+    std::chrono::steady_clock::time_point prof_prev_time_{};
     uint64_t budget_end_ = UINT64_MAX;
 
     std::vector<Slot> stack_;
@@ -698,6 +819,546 @@ class Machine {
     bool buffer_rooted_ = false;
 };
 
+#if BITC_VM_COMPUTED_GOTO
+
+/**
+ * Fetch-and-dispatch: budget check, retire, decode once, indirect
+ * jump.  Appears at the end of every handler (replicated dispatch),
+ * so the branch predictor learns per-opcode successor patterns —
+ * the classic threaded-code win over a single shared switch branch.
+ */
+#define BITC_DISPATCH()                                                \
+    do {                                                               \
+        if (__builtin_expect(retired >= budget_end, 0)) {              \
+            return resource_exhausted_error(                           \
+                "instruction budget exceeded");                        \
+        }                                                              \
+        ++retired;                                                     \
+        instr = *ip++;                                                 \
+        if constexpr (profiled) {                                      \
+            profile_tick(static_cast<size_t>(instr.op));               \
+        }                                                              \
+        goto* kTargets[static_cast<size_t>(instr.op)];                 \
+    } while (0)
+
+/**
+ * Unboxed push onto the locally-cached stack: the overflow trap is
+ * the only branch, and no Status is materialised on the hot path.
+ */
+#define BITC_PUSH(value)                                               \
+    do {                                                               \
+        if (__builtin_expect(sp >= stack_cap, 0)) {                    \
+            return resource_exhausted_error("value stack overflow");   \
+        }                                                              \
+        stack[sp++] = (value);                                         \
+    } while (0)
+
+/**
+ * Unboxed bounds trap, expanded inline so the in-bounds path makes no
+ * call and constructs no Status.  Messages match bounds_check's.
+ */
+#define BITC_BOUNDS(flags, idx, array)                                 \
+    do {                                                               \
+        if (((flags) & kFlagCheckLower) != 0 &&                        \
+            __builtin_expect((idx) < 0, 0)) {                          \
+            return runtime_error(                                      \
+                str_format("index %lld below zero",                    \
+                           static_cast<long long>(idx)));              \
+        }                                                              \
+        if (((flags) & kFlagCheckUpper) != 0 &&                        \
+            __builtin_expect((idx) >= static_cast<int64_t>(            \
+                                          heap_.num_slots(array)),     \
+                             0)) {                                     \
+            return runtime_error(                                      \
+                str_format("index %lld beyond length %u",              \
+                           static_cast<long long>(idx),                \
+                           heap_.num_slots(array)));                   \
+        }                                                              \
+    } while (0)
+
+/** Unboxed fast path for the wrap-around arithmetic cluster. */
+#define BITC_ARITH(label, expr)                                        \
+    label: {                                                           \
+        if constexpr (mode == ValueMode::kUnboxed) {                   \
+            uint64_t b = stack[sp - 1];                                \
+            uint64_t a = stack[sp - 2];                                \
+            stack[sp - 2] = (expr);                                    \
+            --sp;                                                      \
+        } else {                                                       \
+            uint64_t b = static_cast<uint64_t>(top_int(0));            \
+            uint64_t a = static_cast<uint64_t>(top_int(1));            \
+            BITC_RETURN_IF_ERROR(                                      \
+                replace2_int(static_cast<int64_t>(expr)));             \
+        }                                                              \
+        BITC_DISPATCH();                                               \
+    }
+
+/** Comparison cluster: signedness decoded from the flag operand. */
+#define BITC_COMPARE(label, cmpop)                                     \
+    label: {                                                           \
+        if constexpr (mode == ValueMode::kUnboxed) {                   \
+            uint64_t ub = stack[sp - 1];                               \
+            uint64_t ua = stack[sp - 2];                               \
+            bool r = (instr.b & kFlagSigned) != 0                      \
+                         ? static_cast<int64_t>(ua)                    \
+                               cmpop static_cast<int64_t>(ub)          \
+                         : ua cmpop ub;                                \
+            stack[sp - 2] = r ? 1 : 0;                                 \
+            --sp;                                                      \
+        } else {                                                       \
+            int64_t b = top_int(0);                                    \
+            int64_t a = top_int(1);                                    \
+            bool r = (instr.b & kFlagSigned) != 0                      \
+                         ? a cmpop b                                   \
+                         : static_cast<uint64_t>(a)                    \
+                               cmpop static_cast<uint64_t>(b);         \
+            BITC_RETURN_IF_ERROR(replace2_int(r ? 1 : 0));             \
+        }                                                              \
+        BITC_DISPATCH();                                               \
+    }
+
+template <ValueMode mode>
+template <bool profiled>
+Result<int64_t>
+Machine<mode>::loop_threaded(uint32_t entry)
+{
+    // Jump table in exact Op declaration order.
+    static const void* const kTargets[] = {
+        &&lb_const, &&lb_unit, &&lb_pop, &&lb_local_get,
+        &&lb_local_set, &&lb_add, &&lb_sub, &&lb_mul, &&lb_div,
+        &&lb_rem, &&lb_neg, &&lb_shl, &&lb_shr, &&lb_bitand,
+        &&lb_bitor, &&lb_bitxor, &&lb_lt, &&lb_le, &&lb_gt, &&lb_ge,
+        &&lb_eq, &&lb_ne, &&lb_not, &&lb_wrap, &&lb_jump,
+        &&lb_jump_if_false, &&lb_call, &&lb_call_native, &&lb_ret,
+        &&lb_array_make, &&lb_array_get, &&lb_array_set,
+        &&lb_array_len, &&lb_assert, &&lb_halt,
+    };
+    static_assert(sizeof(kTargets) / sizeof(kTargets[0]) == kNumOps);
+
+    const CompiledFunction* fn = &program_.functions[entry];
+    const Instr* code = fn->code.data();
+    const Instr* ip = code;
+    uint32_t base = 0;
+    uint32_t current = entry;
+    Instr instr;
+
+    // The unboxed register file: stack pointer, stack base and the
+    // retire counter live in locals the compiler can keep in machine
+    // registers.  Boxed handlers keep using the rooted member helpers
+    // (every slot write must go through root_assign), so only the
+    // retire counter is shared.  All locals are written back on every
+    // exit path — including traps — by the scope guard below.
+    [[maybe_unused]] Slot* const stack = stack_.data();
+    [[maybe_unused]] const size_t stack_cap = stack_.size();
+    const uint64_t budget_end = budget_end_;
+    const size_t frame_limit = config_.stack_slots / 4;
+    size_t sp = sp_;
+    uint64_t retired = instructions_;
+
+    struct ExitSync {
+        uint64_t& retired;
+        uint64_t& retired_out;
+        size_t& sp;
+        size_t& sp_out;
+        bool sync_sp;
+        ~ExitSync() {
+            retired_out = retired;
+            if (sync_sp) sp_out = sp;
+        }
+    } sync{retired, instructions_, sp, sp_,
+           mode == ValueMode::kUnboxed};
+
+    BITC_DISPATCH();
+
+  lb_const: {
+        int64_t value =
+            (static_cast<int64_t>(instr.b) << 32) |
+            static_cast<int64_t>(static_cast<uint32_t>(instr.a));
+        if constexpr (mode == ValueMode::kUnboxed) {
+            BITC_PUSH(static_cast<uint64_t>(value));
+        } else {
+            BITC_RETURN_IF_ERROR(push_int(value));
+        }
+        BITC_DISPATCH();
+    }
+  lb_unit: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            BITC_PUSH(0);
+        } else {
+            BITC_RETURN_IF_ERROR(push_int(0));
+        }
+        BITC_DISPATCH();
+    }
+  lb_pop: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            --sp;
+        } else {
+            drop(1);
+        }
+        BITC_DISPATCH();
+    }
+  lb_local_get: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            BITC_PUSH(stack[base + static_cast<uint32_t>(instr.a)]);
+        } else {
+            BITC_RETURN_IF_ERROR(
+                push_slot(base + static_cast<uint32_t>(instr.a)));
+        }
+        BITC_DISPATCH();
+    }
+  lb_local_set: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            stack[base + static_cast<uint32_t>(instr.a)] = stack[--sp];
+        } else {
+            move_top_to(base + static_cast<uint32_t>(instr.a));
+        }
+        BITC_DISPATCH();
+    }
+    BITC_ARITH(lb_add, a + b)
+    BITC_ARITH(lb_sub, a - b)
+    BITC_ARITH(lb_mul, a * b)
+    BITC_ARITH(lb_shl, a << (b & 63))
+    BITC_ARITH(lb_bitand, a & b)
+    BITC_ARITH(lb_bitor, a | b)
+    BITC_ARITH(lb_bitxor, a ^ b)
+  lb_div:
+  lb_rem: {
+        int64_t b;
+        int64_t a;
+        if constexpr (mode == ValueMode::kUnboxed) {
+            b = static_cast<int64_t>(stack[sp - 1]);
+            a = static_cast<int64_t>(stack[sp - 2]);
+        } else {
+            b = top_int(0);
+            a = top_int(1);
+        }
+        if (b == 0) {
+            return runtime_error("division by zero");
+        }
+        int64_t r;
+        if ((instr.b & kFlagSigned) != 0) {
+            if (a == INT64_MIN && b == -1) {
+                return runtime_error("signed division overflow");
+            }
+            r = instr.op == Op::kDiv ? a / b : a % b;
+        } else {
+            uint64_t ua = static_cast<uint64_t>(a);
+            uint64_t ub = static_cast<uint64_t>(b);
+            r = static_cast<int64_t>(instr.op == Op::kDiv ? ua / ub
+                                                          : ua % ub);
+        }
+        if constexpr (mode == ValueMode::kUnboxed) {
+            stack[sp - 2] = static_cast<uint64_t>(r);
+            --sp;
+        } else {
+            BITC_RETURN_IF_ERROR(replace2_int(r));
+        }
+        BITC_DISPATCH();
+    }
+  lb_neg: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            stack[sp - 1] = 0 - stack[sp - 1];
+        } else {
+            int64_t a = top_int(0);
+            BITC_RETURN_IF_ERROR(replace1_int(
+                static_cast<int64_t>(-static_cast<uint64_t>(a))));
+        }
+        BITC_DISPATCH();
+    }
+  lb_shr: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            uint64_t b = stack[sp - 1];
+            uint64_t a = stack[sp - 2];
+            stack[sp - 2] =
+                (instr.b & kFlagSigned) != 0
+                    ? static_cast<uint64_t>(static_cast<int64_t>(a) >>
+                                            (b & 63))
+                    : a >> (b & 63);
+            --sp;
+        } else {
+            int64_t b = top_int(0);
+            int64_t a = top_int(1);
+            int64_t r;
+            if ((instr.b & kFlagSigned) != 0) {
+                r = a >> (b & 63);
+            } else {
+                r = static_cast<int64_t>(static_cast<uint64_t>(a) >>
+                                         (b & 63));
+            }
+            BITC_RETURN_IF_ERROR(replace2_int(r));
+        }
+        BITC_DISPATCH();
+    }
+    BITC_COMPARE(lb_lt, <)
+    BITC_COMPARE(lb_le, <=)
+    BITC_COMPARE(lb_gt, >)
+    BITC_COMPARE(lb_ge, >=)
+  lb_eq: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            stack[sp - 2] = stack[sp - 2] == stack[sp - 1] ? 1 : 0;
+            --sp;
+        } else {
+            int64_t b = top_int(0);
+            int64_t a = top_int(1);
+            BITC_RETURN_IF_ERROR(replace2_int(a == b ? 1 : 0));
+        }
+        BITC_DISPATCH();
+    }
+  lb_ne: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            stack[sp - 2] = stack[sp - 2] != stack[sp - 1] ? 1 : 0;
+            --sp;
+        } else {
+            int64_t b = top_int(0);
+            int64_t a = top_int(1);
+            BITC_RETURN_IF_ERROR(replace2_int(a != b ? 1 : 0));
+        }
+        BITC_DISPATCH();
+    }
+  lb_not: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            stack[sp - 1] = stack[sp - 1] == 0 ? 1 : 0;
+        } else {
+            int64_t a = top_int(0);
+            BITC_RETURN_IF_ERROR(replace1_int(a == 0 ? 1 : 0));
+        }
+        BITC_DISPATCH();
+    }
+  lb_wrap: {
+        uint32_t bits = static_cast<uint32_t>(instr.a);
+        if constexpr (mode == ValueMode::kUnboxed) {
+            uint64_t wrapped = stack[sp - 1] & repr::low_mask(bits);
+            stack[sp - 1] = static_cast<uint64_t>(
+                (instr.b & kFlagSigned) != 0
+                    ? repr::sign_extend(wrapped, bits)
+                    : static_cast<int64_t>(wrapped));
+        } else {
+            int64_t a = top_int(0);
+            uint64_t wrapped =
+                static_cast<uint64_t>(a) & repr::low_mask(bits);
+            int64_t r = (instr.b & kFlagSigned) != 0
+                            ? repr::sign_extend(wrapped, bits)
+                            : static_cast<int64_t>(wrapped);
+            BITC_RETURN_IF_ERROR(replace1_int(r));
+        }
+        BITC_DISPATCH();
+    }
+  lb_jump: {
+        ip = code + static_cast<uint32_t>(instr.a);
+        BITC_DISPATCH();
+    }
+  lb_jump_if_false: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            uint64_t cond = stack[--sp];
+            if (cond == 0) ip = code + static_cast<uint32_t>(instr.a);
+        } else {
+            int64_t cond = top_int(0);
+            drop(1);
+            if (cond == 0) ip = code + static_cast<uint32_t>(instr.a);
+        }
+        BITC_DISPATCH();
+    }
+  lb_call: {
+        const CompiledFunction* callee =
+            &program_.functions[static_cast<uint32_t>(instr.a)];
+        frames_.push_back(
+            {current, static_cast<uint32_t>(ip - code), base});
+        if (frames_.size() > frame_limit) {
+            return resource_exhausted_error("call stack overflow");
+        }
+        if constexpr (mode == ValueMode::kUnboxed) {
+            base = static_cast<uint32_t>(sp) - callee->num_params;
+            size_t needed = base + callee->num_locals;
+            if (needed > stack_cap) {
+                return resource_exhausted_error(
+                    "value stack overflow");
+            }
+            while (sp < needed) stack[sp++] = 0;
+        } else {
+            base = static_cast<uint32_t>(sp_) - callee->num_params;
+            BITC_RETURN_IF_ERROR(reserve_locals(callee, base));
+        }
+        fn = callee;
+        current = static_cast<uint32_t>(instr.a);
+        code = fn->code.data();
+        ip = code;
+        BITC_DISPATCH();
+    }
+  lb_call_native: {
+        if (natives_ == nullptr) {
+            return internal_error("no native registry");
+        }
+        uint32_t argc = static_cast<uint32_t>(instr.b);
+        native_args_.clear();
+        if constexpr (mode == ValueMode::kUnboxed) {
+            for (uint32_t i = argc; i > 0; --i) {
+                native_args_.push_back(stack[sp - i]);
+            }
+        } else {
+            for (uint32_t i = argc; i > 0; --i) {
+                native_args_.push_back(
+                    static_cast<uint64_t>(top_int(i - 1)));
+            }
+        }
+        auto result = natives_->function(
+            static_cast<uint32_t>(instr.a))(native_args_);
+        if (!result.is_ok()) return result.status();
+        if constexpr (mode == ValueMode::kUnboxed) {
+            sp -= argc;
+            BITC_PUSH(result.value());
+        } else {
+            drop(argc);
+            BITC_RETURN_IF_ERROR(
+                push_int(static_cast<int64_t>(result.value())));
+        }
+        BITC_DISPATCH();
+    }
+  lb_ret: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            if (base != sp - 1) {
+                stack[base] = stack[sp - 1];
+                sp = base + 1;
+            }
+            if (frames_.empty()) {
+                return static_cast<int64_t>(stack[--sp]);
+            }
+        } else {
+            if (base != sp_ - 1) {
+                put(base, stack_[sp_ - 1]);
+                shrink_to(base + 1);
+            }
+            if (frames_.empty()) {
+                int64_t result = top_int(0);
+                drop(1);
+                return result;
+            }
+        }
+        Frame f = frames_.back();
+        frames_.pop_back();
+        current = f.function;
+        fn = &program_.functions[current];
+        code = fn->code.data();
+        ip = code + f.pc;
+        base = f.base;
+        BITC_DISPATCH();
+    }
+  lb_array_make: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            int64_t fill = static_cast<int64_t>(stack[sp - 1]);
+            int64_t len = static_cast<int64_t>(stack[sp - 2]);
+            if (len < 0 || len > kMaxArrayLen) {
+                return runtime_error(
+                    str_format("bad array length %lld",
+                               static_cast<long long>(len)));
+            }
+            auto array = heap_.allocate(static_cast<uint32_t>(len), 0,
+                                        kArrayTag);
+            if (!array.is_ok()) return array.status();
+            uint64_t* slots = heap_.slots(array.value());
+            for (int64_t i = 0; i < len; ++i) {
+                slots[i] = static_cast<uint64_t>(fill);
+            }
+            stack[sp - 2] = static_cast<uint64_t>(array.value());
+            --sp;
+        } else {
+            int64_t fill = top_int(0);
+            int64_t len = top_int(1);
+            if (len < 0 || len > kMaxArrayLen) {
+                return runtime_error(
+                    str_format("bad array length %lld",
+                               static_cast<long long>(len)));
+            }
+            BITC_RETURN_IF_ERROR(make_array(len, fill));
+        }
+        BITC_DISPATCH();
+    }
+  lb_array_get: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            int64_t idx = static_cast<int64_t>(stack[sp - 1]);
+            ObjRef array = static_cast<ObjRef>(stack[sp - 2]);
+            if (__builtin_expect(!heap_.is_live(array), 0)) {
+                return runtime_error("invalid array reference");
+            }
+            BITC_BOUNDS(instr.b, idx, array);
+            stack[sp - 2] = heap_.slots(array)[idx];
+            --sp;
+        } else {
+            int64_t idx = top_int(0);
+            BITC_ASSIGN_OR_RETURN(ObjRef array, array_at(1));
+            BITC_RETURN_IF_ERROR(bounds_check(instr.b, idx, array));
+            BITC_RETURN_IF_ERROR(array_get(array, idx));
+        }
+        BITC_DISPATCH();
+    }
+  lb_array_set: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            int64_t idx = static_cast<int64_t>(stack[sp - 2]);
+            ObjRef array = static_cast<ObjRef>(stack[sp - 3]);
+            if (__builtin_expect(!heap_.is_live(array), 0)) {
+                return runtime_error("invalid array reference");
+            }
+            BITC_BOUNDS(instr.b, idx, array);
+            heap_.slots(array)[idx] = stack[sp - 1];
+            sp -= 3;
+        } else {
+            int64_t idx = top_int(1);
+            BITC_ASSIGN_OR_RETURN(ObjRef array, array_at(2));
+            BITC_RETURN_IF_ERROR(bounds_check(instr.b, idx, array));
+            array_set(array, idx);
+        }
+        BITC_DISPATCH();
+    }
+  lb_array_len: {
+        if constexpr (mode == ValueMode::kUnboxed) {
+            ObjRef array = static_cast<ObjRef>(stack[sp - 1]);
+            if (__builtin_expect(!heap_.is_live(array), 0)) {
+                return runtime_error("invalid array reference");
+            }
+            stack[sp - 1] = heap_.num_slots(array);
+        } else {
+            BITC_ASSIGN_OR_RETURN(ObjRef array, array_at(0));
+            int64_t len = heap_.num_slots(array);
+            drop(1);
+            BITC_RETURN_IF_ERROR(push_int(len));
+        }
+        BITC_DISPATCH();
+    }
+  lb_assert: {
+        int64_t cond;
+        if constexpr (mode == ValueMode::kUnboxed) {
+            cond = static_cast<int64_t>(stack[--sp]);
+        } else {
+            cond = top_int(0);
+            drop(1);
+        }
+        if (cond == 0) {
+            return runtime_error("assertion failed");
+        }
+        BITC_DISPATCH();
+    }
+  lb_halt: {
+        return internal_error("halt in function body");
+    }
+}
+
+#undef BITC_COMPARE
+#undef BITC_ARITH
+#undef BITC_BOUNDS
+#undef BITC_PUSH
+#undef BITC_DISPATCH
+
+#else  // !BITC_VM_COMPUTED_GOTO
+
+template <ValueMode mode>
+template <bool profiled>
+Result<int64_t>
+Machine<mode>::loop_threaded(uint32_t entry)
+{
+    return loop_switch<profiled>(entry);
+}
+
+#endif  // BITC_VM_COMPUTED_GOTO
+
 }  // namespace
 
 template <ValueMode mode>
@@ -706,7 +1367,8 @@ Vm::run(uint32_t function, std::span<const int64_t> args,
         std::span<int64_t> buffer)
 {
     Machine<mode> machine(program_, natives_, *heap_, config_,
-                          instructions_);
+                          instructions_,
+                          config_.profile ? &profile_data_ : nullptr);
     if (config_.max_instructions != 0) {
         machine.set_budget(instructions_ + config_.max_instructions);
     }

@@ -16,6 +16,7 @@
 #ifndef BITC_VM_INTERPRETER_HPP
 #define BITC_VM_INTERPRETER_HPP
 
+#include <array>
 #include <memory>
 #include <span>
 
@@ -26,6 +27,18 @@
 namespace bitc::vm {
 
 enum class ValueMode : uint8_t { kUnboxed, kBoxed };
+
+/**
+ * Inner-loop dispatch strategy.
+ *  - kSwitch:   one `switch` per instruction — the portable baseline,
+ *    and the interpreter shape F1's "factors of 1.5-2x" argument is
+ *    usually made against.
+ *  - kThreaded: computed-goto threaded code (GCC/Clang `&&label`),
+ *    operands decoded once, with unboxed fast paths for the
+ *    arithmetic/compare/branch cluster.  Falls back to kSwitch when
+ *    the compiler has no labels-as-values extension.
+ */
+enum class DispatchMode : uint8_t { kSwitch, kThreaded };
 
 enum class HeapPolicy : uint8_t {
     kRegion,
@@ -39,11 +52,33 @@ enum class HeapPolicy : uint8_t {
 
 const char* value_mode_name(ValueMode mode);
 const char* heap_policy_name(HeapPolicy policy);
+const char* dispatch_mode_name(DispatchMode mode);
+
+/** True when kThreaded actually threads (labels-as-values available). */
+bool threaded_dispatch_available();
+
+/**
+ * Per-opcode execution profile (counts always exact; time attributed
+ * at dispatch boundaries, so nanos are approximate per-op shares).
+ * Collected only when VmConfig::profile is set — the counters cost a
+ * clock read per instruction, so never in benchmark configurations.
+ */
+struct OpProfile {
+    std::array<uint64_t, kNumOps> counts{};
+    std::array<uint64_t, kNumOps> nanos{};
+
+    uint64_t total_count() const;
+    uint64_t total_nanos() const;
+    /** Table of ops sorted by execution count, descending. */
+    std::string to_string() const;
+};
 
 /** VM construction parameters. */
 struct VmConfig {
     ValueMode mode = ValueMode::kUnboxed;
     HeapPolicy heap = HeapPolicy::kRegion;
+    DispatchMode dispatch = DispatchMode::kThreaded;
+    bool profile = false;           ///< collect an OpProfile per run.
     size_t heap_words = 1u << 22;   ///< 32 MiB of 64-bit words.
     size_t stack_slots = 1u << 16;  ///< Value-stack capacity.
     uint64_t max_instructions = 0;  ///< 0 = unlimited.
@@ -96,6 +131,9 @@ class Vm {
     /** Instructions retired over the VM's lifetime. */
     uint64_t instructions_executed() const { return instructions_; }
 
+    /** Accumulated per-opcode profile (all zeros unless config.profile). */
+    const OpProfile& profile() const { return profile_data_; }
+
     /** The heap backing this VM (allocation/pause statistics). */
     const mem::ManagedHeap& heap() const { return *heap_; }
     mem::ManagedHeap& heap() { return *heap_; }
@@ -112,6 +150,7 @@ class Vm {
     VmConfig config_;
     std::unique_ptr<mem::ManagedHeap> heap_;
     uint64_t instructions_ = 0;
+    OpProfile profile_data_;
 };
 
 /** Builds the heap a policy names (exposed for tests and benches). */

@@ -31,4 +31,19 @@ build_program(std::string_view source, BuildOptions options)
     return built;
 }
 
+Result<int64_t>
+run_built(const BuiltProgram& built, const std::string& entry,
+          std::span<const int64_t> args, VmConfig config,
+          const NativeRegistry* natives, RunReport* report)
+{
+    Vm vm(built.code, natives, config);
+    auto result = vm.call(entry, args);
+    if (report != nullptr) {
+        report->instructions = vm.instructions_executed();
+        report->heap = vm.heap().stats();
+        report->profile = vm.profile();
+    }
+    return result;
+}
+
 }  // namespace bitc::vm

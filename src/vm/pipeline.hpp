@@ -48,6 +48,27 @@ struct BuiltProgram {
 Result<std::unique_ptr<BuiltProgram>> build_program(
     std::string_view source, BuildOptions options = {});
 
+/** Everything a single execution produced besides its result. */
+struct RunReport {
+    uint64_t instructions = 0;
+    mem::HeapStats heap;
+    OpProfile profile;  ///< populated when config.profile was set.
+};
+
+/**
+ * One-shot convenience over BuiltProgram::instantiate + Vm::call:
+ * builds a VM with @p config, calls @p entry, and (when @p report is
+ * non-null) copies out the instruction count, heap statistics and
+ * opcode profile before the VM is torn down.  The benches and the
+ * dispatch differential tests use this to compare configurations
+ * without duplicating VM plumbing.
+ */
+Result<int64_t> run_built(const BuiltProgram& built,
+                          const std::string& entry,
+                          std::span<const int64_t> args, VmConfig config,
+                          const NativeRegistry* natives = nullptr,
+                          RunReport* report = nullptr);
+
 }  // namespace bitc::vm
 
 #endif  // BITC_VM_PIPELINE_HPP

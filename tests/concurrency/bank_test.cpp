@@ -1,8 +1,10 @@
 #include "concurrency/bank.hpp"
 
 #include <gtest/gtest.h>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "support/rng.hpp"
@@ -119,25 +121,35 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(CompositionTest, NonatomicTransferExposesIntermediateState) {
     FineLockBank bank(2, 1000);
-    std::atomic<bool> stop{false};
-    std::atomic<int> observed_torn{0};
+    // The observer samples the ledger exactly while the transfer is
+    // preempted between debit and credit: the `between` hook opens the
+    // window, hands control to the observer, and waits for its sample.
+    // This pins the schedule the old spin-and-hope version raced for,
+    // so the composition failure reproduces on every run.
+    std::mutex m;
+    std::condition_variable cv;
+    bool window_open = false;
+    bool sampled = false;
+    int64_t mid_transfer_total = -1;
     std::thread observer([&] {
-        while (!stop) {
-            int64_t t = bank.unsafe_total();
-            if (t != 2000) ++observed_torn;
-        }
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return window_open; });
+        mid_transfer_total = bank.unsafe_total();
+        sampled = true;
+        cv.notify_all();
     });
-    for (int i = 0; i < 50000; ++i) {
-        bank.nonatomic_transfer(0, 1, 10);
-        bank.nonatomic_transfer(1, 0, 10);
-    }
-    stop = true;
+    bank.nonatomic_transfer(0, 1, 10, [&] {
+        std::unique_lock<std::mutex> lock(m);
+        window_open = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return sampled; });
+    });
     observer.join();
     // The individually-correct operations compose into an observable
-    // inconsistency. (Statistically certain at this iteration count on
-    // any preemptive scheduler; the assertion documents the claim.)
-    EXPECT_GT(observed_torn.load(), 0)
+    // inconsistency: mid-transfer, the money is in neither account.
+    EXPECT_EQ(mid_transfer_total, 2000 - 10)
         << "expected the lock-composition failure the paper describes";
+    EXPECT_EQ(bank.total(), 2000) << "transfer must still complete";
 }
 
 TEST(CompositionTest, OrderedTransferNeverTearsLockedTotal) {

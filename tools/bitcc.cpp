@@ -14,6 +14,10 @@
  *   --heap POLICY         region|manual|refcount|mark-sweep|mark-compact|semispace|
  *                         generational (default: region / generational)
  *   --heap-words N        heap size in 64-bit words (default: 4M)
+ *   --dispatch MODE       switch|threaded interpreter loop
+ *                         (default: threaded; falls back to switch
+ *                         when the compiler lacks computed goto)
+ *   --profile             print a per-opcode count/time table after run
  *   --no-fold             disable constant folding
  *   --no-bce              keep all checks even when proved
  *   --no-verify           skip verification entirely
@@ -44,8 +48,8 @@ usage()
         "usage: bitcc {check|verify|disasm|run} FILE [options] "
         "[-- args...]\n"
         "  --entry NAME --mode unboxed|boxed --heap POLICY\n"
-        "  --heap-words N --no-fold --no-bce --no-verify --overflow "
-        "--stats\n");
+        "  --heap-words N --dispatch switch|threaded --profile\n"
+        "  --no-fold --no-bce --no-verify --overflow --stats\n");
     return 2;
 }
 
@@ -132,6 +136,17 @@ parse_args(int argc, char** argv)
             BITC_ASSIGN_OR_RETURN(std::string words, next());
             options.vm.heap_words = std::strtoull(words.c_str(),
                                                   nullptr, 10);
+        } else if (arg == "--dispatch") {
+            BITC_ASSIGN_OR_RETURN(std::string dispatch, next());
+            if (dispatch == "switch") {
+                options.vm.dispatch = vm::DispatchMode::kSwitch;
+            } else if (dispatch == "threaded") {
+                options.vm.dispatch = vm::DispatchMode::kThreaded;
+            } else {
+                return invalid_argument_error("bad --dispatch");
+            }
+        } else if (arg == "--profile") {
+            options.vm.profile = true;
         } else if (arg == "--no-fold") {
             options.fold = false;
         } else if (arg == "--no-bce") {
@@ -236,6 +251,11 @@ run_command(const Options& options)
         return 4;
     }
     std::printf("%lld\n", static_cast<long long>(result.value()));
+    if (options.vm.profile) {
+        std::fprintf(stderr, "profile (%s dispatch):\n%s",
+                     vm::dispatch_mode_name(vm.config().dispatch),
+                     vm.profile().to_string().c_str());
+    }
     if (options.stats) {
         const auto& heap_stats = vm.heap().stats();
         std::fprintf(

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 verify: configure, build, run the full test suite.
+# Mirrors the command in ROADMAP.md; CI runs exactly this script so
+# local and CI results cannot drift.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build
+ctest --output-on-failure -j"$(nproc)"
