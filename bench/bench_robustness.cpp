@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Hardening-overhead sweep: what does it cost to carry the robustness
+ * machinery of this PR on the hot paths?
+ *
+ * Two dimensions are measured, both as ratios against the same binary
+ * with the machinery idle:
+ *
+ *  - Injection points (VM kernels + allocation-heavy mutators): a
+ *    disarmed fault::inject() is one relaxed load and a predicted
+ *    branch; the "counting" rows re-run the same workloads with the
+ *    injector armed in census mode — the most expensive non-failing
+ *    state — so the ratio bounds the cost from above.
+ *  - Manual-heap hardening (guard canaries + freed-payload poisoning):
+ *    the same mutator workloads on a plain versus a hardened
+ *    ManualHeap.
+ *
+ * The budget is 1.10x: hardening must stay inside the noise band the
+ * paper's F1 discussion treats as ignorable, or it would never be left
+ * enabled in the configurations the other benches measure.  Emits
+ * BENCH_robustness.json.
+ *
+ * Usage: bench_robustness [OUTPUT.json]
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels.hpp"
+#include "memory/manual_heap.hpp"
+#include "memory/mutator.hpp"
+#include "support/fault.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::bench {
+namespace {
+
+constexpr int kRepeats = 7;
+constexpr double kBudget = 1.10;
+
+std::unique_ptr<vm::BuiltProgram>
+must_build(const std::string& source)
+{
+    auto built = vm::build_program(source);
+    if (!built.is_ok()) {
+        fprintf(stderr, "bench build failed: %s\n",
+                built.status().to_string().c_str());
+        abort();
+    }
+    return std::move(built).take();
+}
+
+/** Median wall time of kRepeats runs of @p body (setup untimed). */
+uint64_t
+median_ns(const std::function<void()>& body)
+{
+    std::vector<uint64_t> samples;
+    samples.reserve(kRepeats);
+    for (int r = 0; r < kRepeats; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        body();
+        auto end = std::chrono::steady_clock::now();
+        samples.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - start)
+                .count()));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+struct Row {
+    std::string name;       ///< workload / configuration label.
+    const char* dimension;  ///< "inject-points" or "manual-hardening".
+    uint64_t baseline_ns = 0;
+    uint64_t hardened_ns = 0;
+
+    double overhead() const {
+        return static_cast<double>(hardened_ns) /
+               static_cast<double>(baseline_ns);
+    }
+};
+
+double
+geomean(const std::vector<Row>& rows)
+{
+    double log_sum = 0;
+    for (const Row& row : rows) log_sum += std::log(row.overhead());
+    return std::exp(log_sum / static_cast<double>(rows.size()));
+}
+
+/** One VM kernel, timed disarmed then in census mode. */
+Row
+vm_row(const vm::BuiltProgram& built, const char* kernel,
+       std::vector<int64_t> args, vm::ValueMode mode,
+       vm::HeapPolicy heap)
+{
+    vm::VmConfig config;
+    config.mode = mode;
+    config.heap = heap;
+    auto run = [&] {
+        vm::Vm vm(built.code, nullptr, config);
+        auto result = vm.call(kernel, args);
+        if (!result.is_ok()) {
+            fprintf(stderr, "bench run %s failed: %s\n", kernel,
+                    result.status().to_string().c_str());
+            abort();
+        }
+    };
+    Row row;
+    row.name = std::string(kernel) + "/" + vm::value_mode_name(mode) +
+               "/" + vm::heap_policy_name(heap);
+    row.dimension = "inject-points";
+    fault::Injector::instance().disarm();
+    row.baseline_ns = median_ns(run);
+    (void)fault::Injector::instance().arm("count");
+    row.hardened_ns = median_ns(run);
+    fault::Injector::instance().disarm();
+    return row;
+}
+
+struct MutatorCase {
+    const char* name;
+    std::function<uint64_t(mem::ManagedHeap&)> run;  ///< -> checksum.
+};
+
+std::vector<MutatorCase>
+mutator_cases()
+{
+    auto must = [](Result<mem::MutatorReport> report) -> uint64_t {
+        if (!report.is_ok()) {
+            fprintf(stderr, "mutator workload failed: %s\n",
+                    report.status().to_string().c_str());
+            abort();
+        }
+        return report.value().check_value;
+    };
+    return {
+        {"churn",
+         [must](mem::ManagedHeap& heap) {
+             Rng rng(42);
+             return must(
+                 mem::run_churn(heap, 200000, 256, 8, rng));
+         }},
+        {"binary-trees",
+         [must](mem::ManagedHeap& heap) {
+             return must(mem::run_binary_trees(heap, 12, 20));
+         }},
+        {"graph-mutation",
+         [must](mem::ManagedHeap& heap) {
+             Rng rng(7);
+             return must(mem::run_graph_mutation(heap, 5000, 4,
+                                                 200000, rng));
+         }},
+    };
+}
+
+/** One mutator workload on plain vs hardened manual heaps. */
+Row
+mutator_row(const MutatorCase& mcase)
+{
+    constexpr size_t kHeapWords = 1 << 20;
+    fault::Injector::instance().disarm();
+    uint64_t plain_check = 0;
+    uint64_t hardened_check = 0;
+    Row row;
+    row.name = std::string("manual/") + mcase.name;
+    row.dimension = "manual-hardening";
+    row.baseline_ns = median_ns([&] {
+        mem::ManualHeap heap(kHeapWords);
+        plain_check = mcase.run(heap);
+    });
+    row.hardened_ns = median_ns([&] {
+        mem::ManualHeap heap(kHeapWords);
+        heap.enable_hardening();
+        hardened_check = mcase.run(heap);
+    });
+    if (plain_check != hardened_check) {
+        fprintf(stderr,
+                "%s: hardened checksum %llu != plain %llu — "
+                "hardening changed workload behaviour\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(hardened_check),
+                static_cast<unsigned long long>(plain_check));
+        abort();
+    }
+    return row;
+}
+
+}  // namespace
+}  // namespace bitc::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace bitc;
+    using namespace bitc::bench;
+
+    const char* out_path =
+        argc > 1 ? argv[1] : "BENCH_robustness.json";
+
+    auto built = must_build(kernel_source());
+
+    std::vector<Row> rows;
+    rows.push_back(vm_row(*built, "checksum", {40},
+                          vm::ValueMode::kUnboxed,
+                          vm::HeapPolicy::kRegion));
+    rows.push_back(vm_row(*built, "sieve", {65536},
+                          vm::ValueMode::kUnboxed,
+                          vm::HeapPolicy::kRegion));
+    rows.push_back(vm_row(*built, "hash-churn", {4000},
+                          vm::ValueMode::kUnboxed,
+                          vm::HeapPolicy::kRegion));
+    rows.push_back(vm_row(*built, "hash-churn", {4000},
+                          vm::ValueMode::kBoxed,
+                          vm::HeapPolicy::kGenerational));
+    for (const MutatorCase& mcase : mutator_cases()) {
+        rows.push_back(mutator_row(mcase));
+    }
+
+    for (const Row& row : rows) {
+        printf("%-14s %-28s baseline %9.3f ms  hardened %9.3f ms  "
+               "overhead %.3fx\n",
+               row.dimension, row.name.c_str(),
+               static_cast<double>(row.baseline_ns) / 1e6,
+               static_cast<double>(row.hardened_ns) / 1e6,
+               row.overhead());
+    }
+    double overall = geomean(rows);
+    bool within = overall <= kBudget;
+    printf("geomean hardening overhead: %.3fx (budget %.2fx) — %s\n",
+           overall, kBudget, within ? "within budget" : "OVER BUDGET");
+
+    FILE* out = fopen(out_path, "w");
+    if (out == nullptr) {
+        fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    char stamp[64];
+    std::time_t now = std::time(nullptr);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&now));
+    fprintf(out, "{\n");
+    fprintf(out, "  \"bench\": \"robustness\",\n");
+    fprintf(out, "  \"date_utc\": \"%s\",\n", stamp);
+    fprintf(out, "  \"repeats\": %d,\n", kRepeats);
+    fprintf(out, "  \"overhead_budget\": %.2f,\n", kBudget);
+    fprintf(out, "  \"geomean_overhead\": %.3f,\n", overall);
+    fprintf(out, "  \"within_budget\": %s,\n",
+            within ? "true" : "false");
+    fprintf(out, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        fprintf(out,
+                "    {\"dimension\": \"%s\", \"workload\": \"%s\", "
+                "\"baseline_ns\": %llu, \"hardened_ns\": %llu, "
+                "\"overhead\": %.3f}%s\n",
+                row.dimension, row.name.c_str(),
+                static_cast<unsigned long long>(row.baseline_ns),
+                static_cast<unsigned long long>(row.hardened_ns),
+                row.overhead(), i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(out, "  ]\n}\n");
+    fclose(out);
+    printf("wrote %s\n", out_path);
+    return within ? 0 : 1;
+}

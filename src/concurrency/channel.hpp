@@ -8,11 +8,13 @@
 #ifndef BITC_CONCURRENCY_CHANNEL_HPP
 #define BITC_CONCURRENCY_CHANNEL_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 
+#include "support/fault.hpp"
 #include "support/status.hpp"
 
 namespace bitc::conc {
@@ -34,6 +36,9 @@ class Channel {
 
     /** Blocking send. Fails if the channel is (or becomes) closed. */
     Status send(T value) {
+        if (fault::inject(fault::Site::kChannelOp)) {
+            return fault::injected_error(fault::Site::kChannelOp);
+        }
         std::unique_lock<std::mutex> lock(mutex_);
         not_full_.wait(lock, [&] {
             return closed_ || queue_.size() < capacity_;
@@ -58,8 +63,48 @@ class Channel {
         return true;
     }
 
+    /**
+     * Bounded-wait send: blocks until room, close, or @p deadline.
+     * Close wins over an expired deadline (the peer's disconnect is
+     * the more actionable fact); timeout fails kDeadlineExceeded.
+     */
+    template <typename Clock, typename Duration>
+    Status try_send_until(
+        T value,
+        const std::chrono::time_point<Clock, Duration>& deadline) {
+        if (fault::inject(fault::Site::kChannelOp)) {
+            return fault::injected_error(fault::Site::kChannelOp);
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        bool ok = not_full_.wait_until(lock, deadline, [&] {
+            return closed_ || queue_.size() < capacity_;
+        });
+        if (closed_) {
+            return failed_precondition_error("send on closed channel");
+        }
+        if (!ok) {
+            return deadline_exceeded_error("send timed out");
+        }
+        queue_.push_back(std::move(value));
+        lock.unlock();
+        not_empty_.notify_one();
+        return Status::ok();
+    }
+
+    /** try_send_until with a relative timeout. */
+    template <typename Rep, typename Period>
+    Status try_send_for(
+        T value, const std::chrono::duration<Rep, Period>& timeout) {
+        return try_send_until(std::move(value),
+                              std::chrono::steady_clock::now() +
+                                  timeout);
+    }
+
     /** Blocking receive. Fails once closed and drained. */
     Result<T> recv() {
+        if (fault::inject(fault::Site::kChannelOp)) {
+            return fault::injected_error(fault::Site::kChannelOp);
+        }
         std::unique_lock<std::mutex> lock(mutex_);
         not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
         if (queue_.empty()) {
@@ -71,6 +116,43 @@ class Channel {
         lock.unlock();
         not_full_.notify_one();
         return value;
+    }
+
+    /**
+     * Bounded-wait receive: blocks until data, close, or @p deadline.
+     * The backlog always drains first; after that, close beats an
+     * expired deadline, and a pure timeout fails kDeadlineExceeded.
+     */
+    template <typename Clock, typename Duration>
+    Result<T> recv_until(
+        const std::chrono::time_point<Clock, Duration>& deadline) {
+        if (fault::inject(fault::Site::kChannelOp)) {
+            return fault::injected_error(fault::Site::kChannelOp);
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        bool ok = not_empty_.wait_until(lock, deadline, [&] {
+            return closed_ || !queue_.empty();
+        });
+        if (queue_.empty()) {
+            if (closed_) {
+                return failed_precondition_error(
+                    "recv on closed, empty channel");
+            }
+            (void)ok;
+            return deadline_exceeded_error("recv timed out");
+        }
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /** recv_until with a relative timeout. */
+    template <typename Rep, typename Period>
+    Result<T> recv_for(
+        const std::chrono::duration<Rep, Period>& timeout) {
+        return recv_until(std::chrono::steady_clock::now() + timeout);
     }
 
     /** Non-blocking receive. */

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/fault.hpp"
+
 namespace bitc::conc {
 
 namespace {
@@ -58,6 +60,12 @@ Txn::write(TVar& var, uint64_t value)
 bool
 Txn::commit()
 {
+    // Injected fault: the commit is refused as if a conflict had been
+    // detected; the retry loop re-runs the transaction (or gives up,
+    // under a TxnLimits bound).  No lock is taken, nothing published.
+    if (fault::inject(fault::Site::kStmCommit)) {
+        return false;
+    }
     if (writes_.empty()) {
         // Read-only transactions validated incrementally; TL2 needs no
         // further work.

@@ -20,7 +20,10 @@
 #include <atomic>
 #include <cstdint>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "support/status.hpp"
 
 namespace bitc::conc {
 
@@ -51,7 +54,8 @@ class TVar {
 struct StmStats {
     uint64_t commits = 0;
     uint64_t aborts = 0;
-    uint64_t retries = 0;  ///< User-level retry() waits.
+    uint64_t retries = 0;      ///< User-level retry() waits.
+    uint64_t abort_storms = 0; ///< Txns that crossed the storm threshold.
 };
 
 /** Shared STM context: the global version clock plus statistics. */
@@ -67,18 +71,23 @@ class Stm {
     StmStats stats() const {
         return {commits_.load(std::memory_order_relaxed),
                 aborts_.load(std::memory_order_relaxed),
-                retries_.load(std::memory_order_relaxed)};
+                retries_.load(std::memory_order_relaxed),
+                abort_storms_.load(std::memory_order_relaxed)};
     }
 
     void note_commit() { commits_.fetch_add(1, std::memory_order_relaxed); }
     void note_abort() { aborts_.fetch_add(1, std::memory_order_relaxed); }
     void note_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+    void note_abort_storm() {
+        abort_storms_.fetch_add(1, std::memory_order_relaxed);
+    }
 
   private:
     std::atomic<uint64_t> clock_{0};
     std::atomic<uint64_t> commits_{0};
     std::atomic<uint64_t> aborts_{0};
     std::atomic<uint64_t> retries_{0};
+    std::atomic<uint64_t> abort_storms_{0};
 };
 
 /** Internal control flow: the transaction saw an inconsistent state. */
@@ -146,25 +155,50 @@ class Txn {
     std::vector<WriteEntry> writes_;
 };
 
+/** Bounds on a transaction's retry loop (try_atomically). */
+struct TxnLimits {
+    /** Give up with kResourceExhausted after this many attempts
+     *  (0 = unlimited, the atomically() behaviour). */
+    uint64_t max_attempts = 0;
+};
+
+/** Hard ceiling on a single backoff wait, in yield() spins.  Without a
+ *  cap the retry()-wait doubling (x64) could reach ~65k spins per
+ *  abort, turning an abort storm into seconds of dead time. */
+inline constexpr uint32_t kMaxBackoffSpins = 4096;
+
+/** Consecutive aborts of one transaction before it counts as a storm
+ *  in StmStats::abort_storms. */
+inline constexpr uint64_t kAbortStormThreshold = 8;
+
 /**
- * Runs @p fn transactionally until it commits, returning its result.
- * @p fn must be idempotent up to its Txn operations (it may run many
- * times) and must not perform irrevocable side effects.
+ * Runs @p fn transactionally until it commits or the attempt bound is
+ * exhausted.  Returns kResourceExhausted in the latter case — the
+ * termination guarantee fault-injection tests (and any caller that
+ * cannot tolerate livelock) rely on.  @p fn must be idempotent up to
+ * its Txn operations and must not perform irrevocable side effects.
  */
 template <typename Fn>
 auto
-atomically(Stm& stm, Fn&& fn)
+try_atomically(Stm& stm, const TxnLimits& limits, Fn&& fn)
+    -> std::conditional_t<
+        std::is_void_v<decltype(fn(std::declval<Txn&>()))>, Status,
+        Result<decltype(fn(std::declval<Txn&>()))>>
 {
+    constexpr bool kVoid =
+        std::is_void_v<decltype(fn(std::declval<Txn&>()))>;
     uint32_t backoff = 1;
+    uint64_t attempts = 0;
     while (true) {
+        ++attempts;
         Txn txn(stm);
         bool retry_wait = false;
         try {
-            if constexpr (std::is_void_v<decltype(fn(txn))>) {
+            if constexpr (kVoid) {
                 fn(txn);
                 if (txn.commit()) {
                     stm.note_commit();
-                    return;
+                    return Status::ok();
                 }
             } else {
                 auto result = fn(txn);
@@ -179,13 +213,44 @@ atomically(Stm& stm, Fn&& fn)
             retry_wait = true;
         }
         stm.note_abort();
+        if (attempts == kAbortStormThreshold) {
+            stm.note_abort_storm();
+        }
+        if (limits.max_attempts != 0 &&
+            attempts >= limits.max_attempts) {
+            return resource_exhausted_error(
+                "transaction aborted " + std::to_string(attempts) +
+                " times (attempt bound reached)");
+        }
         // Bounded exponential backoff; retry() waits longer since it
-        // needs another thread to make progress first.
+        // needs another thread to make progress first.  Both arms are
+        // capped so a storm cannot degenerate into unbounded waits.
         uint32_t spins = retry_wait ? backoff * 64 : backoff;
+        if (spins > kMaxBackoffSpins) spins = kMaxBackoffSpins;
         for (uint32_t i = 0; i < spins; ++i) {
             std::this_thread::yield();
         }
         if (backoff < 1024) backoff *= 2;
+    }
+}
+
+/**
+ * Runs @p fn transactionally until it commits, returning its result.
+ * @p fn must be idempotent up to its Txn operations (it may run many
+ * times) and must not perform irrevocable side effects.
+ */
+template <typename Fn>
+auto
+atomically(Stm& stm, Fn&& fn)
+{
+    if constexpr (std::is_void_v<decltype(fn(std::declval<Txn&>()))>) {
+        Status status =
+            try_atomically(stm, TxnLimits{}, std::forward<Fn>(fn));
+        (void)status;  // Unlimited attempts cannot fail.
+    } else {
+        auto result =
+            try_atomically(stm, TxnLimits{}, std::forward<Fn>(fn));
+        return std::move(result).take();
     }
 }
 

@@ -1,5 +1,6 @@
 #include "interop/marshal.hpp"
 
+#include "support/fault.hpp"
 #include "support/string_util.hpp"
 
 namespace bitc::interop {
@@ -9,6 +10,11 @@ unmarshal_record(const repr::RecordCodec& codec,
                  std::span<const uint8_t> wire,
                  std::span<int64_t> fields)
 {
+    // Decode side of the interop boundary; injected faults stand in
+    // for torn packets and representation mismatches.
+    if (fault::inject(fault::Site::kFfiMarshal)) {
+        return fault::injected_error(fault::Site::kFfiMarshal);
+    }
     const auto& layout = codec.layout();
     if (wire.size() < layout.byte_size()) {
         return out_of_range_error("wire buffer too short");
@@ -29,6 +35,9 @@ Status
 marshal_record(const repr::RecordCodec& codec,
                std::span<const int64_t> fields, std::span<uint8_t> wire)
 {
+    if (fault::inject(fault::Site::kFfiMarshal)) {
+        return fault::injected_error(fault::Site::kFfiMarshal);
+    }
     const auto& layout = codec.layout();
     if (wire.size() < layout.byte_size()) {
         return out_of_range_error("wire buffer too short");

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "support/string_util.hpp"
+
 namespace bitc::mem {
 
 namespace {
@@ -33,6 +35,11 @@ FreeListSpace::push_block(uint32_t offset, size_t words)
     storage_[offset + kSizeWord] = words;
     heads_[cls] = offset;
     free_list_words_ += words;
+    if (poison_) {
+        for (size_t i = kMinBlockWords; i < words; ++i) {
+            storage_[offset + i] = kPoison;
+        }
+    }
 }
 
 uint32_t
@@ -130,6 +137,64 @@ FreeListSpace::reset()
     heads_.fill(kNoBlock);
     free_list_words_ = 0;
     cursor_ = begin_;
+}
+
+Status
+FreeListSpace::check_integrity() const
+{
+    // Any chain longer than the segment could hold is a cycle.
+    const size_t max_blocks =
+        (cursor_ - begin_) / kMinBlockWords + 1;
+    size_t total_free = 0;
+    for (size_t cls = 0; cls < heads_.size(); ++cls) {
+        bool large = cls == heads_.size() - 1;
+        size_t steps = 0;
+        uint32_t cur = heads_[cls];
+        while (cur != kNoBlock) {
+            if (++steps > max_blocks) {
+                return internal_error(str_format(
+                    "free list class %zu is cyclic", cls));
+            }
+            if (cur < begin_ || cur >= cursor_) {
+                return internal_error(str_format(
+                    "free block offset %u outside carved range "
+                    "[%zu, %zu)",
+                    cur, begin_, cursor_));
+            }
+            size_t size = storage_[cur + kSizeWord];
+            if (size < kMinBlockWords || cur + size > cursor_) {
+                return internal_error(str_format(
+                    "free block at %u has impossible size %zu", cur,
+                    size));
+            }
+            if (large ? size <= kMaxExact
+                      : size != cls + kMinBlockWords) {
+                return internal_error(str_format(
+                    "free block at %u (size %zu) is on the wrong "
+                    "list (class %zu)",
+                    cur, size, cls));
+            }
+            if (poison_) {
+                for (size_t i = kMinBlockWords; i < size; ++i) {
+                    if (storage_[cur + i] != kPoison) {
+                        return internal_error(str_format(
+                            "freed block at %u modified after free "
+                            "(word %zu)",
+                            cur, i));
+                    }
+                }
+            }
+            total_free += size;
+            cur = static_cast<uint32_t>(storage_[cur + kNextWord]);
+        }
+    }
+    if (total_free != free_list_words_) {
+        return internal_error(str_format(
+            "free-list ledger drifted: %zu words on lists, %zu "
+            "recorded",
+            total_free, free_list_words_));
+    }
+    return Status::ok();
 }
 
 }  // namespace bitc::mem

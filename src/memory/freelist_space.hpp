@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/status.hpp"
+
 namespace bitc::mem {
 
 /**
@@ -28,6 +30,8 @@ class FreeListSpace {
     static constexpr size_t kMinBlockWords = 2;
     static constexpr size_t kMaxExact = 64;
     static constexpr uint32_t kNoBlock = 0xffffffffu;
+    /** Pattern written over freed payload words when poisoning is on. */
+    static constexpr uint64_t kPoison = 0xdeadbeefcafef00dull;
 
     /**
      * @param storage Backing array shared with the owning heap.
@@ -47,6 +51,24 @@ class FreeListSpace {
 
     /** Drops all free lists and resets the bump cursor to begin. */
     void reset();
+
+    /**
+     * Debug hardening: when on, every word of a freed block beyond the
+     * two link words is overwritten with kPoison, and check_integrity
+     * verifies the poison is intact — so a write through a stale
+     * pointer into freed storage is detected instead of silently
+     * corrupting whatever reuses the block.
+     */
+    void set_poison(bool on) { poison_ = on; }
+    bool poison() const { return poison_; }
+
+    /**
+     * Walks every free list and verifies: offsets inside the carved
+     * range, sizes sane for their class, no cycles, the size ledger
+     * matching free_list_words(), and (when poisoning is on) freed
+     * payloads unmodified.  Returns the first violation as kInternal.
+     */
+    Status check_integrity() const;
 
     /** Words not currently handed out (free lists + wilderness). */
     size_t free_words() const { return free_list_words_ + wilderness_words(); }
@@ -71,6 +93,7 @@ class FreeListSpace {
     size_t end_;
     size_t cursor_;
     size_t free_list_words_ = 0;
+    bool poison_ = false;
     // heads[i] for exact class size i+kMinBlockWords; last entry = large.
     std::array<uint32_t, kMaxExact - kMinBlockWords + 2> heads_;
 };

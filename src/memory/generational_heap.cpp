@@ -32,8 +32,8 @@ clear_flag(uint64_t* words, uint8_t flag)
 }  // namespace
 
 Result<ObjRef>
-GenerationalHeap::allocate(uint32_t num_slots, uint32_t num_refs,
-                           uint8_t tag)
+GenerationalHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                                uint8_t tag)
 {
     uint32_t words = object_words(num_slots);
 
@@ -89,6 +89,11 @@ GenerationalHeap::store_ref(ObjRef ref, uint32_t index, ObjRef target)
 Status
 GenerationalHeap::minor_collect()
 {
+    // Injected fault: the nursery cannot be evacuated; allocation
+    // failure propagates as a Status without touching any object.
+    if (fault::inject(fault::Site::kGcTrigger)) {
+        return fault::injected_error(fault::Site::kGcTrigger);
+    }
     ScopedTimer timer(pause_stats_);
     ++stats_.minor_collections;
 
@@ -212,6 +217,52 @@ GenerationalHeap::collect()
     std::vector<bool> marked(table_.size(), false);
     mark_all(marked);
     sweep_old(marked);
+}
+
+size_t
+GenerationalHeap::occupied_words(ObjRef ref) const
+{
+    size_t words = object_words(num_slots(ref));
+    return in_nursery(ref) ? words : FreeListSpace::round_up(words);
+}
+
+Status
+GenerationalHeap::check_integrity() const
+{
+    BITC_RETURN_IF_ERROR(check_common());
+    BITC_RETURN_IF_ERROR(old_space_.check_integrity());
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        bool nursery = in_nursery(ref);
+        bool tenured = flag_set(obj_words(ref), kFlagTenured);
+        if (nursery == tenured) {
+            return internal_error(str_format(
+                "object %u tenure flag disagrees with its address "
+                "(offset %u, nursery ends at %zu)",
+                ref, table_[ref], nursery_words_));
+        }
+        if (nursery &&
+            table_[ref] + object_words(num_slots(ref)) >
+                nursery_cursor_) {
+            return internal_error(str_format(
+                "nursery object %u extends past the bump cursor %zu",
+                ref, nursery_cursor_));
+        }
+    }
+    for (ObjRef old_obj : remembered_) {
+        if (table_[old_obj] == kFreeEntry) continue;
+        if (in_nursery(old_obj)) {
+            return internal_error(str_format(
+                "remembered-set entry %u is a nursery object",
+                old_obj));
+        }
+        if (!flag_set(obj_words(old_obj), kFlagRemembered)) {
+            return internal_error(str_format(
+                "remembered-set entry %u lost its remembered flag",
+                old_obj));
+        }
+    }
+    return Status::ok();
 }
 
 }  // namespace bitc::mem

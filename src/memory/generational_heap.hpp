@@ -37,9 +37,6 @@ class GenerationalHeap : public ManagedHeap {
 
     const char* name() const override { return "generational"; }
 
-    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
-                            uint8_t tag) override;
-
     /** Remembered-set write barrier (old -> nursery edges). */
     void store_ref(ObjRef ref, uint32_t index, ObjRef target) override;
 
@@ -54,6 +51,15 @@ class GenerationalHeap : public ManagedHeap {
     }
 
     size_t remembered_set_size() const { return remembered_.size(); }
+
+    Status check_integrity() const override;
+
+  protected:
+    Result<ObjRef> allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                                 uint8_t tag) override;
+
+    /** Tenured blocks are rounded to free-list sizes; nursery is bump. */
+    size_t occupied_words(ObjRef ref) const override;
 
   private:
     Status evacuate_nursery();

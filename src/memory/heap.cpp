@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "support/string_util.hpp"
+
 namespace bitc::mem {
 
 ManagedHeap::ManagedHeap(size_t heap_words)
@@ -71,6 +73,134 @@ ManagedHeap::account_free(uint32_t words)
     ++stats_.frees;
     assert(stats_.words_in_use >= words);
     stats_.words_in_use -= words;
+}
+
+Result<uint64_t>
+ManagedHeap::checked_load(ObjRef ref, uint32_t index) const
+{
+    if (!is_live(ref)) {
+        return failed_precondition_error(str_format(
+            "stale handle %u: object is not live", ref));
+    }
+    if (index >= num_slots(ref)) {
+        return out_of_range_error(str_format(
+            "slot %u out of range for object %u (%u slots)", index, ref,
+            num_slots(ref)));
+    }
+    return load(ref, index);
+}
+
+Status
+ManagedHeap::checked_store(ObjRef ref, uint32_t index, uint64_t value)
+{
+    if (!is_live(ref)) {
+        return failed_precondition_error(str_format(
+            "stale handle %u: object is not live", ref));
+    }
+    if (index >= num_slots(ref) || index < num_refs(ref)) {
+        return out_of_range_error(str_format(
+            "raw slot %u out of range for object %u (%u refs, %u "
+            "slots)",
+            index, ref, num_refs(ref), num_slots(ref)));
+    }
+    store(ref, index, value);
+    return Status::ok();
+}
+
+Result<ObjRef>
+ManagedHeap::checked_load_ref(ObjRef ref, uint32_t index) const
+{
+    if (!is_live(ref)) {
+        return failed_precondition_error(str_format(
+            "stale handle %u: object is not live", ref));
+    }
+    if (index >= num_refs(ref)) {
+        return out_of_range_error(str_format(
+            "ref slot %u out of range for object %u (%u refs)", index,
+            ref, num_refs(ref)));
+    }
+    return load_ref(ref, index);
+}
+
+Status
+ManagedHeap::checked_store_ref(ObjRef ref, uint32_t index, ObjRef target)
+{
+    if (!is_live(ref)) {
+        return failed_precondition_error(str_format(
+            "stale handle %u: object is not live", ref));
+    }
+    if (index >= num_refs(ref)) {
+        return out_of_range_error(str_format(
+            "ref slot %u out of range for object %u (%u refs)", index,
+            ref, num_refs(ref)));
+    }
+    if (target != kNullRef && !is_live(target)) {
+        return failed_precondition_error(str_format(
+            "stale handle %u: store target is not live", target));
+    }
+    store_ref(ref, index, target);
+    return Status::ok();
+}
+
+Status
+ManagedHeap::check_common() const
+{
+    size_t live = 0;
+    size_t occupied = 0;
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        ++live;
+        size_t offset = table_[ref];
+        if (offset >= heap_words_) {
+            return internal_error(str_format(
+                "object %u offset %zu outside heap of %zu words", ref,
+                offset, heap_words_));
+        }
+        const uint64_t* w = storage_.get() + offset;
+        uint32_t slots = ObjHeader::num_slots(w[0]);
+        uint32_t refs = ObjHeader::num_refs(w[0]);
+        if (refs > slots) {
+            return internal_error(str_format(
+                "object %u header corrupt: %u refs > %u slots", ref,
+                refs, slots));
+        }
+        if (offset + object_words(slots) > heap_words_) {
+            return internal_error(str_format(
+                "object %u (%u slots at %zu) overruns the heap", ref,
+                slots, offset));
+        }
+        for (uint32_t i = 0; i < refs; ++i) {
+            uint64_t child = w[1 + i];
+            if (child > 0xffffffffull) {
+                return internal_error(str_format(
+                    "object %u ref slot %u holds a non-handle value",
+                    ref, i));
+            }
+            if (refs_must_be_live() && child != kNullRef &&
+                !is_live(static_cast<ObjRef>(child))) {
+                return internal_error(str_format(
+                    "object %u ref slot %u dangles (handle %llu dead)",
+                    ref, i,
+                    static_cast<unsigned long long>(child)));
+            }
+        }
+        occupied += occupied_words(ref);
+    }
+    if (live != live_objects_) {
+        return internal_error(str_format(
+            "live-object count drifted: %zu in table, %zu recorded",
+            live, live_objects_));
+    }
+    if (occupied != stats_.words_in_use) {
+        return internal_error(str_format(
+            "word accounting drifted: %zu occupied, %llu recorded",
+            occupied,
+            static_cast<unsigned long long>(stats_.words_in_use)));
+    }
+    if (stats_.peak_words_in_use < stats_.words_in_use) {
+        return internal_error("peak words below current words in use");
+    }
+    return Status::ok();
 }
 
 void

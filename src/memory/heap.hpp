@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "memory/object_model.hpp"
+#include "support/fault.hpp"
 #include "support/stats.hpp"
 #include "support/status.hpp"
 
@@ -60,9 +61,18 @@ class ManagedHeap {
      * of which hold references (initialised to null; raw slots zeroed).
      * May trigger a collection. Fails with kResourceExhausted when the
      * policy cannot find room.
+     *
+     * Non-virtual on purpose: this is the single funnel through which
+     * every policy allocates, so the heap-alloc fault-injection point
+     * lives here and all seven policies inherit it.
      */
-    virtual Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
-                                    uint8_t tag) = 0;
+    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
+                            uint8_t tag) {
+        if (fault::inject(fault::Site::kHeapAlloc)) {
+            return fault::injected_error(fault::Site::kHeapAlloc);
+        }
+        return allocate_impl(num_slots, num_refs, tag);
+    }
 
     /**
      * Explicitly frees an object (manual policy). Backends with automatic
@@ -75,6 +85,18 @@ class ManagedHeap {
 
     /** Forces a full collection (no-op where meaningless). */
     virtual void collect() {}
+
+    /**
+     * Self-check of the heap's own invariants, for use after failure
+     * injection and in fuzz drivers.  The base verifies the handle
+     * table and object graph (offsets in range, header sanity,
+     * reference slots naming live objects, live/word accounting
+     * consistent with the stats); policies extend it with their own
+     * metadata checks (free-list consistency, refcount agreement,
+     * canaries, poisoning).  Returns the first violation found as a
+     * kInternal Status.
+     */
+    virtual Status check_integrity() const { return check_common(); }
 
     // --- Object access -----------------------------------------------
 
@@ -133,6 +155,24 @@ class ManagedHeap {
         return ObjHeader::tag(obj_words(ref)[0]);
     }
 
+    // --- Checked access ----------------------------------------------
+    //
+    // The load/store family above asserts validity (free in release
+    // builds, the C-like fast path).  These variants instead validate
+    // the handle and index and fail with a Status, so a use-after-free
+    // through a stale handle is a reportable error, not UB — the
+    // interface fault-handling code uses when the handle's provenance
+    // is untrusted (FFI boundaries, post-failure probes, tests).
+
+    /** Like load, but rejects stale handles and bad indices. */
+    Result<uint64_t> checked_load(ObjRef ref, uint32_t index) const;
+    /** Like store, but rejects stale handles and bad indices. */
+    Status checked_store(ObjRef ref, uint32_t index, uint64_t value);
+    /** Like load_ref, but rejects stale handles and bad indices. */
+    Result<ObjRef> checked_load_ref(ObjRef ref, uint32_t index) const;
+    /** Like store_ref, but validates both handles first. */
+    Status checked_store_ref(ObjRef ref, uint32_t index, ObjRef target);
+
     /** True if @p ref names a currently-allocated object. */
     bool is_live(ObjRef ref) const {
         return ref != kNullRef && ref < table_.size() &&
@@ -171,6 +211,31 @@ class ManagedHeap {
 
   protected:
     static constexpr uint32_t kFreeEntry = 0xffffffffu;
+
+    /** Policy-specific allocation, called by the allocate() funnel. */
+    virtual Result<ObjRef> allocate_impl(uint32_t num_slots,
+                                         uint32_t num_refs,
+                                         uint8_t tag) = 0;
+
+    /**
+     * Storage words an object occupies for accounting purposes.
+     * Free-list policies round requests up to a block size; the base
+     * charge is exactly the object's words.
+     */
+    virtual size_t occupied_words(ObjRef ref) const {
+        return object_words(num_slots(ref));
+    }
+
+    /**
+     * Whether reference slots of live objects must name live objects.
+     * Manual and region policies tolerate dangling handles by design
+     * (the mutator may free/release a referenced object); tracing
+     * policies cannot, since a dangling edge would crash the collector.
+     */
+    virtual bool refs_must_be_live() const { return true; }
+
+    /** The shared table/graph/accounting verification. */
+    Status check_common() const;
 
     uint64_t* obj_words(ObjRef ref) {
         assert(is_live(ref));

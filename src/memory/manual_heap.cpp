@@ -5,9 +5,10 @@
 namespace bitc::mem {
 
 Result<ObjRef>
-ManualHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+ManualHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                          uint8_t tag)
 {
-    size_t words = FreeListSpace::round_up(object_words(num_slots));
+    size_t words = FreeListSpace::round_up(block_words(num_slots));
     uint32_t offset = space_.allocate(words);
     if (offset == FreeListSpace::kNoBlock) {
         return resource_exhausted_error(
@@ -15,6 +16,10 @@ ManualHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
                        words));
     }
     ObjRef ref = bind_handle(offset, num_slots, num_refs, tag);
+    if (hardened_) {
+        storage_[offset + object_words(num_slots)] =
+            canary_for(offset);
+    }
     account_alloc(static_cast<uint32_t>(words));
     return ref;
 }
@@ -23,11 +28,40 @@ void
 ManualHeap::free_object(ObjRef ref)
 {
     assert(is_live(ref));
-    size_t words = FreeListSpace::round_up(object_words(num_slots(ref)));
+    size_t words =
+        FreeListSpace::round_up(block_words(num_slots(ref)));
     uint32_t offset = table_[ref];
+    if (hardened_) {
+        // A dead canary at free time means the object overran its
+        // payload while live; better to fail the next integrity probe
+        // than to silently recycle the block, so leave it unpoisoned.
+        assert(storage_[offset + object_words(num_slots(ref))] ==
+               canary_for(offset));
+    }
     release_handle(ref);
     space_.free_block(offset, words);
     account_free(static_cast<uint32_t>(words));
+}
+
+Status
+ManualHeap::check_integrity() const
+{
+    BITC_RETURN_IF_ERROR(check_common());
+    BITC_RETURN_IF_ERROR(space_.check_integrity());
+    if (hardened_) {
+        for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+            if (table_[ref] == kFreeEntry) continue;
+            size_t offset = table_[ref];
+            size_t guard = offset + object_words(num_slots(ref));
+            if (storage_[guard] != canary_for(offset)) {
+                return internal_error(str_format(
+                    "object %u guard canary clobbered (overrun past "
+                    "%u slots)",
+                    ref, num_slots(ref)));
+            }
+        }
+    }
+    return Status::ok();
 }
 
 }  // namespace bitc::mem

@@ -25,9 +25,6 @@ class ManualHeap : public ManagedHeap {
 
     const char* name() const override { return "manual"; }
 
-    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
-                            uint8_t tag) override;
-
     void free_object(ObjRef ref) override;
 
     bool needs_explicit_free() const override { return true; }
@@ -37,8 +34,45 @@ class ManualHeap : public ManagedHeap {
         return space_.free_words() - space_.wilderness_words();
     }
 
+    /**
+     * Debug hardening: a guard canary word after every payload (heap
+     * overruns by one-off stores trip it) plus freed-payload poisoning
+     * in the underlying free lists.  Must be enabled before the first
+     * allocation — the canary changes block sizing, so flipping it
+     * mid-life would corrupt the accounting.
+     */
+    void enable_hardening() {
+        assert(live_objects() == 0 && stats().allocations == 0);
+        hardened_ = true;
+        space_.set_poison(true);
+    }
+    bool hardened() const { return hardened_; }
+
+    Status check_integrity() const override;
+
+  protected:
+    Result<ObjRef> allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                                 uint8_t tag) override;
+
+    size_t occupied_words(ObjRef ref) const override {
+        return FreeListSpace::round_up(block_words(num_slots(ref)));
+    }
+
+    /** Freed referents are the mutator's problem in the C discipline. */
+    bool refs_must_be_live() const override { return false; }
+
   private:
+    /** Block size for a payload: object words plus the canary. */
+    size_t block_words(uint32_t num_slots) const {
+        return object_words(num_slots) + (hardened_ ? 1 : 0);
+    }
+    /** Canary value: offset-salted so swapped blocks are detected. */
+    uint64_t canary_for(size_t offset) const {
+        return 0xc0de5afec0de5afeull ^ offset;
+    }
+
     FreeListSpace space_;
+    bool hardened_ = false;
 };
 
 }  // namespace bitc::mem

@@ -8,8 +8,8 @@
 namespace bitc::mem {
 
 Result<ObjRef>
-MarkCompactHeap::allocate(uint32_t num_slots, uint32_t num_refs,
-                          uint8_t tag)
+MarkCompactHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                               uint8_t tag)
 {
     uint32_t words = object_words(num_slots);
     if (cursor_ + words > heap_words_) {
@@ -30,6 +30,9 @@ MarkCompactHeap::allocate(uint32_t num_slots, uint32_t num_refs,
 void
 MarkCompactHeap::collect()
 {
+    // Injected fault: deny the compaction; the caller's retry fails
+    // with clean exhaustion.
+    if (fault::inject(fault::Site::kGcTrigger)) return;
     ScopedTimer timer(pause_stats_);
     ++stats_.collections;
 
@@ -84,6 +87,25 @@ MarkCompactHeap::collect()
         to += words;
     }
     cursor_ = to;
+}
+
+Status
+MarkCompactHeap::check_integrity() const
+{
+    BITC_RETURN_IF_ERROR(check_common());
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        if (table_[ref] + object_words(num_slots(ref)) > cursor_) {
+            return internal_error(str_format(
+                "object %u extends past the compaction cursor %zu",
+                ref, cursor_));
+        }
+    }
+    if (stats_.words_in_use > cursor_) {
+        return internal_error(
+            "mark-compact accounting exceeds the bump cursor");
+    }
+    return Status::ok();
 }
 
 }  // namespace bitc::mem

@@ -28,13 +28,16 @@ class MarkCompactHeap : public ManagedHeap {
 
     const char* name() const override { return "mark-compact"; }
 
-    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
-                            uint8_t tag) override;
-
     void collect() override;
 
     /** Words between the compaction cursor and the end of storage. */
     size_t free_words() const { return heap_words_ - cursor_; }
+
+    Status check_integrity() const override;
+
+  protected:
+    Result<ObjRef> allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                                 uint8_t tag) override;
 
   private:
     size_t cursor_ = 0;

@@ -5,7 +5,8 @@
 namespace bitc::mem {
 
 Result<ObjRef>
-MarkSweepHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+MarkSweepHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                             uint8_t tag)
 {
     size_t words = FreeListSpace::round_up(object_words(num_slots));
     if (stats_.words_in_use + words > trigger_words_ &&
@@ -54,6 +55,9 @@ MarkSweepHeap::mark_from_roots(std::vector<bool>& marked) const
 void
 MarkSweepHeap::collect()
 {
+    // Injected fault: the collection is denied, so a caller retrying
+    // an allocation sees clean exhaustion instead of reclaimed room.
+    if (fault::inject(fault::Site::kGcTrigger)) return;
     ScopedTimer timer(pause_stats_);
     ++stats_.collections;
     allocated_since_gc_ = 0;
@@ -70,6 +74,13 @@ MarkSweepHeap::collect()
         space_.free_block(offset, words);
         account_free(static_cast<uint32_t>(words));
     }
+}
+
+Status
+MarkSweepHeap::check_integrity() const
+{
+    BITC_RETURN_IF_ERROR(check_common());
+    return space_.check_integrity();
 }
 
 }  // namespace bitc::mem

@@ -33,10 +33,17 @@ class MarkSweepHeap : public ManagedHeap {
 
     const char* name() const override { return "mark-sweep"; }
 
-    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
-                            uint8_t tag) override;
-
     void collect() override;
+
+    Status check_integrity() const override;
+
+  protected:
+    Result<ObjRef> allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                                 uint8_t tag) override;
+
+    size_t occupied_words(ObjRef ref) const override {
+        return FreeListSpace::round_up(object_words(num_slots(ref)));
+    }
 
   private:
     void mark_from_roots(std::vector<bool>& marked) const;

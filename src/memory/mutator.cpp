@@ -95,36 +95,6 @@ namespace {
 
 constexpr uint8_t kTreeTag = 2;
 
-/**
- * Builds a balanced tree of @p depth. Subtrees are held in LocalRoots
- * (a shadow stack) because any allocation may trigger a collection.
- */
-Result<ObjRef>
-build_tree(ManagedHeap& heap, uint32_t depth)
-{
-    if (depth == 0) {
-        BITC_ASSIGN_OR_RETURN(ObjRef leaf, heap.allocate(3, 2, kTreeTag));
-        heap.store(leaf, 2, 1);  // subtree node count
-        return leaf;
-    }
-    LocalRoot left(heap);
-    {
-        BITC_ASSIGN_OR_RETURN(ObjRef l, build_tree(heap, depth - 1));
-        left.set(l);
-    }
-    LocalRoot right(heap);
-    {
-        BITC_ASSIGN_OR_RETURN(ObjRef r, build_tree(heap, depth - 1));
-        right.set(r);
-    }
-    BITC_ASSIGN_OR_RETURN(ObjRef node, heap.allocate(3, 2, kTreeTag));
-    heap.store_ref(node, 0, left.get());
-    heap.store_ref(node, 1, right.get());
-    heap.store(node, 2,
-               heap.load(left.get(), 2) + heap.load(right.get(), 2) + 1);
-    return node;
-}
-
 /** Post-order explicit free for the manual policy. */
 void
 free_tree(ManagedHeap& heap, ObjRef node)
@@ -133,6 +103,52 @@ free_tree(ManagedHeap& heap, ObjRef node)
     free_tree(heap, heap.load_ref(node, 0));
     free_tree(heap, heap.load_ref(node, 1));
     heap.free_object(node);
+}
+
+Result<ObjRef>
+build_tree(ManagedHeap& heap, uint32_t depth)
+{
+    if (depth == 0) {
+        BITC_ASSIGN_OR_RETURN(ObjRef leaf, heap.allocate(3, 2, kTreeTag));
+        heap.store(leaf, 2, 1);  // subtree node count
+        return leaf;
+    }
+    // Subtrees are held in LocalRoots (a shadow stack) because any
+    // allocation may trigger a collection; on failure the manual
+    // policy additionally needs the partial subtrees freed, or an
+    // injected mid-build OOM would leak them.
+    LocalRoot left(heap);
+    {
+        BITC_ASSIGN_OR_RETURN(ObjRef l, build_tree(heap, depth - 1));
+        left.set(l);
+    }
+    LocalRoot right(heap);
+    {
+        auto r = build_tree(heap, depth - 1);
+        if (!r.is_ok()) {
+            if (heap.needs_explicit_free()) {
+                free_tree(heap, left.get());
+                left.set(kNullRef);
+            }
+            return r.status();
+        }
+        right.set(r.value());
+    }
+    auto node = heap.allocate(3, 2, kTreeTag);
+    if (!node.is_ok()) {
+        if (heap.needs_explicit_free()) {
+            free_tree(heap, left.get());
+            free_tree(heap, right.get());
+            left.set(kNullRef);
+            right.set(kNullRef);
+        }
+        return node.status();
+    }
+    heap.store_ref(node.value(), 0, left.get());
+    heap.store_ref(node.value(), 1, right.get());
+    heap.store(node.value(), 2,
+               heap.load(left.get(), 2) + heap.load(right.get(), 2) + 1);
+    return node.value();
 }
 
 /** Iterative node count of a tree (validation checksum). */
@@ -174,8 +190,17 @@ run_binary_trees(ManagedHeap& heap, uint32_t depth, uint32_t iterations)
         size_t mark = region != nullptr ? region->mark() : 0;
         LocalRoot scratch(heap);
         {
-            BITC_ASSIGN_OR_RETURN(ObjRef t, build_tree(heap, depth));
-            scratch.set(t);
+            auto t = build_tree(heap, depth);
+            if (!t.is_ok()) {
+                // build_tree cleaned up its partial subtrees; the
+                // long-lived tree is this frame's responsibility.
+                if (heap.needs_explicit_free()) {
+                    free_tree(heap, long_lived.get());
+                    long_lived.set(kNullRef);
+                }
+                return t.status();
+            }
+            scratch.set(t.value());
         }
         report.check_value += count_tree(heap, scratch.get());
         ObjRef dead = scratch.get();
@@ -189,6 +214,12 @@ run_binary_trees(ManagedHeap& heap, uint32_t depth, uint32_t iterations)
     }
 
     report.check_value += count_tree(heap, long_lived.get());
+    // Leave the heap empty under the explicit-free discipline so leak
+    // checks can demand live_objects() == 0 on every exit path.
+    if (heap.needs_explicit_free()) {
+        free_tree(heap, long_lived.get());
+        long_lived.set(kNullRef);
+    }
     report.elapsed_ms = ms_since(start);
     return report;
 }
@@ -229,6 +260,25 @@ run_graph_mutation(ManagedHeap& heap, uint32_t node_count, uint32_t fanout,
     };
 
     LocalRoot array_root(heap);
+
+    // Exhaustive teardown for the manual policy: the intrusive counts
+    // know every live node (rewiring can form cycles a count cascade
+    // would strand), so failure paths and the normal exit free the
+    // whole graph instead of leaking it.
+    auto teardown = [&]() {
+        if (!manual) return;
+        if (array_root.get() != kNullRef) {
+            heap.free_object(array_root.get());
+            array_root.set(kNullRef);
+        }
+        for (ObjRef ref = 1; ref < indegree.size(); ++ref) {
+            if (indegree[ref] > 0) {
+                heap.free_object(ref);
+                indegree[ref] = 0;
+            }
+        }
+    };
+
     {
         BITC_ASSIGN_OR_RETURN(ObjRef arr,
                               heap.allocate(node_count, node_count, 4));
@@ -237,11 +287,14 @@ run_graph_mutation(ManagedHeap& heap, uint32_t node_count, uint32_t fanout,
     ObjRef array = array_root.get();
 
     for (uint32_t i = 0; i < node_count; ++i) {
-        BITC_ASSIGN_OR_RETURN(ObjRef node,
-                              heap.allocate(fanout + 1, fanout, kNodeTag));
-        heap.store(node, fanout, i);
-        inc(node);
-        heap.store_ref(array, i, node);
+        auto node = heap.allocate(fanout + 1, fanout, kNodeTag);
+        if (!node.is_ok()) {
+            teardown();
+            return node.status();
+        }
+        heap.store(node.value(), fanout, i);
+        inc(node.value());
+        heap.store_ref(array, i, node.value());
     }
 
     for (uint64_t m = 0; m < mutations; ++m) {
@@ -250,7 +303,10 @@ run_graph_mutation(ManagedHeap& heap, uint32_t node_count, uint32_t fanout,
         if (rng.next_bool(0.1)) {
             // Replace the node wholesale; the old one may become garbage.
             auto fresh = heap.allocate(fanout + 1, fanout, kNodeTag);
-            if (!fresh.is_ok()) return fresh.status();
+            if (!fresh.is_ok()) {
+                teardown();
+                return fresh.status();
+            }
             heap.store(fresh.value(), fanout, node_count + m);
             ObjRef old = node;
             inc(fresh.value());
@@ -273,6 +329,7 @@ run_graph_mutation(ManagedHeap& heap, uint32_t node_count, uint32_t fanout,
         ObjRef node = heap.load_ref(array, i);
         report.check_value += heap.load(node, fanout);
     }
+    teardown();
     report.elapsed_ms = ms_since(start);
     return report;
 }

@@ -5,7 +5,8 @@
 namespace bitc::mem {
 
 Result<ObjRef>
-RefCountHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+RefCountHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                            uint8_t tag)
 {
     size_t words = FreeListSpace::round_up(object_words(num_slots));
     uint32_t offset = space_.allocate(words);
@@ -102,6 +103,9 @@ RefCountHeap::root_assign(ObjRef* root, ObjRef value)
 void
 RefCountHeap::collect()
 {
+    // An injected fault here models "the backup tracer could not run";
+    // the caller's retry allocation then fails cleanly.
+    if (fault::inject(fault::Site::kGcTrigger)) return;
     ScopedTimer timer(pause_stats_);
     ++stats_.collections;
 
@@ -150,6 +154,37 @@ RefCountHeap::collect()
             if (child != kNullRef) ++counts_[child];
         }
     }
+}
+
+Status
+RefCountHeap::check_integrity() const
+{
+    BITC_RETURN_IF_ERROR(check_common());
+    BITC_RETURN_IF_ERROR(space_.check_integrity());
+    // Recompute every count from scratch (root edges + heap in-edges)
+    // and demand exact agreement with the maintained counts.
+    std::vector<uint32_t> expected(table_.size(), 0);
+    for (ObjRef* root : roots_) {
+        if (*root != kNullRef) ++expected[*root];
+    }
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        uint32_t refs = num_refs(ref);
+        for (uint32_t i = 0; i < refs; ++i) {
+            ObjRef child = load_ref(ref, i);
+            if (child != kNullRef) ++expected[child];
+        }
+    }
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        if (counts_[ref] != expected[ref]) {
+            return internal_error(str_format(
+                "object %u refcount drifted: %u maintained, %u "
+                "recomputed",
+                ref, counts_[ref], expected[ref]));
+        }
+    }
+    return Status::ok();
 }
 
 }  // namespace bitc::mem

@@ -29,9 +29,6 @@ class RefCountHeap : public ManagedHeap {
 
     const char* name() const override { return "refcount"; }
 
-    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
-                            uint8_t tag) override;
-
     /** Count-maintaining write barrier. */
     void store_ref(ObjRef ref, uint32_t index, ObjRef target) override;
 
@@ -45,6 +42,16 @@ class RefCountHeap : public ManagedHeap {
     /** Current count of an object (testing hook). */
     uint32_t ref_count(ObjRef ref) const {
         return counts_[ref];
+    }
+
+    Status check_integrity() const override;
+
+  protected:
+    Result<ObjRef> allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                                 uint8_t tag) override;
+
+    size_t occupied_words(ObjRef ref) const override {
+        return FreeListSpace::round_up(object_words(num_slots(ref)));
     }
 
   private:

@@ -5,7 +5,8 @@
 namespace bitc::mem {
 
 Result<ObjRef>
-RegionHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+RegionHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                          uint8_t tag)
 {
     uint32_t words = object_words(num_slots);
     if (cursor_ + words > heap_words_) {
@@ -36,6 +37,26 @@ RegionHeap::release_to(size_t mark)
         }
     }
     cursor_ = mark;
+}
+
+Status
+RegionHeap::check_integrity() const
+{
+    BITC_RETURN_IF_ERROR(check_common());
+    // Every live object sits wholly below the bump cursor.
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        if (table_[ref] + object_words(num_slots(ref)) > cursor_) {
+            return internal_error(str_format(
+                "region object %u extends past the bump cursor %zu",
+                ref, cursor_));
+        }
+    }
+    if (stats_.words_in_use > cursor_) {
+        return internal_error(
+            "region accounting exceeds the bump cursor");
+    }
+    return Status::ok();
 }
 
 }  // namespace bitc::mem

@@ -27,9 +27,6 @@ class RegionHeap : public ManagedHeap {
 
     const char* name() const override { return "region"; }
 
-    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
-                            uint8_t tag) override;
-
     /** Current region mark; pass to release_to to end the region. */
     size_t mark() const { return cursor_; }
 
@@ -41,6 +38,15 @@ class RegionHeap : public ManagedHeap {
 
     /** Frees everything in the heap. */
     void reset_region() { release_to(0); }
+
+    Status check_integrity() const override;
+
+  protected:
+    Result<ObjRef> allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                                 uint8_t tag) override;
+
+    /** Bulk release can strand references into the released suffix. */
+    bool refs_must_be_live() const override { return false; }
 
   private:
     size_t cursor_ = 0;

@@ -8,7 +8,8 @@
 namespace bitc::mem {
 
 Result<ObjRef>
-SemispaceHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
+SemispaceHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                             uint8_t tag)
 {
     uint32_t words = object_words(num_slots);
     if (cursor_ + words > half_words_) {
@@ -29,6 +30,9 @@ SemispaceHeap::allocate(uint32_t num_slots, uint32_t num_refs, uint8_t tag)
 void
 SemispaceHeap::collect()
 {
+    // Injected fault: deny the evacuation; the caller's retry fails
+    // with clean exhaustion and the from-space stays intact.
+    if (fault::inject(fault::Site::kGcTrigger)) return;
     ScopedTimer timer(pause_stats_);
     ++stats_.collections;
 
@@ -68,6 +72,30 @@ SemispaceHeap::collect()
 
     std::swap(from_base_, to_base_);
     cursor_ = to_cursor;
+}
+
+Status
+SemispaceHeap::check_integrity() const
+{
+    BITC_RETURN_IF_ERROR(check_common());
+    // Every live object sits wholly inside the active semispace.
+    for (ObjRef ref = 1; ref < table_.size(); ++ref) {
+        if (table_[ref] == kFreeEntry) continue;
+        size_t offset = table_[ref];
+        size_t words = object_words(num_slots(ref));
+        if (offset < from_base_ ||
+            offset + words > from_base_ + cursor_) {
+            return internal_error(str_format(
+                "object %u at %zu is outside the active semispace "
+                "[%zu, %zu)",
+                ref, offset, from_base_, from_base_ + cursor_));
+        }
+    }
+    if (stats_.words_in_use > cursor_) {
+        return internal_error(
+            "semispace accounting exceeds the bump cursor");
+    }
+    return Status::ok();
 }
 
 }  // namespace bitc::mem

@@ -28,13 +28,16 @@ class SemispaceHeap : public ManagedHeap {
 
     const char* name() const override { return "semispace"; }
 
-    Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
-                            uint8_t tag) override;
-
     void collect() override;
 
     /** Usable capacity (one semispace). */
     size_t semispace_words() const { return half_words_; }
+
+    Status check_integrity() const override;
+
+  protected:
+    Result<ObjRef> allocate_impl(uint32_t num_slots, uint32_t num_refs,
+                                 uint8_t tag) override;
 
   private:
     size_t half_words_;

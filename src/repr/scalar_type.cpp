@@ -68,7 +68,9 @@ int64_t
 ScalarType::min_signed() const
 {
     assert(is_signed());
-    return -static_cast<int64_t>(1ull << (bits_ - 1));
+    // Negate in unsigned arithmetic: for bits_ == 64 the result is
+    // INT64_MIN, whose signed negation would overflow.
+    return static_cast<int64_t>(-(1ull << (bits_ - 1)));
 }
 
 int64_t

@@ -1,0 +1,250 @@
+#include "support/fault.hpp"
+
+#include <cstdlib>
+
+namespace bitc::fault {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "heap-alloc", "gc-trigger", "stm-commit", "channel-op",
+    "ffi-marshal",
+};
+
+constexpr uint64_t kOperandMask =
+    (uint64_t{1} << 62) - 1;  // low 62 bits
+
+}  // namespace
+
+const char*
+site_name(Site site)
+{
+    return kSiteNames[static_cast<size_t>(site)];
+}
+
+Result<Site>
+parse_site(const std::string& name)
+{
+    for (size_t i = 0; i < kNumSites; ++i) {
+        if (name == kSiteNames[i]) {
+            return static_cast<Site>(i);
+        }
+    }
+    return invalid_argument_error("unknown fault site '" + name +
+                                  "' (expected heap-alloc, gc-trigger, "
+                                  "stm-commit, channel-op or "
+                                  "ffi-marshal)");
+}
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+bool
+on_hit(Site site)
+{
+    Injector& inj = Injector::instance();
+    size_t i = static_cast<size_t>(site);
+    uint64_t plan = inj.plans_[i].load(std::memory_order_relaxed);
+    uint64_t mode = plan >> Injector::kModeShift;
+    if (mode == Injector::kModeOff) {
+        return false;
+    }
+    uint64_t hit =
+        inj.hits_[i].fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t operand = plan & kOperandMask;
+    bool fail = false;
+    switch (mode) {
+        case Injector::kModeCount:
+            break;
+        case Injector::kModeNth:
+            fail = hit == operand;
+            break;
+        case Injector::kModeEvery:
+            fail = operand != 0 && hit % operand == 0;
+            break;
+        default:
+            break;
+    }
+    if (fail) {
+        inj.injected_[i].fetch_add(1, std::memory_order_relaxed);
+    }
+    return fail;
+}
+
+}  // namespace detail
+
+Injector&
+Injector::instance()
+{
+    static Injector injector;
+    return injector;
+}
+
+void
+Injector::set_plan(Site site, uint64_t mode, uint64_t operand)
+{
+    plans_[static_cast<size_t>(site)].store(
+        mode << kModeShift | (operand & kOperandMask),
+        std::memory_order_relaxed);
+    detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+Injector::reset_site(Site site)
+{
+    size_t i = static_cast<size_t>(site);
+    hits_[i].store(0, std::memory_order_relaxed);
+    injected_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Injector::arm_nth(Site site, uint64_t nth)
+{
+    reset_site(site);
+    set_plan(site, kModeNth, nth);
+}
+
+void
+Injector::arm_every(Site site, uint64_t k)
+{
+    reset_site(site);
+    set_plan(site, kModeEvery, k);
+}
+
+void
+Injector::arm_count()
+{
+    reset_counters();
+    for (size_t i = 0; i < kNumSites; ++i) {
+        plans_[i].store(kModeCount << kModeShift,
+                        std::memory_order_relaxed);
+    }
+    detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+Injector::disarm()
+{
+    detail::g_armed.store(false, std::memory_order_relaxed);
+    for (size_t i = 0; i < kNumSites; ++i) {
+        plans_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Injector::reset_counters()
+{
+    for (size_t i = 0; i < kNumSites; ++i) {
+        hits_[i].store(0, std::memory_order_relaxed);
+        injected_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+SiteCounters
+Injector::counters(Site site) const
+{
+    size_t i = static_cast<size_t>(site);
+    SiteCounters out;
+    out.hits = hits_[i].load(std::memory_order_relaxed);
+    out.injected = injected_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+std::string
+Injector::report() const
+{
+    std::string out;
+    for (size_t i = 0; i < kNumSites; ++i) {
+        uint64_t plan = plans_[i].load(std::memory_order_relaxed);
+        SiteCounters c = counters(static_cast<Site>(i));
+        if (plan >> kModeShift == kModeOff && c.hits == 0) {
+            continue;
+        }
+        out += kSiteNames[i];
+        out += ": ";
+        out += std::to_string(c.hits);
+        out += " hits, ";
+        out += std::to_string(c.injected);
+        out += " injected\n";
+    }
+    return out;
+}
+
+Status
+Injector::arm(const std::string& plan)
+{
+    disarm();
+    reset_counters();
+    if (plan.empty() || plan == "off") {
+        return Status::ok();
+    }
+    size_t pos = 0;
+    while (pos <= plan.size()) {
+        size_t comma = plan.find(',', pos);
+        std::string clause = plan.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (clause.empty()) {
+            disarm();
+            return invalid_argument_error(
+                "empty clause in fault plan '" + plan + "'");
+        }
+        if (clause == "count") {
+            arm_count();
+        } else {
+            size_t colon = clause.find(':');
+            if (colon == std::string::npos) {
+                disarm();
+                return invalid_argument_error(
+                    "fault clause '" + clause +
+                    "' is not 'count' or 'site:action'");
+            }
+            auto site = parse_site(clause.substr(0, colon));
+            if (!site.is_ok()) {
+                disarm();
+                return site.status();
+            }
+            std::string action = clause.substr(colon + 1);
+            uint64_t mode = 0;
+            uint64_t operand = 0;
+            if (action == "count") {
+                mode = kModeCount;
+            } else if (action.rfind("nth=", 0) == 0 ||
+                       action.rfind("every=", 0) == 0) {
+                mode = action[0] == 'n' ? kModeNth : kModeEvery;
+                std::string num =
+                    action.substr(action.find('=') + 1);
+                char* end = nullptr;
+                operand = std::strtoull(num.c_str(), &end, 10);
+                if (num.empty() || end == nullptr || *end != '\0' ||
+                    operand == 0) {
+                    disarm();
+                    return invalid_argument_error(
+                        "fault action '" + action +
+                        "' needs a positive integer");
+                }
+            } else {
+                disarm();
+                return invalid_argument_error(
+                    "unknown fault action '" + action +
+                    "' (expected nth=N, every=K or count)");
+            }
+            set_plan(site.value(), mode, operand);
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return Status::ok();
+}
+
+Status
+injected_error(Site site)
+{
+    return resource_exhausted_error(
+        std::string("fault injected at ") + site_name(site));
+}
+
+}  // namespace bitc::fault

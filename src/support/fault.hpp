@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Deterministic, seedless fault injection for the runtime's failure
+ * boundaries.
+ *
+ * Systems code is reasoned about under failure: allocation can fail at
+ * any site, a commit can be refused, a channel peer can vanish.  The
+ * paper's credibility argument (safe systems languages must keep their
+ * guarantees on the *failure* paths, not just the hot paths) is only
+ * testable if failures can be provoked on demand, at a precise site,
+ * reproducibly.  This module provides that: every fallible runtime
+ * boundary declares a tagged injection point, and a process-wide
+ * injector arms plans like "fail the Nth hit of site S" or "fail every
+ * Kth hit".  The exhaustive sweep driver in tests/robustness/ runs a
+ * workload once to census the hits, then re-runs it once per hit with
+ * that hit forced to fail.
+ *
+ * Cost model: when disarmed (the production state) an injection point
+ * is one relaxed atomic load and a predicted-not-taken branch —
+ * bench_robustness holds this under 1.10x on the shared kernels, well
+ * inside the paper's F1 band.  Counters only tick while armed.
+ */
+#ifndef BITC_SUPPORT_FAULT_HPP
+#define BITC_SUPPORT_FAULT_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace bitc::fault {
+
+/** Tagged injection points, one per hardened runtime boundary. */
+enum class Site : uint8_t {
+    kHeapAlloc = 0,  ///< ManagedHeap::allocate, every policy.
+    kGcTrigger,      ///< Entry of a collection; injection denies the GC.
+    kStmCommit,      ///< Txn::commit; injection forces an abort.
+    kChannelOp,      ///< Channel send/recv entry points.
+    kFfiMarshal,     ///< Record marshalling and VM buffer crossings.
+};
+
+/** Number of distinct sites (array sizing). */
+inline constexpr size_t kNumSites = 5;
+
+/** Stable name used in plans and messages, e.g. "heap-alloc". */
+const char* site_name(Site site);
+
+/** Parses a site name; inverse of site_name. */
+Result<Site> parse_site(const std::string& name);
+
+/** Per-site hit/injection counters (snapshot). */
+struct SiteCounters {
+    uint64_t hits = 0;      ///< Times the site was reached while armed.
+    uint64_t injected = 0;  ///< Times a failure was injected.
+};
+
+namespace detail {
+/** Process-wide fast flag: false means every inject() is a no-op. */
+extern std::atomic<bool> g_armed;
+/** Slow path: counts the hit and decides; defined in fault.cpp. */
+bool on_hit(Site site);
+}  // namespace detail
+
+/**
+ * The process-wide injector.  Thread-safe for concurrent inject()
+ * calls; arming/disarming must not race with injection points (tests
+ * arm before starting worker threads and disarm after joining them).
+ */
+class Injector {
+  public:
+    static Injector& instance();
+
+    /**
+     * Arms a plan and resets all counters.  Grammar (documented in
+     * docs/robustness.md):
+     *
+     *   plan    := "off" | clause ("," clause)*
+     *   clause  := "count" | site ":" action
+     *   action  := "nth=" N | "every=" K | "count"
+     *
+     * "count" alone counts hits at every site without failing any —
+     * the census mode the sweep driver uses.  N and K are 1-based;
+     * "nth=3" fails exactly the third hit, "every=2" fails hits
+     * 2, 4, 6, ...
+     */
+    Status arm(const std::string& plan);
+
+    // The programmatic arms below zero the armed site's counters (and
+    // arm_count zeroes all of them): arming is always the start of a
+    // fresh experiment, never a continuation of a previous one's hit
+    // numbering.
+
+    /** Arms "fail the @p nth hit of @p site" (1-based). */
+    void arm_nth(Site site, uint64_t nth);
+    /** Arms "fail every @p k-th hit of @p site" (k >= 1). */
+    void arm_every(Site site, uint64_t k);
+    /** Arms count-only mode at every site. */
+    void arm_count();
+    /** Disarms everything; injection points return to the fast path. */
+    void disarm();
+    /** Zeroes hit/injection counters without changing the plan. */
+    void reset_counters();
+
+    bool armed() const {
+        return detail::g_armed.load(std::memory_order_relaxed);
+    }
+
+    SiteCounters counters(Site site) const;
+    uint64_t hits(Site site) const { return counters(site).hits; }
+    uint64_t injected(Site site) const {
+        return counters(site).injected;
+    }
+
+    /** "heap-alloc: 12 hits, 1 injected" lines for every armed site. */
+    std::string report() const;
+
+  private:
+    Injector() = default;
+    friend bool detail::on_hit(Site);
+
+    // Plan word per site: mode in the top 2 bits, operand below.
+    // Packing keeps reads race-free against a concurrent arm() without
+    // a lock on the injection path.
+    static constexpr uint64_t kModeShift = 62;
+    static constexpr uint64_t kModeOff = 0;
+    static constexpr uint64_t kModeCount = 1;
+    static constexpr uint64_t kModeNth = 2;
+    static constexpr uint64_t kModeEvery = 3;
+
+    void set_plan(Site site, uint64_t mode, uint64_t operand);
+    void reset_site(Site site);
+
+    std::array<std::atomic<uint64_t>, kNumSites> plans_{};
+    std::array<std::atomic<uint64_t>, kNumSites> hits_{};
+    std::array<std::atomic<uint64_t>, kNumSites> injected_{};
+};
+
+/**
+ * The injection point.  Returns true when the caller must fail now
+ * (with injected_error(site) or the site's native failure mode).
+ */
+inline bool
+inject(Site site)
+{
+    if (__builtin_expect(
+            !detail::g_armed.load(std::memory_order_relaxed), 1)) {
+        return false;
+    }
+    return detail::on_hit(site);
+}
+
+/** The Status an injected failure surfaces as: kResourceExhausted. */
+Status injected_error(Site site);
+
+/**
+ * RAII plan: arms on construction, disarms on destruction.  Tests use
+ * this so a failed assertion cannot leave the process armed.
+ */
+class ScopedPlan {
+  public:
+    explicit ScopedPlan(const std::string& plan)
+        : status_(Injector::instance().arm(plan)) {}
+    ~ScopedPlan() { Injector::instance().disarm(); }
+    ScopedPlan(const ScopedPlan&) = delete;
+    ScopedPlan& operator=(const ScopedPlan&) = delete;
+
+    /** Parse result of the plan string. */
+    const Status& status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+}  // namespace bitc::fault
+
+#endif  // BITC_SUPPORT_FAULT_HPP

@@ -13,6 +13,7 @@ status_code_name(StatusCode code)
       case StatusCode::kOutOfRange: return "out of range";
       case StatusCode::kResourceExhausted: return "resource exhausted";
       case StatusCode::kFailedPrecondition: return "failed precondition";
+      case StatusCode::kDeadlineExceeded: return "deadline exceeded";
       case StatusCode::kUnimplemented: return "unimplemented";
       case StatusCode::kInternal: return "internal";
       case StatusCode::kTypeError: return "type error";
@@ -47,6 +48,8 @@ Status resource_exhausted_error(std::string m)
 { return Status(StatusCode::kResourceExhausted, std::move(m)); }
 Status failed_precondition_error(std::string m)
 { return Status(StatusCode::kFailedPrecondition, std::move(m)); }
+Status deadline_exceeded_error(std::string m)
+{ return Status(StatusCode::kDeadlineExceeded, std::move(m)); }
 Status unimplemented_error(std::string m)
 { return Status(StatusCode::kUnimplemented, std::move(m)); }
 Status internal_error(std::string m)

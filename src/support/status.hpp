@@ -26,6 +26,7 @@ enum class StatusCode {
     kOutOfRange,        ///< Index / value outside its domain.
     kResourceExhausted, ///< Allocator or budget ran dry.
     kFailedPrecondition,///< Call sequencing or state error.
+    kDeadlineExceeded,  ///< A bounded wait timed out.
     kUnimplemented,     ///< Feature intentionally absent.
     kInternal,          ///< Invariant violation inside the toolchain.
     kTypeError,         ///< Type-check failure in the language pipeline.
@@ -76,6 +77,7 @@ Status already_exists_error(std::string message);
 Status out_of_range_error(std::string message);
 Status resource_exhausted_error(std::string message);
 Status failed_precondition_error(std::string message);
+Status deadline_exceeded_error(std::string message);
 Status unimplemented_error(std::string message);
 Status internal_error(std::string message);
 Status type_error(std::string message);

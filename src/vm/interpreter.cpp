@@ -12,6 +12,7 @@
 #include "memory/region_heap.hpp"
 #include "memory/semispace_heap.hpp"
 #include "repr/scalar_type.hpp"
+#include "support/fault.hpp"
 #include "support/string_util.hpp"
 
 namespace bitc::vm {
@@ -218,7 +219,7 @@ class Machine {
         BITC_RETURN_IF_ERROR(reserve_locals(entry_fn, 0));
         auto result = run_dispatch(entry);
         if (result.is_ok() && !buffer.empty()) {
-            copy_buffer_out(buffer);
+            BITC_RETURN_IF_ERROR(copy_buffer_out(buffer));
         }
         return result;
     }
@@ -550,6 +551,11 @@ class Machine {
     // --- Buffer marshalling (the FFI boundary) ---------------------------
 
     Status push_buffer_array(std::span<const int64_t> buffer) {
+        // The inbound half of the FFI boundary: an injected fault here
+        // models a marshalling failure before any VM state is built.
+        if (fault::inject(fault::Site::kFfiMarshal)) {
+            return fault::injected_error(fault::Site::kFfiMarshal);
+        }
         uint32_t n = static_cast<uint32_t>(buffer.size());
         if constexpr (mode == ValueMode::kBoxed) {
             // Box every element first (each rooted on the stack), then
@@ -581,7 +587,12 @@ class Machine {
         }
     }
 
-    void copy_buffer_out(std::span<int64_t> buffer) {
+    Status copy_buffer_out(std::span<int64_t> buffer) {
+        // The outbound half: an injected fault leaves the caller's
+        // buffer untouched, as a real marshalling error would.
+        if (fault::inject(fault::Site::kFfiMarshal)) {
+            return fault::injected_error(fault::Site::kFfiMarshal);
+        }
         for (uint32_t i = 0; i < buffer.size(); ++i) {
             if constexpr (mode == ValueMode::kBoxed) {
                 buffer[i] = unbox(heap_.load_ref(buffer_array_, i));
@@ -590,6 +601,7 @@ class Machine {
                     static_cast<int64_t>(heap_.load(buffer_array_, i));
             }
         }
+        return Status::ok();
     }
 
     // --- Stack primitives ------------------------------------------------

@@ -1,0 +1,165 @@
+/**
+ * Channel failure paths: the deadline-bounded send/recv variants, the
+ * timeout-versus-close ordering contract (the peer's disconnect beats
+ * an expired deadline), and injected channel-op failures.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "concurrency/channel.hpp"
+#include "support/fault.hpp"
+
+namespace bitc::conc {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ChannelDeadlineTest, RecvTimesOutOnEmptyChannel) {
+    Channel<int> channel(4);
+    auto start = std::chrono::steady_clock::now();
+    auto result = channel.recv_for(20ms);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_GE(elapsed, 15ms) << "returned before the deadline";
+}
+
+TEST(ChannelDeadlineTest, RecvReturnsDataThatArrivesBeforeDeadline) {
+    Channel<int> channel(4);
+    std::thread producer([&] {
+        std::this_thread::sleep_for(10ms);
+        ASSERT_TRUE(channel.send(42).is_ok());
+    });
+    auto result = channel.recv_for(5s);
+    producer.join();
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ChannelDeadlineTest, SendTimesOutOnFullChannel) {
+    Channel<int> channel(1);
+    ASSERT_TRUE(channel.send(1).is_ok());
+    auto status = channel.try_send_for(2, 20ms);
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ChannelDeadlineTest, SendSucceedsWhenRoomAppearsBeforeDeadline) {
+    Channel<int> channel(1);
+    ASSERT_TRUE(channel.send(1).is_ok());
+    std::thread consumer([&] {
+        std::this_thread::sleep_for(10ms);
+        ASSERT_TRUE(channel.recv().is_ok());
+    });
+    EXPECT_TRUE(channel.try_send_for(2, 5s).is_ok());
+    consumer.join();
+}
+
+// --- Timeout-versus-close ordering -----------------------------------
+
+TEST(ChannelOrderingTest, CloseBeatsAnAlreadyExpiredRecvDeadline) {
+    Channel<int> channel(4);
+    channel.close();
+    // Both conditions hold at once (closed channel, deadline in the
+    // past): the disconnect is the more actionable fact and must win.
+    auto result = channel.recv_until(std::chrono::steady_clock::now() -
+                                     1s);
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ChannelOrderingTest, CloseBeatsAnAlreadyExpiredSendDeadline) {
+    Channel<int> channel(1);
+    channel.close();
+    auto status = channel.try_send_until(
+        7, std::chrono::steady_clock::now() - 1s);
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ChannelOrderingTest, BacklogDrainsBeforeCloseOrDeadlineApplies) {
+    Channel<int> channel(4);
+    ASSERT_TRUE(channel.send(1).is_ok());
+    ASSERT_TRUE(channel.send(2).is_ok());
+    channel.close();
+    // Expired deadline AND closed channel: buffered data still wins.
+    auto past = std::chrono::steady_clock::now() - 1s;
+    EXPECT_EQ(channel.recv_until(past).value(), 1);
+    EXPECT_EQ(channel.recv_until(past).value(), 2);
+    auto drained = channel.recv_until(past);
+    ASSERT_FALSE(drained.is_ok());
+    EXPECT_EQ(drained.status().code(),
+              StatusCode::kFailedPrecondition)
+        << "after the drain, close (not the deadline) is reported";
+}
+
+TEST(ChannelOrderingTest, MidWaitCloseWakesRecvBeforeItsDeadline) {
+    Channel<int> channel(4);
+    std::thread closer([&] {
+        std::this_thread::sleep_for(10ms);
+        channel.close();
+    });
+    auto start = std::chrono::steady_clock::now();
+    auto result = channel.recv_for(5s);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    closer.join();
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_LT(elapsed, 4s) << "close must wake the waiter immediately";
+}
+
+TEST(ChannelOrderingTest, MidWaitCloseWakesSendBeforeItsDeadline) {
+    Channel<int> channel(1);
+    ASSERT_TRUE(channel.send(1).is_ok());
+    std::thread closer([&] {
+        std::this_thread::sleep_for(10ms);
+        channel.close();
+    });
+    auto status = channel.try_send_for(2, 5s);
+    closer.join();
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Injected channel-op failures -------------------------------------
+
+class ChannelFaultTest : public ::testing::Test {
+  protected:
+    void TearDown() override { fault::Injector::instance().disarm(); }
+};
+
+TEST_F(ChannelFaultTest, EveryChannelEntryPointFailsCleanlyWhenInjected) {
+    Channel<int> channel(4);
+    ASSERT_TRUE(channel.send(1).is_ok());  // backlog for recv paths
+
+    fault::Injector::instance().arm_every(fault::Site::kChannelOp, 1);
+    EXPECT_EQ(channel.send(2).code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(channel.try_send_for(2, 1ms).code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(channel.recv().status().code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(channel.recv_for(1ms).status().code(),
+              StatusCode::kResourceExhausted);
+    fault::Injector::instance().disarm();
+
+    // The injected failures must not have touched the queue.
+    EXPECT_EQ(channel.size(), 1u);
+    EXPECT_EQ(channel.recv().value(), 1);
+}
+
+TEST_F(ChannelFaultTest, NthInjectionDropsExactlyOneMessageAttempt) {
+    Channel<int> channel(8);
+    fault::Injector::instance().arm_nth(fault::Site::kChannelOp, 2);
+    EXPECT_TRUE(channel.send(1).is_ok());
+    EXPECT_EQ(channel.send(2).code(), StatusCode::kResourceExhausted);
+    EXPECT_TRUE(channel.send(3).is_ok());
+    fault::Injector::instance().disarm();
+    EXPECT_EQ(channel.size(), 2u);
+    EXPECT_EQ(channel.recv().value(), 1);
+    EXPECT_EQ(channel.recv().value(), 3);
+}
+
+}  // namespace
+}  // namespace bitc::conc

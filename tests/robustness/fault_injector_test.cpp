@@ -1,0 +1,175 @@
+/**
+ * Unit tests for the fault-injection subsystem itself: site naming,
+ * plan grammar, nth/every/count semantics, counters and the RAII plan.
+ */
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::fault {
+namespace {
+
+/** Every test leaves the process disarmed, even on assertion failure. */
+class FaultInjectorTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        Injector::instance().disarm();
+        Injector::instance().reset_counters();
+    }
+    void TearDown() override { Injector::instance().disarm(); }
+};
+
+constexpr Site kAllSites[] = {
+    Site::kHeapAlloc, Site::kGcTrigger, Site::kStmCommit,
+    Site::kChannelOp, Site::kFfiMarshal,
+};
+
+TEST_F(FaultInjectorTest, SiteNamesRoundTrip) {
+    for (Site site : kAllSites) {
+        auto parsed = parse_site(site_name(site));
+        ASSERT_TRUE(parsed.is_ok()) << site_name(site);
+        EXPECT_EQ(parsed.value(), site);
+    }
+    EXPECT_FALSE(parse_site("bogus").is_ok());
+    EXPECT_FALSE(parse_site("").is_ok());
+}
+
+TEST_F(FaultInjectorTest, DisarmedInjectIsInertAndUncounted) {
+    EXPECT_FALSE(Injector::instance().armed());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(inject(Site::kHeapAlloc));
+    }
+    EXPECT_EQ(Injector::instance().hits(Site::kHeapAlloc), 0u);
+    EXPECT_EQ(Injector::instance().injected(Site::kHeapAlloc), 0u);
+}
+
+TEST_F(FaultInjectorTest, CountModeCountsWithoutInjecting) {
+    Injector::instance().arm_count();
+    for (int i = 0; i < 7; ++i) {
+        EXPECT_FALSE(inject(Site::kStmCommit));
+    }
+    EXPECT_FALSE(inject(Site::kChannelOp));
+    EXPECT_EQ(Injector::instance().hits(Site::kStmCommit), 7u);
+    EXPECT_EQ(Injector::instance().injected(Site::kStmCommit), 0u);
+    EXPECT_EQ(Injector::instance().hits(Site::kChannelOp), 1u);
+}
+
+TEST_F(FaultInjectorTest, NthFailsExactlyTheNthHit) {
+    Injector::instance().arm_nth(Site::kHeapAlloc, 3);
+    std::vector<bool> fired;
+    for (int i = 0; i < 5; ++i) {
+        fired.push_back(inject(Site::kHeapAlloc));
+    }
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false,
+                                        false}));
+    EXPECT_EQ(Injector::instance().hits(Site::kHeapAlloc), 5u);
+    EXPECT_EQ(Injector::instance().injected(Site::kHeapAlloc), 1u);
+}
+
+TEST_F(FaultInjectorTest, EveryFailsEachKthHit) {
+    Injector::instance().arm_every(Site::kFfiMarshal, 2);
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i) {
+        fired.push_back(inject(Site::kFfiMarshal));
+    }
+    EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true,
+                                        false, true}));
+    EXPECT_EQ(Injector::instance().injected(Site::kFfiMarshal), 3u);
+}
+
+TEST_F(FaultInjectorTest, SitesAreIndependent) {
+    Injector::instance().arm_nth(Site::kHeapAlloc, 1);
+    EXPECT_FALSE(inject(Site::kGcTrigger));
+    EXPECT_TRUE(inject(Site::kHeapAlloc));
+    EXPECT_EQ(Injector::instance().hits(Site::kGcTrigger), 0u)
+        << "unarmed sites must not tick counters";
+}
+
+TEST_F(FaultInjectorTest, PlanGrammarAccepted) {
+    auto& inj = Injector::instance();
+    EXPECT_TRUE(inj.arm("off").is_ok());
+    EXPECT_FALSE(inj.armed());
+    EXPECT_TRUE(inj.arm("").is_ok());
+    EXPECT_FALSE(inj.armed());
+
+    ASSERT_TRUE(inj.arm("heap-alloc:nth=3,stm-commit:every=2").is_ok());
+    EXPECT_TRUE(inj.armed());
+    EXPECT_FALSE(inject(Site::kHeapAlloc));
+    EXPECT_FALSE(inject(Site::kHeapAlloc));
+    EXPECT_TRUE(inject(Site::kHeapAlloc));
+    EXPECT_FALSE(inject(Site::kStmCommit));
+    EXPECT_TRUE(inject(Site::kStmCommit));
+
+    ASSERT_TRUE(inj.arm("count").is_ok());
+    EXPECT_FALSE(inject(Site::kChannelOp));
+    EXPECT_EQ(inj.hits(Site::kChannelOp), 1u);
+
+    ASSERT_TRUE(inj.arm("gc-trigger:count").is_ok());
+    EXPECT_FALSE(inject(Site::kGcTrigger));
+    EXPECT_EQ(inj.hits(Site::kGcTrigger), 1u);
+}
+
+TEST_F(FaultInjectorTest, PlanGrammarRejectsMalformedInput) {
+    auto& inj = Injector::instance();
+    const char* bad[] = {
+        "bogus-site:nth=1", "heap-alloc",      "heap-alloc:",
+        "heap-alloc:nth=",  "heap-alloc:nth=0", "heap-alloc:nth=x",
+        "heap-alloc:maybe", ",",                "heap-alloc:nth=1,,",
+    };
+    for (const char* plan : bad) {
+        EXPECT_FALSE(inj.arm(plan).is_ok()) << plan;
+        EXPECT_FALSE(inj.armed())
+            << "a rejected plan must leave the injector disarmed: "
+            << plan;
+    }
+}
+
+TEST_F(FaultInjectorTest, ArmResetsCountersDisarmKeepsThem) {
+    auto& inj = Injector::instance();
+    ASSERT_TRUE(inj.arm("count").is_ok());
+    (void)inject(Site::kHeapAlloc);
+    ASSERT_TRUE(inj.arm("count").is_ok());
+    EXPECT_EQ(inj.hits(Site::kHeapAlloc), 0u)
+        << "arm() starts a fresh experiment";
+    (void)inject(Site::kHeapAlloc);
+    inj.disarm();
+    EXPECT_EQ(inj.hits(Site::kHeapAlloc), 1u)
+        << "disarm() must leave results readable";
+}
+
+TEST_F(FaultInjectorTest, InjectedErrorIsResourceExhaustedNamingSite) {
+    Status status = injected_error(Site::kStmCommit);
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(status.message().find("stm-commit"), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, ScopedPlanArmsAndDisarms) {
+    {
+        ScopedPlan plan("heap-alloc:nth=1");
+        ASSERT_TRUE(plan.status().is_ok());
+        EXPECT_TRUE(Injector::instance().armed());
+        EXPECT_TRUE(inject(Site::kHeapAlloc));
+    }
+    EXPECT_FALSE(Injector::instance().armed());
+    {
+        ScopedPlan plan("not-a-plan");
+        EXPECT_FALSE(plan.status().is_ok());
+        EXPECT_FALSE(Injector::instance().armed());
+    }
+}
+
+TEST_F(FaultInjectorTest, ReportListsArmedSites) {
+    auto& inj = Injector::instance();
+    ASSERT_TRUE(inj.arm("heap-alloc:nth=2").is_ok());
+    (void)inject(Site::kHeapAlloc);
+    (void)inject(Site::kHeapAlloc);
+    std::string report = inj.report();
+    EXPECT_NE(report.find("heap-alloc: 2 hits, 1 injected"),
+              std::string::npos)
+        << report;
+    EXPECT_EQ(report.find("channel-op"), std::string::npos)
+        << "silent sites stay out of the report: " << report;
+}
+
+}  // namespace
+}  // namespace bitc::fault

@@ -1,0 +1,104 @@
+/**
+ * Interop marshalling under injected faults: both directions of the
+ * record codec fail cleanly, leave their output buffers untouched, and
+ * a full decode-process-encode pipeline survives a failure at every
+ * marshal hit.
+ */
+#include <gtest/gtest.h>
+
+#include "interop/marshal.hpp"
+#include "interop/packet_stages.hpp"
+#include "support/fault.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::interop {
+namespace {
+
+class InteropFaultTest : public ::testing::Test {
+  protected:
+    void TearDown() override { fault::Injector::instance().disarm(); }
+};
+
+TEST_F(InteropFaultTest, UnmarshalFailsCleanlyLeavingFieldsUntouched) {
+    Rng rng(3);
+    std::vector<uint8_t> wire(packet_codec().layout().byte_size());
+    generate_packet(rng, wire);
+
+    int64_t fields[kFieldCount];
+    for (size_t i = 0; i < kFieldCount; ++i) fields[i] = -1;
+
+    fault::Injector::instance().arm_nth(fault::Site::kFfiMarshal, 1);
+    auto status = unmarshal_record(packet_codec(), wire, fields);
+    fault::Injector::instance().disarm();
+
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    for (size_t i = 0; i < kFieldCount; ++i) {
+        EXPECT_EQ(fields[i], -1) << "field " << i
+                                 << " written despite the failure";
+    }
+}
+
+TEST_F(InteropFaultTest, MarshalFailsCleanlyLeavingWireUntouched) {
+    int64_t fields[kFieldCount] = {0};
+    fields[kVersion] = 4;
+    std::vector<uint8_t> wire(packet_codec().layout().byte_size(),
+                              0xee);
+
+    fault::Injector::instance().arm_nth(fault::Site::kFfiMarshal, 1);
+    auto status = marshal_record(packet_codec(), fields, wire);
+    fault::Injector::instance().disarm();
+
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+    for (uint8_t byte : wire) {
+        EXPECT_EQ(byte, 0xee);
+    }
+}
+
+TEST_F(InteropFaultTest, PipelineSurvivesAFailureAtEveryMarshalHit) {
+    auto& injector = fault::Injector::instance();
+    Rng rng(9);
+    std::vector<uint8_t> wire(packet_codec().layout().byte_size());
+    generate_packet(rng, wire);
+
+    // The round trip under test: decode, tweak, re-encode.
+    auto round_trip = [&](std::span<const uint8_t> in,
+                          std::span<uint8_t> out) -> Status {
+        int64_t fields[kFieldCount];
+        BITC_RETURN_IF_ERROR(
+            unmarshal_record(packet_codec(), in, fields));
+        fields[kTtl] = fields[kTtl] > 0 ? fields[kTtl] - 1 : 0;
+        return marshal_record(packet_codec(), fields, out);
+    };
+
+    std::vector<uint8_t> expected(wire.size());
+    uint64_t hits = 0;
+    {
+        ASSERT_TRUE(injector.arm("count").is_ok());
+        ASSERT_TRUE(round_trip(wire, expected).is_ok());
+        injector.disarm();
+        hits = injector.hits(fault::Site::kFfiMarshal);
+    }
+    ASSERT_EQ(hits, 2u) << "one decode hit, one encode hit";
+
+    for (uint64_t k = 1; k <= hits; ++k) {
+        std::vector<uint8_t> out(wire.size(), 0);
+        injector.reset_counters();
+        injector.arm_nth(fault::Site::kFfiMarshal, k);
+        Status status = round_trip(wire, out);
+        injector.disarm();
+        ASSERT_FALSE(status.is_ok()) << "hit " << k;
+        EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+        for (uint8_t byte : out) {
+            EXPECT_EQ(byte, 0) << "hit " << k
+                               << ": partial output after a failure";
+        }
+        // Retry without the fault completes the round trip.
+        ASSERT_TRUE(round_trip(wire, out).is_ok());
+        EXPECT_EQ(out, expected);
+    }
+}
+
+}  // namespace
+}  // namespace bitc::interop

@@ -1,0 +1,227 @@
+/**
+ * Fail-at-every-site sweep through the VM: for both dispatch loops and
+ * a spread of value-mode/heap-policy combinations, every allocation the
+ * interpreter performs is forced to fail once.  The contract after an
+ * injected OOM:
+ *
+ *   1. the call traps cleanly with kResourceExhausted;
+ *   2. the VM's heap still passes check_integrity();
+ *   3. the *same* VM instance is re-runnable: a clean retry of the
+ *      same entry point must produce the correct answer (frames and
+ *      roots were unwound properly by the failed run).
+ *
+ * The FFI buffer crossing (call_with_buffer) gets the same treatment
+ * at the ffi-marshal site.
+ */
+#include <gtest/gtest.h>
+
+#include "support/fault.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::vm {
+namespace {
+
+/** Allocation-heavy kernel: a fresh array per iteration. */
+constexpr const char* kChurnSource =
+    "(define (churn n : int64) : int64"
+    "  (let ((acc 0) (i 0))"
+    "    (while (< i n)"
+    "      (let ((a (array-make 16 i)))"
+    "        (set! acc (+ acc (array-ref a 7))))"
+    "      (set! i (+ i 1)))"
+    "    acc))";
+constexpr int64_t kChurnArg = 12;
+constexpr int64_t kChurnExpected = kChurnArg * (kChurnArg - 1) / 2;
+
+struct VmParam {
+    std::string label;
+    VmConfig config;
+};
+
+std::vector<VmParam> sweep_configs() {
+    std::vector<VmParam> out;
+    VmConfig base;
+    base.heap_words = 1 << 16;
+    base.stack_slots = 1 << 12;
+    for (DispatchMode dispatch :
+         {DispatchMode::kSwitch, DispatchMode::kThreaded}) {
+        const char* d =
+            dispatch == DispatchMode::kSwitch ? "switch" : "threaded";
+        VmConfig c = base;
+        c.dispatch = dispatch;
+        c.mode = ValueMode::kUnboxed;
+        c.heap = HeapPolicy::kRegion;
+        out.push_back({std::string("unboxed_region_") + d, c});
+        c.mode = ValueMode::kBoxed;
+        c.heap = HeapPolicy::kMarkSweep;
+        out.push_back({std::string("boxed_marksweep_") + d, c});
+        c.heap = HeapPolicy::kGenerational;
+        out.push_back({std::string("boxed_generational_") + d, c});
+    }
+    return out;
+}
+
+class VmFaultSweepTest : public ::testing::TestWithParam<VmParam> {
+  protected:
+    void TearDown() override { fault::Injector::instance().disarm(); }
+};
+
+TEST_P(VmFaultSweepTest, EveryInjectedOomTrapsCleanlyAndVmStaysUsable) {
+    auto& injector = fault::Injector::instance();
+    auto built = build_program(kChurnSource);
+    ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+
+    // Census: one clean run counts the interpreter's allocations.
+    uint64_t hits = 0;
+    {
+        auto vm = built.value()->instantiate(GetParam().config);
+        injector.disarm();
+        ASSERT_TRUE(injector.arm("count").is_ok());
+        auto result = vm->call("churn", {kChurnArg});
+        injector.disarm();
+        ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+        EXPECT_EQ(result.value(), kChurnExpected);
+        hits = injector.hits(fault::Site::kHeapAlloc);
+    }
+    ASSERT_GT(hits, 0u) << "kernel never allocated: sweep is vacuous";
+
+    for (uint64_t k = 1; k <= hits; ++k) {
+        auto vm = built.value()->instantiate(GetParam().config);
+        injector.reset_counters();
+        injector.arm_nth(fault::Site::kHeapAlloc, k);
+        auto result = vm->call("churn", {kChurnArg});
+        injector.disarm();
+        std::string run = GetParam().label + " hit " +
+                          std::to_string(k) + "/" +
+                          std::to_string(hits);
+
+        ASSERT_FALSE(result.is_ok())
+            << run << ": injected OOM was swallowed";
+        EXPECT_EQ(result.status().code(),
+                  StatusCode::kResourceExhausted)
+            << run << ": " << result.status().to_string();
+        Status integrity = vm->heap().check_integrity();
+        EXPECT_TRUE(integrity.is_ok())
+            << run << ": " << integrity.to_string();
+
+        // The trap must have unwound frames and dropped the failed
+        // run's roots: the same VM re-runs to the right answer.
+        auto retry = vm->call("churn", {kChurnArg});
+        ASSERT_TRUE(retry.is_ok())
+            << run << " retry: " << retry.status().to_string();
+        EXPECT_EQ(retry.value(), kChurnExpected) << run;
+        integrity = vm->heap().check_integrity();
+        EXPECT_TRUE(integrity.is_ok())
+            << run << " retry: " << integrity.to_string();
+        if (HasFailure()) return;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DispatchAndHeaps, VmFaultSweepTest,
+    ::testing::ValuesIn(sweep_configs()),
+    [](const ::testing::TestParamInfo<VmParam>& info) {
+        return info.param.label;
+    });
+
+/** Denied collections inside the VM: clean trap or absorbed, never
+ *  corruption, and the VM survives either way. */
+TEST(VmGcDenialTest, DeniedCollectionsTrapCleanlyOrAreAbsorbed) {
+    auto& injector = fault::Injector::instance();
+    auto built = build_program(kChurnSource);
+    ASSERT_TRUE(built.is_ok());
+    VmConfig config;
+    config.mode = ValueMode::kBoxed;
+    config.heap = HeapPolicy::kSemispace;
+    config.heap_words = 1 << 12;  // tight: the collector must run
+    config.stack_slots = 1 << 10;
+
+    constexpr int64_t kIters = 256;
+    uint64_t hits = 0;
+    {
+        auto vm = built.value()->instantiate(config);
+        ASSERT_TRUE(injector.arm("count").is_ok());
+        auto result = vm->call("churn", {kIters});
+        injector.disarm();
+        ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+        hits = injector.hits(fault::Site::kGcTrigger);
+    }
+    ASSERT_GT(hits, 0u) << "heap too roomy: collector never ran";
+
+    for (uint64_t k = 1; k <= hits; ++k) {
+        auto vm = built.value()->instantiate(config);
+        injector.arm_nth(fault::Site::kGcTrigger, k);
+        auto result = vm->call("churn", {kIters});
+        injector.disarm();
+        if (!result.is_ok()) {
+            EXPECT_EQ(result.status().code(),
+                      StatusCode::kResourceExhausted)
+                << result.status().to_string();
+        } else {
+            EXPECT_EQ(result.value(), kIters * (kIters - 1) / 2);
+        }
+        Status integrity = vm->heap().check_integrity();
+        EXPECT_TRUE(integrity.is_ok())
+            << "hit " << k << ": " << integrity.to_string();
+        if (::testing::Test::HasFailure()) return;
+    }
+    fault::Injector::instance().disarm();
+}
+
+/** The FFI buffer crossing: both marshal directions fail cleanly and
+ *  leave the caller's buffer untouched. */
+TEST(VmFfiFaultTest, BufferCrossingFailsCleanlyAtEachMarshalHit) {
+    auto& injector = fault::Injector::instance();
+    auto built = build_program(
+        "(define (double-all buf : (array int64 8)) : int64"
+        "  (let ((i 0) (sum 0))"
+        "    (while (< i 8)"
+        "      (array-set! buf i (* 2 (array-ref buf i)))"
+        "      (set! sum (+ sum (array-ref buf i)))"
+        "      (set! i (+ i 1)))"
+        "    sum))");
+    ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+
+    uint64_t hits = 0;
+    {
+        auto vm = built.value()->instantiate({});
+        ASSERT_TRUE(injector.arm("count").is_ok());
+        int64_t buffer[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+        auto result = vm->call_with_buffer("double-all", buffer);
+        injector.disarm();
+        ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+        hits = injector.hits(fault::Site::kFfiMarshal);
+    }
+    ASSERT_GE(hits, 2u) << "expected an inbound and an outbound crossing";
+
+    for (uint64_t k = 1; k <= hits; ++k) {
+        auto vm = built.value()->instantiate({});
+        injector.reset_counters();
+        injector.arm_nth(fault::Site::kFfiMarshal, k);
+        int64_t buffer[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+        auto result = vm->call_with_buffer("double-all", buffer);
+        injector.disarm();
+
+        ASSERT_FALSE(result.is_ok()) << "hit " << k;
+        EXPECT_EQ(result.status().code(),
+                  StatusCode::kResourceExhausted)
+            << result.status().to_string();
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_EQ(buffer[i], i + 1)
+                << "hit " << k
+                << ": failed crossing must not half-update the buffer";
+        }
+
+        // Clean retry on the same VM round-trips correctly.
+        auto retry = vm->call_with_buffer("double-all", buffer);
+        ASSERT_TRUE(retry.is_ok()) << retry.status().to_string();
+        EXPECT_EQ(retry.value(), 72);
+        for (int i = 0; i < 8; ++i) {
+            EXPECT_EQ(buffer[i], 2 * (i + 1));
+        }
+        if (::testing::Test::HasFailure()) return;
+    }
+}
+
+}  // namespace
+}  // namespace bitc::vm

@@ -23,6 +23,9 @@
  *   --no-verify           skip verification entirely
  *   --overflow            also emit overflow obligations (verify)
  *   --stats               print instruction/heap statistics after run
+ *   --faults PLAN         arm deterministic fault injection for run,
+ *                         e.g. heap-alloc:nth=3 or gc-trigger:every=2
+ *                         or count (hit census; printed with --stats)
  */
 #include <cstdio>
 #include <cstring>
@@ -31,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "support/fault.hpp"
 #include "support/string_util.hpp"
 #include "lang/parser.hpp"
 #include "lang/resolver.hpp"
@@ -49,7 +53,8 @@ usage()
         "[-- args...]\n"
         "  --entry NAME --mode unboxed|boxed --heap POLICY\n"
         "  --heap-words N --dispatch switch|threaded --profile\n"
-        "  --no-fold --no-bce --no-verify --overflow --stats\n");
+        "  --no-fold --no-bce --no-verify --overflow --stats\n"
+        "  --faults PLAN (site:nth=N | site:every=K | count)\n");
     return 2;
 }
 
@@ -77,6 +82,7 @@ struct Options {
     bool overflow = false;
     bool stats = false;
     bool heap_set = false;
+    std::string faults;
     std::vector<int64_t> args;
 };
 
@@ -157,6 +163,8 @@ parse_args(int argc, char** argv)
             options.overflow = true;
         } else if (arg == "--stats") {
             options.stats = true;
+        } else if (arg == "--faults") {
+            BITC_ASSIGN_OR_RETURN(options.faults, next());
         } else {
             return invalid_argument_error("unknown option " + arg);
         }
@@ -243,8 +251,21 @@ run_command(const Options& options)
 
     if (options.command != "run") return usage();
 
+    // Arm the fault plan only around execution, so an injected failure
+    // exercises the runtime's failure paths, not the compiler's.
+    fault::ScopedPlan faults(options.faults);
+    if (!faults.status().is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     faults.status().to_string().c_str());
+        return 2;
+    }
+
     vm::Vm vm(compiled.value(), nullptr, options.vm);
     auto result = vm.call(options.entry, options.args);
+    if (options.stats && !options.faults.empty()) {
+        std::fprintf(stderr, "faults:\n%s",
+                     fault::Injector::instance().report().c_str());
+    }
     if (!result.is_ok()) {
         std::fprintf(stderr, "bitcc: trap: %s\n",
                      result.status().to_string().c_str());
