@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Observability-overhead sweep: what does it cost to carry the
+ * telemetry layer (metrics registry + trace ring) on the hot paths?
+ *
+ * Each row times a workload twice on the same binary:
+ *
+ *  - baseline: metrics disabled, trace stopped — the production
+ *    default, where every instrumentation point is one relaxed load
+ *    and a predicted-not-taken branch;
+ *  - telemetry: metrics enabled AND the trace ring recording — the
+ *    full-observation state.  Opcode counting (count_ops) stays off,
+ *    as it is opt-in accounting like --profile, not ambient telemetry.
+ *
+ * The budget is 1.03x geomean: the observability layer only earns the
+ * "leave it on in production" claim in docs/observability.md if the
+ * telemetry-on state stays inside measurement noise.  The workloads
+ * are deliberately the unfriendliest ones: tight VM kernels (where the
+ * per-run fold is amortized over millions of instructions) and
+ * allocation-heavy mutators (where the per-workload fold has the least
+ * work to hide behind).  Emits BENCH_observability.json; exits nonzero
+ * when over budget.
+ *
+ * Usage: bench_observability [OUTPUT.json]
+ */
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels.hpp"
+#include "memory/mutator.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::bench {
+namespace {
+
+constexpr int kRepeats = 7;
+constexpr double kBudget = 1.03;
+
+std::unique_ptr<vm::BuiltProgram>
+must_build(const std::string& source)
+{
+    auto built = vm::build_program(source);
+    if (!built.is_ok()) {
+        fprintf(stderr, "bench build failed: %s\n",
+                built.status().to_string().c_str());
+        abort();
+    }
+    return std::move(built).take();
+}
+
+/** Median wall time of kRepeats runs of @p body (setup untimed). */
+uint64_t
+median_ns(const std::function<void()>& body)
+{
+    std::vector<uint64_t> samples;
+    samples.reserve(kRepeats);
+    for (int r = 0; r < kRepeats; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        body();
+        auto end = std::chrono::steady_clock::now();
+        samples.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                end - start)
+                .count()));
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+struct Row {
+    std::string name;       ///< workload / configuration label.
+    const char* dimension;  ///< "vm-kernel" or "mutator".
+    uint64_t baseline_ns = 0;
+    uint64_t telemetry_ns = 0;
+
+    double overhead() const {
+        return static_cast<double>(telemetry_ns) /
+               static_cast<double>(baseline_ns);
+    }
+};
+
+double
+geomean(const std::vector<Row>& rows)
+{
+    double log_sum = 0;
+    for (const Row& row : rows) log_sum += std::log(row.overhead());
+    return std::exp(log_sum / static_cast<double>(rows.size()));
+}
+
+void
+telemetry_off()
+{
+    metrics::disable();
+    trace::stop();
+}
+
+void
+telemetry_on()
+{
+    metrics::reset();
+    metrics::enable();
+    trace::start();
+}
+
+/** Times @p run with telemetry off, then with it fully on. */
+Row
+measure(std::string name, const char* dimension,
+        const std::function<void()>& run)
+{
+    Row row;
+    row.name = std::move(name);
+    row.dimension = dimension;
+    telemetry_off();
+    row.baseline_ns = median_ns(run);
+    telemetry_on();
+    row.telemetry_ns = median_ns(run);
+    telemetry_off();
+    trace::clear();
+    return row;
+}
+
+Row
+vm_row(const vm::BuiltProgram& built, const char* kernel,
+       std::vector<int64_t> args, vm::ValueMode mode,
+       vm::HeapPolicy heap)
+{
+    vm::VmConfig config;
+    config.mode = mode;
+    config.heap = heap;
+    auto run = [&, args] {
+        vm::Vm vm(built.code, nullptr, config);
+        auto result = vm.call(kernel, args);
+        if (!result.is_ok()) {
+            fprintf(stderr, "bench run %s failed: %s\n", kernel,
+                    result.status().to_string().c_str());
+            abort();
+        }
+    };
+    return measure(std::string(kernel) + "/" +
+                       vm::value_mode_name(mode) + "/" +
+                       vm::heap_policy_name(heap),
+                   "vm-kernel", run);
+}
+
+struct MutatorCase {
+    const char* name;
+    std::function<uint64_t(mem::ManagedHeap&)> run;  ///< -> checksum.
+};
+
+std::vector<MutatorCase>
+mutator_cases()
+{
+    auto must = [](Result<mem::MutatorReport> report) -> uint64_t {
+        if (!report.is_ok()) {
+            fprintf(stderr, "mutator workload failed: %s\n",
+                    report.status().to_string().c_str());
+            abort();
+        }
+        return report.value().check_value;
+    };
+    return {
+        {"churn",
+         [must](mem::ManagedHeap& heap) {
+             Rng rng(42);
+             return must(
+                 mem::run_churn(heap, 200000, 256, 8, rng));
+         }},
+        {"binary-trees",
+         [must](mem::ManagedHeap& heap) {
+             return must(mem::run_binary_trees(heap, 12, 20));
+         }},
+        {"graph-mutation",
+         [must](mem::ManagedHeap& heap) {
+             Rng rng(7);
+             return must(mem::run_graph_mutation(heap, 5000, 4,
+                                                 200000, rng));
+         }},
+    };
+}
+
+Row
+mutator_row(const MutatorCase& mcase, vm::HeapPolicy policy)
+{
+    constexpr size_t kHeapWords = 1 << 20;
+    return measure(std::string(vm::heap_policy_name(policy)) + "/" +
+                       mcase.name,
+                   "mutator", [&] {
+                       auto heap = vm::make_heap(policy, kHeapWords);
+                       (void)mcase.run(*heap);
+                   });
+}
+
+}  // namespace
+}  // namespace bitc::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace bitc;
+    using namespace bitc::bench;
+
+    const char* out_path =
+        argc > 1 ? argv[1] : "BENCH_observability.json";
+
+    auto built = must_build(kernel_source());
+
+    std::vector<Row> rows;
+    rows.push_back(vm_row(*built, "checksum", {40},
+                          vm::ValueMode::kUnboxed,
+                          vm::HeapPolicy::kRegion));
+    rows.push_back(vm_row(*built, "sieve", {65536},
+                          vm::ValueMode::kUnboxed,
+                          vm::HeapPolicy::kRegion));
+    rows.push_back(vm_row(*built, "hash-churn", {4000},
+                          vm::ValueMode::kUnboxed,
+                          vm::HeapPolicy::kRegion));
+    rows.push_back(vm_row(*built, "hash-churn", {4000},
+                          vm::ValueMode::kBoxed,
+                          vm::HeapPolicy::kGenerational));
+    for (const MutatorCase& mcase : mutator_cases()) {
+        rows.push_back(mutator_row(mcase, vm::HeapPolicy::kManual));
+        rows.push_back(
+            mutator_row(mcase, vm::HeapPolicy::kGenerational));
+    }
+
+    for (const Row& row : rows) {
+        printf("%-10s %-28s baseline %9.3f ms  telemetry %9.3f ms  "
+               "overhead %.3fx\n",
+               row.dimension, row.name.c_str(),
+               static_cast<double>(row.baseline_ns) / 1e6,
+               static_cast<double>(row.telemetry_ns) / 1e6,
+               row.overhead());
+    }
+    double overall = geomean(rows);
+    bool within = overall <= kBudget;
+    printf(
+        "geomean telemetry overhead: %.3fx (budget %.2fx) — %s\n",
+        overall, kBudget, within ? "within budget" : "OVER BUDGET");
+
+    FILE* out = fopen(out_path, "w");
+    if (out == nullptr) {
+        fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    char stamp[64];
+    std::time_t now = std::time(nullptr);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&now));
+    fprintf(out, "{\n");
+    fprintf(out, "  \"bench\": \"observability\",\n");
+    fprintf(out, "  \"date_utc\": \"%s\",\n", stamp);
+    fprintf(out, "  \"repeats\": %d,\n", kRepeats);
+    fprintf(out, "  \"overhead_budget\": %.2f,\n", kBudget);
+    fprintf(out, "  \"geomean_overhead\": %.3f,\n", overall);
+    fprintf(out, "  \"within_budget\": %s,\n",
+            within ? "true" : "false");
+    fprintf(out, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        fprintf(out,
+                "    {\"dimension\": \"%s\", \"workload\": \"%s\", "
+                "\"baseline_ns\": %llu, \"telemetry_ns\": %llu, "
+                "\"overhead\": %.3f}%s\n",
+                row.dimension, row.name.c_str(),
+                static_cast<unsigned long long>(row.baseline_ns),
+                static_cast<unsigned long long>(row.telemetry_ns),
+                row.overhead(), i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(out, "  ]\n}\n");
+    fclose(out);
+    printf("wrote %s\n", out_path);
+    return within ? 0 : 1;
+}

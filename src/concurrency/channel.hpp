@@ -4,6 +4,12 @@
  * shared-state experiment (C4).  Mirrors the Rust std::sync::mpsc /
  * Go-channel shape the lecture material shows: blocking send/recv,
  * close semantics, errors instead of exceptions.
+ *
+ * Telemetry: every channel keeps a queue-depth high-water mark and an
+ * accumulated blocked-time total (backpressure evidence), and mirrors
+ * traffic into the global metrics registry and trace ring.  Blocking
+ * is detected by testing the wait predicate before waiting, so the
+ * non-blocked fast path never reads a clock.
  */
 #ifndef BITC_CONCURRENCY_CHANNEL_HPP
 #define BITC_CONCURRENCY_CHANNEL_HPP
@@ -15,7 +21,10 @@
 #include <optional>
 
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/stats.hpp"
 #include "support/status.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::conc {
 
@@ -40,13 +49,17 @@ class Channel {
             return fault::injected_error(fault::Site::kChannelOp);
         }
         std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock, [&] {
-            return closed_ || queue_.size() < capacity_;
-        });
+        if (!send_ready()) {
+            note_block_begin(/*recv=*/false);
+            uint64_t start = now_ns();
+            not_full_.wait(lock, [&] { return send_ready(); });
+            note_block_end(/*recv=*/false, now_ns() - start);
+        }
         if (closed_) {
             return failed_precondition_error("send on closed channel");
         }
         queue_.push_back(std::move(value));
+        note_send();
         lock.unlock();
         not_empty_.notify_one();
         return Status::ok();
@@ -58,6 +71,7 @@ class Channel {
             std::lock_guard<std::mutex> lock(mutex_);
             if (closed_ || queue_.size() >= capacity_) return false;
             queue_.push_back(std::move(value));
+            note_send();
         }
         not_empty_.notify_one();
         return true;
@@ -76,9 +90,14 @@ class Channel {
             return fault::injected_error(fault::Site::kChannelOp);
         }
         std::unique_lock<std::mutex> lock(mutex_);
-        bool ok = not_full_.wait_until(lock, deadline, [&] {
-            return closed_ || queue_.size() < capacity_;
-        });
+        bool ok = true;
+        if (!send_ready()) {
+            note_block_begin(/*recv=*/false);
+            uint64_t start = now_ns();
+            ok = not_full_.wait_until(lock, deadline,
+                                      [&] { return send_ready(); });
+            note_block_end(/*recv=*/false, now_ns() - start);
+        }
         if (closed_) {
             return failed_precondition_error("send on closed channel");
         }
@@ -86,6 +105,7 @@ class Channel {
             return deadline_exceeded_error("send timed out");
         }
         queue_.push_back(std::move(value));
+        note_send();
         lock.unlock();
         not_empty_.notify_one();
         return Status::ok();
@@ -106,13 +126,19 @@ class Channel {
             return fault::injected_error(fault::Site::kChannelOp);
         }
         std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+        if (!recv_ready()) {
+            note_block_begin(/*recv=*/true);
+            uint64_t start = now_ns();
+            not_empty_.wait(lock, [&] { return recv_ready(); });
+            note_block_end(/*recv=*/true, now_ns() - start);
+        }
         if (queue_.empty()) {
             return failed_precondition_error(
                 "recv on closed, empty channel");
         }
         T value = std::move(queue_.front());
         queue_.pop_front();
+        note_recv();
         lock.unlock();
         not_full_.notify_one();
         return value;
@@ -130,9 +156,14 @@ class Channel {
             return fault::injected_error(fault::Site::kChannelOp);
         }
         std::unique_lock<std::mutex> lock(mutex_);
-        bool ok = not_empty_.wait_until(lock, deadline, [&] {
-            return closed_ || !queue_.empty();
-        });
+        bool ok = true;
+        if (!recv_ready()) {
+            note_block_begin(/*recv=*/true);
+            uint64_t start = now_ns();
+            ok = not_empty_.wait_until(lock, deadline,
+                                       [&] { return recv_ready(); });
+            note_block_end(/*recv=*/true, now_ns() - start);
+        }
         if (queue_.empty()) {
             if (closed_) {
                 return failed_precondition_error(
@@ -143,6 +174,7 @@ class Channel {
         }
         T value = std::move(queue_.front());
         queue_.pop_front();
+        note_recv();
         lock.unlock();
         not_full_.notify_one();
         return value;
@@ -163,6 +195,7 @@ class Channel {
             if (queue_.empty()) return std::nullopt;
             out = std::move(queue_.front());
             queue_.pop_front();
+            note_recv();
         }
         not_full_.notify_one();
         return out;
@@ -172,7 +205,11 @@ class Channel {
     void close() {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            closed_ = true;
+            if (!closed_) {
+                closed_ = true;
+                metrics::count(metrics::Counter::kChanCloses);
+                trace::emit(trace::Event::kChanClose, queue_.size());
+            }
         }
         not_empty_.notify_all();
         not_full_.notify_all();
@@ -188,13 +225,62 @@ class Channel {
         return queue_.size();
     }
 
+    /** Deepest the queue has ever been (backpressure high-water). */
+    size_t depth_high_water() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return depth_high_water_;
+    }
+
+    /** Total ns senders and receivers spent blocked on this channel. */
+    uint64_t blocked_ns() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return blocked_ns_;
+    }
+
   private:
+    bool send_ready() const {
+        return closed_ || queue_.size() < capacity_;
+    }
+    bool recv_ready() const { return closed_ || !queue_.empty(); }
+
+    // All note_* helpers run under mutex_; the members they touch are
+    // plain fields, and the global instruments are atomic.
+
+    void note_send() {
+        if (queue_.size() > depth_high_water_) {
+            depth_high_water_ = queue_.size();
+            metrics::gauge_max(metrics::Gauge::kChanDepthHighWater,
+                               depth_high_water_);
+        }
+        metrics::count(metrics::Counter::kChanSends);
+        trace::emit(trace::Event::kChanSend, queue_.size());
+    }
+
+    void note_recv() {
+        metrics::count(metrics::Counter::kChanRecvs);
+        trace::emit(trace::Event::kChanRecv, queue_.size());
+    }
+
+    void note_block_begin(bool recv) {
+        metrics::count(recv ? metrics::Counter::kChanRecvBlocked
+                            : metrics::Counter::kChanSendBlocked);
+    }
+
+    void note_block_end(bool recv, uint64_t waited_ns) {
+        blocked_ns_ += waited_ns;
+        metrics::observe(metrics::Histogram::kChanBlockedNs,
+                         waited_ns);
+        trace::emit(trace::Event::kChanBlock, recv ? 1 : 0, waited_ns);
+    }
+
     const size_t capacity_;
     mutable std::mutex mutex_;
     std::condition_variable not_full_;
     std::condition_variable not_empty_;
     std::deque<T> queue_;
     bool closed_ = false;
+    size_t depth_high_water_ = 0;
+    uint64_t blocked_ns_ = 0;
 };
 
 }  // namespace bitc::conc

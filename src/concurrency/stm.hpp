@@ -23,7 +23,9 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/metrics.hpp"
 #include "support/status.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::conc {
 
@@ -75,11 +77,24 @@ class Stm {
                 abort_storms_.load(std::memory_order_relaxed)};
     }
 
-    void note_commit() { commits_.fetch_add(1, std::memory_order_relaxed); }
-    void note_abort() { aborts_.fetch_add(1, std::memory_order_relaxed); }
-    void note_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+    // Each note also mirrors into the global metrics registry, so
+    // process-wide telemetry aggregates every Stm instance while
+    // stats() stays per-instance.
+    void note_commit() {
+        commits_.fetch_add(1, std::memory_order_relaxed);
+        metrics::count(metrics::Counter::kStmCommits);
+    }
+    void note_abort() {
+        aborts_.fetch_add(1, std::memory_order_relaxed);
+        metrics::count(metrics::Counter::kStmAborts);
+    }
+    void note_retry() {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        metrics::count(metrics::Counter::kStmRetries);
+    }
     void note_abort_storm() {
         abort_storms_.fetch_add(1, std::memory_order_relaxed);
+        metrics::count(metrics::Counter::kStmAbortStorms);
     }
 
   private:
@@ -191,6 +206,7 @@ try_atomically(Stm& stm, const TxnLimits& limits, Fn&& fn)
     uint64_t attempts = 0;
     while (true) {
         ++attempts;
+        if (attempts == 1) trace::emit(trace::Event::kStmBegin);
         Txn txn(stm);
         bool retry_wait = false;
         try {
@@ -198,12 +214,20 @@ try_atomically(Stm& stm, const TxnLimits& limits, Fn&& fn)
                 fn(txn);
                 if (txn.commit()) {
                     stm.note_commit();
+                    metrics::observe(
+                        metrics::Histogram::kStmRetriesPerTxn,
+                        attempts - 1);
+                    trace::emit(trace::Event::kStmCommit, attempts - 1);
                     return Status::ok();
                 }
             } else {
                 auto result = fn(txn);
                 if (txn.commit()) {
                     stm.note_commit();
+                    metrics::observe(
+                        metrics::Histogram::kStmRetriesPerTxn,
+                        attempts - 1);
+                    trace::emit(trace::Event::kStmCommit, attempts - 1);
                     return result;
                 }
             }
@@ -213,6 +237,7 @@ try_atomically(Stm& stm, const TxnLimits& limits, Fn&& fn)
             retry_wait = true;
         }
         stm.note_abort();
+        trace::emit(trace::Event::kStmAbort, attempts);
         if (attempts == kAbortStormThreshold) {
             stm.note_abort_storm();
         }

@@ -1,6 +1,7 @@
 #include "interop/marshal.hpp"
 
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
 #include "support/string_util.hpp"
 
 namespace bitc::interop {
@@ -28,6 +29,7 @@ unmarshal_record(const repr::RecordCodec& codec,
         fields[i] = static_cast<int64_t>(
             codec.read_field(wire, layout.fields()[i]));
     }
+    metrics::count(metrics::Counter::kMarshalRecordsIn);
     return Status::ok();
 }
 
@@ -51,6 +53,7 @@ marshal_record(const repr::RecordCodec& codec,
         codec.write_field(wire, layout.fields()[i],
                           static_cast<uint64_t>(fields[i]));
     }
+    metrics::count(metrics::Counter::kMarshalRecordsOut);
     return Status::ok();
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::mem {
 
@@ -42,6 +43,7 @@ GenerationalHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
         uint32_t offset =
             old_space_.allocate(FreeListSpace::round_up(words));
         if (offset == FreeListSpace::kNoBlock) {
+            trace::emit(trace::Event::kAllocSlowPath, words);
             collect();
             offset = old_space_.allocate(FreeListSpace::round_up(words));
             if (offset == FreeListSpace::kNoBlock) {
@@ -58,6 +60,7 @@ GenerationalHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
     }
 
     if (nursery_cursor_ + words > nursery_words_) {
+        trace::emit(trace::Event::kAllocSlowPath, words);
         BITC_RETURN_IF_ERROR(minor_collect());
         if (nursery_cursor_ + words > nursery_words_) {
             return resource_exhausted_error("nursery too small");
@@ -94,7 +97,7 @@ GenerationalHeap::minor_collect()
     if (fault::inject(fault::Site::kGcTrigger)) {
         return fault::injected_error(fault::Site::kGcTrigger);
     }
-    ScopedTimer timer(pause_stats_);
+    GcPauseScope pause(*this, GcPauseScope::Kind::kMinor);
     ++stats_.minor_collections;
 
     // Guarantee promotion room: evacuating can move at most the words
@@ -212,7 +215,7 @@ GenerationalHeap::collect()
 {
     Status status = minor_collect();
     (void)status;  // Full collection below reclaims regardless.
-    ScopedTimer timer(pause_stats_);
+    GcPauseScope pause(*this, GcPauseScope::Kind::kMajor);
     ++stats_.collections;
     std::vector<bool> marked(table_.size(), false);
     mark_all(marked);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::mem {
 
@@ -207,6 +208,58 @@ void
 LocalRoot::set(ObjRef ref)
 {
     heap_.root_assign(&ref_, ref);
+}
+
+GcPauseScope::GcPauseScope(ManagedHeap& heap, Kind kind)
+    : heap_(heap),
+      start_ns_(now_ns()),
+      words_before_(heap.stats_.words_in_use),
+      kind_(kind)
+{
+    trace::emit(trace::Event::kGcBegin,
+                static_cast<uint64_t>(kind_), words_before_);
+}
+
+GcPauseScope::~GcPauseScope()
+{
+    uint64_t pause_ns = now_ns() - start_ns_;
+    heap_.pause_stats_.record(static_cast<double>(pause_ns));
+    uint64_t words_after = heap_.stats_.words_in_use;
+    uint64_t reclaimed_bytes =
+        words_before_ > words_after
+            ? (words_before_ - words_after) * sizeof(uint64_t)
+            : 0;
+    switch (kind_) {
+        case Kind::kMinor:
+            metrics::count(metrics::Counter::kGcMinorCollections);
+            break;
+        case Kind::kMajor:
+            metrics::count(metrics::Counter::kGcMajorCollections);
+            break;
+        case Kind::kRelease:
+            metrics::count(metrics::Counter::kGcRegionReleases);
+            break;
+    }
+    metrics::observe(metrics::Histogram::kGcPauseNs, pause_ns);
+    metrics::count(metrics::Counter::kGcBytesReclaimed,
+                   reclaimed_bytes);
+    trace::emit(trace::Event::kGcEnd, pause_ns, reclaimed_bytes);
+}
+
+void
+fold_heap_telemetry(const HeapStats& before, const HeapStats& after)
+{
+    if (!metrics::enabled()) return;
+    metrics::count(metrics::Counter::kHeapAllocations,
+                   after.allocations - before.allocations);
+    metrics::count(metrics::Counter::kHeapBytesAllocated,
+                   after.bytes_allocated - before.bytes_allocated);
+    metrics::count(metrics::Counter::kHeapFrees,
+                   after.frees - before.frees);
+    metrics::gauge_set(metrics::Gauge::kHeapWordsInUse,
+                       after.words_in_use);
+    metrics::gauge_max(metrics::Gauge::kHeapPeakWordsInUse,
+                       after.peak_words_in_use);
 }
 
 }  // namespace bitc::mem

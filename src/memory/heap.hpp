@@ -20,6 +20,7 @@
 
 #include "memory/object_model.hpp"
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
 #include "support/stats.hpp"
 #include "support/status.hpp"
 
@@ -69,9 +70,14 @@ class ManagedHeap {
     Result<ObjRef> allocate(uint32_t num_slots, uint32_t num_refs,
                             uint8_t tag) {
         if (fault::inject(fault::Site::kHeapAlloc)) {
+            metrics::count(metrics::Counter::kHeapAllocFailures);
             return fault::injected_error(fault::Site::kHeapAlloc);
         }
-        return allocate_impl(num_slots, num_refs, tag);
+        Result<ObjRef> result = allocate_impl(num_slots, num_refs, tag);
+        if (__builtin_expect(!result.is_ok(), 0)) {
+            metrics::count(metrics::Counter::kHeapAllocFailures);
+        }
+        return result;
     }
 
     /**
@@ -267,7 +273,47 @@ class ManagedHeap {
     size_t live_objects_ = 0;
     HeapStats stats_;
     SampleStats pause_stats_;
+
+  private:
+    friend class GcPauseScope;
 };
+
+/**
+ * RAII around one stop-the-world pause.  Every policy's collect path
+ * opens one of these instead of timing itself: the scope records the
+ * pause into the heap's pause_stats_, the global gc.pause_ns
+ * histogram and the per-kind collection counter, and brackets the
+ * pause with gc-begin/gc-end trace events carrying the pause length
+ * and bytes reclaimed (live-word delta across the scope).
+ */
+class GcPauseScope {
+  public:
+    enum class Kind : uint8_t {
+        kMinor = 0,    ///< Nursery collection (generational).
+        kMajor = 1,    ///< Full collection, any tracing policy.
+        kRelease = 2,  ///< Region bulk release.
+    };
+
+    GcPauseScope(ManagedHeap& heap, Kind kind);
+    ~GcPauseScope();
+    GcPauseScope(const GcPauseScope&) = delete;
+    GcPauseScope& operator=(const GcPauseScope&) = delete;
+
+  private:
+    ManagedHeap& heap_;
+    uint64_t start_ns_;
+    uint64_t words_before_;
+    Kind kind_;
+};
+
+/**
+ * Folds the difference between two HeapStats readings into the global
+ * metrics registry (allocations, bytes, frees as counter deltas;
+ * words-in-use and its peak as gauges).  Allocation hot paths stay
+ * uninstrumented — the VM and mutator harnesses call this once per
+ * run with before/after readings of the same heap.
+ */
+void fold_heap_telemetry(const HeapStats& before, const HeapStats& after);
 
 /** RAII root registration for a stack-local reference. */
 class LocalRoot {

@@ -1,6 +1,7 @@
 #include "memory/manual_heap.hpp"
 
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::mem {
 
@@ -11,6 +12,7 @@ ManualHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
     size_t words = FreeListSpace::round_up(block_words(num_slots));
     uint32_t offset = space_.allocate(words);
     if (offset == FreeListSpace::kNoBlock) {
+        trace::emit(trace::Event::kAllocSlowPath, words);
         return resource_exhausted_error(
             str_format("manual heap exhausted (%zu words requested)",
                        words));

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::mem {
 
@@ -13,6 +14,7 @@ MarkCompactHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
 {
     uint32_t words = object_words(num_slots);
     if (cursor_ + words > heap_words_) {
+        trace::emit(trace::Event::kAllocSlowPath, words);
         collect();
         if (cursor_ + words > heap_words_) {
             return resource_exhausted_error(
@@ -33,7 +35,7 @@ MarkCompactHeap::collect()
     // Injected fault: deny the compaction; the caller's retry fails
     // with clean exhaustion.
     if (fault::inject(fault::Site::kGcTrigger)) return;
-    ScopedTimer timer(pause_stats_);
+    GcPauseScope pause(*this, GcPauseScope::Kind::kMajor);
     ++stats_.collections;
 
     // Mark.

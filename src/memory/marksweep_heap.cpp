@@ -1,6 +1,7 @@
 #include "memory/marksweep_heap.hpp"
 
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::mem {
 
@@ -15,6 +16,7 @@ MarkSweepHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
     }
     uint32_t offset = space_.allocate(words);
     if (offset == FreeListSpace::kNoBlock) {
+        trace::emit(trace::Event::kAllocSlowPath, words);
         collect();
         offset = space_.allocate(words);
         if (offset == FreeListSpace::kNoBlock) {
@@ -58,7 +60,7 @@ MarkSweepHeap::collect()
     // Injected fault: the collection is denied, so a caller retrying
     // an allocation sees clean exhaustion instead of reclaimed room.
     if (fault::inject(fault::Site::kGcTrigger)) return;
-    ScopedTimer timer(pause_stats_);
+    GcPauseScope pause(*this, GcPauseScope::Kind::kMajor);
     ++stats_.collections;
     allocated_since_gc_ = 0;
 

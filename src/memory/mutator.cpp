@@ -9,12 +9,49 @@ namespace bitc::mem {
 
 namespace {
 
-/** Millisecond wall-clock span helper. */
-double
-ms_since(uint64_t start_ns)
-{
-    return static_cast<double>(now_ns() - start_ns) / 1e6;
-}
+/**
+ * Brackets one workload: snapshots the heap's statistics at entry and,
+ * at finish(), derives the report's pause/occupancy/allocation-rate
+ * block from the deltas and folds the same deltas into the global
+ * metrics registry.
+ */
+class WorkloadTelemetry {
+  public:
+    explicit WorkloadTelemetry(ManagedHeap& heap)
+        : heap_(heap),
+          before_(heap.stats()),
+          pauses_before_(heap.pause_stats().count()),
+          pause_ns_before_(heap.pause_stats().count() > 0
+                               ? heap.pause_stats().sum()
+                               : 0.0),
+          start_ns_(now_ns()) {}
+
+    void finish(MutatorReport& report) {
+        report.elapsed_ms =
+            static_cast<double>(now_ns() - start_ns_) / 1e6;
+        const HeapStats& after = heap_.stats();
+        report.gc_pauses = heap_.pause_stats().count() - pauses_before_;
+        double pause_ns_after = heap_.pause_stats().count() > 0
+                                    ? heap_.pause_stats().sum()
+                                    : 0.0;
+        report.gc_pause_ms = (pause_ns_after - pause_ns_before_) / 1e6;
+        report.peak_words_in_use = after.peak_words_in_use;
+        double bytes = static_cast<double>(after.bytes_allocated -
+                                           before_.bytes_allocated);
+        if (report.elapsed_ms > 0.0) {
+            report.alloc_mb_per_s =
+                bytes / (1024.0 * 1024.0) / (report.elapsed_ms / 1e3);
+        }
+        fold_heap_telemetry(before_, after);
+    }
+
+  private:
+    ManagedHeap& heap_;
+    HeapStats before_;
+    size_t pauses_before_;
+    double pause_ns_before_;
+    uint64_t start_ns_;
+};
 
 }  // namespace
 
@@ -23,7 +60,7 @@ run_churn(ManagedHeap& heap, uint64_t total, uint32_t window,
           uint32_t slots, Rng& rng)
 {
     MutatorReport report;
-    uint64_t start = now_ns();
+    WorkloadTelemetry telemetry(heap);
 
     auto* region = dynamic_cast<RegionHeap*>(&heap);
     if (region != nullptr) {
@@ -45,7 +82,7 @@ run_churn(ManagedHeap& heap, uint64_t total, uint32_t window,
             region->release_to(mark);
         }
         report.operations = allocated;
-        report.elapsed_ms = ms_since(start);
+        telemetry.finish(report);
         return report;
     }
 
@@ -87,7 +124,7 @@ run_churn(ManagedHeap& heap, uint64_t total, uint32_t window,
 
     for (ObjRef& slot : ring) heap.remove_root(&slot);
     if (!failure.is_ok()) return failure;
-    report.elapsed_ms = ms_since(start);
+    telemetry.finish(report);
     return report;
 }
 
@@ -176,7 +213,7 @@ Result<MutatorReport>
 run_binary_trees(ManagedHeap& heap, uint32_t depth, uint32_t iterations)
 {
     MutatorReport report;
-    uint64_t start = now_ns();
+    WorkloadTelemetry telemetry(heap);
     auto* region = dynamic_cast<RegionHeap*>(&heap);
 
     // One long-lived tree survives the whole run (old-generation bait).
@@ -220,7 +257,7 @@ run_binary_trees(ManagedHeap& heap, uint32_t depth, uint32_t iterations)
         free_tree(heap, long_lived.get());
         long_lived.set(kNullRef);
     }
-    report.elapsed_ms = ms_since(start);
+    telemetry.finish(report);
     return report;
 }
 
@@ -229,7 +266,7 @@ run_graph_mutation(ManagedHeap& heap, uint32_t node_count, uint32_t fanout,
                    uint64_t mutations, Rng& rng)
 {
     MutatorReport report;
-    uint64_t start = now_ns();
+    WorkloadTelemetry telemetry(heap);
     constexpr uint8_t kNodeTag = 3;
 
     // The manual policy cannot know a node's in-degree from the heap, so
@@ -330,7 +367,7 @@ run_graph_mutation(ManagedHeap& heap, uint32_t node_count, uint32_t fanout,
         report.check_value += heap.load(node, fanout);
     }
     teardown();
-    report.elapsed_ms = ms_since(start);
+    telemetry.finish(report);
     return report;
 }
 

@@ -18,11 +18,20 @@
 
 namespace bitc::mem {
 
-/** Result counters a workload reports. */
+/**
+ * Result counters a workload reports.  The pause/occupancy/rate block
+ * reads the heap's own statistics across the run, so the same numbers
+ * land here (per-workload) and in the global metrics registry
+ * (process-wide) without instrumenting allocation hot paths.
+ */
 struct MutatorReport {
     uint64_t operations = 0;     ///< Workload-defined unit of progress.
     uint64_t check_value = 0;    ///< Order-independent checksum over live data.
     double elapsed_ms = 0.0;
+    uint64_t gc_pauses = 0;        ///< Pauses recorded during the run.
+    double gc_pause_ms = 0.0;      ///< Total pause time during the run.
+    uint64_t peak_words_in_use = 0;  ///< Heap high-water mark (occupancy).
+    double alloc_mb_per_s = 0.0;   ///< Allocation rate over the run.
 };
 
 /**

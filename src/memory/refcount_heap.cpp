@@ -1,6 +1,7 @@
 #include "memory/refcount_heap.hpp"
 
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::mem {
 
@@ -12,6 +13,7 @@ RefCountHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
     uint32_t offset = space_.allocate(words);
     if (offset == FreeListSpace::kNoBlock) {
         // Cyclic garbage may be clogging the heap; trace, then retry.
+        trace::emit(trace::Event::kAllocSlowPath, words);
         collect();
         offset = space_.allocate(words);
         if (offset == FreeListSpace::kNoBlock) {
@@ -106,7 +108,7 @@ RefCountHeap::collect()
     // An injected fault here models "the backup tracer could not run";
     // the caller's retry allocation then fails cleanly.
     if (fault::inject(fault::Site::kGcTrigger)) return;
-    ScopedTimer timer(pause_stats_);
+    GcPauseScope pause(*this, GcPauseScope::Kind::kMajor);
     ++stats_.collections;
 
     // Mark phase from the roots.

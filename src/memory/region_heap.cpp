@@ -25,7 +25,7 @@ void
 RegionHeap::release_to(size_t mark)
 {
     assert(mark <= cursor_);
-    ScopedTimer timer(pause_stats_);
+    GcPauseScope pause(*this, GcPauseScope::Kind::kRelease);
     // Handles are not offset-ordered, so scan the table for objects at
     // or past the mark. O(table) — the bulk-free cost the region model
     // amortises over the whole region's population.

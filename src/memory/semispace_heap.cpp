@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::mem {
 
@@ -13,6 +14,7 @@ SemispaceHeap::allocate_impl(uint32_t num_slots, uint32_t num_refs,
 {
     uint32_t words = object_words(num_slots);
     if (cursor_ + words > half_words_) {
+        trace::emit(trace::Event::kAllocSlowPath, words);
         collect();
         if (cursor_ + words > half_words_) {
             return resource_exhausted_error(
@@ -33,7 +35,7 @@ SemispaceHeap::collect()
     // Injected fault: deny the evacuation; the caller's retry fails
     // with clean exhaustion and the from-space stays intact.
     if (fault::inject(fault::Site::kGcTrigger)) return;
-    ScopedTimer timer(pause_stats_);
+    GcPauseScope pause(*this, GcPauseScope::Kind::kMajor);
     ++stats_.collections;
 
     std::vector<bool> copied(table_.size(), false);

@@ -1,5 +1,8 @@
 #include "support/fault.hpp"
 
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
 #include <cstdlib>
 
 namespace bitc::fault {
@@ -66,8 +69,12 @@ on_hit(Site site)
         default:
             break;
     }
+    metrics::count(metrics::Counter::kFaultHits);
     if (fail) {
         inj.injected_[i].fetch_add(1, std::memory_order_relaxed);
+        metrics::count(metrics::Counter::kFaultsInjected);
+        trace::emit(trace::Event::kFaultInjected,
+                    static_cast<uint64_t>(site));
     }
     return fail;
 }

@@ -1,0 +1,262 @@
+#include "support/metrics.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::metrics {
+
+namespace {
+
+/** All registry storage, constant-initialized atomics. */
+struct Registry {
+    std::array<std::atomic<uint64_t>, kNumCounters> counters{};
+    std::array<std::atomic<uint64_t>, kNumGauges> gauges{};
+    struct Hist {
+        std::atomic<uint64_t> count{};
+        std::atomic<uint64_t> sum{};
+        std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    };
+    std::array<Hist, kNumHistograms> histograms{};
+    std::array<std::atomic<uint64_t>, kMaxOpcodes> opcodes{};
+    std::atomic<const char* (*)(size_t)> opcode_namer{nullptr};
+};
+
+Registry g_registry;
+
+constexpr std::array<const char*, kNumCounters> kCounterNames = {
+    "vm.runs",
+    "vm.instructions",
+    "heap.allocations",
+    "heap.bytes_allocated",
+    "heap.frees",
+    "heap.alloc_failures",
+    "gc.minor_collections",
+    "gc.major_collections",
+    "gc.region_releases",
+    "gc.bytes_reclaimed",
+    "stm.commits",
+    "stm.aborts",
+    "stm.retries",
+    "stm.abort_storms",
+    "channel.sends",
+    "channel.recvs",
+    "channel.send_blocked",
+    "channel.recv_blocked",
+    "channel.closes",
+    "marshal.records_in",
+    "marshal.records_out",
+    "fault.hits",
+    "fault.injected",
+};
+
+constexpr std::array<const char*, kNumGauges> kGaugeNames = {
+    "heap.words_in_use",
+    "heap.peak_words_in_use",
+    "channel.depth_high_water",
+};
+
+constexpr std::array<const char*, kNumHistograms> kHistogramNames = {
+    "gc.pause_ns",
+    "stm.retries_per_txn",
+    "channel.blocked_ns",
+    "vm.run_ns",
+};
+
+}  // namespace
+
+const char*
+counter_name(Counter c)
+{
+    return kCounterNames[static_cast<size_t>(c)];
+}
+
+const char*
+gauge_name(Gauge g)
+{
+    return kGaugeNames[static_cast<size_t>(g)];
+}
+
+const char*
+histogram_name(Histogram h)
+{
+    return kHistogramNames[static_cast<size_t>(h)];
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+void
+count_slow(Counter c, uint64_t n)
+{
+    g_registry.counters[static_cast<size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+void
+gauge_set_slow(Gauge g, uint64_t value)
+{
+    g_registry.gauges[static_cast<size_t>(g)].store(
+        value, std::memory_order_relaxed);
+}
+
+void
+gauge_max_slow(Gauge g, uint64_t value)
+{
+    auto& cell = g_registry.gauges[static_cast<size_t>(g)];
+    uint64_t seen = cell.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !cell.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+        // seen reloaded by compare_exchange_weak.
+    }
+}
+
+void
+observe_slow(Histogram h, uint64_t value)
+{
+    auto& hist = g_registry.histograms[static_cast<size_t>(h)];
+    hist.count.fetch_add(1, std::memory_order_relaxed);
+    hist.sum.fetch_add(value, std::memory_order_relaxed);
+    hist.buckets[bucket_of(value)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+void
+count_opcode_slow(size_t opcode, uint64_t n)
+{
+    if (opcode >= kMaxOpcodes) return;
+    g_registry.opcodes[opcode].fetch_add(n,
+                                         std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void
+enable()
+{
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+disable()
+{
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    for (auto& c : g_registry.counters) {
+        c.store(0, std::memory_order_relaxed);
+    }
+    for (auto& g : g_registry.gauges) {
+        g.store(0, std::memory_order_relaxed);
+    }
+    for (auto& h : g_registry.histograms) {
+        h.count.store(0, std::memory_order_relaxed);
+        h.sum.store(0, std::memory_order_relaxed);
+        for (auto& b : h.buckets) {
+            b.store(0, std::memory_order_relaxed);
+        }
+    }
+    for (auto& o : g_registry.opcodes) {
+        o.store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+set_opcode_namer(const char* (*namer)(size_t))
+{
+    g_registry.opcode_namer.store(namer, std::memory_order_relaxed);
+}
+
+Snapshot
+snapshot()
+{
+    Snapshot snap;
+    for (size_t i = 0; i < kNumCounters; ++i) {
+        snap.counters[i] =
+            g_registry.counters[i].load(std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < kNumGauges; ++i) {
+        snap.gauges[i] =
+            g_registry.gauges[i].load(std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < kNumHistograms; ++i) {
+        const auto& hist = g_registry.histograms[i];
+        auto& out = snap.histograms[i];
+        out.count = hist.count.load(std::memory_order_relaxed);
+        out.sum = hist.sum.load(std::memory_order_relaxed);
+        for (size_t b = 0; b < kNumBuckets; ++b) {
+            out.buckets[b] =
+                hist.buckets[b].load(std::memory_order_relaxed);
+        }
+    }
+    for (size_t i = 0; i < kMaxOpcodes; ++i) {
+        snap.opcodes[i] =
+            g_registry.opcodes[i].load(std::memory_order_relaxed);
+    }
+    return snap;
+}
+
+std::string
+to_json(const Snapshot& snap)
+{
+    std::string out;
+    out.reserve(4096);
+    out += str_format("{\n  \"schema\": \"%s\",\n  \"version\": %d",
+                      kJsonSchema, kJsonVersion);
+
+    out += ",\n  \"counters\": {";
+    for (size_t i = 0; i < kNumCounters; ++i) {
+        out += str_format(
+            "%s\n    \"%s\": %llu", i ? "," : "", kCounterNames[i],
+            static_cast<unsigned long long>(snap.counters[i]));
+    }
+    out += "\n  }";
+
+    out += ",\n  \"gauges\": {";
+    for (size_t i = 0; i < kNumGauges; ++i) {
+        out += str_format(
+            "%s\n    \"%s\": %llu", i ? "," : "", kGaugeNames[i],
+            static_cast<unsigned long long>(snap.gauges[i]));
+    }
+    out += "\n  }";
+
+    out += ",\n  \"histograms\": {";
+    for (size_t i = 0; i < kNumHistograms; ++i) {
+        const auto& hist = snap.histograms[i];
+        out += str_format(
+            "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, "
+            "\"buckets\": [",
+            i ? "," : "", kHistogramNames[i],
+            static_cast<unsigned long long>(hist.count),
+            static_cast<unsigned long long>(hist.sum));
+        for (size_t b = 0; b < kNumBuckets; ++b) {
+            out += str_format(
+                "%s%llu", b ? ", " : "",
+                static_cast<unsigned long long>(hist.buckets[b]));
+        }
+        out += "]}";
+    }
+    out += "\n  }";
+
+    out += ",\n  \"opcodes\": {";
+    auto namer =
+        g_registry.opcode_namer.load(std::memory_order_relaxed);
+    bool first = true;
+    for (size_t i = 0; i < kMaxOpcodes; ++i) {
+        if (snap.opcodes[i] == 0) continue;
+        std::string name = namer
+                               ? std::string(namer(i))
+                               : str_format("op%zu", i);
+        out += str_format(
+            "%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+            static_cast<unsigned long long>(snap.opcodes[i]));
+        first = false;
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+}  // namespace bitc::metrics

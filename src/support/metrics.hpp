@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Process-wide metrics registry: monotonic counters, gauges and
+ * fixed-bucket latency histograms for the whole runtime.
+ *
+ * The paper's F3 argument ("the optimiser can fix it") is really about
+ * transparency: systems programmers trust C because they can see what
+ * the machine does.  A managed runtime earns the same trust only if its
+ * costs are observable — GC pause distributions, STM abort storms,
+ * channel backpressure — as uniform machine-readable telemetry rather
+ * than ad-hoc printfs.  This registry is that substrate: every runtime
+ * subsystem (heap policies, both interpreter loops, STM, channels,
+ * marshalling, fault injection) ticks a fixed, enum-keyed set of
+ * instruments, and tools snapshot them as a versioned JSON document.
+ *
+ * Cost model (same discipline as fault.hpp): when disabled — the
+ * production default — every instrumentation point is one relaxed
+ * atomic load and a predicted-not-taken branch.  When enabled, updates
+ * are relaxed atomic adds; nothing blocks and nothing allocates.  Hot
+ * per-allocation paths are NOT instrumented individually: the heap
+ * keeps its cheap non-atomic HeapStats and callers fold *deltas* into
+ * the registry at coarse boundaries (end of a VM run, end of a mutator
+ * workload) via mem::fold_heap_telemetry.
+ */
+#ifndef BITC_SUPPORT_METRICS_HPP
+#define BITC_SUPPORT_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bitc::metrics {
+
+/** Monotonic counters, one per instrumented runtime event. */
+enum class Counter : uint16_t {
+    kVmRuns = 0,          ///< Vm::run invocations (incl. nested calls).
+    kVmInstructions,      ///< Instructions retired across all runs.
+    kHeapAllocations,     ///< Successful allocations (folded deltas).
+    kHeapBytesAllocated,  ///< Bytes allocated (folded deltas).
+    kHeapFrees,           ///< Explicit/refcount frees (folded deltas).
+    kHeapAllocFailures,   ///< allocate() calls that returned an error.
+    kGcMinorCollections,  ///< Nursery collections (generational).
+    kGcMajorCollections,  ///< Full collections, any tracing policy.
+    kGcRegionReleases,    ///< Region bulk-release pauses.
+    kGcBytesReclaimed,    ///< Bytes freed by collections (live delta).
+    kStmCommits,          ///< Transactions that committed.
+    kStmAborts,           ///< Aborted attempts (incl. retried ones).
+    kStmRetries,          ///< Re-executed attempts after an abort.
+    kStmAbortStorms,      ///< try_atomically gave up after the cap.
+    kChanSends,           ///< Values enqueued into channels.
+    kChanRecvs,           ///< Values dequeued from channels.
+    kChanSendBlocked,     ///< Sends that had to wait for space.
+    kChanRecvBlocked,     ///< Receives that had to wait for data.
+    kChanCloses,          ///< Channel close() calls.
+    kMarshalRecordsIn,    ///< Records unmarshalled from raw bytes.
+    kMarshalRecordsOut,   ///< Records marshalled out to raw bytes.
+    kFaultHits,           ///< Armed fault sites reached.
+    kFaultsInjected,      ///< Failures actually injected.
+    kCount_,              ///< Sentinel: number of counters.
+};
+
+/** Point-in-time values; set- or max-merged rather than summed. */
+enum class Gauge : uint16_t {
+    kHeapWordsInUse = 0,    ///< Live words at the last fold (set).
+    kHeapPeakWordsInUse,    ///< High-water live words (max-merge).
+    kChanDepthHighWater,    ///< Deepest queue seen on any channel (max).
+    kCount_,                ///< Sentinel: number of gauges.
+};
+
+/**
+ * Power-of-two-bucket latency/size histograms.  Bucket 0 holds the
+ * value 0; bucket i (i >= 1) holds values in [2^(i-1), 2^i); the last
+ * bucket absorbs everything larger.  Log-spaced buckets keep the whole
+ * histogram in 34 words and need no configuration — pause times from
+ * 1ns to ~1s land in distinct buckets.
+ */
+enum class Histogram : uint16_t {
+    kGcPauseNs = 0,     ///< Stop-the-world pause per collection.
+    kStmRetriesPerTxn,  ///< Aborted attempts before a commit.
+    kChanBlockedNs,     ///< Time a send/recv spent blocked.
+    kVmRunNs,           ///< Wall time of one Vm::run.
+    kCount_,            ///< Sentinel: number of histograms.
+};
+
+inline constexpr size_t kNumCounters =
+    static_cast<size_t>(Counter::kCount_);
+inline constexpr size_t kNumGauges = static_cast<size_t>(Gauge::kCount_);
+inline constexpr size_t kNumHistograms =
+    static_cast<size_t>(Histogram::kCount_);
+inline constexpr size_t kNumBuckets = 32;
+/** Capacity of the generic opcode-count table (>= vm::kNumOps). */
+inline constexpr size_t kMaxOpcodes = 64;
+
+/** Stable dotted name, e.g. "gc.pause_ns"; used as the JSON key. */
+const char* counter_name(Counter c);
+const char* gauge_name(Gauge g);
+const char* histogram_name(Histogram h);
+
+/** Bucket index a value lands in (see Histogram docs). */
+inline size_t
+bucket_of(uint64_t value)
+{
+    if (value == 0) return 0;
+    size_t bit = 64 - static_cast<size_t>(__builtin_clzll(value));
+    return bit < kNumBuckets ? bit : kNumBuckets - 1;
+}
+
+/** Smallest value that lands in @p bucket (0, 1, 2, 4, 8, ...). */
+inline uint64_t
+bucket_lower_bound(size_t bucket)
+{
+    return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+}
+
+namespace detail {
+/** Process-wide fast flag: false makes every update a no-op. */
+extern std::atomic<bool> g_enabled;
+// Slow paths; defined in metrics.cpp.
+void count_slow(Counter c, uint64_t n);
+void gauge_set_slow(Gauge g, uint64_t value);
+void gauge_max_slow(Gauge g, uint64_t value);
+void observe_slow(Histogram h, uint64_t value);
+void count_opcode_slow(size_t opcode, uint64_t n);
+}  // namespace detail
+
+/** True while the registry is recording. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Starts/stops recording.  Enabling does not clear prior values. */
+void enable();
+void disable();
+
+/** Zeroes every instrument (tests isolate runs with this). */
+void reset();
+
+/** Adds @p n to counter @p c.  No-op while disabled. */
+inline void
+count(Counter c, uint64_t n = 1)
+{
+    if (__builtin_expect(
+            !detail::g_enabled.load(std::memory_order_relaxed), 1)) {
+        return;
+    }
+    detail::count_slow(c, n);
+}
+
+/** Sets gauge @p g to @p value (last write wins). */
+inline void
+gauge_set(Gauge g, uint64_t value)
+{
+    if (__builtin_expect(
+            !detail::g_enabled.load(std::memory_order_relaxed), 1)) {
+        return;
+    }
+    detail::gauge_set_slow(g, value);
+}
+
+/** Raises gauge @p g to @p value if it is higher (high-water mark). */
+inline void
+gauge_max(Gauge g, uint64_t value)
+{
+    if (__builtin_expect(
+            !detail::g_enabled.load(std::memory_order_relaxed), 1)) {
+        return;
+    }
+    detail::gauge_max_slow(g, value);
+}
+
+/** Records @p value into histogram @p h (bucket + count + sum). */
+inline void
+observe(Histogram h, uint64_t value)
+{
+    if (__builtin_expect(
+            !detail::g_enabled.load(std::memory_order_relaxed), 1)) {
+        return;
+    }
+    detail::observe_slow(h, value);
+}
+
+/**
+ * Folds @p n retirements of @p opcode into the per-opcode table.  The
+ * interpreter counts opcodes in a local table during the run and folds
+ * the whole table here once at exit, so the dispatch loops stay free
+ * of shared-memory traffic.
+ */
+inline void
+count_opcode(size_t opcode, uint64_t n)
+{
+    if (__builtin_expect(
+            !detail::g_enabled.load(std::memory_order_relaxed), 1)) {
+        return;
+    }
+    detail::count_opcode_slow(opcode, n);
+}
+
+/**
+ * Registers the opcode-index -> name function used by snapshots.  The
+ * support layer cannot depend on the VM, so the interpreter installs
+ * vm::op_name through this hook at static-init time; until then
+ * opcodes serialize as "op<N>".
+ */
+void set_opcode_namer(const char* (*namer)(size_t));
+
+/** Plain-data copy of one histogram. */
+struct HistogramSnapshot {
+    uint64_t count = 0;  ///< Number of observations.
+    uint64_t sum = 0;    ///< Sum of observed values.
+    std::array<uint64_t, kNumBuckets> buckets{};
+};
+
+/**
+ * Plain-data copy of the whole registry.  Taken with relaxed loads:
+ * values written before the snapshot by the same thread are always
+ * visible; concurrent updates may or may not be, but every counter is
+ * monotonic so two snapshots bracket the truth.
+ */
+struct Snapshot {
+    std::array<uint64_t, kNumCounters> counters{};
+    std::array<uint64_t, kNumGauges> gauges{};
+    std::array<HistogramSnapshot, kNumHistograms> histograms{};
+    std::array<uint64_t, kMaxOpcodes> opcodes{};
+
+    uint64_t counter(Counter c) const {
+        return counters[static_cast<size_t>(c)];
+    }
+    uint64_t gauge(Gauge g) const {
+        return gauges[static_cast<size_t>(g)];
+    }
+    const HistogramSnapshot& histogram(Histogram h) const {
+        return histograms[static_cast<size_t>(h)];
+    }
+};
+
+/** Copies the current registry state. */
+Snapshot snapshot();
+
+/** Schema identity of the JSON serialization below. */
+inline constexpr const char* kJsonSchema = "bitc-metrics";
+inline constexpr int kJsonVersion = 1;
+
+/**
+ * Serializes @p snap as a versioned JSON document:
+ *
+ *   {
+ *     "schema": "bitc-metrics", "version": 1,
+ *     "counters":   { "<name>": N, ... },          // every counter
+ *     "gauges":     { "<name>": N, ... },          // every gauge
+ *     "histograms": { "<name>": { "count": N, "sum": N,
+ *                                 "buckets": [32 ints] }, ... },
+ *     "opcodes":    { "<op-name>": N, ... }        // nonzero only
+ *   }
+ *
+ * Consumers key on names, never positions; adding instruments is a
+ * compatible change, renaming or retyping bumps "version".
+ */
+std::string to_json(const Snapshot& snap);
+
+}  // namespace bitc::metrics
+
+#endif  // BITC_SUPPORT_METRICS_HPP

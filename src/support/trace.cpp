@@ -1,0 +1,175 @@
+#include "support/trace.hpp"
+
+#include <array>
+#include <memory>
+
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+
+namespace bitc::trace {
+
+namespace {
+
+// Each record is four atomic words: ts, meta (event | tid), arg0,
+// arg1.  Atomic words keep concurrent writers (two threads lapped a
+// full ring apart) and snapshot readers race-free by definition.
+constexpr size_t kWordsPerRecord = 4;
+
+struct Ring {
+    std::unique_ptr<std::atomic<uint64_t>[]> words;
+    size_t capacity = 0;  ///< Records; always a power of two.
+    size_t mask = 0;
+    std::atomic<uint64_t> head{0};  ///< Next sequence number.
+};
+
+Ring g_ring;
+
+std::atomic<uint32_t> g_next_tid{0};
+
+uint32_t
+this_tid()
+{
+    thread_local uint32_t tid =
+        g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+constexpr std::array<const char*, kNumEvents> kEventNames = {
+    "gc-begin",     "gc-end",     "alloc-slow-path", "stm-begin",
+    "stm-commit",   "stm-abort",  "chan-send",       "chan-recv",
+    "chan-block",   "chan-close", "vm-enter",        "vm-exit",
+    "fault-injected",
+};
+
+}  // namespace
+
+const char*
+event_name(Event e)
+{
+    size_t i = static_cast<size_t>(e);
+    return i < kNumEvents ? kEventNames[i] : "unknown";
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+void
+record(Event e, uint64_t arg0, uint64_t arg1)
+{
+    uint64_t seq = g_ring.head.fetch_add(1, std::memory_order_relaxed);
+    size_t base = (static_cast<size_t>(seq) & g_ring.mask) *
+                  kWordsPerRecord;
+    uint64_t meta = (static_cast<uint64_t>(e) << 32) | this_tid();
+    g_ring.words[base + 0].store(now_ns(), std::memory_order_relaxed);
+    g_ring.words[base + 1].store(meta, std::memory_order_relaxed);
+    g_ring.words[base + 2].store(arg0, std::memory_order_relaxed);
+    g_ring.words[base + 3].store(arg1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void
+start(size_t capacity)
+{
+    stop();
+    size_t rounded = 8;
+    while (rounded < capacity) rounded <<= 1;
+    if (g_ring.capacity != rounded) {
+        g_ring.words =
+            std::make_unique<std::atomic<uint64_t>[]>(
+                rounded * kWordsPerRecord);
+        g_ring.capacity = rounded;
+        g_ring.mask = rounded - 1;
+    }
+    for (size_t i = 0; i < g_ring.capacity * kWordsPerRecord; ++i) {
+        g_ring.words[i].store(0, std::memory_order_relaxed);
+    }
+    g_ring.head.store(0, std::memory_order_relaxed);
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void
+stop()
+{
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+clear()
+{
+    stop();
+    g_ring.words.reset();
+    g_ring.capacity = 0;
+    g_ring.mask = 0;
+    g_ring.head.store(0, std::memory_order_relaxed);
+}
+
+uint64_t
+total()
+{
+    return g_ring.head.load(std::memory_order_relaxed);
+}
+
+uint64_t
+dropped()
+{
+    uint64_t emitted = total();
+    return emitted > g_ring.capacity ? emitted - g_ring.capacity : 0;
+}
+
+size_t
+capacity()
+{
+    return g_ring.capacity;
+}
+
+std::vector<Record>
+snapshot()
+{
+    std::vector<Record> out;
+    if (g_ring.capacity == 0) return out;
+    uint64_t end = total();
+    uint64_t begin = end > g_ring.capacity ? end - g_ring.capacity : 0;
+    out.reserve(static_cast<size_t>(end - begin));
+    for (uint64_t seq = begin; seq < end; ++seq) {
+        size_t base = (static_cast<size_t>(seq) & g_ring.mask) *
+                      kWordsPerRecord;
+        Record rec;
+        rec.seq = seq;
+        rec.ts_ns =
+            g_ring.words[base + 0].load(std::memory_order_relaxed);
+        uint64_t meta =
+            g_ring.words[base + 1].load(std::memory_order_relaxed);
+        rec.arg0 =
+            g_ring.words[base + 2].load(std::memory_order_relaxed);
+        rec.arg1 =
+            g_ring.words[base + 3].load(std::memory_order_relaxed);
+        rec.event = static_cast<Event>((meta >> 32) & 0xff);
+        rec.tid = static_cast<uint32_t>(meta);
+        out.push_back(rec);
+    }
+    return out;
+}
+
+std::string
+dump()
+{
+    std::vector<Record> records = snapshot();
+    std::string out = str_format(
+        "bitc-trace v1 events=%zu total=%llu dropped=%llu\n",
+        records.size(), static_cast<unsigned long long>(total()),
+        static_cast<unsigned long long>(dropped()));
+    for (const Record& rec : records) {
+        out += str_format(
+            "%llu %llu %s %llu %llu tid=%u\n",
+            static_cast<unsigned long long>(rec.seq),
+            static_cast<unsigned long long>(rec.ts_ns),
+            event_name(rec.event),
+            static_cast<unsigned long long>(rec.arg0),
+            static_cast<unsigned long long>(rec.arg1), rec.tid);
+    }
+    return out;
+}
+
+}  // namespace bitc::trace

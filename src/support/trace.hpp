@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fixed-capacity binary trace ring for typed runtime events.
+ *
+ * Where the metrics registry (metrics.hpp) answers "how much", the
+ * trace ring answers "in what order": it records the last N runtime
+ * events — GC begin/end with pause and bytes reclaimed, allocation
+ * slow paths, STM commit/abort with retry counts, channel traffic and
+ * blocking, VM entry/exit, injected faults — as fixed-size binary
+ * records in a preallocated ring.  The ring never blocks, never
+ * allocates after start(), and overwrites the oldest records when
+ * full, keeping an exact count of how many were dropped.
+ *
+ * Cost model: when stopped (the production default) an emit() is one
+ * relaxed atomic load and a predicted-not-taken branch — the same
+ * discipline as fault.hpp and metrics.hpp.  When recording, an emit is
+ * one relaxed fetch_add to claim a slot plus four relaxed word stores.
+ * Records are stored as atomic words so concurrent writers and readers
+ * are race-free by construction (TSan-clean); a reader that races a
+ * lapped writer may see one torn record, which the dropped count makes
+ * detectable.
+ */
+#ifndef BITC_SUPPORT_TRACE_HPP
+#define BITC_SUPPORT_TRACE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitc::trace {
+
+/** Typed runtime events.  Argument meanings are per-event. */
+enum class Event : uint8_t {
+    kGcBegin = 0,     ///< arg0 = kind (0 minor, 1 major, 2 release).
+    kGcEnd,           ///< arg0 = pause ns, arg1 = bytes reclaimed.
+    kAllocSlowPath,   ///< arg0 = words requested.
+    kStmBegin,        ///< transaction attempt 1 entered.
+    kStmCommit,       ///< arg0 = aborted attempts before this commit.
+    kStmAbort,        ///< arg0 = attempt number that aborted.
+    kChanSend,        ///< arg0 = queue depth after the send.
+    kChanRecv,        ///< arg0 = queue depth after the recv.
+    kChanBlock,       ///< arg0 = 0 send / 1 recv, arg1 = blocked ns.
+    kChanClose,       ///< arg0 = queue depth at close.
+    kVmEnter,         ///< arg0 = function index.
+    kVmExit,          ///< arg0 = instructions retired, arg1 = run ns.
+    kFaultInjected,   ///< arg0 = fault::Site.
+    kCount_,          ///< Sentinel: number of event types.
+};
+
+inline constexpr size_t kNumEvents =
+    static_cast<size_t>(Event::kCount_);
+
+/** Stable event name, e.g. "gc-begin"; used in the text dump. */
+const char* event_name(Event e);
+
+/** One decoded trace record (32 bytes in the ring). */
+struct Record {
+    uint64_t seq = 0;    ///< Global sequence number (0-based).
+    uint64_t ts_ns = 0;  ///< Monotonic timestamp.
+    uint64_t arg0 = 0;
+    uint64_t arg1 = 0;
+    uint32_t tid = 0;    ///< Small per-thread id (registration order).
+    Event event = Event::kGcBegin;
+};
+
+namespace detail {
+/** Process-wide fast flag: false makes every emit() a no-op. */
+extern std::atomic<bool> g_enabled;
+/** Slow path: claims a slot and stores the record. */
+void record(Event e, uint64_t arg0, uint64_t arg1);
+}  // namespace detail
+
+/** True while the ring is recording. */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * The emission point.  One predicted branch when stopped; see the
+ * file comment for the recording cost.
+ */
+inline void
+emit(Event e, uint64_t arg0 = 0, uint64_t arg1 = 0)
+{
+    if (__builtin_expect(
+            !detail::g_enabled.load(std::memory_order_relaxed), 1)) {
+        return;
+    }
+    detail::record(e, arg0, arg1);
+}
+
+/** Default ring capacity in events (2 MiB of slots). */
+inline constexpr size_t kDefaultCapacity = 1u << 16;
+
+/**
+ * Allocates (or reallocates) the ring with room for @p capacity
+ * events — rounded up to a power of two, minimum 8 — clears it, and
+ * starts recording.  Not thread-safe against concurrent emitters:
+ * start before spawning instrumented threads (same rule as arming
+ * fault plans).
+ */
+void start(size_t capacity = kDefaultCapacity);
+
+/** Stops recording; the ring contents stay readable. */
+void stop();
+
+/** Stops and discards the ring storage. */
+void clear();
+
+/** Events emitted since start(). */
+uint64_t total();
+
+/** Events overwritten because the ring wrapped. */
+uint64_t dropped();
+
+/** Ring capacity in events (0 before the first start()). */
+size_t capacity();
+
+/**
+ * Decodes the retained window, oldest first.  Take it after emitters
+ * quiesce (or after stop()) for a tear-free read.
+ */
+std::vector<Record> snapshot();
+
+/**
+ * Versioned text dump:
+ *
+ *   bitc-trace v1 events=<retained> total=<emitted> dropped=<n>
+ *   <seq> <ts_ns> <event> <arg0> <arg1> tid=<tid>
+ *   ...
+ */
+std::string dump();
+
+}  // namespace bitc::trace
+
+#endif  // BITC_SUPPORT_TRACE_HPP

@@ -13,11 +13,26 @@
 #include "memory/semispace_heap.hpp"
 #include "repr/scalar_type.hpp"
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/stats.hpp"
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace bitc::vm {
 
 using mem::ManagedHeap;
+
+namespace {
+// Installs the opcode-index -> name hook so metrics snapshots can
+// label the per-opcode table without the support layer depending on
+// the VM.
+[[maybe_unused]] const bool g_opcode_namer_registered = [] {
+    metrics::set_opcode_namer([](size_t op) {
+        return op < kNumOps ? op_name(static_cast<Op>(op)) : "invalid";
+    });
+    return true;
+}();
+}  // namespace
 using mem::ObjRef;
 
 namespace {
@@ -178,13 +193,14 @@ class Machine {
     Machine(const CompiledProgram& program,
             const NativeRegistry* natives, ManagedHeap& heap,
             const VmConfig& config, uint64_t& instructions,
-            OpProfile* profile)
+            OpProfile* profile, bool timed)
         : program_(program),
           natives_(natives),
           heap_(heap),
           config_(config),
           instructions_(instructions),
-          profile_(profile)
+          profile_(profile),
+          timed_(timed)
     {
         stack_.assign(config.stack_slots, Slot{});
         if constexpr (mode == ValueMode::kBoxed) {
@@ -241,12 +257,15 @@ class Machine {
     }
 
     /**
-     * Attributes elapsed time to the previously dispatched opcode and
-     * counts the new one.  Called once per instruction in profiled
-     * loops only; the last opcode of a run (always kRet) keeps its
-     * count but not its final slice of time.
+     * Counts the dispatched opcode and — in timed mode only —
+     * attributes elapsed time to the previously dispatched one.
+     * Called once per instruction in profiled loops; the last opcode
+     * of a run (always kRet) keeps its count but not its final slice
+     * of time.  count_ops runs skip the clock reads entirely.
      */
     void profile_tick(size_t op) {
+        ++profile_->counts[op];
+        if (!timed_) return;
         auto now = std::chrono::steady_clock::now();
         if (prof_prev_op_ != kNumOps) {
             profile_->nanos[prof_prev_op_] += static_cast<uint64_t>(
@@ -254,7 +273,6 @@ class Machine {
                     now - prof_prev_time_)
                     .count());
         }
-        ++profile_->counts[op];
         prof_prev_op_ = op;
         prof_prev_time_ = now;
     }
@@ -819,6 +837,7 @@ class Machine {
     const VmConfig& config_;
     uint64_t& instructions_;
     OpProfile* profile_ = nullptr;
+    bool timed_ = false;
     size_t prof_prev_op_ = kNumOps;
     std::chrono::steady_clock::time_point prof_prev_time_{};
     uint64_t budget_end_ = UINT64_MAX;
@@ -1378,13 +1397,41 @@ Result<int64_t>
 Vm::run(uint32_t function, std::span<const int64_t> args,
         std::span<int64_t> buffer)
 {
+    const bool collect_ops = config_.profile || config_.count_ops;
     Machine<mode> machine(program_, natives_, *heap_, config_,
                           instructions_,
-                          config_.profile ? &profile_data_ : nullptr);
+                          collect_ops ? &profile_data_ : nullptr,
+                          config_.profile);
     if (config_.max_instructions != 0) {
         machine.set_budget(instructions_ + config_.max_instructions);
     }
-    return machine.execute(function, args, buffer);
+    // The telemetry bracket reads heap and opcode statistics before
+    // and after the run and folds the deltas into the registry, so
+    // the dispatch loops themselves never touch shared counters.
+    if (!metrics::enabled() && !trace::enabled()) {
+        return machine.execute(function, args, buffer);
+    }
+    mem::HeapStats heap_before = heap_->stats();
+    uint64_t instr_before = instructions_;
+    std::array<uint64_t, kNumOps> ops_before{};
+    if (collect_ops) ops_before = profile_data_.counts;
+    trace::emit(trace::Event::kVmEnter, function);
+    uint64_t start_ns = now_ns();
+    auto result = machine.execute(function, args, buffer);
+    uint64_t run_ns = now_ns() - start_ns;
+    uint64_t retired = instructions_ - instr_before;
+    trace::emit(trace::Event::kVmExit, retired, run_ns);
+    metrics::count(metrics::Counter::kVmRuns);
+    metrics::count(metrics::Counter::kVmInstructions, retired);
+    metrics::observe(metrics::Histogram::kVmRunNs, run_ns);
+    if (collect_ops && metrics::enabled()) {
+        for (size_t op = 0; op < kNumOps; ++op) {
+            uint64_t delta = profile_data_.counts[op] - ops_before[op];
+            if (delta != 0) metrics::count_opcode(op, delta);
+        }
+    }
+    mem::fold_heap_telemetry(heap_before, heap_->stats());
+    return result;
 }
 
 Result<int64_t>

@@ -60,8 +60,10 @@ bool threaded_dispatch_available();
 /**
  * Per-opcode execution profile (counts always exact; time attributed
  * at dispatch boundaries, so nanos are approximate per-op shares).
- * Collected only when VmConfig::profile is set — the counters cost a
- * clock read per instruction, so never in benchmark configurations.
+ * Collected when VmConfig::profile or VmConfig::count_ops is set.
+ * Only profile adds the per-instruction clock read that makes nanos
+ * meaningful; count_ops keeps the exact counters alone and folds them
+ * into the global metrics registry at the end of each run.
  */
 struct OpProfile {
     std::array<uint64_t, kNumOps> counts{};
@@ -79,6 +81,8 @@ struct VmConfig {
     HeapPolicy heap = HeapPolicy::kRegion;
     DispatchMode dispatch = DispatchMode::kThreaded;
     bool profile = false;           ///< collect an OpProfile per run.
+    bool count_ops = false;         ///< opcode counts only (no clocks);
+                                    ///< folded into metrics::snapshot().
     size_t heap_words = 1u << 22;   ///< 32 MiB of 64-bit words.
     size_t stack_slots = 1u << 16;  ///< Value-stack capacity.
     uint64_t max_instructions = 0;  ///< 0 = unlimited.
@@ -131,7 +135,8 @@ class Vm {
     /** Instructions retired over the VM's lifetime. */
     uint64_t instructions_executed() const { return instructions_; }
 
-    /** Accumulated per-opcode profile (all zeros unless config.profile). */
+    /** Accumulated per-opcode profile (all zeros unless config.profile
+     *  or config.count_ops was set; nanos need config.profile). */
     const OpProfile& profile() const { return profile_data_; }
 
     /** The heap backing this VM (allocation/pause statistics). */

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
+
+#include "support/metrics.hpp"
 
 namespace bitc::conc {
 namespace {
@@ -128,6 +131,56 @@ TEST(ChannelTest, MoveOnlyPayloads) {
     auto out = ch.recv();
     ASSERT_TRUE(out.is_ok());
     EXPECT_EQ(*out.value(), 5);
+}
+
+
+TEST(ChannelTest, DepthHighWaterTracksDeepestQueue) {
+    Channel<int> ch(8);
+    EXPECT_EQ(ch.depth_high_water(), 0u);
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(ch.send(i).is_ok());
+    EXPECT_EQ(ch.depth_high_water(), 5u);
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(ch.recv().is_ok());
+    // Draining never lowers the high-water mark.
+    EXPECT_EQ(ch.depth_high_water(), 5u);
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(ch.send(i).is_ok());
+    EXPECT_EQ(ch.depth_high_water(), 5u);
+}
+
+TEST(ChannelTest, BlockedTimeAccumulatesWhenReceiverWaits) {
+    Channel<int> ch(1);
+    EXPECT_EQ(ch.blocked_ns(), 0u);
+    std::thread receiver([&] {
+        auto v = ch.recv();  // blocks until the send below
+        ASSERT_TRUE(v.is_ok());
+        EXPECT_EQ(v.value(), 7);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(ch.send(7).is_ok());
+    receiver.join();
+    // The receiver demonstrably waited; the fast path records nothing,
+    // so any nonzero value here came from the blocking slow path.
+    EXPECT_GT(ch.blocked_ns(), 0u);
+}
+
+TEST(ChannelTest, TrafficMirrorsIntoMetricsRegistry) {
+    metrics::reset();
+    metrics::enable();
+    {
+        Channel<int> ch(4);
+        for (int i = 0; i < 3; ++i) ASSERT_TRUE(ch.send(i).is_ok());
+        ASSERT_TRUE(ch.try_send(3));
+        for (int i = 0; i < 4; ++i) ASSERT_TRUE(ch.recv().is_ok());
+        ch.close();
+        ch.close();  // idempotent: must count once
+    }
+    metrics::disable();
+    metrics::Snapshot snap = metrics::snapshot();
+    EXPECT_EQ(snap.counter(metrics::Counter::kChanSends), 4u);
+    EXPECT_EQ(snap.counter(metrics::Counter::kChanRecvs), 4u);
+    EXPECT_EQ(snap.counter(metrics::Counter::kChanCloses), 1u);
+    EXPECT_EQ(snap.counter(metrics::Counter::kChanSendBlocked), 0u);
+    EXPECT_EQ(snap.gauge(metrics::Gauge::kChanDepthHighWater), 4u);
+    metrics::reset();
 }
 
 }  // namespace

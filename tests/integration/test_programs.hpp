@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Shared whole-program corpus for integration and differential tests:
+ * four realistic BitC programs plus native C++ oracles computing the
+ * same answers.  programs_test.cpp runs them on spot-check configs;
+ * the observability cross-policy test runs them across every heap
+ * policy x dispatch mode combination.
+ */
+#ifndef BITC_TESTS_INTEGRATION_TEST_PROGRAMS_HPP
+#define BITC_TESTS_INTEGRATION_TEST_PROGRAMS_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace bitc::vm::testprog {
+
+// --- Quicksort -----------------------------------------------------------
+
+inline constexpr const char* kQuicksort = R"bitc(
+(define (swap a : (array int64 256) i : int64 j : int64) : unit
+  (require (>= i 0)) (require (< i 256))
+  (require (>= j 0)) (require (< j 256))
+  (let ((t (array-ref a i)))
+    (array-set! a i (array-ref a j))
+    (array-set! a j t)))
+
+(define (partition a : (array int64 256) lo : int64 hi : int64) : int64
+  (require (>= lo 0)) (require (< hi 256)) (require (<= lo hi))
+  (ensure (>= result lo))
+  (let ((pivot (array-ref a hi)) (i lo) (j lo))
+    (while (< j hi)
+      (invariant (>= i lo)) (invariant (<= i j))
+      (invariant (>= j lo)) (invariant (<= j hi))
+      (if (< (array-ref a j) pivot)
+          (begin (swap a i j) (set! i (+ i 1)))
+          (unit))
+      (set! j (+ j 1)))
+    (swap a i hi)
+    i))
+
+(define (qsort a : (array int64 256) lo : int64 hi : int64) : unit
+  (require (>= lo 0)) (require (< hi 256))
+  (if (< lo hi)
+      (let ((p (partition a lo hi)))
+        (if (> p lo) (qsort a lo (- p 1)) (unit))
+        (if (< p hi) (qsort a (+ p 1) hi) (unit)))
+      (unit)))
+
+; Fill with an LCG, sort, and return a positional checksum that any
+; misplacement would change.
+(define (sort-main seed : int64) : int64
+  (let ((a (array-make 256 0)) (i 0) (x seed))
+    (while (< i 256)
+      (invariant (>= i 0)) (invariant (<= i 256))
+      (set! x (bitand (+ (* x 6364136223846793005) 1442695040888963407)
+                      4294967295))
+      (array-set! a i x)
+      (set! i (+ i 1)))
+    (qsort a 0 255)
+    (let ((check 0) (sorted 1))
+      (set! i 0)
+      (while (< i 256)
+        (invariant (>= i 0)) (invariant (<= i 256))
+        (set! check (bitand (+ (* check 31) (array-ref a i))
+                            1152921504606846975))
+        ; note: 'and' is strict, so guard the i-1 access with nesting
+        (if (> i 0)
+            (if (> (array-ref a (- i 1)) (array-ref a i))
+                (set! sorted 0)
+                (unit))
+            (unit))
+        (set! i (+ i 1)))
+      (if (== sorted 1) check -1))))
+)bitc";
+
+inline int64_t native_sort_checksum(int64_t seed) {
+    std::vector<int64_t> a(256);
+    int64_t x = seed;
+    for (auto& v : a) {
+        x = static_cast<int64_t>(
+            (static_cast<uint64_t>(x) * 6364136223846793005ull +
+             1442695040888963407ull) &
+            4294967295ull);
+        v = x;
+    }
+    std::sort(a.begin(), a.end());
+    int64_t check = 0;
+    for (int64_t v : a) {
+        check = static_cast<int64_t>(
+            (static_cast<uint64_t>(check) * 31 +
+             static_cast<uint64_t>(v)) &
+            1152921504606846975ull);
+    }
+    return check;
+}
+
+// --- Matrix multiply --------------------------------------------------------
+
+inline constexpr const char* kMatMul = R"bitc(
+(define (matmul-main n : int64) : int64
+  (require (>= n 1)) (require (<= n 16))
+  (let ((a (array-make 256 0)) (b (array-make 256 0))
+        (c (array-make 256 0)) (i 0))
+    ; a[i][j] = i + j, b[i][j] = i * j  (flattened n x n)
+    (while (< i n)
+      (invariant (>= i 0))
+      (let ((j 0))
+        (while (< j n)
+          (invariant (>= j 0))
+          (array-set! a (+ (* i 16) j) (+ i j))
+          (array-set! b (+ (* i 16) j) (* i j))
+          (set! j (+ j 1))))
+      (set! i (+ i 1)))
+    ; c = a * b
+    (set! i 0)
+    (while (< i n)
+      (invariant (>= i 0))
+      (let ((j 0))
+        (while (< j n)
+          (invariant (>= j 0))
+          (let ((acc 0) (k 0))
+            (while (< k n)
+              (invariant (>= k 0))
+              (set! acc (+ acc (* (array-ref a (+ (* i 16) k))
+                                  (array-ref b (+ (* k 16) j)))))
+              (set! k (+ k 1)))
+            (array-set! c (+ (* i 16) j) acc))
+          (set! j (+ j 1))))
+      (set! i (+ i 1)))
+    ; checksum
+    (let ((check 0))
+      (set! i 0)
+      (while (< i n)
+        (invariant (>= i 0))
+        (let ((j 0))
+          (while (< j n)
+            (invariant (>= j 0))
+            (set! check (+ check (* (+ i 1)
+                                    (array-ref c (+ (* i 16) j)))))
+            (set! j (+ j 1))))
+        (set! i (+ i 1)))
+      check)))
+)bitc";
+
+inline int64_t native_matmul_checksum(int64_t n) {
+    int64_t a[16][16] = {};
+    int64_t b[16][16] = {};
+    int64_t c[16][16] = {};
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            a[i][j] = i + j;
+            b[i][j] = i * j;
+        }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            for (int64_t k = 0; k < n; ++k) {
+                c[i][j] += a[i][k] * b[k][j];
+            }
+        }
+    }
+    int64_t check = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            check += (i + 1) * c[i][j];
+        }
+    }
+    return check;
+}
+
+// --- A queue simulation (producer/consumer over a ring) -------------------
+
+inline constexpr const char* kQueueSim = R"bitc(
+; Single-threaded producer/consumer simulation: producer emits bursts,
+; consumer drains at fixed rate; returns max queue depth reached.
+(define (sim steps : int64 burst : int64) : int64
+  (require (>= steps 0)) (require (>= burst 0)) (require (<= burst 16))
+  (let ((depth 0) (max-depth 0) (t 0))
+    (while (< t steps)
+      (invariant (>= t 0)) (invariant (>= depth 0))
+      (invariant (>= max-depth 0))
+      ; produce a burst every 4th tick
+      (if (== (bitand t 3) 0)
+          (set! depth (+ depth burst))
+          (unit))
+      ; consume 2 per tick
+      (if (>= depth 2) (set! depth (- depth 2)) (set! depth 0))
+      (if (> depth max-depth) (set! max-depth depth) (unit))
+      (set! t (+ t 1)))
+    max-depth))
+)bitc";
+
+inline int64_t native_sim(int64_t steps, int64_t burst) {
+    int64_t depth = 0;
+    int64_t max_depth = 0;
+    for (int64_t t = 0; t < steps; ++t) {
+        if ((t & 3) == 0) depth += burst;
+        depth = depth >= 2 ? depth - 2 : 0;
+        max_depth = std::max(max_depth, depth);
+    }
+    return max_depth;
+}
+
+// --- Verified binary search -------------------------------------------------
+
+inline constexpr const char* kBinarySearch = R"bitc(
+(define (bsearch a : (array int64 128) target : int64) : int64
+  (ensure (>= result -1)) (ensure (< result 128))
+  (let ((lo 0) (hi 128) (found -1))
+    (while (< lo hi)
+      (invariant (>= lo 0)) (invariant (<= lo 128))
+      (invariant (<= hi 128)) (invariant (>= hi 0))
+      (invariant (>= found -1)) (invariant (< found 128))
+      (let ((mid (/ (+ lo hi) 2)))
+        (assert (>= mid 0)) (assert (< mid 128))
+        (if (== (array-ref a mid) target)
+            (begin (set! found mid) (set! lo hi))
+            (if (< (array-ref a mid) target)
+                (set! lo (+ mid 1))
+                (set! hi mid)))))
+    found))
+
+(define (bsearch-main q : int64) : int64
+  (let ((a (array-make 128 0)) (i 0))
+    (while (< i 128)
+      (invariant (>= i 0)) (invariant (<= i 128))
+      (array-set! a i (* i 3))
+      (set! i (+ i 1)))
+    (bsearch a q)))
+)bitc";
+
+inline int64_t native_bsearch(int64_t q) {
+    // a[i] = 3i for i in [0, 128); return the index or -1.
+    return q >= 0 && q < 3 * 128 && q % 3 == 0 ? q / 3 : -1;
+}
+
+}  // namespace bitc::vm::testprog
+
+#endif  // BITC_TESTS_INTEGRATION_TEST_PROGRAMS_HPP

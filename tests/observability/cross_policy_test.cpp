@@ -1,0 +1,250 @@
+/**
+ * Cross-policy differential suite: every program in the shared corpus
+ * (tests/integration/test_programs.hpp) runs under all seven heap
+ * policies and both dispatch loops, and must (a) agree with the native
+ * oracle everywhere and (b) report telemetry satisfying the policy
+ * invariants — identical instruction streams across configurations
+ * that only differ in storage management or dispatch, and zero GC
+ * pauses for the non-collecting policies.
+ *
+ * This is the paper's F1/F2 argument made executable: storage policy
+ * and dispatch strategy are performance knobs, not semantic ones, and
+ * the telemetry proves it.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/metrics.hpp"
+#include "tests/integration/test_programs.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::vm {
+namespace {
+
+using namespace testprog;
+
+struct Program {
+    const char* label;
+    const char* source;
+    const char* entry;
+    std::vector<int64_t> args;
+    int64_t expected;
+};
+
+std::vector<Program> corpus() {
+    return {
+        {"quicksort", kQuicksort, "sort-main", {12345},
+         native_sort_checksum(12345)},
+        {"matmul", kMatMul, "matmul-main", {8},
+         native_matmul_checksum(8)},
+        {"queue-sim", kQueueSim, "sim", {1000, 8},
+         native_sim(1000, 8)},
+        {"bsearch", kBinarySearch, "bsearch-main", {33},
+         native_bsearch(33)},
+    };
+}
+
+constexpr HeapPolicy kAllPolicies[] = {
+    HeapPolicy::kRegion,      HeapPolicy::kManual,
+    HeapPolicy::kRefCount,    HeapPolicy::kMarkSweep,
+    HeapPolicy::kMarkCompact, HeapPolicy::kSemispace,
+    HeapPolicy::kGenerational,
+};
+constexpr DispatchMode kBothDispatch[] = {DispatchMode::kSwitch,
+                                          DispatchMode::kThreaded};
+
+bool is_collecting(HeapPolicy policy) {
+    return policy != HeapPolicy::kRegion &&
+           policy != HeapPolicy::kManual;
+}
+
+struct RunOutcome {
+    int64_t result = 0;
+    metrics::Snapshot snap;
+};
+
+RunOutcome run_config(const BuiltProgram& built, const Program& prog,
+                      ValueMode mode, HeapPolicy policy,
+                      DispatchMode dispatch) {
+    VmConfig config;
+    config.mode = mode;
+    config.heap = policy;
+    config.dispatch = dispatch;
+    config.heap_words = 1 << 22;
+    config.count_ops = true;
+    auto vm = built.instantiate(config);
+
+    metrics::reset();
+    metrics::enable();
+    auto result = vm->call(
+        prog.entry,
+        std::span<const int64_t>(prog.args.data(), prog.args.size()));
+    metrics::disable();
+
+    RunOutcome out;
+    out.snap = metrics::snapshot();
+    EXPECT_TRUE(result.is_ok())
+        << prog.label << " " << value_mode_name(mode) << "/"
+        << heap_policy_name(policy) << "/"
+        << dispatch_mode_name(dispatch) << ": "
+        << result.status().to_string();
+    out.result = result.is_ok() ? result.value() : ~prog.expected;
+    return out;
+}
+
+std::unique_ptr<BuiltProgram> build_ok(const Program& prog) {
+    BuildOptions options;
+    options.compiler.elide_proved_checks = true;
+    auto built = build_program(prog.source, options);
+    EXPECT_TRUE(built.is_ok())
+        << prog.label << ": " << built.status().to_string();
+    return std::move(built).take();
+}
+
+void check_invariants(const Program& prog, const RunOutcome& run,
+                      ValueMode mode, HeapPolicy policy,
+                      DispatchMode dispatch) {
+    std::string where = std::string(prog.label) + " " +
+                        value_mode_name(mode) + "/" +
+                        heap_policy_name(policy) + "/" +
+                        dispatch_mode_name(dispatch);
+    EXPECT_EQ(run.result, prog.expected) << where;
+    EXPECT_EQ(run.snap.counter(metrics::Counter::kVmRuns), 1u) << where;
+    EXPECT_GT(run.snap.counter(metrics::Counter::kVmInstructions), 0u)
+        << where;
+
+    const metrics::HistogramSnapshot& pauses =
+        run.snap.histogram(metrics::Histogram::kGcPauseNs);
+    uint64_t collections =
+        run.snap.counter(metrics::Counter::kGcMinorCollections) +
+        run.snap.counter(metrics::Counter::kGcMajorCollections) +
+        run.snap.counter(metrics::Counter::kGcRegionReleases);
+    if (!is_collecting(policy)) {
+        // The VM never bulk-releases its region mid-call: the
+        // non-collecting policies must report zero pauses.
+        EXPECT_EQ(pauses.count, 0u) << where;
+        EXPECT_EQ(collections, 0u) << where;
+    } else {
+        // Every pause recorded belongs to a counted collection.
+        EXPECT_EQ(pauses.count, collections) << where;
+    }
+    if (mode == ValueMode::kBoxed) {
+        // Boxed execution allocates; the folded deltas must show it.
+        EXPECT_GT(run.snap.counter(metrics::Counter::kHeapAllocations),
+                  0u)
+            << where;
+    }
+    EXPECT_EQ(run.snap.counter(metrics::Counter::kHeapAllocFailures),
+              0u)
+        << where;
+
+    const metrics::HistogramSnapshot& run_ns =
+        run.snap.histogram(metrics::Histogram::kVmRunNs);
+    EXPECT_EQ(run_ns.count, 1u) << where;
+}
+
+TEST(CrossPolicyTest, BoxedProgramsAgreeAcrossAllPoliciesAndDispatch) {
+    for (const Program& prog : corpus()) {
+        auto built = build_ok(prog);
+        // Reference: boxed mark-sweep under switch dispatch.
+        RunOutcome ref =
+            run_config(*built, prog, ValueMode::kBoxed,
+                       HeapPolicy::kMarkSweep, DispatchMode::kSwitch);
+        check_invariants(prog, ref, ValueMode::kBoxed,
+                         HeapPolicy::kMarkSweep, DispatchMode::kSwitch);
+        for (HeapPolicy policy : kAllPolicies) {
+            for (DispatchMode dispatch : kBothDispatch) {
+                RunOutcome run = run_config(*built, prog,
+                                            ValueMode::kBoxed, policy,
+                                            dispatch);
+                check_invariants(prog, run, ValueMode::kBoxed, policy,
+                                 dispatch);
+                std::string where =
+                    std::string(prog.label) + " boxed/" +
+                    heap_policy_name(policy) + "/" +
+                    dispatch_mode_name(dispatch);
+                // Storage management and dispatch are transparent:
+                // the instruction stream cannot depend on them.
+                EXPECT_EQ(
+                    run.snap.counter(
+                        metrics::Counter::kVmInstructions),
+                    ref.snap.counter(metrics::Counter::kVmInstructions))
+                    << where;
+                EXPECT_EQ(std::memcmp(run.snap.opcodes.data(),
+                                      ref.snap.opcodes.data(),
+                                      sizeof(run.snap.opcodes)),
+                          0)
+                    << where;
+                // The program allocates the same objects no matter
+                // who reclaims them.
+                EXPECT_EQ(
+                    run.snap.counter(
+                        metrics::Counter::kHeapAllocations),
+                    ref.snap.counter(
+                        metrics::Counter::kHeapAllocations))
+                    << where;
+            }
+        }
+    }
+}
+
+TEST(CrossPolicyTest, UnboxedProgramsAgreeAcrossPoliciesAndDispatch) {
+    for (const Program& prog : corpus()) {
+        auto built = build_ok(prog);
+        RunOutcome ref =
+            run_config(*built, prog, ValueMode::kUnboxed,
+                       HeapPolicy::kRegion, DispatchMode::kSwitch);
+        check_invariants(prog, ref, ValueMode::kUnboxed,
+                         HeapPolicy::kRegion, DispatchMode::kSwitch);
+        for (HeapPolicy policy :
+             {HeapPolicy::kRegion, HeapPolicy::kManual}) {
+            for (DispatchMode dispatch : kBothDispatch) {
+                RunOutcome run = run_config(*built, prog,
+                                            ValueMode::kUnboxed,
+                                            policy, dispatch);
+                check_invariants(prog, run, ValueMode::kUnboxed,
+                                 policy, dispatch);
+                EXPECT_EQ(
+                    run.snap.counter(
+                        metrics::Counter::kVmInstructions),
+                    ref.snap.counter(metrics::Counter::kVmInstructions))
+                    << prog.label << " unboxed/"
+                    << heap_policy_name(policy) << "/"
+                    << dispatch_mode_name(dispatch);
+                EXPECT_EQ(std::memcmp(run.snap.opcodes.data(),
+                                      ref.snap.opcodes.data(),
+                                      sizeof(run.snap.opcodes)),
+                          0)
+                    << prog.label;
+            }
+        }
+    }
+}
+
+TEST(CrossPolicyTest, BoxedRunsRetireMoreInstructionsThanUnboxed) {
+    // F2 regression guard in telemetry form: the uniform boxed
+    // representation costs instructions, and the counters see it.
+    for (const Program& prog : corpus()) {
+        auto built = build_ok(prog);
+        RunOutcome unboxed =
+            run_config(*built, prog, ValueMode::kUnboxed,
+                       HeapPolicy::kRegion, DispatchMode::kThreaded);
+        RunOutcome boxed = run_config(*built, prog, ValueMode::kBoxed,
+                                      HeapPolicy::kGenerational,
+                                      DispatchMode::kThreaded);
+        EXPECT_GE(
+            boxed.snap.counter(metrics::Counter::kVmInstructions),
+            unboxed.snap.counter(metrics::Counter::kVmInstructions))
+            << prog.label;
+        EXPECT_GT(
+            boxed.snap.counter(metrics::Counter::kHeapAllocations),
+            unboxed.snap.counter(metrics::Counter::kHeapAllocations))
+            << prog.label;
+    }
+}
+
+}  // namespace
+}  // namespace bitc::vm

@@ -1,0 +1,142 @@
+/**
+ * Golden-telemetry determinism: a fixed program under a fixed seed
+ * must produce byte-identical opcode counts and identical allocation
+ * counters on every run, and the numbers must not depend on which
+ * dispatch loop executed the program.  Telemetry that drifts between
+ * identical runs is worse than no telemetry — this is the test that
+ * keeps it trustworthy.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "support/metrics.hpp"
+#include "tests/integration/test_programs.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::vm {
+namespace {
+
+using namespace testprog;
+
+constexpr int64_t kSeed = 12345;
+
+/** Everything one instrumented run yields. */
+struct Telemetry {
+    int64_t result = 0;
+    metrics::Snapshot snap;
+};
+
+Telemetry run_instrumented(const BuiltProgram& built, ValueMode mode,
+                           HeapPolicy policy, DispatchMode dispatch) {
+    VmConfig config;
+    config.mode = mode;
+    config.heap = policy;
+    config.dispatch = dispatch;
+    config.heap_words = 1 << 22;
+    config.count_ops = true;
+    auto vm = built.instantiate(config);
+
+    metrics::reset();
+    metrics::enable();
+    auto result = vm->call("sort-main", {kSeed});
+    metrics::disable();
+
+    Telemetry out;
+    out.snap = metrics::snapshot();
+    EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+    out.result = result.is_ok() ? result.value() : -1;
+    return out;
+}
+
+std::unique_ptr<BuiltProgram> build_sort() {
+    BuildOptions options;
+    options.compiler.elide_proved_checks = true;
+    auto built = build_program(kQuicksort, options);
+    EXPECT_TRUE(built.is_ok()) << built.status().to_string();
+    return std::move(built).take();
+}
+
+void expect_identical(const Telemetry& a, const Telemetry& b,
+                      const char* what) {
+    EXPECT_EQ(a.result, b.result) << what;
+    // Byte-identical opcode table — not merely "close".
+    EXPECT_EQ(std::memcmp(a.snap.opcodes.data(), b.snap.opcodes.data(),
+                          sizeof(a.snap.opcodes)),
+              0)
+        << what;
+    EXPECT_EQ(a.snap.counter(metrics::Counter::kVmInstructions),
+              b.snap.counter(metrics::Counter::kVmInstructions))
+        << what;
+    EXPECT_EQ(a.snap.counter(metrics::Counter::kHeapAllocations),
+              b.snap.counter(metrics::Counter::kHeapAllocations))
+        << what;
+    EXPECT_EQ(a.snap.counter(metrics::Counter::kHeapBytesAllocated),
+              b.snap.counter(metrics::Counter::kHeapBytesAllocated))
+        << what;
+}
+
+TEST(GoldenTelemetryTest, RepeatRunsAreByteIdentical) {
+    auto built = build_sort();
+    Telemetry first = run_instrumented(
+        *built, ValueMode::kBoxed, HeapPolicy::kGenerational,
+        DispatchMode::kThreaded);
+    EXPECT_EQ(first.result, native_sort_checksum(kSeed));
+    for (int run = 1; run < 3; ++run) {
+        Telemetry again = run_instrumented(
+            *built, ValueMode::kBoxed, HeapPolicy::kGenerational,
+            DispatchMode::kThreaded);
+        expect_identical(first, again, "repeat run");
+    }
+}
+
+TEST(GoldenTelemetryTest, DispatchModeDoesNotChangeTelemetry) {
+    auto built = build_sort();
+    for (auto [mode, policy] :
+         {std::pair{ValueMode::kUnboxed, HeapPolicy::kRegion},
+          std::pair{ValueMode::kBoxed, HeapPolicy::kGenerational}}) {
+        Telemetry sw = run_instrumented(*built, mode, policy,
+                                        DispatchMode::kSwitch);
+        Telemetry th = run_instrumented(*built, mode, policy,
+                                        DispatchMode::kThreaded);
+        expect_identical(sw, th, heap_policy_name(policy));
+    }
+}
+
+TEST(GoldenTelemetryTest, OpcodeCountsSumToInstructionsRetired) {
+    auto built = build_sort();
+    Telemetry t = run_instrumented(*built, ValueMode::kUnboxed,
+                                   HeapPolicy::kRegion,
+                                   DispatchMode::kThreaded);
+    uint64_t opcode_total = std::accumulate(
+        t.snap.opcodes.begin(), t.snap.opcodes.end(), uint64_t{0});
+    EXPECT_EQ(opcode_total,
+              t.snap.counter(metrics::Counter::kVmInstructions));
+    EXPECT_GT(opcode_total, 0u);
+    EXPECT_EQ(t.snap.counter(metrics::Counter::kVmRuns), 1u);
+}
+
+TEST(GoldenTelemetryTest, CountOpsMatchesProfileCounts) {
+    // count_ops is the clock-free sibling of --profile: both must see
+    // the exact same opcode counts for the same program.
+    auto built = build_sort();
+    Telemetry counted = run_instrumented(*built, ValueMode::kUnboxed,
+                                         HeapPolicy::kRegion,
+                                         DispatchMode::kThreaded);
+
+    VmConfig config;
+    config.profile = true;
+    config.heap_words = 1 << 22;
+    auto vm = built->instantiate(config);
+    auto result = vm->call("sort-main", {kSeed});
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    const OpProfile& profile = vm->profile();
+    for (size_t op = 0; op < kNumOps; ++op) {
+        EXPECT_EQ(counted.snap.opcodes[op], profile.counts[op])
+            << op_name(static_cast<Op>(op));
+    }
+}
+
+}  // namespace
+}  // namespace bitc::vm

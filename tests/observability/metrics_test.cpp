@@ -1,0 +1,307 @@
+/**
+ * Unit tests for the process-wide metrics registry: counter/gauge/
+ * histogram semantics, the disabled fast path, atomicity under
+ * threads, snapshot monotonicity, and the versioned JSON schema.
+ *
+ * The registry is process-global state, so every test starts from
+ * reset() + enable() and leaves the registry disabled; suites run
+ * single-process under gtest, which serializes tests.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/metrics.hpp"
+
+namespace bitc::metrics {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        reset();
+        enable();
+    }
+    void TearDown() override {
+        disable();
+        reset();
+    }
+};
+
+TEST_F(MetricsTest, CountersAccumulate) {
+    count(Counter::kVmRuns);
+    count(Counter::kVmRuns);
+    count(Counter::kVmInstructions, 1000);
+    count(Counter::kVmInstructions, 234);
+
+    Snapshot snap = snapshot();
+    EXPECT_EQ(snap.counter(Counter::kVmRuns), 2u);
+    EXPECT_EQ(snap.counter(Counter::kVmInstructions), 1234u);
+    EXPECT_EQ(snap.counter(Counter::kStmCommits), 0u);
+}
+
+TEST_F(MetricsTest, DisabledUpdatesAreNoOps) {
+    disable();
+    ASSERT_FALSE(enabled());
+    count(Counter::kVmRuns);
+    gauge_set(Gauge::kHeapWordsInUse, 42);
+    gauge_max(Gauge::kHeapPeakWordsInUse, 42);
+    observe(Histogram::kGcPauseNs, 42);
+    count_opcode(3, 42);
+
+    Snapshot snap = snapshot();
+    EXPECT_EQ(snap.counter(Counter::kVmRuns), 0u);
+    EXPECT_EQ(snap.gauge(Gauge::kHeapWordsInUse), 0u);
+    EXPECT_EQ(snap.gauge(Gauge::kHeapPeakWordsInUse), 0u);
+    EXPECT_EQ(snap.histogram(Histogram::kGcPauseNs).count, 0u);
+    EXPECT_EQ(snap.opcodes[3], 0u);
+}
+
+TEST_F(MetricsTest, EnableDoesNotClearPriorValues) {
+    count(Counter::kChanSends, 5);
+    disable();
+    enable();
+    EXPECT_EQ(snapshot().counter(Counter::kChanSends), 5u);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything) {
+    count(Counter::kChanSends, 5);
+    gauge_set(Gauge::kHeapWordsInUse, 9);
+    observe(Histogram::kVmRunNs, 100);
+    count_opcode(1, 7);
+    reset();
+
+    Snapshot snap = snapshot();
+    for (uint64_t v : snap.counters) EXPECT_EQ(v, 0u);
+    for (uint64_t v : snap.gauges) EXPECT_EQ(v, 0u);
+    for (const auto& h : snap.histograms) {
+        EXPECT_EQ(h.count, 0u);
+        EXPECT_EQ(h.sum, 0u);
+    }
+    for (uint64_t v : snap.opcodes) EXPECT_EQ(v, 0u);
+}
+
+TEST_F(MetricsTest, GaugeSetIsLastWriteWins) {
+    gauge_set(Gauge::kHeapWordsInUse, 100);
+    gauge_set(Gauge::kHeapWordsInUse, 7);
+    EXPECT_EQ(snapshot().gauge(Gauge::kHeapWordsInUse), 7u);
+}
+
+TEST_F(MetricsTest, GaugeMaxKeepsHighWater) {
+    gauge_max(Gauge::kHeapPeakWordsInUse, 10);
+    gauge_max(Gauge::kHeapPeakWordsInUse, 100);
+    gauge_max(Gauge::kHeapPeakWordsInUse, 50);
+    EXPECT_EQ(snapshot().gauge(Gauge::kHeapPeakWordsInUse), 100u);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundaries) {
+    // Bucket 0 holds 0; bucket i holds [2^(i-1), 2^i).
+    EXPECT_EQ(bucket_of(0), 0u);
+    EXPECT_EQ(bucket_of(1), 1u);
+    EXPECT_EQ(bucket_of(2), 2u);
+    EXPECT_EQ(bucket_of(3), 2u);
+    EXPECT_EQ(bucket_of(4), 3u);
+    EXPECT_EQ(bucket_of(7), 3u);
+    EXPECT_EQ(bucket_of(8), 4u);
+    EXPECT_EQ(bucket_of(1023), 10u);
+    EXPECT_EQ(bucket_of(1024), 11u);
+    // The last bucket absorbs everything past the table.
+    EXPECT_EQ(bucket_of(uint64_t{1} << 40), kNumBuckets - 1);
+    EXPECT_EQ(bucket_of(~uint64_t{0}), kNumBuckets - 1);
+
+    // bucket_lower_bound inverts bucket_of at bucket starts.
+    EXPECT_EQ(bucket_lower_bound(0), 0u);
+    for (size_t b = 1; b + 1 < kNumBuckets; ++b) {
+        uint64_t lo = bucket_lower_bound(b);
+        EXPECT_EQ(bucket_of(lo), b) << "bucket " << b;
+        EXPECT_EQ(bucket_of(2 * lo - 1), b) << "bucket " << b;
+        EXPECT_EQ(bucket_of(2 * lo), b + 1) << "bucket " << b;
+    }
+}
+
+TEST_F(MetricsTest, HistogramObservationsLandInBuckets) {
+    observe(Histogram::kGcPauseNs, 0);
+    observe(Histogram::kGcPauseNs, 1);
+    observe(Histogram::kGcPauseNs, 3);
+    observe(Histogram::kGcPauseNs, 1000);
+
+    Snapshot snap = snapshot();
+    const HistogramSnapshot& h = snap.histogram(Histogram::kGcPauseNs);
+    EXPECT_EQ(h.count, 4u);
+    EXPECT_EQ(h.sum, 1004u);
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[1], 1u);
+    EXPECT_EQ(h.buckets[2], 1u);
+    EXPECT_EQ(h.buckets[10], 1u);
+
+    uint64_t total = 0;
+    for (uint64_t b : h.buckets) total += b;
+    EXPECT_EQ(total, h.count);
+}
+
+TEST_F(MetricsTest, CountersAreExactUnderThreads) {
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 100000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                count(Counter::kStmCommits);
+                observe(Histogram::kStmRetriesPerTxn, i & 7);
+                gauge_max(Gauge::kChanDepthHighWater, i & 1023);
+                count_opcode(5, 2);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    Snapshot snap = snapshot();
+    EXPECT_EQ(snap.counter(Counter::kStmCommits),
+              kThreads * kPerThread);
+    EXPECT_EQ(snap.histogram(Histogram::kStmRetriesPerTxn).count,
+              kThreads * kPerThread);
+    EXPECT_EQ(snap.gauge(Gauge::kChanDepthHighWater), 1023u);
+    EXPECT_EQ(snap.opcodes[5], 2 * kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, SnapshotsBracketMonotonically) {
+    count(Counter::kVmRuns, 3);
+    Snapshot before = snapshot();
+    count(Counter::kVmRuns, 2);
+    observe(Histogram::kVmRunNs, 10);
+    Snapshot after = snapshot();
+
+    for (size_t i = 0; i < kNumCounters; ++i) {
+        EXPECT_GE(after.counters[i], before.counters[i]) << i;
+    }
+    for (size_t i = 0; i < kNumHistograms; ++i) {
+        EXPECT_GE(after.histograms[i].count, before.histograms[i].count);
+        EXPECT_GE(after.histograms[i].sum, before.histograms[i].sum);
+    }
+    EXPECT_EQ(after.counter(Counter::kVmRuns), 5u);
+}
+
+TEST_F(MetricsTest, InstrumentNamesAreStableAndDotted) {
+    // Spot-check the catalogue; the JSON test asserts full coverage.
+    EXPECT_STREQ(counter_name(Counter::kVmRuns), "vm.runs");
+    EXPECT_STREQ(counter_name(Counter::kGcMajorCollections),
+                 "gc.major_collections");
+    EXPECT_STREQ(counter_name(Counter::kFaultsInjected),
+                 "fault.injected");
+    EXPECT_STREQ(gauge_name(Gauge::kHeapWordsInUse),
+                 "heap.words_in_use");
+    EXPECT_STREQ(histogram_name(Histogram::kGcPauseNs), "gc.pause_ns");
+
+    // Every instrument has a unique non-empty name.
+    std::vector<std::string> names;
+    for (size_t i = 0; i < kNumCounters; ++i) {
+        names.push_back(counter_name(static_cast<Counter>(i)));
+    }
+    for (size_t i = 0; i < kNumGauges; ++i) {
+        names.push_back(gauge_name(static_cast<Gauge>(i)));
+    }
+    for (size_t i = 0; i < kNumHistograms; ++i) {
+        names.push_back(histogram_name(static_cast<Histogram>(i)));
+    }
+    for (const auto& n : names) EXPECT_FALSE(n.empty());
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()),
+              names.end())
+        << "duplicate instrument name";
+}
+
+// --- JSON schema ---------------------------------------------------------
+
+TEST_F(MetricsTest, JsonCarriesSchemaAndVersion) {
+    std::string json = to_json(snapshot());
+    EXPECT_NE(json.find("\"schema\": \"bitc-metrics\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"version\": 1"), std::string::npos) << json;
+    EXPECT_EQ(json.find("bitc-metrics"),
+              json.rfind("bitc-metrics"));  // exactly once
+}
+
+TEST_F(MetricsTest, JsonListsEveryCatalogueInstrument) {
+    std::string json = to_json(snapshot());
+    for (size_t i = 0; i < kNumCounters; ++i) {
+        std::string key =
+            '"' + std::string(counter_name(static_cast<Counter>(i))) +
+            "\":";
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    for (size_t i = 0; i < kNumGauges; ++i) {
+        std::string key =
+            '"' + std::string(gauge_name(static_cast<Gauge>(i))) +
+            "\":";
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    for (size_t i = 0; i < kNumHistograms; ++i) {
+        std::string key =
+            '"' +
+            std::string(histogram_name(static_cast<Histogram>(i))) +
+            "\":";
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    for (const char* section :
+         {"\"counters\":", "\"gauges\":", "\"histograms\":",
+          "\"opcodes\":"}) {
+        EXPECT_NE(json.find(section), std::string::npos) << section;
+    }
+}
+
+TEST_F(MetricsTest, JsonReflectsRecordedValues) {
+    count(Counter::kVmInstructions, 12345);
+    gauge_set(Gauge::kHeapWordsInUse, 777);
+    observe(Histogram::kVmRunNs, 9);
+    std::string json = to_json(snapshot());
+    EXPECT_NE(json.find("\"vm.instructions\": 12345"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"heap.words_in_use\": 777"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"sum\": 9"), std::string::npos) << json;
+}
+
+TEST_F(MetricsTest, JsonHistogramBucketsSerializeAllThirtyTwo) {
+    observe(Histogram::kGcPauseNs, 4);
+    std::string json = to_json(snapshot());
+    size_t pos = json.find("\"gc.pause_ns\":");
+    ASSERT_NE(pos, std::string::npos);
+    size_t open = json.find('[', pos);
+    size_t close = json.find(']', open);
+    ASSERT_NE(open, std::string::npos);
+    ASSERT_NE(close, std::string::npos);
+    std::string buckets = json.substr(open, close - open);
+    EXPECT_EQ(std::count(buckets.begin(), buckets.end(), ','),
+              static_cast<long>(kNumBuckets - 1));
+}
+
+TEST_F(MetricsTest, JsonOpcodesSectionEmitsNonzeroOnly) {
+    std::string empty = to_json(snapshot());
+    size_t ops = empty.find("\"opcodes\": {");
+    ASSERT_NE(ops, std::string::npos);
+    size_t open = empty.find('{', ops);
+    size_t close = empty.find('}', open);
+    ASSERT_NE(close, std::string::npos);
+    // No opcode counted yet: the section holds no keys.
+    EXPECT_EQ(empty.substr(open, close - open).find('"'),
+              std::string::npos)
+        << empty;
+
+    count_opcode(2, 41);
+    std::string json = to_json(snapshot());
+    // The VM registers its opcode namer at static init; linked into
+    // this binary, index 2 prints as a named op, not "op2".
+    EXPECT_EQ(json.find("\"op2\":"), std::string::npos) << json;
+    EXPECT_NE(json.find(": 41"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace bitc::metrics

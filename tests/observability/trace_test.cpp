@@ -1,0 +1,166 @@
+/**
+ * Unit tests for the trace ring: basic emit/snapshot/dump round trips,
+ * wraparound with an exact dropped count, the disabled fast path, and
+ * concurrent emitters.
+ *
+ * The ring is process-global; each test starts it fresh and clears it
+ * on the way out.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/trace.hpp"
+
+namespace bitc::trace {
+namespace {
+
+class TraceTest : public ::testing::Test {
+  protected:
+    void TearDown() override { clear(); }
+};
+
+TEST_F(TraceTest, EmitSnapshotRoundTrip) {
+    start(64);
+    ASSERT_TRUE(enabled());
+    emit(Event::kGcBegin, 1, 0);
+    emit(Event::kGcEnd, 12345, 4096);
+    emit(Event::kStmCommit, 2);
+    stop();
+    ASSERT_FALSE(enabled());
+
+    std::vector<Record> records = snapshot();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].seq, 0u);
+    EXPECT_EQ(records[0].event, Event::kGcBegin);
+    EXPECT_EQ(records[0].arg0, 1u);
+    EXPECT_EQ(records[1].event, Event::kGcEnd);
+    EXPECT_EQ(records[1].arg0, 12345u);
+    EXPECT_EQ(records[1].arg1, 4096u);
+    EXPECT_EQ(records[2].event, Event::kStmCommit);
+    EXPECT_EQ(records[2].seq, 2u);
+    // Timestamps are monotone per thread.
+    EXPECT_LE(records[0].ts_ns, records[1].ts_ns);
+    EXPECT_LE(records[1].ts_ns, records[2].ts_ns);
+
+    EXPECT_EQ(total(), 3u);
+    EXPECT_EQ(dropped(), 0u);
+}
+
+TEST_F(TraceTest, CapacityRoundsUpToPowerOfTwo) {
+    start(9);
+    EXPECT_EQ(capacity(), 16u);
+    start(3);
+    EXPECT_EQ(capacity(), 8u);  // minimum 8
+    start(64);
+    EXPECT_EQ(capacity(), 64u);
+}
+
+TEST_F(TraceTest, WraparoundKeepsNewestAndCountsDropped) {
+    start(8);
+    for (uint64_t i = 0; i < 20; ++i) {
+        emit(Event::kChanSend, i);
+    }
+    stop();
+
+    EXPECT_EQ(total(), 20u);
+    EXPECT_EQ(dropped(), 12u);
+
+    std::vector<Record> records = snapshot();
+    ASSERT_EQ(records.size(), 8u);
+    // The retained window is the newest 8, oldest first.
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].seq, 12 + i);
+        EXPECT_EQ(records[i].arg0, 12 + i);
+        EXPECT_EQ(records[i].event, Event::kChanSend);
+    }
+}
+
+TEST_F(TraceTest, RestartClearsPriorContents) {
+    start(8);
+    emit(Event::kChanSend, 1);
+    emit(Event::kChanSend, 2);
+    start(8);
+    EXPECT_EQ(total(), 0u);
+    EXPECT_EQ(dropped(), 0u);
+    EXPECT_TRUE(snapshot().empty());
+}
+
+TEST_F(TraceTest, DisabledEmitIsANoOp) {
+    start(8);
+    stop();
+    emit(Event::kChanSend, 1);
+    EXPECT_EQ(total(), 0u);
+    EXPECT_TRUE(snapshot().empty());
+
+    clear();
+    EXPECT_EQ(capacity(), 0u);
+    emit(Event::kChanSend, 1);  // never started: must not crash
+    EXPECT_EQ(total(), 0u);
+}
+
+TEST_F(TraceTest, ConcurrentEmittersLoseNothing) {
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 10000;
+    start(1u << 15);  // 32768 slots < 80000 events: forces wraparound
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                emit(Event::kStmCommit, static_cast<uint64_t>(t), i);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    stop();
+
+    EXPECT_EQ(total(), kThreads * kPerThread);
+    EXPECT_EQ(dropped(), kThreads * kPerThread - capacity());
+    std::vector<Record> records = snapshot();
+    ASSERT_EQ(records.size(), capacity());
+    // Sequence numbers are unique and contiguous over the window.
+    for (size_t i = 1; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].seq, records[i - 1].seq + 1);
+    }
+    // Each record survived intact: its per-thread payload is coherent.
+    for (const Record& r : records) {
+        EXPECT_EQ(r.event, Event::kStmCommit);
+        EXPECT_LT(r.arg0, static_cast<uint64_t>(kThreads));
+        EXPECT_LT(r.arg1, kPerThread);
+    }
+}
+
+TEST_F(TraceTest, EventNamesAreStable) {
+    EXPECT_STREQ(event_name(Event::kGcBegin), "gc-begin");
+    EXPECT_STREQ(event_name(Event::kAllocSlowPath), "alloc-slow-path");
+    EXPECT_STREQ(event_name(Event::kStmAbort), "stm-abort");
+    EXPECT_STREQ(event_name(Event::kChanBlock), "chan-block");
+    EXPECT_STREQ(event_name(Event::kVmExit), "vm-exit");
+    EXPECT_STREQ(event_name(Event::kFaultInjected), "fault-injected");
+    for (size_t i = 0; i < kNumEvents; ++i) {
+        EXPECT_STRNE(event_name(static_cast<Event>(i)), "");
+    }
+}
+
+TEST_F(TraceTest, DumpIsVersionedAndLineOriented) {
+    start(8);
+    emit(Event::kVmEnter, 7);
+    emit(Event::kVmExit, 100, 2000);
+    stop();
+
+    std::string text = dump();
+    EXPECT_EQ(text.rfind("bitc-trace v1 events=2 total=2 dropped=0", 0),
+              0u)
+        << text;
+    EXPECT_NE(text.find("vm-enter 7 0"), std::string::npos) << text;
+    EXPECT_NE(text.find("vm-exit 100 2000"), std::string::npos) << text;
+    // Header plus one line per event.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace bitc::trace

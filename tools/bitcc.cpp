@@ -26,6 +26,13 @@
  *   --faults PLAN         arm deterministic fault injection for run,
  *                         e.g. heap-alloc:nth=3 or gc-trigger:every=2
  *                         or count (hit census; printed with --stats)
+ *   --metrics FILE        enable the metrics registry (plus per-opcode
+ *                         counting) for run and write the versioned
+ *                         JSON snapshot to FILE ("-" = stdout)
+ *   --trace FILE          record runtime events into the trace ring
+ *                         during run and write the dump to FILE
+ *
+ * Long options also accept the --opt=value spelling.
  */
 #include <cstdio>
 #include <cstring>
@@ -35,7 +42,9 @@
 #include <vector>
 
 #include "support/fault.hpp"
+#include "support/metrics.hpp"
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 #include "lang/parser.hpp"
 #include "lang/resolver.hpp"
 #include "vm/pipeline.hpp"
@@ -54,8 +63,26 @@ usage()
         "  --entry NAME --mode unboxed|boxed --heap POLICY\n"
         "  --heap-words N --dispatch switch|threaded --profile\n"
         "  --no-fold --no-bce --no-verify --overflow --stats\n"
-        "  --faults PLAN (site:nth=N | site:every=K | count)\n");
+        "  --faults PLAN (site:nth=N | site:every=K | count)\n"
+        "  --metrics FILE --trace FILE\n");
     return 2;
+}
+
+/** Writes @p content to @p path, or stdout when path is "-". */
+Status
+write_text(const std::string& path, const std::string& content)
+{
+    if (path == "-") {
+        std::fputs(content.c_str(), stdout);
+        return Status::ok();
+    }
+    std::ofstream out(path);
+    if (!out) {
+        return not_found_error(
+            str_format("cannot write '%s'", path.c_str()));
+    }
+    out << content;
+    return Status::ok();
 }
 
 Result<std::string>
@@ -83,6 +110,8 @@ struct Options {
     bool stats = false;
     bool heap_set = false;
     std::string faults;
+    std::string metrics_path;
+    std::string trace_path;
     std::vector<int64_t> args;
 };
 
@@ -107,18 +136,34 @@ parse_args(int argc, char** argv)
     Options options;
     options.command = argv[1];
     options.file = argv[2];
-    int i = 3;
-    for (; i < argc; ++i) {
-        std::string arg = argv[i];
+    // Normalise --opt=value into separate tokens so both spellings
+    // share one parser.  Program arguments after "--" pass untouched.
+    std::vector<std::string> tokens;
+    bool passthrough = false;
+    for (int a = 3; a < argc; ++a) {
+        std::string raw = argv[a];
+        if (raw == "--") passthrough = true;
+        size_t eq = raw.find('=');
+        if (!passthrough && raw.rfind("--", 0) == 0 &&
+            eq != std::string::npos) {
+            tokens.push_back(raw.substr(0, eq));
+            tokens.push_back(raw.substr(eq + 1));
+        } else {
+            tokens.push_back(std::move(raw));
+        }
+    }
+    size_t i = 0;
+    for (; i < tokens.size(); ++i) {
+        std::string arg = tokens[i];
         if (arg == "--") {
             ++i;
             break;
         }
         auto next = [&]() -> Result<std::string> {
-            if (i + 1 >= argc) {
+            if (i + 1 >= tokens.size()) {
                 return invalid_argument_error(arg + " needs a value");
             }
-            return std::string(argv[++i]);
+            return tokens[++i];
         };
         if (arg == "--entry") {
             BITC_ASSIGN_OR_RETURN(options.entry, next());
@@ -165,12 +210,17 @@ parse_args(int argc, char** argv)
             options.stats = true;
         } else if (arg == "--faults") {
             BITC_ASSIGN_OR_RETURN(options.faults, next());
+        } else if (arg == "--metrics") {
+            BITC_ASSIGN_OR_RETURN(options.metrics_path, next());
+        } else if (arg == "--trace") {
+            BITC_ASSIGN_OR_RETURN(options.trace_path, next());
         } else {
             return invalid_argument_error("unknown option " + arg);
         }
     }
-    for (; i < argc; ++i) {
-        options.args.push_back(std::strtoll(argv[i], nullptr, 10));
+    for (; i < tokens.size(); ++i) {
+        options.args.push_back(
+            std::strtoll(tokens[i].c_str(), nullptr, 10));
     }
     return options;
 }
@@ -260,11 +310,44 @@ run_command(const Options& options)
         return 2;
     }
 
-    vm::Vm vm(compiled.value(), nullptr, options.vm);
+    // Telemetry, like fault plans, brackets execution only: compiler
+    // work never pollutes the run's metrics or trace.
+    vm::VmConfig vm_config = options.vm;
+    if (!options.metrics_path.empty()) {
+        metrics::reset();
+        metrics::enable();
+        vm_config.count_ops = true;
+    }
+    if (!options.trace_path.empty()) {
+        trace::start();
+    }
+
+    vm::Vm vm(compiled.value(), nullptr, vm_config);
     auto result = vm.call(options.entry, options.args);
     if (options.stats && !options.faults.empty()) {
         std::fprintf(stderr, "faults:\n%s",
                      fault::Injector::instance().report().c_str());
+    }
+    // Snapshots are written even when the run trapped: the telemetry
+    // of a failing run is exactly what a postmortem needs.
+    if (!options.metrics_path.empty()) {
+        metrics::disable();
+        Status written = write_text(options.metrics_path,
+                                    metrics::to_json(metrics::snapshot()));
+        if (!written.is_ok()) {
+            std::fprintf(stderr, "bitcc: %s\n",
+                         written.to_string().c_str());
+            return 1;
+        }
+    }
+    if (!options.trace_path.empty()) {
+        trace::stop();
+        Status written = write_text(options.trace_path, trace::dump());
+        if (!written.is_ok()) {
+            std::fprintf(stderr, "bitcc: %s\n",
+                         written.to_string().c_str());
+            return 1;
+        }
     }
     if (!result.is_ok()) {
         std::fprintf(stderr, "bitcc: trap: %s\n",

@@ -1,7 +1,12 @@
 #!/bin/sh
-# Tier-1 verify: configure, build, run the full test suite.
+# Tier-1 verify: configure, build, run the fast always-on test suite.
 # Mirrors the command in ROADMAP.md; CI runs exactly this script so
 # local and CI results cannot drift.
+#
+# Tier 1 is the `-L tier1` ctest partition (the label is matched as a
+# regex, so tier1_sanitizer suites are included).  The exhaustive
+# matrices carry the `slow` label and run in their own CI job; a plain
+# `ctest` still runs everything.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,4 +14,4 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 cd build
-ctest --output-on-failure -j"$(nproc)"
+ctest -L tier1 --output-on-failure -j"$(nproc)"
