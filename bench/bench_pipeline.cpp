@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Scaling sweep for the CSP packet-pipeline server: throughput at 1,
+ * 2 and 4 workers per stage, legacy vs migrated (BitC) stage
+ * implementations, over two workload shapes:
+ *
+ *  - "lookup": each classify call pays a simulated blocking
+ *    route-table miss (25us).  This is the latency-bound shape a
+ *    worker fleet exists for — extra workers overlap the waits, so
+ *    throughput scales with worker count even on a single core.  The
+ *    1->4-worker speedup on this shape is the enforced budget
+ *    (>= 2.0x): it measures the concurrency machinery, not the host's
+ *    core count.
+ *  - "cpu": each checksum call sums a 4 KiB payload window, no
+ *    simulated latency.  Pure compute scales only with physical
+ *    parallelism, so these rows are informational — on a single-core
+ *    host they stay flat and that is the expected reading, recorded
+ *    in EXPERIMENTS.md section P.
+ *
+ * Emits BENCH_pipeline.json; exits nonzero when any enforced scaling
+ * row misses the floor.  --smoke shrinks the sweep to a second or so
+ * and skips enforcement (used by the tier-1 ctest entry).
+ *
+ * Usage: bench_pipeline [--smoke] [OUTPUT.json]
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "concurrency/pipeline.hpp"
+
+namespace bitc::bench {
+namespace {
+
+constexpr double kScalingFloor = 2.0;
+constexpr uint32_t kLookupUs = 25;
+constexpr size_t kPayloadBytes = 4096;
+
+struct Row {
+    const char* impl;      ///< "legacy" or "bitc".
+    const char* workload;  ///< "lookup" or "cpu".
+    size_t workers = 0;
+    size_t packets = 0;
+    double elapsed_ms = 0;
+    double pkts_per_sec = 0;
+    uint64_t blocked_ns = 0;  ///< summed over stages, median run.
+};
+
+struct Sweep {
+    int repeats;
+    size_t lookup_packets;
+    size_t cpu_packets_legacy;
+    size_t cpu_packets_bitc;
+    bool enforce;
+};
+
+/** Runs one configuration @p repeats times; keeps the median-time run. */
+Row
+measure(const char* impl, const char* workload, size_t workers,
+        size_t packets, int repeats, bool migrated)
+{
+    conc::PipelineConfig config;
+    config.workers.fill(workers);
+    config.migrated = migrated;
+    config.seed = 7;
+    if (std::strcmp(workload, "lookup") == 0) {
+        config.lookup_latency_us = kLookupUs;
+        // Small batches keep every classify worker fed: one giant
+        // batch would serialise the sleeps on a single worker again.
+        config.batch_packets = 4;
+        config.queue_capacity = 32;
+    } else {
+        config.payload_bytes = kPayloadBytes;
+    }
+
+    auto pipeline = conc::PacketPipeline::create(config);
+    if (!pipeline.is_ok()) {
+        fprintf(stderr, "pipeline create failed: %s\n",
+                pipeline.status().to_string().c_str());
+        abort();
+    }
+
+    std::vector<conc::PipelineReport> reports;
+    for (int r = 0; r < repeats; ++r) {
+        auto report = pipeline.value()->run(packets);
+        if (!report.is_ok() || !report.value().conserved()) {
+            fprintf(stderr, "pipeline run failed (%s/%s/%zu)\n", impl,
+                    workload, workers);
+            abort();
+        }
+        reports.push_back(report.value());
+    }
+    std::sort(reports.begin(), reports.end(),
+              [](const conc::PipelineReport& a,
+                 const conc::PipelineReport& b) {
+                  return a.elapsed_ms < b.elapsed_ms;
+              });
+    const conc::PipelineReport& median = reports[reports.size() / 2];
+
+    Row row;
+    row.impl = impl;
+    row.workload = workload;
+    row.workers = workers;
+    row.packets = packets;
+    row.elapsed_ms = median.elapsed_ms;
+    row.pkts_per_sec = median.packets_per_sec;
+    for (const auto& stage : median.stages) {
+        row.blocked_ns += stage.blocked_ns;
+    }
+    return row;
+}
+
+/** pkts/sec of the (impl, workload, workers) row; 0 when absent. */
+double
+throughput_of(const std::vector<Row>& rows, const char* impl,
+              const char* workload, size_t workers)
+{
+    for (const Row& row : rows) {
+        if (std::strcmp(row.impl, impl) == 0 &&
+            std::strcmp(row.workload, workload) == 0 &&
+            row.workers == workers) {
+            return row.pkts_per_sec;
+        }
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace bitc::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace bitc::bench;
+
+    bool smoke = false;
+    const char* out_path = "BENCH_pipeline.json";
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            out_path = argv[a];
+        }
+    }
+
+    // The smoke sweep proves the harness end to end in about a
+    // second; the full sweep sizes each shape so the median is stable
+    // on a small host.
+    Sweep sweep = smoke ? Sweep{1, 400, 2000, 800, false}
+                        : Sweep{5, 2000, 12000, 4000, true};
+
+    const size_t worker_counts[] = {1, 2, 4};
+    std::vector<Row> rows;
+    for (bool migrated : {false, true}) {
+        const char* impl = migrated ? "bitc" : "legacy";
+        size_t cpu_packets = migrated ? sweep.cpu_packets_bitc
+                                      : sweep.cpu_packets_legacy;
+        for (size_t w : worker_counts) {
+            rows.push_back(measure(impl, "lookup", w,
+                                   sweep.lookup_packets,
+                                   sweep.repeats, migrated));
+            rows.push_back(measure(impl, "cpu", w, cpu_packets,
+                                   sweep.repeats, migrated));
+        }
+    }
+
+    for (const Row& row : rows) {
+        printf("%-7s %-7s workers=%zu  %8zu pkts  %9.3f ms  "
+               "%10.0f pkt/s  blocked %8.3f ms\n",
+               row.impl, row.workload, row.workers, row.packets,
+               row.elapsed_ms, row.pkts_per_sec,
+               static_cast<double>(row.blocked_ns) / 1e6);
+    }
+
+    // Enforced: the latency-bound shape must scale 1 -> 4 workers.
+    bool within = true;
+    double scaling[2] = {0, 0};
+    const char* impls[2] = {"legacy", "bitc"};
+    for (int i = 0; i < 2; ++i) {
+        double one = throughput_of(rows, impls[i], "lookup", 1);
+        double four = throughput_of(rows, impls[i], "lookup", 4);
+        scaling[i] = one > 0 ? four / one : 0;
+        printf("%-7s lookup scaling 1->4 workers: %.2fx "
+               "(floor %.1fx)%s\n",
+               impls[i], scaling[i], kScalingFloor,
+               smoke ? " [smoke: not enforced]" : "");
+        if (!smoke && scaling[i] < kScalingFloor) within = false;
+    }
+    if (!within) printf("SCALING UNDER FLOOR\n");
+
+    FILE* out = fopen(out_path, "w");
+    if (out == nullptr) {
+        fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    char stamp[64];
+    std::time_t now = std::time(nullptr);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&now));
+    fprintf(out, "{\n");
+    fprintf(out, "  \"bench\": \"pipeline\",\n");
+    fprintf(out, "  \"date_utc\": \"%s\",\n", stamp);
+    fprintf(out, "  \"repeats\": %d,\n", sweep.repeats);
+    fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    fprintf(out, "  \"lookup_latency_us\": %u,\n", kLookupUs);
+    fprintf(out, "  \"payload_bytes\": %zu,\n", kPayloadBytes);
+    fprintf(out, "  \"scaling_floor\": %.1f,\n", kScalingFloor);
+    fprintf(out, "  \"lookup_scaling_1_to_4\": "
+                 "{\"legacy\": %.3f, \"bitc\": %.3f},\n",
+            scaling[0], scaling[1]);
+    fprintf(out, "  \"within_budget\": %s,\n",
+            within ? "true" : "false");
+    fprintf(out, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        fprintf(out,
+                "    {\"impl\": \"%s\", \"workload\": \"%s\", "
+                "\"workers\": %zu, \"packets\": %zu, "
+                "\"elapsed_ms\": %.3f, \"pkts_per_sec\": %.0f, "
+                "\"blocked_ns\": %llu}%s\n",
+                row.impl, row.workload, row.workers, row.packets,
+                row.elapsed_ms, row.pkts_per_sec,
+                static_cast<unsigned long long>(row.blocked_ns),
+                i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(out, "  ]\n}\n");
+    fclose(out);
+    printf("wrote %s\n", out_path);
+    return within ? 0 : 1;
+}

@@ -219,7 +219,23 @@ ActorBank::ActorBank(size_t accounts, int64_t initial_balance)
         std::vector<int64_t> balances(accounts, initial_balance);
         while (true) {
             auto request = requests_.recv();
-            if (!request.is_ok()) break;  // channel closed: shut down
+            if (!request.is_ok()) {
+                // Only a close (kFailedPrecondition after draining the
+                // backlog) ends service.  Any other failure — e.g. an
+                // injected kChannelOp fault — is transient: bailing
+                // out here would strand queued clients on reply
+                // futures that never resolve.  A transient failure
+                // after close still ends service (the injection point
+                // fires before recv can observe the close, so an
+                // every=1 plan would otherwise spin forever); the
+                // backlog sweep below answers whatever is left.
+                if (request.status().code() ==
+                        StatusCode::kFailedPrecondition ||
+                    requests_.closed()) {
+                    break;
+                }
+                continue;
+            }
             const Request& op = request.value();
             Result<int64_t> reply = int64_t{0};
             switch (op.kind) {
@@ -247,11 +263,33 @@ ActorBank::ActorBank(size_t accounts, int64_t initial_balance)
             }
             if (op.reply != nullptr) op.reply->set_value(std::move(reply));
         }
+        // The channel is closed and recv() reported it drained, and a
+        // closed channel accepts no new sends, so this backlog sweep
+        // is normally empty.  It is kept as the shutdown safety net:
+        // should a request ever remain queued (try_recv has no fault
+        // injection point, so injected faults cannot hide one), its
+        // client gets an explicit shutdown error instead of blocking
+        // on its reply future forever.
+        while (auto leftover = requests_.try_recv()) {
+            if (leftover->reply != nullptr) {
+                leftover->reply->set_value(failed_precondition_error(
+                    "bank is shutting down"));
+            }
+        }
     });
 }
 
 ActorBank::~ActorBank()
 {
+    shutdown();
+}
+
+void
+ActorBank::shutdown()
+{
+    // Close before join: the close is what wakes the server out of a
+    // blocking recv and lets it drain the backlog; joining first would
+    // deadlock on a server that is still waiting for traffic.
     requests_.close();
     if (server_.joinable()) server_.join();
 }

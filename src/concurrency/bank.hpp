@@ -156,6 +156,18 @@ class ActorBank : public Bank {
     int64_t balance(size_t account) const override;
     int64_t total() const override;
 
+    /**
+     * Stops the server: closes the request channel first (so no new
+     * request can be enqueued and the backlog drains), then joins the
+     * server thread.  Every request that was accepted before the
+     * close gets a real reply; a request arriving during or after
+     * shutdown gets a kFailedPrecondition error, never silence — a
+     * client blocked on its reply future must always be released.
+     * Idempotent; the destructor calls it.  Callers must still not
+     * race shutdown() with the bank's own destruction.
+     */
+    void shutdown();
+
   private:
     enum class OpKind { kDeposit, kTransfer, kBalance, kTotal };
     struct Request {

@@ -14,6 +14,7 @@
 #ifndef BITC_CONCURRENCY_CHANNEL_HPP
 #define BITC_CONCURRENCY_CHANNEL_HPP
 
+#include <cassert>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -50,10 +51,8 @@ class Channel {
         }
         std::unique_lock<std::mutex> lock(mutex_);
         if (!send_ready()) {
-            note_block_begin(/*recv=*/false);
-            uint64_t start = now_ns();
+            BlockScope blocked(*this, /*recv=*/false);
             not_full_.wait(lock, [&] { return send_ready(); });
-            note_block_end(/*recv=*/false, now_ns() - start);
         }
         if (closed_) {
             return failed_precondition_error("send on closed channel");
@@ -79,8 +78,16 @@ class Channel {
 
     /**
      * Bounded-wait send: blocks until room, close, or @p deadline.
-     * Close wins over an expired deadline (the peer's disconnect is
-     * the more actionable fact); timeout fails kDeadlineExceeded.
+     * The outcome is decided by re-inspecting channel state under the
+     * lock after the wait, never by the timeout flag alone:
+     *
+     *  1. closed      -> kFailedPrecondition (close beats deadline —
+     *                    the peer's disconnect is the more actionable
+     *                    fact, even when the wait also timed out);
+     *  2. room        -> enqueue (space freed between the wakeup and
+     *                    the re-check is used, not reported as a
+     *                    timeout);
+     *  3. otherwise   -> the wait provably expired: kDeadlineExceeded.
      */
     template <typename Clock, typename Duration>
     Status try_send_until(
@@ -90,25 +97,28 @@ class Channel {
             return fault::injected_error(fault::Site::kChannelOp);
         }
         std::unique_lock<std::mutex> lock(mutex_);
-        bool ok = true;
+        bool timed_out = false;
         if (!send_ready()) {
-            note_block_begin(/*recv=*/false);
-            uint64_t start = now_ns();
-            ok = not_full_.wait_until(lock, deadline,
-                                      [&] { return send_ready(); });
-            note_block_end(/*recv=*/false, now_ns() - start);
+            BlockScope blocked(*this, /*recv=*/false);
+            timed_out = !not_full_.wait_until(
+                lock, deadline, [&] { return send_ready(); });
         }
         if (closed_) {
             return failed_precondition_error("send on closed channel");
         }
-        if (!ok) {
-            return deadline_exceeded_error("send timed out");
+        if (queue_.size() < capacity_) {
+            queue_.push_back(std::move(value));
+            note_send();
+            lock.unlock();
+            not_empty_.notify_one();
+            return Status::ok();
         }
-        queue_.push_back(std::move(value));
-        note_send();
-        lock.unlock();
-        not_empty_.notify_one();
-        return Status::ok();
+        // Not closed and still full: the only way here is an expired
+        // wait (a satisfied predicate implies one of the cases above,
+        // and the lock has been held since it was evaluated).
+        assert(timed_out);
+        (void)timed_out;
+        return deadline_exceeded_error("send timed out");
     }
 
     /** try_send_until with a relative timeout. */
@@ -127,10 +137,8 @@ class Channel {
         }
         std::unique_lock<std::mutex> lock(mutex_);
         if (!recv_ready()) {
-            note_block_begin(/*recv=*/true);
-            uint64_t start = now_ns();
+            BlockScope blocked(*this, /*recv=*/true);
             not_empty_.wait(lock, [&] { return recv_ready(); });
-            note_block_end(/*recv=*/true, now_ns() - start);
         }
         if (queue_.empty()) {
             return failed_precondition_error(
@@ -146,8 +154,16 @@ class Channel {
 
     /**
      * Bounded-wait receive: blocks until data, close, or @p deadline.
-     * The backlog always drains first; after that, close beats an
-     * expired deadline, and a pure timeout fails kDeadlineExceeded.
+     * The outcome is decided by re-inspecting channel state under the
+     * lock after the wait, never by the timeout flag alone:
+     *
+     *  1. data queued -> deliver it (the backlog always drains first;
+     *                    a value enqueued between the wakeup and the
+     *                    re-check is delivered, not reported as a
+     *                    timeout);
+     *  2. closed      -> kFailedPrecondition (close beats deadline,
+     *                    even when the wait also timed out);
+     *  3. otherwise   -> the wait provably expired: kDeadlineExceeded.
      */
     template <typename Clock, typename Duration>
     Result<T> recv_until(
@@ -156,28 +172,30 @@ class Channel {
             return fault::injected_error(fault::Site::kChannelOp);
         }
         std::unique_lock<std::mutex> lock(mutex_);
-        bool ok = true;
+        bool timed_out = false;
         if (!recv_ready()) {
-            note_block_begin(/*recv=*/true);
-            uint64_t start = now_ns();
-            ok = not_empty_.wait_until(lock, deadline,
-                                       [&] { return recv_ready(); });
-            note_block_end(/*recv=*/true, now_ns() - start);
+            BlockScope blocked(*this, /*recv=*/true);
+            timed_out = !not_empty_.wait_until(
+                lock, deadline, [&] { return recv_ready(); });
         }
-        if (queue_.empty()) {
-            if (closed_) {
-                return failed_precondition_error(
-                    "recv on closed, empty channel");
-            }
-            (void)ok;
-            return deadline_exceeded_error("recv timed out");
+        if (!queue_.empty()) {
+            T value = std::move(queue_.front());
+            queue_.pop_front();
+            note_recv();
+            lock.unlock();
+            not_full_.notify_one();
+            return value;
         }
-        T value = std::move(queue_.front());
-        queue_.pop_front();
-        note_recv();
-        lock.unlock();
-        not_full_.notify_one();
-        return value;
+        if (closed_) {
+            return failed_precondition_error(
+                "recv on closed, empty channel");
+        }
+        // Empty and not closed: the only way here is an expired wait
+        // (a satisfied predicate implies one of the cases above, and
+        // the lock has been held since it was evaluated).
+        assert(timed_out);
+        (void)timed_out;
+        return deadline_exceeded_error("recv timed out");
     }
 
     /** recv_until with a relative timeout. */
@@ -243,8 +261,9 @@ class Channel {
     }
     bool recv_ready() const { return closed_ || !queue_.empty(); }
 
-    // All note_* helpers run under mutex_; the members they touch are
-    // plain fields, and the global instruments are atomic.
+    // The note_* helpers and BlockScope run under mutex_; the members
+    // they touch are plain fields, and the global instruments are
+    // atomic.
 
     void note_send() {
         if (queue_.size() > depth_high_water_) {
@@ -261,17 +280,42 @@ class Channel {
         trace::emit(trace::Event::kChanRecv, queue_.size());
     }
 
-    void note_block_begin(bool recv) {
-        metrics::count(recv ? metrics::Counter::kChanRecvBlocked
-                            : metrics::Counter::kChanSendBlocked);
-    }
+    /**
+     * One blocked interval, begun and ended exactly once.  The scope
+     * is constructed (under mutex_) just before waiting and destroyed
+     * when the wait path exits, however it exits — a timed wait that
+     * expires, a satisfied predicate, or an exception all end the
+     * interval and release the level gauge on the same destructor
+     * path, so kChanBlockedNow can never leak a phantom waiter.
+     */
+    class BlockScope {
+      public:
+        BlockScope(Channel& channel, bool recv)
+            : channel_(channel), recv_(recv), start_(now_ns()) {
+            metrics::count(recv_
+                               ? metrics::Counter::kChanRecvBlocked
+                               : metrics::Counter::kChanSendBlocked);
+            metrics::gauge_add(metrics::Gauge::kChanBlockedNow);
+        }
 
-    void note_block_end(bool recv, uint64_t waited_ns) {
-        blocked_ns_ += waited_ns;
-        metrics::observe(metrics::Histogram::kChanBlockedNs,
-                         waited_ns);
-        trace::emit(trace::Event::kChanBlock, recv ? 1 : 0, waited_ns);
-    }
+        ~BlockScope() {
+            uint64_t waited_ns = now_ns() - start_;
+            channel_.blocked_ns_ += waited_ns;
+            metrics::gauge_sub(metrics::Gauge::kChanBlockedNow);
+            metrics::observe(metrics::Histogram::kChanBlockedNs,
+                             waited_ns);
+            trace::emit(trace::Event::kChanBlock, recv_ ? 1 : 0,
+                        waited_ns);
+        }
+
+        BlockScope(const BlockScope&) = delete;
+        BlockScope& operator=(const BlockScope&) = delete;
+
+      private:
+        Channel& channel_;
+        bool recv_;
+        uint64_t start_;
+    };
 
     const size_t capacity_;
     mutable std::mutex mutex_;

@@ -1,0 +1,664 @@
+#include "concurrency/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <unordered_map>
+
+#include "concurrency/channel.hpp"
+#include "interop/marshal.hpp"
+#include "memory/region_heap.hpp"
+#include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "support/trace.hpp"
+
+namespace bitc::conc {
+
+namespace {
+
+using interop::kStageCount;
+
+/**
+ * Consecutive injected channel faults a worker absorbs before it
+ * declares the channel poisoned.  Bounded so that even a fail-every-hit
+ * plan drains the pipeline instead of livelocking it; large enough
+ * that every realistic plan (nth=N, every=K with K >= 2) never
+ * poisons anything.
+ */
+constexpr size_t kFaultRetryCap = 64;
+
+/** Shard map: which worker of an @p n-worker stage owns @p flow. */
+size_t
+flow_shard(uint32_t flow, size_t n)
+{
+    // Multiplicative hash so adjacent flow ids spread across workers.
+    uint64_t h = (uint64_t{flow} + 1) * 0x9e3779b97f4a7c15ull;
+    return static_cast<size_t>((h >> 32) % n);
+}
+
+/** Big-endian 16-bit read of header word @p i (checksum lives at 5). */
+uint64_t
+wire_checksum(const PipePacket& p)
+{
+    return (uint64_t{p.wire[10]} << 8) | p.wire[11];
+}
+
+struct StageCounters {
+    std::atomic<uint64_t> packets{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> fault_retries{0};
+};
+
+/** Everything one run() shares between its threads. */
+struct RunState {
+    explicit RunState(const PipelineConfig& config) {
+        for (size_t s = 0; s < kStageCount; ++s) {
+            size_t n = config.workers[s] > 0 ? config.workers[s] : 1;
+            live[s].store(n, std::memory_order_relaxed);
+            for (size_t w = 0; w < n; ++w) {
+                inputs[s].push_back(std::make_unique<Channel<PipeBatch>>(
+                    config.queue_capacity));
+            }
+        }
+        sink = std::make_unique<Channel<PipeBatch>>(
+            config.queue_capacity);
+    }
+
+    std::array<std::vector<std::unique_ptr<Channel<PipeBatch>>>,
+               kStageCount>
+        inputs;
+    std::unique_ptr<Channel<PipeBatch>> sink;
+    std::array<std::atomic<size_t>, kStageCount> live{};
+    std::array<StageCounters, kStageCount> stages;
+    std::atomic<uint64_t> dropped{0};
+    std::atomic<uint64_t> fault_dropped{0};
+    std::atomic<uint64_t> payload_checksum{0};
+};
+
+/**
+ * Sends @p batch downstream, surviving injected channel faults.
+ * Returns the number of packets lost (0 on success; the batch size
+ * when the destination is closed — a poisoned peer — or the retry cap
+ * is exhausted).  Retry needs the batch again after a failed send
+ * consumed it, so a copy is kept only while the injector is armed;
+ * the unarmed fast path moves the batch straight through.
+ */
+uint64_t
+forward_batch(Channel<PipeBatch>& out, PipeBatch&& batch,
+              size_t dest_stage, StageCounters& dest_counters)
+{
+    const uint64_t n = batch.size();
+    if (n == 0) return 0;
+    Status sent = Status::ok();
+    if (!fault::Injector::instance().armed()) {
+        sent = out.send(std::move(batch));
+    } else {
+        for (size_t attempt = 0; attempt <= kFaultRetryCap;
+             ++attempt) {
+            PipeBatch copy = batch;
+            sent = out.send(std::move(copy));
+            if (sent.is_ok()) break;
+            // A closed destination never reopens; retrying is futile.
+            if (sent.code() == StatusCode::kFailedPrecondition) break;
+            dest_counters.fault_retries.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+    if (!sent.is_ok()) return n;
+    metrics::count(metrics::Counter::kPipeBatches);
+    trace::emit(trace::Event::kPipeHandoff, dest_stage, n);
+    return 0;
+}
+
+/** Per-worker fan-out buffer: batches pending per downstream shard. */
+class Forwarder {
+  public:
+    Forwarder(RunState& rs, size_t dest_stage, size_t batch_packets)
+        : rs_(rs), dest_stage_(dest_stage),
+          batch_packets_(batch_packets) {
+        size_t n = dest_stage_ < kStageCount
+                       ? rs_.inputs[dest_stage_].size()
+                       : 1;
+        pending_.resize(n);
+    }
+
+    void push(PipePacket packet) {
+        size_t d = pending_.size() == 1
+                       ? 0
+                       : flow_shard(packet.flow, pending_.size());
+        pending_[d].push_back(std::move(packet));
+        if (pending_[d].size() >= batch_packets_) flush(d);
+    }
+
+    void flush_all() {
+        for (size_t d = 0; d < pending_.size(); ++d) flush(d);
+    }
+
+  private:
+    Channel<PipeBatch>& channel(size_t d) {
+        return dest_stage_ < kStageCount ? *rs_.inputs[dest_stage_][d]
+                                         : *rs_.sink;
+    }
+    StageCounters& counters() {
+        // Sink losses are charged to the last stage's ledger.
+        return rs_.stages[dest_stage_ < kStageCount ? dest_stage_
+                                                    : kStageCount - 1];
+    }
+
+    void flush(size_t d) {
+        if (pending_[d].empty()) return;
+        uint64_t lost = forward_batch(channel(d),
+                                      std::move(pending_[d]),
+                                      dest_stage_, counters());
+        rs_.fault_dropped.fetch_add(lost, std::memory_order_relaxed);
+        pending_[d].clear();
+    }
+
+    RunState& rs_;
+    size_t dest_stage_;
+    size_t batch_packets_;
+    std::vector<PipeBatch> pending_;
+};
+
+/** What a stage did with one packet. */
+enum class Outcome { kForward, kDrop, kFault };
+
+/** The per-stage work, shared by every worker of one stage. */
+class StageProcessor {
+  public:
+    StageProcessor(const PipelineConfig& config, size_t stage,
+                   const vm::BuiltProgram* built,
+                   const std::vector<uint8_t>& payload, RunState& rs)
+        : config_(config), stage_(stage), payload_(payload), rs_(rs) {
+        if (config_.migrated && built != nullptr) {
+            vm_ = built->instantiate(config_.vm);
+            region_ = dynamic_cast<mem::RegionHeap*>(&vm_->heap());
+        }
+    }
+
+    Outcome process(PipePacket& p) {
+        Outcome outcome =
+            vm_ != nullptr ? run_migrated(p) : run_legacy(p);
+        if (outcome != Outcome::kForward) return outcome;
+        // Native extras both worlds share: payload handling stays
+        // un-migrated, and the classify lookup latency models the
+        // blocking table miss the worker fleet exists to overlap.
+        if (stage_ == interop::kChecksum && !payload_.empty()) {
+            payload_sum_ += checksum_payload(p);
+        }
+        if (stage_ == interop::kClassify &&
+            config_.lookup_latency_us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                config_.lookup_latency_us));
+        }
+        return Outcome::kForward;
+    }
+
+    /** Folds the private payload accumulator into the run state. */
+    void fold() {
+        rs_.payload_checksum.fetch_add(payload_sum_,
+                                       std::memory_order_relaxed);
+    }
+
+  private:
+    Outcome run_legacy(PipePacket& p) {
+        switch (stage_) {
+          case interop::kValidate:
+            return interop::legacy_validate(p.wire) == 0
+                       ? Outcome::kDrop
+                       : Outcome::kForward;
+          case interop::kDecrementTtl:
+            interop::legacy_decrement_ttl(p.wire);
+            return Outcome::kForward;
+          case interop::kChecksum:
+            interop::legacy_checksum(p.wire);
+            return Outcome::kForward;
+          case interop::kClassify:
+            p.bucket = interop::legacy_classify(p.wire);
+            return Outcome::kForward;
+        }
+        return Outcome::kForward;
+    }
+
+    Outcome run_migrated(PipePacket& p) {
+        int64_t fields[interop::kFieldCount] = {0};
+        Status in = interop::unmarshal_record(interop::packet_codec(),
+                                              p.wire, fields);
+        if (!in.is_ok()) return Outcome::kFault;
+        int64_t range[2] = {static_cast<int64_t>(stage_),
+                            static_cast<int64_t>(stage_ + 1)};
+        auto result = vm_->call_with_buffer("run-stages", fields, range);
+        if (region_ != nullptr) region_->reset_region();
+        if (!result.is_ok()) return Outcome::kFault;
+        if (result.value() == -1) return Outcome::kDrop;
+        if (stage_ == interop::kClassify) p.bucket = result.value();
+        Status out = interop::marshal_record(interop::packet_codec(),
+                                             fields, p.wire);
+        if (!out.is_ok()) return Outcome::kFault;
+        return Outcome::kForward;
+    }
+
+    uint64_t checksum_payload(const PipePacket& p) const {
+        // Ones'-complement-style sum over this packet's window of the
+        // shared payload arena — real memory traversal per packet.
+        size_t window = payload_.size() - config_.payload_bytes;
+        size_t offset = window > 0 ? p.payload % window : 0;
+        uint64_t sum = 0;
+        for (size_t i = 0; i < config_.payload_bytes; ++i) {
+            sum += payload_[offset + i];
+        }
+        return (sum & 0xffff) + (sum >> 16);
+    }
+
+    const PipelineConfig& config_;
+    size_t stage_;
+    const std::vector<uint8_t>& payload_;
+    RunState& rs_;
+    std::unique_ptr<vm::Vm> vm_;
+    mem::RegionHeap* region_ = nullptr;
+    uint64_t payload_sum_ = 0;
+};
+
+/**
+ * One stage worker: drain the owned input channel, process, fan out
+ * downstream, and on exit propagate the close when last-out.
+ */
+void
+stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
+             const vm::BuiltProgram* built,
+             const std::vector<uint8_t>& payload, RunState& rs)
+{
+    Channel<PipeBatch>& in = *rs.inputs[stage][worker];
+    Forwarder out(rs, stage + 1, config.batch_packets);
+    StageProcessor processor(config, stage, built, payload, rs);
+
+    uint64_t packets = 0;
+    uint64_t batches = 0;
+    size_t consecutive_faults = 0;
+    bool poisoned = false;
+    while (true) {
+        auto batch = in.recv();
+        if (!batch.is_ok()) {
+            if (batch.status().code() ==
+                StatusCode::kFailedPrecondition) {
+                break;  // closed and drained: normal shutdown
+            }
+            // Injected fault.  Transient unless it repeats past the
+            // cap, at which point the channel is declared poisoned.
+            rs.stages[stage].fault_retries.fetch_add(
+                1, std::memory_order_relaxed);
+            if (++consecutive_faults > kFaultRetryCap) {
+                poisoned = true;
+                break;
+            }
+            continue;
+        }
+        consecutive_faults = 0;
+        uint64_t t0 = now_ns();
+        for (PipePacket& p : batch.value()) {
+            ++packets;
+            switch (processor.process(p)) {
+              case Outcome::kDrop:
+                rs.dropped.fetch_add(1, std::memory_order_relaxed);
+                break;
+              case Outcome::kFault:
+                rs.fault_dropped.fetch_add(1,
+                                           std::memory_order_relaxed);
+                break;
+              case Outcome::kForward:
+                out.push(std::move(p));
+                break;
+            }
+        }
+        ++batches;
+        metrics::observe(metrics::Histogram::kPipeBatchNs,
+                         now_ns() - t0);
+    }
+
+    if (poisoned) {
+        // Close the poisoned input so upstream sends fail fast (they
+        // account their own losses), then sweep the stranded backlog
+        // into the fault ledger — try_recv has no injection point, so
+        // the sweep always completes.
+        in.close();
+        uint64_t stranded = 0;
+        while (auto leftover = in.try_recv()) {
+            stranded += leftover->size();
+        }
+        rs.fault_dropped.fetch_add(stranded,
+                                   std::memory_order_relaxed);
+    }
+
+    out.flush_all();
+    processor.fold();
+    rs.stages[stage].packets.fetch_add(packets,
+                                       std::memory_order_relaxed);
+    rs.stages[stage].batches.fetch_add(batches,
+                                       std::memory_order_relaxed);
+    trace::emit(trace::Event::kPipeStageExit, stage, packets);
+
+    // Close propagation: the last worker out of this stage closes the
+    // next stage's inputs (or the sink).  Workers still draining their
+    // own inputs are unaffected — close never discards a backlog.
+    if (rs.live[stage].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (stage + 1 < kStageCount) {
+            for (auto& ch : rs.inputs[stage + 1]) ch->close();
+        } else {
+            rs.sink->close();
+        }
+    }
+}
+
+/** The sink: terminal consumer, verifier, and aggregate bookkeeper. */
+struct SinkResult {
+    uint64_t delivered = 0;
+    uint64_t route_checksum = 0;
+    uint64_t header_checksum_sum = 0;
+    bool flows_in_order = true;
+};
+
+SinkResult
+run_sink(RunState& rs)
+{
+    SinkResult result;
+    std::unordered_map<uint32_t, uint64_t> last_seq;
+    auto consume = [&](const PipeBatch& batch) {
+        for (const PipePacket& p : batch) {
+            ++result.delivered;
+            result.route_checksum +=
+                static_cast<uint64_t>(p.bucket + 1);
+            result.header_checksum_sum += wire_checksum(p);
+            uint64_t& last = last_seq[p.flow];
+            if (p.flow_seq <= last) result.flows_in_order = false;
+            last = p.flow_seq;
+        }
+    };
+    while (true) {
+        auto batch = rs.sink->recv();
+        if (batch.is_ok()) {
+            consume(batch.value());
+            continue;
+        }
+        if (batch.status().code() == StatusCode::kFailedPrecondition) {
+            break;  // closed and drained
+        }
+        // Injected fault.  The sink can never abandon its channel
+        // (that would lose delivered packets), so it falls back to
+        // the injection-free try_recv until the close arrives —
+        // upstream terminates under every plan, so this does too.
+        rs.stages[kStageCount - 1].fault_retries.fetch_add(
+            1, std::memory_order_relaxed);
+        while (true) {
+            if (auto direct = rs.sink->try_recv()) {
+                consume(*direct);
+            } else if (rs.sink->closed()) {
+                break;
+            } else {
+                std::this_thread::yield();
+            }
+        }
+        break;
+    }
+    return result;
+}
+
+}  // namespace
+
+std::string
+PipelineReport::to_string() const
+{
+    std::string out = str_format(
+        "stage      workers    packets    batches  blocked_ms  "
+        "depth_hw  fault_retries\n");
+    for (size_t s = 0; s < kStageCount; ++s) {
+        const PipelineStageReport& st = stages[s];
+        out += str_format(
+            "%-10s %7zu %10llu %10llu %11.3f %9zu %14llu\n",
+            interop::stage_name(s), st.workers,
+            static_cast<unsigned long long>(st.packets),
+            static_cast<unsigned long long>(st.batches),
+            static_cast<double>(st.blocked_ns) / 1e6,
+            st.depth_high_water,
+            static_cast<unsigned long long>(st.fault_retries));
+    }
+    out += str_format(
+        "generated=%llu delivered=%llu dropped=%llu "
+        "fault_dropped=%llu in_order=%s conserved=%s\n",
+        static_cast<unsigned long long>(generated),
+        static_cast<unsigned long long>(delivered),
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(fault_dropped),
+        flows_in_order ? "yes" : "no", conserved() ? "yes" : "no");
+    out += str_format(
+        "throughput=%.0f pkt/s elapsed=%.3f ms route_checksum=%llu "
+        "header_checksum_sum=%llu\n",
+        packets_per_sec, elapsed_ms,
+        static_cast<unsigned long long>(route_checksum),
+        static_cast<unsigned long long>(header_checksum_sum));
+    return out;
+}
+
+PacketPipeline::PacketPipeline(PipelineConfig config,
+                               std::unique_ptr<vm::BuiltProgram> built)
+    : config_(config), built_(std::move(built))
+{
+    for (size_t& w : config_.workers) w = w > 0 ? w : 1;
+    if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+    if (config_.batch_packets == 0) config_.batch_packets = 1;
+    if (config_.payload_bytes > 0) {
+        // A shared read-only arena; packets index windows into it.
+        payload_.resize(config_.payload_bytes + (1u << 12));
+        Rng rng(config_.seed ^ 0xfeedfacecafebeefull);
+        for (uint8_t& b : payload_) {
+            b = static_cast<uint8_t>(rng.next());
+        }
+    }
+}
+
+Result<std::unique_ptr<PacketPipeline>>
+PacketPipeline::create(PipelineConfig config)
+{
+    if (interop::packet_codec().layout().byte_size() > kPipeWireBytes) {
+        return internal_error("packet wire format exceeds PipePacket");
+    }
+    std::unique_ptr<vm::BuiltProgram> built;
+    if (config.migrated) {
+        vm::BuildOptions options;
+        options.compiler.elide_proved_checks = true;
+        BITC_ASSIGN_OR_RETURN(
+            built,
+            vm::build_program(interop::migrated_stage_source(),
+                              options));
+    }
+    return std::unique_ptr<PacketPipeline>(
+        new PacketPipeline(config, std::move(built)));
+}
+
+Result<PipelineReport>
+PacketPipeline::run(size_t packet_count)
+{
+    // Generate the packet stream up front (identical to what the
+    // single-threaded MigrationPipeline sees for the same seed), with
+    // flow ids and per-flow sequence numbers the sink verifies.
+    std::vector<PipePacket> stream(packet_count);
+    {
+        Rng rng(config_.seed);
+        std::unordered_map<uint32_t, uint64_t> seq;
+        for (PipePacket& p : stream) {
+            interop::generate_packet(
+                rng, std::span<uint8_t>(p.wire.data(),
+                                        kPipeWireBytes));
+            p.flow = p.wire[15] & 0x3f;  // low src-addr byte: 64 flows
+            p.payload = (uint32_t{p.wire[14]} << 8) | p.wire[15];
+            p.flow_seq = ++seq[p.flow];
+        }
+    }
+
+    RunState rs(config_);
+    metrics::gauge_set(metrics::Gauge::kPipeWorkers,
+                       config_.total_workers());
+
+    std::vector<std::thread> threads;
+    threads.reserve(config_.total_workers() + 1);
+    uint64_t start = now_ns();
+
+    // Source: shard the stream into first-stage batches, then close —
+    // the close is the only end-of-input signal the pipeline has.
+    threads.emplace_back([this, &rs, &stream] {
+        Forwarder out(rs, 0, config_.batch_packets);
+        for (PipePacket& p : stream) out.push(std::move(p));
+        out.flush_all();
+        for (auto& ch : rs.inputs[0]) ch->close();
+    });
+
+    for (size_t s = 0; s < kStageCount; ++s) {
+        for (size_t w = 0; w < config_.workers[s]; ++w) {
+            threads.emplace_back([this, &rs, s, w] {
+                stage_worker(config_, s, w, built_.get(), payload_,
+                             rs);
+            });
+        }
+    }
+
+    SinkResult sink = run_sink(rs);
+    for (std::thread& t : threads) t.join();
+    uint64_t elapsed = now_ns() - start;
+
+    PipelineReport report;
+    report.generated = packet_count;
+    report.delivered = sink.delivered;
+    report.dropped = rs.dropped.load();
+    report.fault_dropped = rs.fault_dropped.load();
+    report.route_checksum = sink.route_checksum;
+    report.header_checksum_sum = sink.header_checksum_sum;
+    report.payload_checksum = rs.payload_checksum.load();
+    report.flows_in_order = sink.flows_in_order;
+    report.elapsed_ms = static_cast<double>(elapsed) / 1e6;
+    report.packets_per_sec =
+        elapsed > 0 ? static_cast<double>(packet_count) * 1e9 /
+                          static_cast<double>(elapsed)
+                    : 0.0;
+    for (size_t s = 0; s < kStageCount; ++s) {
+        PipelineStageReport& st = report.stages[s];
+        st.workers = config_.workers[s];
+        st.packets = rs.stages[s].packets.load();
+        st.batches = rs.stages[s].batches.load();
+        st.fault_retries = rs.stages[s].fault_retries.load();
+        for (auto& ch : rs.inputs[s]) {
+            st.blocked_ns += ch->blocked_ns();
+            st.depth_high_water =
+                std::max(st.depth_high_water, ch->depth_high_water());
+        }
+    }
+    report.sink_depth_high_water = rs.sink->depth_high_water();
+    report.sink_blocked_ns = rs.sink->blocked_ns();
+
+    // Fold run totals into the registry at the run boundary, the same
+    // discipline heap telemetry follows.
+    metrics::count(metrics::Counter::kPipePacketsIn, report.generated);
+    metrics::count(metrics::Counter::kPipePacketsOut,
+                   report.delivered);
+    metrics::count(metrics::Counter::kPipePacketsDropped,
+                   report.dropped);
+    metrics::count(metrics::Counter::kPipeFaultDrops,
+                   report.fault_dropped);
+    return report;
+}
+
+Result<PipelineSpec>
+parse_pipeline_spec(const std::string& spec)
+{
+    PipelineSpec out;
+    if (spec.empty()) return out;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        std::string clause = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        size_t eq = clause.find('=');
+        if (eq == std::string::npos) {
+            return invalid_argument_error(
+                str_format("pipeline clause '%s' is not key=value",
+                           clause.c_str()));
+        }
+        std::string key = clause.substr(0, eq);
+        std::string value = clause.substr(eq + 1);
+        auto as_count = [&]() -> Result<size_t> {
+            char* end = nullptr;
+            unsigned long long n =
+                std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0') {
+                return invalid_argument_error(str_format(
+                    "pipeline %s wants a number, got '%s'",
+                    key.c_str(), value.c_str()));
+            }
+            return static_cast<size_t>(n);
+        };
+        if (key == "workers") {
+            // Either one count for all stages or s0:s1:s2:s3.
+            std::array<size_t, kStageCount> workers{};
+            size_t field = 0, vpos = 0;
+            while (vpos <= value.size() && field <= kStageCount) {
+                size_t colon = value.find(':', vpos);
+                if (colon == std::string::npos) colon = value.size();
+                char* end = nullptr;
+                std::string tok = value.substr(vpos, colon - vpos);
+                unsigned long long n =
+                    std::strtoull(tok.c_str(), &end, 10);
+                if (end == tok.c_str() || *end != '\0' || n == 0) {
+                    return invalid_argument_error(str_format(
+                        "bad worker count '%s'", tok.c_str()));
+                }
+                workers[field++] = static_cast<size_t>(n);
+                vpos = colon + 1;
+                if (colon == value.size()) break;
+            }
+            if (field == 1) {
+                workers.fill(workers[0]);
+            } else if (field != kStageCount) {
+                return invalid_argument_error(
+                    "workers wants 1 or 4 colon-separated counts");
+            }
+            out.config.workers = workers;
+        } else if (key == "queue") {
+            BITC_ASSIGN_OR_RETURN(out.config.queue_capacity,
+                                  as_count());
+        } else if (key == "batch") {
+            BITC_ASSIGN_OR_RETURN(out.config.batch_packets,
+                                  as_count());
+        } else if (key == "packets") {
+            BITC_ASSIGN_OR_RETURN(out.packets, as_count());
+        } else if (key == "seed") {
+            BITC_ASSIGN_OR_RETURN(out.config.seed, as_count());
+        } else if (key == "payload") {
+            BITC_ASSIGN_OR_RETURN(out.config.payload_bytes,
+                                  as_count());
+        } else if (key == "lookup-us") {
+            BITC_ASSIGN_OR_RETURN(size_t us, as_count());
+            out.config.lookup_latency_us =
+                static_cast<uint32_t>(us);
+        } else if (key == "impl") {
+            if (value == "legacy") {
+                out.config.migrated = false;
+            } else if (value == "bitc" || value == "migrated") {
+                out.config.migrated = true;
+            } else {
+                return invalid_argument_error(str_format(
+                    "pipeline impl '%s' (want legacy|bitc)",
+                    value.c_str()));
+            }
+        } else {
+            return invalid_argument_error(str_format(
+                "unknown pipeline key '%s'", key.c_str()));
+        }
+    }
+    return out;
+}
+
+}  // namespace bitc::conc

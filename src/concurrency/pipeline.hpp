@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Multi-worker CSP packet-pipeline server: the F4 packet stages
+ * (validate -> dec-ttl -> checksum -> classify) run as channel-
+ * connected stage workers instead of a single-threaded loop.
+ *
+ * Architecture (docs/pipeline.md has the full protocol):
+ *
+ *  - Every stage owns a configurable number of workers; every worker
+ *    owns one bounded input Channel of packet batches, so a slow stage
+ *    exerts backpressure on its upstream through ordinary blocking
+ *    sends — no unbounded queues anywhere.
+ *  - Packets are sharded onto workers by a hash of their flow id, and
+ *    the shard map is a pure function of the flow, so one flow always
+ *    crosses one worker per stage and per-flow order is preserved end
+ *    to end (the sink verifies this).
+ *  - Shutdown is pure close propagation: the source closes the first
+ *    stage's channels when input is exhausted; the last worker out of
+ *    stage S closes stage S+1's channels; the sink drains until its
+ *    channel reports closed-and-empty.  No sentinel packets.
+ *  - Injected kChannelOp faults drain gracefully: sends retry a
+ *    bounded number of times, a worker whose input is fault-poisoned
+ *    closes it and accounts the stranded backlog, and the report's
+ *    conservation invariant (generated == delivered + dropped +
+ *    fault_dropped) still holds.
+ *
+ * Each stage runs either the legacy C++ implementation on wire bytes
+ * or the migrated BitC implementation (one private VM per worker) —
+ * the same two worlds the migration experiment measures, now under
+ * concurrent load.
+ */
+#ifndef BITC_CONCURRENCY_PIPELINE_HPP
+#define BITC_CONCURRENCY_PIPELINE_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interop/packet_stages.hpp"
+#include "support/status.hpp"
+#include "vm/pipeline.hpp"
+
+namespace bitc::conc {
+
+/** Wire buffer size per packet (the IPv4-style header is 20 bytes). */
+inline constexpr size_t kPipeWireBytes = 24;
+
+/** One packet in flight: header bytes plus routing/ordering metadata. */
+struct PipePacket {
+    std::array<uint8_t, kPipeWireBytes> wire{};
+    uint32_t flow = 0;      ///< Flow id (derived from the source addr).
+    uint32_t payload = 0;   ///< Offset of this packet's payload window.
+    uint64_t flow_seq = 0;  ///< Per-flow sequence number (1-based).
+    int64_t bucket = -1;    ///< Route bucket set by the classify stage.
+};
+
+/** Stage hand-offs move batches, amortizing the channel hop. */
+using PipeBatch = std::vector<PipePacket>;
+
+/** Knobs for one pipeline instance. */
+struct PipelineConfig {
+    /** Workers per stage (zero entries are clamped to one). */
+    std::array<size_t, interop::kStageCount> workers{1, 1, 1, 1};
+    size_t queue_capacity = 64;  ///< Bounded input depth, in batches.
+    size_t batch_packets = 32;   ///< Packets per hand-off batch.
+
+    /**
+     * Payload bytes checksummed per packet by the checksum stage —
+     * CPU-bound work standing in for the payload handling a real
+     * forwarding path does.  Payloads never migrate: both stage
+     * implementations run this part natively.
+     */
+    size_t payload_bytes = 0;
+
+    /**
+     * Simulated blocking route-table lookup in the classify stage, in
+     * microseconds per packet (0 = pure compute).  Models the slow
+     * lookups (ARP miss, userspace upcall) a kernel path overlaps by
+     * keeping many packets in flight; extra classify workers hide
+     * this latency even on a single core.
+     */
+    uint32_t lookup_latency_us = 0;
+
+    bool migrated = false;  ///< true = BitC stage impls (one VM/worker).
+    uint64_t seed = 1;      ///< Packet-stream seed (reproducible runs).
+    vm::VmConfig vm;        ///< VM configuration for migrated workers.
+
+    PipelineConfig() {
+        vm.mode = vm::ValueMode::kUnboxed;
+        vm.heap = vm::HeapPolicy::kRegion;
+        vm.heap_words = 1u << 16;
+        vm.stack_slots = 1u << 10;
+    }
+
+    size_t total_workers() const {
+        size_t n = 0;
+        for (size_t w : workers) n += w > 0 ? w : 1;
+        return n;
+    }
+};
+
+/** Per-stage telemetry, aggregated over the stage's workers. */
+struct PipelineStageReport {
+    size_t workers = 0;
+    uint64_t packets = 0;        ///< Packets entering the stage.
+    uint64_t batches = 0;        ///< Batches its workers consumed.
+    uint64_t blocked_ns = 0;     ///< Send+recv blocking on its inputs.
+    size_t depth_high_water = 0; ///< Deepest input queue, in batches.
+    uint64_t fault_retries = 0;  ///< Injected channel faults absorbed.
+};
+
+/** What one run produced; checksums are worker-count invariant. */
+struct PipelineReport {
+    uint64_t generated = 0;      ///< Packets injected by the source.
+    uint64_t delivered = 0;      ///< Packets that reached the sink.
+    uint64_t dropped = 0;        ///< Dropped by the validate stage.
+    uint64_t fault_dropped = 0;  ///< Lost to injected channel faults.
+
+    uint64_t route_checksum = 0;       ///< sum(bucket+1) of delivered.
+    uint64_t header_checksum_sum = 0;  ///< sum of final checksum fields.
+    uint64_t payload_checksum = 0;     ///< payload work witness.
+    bool flows_in_order = true;  ///< Sink saw per-flow seq monotone.
+
+    double elapsed_ms = 0;
+    double packets_per_sec = 0;
+
+    std::array<PipelineStageReport, interop::kStageCount> stages{};
+    size_t sink_depth_high_water = 0;
+    uint64_t sink_blocked_ns = 0;
+
+    /** Every generated packet is accounted for exactly once. */
+    bool conserved() const {
+        return generated == delivered + dropped + fault_dropped;
+    }
+
+    /** Human-readable multi-line table (the bitcc driver prints it). */
+    std::string to_string() const;
+};
+
+/**
+ * A runnable pipeline server.  create() builds the migrated-stage
+ * program once; run() spawns the worker fleet, pushes @p packet_count
+ * generated packets through it, and joins everything before
+ * returning, so sequential runs on one instance are independent.
+ */
+class PacketPipeline {
+  public:
+    static Result<std::unique_ptr<PacketPipeline>> create(
+        PipelineConfig config);
+
+    Result<PipelineReport> run(size_t packet_count);
+
+    const PipelineConfig& config() const { return config_; }
+
+  private:
+    PacketPipeline(PipelineConfig config,
+                   std::unique_ptr<vm::BuiltProgram> built);
+
+    PipelineConfig config_;
+    std::unique_ptr<vm::BuiltProgram> built_;  ///< migrated stages only
+    std::vector<uint8_t> payload_;  ///< shared read-only payload window
+};
+
+/**
+ * Parses a driver spec like
+ * "workers=4,queue=64,batch=32,packets=20000,impl=bitc,seed=7,
+ *  payload=1024,lookup-us=200" into a config plus packet count.
+ * workers accepts either one count for every stage or four
+ * colon-separated per-stage counts ("1:2:4:4").
+ */
+struct PipelineSpec {
+    PipelineConfig config;
+    size_t packets = 10000;
+};
+Result<PipelineSpec> parse_pipeline_spec(const std::string& spec);
+
+}  // namespace bitc::conc
+
+#endif  // BITC_CONCURRENCY_PIPELINE_HPP

@@ -42,6 +42,11 @@ constexpr std::array<const char*, kNumCounters> kCounterNames = {
     "channel.send_blocked",
     "channel.recv_blocked",
     "channel.closes",
+    "pipeline.packets_in",
+    "pipeline.packets_out",
+    "pipeline.packets_dropped",
+    "pipeline.fault_drops",
+    "pipeline.batches",
     "marshal.records_in",
     "marshal.records_out",
     "fault.hits",
@@ -52,6 +57,8 @@ constexpr std::array<const char*, kNumGauges> kGaugeNames = {
     "heap.words_in_use",
     "heap.peak_words_in_use",
     "channel.depth_high_water",
+    "channel.blocked_now",
+    "pipeline.workers",
 };
 
 constexpr std::array<const char*, kNumHistograms> kHistogramNames = {
@@ -59,6 +66,7 @@ constexpr std::array<const char*, kNumHistograms> kHistogramNames = {
     "stm.retries_per_txn",
     "channel.blocked_ns",
     "vm.run_ns",
+    "pipeline.batch_ns",
 };
 
 }  // namespace
@@ -106,6 +114,26 @@ gauge_max_slow(Gauge g, uint64_t value)
     uint64_t seen = cell.load(std::memory_order_relaxed);
     while (seen < value &&
            !cell.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+        // seen reloaded by compare_exchange_weak.
+    }
+}
+
+void
+gauge_add_slow(Gauge g, uint64_t n)
+{
+    g_registry.gauges[static_cast<size_t>(g)].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+void
+gauge_sub_slow(Gauge g, uint64_t n)
+{
+    // Saturate at zero: a reset() between the paired add and sub must
+    // not leave a level gauge wrapped around to 2^64 - n.
+    auto& cell = g_registry.gauges[static_cast<size_t>(g)];
+    uint64_t seen = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(seen, seen > n ? seen - n : 0,
                                        std::memory_order_relaxed)) {
         // seen reloaded by compare_exchange_weak.
     }

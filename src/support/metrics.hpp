@@ -53,6 +53,11 @@ enum class Counter : uint16_t {
     kChanSendBlocked,     ///< Sends that had to wait for space.
     kChanRecvBlocked,     ///< Receives that had to wait for data.
     kChanCloses,          ///< Channel close() calls.
+    kPipePacketsIn,       ///< Packets injected into a pipeline source.
+    kPipePacketsOut,      ///< Packets delivered by a pipeline sink.
+    kPipePacketsDropped,  ///< Packets dropped by the validate stage.
+    kPipeFaultDrops,      ///< Packets lost to injected channel faults.
+    kPipeBatches,         ///< Stage hand-off batches sent downstream.
     kMarshalRecordsIn,    ///< Records unmarshalled from raw bytes.
     kMarshalRecordsOut,   ///< Records marshalled out to raw bytes.
     kFaultHits,           ///< Armed fault sites reached.
@@ -65,6 +70,8 @@ enum class Gauge : uint16_t {
     kHeapWordsInUse = 0,    ///< Live words at the last fold (set).
     kHeapPeakWordsInUse,    ///< High-water live words (max-merge).
     kChanDepthHighWater,    ///< Deepest queue seen on any channel (max).
+    kChanBlockedNow,        ///< Threads currently blocked on a channel.
+    kPipeWorkers,           ///< Stage workers of the running pipeline.
     kCount_,                ///< Sentinel: number of gauges.
 };
 
@@ -80,6 +87,7 @@ enum class Histogram : uint16_t {
     kStmRetriesPerTxn,  ///< Aborted attempts before a commit.
     kChanBlockedNs,     ///< Time a send/recv spent blocked.
     kVmRunNs,           ///< Wall time of one Vm::run.
+    kPipeBatchNs,       ///< Stage processing time per hand-off batch.
     kCount_,            ///< Sentinel: number of histograms.
 };
 
@@ -120,6 +128,8 @@ extern std::atomic<bool> g_enabled;
 void count_slow(Counter c, uint64_t n);
 void gauge_set_slow(Gauge g, uint64_t value);
 void gauge_max_slow(Gauge g, uint64_t value);
+void gauge_add_slow(Gauge g, uint64_t n);
+void gauge_sub_slow(Gauge g, uint64_t n);
 void observe_slow(Histogram h, uint64_t value);
 void count_opcode_slow(size_t opcode, uint64_t n);
 }  // namespace detail
@@ -169,6 +179,32 @@ gauge_max(Gauge g, uint64_t value)
         return;
     }
     detail::gauge_max_slow(g, value);
+}
+
+/**
+ * Adds @p n to gauge @p g.  Level gauges (e.g. threads currently
+ * blocked on a channel) pair every gauge_add with exactly one
+ * gauge_sub; callers use RAII so early returns cannot leak a level.
+ */
+inline void
+gauge_add(Gauge g, uint64_t n = 1)
+{
+    if (__builtin_expect(
+            !detail::g_enabled.load(std::memory_order_relaxed), 1)) {
+        return;
+    }
+    detail::gauge_add_slow(g, n);
+}
+
+/** Subtracts @p n from gauge @p g (saturating at zero). */
+inline void
+gauge_sub(Gauge g, uint64_t n = 1)
+{
+    if (__builtin_expect(
+            !detail::g_enabled.load(std::memory_order_relaxed), 1)) {
+        return;
+    }
+    detail::gauge_sub_slow(g, n);
 }
 
 /** Records @p value into histogram @p h (bucket + count + sum). */

@@ -38,7 +38,7 @@ constexpr std::array<const char*, kNumEvents> kEventNames = {
     "gc-begin",     "gc-end",     "alloc-slow-path", "stm-begin",
     "stm-commit",   "stm-abort",  "chan-send",       "chan-recv",
     "chan-block",   "chan-close", "vm-enter",        "vm-exit",
-    "fault-injected",
+    "fault-injected", "pipe-handoff", "pipe-stage-exit",
 };
 
 }  // namespace

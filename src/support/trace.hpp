@@ -45,6 +45,8 @@ enum class Event : uint8_t {
     kVmEnter,         ///< arg0 = function index.
     kVmExit,          ///< arg0 = instructions retired, arg1 = run ns.
     kFaultInjected,   ///< arg0 = fault::Site.
+    kPipeHandoff,     ///< arg0 = destination stage, arg1 = batch size.
+    kPipeStageExit,   ///< arg0 = stage, arg1 = packets processed.
     kCount_,          ///< Sentinel: number of event types.
 };
 

@@ -1,12 +1,14 @@
 #include "concurrency/bank.hpp"
 
 #include <gtest/gtest.h>
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "support/fault.hpp"
 #include "support/rng.hpp"
 
 namespace bitc::conc {
@@ -168,6 +170,75 @@ TEST(CompositionTest, OrderedTransferNeverTearsLockedTotal) {
     stop = true;
     observer.join();
     EXPECT_EQ(torn.load(), 0);
+}
+
+// --- ActorBank shutdown lifecycle ---------------------------------------
+
+TEST(ActorBankTest, ShutdownIsIdempotentAndDestructorSafe) {
+    ActorBank bank(kAccounts, kInitial);
+    bank.deposit(0, 100);
+    bank.shutdown();
+    bank.shutdown();  // second call must be a no-op, not a crash
+    // Destructor runs shutdown a third time on scope exit.
+}
+
+TEST(ActorBankTest, CallAfterShutdownReturnsErrorNotSilence) {
+    ActorBank bank(kAccounts, kInitial);
+    bank.shutdown();
+    // Every client API must come back promptly with an error-shaped
+    // answer; a hang here (the old destructor ordering) times out the
+    // whole suite.
+    Status transfer = bank.transfer(0, 1, 10);
+    ASSERT_FALSE(transfer.is_ok());
+    EXPECT_EQ(transfer.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(bank.balance(0), 0) << "error path reports 0, not junk";
+    EXPECT_EQ(bank.total(), 0);
+    bank.deposit(0, 5);  // fire-and-forget must also not hang
+}
+
+TEST(ActorBankTest, InFlightClientsReleasedOnShutdown) {
+    auto bank = std::make_unique<ActorBank>(kAccounts, kInitial);
+    constexpr int kClients = 4;
+    std::atomic<int> resolved{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            // Each call either completes normally (accepted before
+            // the close) or fails fast (after it) — never blocks
+            // forever on an unanswered reply future.
+            for (int i = 0; i < 2000; ++i) {
+                (void)bank->transfer(c % kAccounts,
+                                     (c + 1) % kAccounts, 1);
+            }
+            resolved.fetch_add(1);
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    bank->shutdown();
+    for (auto& t : clients) t.join();  // a silent drop would hang here
+    EXPECT_EQ(resolved.load(), kClients);
+}
+
+TEST(ActorBankTest, ServerSurvivesInjectedChannelFaults) {
+    ActorBank bank(kAccounts, kInitial);
+    {
+        // Every third channel op fails.  The server must treat these
+        // as transient — keep serving, never mistake one for a close.
+        fault::ScopedPlan plan("channel-op:every=3");
+        ASSERT_TRUE(plan.status().is_ok());
+        int served = 0;
+        for (int i = 0; i < 300; ++i) {
+            if (bank.transfer(i % kAccounts, (i + 1) % kAccounts, 1)
+                    .is_ok()) {
+                ++served;
+            }
+        }
+        EXPECT_GT(served, 0) << "server must keep serving under faults";
+    }
+    // Plan disarmed: full service and a clean shutdown.
+    EXPECT_EQ(bank.total(),
+              static_cast<int64_t>(kAccounts) * kInitial);
+    bank.shutdown();
 }
 
 TEST(StmBankTest, BlockingTransferWaitsForFunds) {

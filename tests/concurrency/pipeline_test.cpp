@@ -1,0 +1,256 @@
+#include "concurrency/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "interop/migration.hpp"
+#include "support/fault.hpp"
+#include "support/metrics.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::conc {
+namespace {
+
+constexpr uint64_t kSeed = 7;
+
+PipelineReport
+must_run(const PipelineConfig& config, size_t packets)
+{
+    auto pipeline = PacketPipeline::create(config);
+    EXPECT_TRUE(pipeline.is_ok()) << pipeline.status().to_string();
+    auto report = pipeline.value()->run(packets);
+    EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+    return report.value();
+}
+
+TEST(PipelineTest, ConservesEveryPacketAndPreservesFlowOrder) {
+    PipelineConfig config;
+    config.workers = {2, 2, 2, 2};
+    config.seed = kSeed;
+    PipelineReport report = must_run(config, 4000);
+    EXPECT_TRUE(report.conserved())
+        << report.generated << " != " << report.delivered << " + "
+        << report.dropped << " + " << report.fault_dropped;
+    EXPECT_TRUE(report.flows_in_order);
+    EXPECT_EQ(report.fault_dropped, 0u);
+    EXPECT_GT(report.delivered, 0u);
+    EXPECT_GT(report.dropped, 0u) << "~5% of packets are invalid";
+}
+
+TEST(PipelineTest, SequentialRunsOnOneInstanceAreIndependent) {
+    PipelineConfig config;
+    config.workers = {1, 2, 1, 2};
+    config.seed = kSeed;
+    auto pipeline = PacketPipeline::create(config);
+    ASSERT_TRUE(pipeline.is_ok());
+    auto first = pipeline.value()->run(1000);
+    auto second = pipeline.value()->run(1000);
+    ASSERT_TRUE(first.is_ok());
+    ASSERT_TRUE(second.is_ok());
+    EXPECT_EQ(first.value().route_checksum,
+              second.value().route_checksum);
+    EXPECT_EQ(first.value().header_checksum_sum,
+              second.value().header_checksum_sum);
+    EXPECT_EQ(first.value().dropped, second.value().dropped);
+}
+
+// The concurrent server against the single-threaded reference: same
+// seed means the identical packet stream, so every aggregate the two
+// implementations share must match exactly — for any worker layout.
+TEST(PipelineTest, MatchesSingleThreadedMigrationPipeline) {
+    constexpr size_t kPackets = 3000;
+    interop::MigrationConfig reference_config;  // all-legacy
+    auto reference =
+        interop::MigrationPipeline::create(reference_config);
+    ASSERT_TRUE(reference.is_ok());
+    Rng rng(kSeed);
+    auto expected = reference.value()->run(kPackets, rng);
+    ASSERT_TRUE(expected.is_ok());
+
+    for (std::array<size_t, 4> workers :
+         {std::array<size_t, 4>{1, 1, 1, 1},
+          std::array<size_t, 4>{3, 1, 2, 4}}) {
+        PipelineConfig config;
+        config.workers = workers;
+        config.seed = kSeed;
+        PipelineReport actual = must_run(config, kPackets);
+        EXPECT_EQ(actual.route_checksum,
+                  expected.value().route_checksum);
+        EXPECT_EQ(actual.header_checksum_sum,
+                  expected.value().header_checksum_sum);
+        EXPECT_EQ(actual.dropped, expected.value().dropped);
+    }
+}
+
+// Legacy and migrated stage implementations have identical semantics,
+// so swapping worlds under the same seed must not change any result.
+TEST(PipelineTest, BitcStagesMatchLegacyStages) {
+    constexpr size_t kPackets = 800;
+    PipelineConfig legacy;
+    legacy.workers = {1, 2, 2, 1};
+    legacy.seed = kSeed;
+    PipelineReport legacy_report = must_run(legacy, kPackets);
+
+    PipelineConfig bitc = legacy;
+    bitc.migrated = true;
+    PipelineReport bitc_report = must_run(bitc, kPackets);
+
+    EXPECT_EQ(bitc_report.route_checksum,
+              legacy_report.route_checksum);
+    EXPECT_EQ(bitc_report.header_checksum_sum,
+              legacy_report.header_checksum_sum);
+    EXPECT_EQ(bitc_report.dropped, legacy_report.dropped);
+    EXPECT_TRUE(bitc_report.conserved());
+    EXPECT_TRUE(bitc_report.flows_in_order);
+}
+
+TEST(PipelineTest, UnbatchedHandoffsPreserveFlowOrderToo) {
+    // batch=1 maximises cross-worker interleaving — the hardest case
+    // for the per-flow ordering guarantee.
+    PipelineConfig config;
+    config.workers = {4, 4, 4, 4};
+    config.batch_packets = 1;
+    config.queue_capacity = 8;
+    config.seed = kSeed;
+    PipelineReport report = must_run(config, 2000);
+    EXPECT_TRUE(report.flows_in_order);
+    EXPECT_TRUE(report.conserved());
+}
+
+TEST(PipelineTest, PayloadWorkDoesNotDisturbHeaderResults) {
+    PipelineConfig plain;
+    plain.workers = {2, 2, 2, 2};
+    plain.seed = kSeed;
+    PipelineReport without = must_run(plain, 1000);
+
+    PipelineConfig loaded = plain;
+    loaded.payload_bytes = 512;
+    PipelineReport with = must_run(loaded, 1000);
+
+    EXPECT_EQ(with.route_checksum, without.route_checksum);
+    EXPECT_EQ(with.header_checksum_sum, without.header_checksum_sum);
+    EXPECT_EQ(without.payload_checksum, 0u);
+    EXPECT_GT(with.payload_checksum, 0u);
+}
+
+TEST(PipelineTest, InjectedChannelFaultsDrainGracefully) {
+    // Sparse faults: the bounded send retries absorb every one, so
+    // nothing is lost and results still match the fault-free run.
+    PipelineConfig config;
+    config.workers = {2, 2, 2, 2};
+    config.seed = kSeed;
+    PipelineReport clean = must_run(config, 2000);
+    {
+        fault::ScopedPlan plan("channel-op:every=40");
+        ASSERT_TRUE(plan.status().is_ok());
+        PipelineReport faulted = must_run(config, 2000);
+        EXPECT_TRUE(faulted.conserved());
+        EXPECT_TRUE(faulted.flows_in_order);
+        EXPECT_EQ(faulted.route_checksum, clean.route_checksum);
+        EXPECT_EQ(faulted.fault_dropped, 0u)
+            << "sparse faults are absorbed by retries";
+    }
+    {
+        // Dense faults: losses are allowed, deadlock and
+        // double-accounting are not.
+        fault::ScopedPlan plan("channel-op:every=2");
+        ASSERT_TRUE(plan.status().is_ok());
+        PipelineReport faulted = must_run(config, 2000);
+        EXPECT_TRUE(faulted.conserved());
+    }
+    {
+        // Total failure: every channel op fails.  The server must
+        // still terminate, with every packet accounted as lost.
+        fault::ScopedPlan plan("channel-op:every=1");
+        ASSERT_TRUE(plan.status().is_ok());
+        PipelineReport faulted = must_run(config, 500);
+        EXPECT_TRUE(faulted.conserved());
+        EXPECT_EQ(faulted.delivered + faulted.dropped +
+                      faulted.fault_dropped,
+                  500u);
+    }
+}
+
+TEST(PipelineTest, BoundedQueuesEnforceBackpressure) {
+    PipelineConfig config;
+    config.workers = {1, 1, 1, 1};
+    config.queue_capacity = 4;
+    config.batch_packets = 8;
+    config.seed = kSeed;
+    PipelineReport report = must_run(config, 4000);
+    EXPECT_TRUE(report.conserved());
+    for (const auto& stage : report.stages) {
+        EXPECT_LE(stage.depth_high_water, 4u)
+            << "queue depth must respect the configured bound";
+    }
+    EXPECT_LE(report.sink_depth_high_water, 4u);
+}
+
+TEST(PipelineTest, RunFoldsTotalsIntoMetricsRegistry) {
+    PipelineConfig config;
+    config.workers = {2, 1, 1, 2};
+    config.seed = kSeed;
+    auto pipeline = PacketPipeline::create(config);
+    ASSERT_TRUE(pipeline.is_ok());
+    metrics::reset();
+    metrics::enable();
+    auto report = pipeline.value()->run(1500);
+    metrics::disable();
+    ASSERT_TRUE(report.is_ok());
+    metrics::Snapshot snap = metrics::snapshot();
+    EXPECT_EQ(snap.counter(metrics::Counter::kPipePacketsIn), 1500u);
+    EXPECT_EQ(snap.counter(metrics::Counter::kPipePacketsOut),
+              report.value().delivered);
+    EXPECT_EQ(snap.counter(metrics::Counter::kPipePacketsDropped),
+              report.value().dropped);
+    EXPECT_GT(snap.counter(metrics::Counter::kPipeBatches), 0u);
+    EXPECT_EQ(snap.gauge(metrics::Gauge::kPipeWorkers), 6u);
+    EXPECT_GT(snap.histogram(metrics::Histogram::kPipeBatchNs).count,
+              0u);
+    EXPECT_EQ(snap.gauge(metrics::Gauge::kChanBlockedNow), 0u)
+        << "no waiter may survive the run";
+    metrics::reset();
+}
+
+// --- Spec parsing -------------------------------------------------------
+
+TEST(PipelineSpecTest, ParsesFullSpec) {
+    auto spec = parse_pipeline_spec(
+        "workers=1:2:4:2,queue=16,batch=8,packets=500,impl=bitc,"
+        "seed=9,payload=256,lookup-us=50");
+    ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+    const PipelineConfig& config = spec.value().config;
+    EXPECT_EQ(config.workers, (std::array<size_t, 4>{1, 2, 4, 2}));
+    EXPECT_EQ(config.queue_capacity, 16u);
+    EXPECT_EQ(config.batch_packets, 8u);
+    EXPECT_EQ(spec.value().packets, 500u);
+    EXPECT_TRUE(config.migrated);
+    EXPECT_EQ(config.seed, 9u);
+    EXPECT_EQ(config.payload_bytes, 256u);
+    EXPECT_EQ(config.lookup_latency_us, 50u);
+}
+
+TEST(PipelineSpecTest, SingleWorkerCountAppliesToEveryStage) {
+    auto spec = parse_pipeline_spec("workers=3");
+    ASSERT_TRUE(spec.is_ok());
+    EXPECT_EQ(spec.value().config.workers,
+              (std::array<size_t, 4>{3, 3, 3, 3}));
+}
+
+TEST(PipelineSpecTest, RejectsMalformedSpecs) {
+    EXPECT_FALSE(parse_pipeline_spec("workers=1:2").is_ok());
+    EXPECT_FALSE(parse_pipeline_spec("workers=0").is_ok());
+    EXPECT_FALSE(parse_pipeline_spec("impl=rust").is_ok());
+    EXPECT_FALSE(parse_pipeline_spec("bogus=1").is_ok());
+    EXPECT_FALSE(parse_pipeline_spec("queue").is_ok());
+    EXPECT_FALSE(parse_pipeline_spec("queue=abc").is_ok());
+}
+
+TEST(PipelineSpecTest, EmptySpecYieldsDefaults) {
+    auto spec = parse_pipeline_spec("");
+    ASSERT_TRUE(spec.is_ok());
+    EXPECT_EQ(spec.value().packets, 10000u);
+    EXPECT_FALSE(spec.value().config.migrated);
+}
+
+}  // namespace
+}  // namespace bitc::conc

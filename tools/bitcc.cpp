@@ -7,6 +7,12 @@
  *   bitcc disasm  FILE [opts]       ... + compile, print bytecode
  *   bitcc run     FILE [opts] -- [ARGS...]
  *                                   ... + execute (entry: main)
+ *   bitcc --pipeline SPEC [--faults PLAN] [--metrics FILE]
+ *                 [--trace FILE]     run the CSP packet-pipeline server;
+ *                                   SPEC is comma-separated key=value:
+ *                                   workers=N|a:b:c:d queue=N batch=N
+ *                                   packets=N impl=legacy|bitc seed=N
+ *                                   payload=BYTES lookup-us=US
  *
  * Options:
  *   --entry NAME          entry function for run (default: main)
@@ -41,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/pipeline.hpp"
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "support/string_util.hpp"
@@ -60,11 +67,16 @@ usage()
         stderr,
         "usage: bitcc {check|verify|disasm|run} FILE [options] "
         "[-- args...]\n"
+        "       bitcc --pipeline SPEC [--faults PLAN] [--metrics FILE] "
+        "[--trace FILE]\n"
         "  --entry NAME --mode unboxed|boxed --heap POLICY\n"
         "  --heap-words N --dispatch switch|threaded --profile\n"
         "  --no-fold --no-bce --no-verify --overflow --stats\n"
         "  --faults PLAN (site:nth=N | site:every=K | count)\n"
-        "  --metrics FILE --trace FILE\n");
+        "  --metrics FILE --trace FILE\n"
+        "  --pipeline SPEC (workers=N|a:b:c:d,queue=N,batch=N,"
+        "packets=N,\n                   impl=legacy|bitc,seed=N,"
+        "payload=BYTES,lookup-us=US)\n");
     return 2;
 }
 
@@ -376,11 +388,135 @@ run_command(const Options& options)
     return 0;
 }
 
+/**
+ * The --pipeline entry point: no source file, just a spec.  Telemetry
+ * and fault flags mirror the run command so the pipeline server is
+ * drivable with the exact tooling the single-VM path has.
+ */
+int
+run_pipeline(const std::vector<std::string>& tokens)
+{
+    std::string spec;
+    std::string faults_plan;
+    std::string metrics_path;
+    std::string trace_path;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const std::string& arg = tokens[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < tokens.size() ? tokens[++i].c_str()
+                                         : nullptr;
+        };
+        const char* value = nullptr;
+        if (arg == "--pipeline") {
+            value = next();
+            if (value != nullptr) spec = value;
+        } else if (arg == "--faults") {
+            value = next();
+            if (value != nullptr) faults_plan = value;
+        } else if (arg == "--metrics") {
+            value = next();
+            if (value != nullptr) metrics_path = value;
+        } else if (arg == "--trace") {
+            value = next();
+            if (value != nullptr) trace_path = value;
+        } else {
+            std::fprintf(stderr, "bitcc: unknown pipeline option %s\n",
+                         arg.c_str());
+            return usage();
+        }
+        if (value == nullptr) {
+            std::fprintf(stderr, "bitcc: %s needs a value\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    auto parsed = conc::parse_pipeline_spec(spec);
+    if (!parsed.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     parsed.status().to_string().c_str());
+        return 2;
+    }
+    auto pipeline = conc::PacketPipeline::create(parsed.value().config);
+    if (!pipeline.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     pipeline.status().to_string().c_str());
+        return 1;
+    }
+
+    // Same bracketing discipline as run: faults and telemetry cover
+    // only the server's execution, never the build.
+    fault::ScopedPlan faults(faults_plan);
+    if (!faults.status().is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     faults.status().to_string().c_str());
+        return 2;
+    }
+    if (!metrics_path.empty()) {
+        metrics::reset();
+        metrics::enable();
+    }
+    if (!trace_path.empty()) trace::start();
+
+    auto report = pipeline.value()->run(parsed.value().packets);
+
+    if (!metrics_path.empty()) {
+        metrics::disable();
+        Status written = write_text(metrics_path,
+                                    metrics::to_json(metrics::snapshot()));
+        if (!written.is_ok()) {
+            std::fprintf(stderr, "bitcc: %s\n",
+                         written.to_string().c_str());
+            return 1;
+        }
+    }
+    if (!trace_path.empty()) {
+        trace::stop();
+        Status written = write_text(trace_path, trace::dump());
+        if (!written.is_ok()) {
+            std::fprintf(stderr, "bitcc: %s\n",
+                         written.to_string().c_str());
+            return 1;
+        }
+    }
+    if (!report.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     report.status().to_string().c_str());
+        return 4;
+    }
+    std::printf("%s", report.value().to_string().c_str());
+    if (!faults_plan.empty()) {
+        std::fprintf(stderr, "faults:\n%s",
+                     fault::Injector::instance().report().c_str());
+    }
+    return report.value().conserved() ? 0 : 4;
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
+    // The pipeline server takes a spec instead of a source file and so
+    // bypasses the file-command parser entirely.
+    for (int a = 1; a < argc; ++a) {
+        std::string raw = argv[a];
+        if (raw == "--pipeline" || raw.rfind("--pipeline=", 0) == 0) {
+            std::vector<std::string> tokens;
+            for (int b = 1; b < argc; ++b) {
+                std::string t = argv[b];
+                size_t eq = t.find('=');
+                if (t.rfind("--", 0) == 0 && eq != std::string::npos) {
+                    tokens.push_back(t.substr(0, eq));
+                    tokens.push_back(t.substr(eq + 1));
+                } else {
+                    tokens.push_back(std::move(t));
+                }
+            }
+            return run_pipeline(tokens);
+        }
+    }
+
     if (argc < 3) return usage();
     auto options = parse_args(argc, argv);
     if (!options.is_ok()) {

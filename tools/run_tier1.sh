@@ -15,3 +15,8 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 cd build
 ctest -L tier1 --output-on-failure -j"$(nproc)"
+
+# Pipeline scaling budget: the latency-bound shape must keep its
+# >= 2.0x 1->4-worker speedup (exit code enforces it).  Runs after the
+# test partition so a scaling regression never masks a correctness one.
+./bench/bench_pipeline BENCH_pipeline.json
