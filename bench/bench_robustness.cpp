@@ -14,6 +14,11 @@
  *  - Manual-heap hardening (guard canaries + freed-payload poisoning):
  *    the same mutator workloads on a plain versus a hardened
  *    ManualHeap.
+ *  - Supervision (the self-healing runtime): a fault-free supervised
+ *    pipeline run, disarmed versus census-armed.  The supervisor,
+ *    per-worker breakers, deadline plumbing and the worker-crash
+ *    injection site all ride the hot hand-off path; this row bounds
+ *    what carrying them costs when nothing ever fails.
  *
  * The budget is 1.10x: hardening must stay inside the noise band the
  * paper's F1 discussion treats as ignorable, or it would never be left
@@ -31,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/pipeline.hpp"
 #include "kernels.hpp"
 #include "memory/manual_heap.hpp"
 #include "memory/mutator.hpp"
@@ -192,6 +198,44 @@ mutator_row(const MutatorCase& mcase)
     return row;
 }
 
+/**
+ * The supervised CSP pipeline, fault-free, disarmed vs census-armed.
+ * Every batch hand-off crosses the worker-crash injection point and
+ * the breaker-flag check; the ratio is the price of the self-healing
+ * machinery when it never has to heal anything.
+ */
+Row
+pipeline_row()
+{
+    conc::PipelineConfig config;
+    config.workers = {2, 2, 2, 2};
+    config.seed = 11;
+    auto pipeline = conc::PacketPipeline::create(config);
+    if (!pipeline.is_ok()) {
+        fprintf(stderr, "bench pipeline create failed: %s\n",
+                pipeline.status().to_string().c_str());
+        abort();
+    }
+    constexpr size_t kPackets = 30000;
+    auto run = [&] {
+        auto report = pipeline.value()->run(kPackets);
+        if (!report.is_ok() || !report.value().conserved() ||
+            report.value().worker_crashes != 0) {
+            fprintf(stderr, "bench pipeline run misbehaved\n");
+            abort();
+        }
+    };
+    Row row;
+    row.name = "pipeline/supervised/2:2:2:2";
+    row.dimension = "supervision";
+    fault::Injector::instance().disarm();
+    row.baseline_ns = median_ns(run);
+    (void)fault::Injector::instance().arm("count");
+    row.hardened_ns = median_ns(run);
+    fault::Injector::instance().disarm();
+    return row;
+}
+
 }  // namespace
 }  // namespace bitc::bench
 
@@ -222,6 +266,7 @@ main(int argc, char** argv)
     for (const MutatorCase& mcase : mutator_cases()) {
         rows.push_back(mutator_row(mcase));
     }
+    rows.push_back(pipeline_row());
 
     for (const Row& row : rows) {
         printf("%-14s %-28s baseline %9.3f ms  hardened %9.3f ms  "

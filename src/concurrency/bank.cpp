@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "support/fault.hpp"
+
 namespace bitc::conc {
 
 // --- CoarseLockBank ----------------------------------------------------
@@ -212,70 +214,108 @@ StmBank::total() const
 
 // --- ActorBank -----------------------------------------------------------
 
-ActorBank::ActorBank(size_t accounts, int64_t initial_balance)
-    : account_count_(accounts), requests_(256)
+WorkerExit
+ActorBank::serve_once(WorkerContext& ctx)
 {
-    server_ = std::thread([this, accounts, initial_balance] {
-        std::vector<int64_t> balances(accounts, initial_balance);
-        while (true) {
-            auto request = requests_.recv();
-            if (!request.is_ok()) {
-                // Only a close (kFailedPrecondition after draining the
-                // backlog) ends service.  Any other failure — e.g. an
-                // injected kChannelOp fault — is transient: bailing
-                // out here would strand queued clients on reply
-                // futures that never resolve.  A transient failure
-                // after close still ends service (the injection point
-                // fires before recv can observe the close, so an
-                // every=1 plan would otherwise spin forever); the
-                // backlog sweep below answers whatever is left.
-                if (request.status().code() ==
-                        StatusCode::kFailedPrecondition ||
-                    requests_.closed()) {
-                    break;
-                }
-                continue;
+    while (true) {
+        auto request = requests_.recv();
+        if (!request.is_ok()) {
+            // Only a close (kFailedPrecondition after draining the
+            // backlog) ends service.  Any other failure — e.g. an
+            // injected kChannelOp fault — is transient: bailing
+            // out here would strand queued clients on reply
+            // futures that never resolve.  A transient failure
+            // after close still ends service (the injection point
+            // fires before recv can observe the close, so an
+            // every=1 plan would otherwise spin forever); the
+            // abandon sweep answers whatever is left.
+            if (request.status().code() ==
+                    StatusCode::kFailedPrecondition ||
+                requests_.closed()) {
+                return WorkerExit::kDone;
             }
-            const Request& op = request.value();
-            Result<int64_t> reply = int64_t{0};
-            switch (op.kind) {
-              case OpKind::kDeposit:
-                balances[op.from] += op.amount;
-                break;
-              case OpKind::kTransfer:
-                if (balances[op.from] < op.amount) {
-                    reply = failed_precondition_error(
-                        "insufficient funds");
-                } else {
-                    balances[op.from] -= op.amount;
-                    balances[op.to] += op.amount;
-                }
-                break;
-              case OpKind::kBalance:
-                reply = balances[op.from];
-                break;
-              case OpKind::kTotal: {
-                int64_t sum = 0;
-                for (int64_t b : balances) sum += b;
-                reply = sum;
-                break;
-              }
-            }
-            if (op.reply != nullptr) op.reply->set_value(std::move(reply));
+            continue;
         }
-        // The channel is closed and recv() reported it drained, and a
-        // closed channel accepts no new sends, so this backlog sweep
-        // is normally empty.  It is kept as the shutdown safety net:
-        // should a request ever remain queued (try_recv has no fault
-        // injection point, so injected faults cannot hide one), its
-        // client gets an explicit shutdown error instead of blocking
-        // on its reply future forever.
-        while (auto leftover = requests_.try_recv()) {
-            if (leftover->reply != nullptr) {
-                leftover->reply->set_value(failed_precondition_error(
-                    "bank is shutting down"));
+        const Request& op = request.value();
+        // The worker-crash site: the server dies mid-request.  The
+        // crashing request is answered with the injected error first
+        // — a client must never be left waiting on a dead server —
+        // then the loop reports the crash and the supervisor restarts
+        // it.  The ledger is a member, so it survives.
+        if (fault::inject(fault::Site::kWorkerCrash)) {
+            if (op.reply != nullptr) {
+                op.reply->set_value(fault::injected_error(
+                    fault::Site::kWorkerCrash));
             }
+            return WorkerExit::kCrash;
         }
+        Result<int64_t> reply = int64_t{0};
+        switch (op.kind) {
+          case OpKind::kDeposit:
+            balances_[op.from] += op.amount;
+            break;
+          case OpKind::kTransfer:
+            if (balances_[op.from] < op.amount) {
+                reply = failed_precondition_error(
+                    "insufficient funds");
+            } else {
+                balances_[op.from] -= op.amount;
+                balances_[op.to] += op.amount;
+            }
+            break;
+          case OpKind::kBalance:
+            reply = balances_[op.from];
+            break;
+          case OpKind::kTotal: {
+            int64_t sum = 0;
+            for (int64_t b : balances_) sum += b;
+            reply = sum;
+            break;
+          }
+        }
+        if (op.reply != nullptr) op.reply->set_value(std::move(reply));
+        ctx.note_progress();
+    }
+}
+
+ActorBank::ActorBank(size_t accounts, int64_t initial_balance,
+                     SupervisorConfig supervision)
+    : account_count_(accounts),
+      balances_(accounts, initial_balance), requests_(256),
+      supervisor_(supervision)
+{
+    server_ = std::thread([this] {
+        WorkerHooks hooks;
+        hooks.body = [this](WorkerContext& ctx) {
+            return serve_once(ctx);
+        };
+        // Open breaker: queued clients get an error, never silence.
+        hooks.drain_one = [this] {
+            if (auto request = requests_.try_recv()) {
+                if (request->reply != nullptr) {
+                    request->reply->set_value(failed_precondition_error(
+                        "bank server unavailable (breaker open)"));
+                }
+                return true;
+            }
+            return false;
+        };
+        hooks.input_closed = [this] { return requests_.drained(); };
+        // Shutdown safety net, crash-abandon and normal exit alike:
+        // close the channel and answer any stranded request with an
+        // explicit error instead of leaving its client blocked on a
+        // reply future forever (try_recv has no fault injection
+        // point, so injected faults cannot hide one).
+        hooks.abandon = [this] {
+            requests_.close();
+            while (auto leftover = requests_.try_recv()) {
+                if (leftover->reply != nullptr) {
+                    leftover->reply->set_value(failed_precondition_error(
+                        "bank is shutting down"));
+                }
+            }
+        };
+        supervisor_.supervise(0, hooks);
     });
 }
 
@@ -289,8 +329,11 @@ ActorBank::shutdown()
 {
     // Close before join: the close is what wakes the server out of a
     // blocking recv and lets it drain the backlog; joining first would
-    // deadlock on a server that is still waiting for traffic.
+    // deadlock on a server that is still waiting for traffic.  The
+    // supervisor shutdown request covers the other resting places —
+    // a backoff sleep or an open-breaker wait.
     requests_.close();
+    supervisor_.request_shutdown();
     if (server_.joinable()) server_.join();
 }
 

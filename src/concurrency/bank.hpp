@@ -32,6 +32,7 @@
 
 #include "concurrency/channel.hpp"
 #include "concurrency/stm.hpp"
+#include "concurrency/supervisor.hpp"
 #include "support/status.hpp"
 
 namespace bitc::conc {
@@ -143,10 +144,22 @@ class StmBank : public Bank {
     std::vector<std::unique_ptr<TVar>> accounts_;
 };
 
-/** Actor ledger: a server thread owns the state; clients send messages. */
+/**
+ * Actor ledger: a server thread owns the state; clients send messages.
+ *
+ * The server is *supervised* (see supervisor.hpp): an injected
+ * worker-crash fault kills the serving loop mid-request, the crashing
+ * request gets an error reply (never silence), and the supervisor
+ * restarts the loop with backoff — the ledger survives because the
+ * server owns it across restarts, not the dying loop iteration.  When
+ * the restart budget is spent the breaker opens and queued requests
+ * are answered with errors until the cooldown's half-open probe
+ * succeeds.
+ */
 class ActorBank : public Bank {
   public:
-    explicit ActorBank(size_t accounts, int64_t initial_balance);
+    explicit ActorBank(size_t accounts, int64_t initial_balance,
+                       SupervisorConfig supervision = {});
     ~ActorBank() override;
 
     const char* name() const override { return "actor"; }
@@ -168,6 +181,9 @@ class ActorBank : public Bank {
      */
     void shutdown();
 
+    /** The server's supervisor (restart/crash totals; test hook). */
+    const Supervisor& supervision() const { return supervisor_; }
+
   private:
     enum class OpKind { kDeposit, kTransfer, kBalance, kTotal };
     struct Request {
@@ -179,10 +195,17 @@ class ActorBank : public Bank {
     };
 
     Result<int64_t> call(Request request) const;
-    void serve();
+    WorkerExit serve_once(WorkerContext& ctx);
 
     size_t account_count_;
+    /**
+     * Owned by the server thread while it runs (clients go through
+     * the channel); a member rather than a serve-loop local so the
+     * ledger survives supervised restarts of the loop.
+     */
+    std::vector<int64_t> balances_;
     mutable Channel<Request> requests_;
+    Supervisor supervisor_;
     std::thread server_;
 };
 

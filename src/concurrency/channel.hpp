@@ -243,6 +243,17 @@ class Channel {
         return queue_.size();
     }
 
+    /**
+     * Closed AND empty — shutdown has fully propagated through this
+     * channel; the next recv() fails with kFailedPrecondition.  One
+     * lock hold, so the conjunction is a consistent snapshot (separate
+     * closed() + size() calls could interleave with a drain).
+     */
+    bool drained() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_ && queue_.empty();
+    }
+
     /** Deepest the queue has ever been (backpressure high-water). */
     size_t depth_high_water() const {
         std::lock_guard<std::mutex> lock(mutex_);

@@ -64,6 +64,9 @@ struct RunState {
                 inputs[s].push_back(std::make_unique<Channel<PipeBatch>>(
                     config.queue_capacity));
             }
+            breaker_open[s] = std::vector<std::atomic<bool>>(n);
+            supervisors[s] =
+                std::make_unique<Supervisor>(config.supervision);
         }
         sink = std::make_unique<Channel<PipeBatch>>(
             config.queue_capacity);
@@ -75,44 +78,115 @@ struct RunState {
     std::unique_ptr<Channel<PipeBatch>> sink;
     std::array<std::atomic<size_t>, kStageCount> live{};
     std::array<StageCounters, kStageCount> stages;
+
+    /**
+     * One supervisor per stage (so restart/crash totals report per
+     * stage); each stage worker runs its life inside
+     * supervisors[stage]->supervise() on its own thread.
+     */
+    std::array<std::unique_ptr<Supervisor>, kStageCount> supervisors;
+
+    /**
+     * Published breaker state per stage worker, written by that
+     * worker's on_state hook and read by upstream Forwarders: true
+     * means the shard is sick and its batches go straight to the
+     * drop-with-accounting path instead of its queue.
+     */
+    std::array<std::vector<std::atomic<bool>>, kStageCount>
+        breaker_open;
+
     std::atomic<uint64_t> dropped{0};
     std::atomic<uint64_t> fault_dropped{0};
+    std::atomic<uint64_t> shed{0};
     std::atomic<uint64_t> payload_checksum{0};
+};
+
+/** True when @p batch carries a deadline that has already passed. */
+bool
+expired(const PipeBatch& batch)
+{
+    return batch.deadline_ns != 0 && now_ns() > batch.deadline_ns;
+}
+
+/** Sheds @p batch with accounting (ledger + histogram + trace). */
+void
+shed_batch(RunState& rs, const PipeBatch& batch)
+{
+    uint64_t n = batch.packets.size();
+    rs.shed.fetch_add(n, std::memory_order_relaxed);
+    uint64_t now = now_ns();
+    uint64_t late =
+        now > batch.deadline_ns ? now - batch.deadline_ns : 0;
+    metrics::observe(metrics::Histogram::kPipeShedLateNs, late);
+    trace::emit(trace::Event::kBatchShed, n, late);
+}
+
+/** What one hand-off attempt lost, by ledger. */
+struct ForwardLoss {
+    uint64_t fault = 0;  ///< Injected faults / closed destination.
+    uint64_t shed = 0;   ///< Batch deadline expired before it fit.
 };
 
 /**
  * Sends @p batch downstream, surviving injected channel faults.
- * Returns the number of packets lost (0 on success; the batch size
- * when the destination is closed — a poisoned peer — or the retry cap
- * is exhausted).  Retry needs the batch again after a failed send
- * consumed it, so a copy is kept only while the injector is armed;
- * the unarmed fast path moves the batch straight through.
+ * Returns what was lost (all zeros on success): the whole batch goes
+ * to the fault ledger when the destination is closed — a poisoned or
+ * abandoned peer — or the retry cap is exhausted, and to the shed
+ * ledger when the batch's deadline expired before the bounded queue
+ * had room (try_send_until bounds the wait by the batch deadline, so
+ * backpressure can never hold a batch past its usefulness).  Retry
+ * needs the batch again after a failed send consumed it, so a copy is
+ * kept only while the injector is armed; the unarmed fast path moves
+ * the batch straight through.
  */
-uint64_t
+ForwardLoss
 forward_batch(Channel<PipeBatch>& out, PipeBatch&& batch,
               size_t dest_stage, StageCounters& dest_counters)
 {
-    const uint64_t n = batch.size();
-    if (n == 0) return 0;
+    ForwardLoss loss;
+    const uint64_t n = batch.packets.size();
+    if (n == 0) return loss;
+    const uint64_t deadline_ns = batch.deadline_ns;
+    const std::chrono::steady_clock::time_point deadline{
+        std::chrono::nanoseconds(deadline_ns)};
+    auto send_once = [&](PipeBatch&& b) {
+        return deadline_ns == 0
+                   ? out.send(std::move(b))
+                   : out.try_send_until(std::move(b), deadline);
+    };
     Status sent = Status::ok();
     if (!fault::Injector::instance().armed()) {
-        sent = out.send(std::move(batch));
+        sent = send_once(std::move(batch));
     } else {
         for (size_t attempt = 0; attempt <= kFaultRetryCap;
              ++attempt) {
             PipeBatch copy = batch;
-            sent = out.send(std::move(copy));
+            sent = send_once(std::move(copy));
             if (sent.is_ok()) break;
-            // A closed destination never reopens; retrying is futile.
+            // A closed destination never reopens, and an expired
+            // deadline never un-expires; retrying either is futile.
             if (sent.code() == StatusCode::kFailedPrecondition) break;
+            if (sent.code() == StatusCode::kDeadlineExceeded) break;
             dest_counters.fault_retries.fetch_add(
                 1, std::memory_order_relaxed);
         }
     }
-    if (!sent.is_ok()) return n;
+    if (!sent.is_ok()) {
+        if (sent.code() == StatusCode::kDeadlineExceeded) {
+            loss.shed = n;
+            uint64_t now = now_ns();
+            metrics::observe(
+                metrics::Histogram::kPipeShedLateNs,
+                now > deadline_ns ? now - deadline_ns : 0);
+            trace::emit(trace::Event::kBatchShed, n, 0);
+        } else {
+            loss.fault = n;
+        }
+        return loss;
+    }
     metrics::count(metrics::Counter::kPipeBatches);
     trace::emit(trace::Event::kPipeHandoff, dest_stage, n);
-    return 0;
+    return loss;
 }
 
 /** Per-worker fan-out buffer: batches pending per downstream shard. */
@@ -127,12 +201,28 @@ class Forwarder {
         pending_.resize(n);
     }
 
+    /**
+     * Deadline carried by packets pushed from now on; a pending batch
+     * keeps the earliest deadline of any packet folded into it.
+     * Workers call this once per input batch, the source once per
+     * generated stamp.
+     */
+    void set_deadline(uint64_t deadline_ns) {
+        current_deadline_ns_ = deadline_ns;
+    }
+
     void push(PipePacket packet) {
         size_t d = pending_.size() == 1
                        ? 0
                        : flow_shard(packet.flow, pending_.size());
-        pending_[d].push_back(std::move(packet));
-        if (pending_[d].size() >= batch_packets_) flush(d);
+        PipeBatch& pb = pending_[d];
+        if (current_deadline_ns_ != 0 &&
+            (pb.deadline_ns == 0 ||
+             current_deadline_ns_ < pb.deadline_ns)) {
+            pb.deadline_ns = current_deadline_ns_;
+        }
+        pb.packets.push_back(std::move(packet));
+        if (pb.packets.size() >= batch_packets_) flush(d);
     }
 
     void flush_all() {
@@ -151,17 +241,31 @@ class Forwarder {
     }
 
     void flush(size_t d) {
-        if (pending_[d].empty()) return;
-        uint64_t lost = forward_batch(channel(d),
-                                      std::move(pending_[d]),
-                                      dest_stage_, counters());
-        rs_.fault_dropped.fetch_add(lost, std::memory_order_relaxed);
-        pending_[d].clear();
+        PipeBatch& pb = pending_[d];
+        if (pb.packets.empty()) return;
+        // A tripped downstream breaker reroutes the shard's batches
+        // to the drop path before they ever touch the sick worker's
+        // queue — fail fast, account exactly.
+        if (dest_stage_ < kStageCount &&
+            rs_.breaker_open[dest_stage_][d].load(
+                std::memory_order_acquire)) {
+            rs_.fault_dropped.fetch_add(pb.packets.size(),
+                                        std::memory_order_relaxed);
+            pb = PipeBatch{};
+            return;
+        }
+        ForwardLoss loss = forward_batch(channel(d), std::move(pb),
+                                         dest_stage_, counters());
+        rs_.fault_dropped.fetch_add(loss.fault,
+                                    std::memory_order_relaxed);
+        rs_.shed.fetch_add(loss.shed, std::memory_order_relaxed);
+        pb = PipeBatch{};
     }
 
     RunState& rs_;
     size_t dest_stage_;
     size_t batch_packets_;
+    uint64_t current_deadline_ns_ = 0;
     std::vector<PipeBatch> pending_;
 };
 
@@ -266,7 +370,16 @@ class StageProcessor {
 
 /**
  * One stage worker: drain the owned input channel, process, fan out
- * downstream, and on exit propagate the close when last-out.
+ * downstream, and on exit propagate the close when last-out.  The
+ * whole life runs under the stage's Supervisor: the body below is one
+ * worker *incarnation* — when it reports a crash (injected
+ * worker-crash fault, or fault-exhaustion poison-exit), the
+ * supervisor restarts it with backoff, a fresh StageProcessor (and
+ * VM) each time, while the bounded input channel absorbs the
+ * backpressure.  A worker that keeps crashing trips its breaker; the
+ * on_state hook publishes that to upstream Forwarders, which reroute
+ * the shard's batches to the drop path until the half-open probe
+ * succeeds.
  */
 void
 stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
@@ -274,68 +387,116 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
              const std::vector<uint8_t>& payload, RunState& rs)
 {
     Channel<PipeBatch>& in = *rs.inputs[stage][worker];
+    // The forwarder outlives incarnations: packets already handed to
+    // it survive a crash (only the in-flight batch dies with the
+    // body), so the conservation ledger stays exact.
     Forwarder out(rs, stage + 1, config.batch_packets);
-    StageProcessor processor(config, stage, built, payload, rs);
 
     uint64_t packets = 0;
     uint64_t batches = 0;
-    size_t consecutive_faults = 0;
-    bool poisoned = false;
-    while (true) {
-        auto batch = in.recv();
-        if (!batch.is_ok()) {
-            if (batch.status().code() ==
-                StatusCode::kFailedPrecondition) {
-                break;  // closed and drained: normal shutdown
-            }
-            // Injected fault.  Transient unless it repeats past the
-            // cap, at which point the channel is declared poisoned.
-            rs.stages[stage].fault_retries.fetch_add(
-                1, std::memory_order_relaxed);
-            if (++consecutive_faults > kFaultRetryCap) {
-                poisoned = true;
-                break;
-            }
-            continue;
-        }
-        consecutive_faults = 0;
-        uint64_t t0 = now_ns();
-        for (PipePacket& p : batch.value()) {
-            ++packets;
-            switch (processor.process(p)) {
-              case Outcome::kDrop:
-                rs.dropped.fetch_add(1, std::memory_order_relaxed);
-                break;
-              case Outcome::kFault:
-                rs.fault_dropped.fetch_add(1,
-                                           std::memory_order_relaxed);
-                break;
-              case Outcome::kForward:
-                out.push(std::move(p));
-                break;
-            }
-        }
-        ++batches;
-        metrics::observe(metrics::Histogram::kPipeBatchNs,
-                         now_ns() - t0);
-    }
 
-    if (poisoned) {
-        // Close the poisoned input so upstream sends fail fast (they
-        // account their own losses), then sweep the stranded backlog
-        // into the fault ledger — try_recv has no injection point, so
-        // the sweep always completes.
+    WorkerHooks hooks;
+    hooks.body = [&](WorkerContext& ctx) {
+        StageProcessor processor(config, stage, built, payload, rs);
+        size_t consecutive_faults = 0;
+        WorkerExit exit = WorkerExit::kDone;
+        while (true) {
+            auto batch = in.recv();
+            if (!batch.is_ok()) {
+                if (batch.status().code() ==
+                    StatusCode::kFailedPrecondition) {
+                    break;  // closed and drained: normal shutdown
+                }
+                // Injected channel fault.  Transient unless it
+                // repeats past the cap, at which point the worker
+                // declares itself dead and escalates to the
+                // supervisor (the poison-exit of PR 4, now a restart
+                // opportunity instead of a permanent loss).
+                rs.stages[stage].fault_retries.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (++consecutive_faults > kFaultRetryCap) {
+                    exit = WorkerExit::kCrash;
+                    break;
+                }
+                continue;
+            }
+            consecutive_faults = 0;
+            PipeBatch b = std::move(batch.value());
+            // Deadline shed at stage entry: late work is dead work,
+            // and processing it would only make the next stage later.
+            if (expired(b)) {
+                shed_batch(rs, b);
+                ctx.note_progress();
+                continue;
+            }
+            // The worker-crash site: this incarnation dies here, and
+            // the batch it was holding dies with it (accounted to the
+            // fault ledger — exactly what a segfaulting worker costs).
+            if (fault::inject(fault::Site::kWorkerCrash)) {
+                rs.fault_dropped.fetch_add(
+                    b.packets.size(), std::memory_order_relaxed);
+                exit = WorkerExit::kCrash;
+                break;
+            }
+            out.set_deadline(b.deadline_ns);
+            uint64_t t0 = now_ns();
+            for (PipePacket& p : b.packets) {
+                ++packets;
+                switch (processor.process(p)) {
+                  case Outcome::kDrop:
+                    rs.dropped.fetch_add(1, std::memory_order_relaxed);
+                    break;
+                  case Outcome::kFault:
+                    rs.fault_dropped.fetch_add(
+                        1, std::memory_order_relaxed);
+                    break;
+                  case Outcome::kForward:
+                    out.push(std::move(p));
+                    break;
+                }
+            }
+            ++batches;
+            metrics::observe(metrics::Histogram::kPipeBatchNs,
+                             now_ns() - t0);
+            ctx.note_progress();
+        }
+        processor.fold();
+        return exit;
+    };
+    hooks.drain_one = [&] {
+        // Open breaker: shed the queue into the fault ledger —
+        // try_recv has no injection point, so the drain always makes
+        // progress no matter what plan is armed.
+        if (auto leftover = in.try_recv()) {
+            rs.fault_dropped.fetch_add(leftover->packets.size(),
+                                       std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    };
+    hooks.input_closed = [&] { return in.drained(); };
+    hooks.abandon = [&] {
+        // Close the input so upstream sends fail fast (they account
+        // their own losses), then sweep the stranded backlog into the
+        // fault ledger.  On the normal path the input is already
+        // closed and drained, so both steps are no-ops.
         in.close();
         uint64_t stranded = 0;
         while (auto leftover = in.try_recv()) {
-            stranded += leftover->size();
+            stranded += leftover->packets.size();
         }
         rs.fault_dropped.fetch_add(stranded,
                                    std::memory_order_relaxed);
-    }
+    };
+    hooks.on_state = [&](BreakerState s) {
+        rs.breaker_open[stage][worker].store(
+            s == BreakerState::kOpen, std::memory_order_release);
+    };
+
+    rs.supervisors[stage]->supervise(static_cast<uint32_t>(worker),
+                                     hooks);
 
     out.flush_all();
-    processor.fold();
     rs.stages[stage].packets.fetch_add(packets,
                                        std::memory_order_relaxed);
     rs.stages[stage].batches.fetch_add(batches,
@@ -368,7 +529,13 @@ run_sink(RunState& rs)
     SinkResult result;
     std::unordered_map<uint32_t, uint64_t> last_seq;
     auto consume = [&](const PipeBatch& batch) {
-        for (const PipePacket& p : batch) {
+        // The deadline is end-to-end: a batch that expired in the
+        // last hop is shed at the sink too, not delivered late.
+        if (expired(batch)) {
+            shed_batch(rs, batch);
+            return;
+        }
+        for (const PipePacket& p : batch.packets) {
             ++result.delivered;
             result.route_checksum +=
                 static_cast<uint64_t>(p.bucket + 1);
@@ -414,26 +581,39 @@ PipelineReport::to_string() const
 {
     std::string out = str_format(
         "stage      workers    packets    batches  blocked_ms  "
-        "depth_hw  fault_retries\n");
+        "depth_hw  fault_retries  crashes  restarts  breaker_opens\n");
     for (size_t s = 0; s < kStageCount; ++s) {
         const PipelineStageReport& st = stages[s];
         out += str_format(
-            "%-10s %7zu %10llu %10llu %11.3f %9zu %14llu\n",
+            "%-10s %7zu %10llu %10llu %11.3f %9zu %14llu %8llu "
+            "%9llu %14llu\n",
             interop::stage_name(s), st.workers,
             static_cast<unsigned long long>(st.packets),
             static_cast<unsigned long long>(st.batches),
             static_cast<double>(st.blocked_ns) / 1e6,
             st.depth_high_water,
-            static_cast<unsigned long long>(st.fault_retries));
+            static_cast<unsigned long long>(st.fault_retries),
+            static_cast<unsigned long long>(st.crashes),
+            static_cast<unsigned long long>(st.restarts),
+            static_cast<unsigned long long>(st.breaker_opens));
     }
     out += str_format(
         "generated=%llu delivered=%llu dropped=%llu "
-        "fault_dropped=%llu in_order=%s conserved=%s\n",
+        "fault_dropped=%llu shed=%llu in_order=%s conserved=%s\n",
         static_cast<unsigned long long>(generated),
         static_cast<unsigned long long>(delivered),
         static_cast<unsigned long long>(dropped),
         static_cast<unsigned long long>(fault_dropped),
+        static_cast<unsigned long long>(shed),
         flows_in_order ? "yes" : "no", conserved() ? "yes" : "no");
+    if (worker_crashes + worker_restarts + breaker_opens > 0) {
+        out += str_format(
+            "supervision: crashes=%llu restarts=%llu "
+            "breaker_opens=%llu\n",
+            static_cast<unsigned long long>(worker_crashes),
+            static_cast<unsigned long long>(worker_restarts),
+            static_cast<unsigned long long>(breaker_opens));
+    }
     out += str_format(
         "throughput=%.0f pkt/s elapsed=%.3f ms route_checksum=%llu "
         "header_checksum_sum=%llu\n",
@@ -509,9 +689,16 @@ PacketPipeline::run(size_t packet_count)
 
     // Source: shard the stream into first-stage batches, then close —
     // the close is the only end-of-input signal the pipeline has.
+    // With a deadline budget configured, every packet is stamped
+    // "now + budget" as it enters; the earliest stamp in a batch
+    // becomes the batch deadline every hand-off honors.
     threads.emplace_back([this, &rs, &stream] {
         Forwarder out(rs, 0, config_.batch_packets);
-        for (PipePacket& p : stream) out.push(std::move(p));
+        const uint64_t budget_ns = config_.deadline_ms * 1'000'000;
+        for (PipePacket& p : stream) {
+            if (budget_ns != 0) out.set_deadline(now_ns() + budget_ns);
+            out.push(std::move(p));
+        }
         out.flush_all();
         for (auto& ch : rs.inputs[0]) ch->close();
     });
@@ -534,6 +721,7 @@ PacketPipeline::run(size_t packet_count)
     report.delivered = sink.delivered;
     report.dropped = rs.dropped.load();
     report.fault_dropped = rs.fault_dropped.load();
+    report.shed = rs.shed.load();
     report.route_checksum = sink.route_checksum;
     report.header_checksum_sum = sink.header_checksum_sum;
     report.payload_checksum = rs.payload_checksum.load();
@@ -549,6 +737,12 @@ PacketPipeline::run(size_t packet_count)
         st.packets = rs.stages[s].packets.load();
         st.batches = rs.stages[s].batches.load();
         st.fault_retries = rs.stages[s].fault_retries.load();
+        st.crashes = rs.supervisors[s]->crashes();
+        st.restarts = rs.supervisors[s]->restarts();
+        st.breaker_opens = rs.supervisors[s]->breaker_opens();
+        report.worker_crashes += st.crashes;
+        report.worker_restarts += st.restarts;
+        report.breaker_opens += st.breaker_opens;
         for (auto& ch : rs.inputs[s]) {
             st.blocked_ns += ch->blocked_ns();
             st.depth_high_water =
@@ -567,6 +761,7 @@ PacketPipeline::run(size_t packet_count)
                    report.dropped);
     metrics::count(metrics::Counter::kPipeFaultDrops,
                    report.fault_dropped);
+    metrics::count(metrics::Counter::kPipePacketsShed, report.shed);
     return report;
 }
 
@@ -643,6 +838,18 @@ parse_pipeline_spec(const std::string& spec)
             BITC_ASSIGN_OR_RETURN(size_t us, as_count());
             out.config.lookup_latency_us =
                 static_cast<uint32_t>(us);
+        } else if (key == "restarts") {
+            BITC_ASSIGN_OR_RETURN(size_t n, as_count());
+            out.config.supervision.max_restarts =
+                static_cast<uint32_t>(n);
+        } else if (key == "window") {
+            BITC_ASSIGN_OR_RETURN(size_t ms, as_count());
+            out.config.supervision.restart_window_ms = ms;
+        } else if (key == "backoff") {
+            BITC_ASSIGN_OR_RETURN(size_t ms, as_count());
+            out.config.supervision.backoff_ms = ms;
+        } else if (key == "deadline") {
+            BITC_ASSIGN_OR_RETURN(out.config.deadline_ms, as_count());
         } else if (key == "impl") {
             if (value == "legacy") {
                 out.config.migrated = false;

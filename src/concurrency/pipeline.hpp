@@ -22,7 +22,19 @@
  *    bounded number of times, a worker whose input is fault-poisoned
  *    closes it and accounts the stranded backlog, and the report's
  *    conservation invariant (generated == delivered + dropped +
- *    fault_dropped) still holds.
+ *    fault_dropped + shed) still holds.
+ *  - Stage workers are *supervised* (supervisor.hpp): a worker that
+ *    dies — injected worker-crash fault, fault-exhaustion poison-exit
+ *    — is restarted with capped exponential backoff while its bounded
+ *    input absorbs the backpressure; a worker that keeps dying trips
+ *    its per-shard circuit breaker, and upstream reroutes that
+ *    shard's batches to the drop-with-accounting path until the
+ *    half-open probe succeeds.
+ *  - Deadline propagation (docs/supervision.md): the source stamps
+ *    every batch with an absolute deadline (deadline_ms > 0), stage
+ *    hand-offs honor it via try_send_until, and expired batches are
+ *    shed at stage entry — graceful load-shedding under fault storms
+ *    instead of unbounded latency.
  *
  * Each stage runs either the legacy C++ implementation on wire bytes
  * or the migrated BitC implementation (one private VM per worker) —
@@ -38,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/supervisor.hpp"
 #include "interop/packet_stages.hpp"
 #include "support/status.hpp"
 #include "vm/pipeline.hpp"
@@ -56,8 +69,17 @@ struct PipePacket {
     int64_t bucket = -1;    ///< Route bucket set by the classify stage.
 };
 
-/** Stage hand-offs move batches, amortizing the channel hop. */
-using PipeBatch = std::vector<PipePacket>;
+/**
+ * Stage hand-offs move batches, amortizing the channel hop.  A batch
+ * carries the end-to-end deadline of its packets (the earliest stamp
+ * of any packet folded in): 0 means "no deadline" and restores the
+ * block-forever behaviour; otherwise every hand-off send bounds its
+ * wait by it and every stage sheds the batch on expiry at entry.
+ */
+struct PipeBatch {
+    std::vector<PipePacket> packets;
+    uint64_t deadline_ns = 0;  ///< Absolute steady-clock ns; 0 = none.
+};
 
 /** Knobs for one pipeline instance. */
 struct PipelineConfig {
@@ -87,6 +109,16 @@ struct PipelineConfig {
     uint64_t seed = 1;      ///< Packet-stream seed (reproducible runs).
     vm::VmConfig vm;        ///< VM configuration for migrated workers.
 
+    /** Restart/backoff/breaker policy for every stage worker. */
+    SupervisorConfig supervision;
+
+    /**
+     * End-to-end deadline budget per batch, stamped by the source at
+     * generation time (0 = no deadlines, sends block indefinitely).
+     * Expired batches are shed with accounting instead of delivered.
+     */
+    uint64_t deadline_ms = 0;
+
     PipelineConfig() {
         vm.mode = vm::ValueMode::kUnboxed;
         vm.heap = vm::HeapPolicy::kRegion;
@@ -109,6 +141,9 @@ struct PipelineStageReport {
     uint64_t blocked_ns = 0;     ///< Send+recv blocking on its inputs.
     size_t depth_high_water = 0; ///< Deepest input queue, in batches.
     uint64_t fault_retries = 0;  ///< Injected channel faults absorbed.
+    uint64_t crashes = 0;        ///< Worker bodies that died.
+    uint64_t restarts = 0;       ///< Supervised restarts (incl. probes).
+    uint64_t breaker_opens = 0;  ///< Breaker trips across its workers.
 };
 
 /** What one run produced; checksums are worker-count invariant. */
@@ -116,7 +151,12 @@ struct PipelineReport {
     uint64_t generated = 0;      ///< Packets injected by the source.
     uint64_t delivered = 0;      ///< Packets that reached the sink.
     uint64_t dropped = 0;        ///< Dropped by the validate stage.
-    uint64_t fault_dropped = 0;  ///< Lost to injected channel faults.
+    uint64_t fault_dropped = 0;  ///< Lost to injected faults/breakers.
+    uint64_t shed = 0;           ///< Shed because their deadline passed.
+
+    uint64_t worker_crashes = 0;   ///< Supervised worker deaths.
+    uint64_t worker_restarts = 0;  ///< Restarts the supervisors issued.
+    uint64_t breaker_opens = 0;    ///< Circuit-breaker trips.
 
     uint64_t route_checksum = 0;       ///< sum(bucket+1) of delivered.
     uint64_t header_checksum_sum = 0;  ///< sum of final checksum fields.
@@ -132,7 +172,7 @@ struct PipelineReport {
 
     /** Every generated packet is accounted for exactly once. */
     bool conserved() const {
-        return generated == delivered + dropped + fault_dropped;
+        return generated == delivered + dropped + fault_dropped + shed;
     }
 
     /** Human-readable multi-line table (the bitcc driver prints it). */
@@ -168,7 +208,10 @@ class PacketPipeline {
  * "workers=4,queue=64,batch=32,packets=20000,impl=bitc,seed=7,
  *  payload=1024,lookup-us=200" into a config plus packet count.
  * workers accepts either one count for every stage or four
- * colon-separated per-stage counts ("1:2:4:4").
+ * colon-separated per-stage counts ("1:2:4:4").  Supervision knobs:
+ * restarts=N (breaker budget), window=MS (crash window + cooldown),
+ * backoff=MS (initial restart backoff), deadline=MS (per-batch
+ * end-to-end deadline; 0 disables).
  */
 struct PipelineSpec {
     PipelineConfig config;

@@ -1,0 +1,165 @@
+#include "concurrency/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/metrics.hpp"
+#include "support/stats.hpp"
+#include "support/trace.hpp"
+
+namespace bitc::conc {
+
+namespace {
+
+/**
+ * Open-state poll interval once the queue is drained: long enough to
+ * stay off the lock, short enough that a closing input or an elapsed
+ * cooldown is noticed promptly.  Shutdown does not wait even this
+ * long — it rides the condvar.
+ */
+constexpr uint64_t kOpenPollNs = 100 * 1000;  // 100 us
+
+void
+notify_state(const WorkerHooks& hooks, uint32_t worker_id,
+             BreakerState state)
+{
+    trace::emit(trace::Event::kBreakerState, worker_id,
+                static_cast<uint64_t>(state));
+    if (hooks.on_state) hooks.on_state(state);
+}
+
+}  // namespace
+
+const char*
+breaker_state_name(BreakerState s)
+{
+    switch (s) {
+        case BreakerState::kClosed: return "closed";
+        case BreakerState::kOpen: return "open";
+        case BreakerState::kHalfOpen: return "half-open";
+    }
+    return "unknown";
+}
+
+void
+WorkerContext::note_progress()
+{
+    if (breaker_.state() == BreakerState::kHalfOpen) {
+        // The probe succeeded: the worker is healthy again.
+        breaker_.on_progress();
+        notify_state(hooks_, worker_id_, BreakerState::kClosed);
+    } else {
+        breaker_.on_progress();
+    }
+    *backoff_ns_ = initial_backoff_ns_;
+}
+
+bool
+WorkerContext::stop_requested() const
+{
+    return sup_.shutdown_requested();
+}
+
+void
+Supervisor::request_shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_.store(true, std::memory_order_release);
+    }
+    shutdown_cv_.notify_all();
+}
+
+bool
+Supervisor::interruptible_wait(uint64_t ns)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_cv_.wait_for(lock, std::chrono::nanoseconds(ns), [this] {
+        return shutdown_.load(std::memory_order_acquire);
+    });
+    return shutdown_.load(std::memory_order_acquire);
+}
+
+void
+Supervisor::supervise(uint32_t worker_id, const WorkerHooks& hooks)
+{
+    CircuitBreaker breaker(config_.max_restarts,
+                           config_.restart_window_ms * 1'000'000);
+    uint64_t initial_backoff_ns =
+        std::max<uint64_t>(config_.backoff_ms, 1) * 1'000'000;
+    uint64_t backoff_cap_ns =
+        std::max<uint64_t>(config_.backoff_cap_ms, 1) * 1'000'000;
+    uint64_t backoff_ns = initial_backoff_ns;
+    WorkerContext ctx(*this, hooks, breaker, &backoff_ns,
+                      initial_backoff_ns, worker_id);
+    bool gauge_held = false;  // kPipeBreakersOpen level balance
+
+    for (;;) {
+        WorkerExit exit = hooks.body(ctx);
+        if (exit == WorkerExit::kDone) break;
+
+        uint64_t total_crashes =
+            crashes_.fetch_add(1, std::memory_order_relaxed) + 1;
+        metrics::count(metrics::Counter::kPipeWorkerCrashes);
+        trace::emit(trace::Event::kWorkerCrash, worker_id,
+                    total_crashes);
+
+        if (breaker.on_crash(now_ns())) {
+            breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+            metrics::count(metrics::Counter::kPipeBreakerOpens);
+            if (!gauge_held) {
+                metrics::gauge_add(metrics::Gauge::kPipeBreakersOpen);
+                gauge_held = true;
+            }
+            notify_state(hooks, worker_id, BreakerState::kOpen);
+
+            // Open: this shard is sick.  Shed its queued work into
+            // the caller's accounting path until the cooldown runs
+            // out (probe), the input closes (shutdown propagated), or
+            // shutdown is requested outright.
+            bool probe = false;
+            for (;;) {
+                if (shutdown_requested()) break;
+                if (hooks.input_closed && hooks.input_closed()) break;
+                if (breaker.try_probe(now_ns())) {
+                    probe = true;
+                    break;
+                }
+                if (!hooks.drain_one || !hooks.drain_one()) {
+                    // Queue is empty; idle-wait a beat (shutdown
+                    // interrupts even this).
+                    if (interruptible_wait(kOpenPollNs)) break;
+                }
+            }
+            if (!probe) break;  // abandoned while open
+            metrics::gauge_sub(metrics::Gauge::kPipeBreakersOpen);
+            gauge_held = false;
+            notify_state(hooks, worker_id, BreakerState::kHalfOpen);
+            backoff_ns = initial_backoff_ns;
+            // The cooldown was the wait; probe restarts immediately.
+        } else {
+            // Plain restart: capped exponential backoff while the
+            // bounded input channel absorbs the backpressure.
+            if (interruptible_wait(backoff_ns)) break;
+            backoff_ns = std::min(backoff_ns * 2, backoff_cap_ns);
+        }
+
+        if (shutdown_requested()) break;
+        if (hooks.input_closed && hooks.input_closed()) {
+            // Close propagation beat the restart: never resurrect a
+            // worker into a pipeline that is already shutting down.
+            break;
+        }
+        restarts_.fetch_add(1, std::memory_order_relaxed);
+        metrics::count(metrics::Counter::kPipeWorkerRestarts);
+        trace::emit(trace::Event::kWorkerRestart, worker_id,
+                    backoff_ns);
+    }
+
+    if (gauge_held) {
+        metrics::gauge_sub(metrics::Gauge::kPipeBreakersOpen);
+    }
+    if (hooks.abandon) hooks.abandon();
+}
+
+}  // namespace bitc::conc

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Erlang-style one-for-one supervision for channel-structured workers.
+ *
+ * PR 4's pipeline *degrades* under an armed fault plan — a poisoned
+ * worker stays dead for the life of the process and its shard's work
+ * is swept into the loss ledger.  Shapiro's F4 argument wants more:
+ * systems code must keep running correctly under partial failure,
+ * which means failed components are restarted, restart storms are
+ * bounded, and permanently-sick shards are isolated without taking
+ * the rest of the server down.  This module supplies that machinery,
+ * deliberately in the Erlang supervisor shape (the CSP network-stack
+ * study shows channel-owned workers are exactly where restart pays
+ * off):
+ *
+ *  - A worker body runs inside Supervisor::supervise() on the
+ *    worker's own thread.  When the body reports a crash (injected
+ *    worker-crash fault, fault-exhaustion poison-exit, escalated
+ *    Status), the supervisor restarts it after a capped exponential
+ *    backoff — the worker's bounded input channel absorbs the
+ *    backpressure while it is down.
+ *  - A per-worker CircuitBreaker counts crashes inside a sliding
+ *    window.  When the restart budget is exhausted the breaker trips
+ *    open: the supervisor stops restarting and instead drains queued
+ *    input into the caller's drop-with-accounting hook, so the
+ *    conservation invariant survives even a fail-every-hit plan.
+ *  - After a cooldown the breaker goes half-open and one probe
+ *    restart runs.  First forward progress closes the breaker;
+ *    another crash reopens it for a fresh cooldown.
+ *  - Shutdown (close propagation reaching the worker, or an explicit
+ *    request_shutdown()) always wins: it interrupts backoff sleeps
+ *    and open-state waits, and the supervisor never resurrects a
+ *    worker whose input is already closed and drained.
+ *
+ * Thread model: each CircuitBreaker lives on its worker's stack and
+ * is touched only by that thread; breaker state is *published* to
+ * other threads (e.g. upstream senders deciding to shed) through the
+ * caller's on_state hook, which writes whatever atomic flag the
+ * caller owns.  The Supervisor object itself is shared: its counters
+ * are relaxed atomics and its shutdown latch is a mutex + condvar, so
+ * the whole arrangement is TSan-clean by construction.
+ */
+#ifndef BITC_CONCURRENCY_SUPERVISOR_HPP
+#define BITC_CONCURRENCY_SUPERVISOR_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace bitc::conc {
+
+/** Circuit-breaker states (the classic three-state machine). */
+enum class BreakerState : uint8_t {
+    kClosed = 0,  ///< Healthy: crashes buy restarts.
+    kOpen,        ///< Restart budget spent: shed work, wait out cooldown.
+    kHalfOpen,    ///< Cooldown over: one probe restart in flight.
+};
+
+/** Stable name for traces and reports ("closed"/"open"/"half-open"). */
+const char* breaker_state_name(BreakerState s);
+
+/** Restart policy knobs shared by every worker of one supervisor. */
+struct SupervisorConfig {
+    /**
+     * Crashes a worker may accumulate inside the window before its
+     * breaker opens; i.e. the worker gets max_restarts restarts and
+     * the (max_restarts + 1)-th crash trips the breaker.
+     */
+    uint32_t max_restarts = 3;
+    /**
+     * Sliding crash-counting window, and also the open-state cooldown
+     * before the half-open probe (one knob, Erlang-style intensity).
+     */
+    uint64_t restart_window_ms = 1000;
+    uint64_t backoff_ms = 1;       ///< First restart backoff.
+    uint64_t backoff_cap_ms = 64;  ///< Exponential backoff cap.
+};
+
+/**
+ * Per-worker crash budget and breaker state machine.  Not thread-safe
+ * by design — one breaker belongs to one worker thread; time is
+ * passed in explicitly so tests can drive the machine without
+ * sleeping.
+ */
+class CircuitBreaker {
+  public:
+    CircuitBreaker(uint32_t max_restarts, uint64_t window_ns)
+        : max_restarts_(max_restarts), window_ns_(window_ns) {}
+
+    BreakerState state() const { return state_; }
+
+    /**
+     * Records a crash at time @p now.  Returns true when this crash
+     * tripped the breaker open: either the (max_restarts + 1)-th
+     * crash inside the window, or any crash of a half-open probe.
+     */
+    bool on_crash(uint64_t now) {
+        if (state_ == BreakerState::kHalfOpen) {
+            state_ = BreakerState::kOpen;
+            opened_at_ = now;
+            crash_times_.clear();
+            return true;
+        }
+        while (!crash_times_.empty() &&
+               now - crash_times_.front() > window_ns_) {
+            crash_times_.pop_front();
+        }
+        crash_times_.push_back(now);
+        if (state_ == BreakerState::kClosed &&
+            crash_times_.size() > max_restarts_) {
+            state_ = BreakerState::kOpen;
+            opened_at_ = now;
+            crash_times_.clear();
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Forward progress: closes a half-open breaker and, in any state,
+     * forgets crash history — a healthy worker's restart budget is
+     * always full.
+     */
+    void on_progress() {
+        if (state_ == BreakerState::kHalfOpen) {
+            state_ = BreakerState::kClosed;
+        }
+        crash_times_.clear();
+    }
+
+    /**
+     * In the open state, transitions to half-open once the cooldown
+     * (one window) has elapsed; returns true on that transition.
+     */
+    bool try_probe(uint64_t now) {
+        if (state_ != BreakerState::kOpen ||
+            now - opened_at_ < window_ns_) {
+            return false;
+        }
+        state_ = BreakerState::kHalfOpen;
+        return true;
+    }
+
+  private:
+    uint32_t max_restarts_;
+    uint64_t window_ns_;
+    BreakerState state_ = BreakerState::kClosed;
+    std::deque<uint64_t> crash_times_;  ///< In-window crash times.
+    uint64_t opened_at_ = 0;
+};
+
+/** How one execution of a worker body ended. */
+enum class WorkerExit : uint8_t {
+    kDone = 0,  ///< Input closed and drained: normal shutdown.
+    kCrash,     ///< The worker died; the supervisor decides what next.
+};
+
+class Supervisor;
+struct WorkerHooks;
+
+/**
+ * Handed to the worker body; the body reports liveness through it.
+ * note_progress() after every successfully processed unit is what
+ * closes a half-open breaker and refills the restart budget.
+ */
+class WorkerContext {
+  public:
+    /** One unit of work completed; resets backoff and crash budget. */
+    void note_progress();
+
+    /** True once the supervisor wants the body to return kDone. */
+    bool stop_requested() const;
+
+    uint32_t worker_id() const { return worker_id_; }
+
+  private:
+    friend class Supervisor;
+    WorkerContext(Supervisor& sup, const WorkerHooks& hooks,
+                  CircuitBreaker& breaker, uint64_t* backoff_ns,
+                  uint64_t initial_backoff_ns, uint32_t worker_id)
+        : sup_(sup), hooks_(hooks), breaker_(breaker),
+          backoff_ns_(backoff_ns),
+          initial_backoff_ns_(initial_backoff_ns),
+          worker_id_(worker_id) {}
+
+    Supervisor& sup_;
+    const WorkerHooks& hooks_;
+    CircuitBreaker& breaker_;
+    uint64_t* backoff_ns_;
+    uint64_t initial_backoff_ns_;
+    uint32_t worker_id_;
+};
+
+/**
+ * What the supervisor needs from the supervised component.  body is
+ * mandatory; the rest default to sensible no-ops for components (like
+ * the ActorBank server) that have no separate shed path.
+ */
+struct WorkerHooks {
+    /** Runs the worker until done or crashed.  Called repeatedly. */
+    std::function<WorkerExit(WorkerContext&)> body;
+
+    /**
+     * Open state: drop one queued input unit *with accounting* (the
+     * conservation ledger must absorb it).  Returns false when the
+     * queue is empty.  Default: nothing to drain.
+     */
+    std::function<bool()> drain_one;
+
+    /**
+     * True when the worker's input is closed and drained — shutdown
+     * has propagated to this worker; restarting would resurrect it
+     * into a dead pipeline.  Default: never.
+     */
+    std::function<bool()> input_closed;
+
+    /**
+     * Final cleanup after the last body exit, crash-abandon or normal
+     * completion alike: close the input, sweep any stranded backlog
+     * into the loss ledger.  Must be idempotent.  Default: nothing.
+     */
+    std::function<void()> abandon;
+
+    /**
+     * Breaker transition, called from the worker's own thread.  The
+     * caller publishes this to its senders (e.g. an atomic per-shard
+     * flag that reroutes batches to the drop path).  Default: nobody
+     * listens.
+     */
+    std::function<void(BreakerState)> on_state;
+};
+
+/**
+ * One-for-one supervisor.  One instance is shared by all workers of a
+ * component (pipeline run, actor bank); supervise() runs on each
+ * worker's own thread, so worker state never migrates across threads
+ * and restart is just another loop iteration.
+ */
+class Supervisor {
+  public:
+    explicit Supervisor(SupervisorConfig config) : config_(config) {}
+
+    Supervisor(const Supervisor&) = delete;
+    Supervisor& operator=(const Supervisor&) = delete;
+
+    /**
+     * Runs @p hooks.body in a restart loop until it reports kDone,
+     * its input closes, its breaker abandons it, or shutdown is
+     * requested.  Returns only when the worker is finally down;
+     * hooks.abandon() has run by then.
+     */
+    void supervise(uint32_t worker_id, const WorkerHooks& hooks);
+
+    /**
+     * Asks every supervised worker to stop: interrupts backoff sleeps
+     * and open-state waits, and makes stop_requested() true.  Bodies
+     * blocked in channel ops are reached the usual CSP way — close
+     * their channel first.  Idempotent, callable from any thread.
+     */
+    void request_shutdown();
+
+    bool shutdown_requested() const {
+        return shutdown_.load(std::memory_order_acquire);
+    }
+
+    // Lifetime totals across all supervised workers (test hooks).
+    uint64_t crashes() const {
+        return crashes_.load(std::memory_order_relaxed);
+    }
+    uint64_t restarts() const {
+        return restarts_.load(std::memory_order_relaxed);
+    }
+    uint64_t breaker_opens() const {
+        return breaker_opens_.load(std::memory_order_relaxed);
+    }
+
+    const SupervisorConfig& config() const { return config_; }
+
+  private:
+    friend class WorkerContext;
+
+    /**
+     * Sleeps up to @p ns unless shutdown arrives first; returns true
+     * when it did (the caller must stop, not restart).
+     */
+    bool interruptible_wait(uint64_t ns);
+
+    SupervisorConfig config_;
+    std::atomic<bool> shutdown_{false};
+    std::atomic<uint64_t> crashes_{0};
+    std::atomic<uint64_t> restarts_{0};
+    std::atomic<uint64_t> breaker_opens_{0};
+    mutable std::mutex mutex_;
+    std::condition_variable shutdown_cv_;
+};
+
+}  // namespace bitc::conc
+
+#endif  // BITC_CONCURRENCY_SUPERVISOR_HPP

@@ -11,7 +11,7 @@ namespace {
 
 constexpr const char* kSiteNames[kNumSites] = {
     "heap-alloc", "gc-trigger", "stm-commit", "channel-op",
-    "ffi-marshal",
+    "ffi-marshal", "worker-crash",
 };
 
 constexpr uint64_t kOperandMask =
@@ -33,10 +33,13 @@ parse_site(const std::string& name)
             return static_cast<Site>(i);
         }
     }
+    std::string expected;
+    for (size_t i = 0; i < kNumSites; ++i) {
+        expected += i == 0 ? "" : i + 1 == kNumSites ? " or " : ", ";
+        expected += kSiteNames[i];
+    }
     return invalid_argument_error("unknown fault site '" + name +
-                                  "' (expected heap-alloc, gc-trigger, "
-                                  "stm-commit, channel-op or "
-                                  "ffi-marshal)");
+                                  "' (expected " + expected + ")");
 }
 
 namespace detail {
@@ -175,6 +178,25 @@ Injector::report() const
         out += std::to_string(c.injected);
         out += " injected\n";
     }
+    return out;
+}
+
+std::string
+Injector::sites_json() const
+{
+    std::string out = "{";
+    for (size_t i = 0; i < kNumSites; ++i) {
+        SiteCounters c = counters(static_cast<Site>(i));
+        out += i ? "," : "";
+        out += "\n    \"";
+        out += kSiteNames[i];
+        out += "\": {\"hits\": ";
+        out += std::to_string(c.hits);
+        out += ", \"injected\": ";
+        out += std::to_string(c.injected);
+        out += "}";
+    }
+    out += "\n  }";
     return out;
 }
 

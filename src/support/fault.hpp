@@ -39,10 +39,11 @@ enum class Site : uint8_t {
     kStmCommit,      ///< Txn::commit; injection forces an abort.
     kChannelOp,      ///< Channel send/recv entry points.
     kFfiMarshal,     ///< Record marshalling and VM buffer crossings.
+    kWorkerCrash,    ///< Supervised worker loops; injection kills the worker.
 };
 
 /** Number of distinct sites (array sizing). */
-inline constexpr size_t kNumSites = 5;
+inline constexpr size_t kNumSites = 6;
 
 /** Stable name used in plans and messages, e.g. "heap-alloc". */
 const char* site_name(Site site);
@@ -115,6 +116,18 @@ class Injector {
 
     /** "heap-alloc: 12 hits, 1 injected" lines for every armed site. */
     std::string report() const;
+
+    /**
+     * Per-site counters as a JSON object keyed by site name, e.g.
+     *
+     *   { "heap-alloc": {"hits": 12, "injected": 1}, ... }
+     *
+     * Iterates the site registry, so every Site — present and future —
+     * appears without edits here or in the serializer; tools splice it
+     * into the metrics document as the "fault_sites" section.  Indented
+     * for 2-space nesting inside that document.
+     */
+    std::string sites_json() const;
 
   private:
     Injector() = default;

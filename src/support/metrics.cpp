@@ -47,6 +47,10 @@ constexpr std::array<const char*, kNumCounters> kCounterNames = {
     "pipeline.packets_dropped",
     "pipeline.fault_drops",
     "pipeline.batches",
+    "pipeline.packets_shed",
+    "pipeline.worker_crashes",
+    "pipeline.worker_restarts",
+    "pipeline.breaker_opens",
     "marshal.records_in",
     "marshal.records_out",
     "fault.hits",
@@ -59,6 +63,7 @@ constexpr std::array<const char*, kNumGauges> kGaugeNames = {
     "channel.depth_high_water",
     "channel.blocked_now",
     "pipeline.workers",
+    "pipeline.breakers_open",
 };
 
 constexpr std::array<const char*, kNumHistograms> kHistogramNames = {
@@ -67,6 +72,7 @@ constexpr std::array<const char*, kNumHistograms> kHistogramNames = {
     "channel.blocked_ns",
     "vm.run_ns",
     "pipeline.batch_ns",
+    "pipeline.shed_late_ns",
 };
 
 }  // namespace
@@ -230,6 +236,12 @@ snapshot()
 std::string
 to_json(const Snapshot& snap)
 {
+    return to_json(snap, {});
+}
+
+std::string
+to_json(const Snapshot& snap, const std::vector<ExtraSection>& extras)
+{
     std::string out;
     out.reserve(4096);
     out += str_format("{\n  \"schema\": \"%s\",\n  \"version\": %d",
@@ -283,7 +295,13 @@ to_json(const Snapshot& snap)
             static_cast<unsigned long long>(snap.opcodes[i]));
         first = false;
     }
-    out += "\n  }\n}\n";
+    out += "\n  }";
+
+    for (const auto& section : extras) {
+        out += str_format(",\n  \"%s\": ", section.name.c_str());
+        out += section.body;
+    }
+    out += "\n}\n";
     return out;
 }
 

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace bitc::metrics {
 
@@ -58,6 +59,10 @@ enum class Counter : uint16_t {
     kPipePacketsDropped,  ///< Packets dropped by the validate stage.
     kPipeFaultDrops,      ///< Packets lost to injected channel faults.
     kPipeBatches,         ///< Stage hand-off batches sent downstream.
+    kPipePacketsShed,     ///< Packets shed because their deadline passed.
+    kPipeWorkerCrashes,   ///< Supervised worker bodies that died.
+    kPipeWorkerRestarts,  ///< Worker bodies restarted by a supervisor.
+    kPipeBreakerOpens,    ///< Circuit breakers that tripped open.
     kMarshalRecordsIn,    ///< Records unmarshalled from raw bytes.
     kMarshalRecordsOut,   ///< Records marshalled out to raw bytes.
     kFaultHits,           ///< Armed fault sites reached.
@@ -72,6 +77,7 @@ enum class Gauge : uint16_t {
     kChanDepthHighWater,    ///< Deepest queue seen on any channel (max).
     kChanBlockedNow,        ///< Threads currently blocked on a channel.
     kPipeWorkers,           ///< Stage workers of the running pipeline.
+    kPipeBreakersOpen,      ///< Breakers currently open (level gauge).
     kCount_,                ///< Sentinel: number of gauges.
 };
 
@@ -88,6 +94,7 @@ enum class Histogram : uint16_t {
     kChanBlockedNs,     ///< Time a send/recv spent blocked.
     kVmRunNs,           ///< Wall time of one Vm::run.
     kPipeBatchNs,       ///< Stage processing time per hand-off batch.
+    kPipeShedLateNs,    ///< How far past its deadline a shed batch was.
     kCount_,            ///< Sentinel: number of histograms.
 };
 
@@ -295,6 +302,24 @@ inline constexpr int kJsonVersion = 1;
  * compatible change, renaming or retyping bumps "version".
  */
 std::string to_json(const Snapshot& snap);
+
+/**
+ * A named top-level JSON section contributed by another subsystem
+ * (e.g. the fault injector's per-site counters).  @p body is a
+ * complete JSON value, already indented for 2-space nesting.
+ */
+struct ExtraSection {
+    std::string name;  ///< Top-level key, e.g. "fault_sites".
+    std::string body;  ///< Complete JSON value for that key.
+};
+
+/**
+ * Like to_json(snap) but appends @p extras as additional top-level
+ * sections after "opcodes".  Adding a section is a schema-compatible
+ * change (consumers key on names).
+ */
+std::string to_json(const Snapshot& snap,
+                    const std::vector<ExtraSection>& extras);
 
 }  // namespace bitc::metrics
 

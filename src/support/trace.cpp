@@ -39,6 +39,8 @@ constexpr std::array<const char*, kNumEvents> kEventNames = {
     "stm-commit",   "stm-abort",  "chan-send",       "chan-recv",
     "chan-block",   "chan-close", "vm-enter",        "vm-exit",
     "fault-injected", "pipe-handoff", "pipe-stage-exit",
+    "worker-crash",   "worker-restart", "breaker-state",
+    "batch-shed",
 };
 
 }  // namespace

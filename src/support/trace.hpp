@@ -47,6 +47,10 @@ enum class Event : uint8_t {
     kFaultInjected,   ///< arg0 = fault::Site.
     kPipeHandoff,     ///< arg0 = destination stage, arg1 = batch size.
     kPipeStageExit,   ///< arg0 = stage, arg1 = packets processed.
+    kWorkerCrash,     ///< arg0 = worker id, arg1 = crash count.
+    kWorkerRestart,   ///< arg0 = worker id, arg1 = backoff ns slept.
+    kBreakerState,    ///< arg0 = worker id, arg1 = BreakerState.
+    kBatchShed,       ///< arg0 = packets shed, arg1 = lateness ns.
     kCount_,          ///< Sentinel: number of event types.
 };
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -315,6 +316,16 @@ TEST(ChannelStressTest, TimedMpmcWithMidStreamCloseLosesNothing) {
     constexpr uint64_t kPerProducer = 2000;
     constexpr uint64_t kTotal = kProducers * kPerProducer;
 
+    // Base seed for the per-thread deadline streams: BITC_TEST_SEED in
+    // the environment overrides the default, so a failing interleaving
+    // can be replayed exactly.  Any failure below prints the seed.
+    uint64_t base_seed = 0x9e3779b97f4a7c15ull;
+    if (const char* env = std::getenv("BITC_TEST_SEED")) {
+        base_seed = std::strtoull(env, nullptr, 0);
+    }
+    SCOPED_TRACE(::testing::Message()
+                 << "replay with BITC_TEST_SEED=" << base_seed);
+
     Channel<uint64_t> ch(16);
     std::vector<std::atomic<uint32_t>> seen(kTotal);
     std::atomic<uint64_t> accepted{0};
@@ -325,7 +336,7 @@ TEST(ChannelStressTest, TimedMpmcWithMidStreamCloseLosesNothing) {
         producers.emplace_back([&, p] {
             // Deterministically seeded, per-thread randomized
             // deadlines: some expire instantly, some wait a while.
-            uint64_t state = 0x9e3779b9u * (p + 1);
+            uint64_t state = base_seed ^ (0x9e3779b9u * (p + 1));
             for (uint64_t i = 0; i < kPerProducer; ++i) {
                 state = state * 6364136223846793005ull + 1442695040888963407ull;
                 auto timeout = std::chrono::microseconds(
@@ -346,7 +357,7 @@ TEST(ChannelStressTest, TimedMpmcWithMidStreamCloseLosesNothing) {
     std::vector<std::thread> consumers;
     for (int c = 0; c < kConsumers; ++c) {
         consumers.emplace_back([&, c] {
-            uint64_t state = 0x85ebca6bu * (c + 1);
+            uint64_t state = base_seed ^ (0x85ebca6bu * (c + 1));
             while (true) {
                 state = state * 6364136223846793005ull + 1442695040888963407ull;
                 auto timeout = std::chrono::microseconds(

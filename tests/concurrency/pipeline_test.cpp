@@ -229,6 +229,23 @@ TEST(PipelineSpecTest, ParsesFullSpec) {
     EXPECT_EQ(config.lookup_latency_us, 50u);
 }
 
+TEST(PipelineSpecTest, ParsesSupervisionAndDeadlineKnobs) {
+    auto spec = parse_pipeline_spec(
+        "restarts=5,window=250,backoff=2,deadline=8");
+    ASSERT_TRUE(spec.is_ok()) << spec.status().to_string();
+    const PipelineConfig& config = spec.value().config;
+    EXPECT_EQ(config.supervision.max_restarts, 5u);
+    EXPECT_EQ(config.supervision.restart_window_ms, 250u);
+    EXPECT_EQ(config.supervision.backoff_ms, 2u);
+    EXPECT_EQ(config.deadline_ms, 8u);
+
+    // Defaults when the knobs are absent.
+    auto plain = parse_pipeline_spec("workers=2");
+    ASSERT_TRUE(plain.is_ok());
+    EXPECT_EQ(plain.value().config.deadline_ms, 0u)
+        << "no deadline unless asked for";
+}
+
 TEST(PipelineSpecTest, SingleWorkerCountAppliesToEveryStage) {
     auto spec = parse_pipeline_spec("workers=3");
     ASSERT_TRUE(spec.is_ok());

@@ -1,0 +1,404 @@
+/**
+ * Supervision tests: the CircuitBreaker state machine driven with
+ * explicit clocks, the Supervisor restart loop against scripted worker
+ * bodies (including the shutdown races), and the end-to-end acceptance
+ * runs — a fail-every-hit worker-crash plan on a 4-wide pipeline must
+ * restart-or-isolate every killed worker, terminate, and conserve
+ * packets exactly; a transient plan must recover to within 10% of the
+ * fault-free throughput; the ActorBank must survive a server crash
+ * with its ledger intact.
+ */
+#include "concurrency/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "concurrency/bank.hpp"
+#include "concurrency/pipeline.hpp"
+#include "support/fault.hpp"
+
+namespace bitc::conc {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- CircuitBreaker: pure state machine, explicit time ------------------
+
+constexpr uint64_t kMs = 1000 * 1000;  // ns per ms
+
+TEST(CircuitBreakerTest, BudgetExhaustionTripsTheBreaker) {
+    CircuitBreaker breaker(/*max_restarts=*/2, /*window_ns=*/100 * kMs);
+    EXPECT_FALSE(breaker.on_crash(10 * kMs));
+    EXPECT_FALSE(breaker.on_crash(20 * kMs));
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+    EXPECT_TRUE(breaker.on_crash(30 * kMs))
+        << "the (max_restarts + 1)-th crash in the window must trip";
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, CrashesAgeOutOfTheWindow) {
+    CircuitBreaker breaker(/*max_restarts=*/1, /*window_ns=*/100 * kMs);
+    EXPECT_FALSE(breaker.on_crash(0));
+    // 150ms later the first crash has aged out: budget is back to one.
+    EXPECT_FALSE(breaker.on_crash(150 * kMs));
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+    // But two crashes inside one window still trip.
+    EXPECT_TRUE(breaker.on_crash(200 * kMs));
+}
+
+TEST(CircuitBreakerTest, ProgressRefillsTheBudget) {
+    CircuitBreaker breaker(/*max_restarts=*/1, /*window_ns=*/1000 * kMs);
+    EXPECT_FALSE(breaker.on_crash(10 * kMs));
+    breaker.on_progress();  // healthy again: forget the crash
+    EXPECT_FALSE(breaker.on_crash(20 * kMs))
+        << "progress must have refilled the restart budget";
+    EXPECT_TRUE(breaker.on_crash(30 * kMs));
+}
+
+TEST(CircuitBreakerTest, CooldownProbeOutcomeDecides) {
+    CircuitBreaker breaker(/*max_restarts=*/0, /*window_ns=*/100 * kMs);
+    EXPECT_TRUE(breaker.on_crash(0)) << "zero budget: first crash trips";
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+    EXPECT_FALSE(breaker.try_probe(50 * kMs)) << "cooldown not over";
+    EXPECT_TRUE(breaker.try_probe(100 * kMs));
+    EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+    // A crashing probe reopens for a fresh cooldown.
+    EXPECT_TRUE(breaker.on_crash(110 * kMs));
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+    EXPECT_FALSE(breaker.try_probe(209 * kMs))
+        << "cooldown restarts from the reopen";
+    EXPECT_TRUE(breaker.try_probe(210 * kMs));
+
+    // A succeeding probe closes.
+    breaker.on_progress();
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+// --- Supervisor: restart loop against scripted bodies -------------------
+
+SupervisorConfig
+fast_config()
+{
+    SupervisorConfig config;
+    config.max_restarts = 5;
+    config.restart_window_ms = 10000;
+    config.backoff_ms = 1;
+    config.backoff_cap_ms = 2;
+    return config;
+}
+
+TEST(SupervisorTest, RestartsACrashingBodyUntilItSucceeds) {
+    Supervisor sup(fast_config());
+    int runs = 0;
+    bool abandoned = false;
+    WorkerHooks hooks;
+    hooks.body = [&](WorkerContext& ctx) {
+        if (++runs < 3) return WorkerExit::kCrash;
+        ctx.note_progress();
+        return WorkerExit::kDone;
+    };
+    hooks.abandon = [&] { abandoned = true; };
+    sup.supervise(0, hooks);
+    EXPECT_EQ(runs, 3);
+    EXPECT_EQ(sup.crashes(), 2u);
+    EXPECT_EQ(sup.restarts(), 2u);
+    EXPECT_EQ(sup.breaker_opens(), 0u);
+    EXPECT_TRUE(abandoned) << "abandon must run on the normal path too";
+}
+
+// A worker that crashes while close propagation has already reached it
+// must NOT be resurrected into the dead pipeline: the supervisor
+// re-checks input_closed before every restart.
+TEST(SupervisorTest, NeverResurrectsAWorkerWhoseInputIsClosed) {
+    Supervisor sup(fast_config());
+    int runs = 0;
+    bool abandoned = false;
+    WorkerHooks hooks;
+    hooks.body = [&](WorkerContext&) {
+        ++runs;
+        return WorkerExit::kCrash;
+    };
+    hooks.input_closed = [] { return true; };  // already closed+drained
+    hooks.abandon = [&] { abandoned = true; };
+    sup.supervise(0, hooks);
+    EXPECT_EQ(runs, 1) << "no restart into a closed downstream";
+    EXPECT_EQ(sup.crashes(), 1u);
+    EXPECT_EQ(sup.restarts(), 0u);
+    EXPECT_TRUE(abandoned);
+}
+
+TEST(SupervisorTest, ShutdownInterruptsTheBackoffSleep) {
+    SupervisorConfig config = fast_config();
+    config.backoff_ms = 60000;  // would hang the test if uninterrupted
+    config.backoff_cap_ms = 60000;
+    Supervisor sup(config);
+    int runs = 0;
+    WorkerHooks hooks;
+    hooks.body = [&](WorkerContext&) {
+        ++runs;
+        return WorkerExit::kCrash;
+    };
+    auto start = std::chrono::steady_clock::now();
+    std::thread stopper([&] {
+        std::this_thread::sleep_for(20ms);
+        sup.request_shutdown();
+    });
+    sup.supervise(0, hooks);
+    stopper.join();
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, 10s) << "shutdown must interrupt the backoff";
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(sup.restarts(), 0u) << "shutdown wins over restart";
+}
+
+// The breaker is open with a cooldown far in the future; the worker is
+// parked in the open-state wait.  An explicit shutdown must win.
+TEST(SupervisorTest, ShutdownInterruptsTheOpenStateWait) {
+    SupervisorConfig config;
+    config.max_restarts = 0;        // first crash opens the breaker
+    config.restart_window_ms = 60000;  // cooldown outlives the test
+    config.backoff_ms = 1;
+    Supervisor sup(config);
+    WorkerHooks hooks;
+    hooks.body = [&](WorkerContext&) { return WorkerExit::kCrash; };
+    std::thread stopper([&] {
+        std::this_thread::sleep_for(20ms);
+        sup.request_shutdown();
+    });
+    sup.supervise(0, hooks);
+    stopper.join();
+    EXPECT_EQ(sup.crashes(), 1u);
+    EXPECT_EQ(sup.breaker_opens(), 1u);
+    EXPECT_EQ(sup.restarts(), 0u);
+}
+
+// Half-open probe racing shutdown: the breaker trips, cools down fast,
+// and probe restarts keep crashing while another thread requests
+// shutdown.  Whatever the interleaving, supervise() must terminate and
+// the counters must stay coherent (every restart was preceded by a
+// crash).  Run a few rounds to vary the race.
+TEST(SupervisorTest, HalfOpenProbeRacingShutdownTerminates) {
+    for (int round = 0; round < 5; ++round) {
+        SupervisorConfig config;
+        config.max_restarts = 0;
+        config.restart_window_ms = 1;  // near-instant cooldown
+        config.backoff_ms = 1;
+        Supervisor sup(config);
+        std::atomic<uint64_t> bodies{0};
+        WorkerHooks hooks;
+        hooks.body = [&](WorkerContext& ctx) {
+            bodies.fetch_add(1, std::memory_order_relaxed);
+            if (ctx.stop_requested()) return WorkerExit::kDone;
+            return WorkerExit::kCrash;
+        };
+        std::thread worker([&] { sup.supervise(0, hooks); });
+        while (sup.breaker_opens() == 0) std::this_thread::yield();
+        sup.request_shutdown();
+        worker.join();  // must not deadlock
+        EXPECT_GE(sup.crashes(), 1u);
+        EXPECT_GE(sup.breaker_opens(), 1u);
+        EXPECT_LE(sup.restarts(), sup.crashes())
+            << "every restart is a response to a crash";
+        EXPECT_GE(bodies.load(), 1u);
+    }
+}
+
+// --- Pipeline under supervision (acceptance) ----------------------------
+
+PipelineReport
+must_run(const PipelineConfig& config, size_t packets)
+{
+    auto pipeline = PacketPipeline::create(config);
+    EXPECT_TRUE(pipeline.is_ok()) << pipeline.status().to_string();
+    auto report = pipeline.value()->run(packets);
+    EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+    return report.value();
+}
+
+// The acceptance run: worker-crash every=1 on a 4-worker-per-stage
+// pipeline.  Every stage-0 worker burns its full restart budget (the
+// initial run plus max_restarts restarts, each killed by the plan),
+// then its breaker opens and the shard's backlog drains into the loss
+// ledger.  The run terminates, and conservation holds exactly.
+TEST(SupervisedPipelineTest, CrashEveryHitRestartsOpensAndConserves) {
+    constexpr size_t kPackets = 3000;
+    PipelineConfig config;
+    config.workers = {4, 4, 4, 4};
+    config.seed = 7;
+    config.supervision.max_restarts = 3;
+    config.supervision.restart_window_ms = 10000;  // no mid-run probe
+    config.supervision.backoff_ms = 1;
+    config.supervision.backoff_cap_ms = 2;
+    fault::ScopedPlan plan("worker-crash:every=1");
+    ASSERT_TRUE(plan.status().is_ok()) << plan.status().to_string();
+    PipelineReport report = must_run(config, kPackets);
+
+    EXPECT_TRUE(report.conserved())
+        << report.generated << " != " << report.delivered << " + "
+        << report.dropped << " + " << report.fault_dropped << " + "
+        << report.shed;
+    EXPECT_EQ(report.generated, kPackets);
+    EXPECT_EQ(report.delivered, 0u) << "every batch dies at stage 0";
+    EXPECT_EQ(report.fault_dropped, kPackets);
+
+    // 4 stage-0 workers x (1 initial run + 3 restarts) crashes each;
+    // then all four breakers are open and nothing runs again.
+    EXPECT_EQ(report.worker_crashes, 16u);
+    EXPECT_EQ(report.worker_restarts, 12u);
+    EXPECT_EQ(report.breaker_opens, 4u);
+    EXPECT_EQ(report.stages[0].crashes, 16u);
+    for (size_t s = 1; s < report.stages.size(); ++s) {
+        EXPECT_EQ(report.stages[s].crashes, 0u)
+            << "stage " << s << " never sees a batch";
+    }
+}
+
+// A transient plan (one crash, then exhausted): the supervisor
+// restarts the killed worker and the pipeline finishes within 10% of
+// the fault-free wall clock.  The shape is lookup-bound (the classify
+// sleep dominates) so elapsed time has a hard floor; each variant
+// takes its best of three interleaved runs, which measures achievable
+// throughput rather than whatever else the CI box was doing.
+TEST(SupervisedPipelineTest, RecoversToBaselineThroughputAfterCrash) {
+    constexpr size_t kPackets = 2000;
+    PipelineConfig config;
+    config.workers = {1, 1, 1, 4};
+    config.lookup_latency_us = 200;  // 2000 * 200us / 4 ~= 100ms floor
+    config.seed = 7;
+    config.supervision.backoff_ms = 1;
+    config.supervision.backoff_cap_ms = 2;
+
+    double baseline_ms = 0;
+    double faulted_ms = 0;
+    for (int round = 0; round < 3; ++round) {
+        PipelineReport baseline = must_run(config, kPackets);
+        ASSERT_TRUE(baseline.conserved());
+        ASSERT_EQ(baseline.worker_crashes, 0u);
+        if (round == 0 || baseline.elapsed_ms < baseline_ms) {
+            baseline_ms = baseline.elapsed_ms;
+        }
+
+        fault::ScopedPlan plan("worker-crash:nth=2");
+        ASSERT_TRUE(plan.status().is_ok());
+        PipelineReport faulted = must_run(config, kPackets);
+        EXPECT_TRUE(faulted.conserved());
+        EXPECT_EQ(faulted.worker_crashes, 1u);
+        EXPECT_EQ(faulted.worker_restarts, 1u)
+            << "the killed worker must be restarted, not abandoned";
+        EXPECT_EQ(faulted.breaker_opens, 0u);
+        EXPECT_LE(faulted.fault_dropped, config.batch_packets)
+            << "only the in-flight batch dies with the worker";
+        if (round == 0 || faulted.elapsed_ms < faulted_ms) {
+            faulted_ms = faulted.elapsed_ms;
+        }
+    }
+    EXPECT_LE(faulted_ms, baseline_ms * 1.10)
+        << "recovered throughput within 10% of fault-free ("
+        << faulted_ms << "ms vs " << baseline_ms << "ms)";
+}
+
+TEST(SupervisedPipelineTest, DeadlineShedsExpiredBatchesWithAccounting) {
+    PipelineConfig config;
+    config.workers = {1, 1, 1, 1};
+    config.queue_capacity = 2;
+    config.batch_packets = 16;
+    config.lookup_latency_us = 100;
+    config.deadline_ms = 1;  // far less than the lookup backlog needs
+    config.seed = 7;
+    PipelineReport report = must_run(config, 800);
+    EXPECT_TRUE(report.conserved())
+        << report.generated << " != " << report.delivered << " + "
+        << report.dropped << " + " << report.fault_dropped << " + "
+        << report.shed;
+    EXPECT_GT(report.shed, 0u) << "the deadline must shed late batches";
+    EXPECT_EQ(report.fault_dropped, 0u) << "shed is its own ledger";
+}
+
+// --- ActorBank under supervision ----------------------------------------
+
+TEST(SupervisedBankTest, SurvivesACrashAndKeepsItsLedger) {
+    SupervisorConfig config = fast_config();
+    ActorBank bank(4, 100, config);
+    bank.deposit(0, 50);  // pre-crash state the restart must preserve
+
+    {
+        fault::ScopedPlan plan("worker-crash:nth=1");
+        ASSERT_TRUE(plan.status().is_ok());
+        Status crashed = bank.transfer(0, 1, 10);
+        EXPECT_FALSE(crashed.is_ok())
+            << "the crashing request is answered with the injected "
+               "error, never silence";
+    }
+
+    // The restarted server still has the pre-crash ledger.
+    EXPECT_EQ(bank.balance(0), 150);
+    EXPECT_TRUE(bank.transfer(0, 1, 10).is_ok());
+    EXPECT_EQ(bank.balance(1), 110);
+    EXPECT_EQ(bank.total(), 450) << "no money minted or lost";
+    EXPECT_EQ(bank.supervision().crashes(), 1u);
+    EXPECT_EQ(bank.supervision().restarts(), 1u);
+}
+
+TEST(SupervisedBankTest, OpenBreakerAnswersWithErrorsNotSilence) {
+    SupervisorConfig config;
+    config.max_restarts = 0;           // first crash trips the breaker
+    config.restart_window_ms = 60000;  // cooldown outlives the test
+    config.backoff_ms = 1;
+    ActorBank bank(2, 100, config);
+    fault::ScopedPlan plan("worker-crash:every=1");
+    ASSERT_TRUE(plan.status().is_ok());
+
+    EXPECT_FALSE(bank.transfer(0, 1, 10).is_ok());
+    // Breaker open: every further call must still return an error
+    // promptly (the drain loop answers), never block forever.
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FALSE(bank.transfer(0, 1, 10).is_ok());
+    }
+    EXPECT_EQ(bank.balance(0), 0) << "balance errors map to 0";
+    EXPECT_EQ(bank.supervision().breaker_opens(), 1u);
+    EXPECT_EQ(bank.supervision().restarts(), 0u);
+    bank.shutdown();  // must terminate despite the open breaker
+}
+
+TEST(SupervisedBankTest, HalfOpenProbeRecoversTheServer) {
+    SupervisorConfig config;
+    config.max_restarts = 0;
+    config.restart_window_ms = 20;  // short cooldown: probe soon
+    config.backoff_ms = 1;
+    ActorBank bank(2, 100, config);
+    {
+        fault::ScopedPlan plan("worker-crash:nth=1");
+        ASSERT_TRUE(plan.status().is_ok());
+        EXPECT_FALSE(bank.transfer(0, 1, 10).is_ok());  // trips open
+    }
+    // The crashing request is answered *before* the supervisor counts
+    // the crash on the server thread, so wait for the trip to land
+    // rather than asserting it instantly.
+    for (int i = 0; i < 500 && bank.supervision().breaker_opens() == 0;
+         ++i) {
+        std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_EQ(bank.supervision().breaker_opens(), 1u);
+
+    // The plan is exhausted and disarmed: once the cooldown elapses
+    // the half-open probe serves a request successfully, which closes
+    // the breaker.  Retry with a bound rather than sleeping blind.
+    bool recovered = false;
+    for (int i = 0; i < 500 && !recovered; ++i) {
+        recovered = bank.transfer(0, 1, 10).is_ok();
+        if (!recovered) std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_TRUE(recovered) << "the probe must close the breaker";
+    EXPECT_EQ(bank.balance(1), 110)
+        << "exactly one transfer succeeded; rejected calls mutated "
+           "nothing";
+    EXPECT_EQ(bank.supervision().restarts(), 1u) << "the probe restart";
+}
+
+}  // namespace
+}  // namespace bitc::conc

@@ -283,6 +283,24 @@ TEST_F(MetricsTest, JsonHistogramBucketsSerializeAllThirtyTwo) {
               static_cast<long>(kNumBuckets - 1));
 }
 
+TEST_F(MetricsTest, JsonAppendsCallerExtraSections) {
+    std::string json = to_json(
+        snapshot(),
+        {{"fault_sites", "{\"x\": 1}"}, {"extra", "[2, 3]"}});
+    EXPECT_NE(json.find("\"fault_sites\": {\"x\": 1}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"extra\": [2, 3]"), std::string::npos)
+        << json;
+    // Extras ride after the catalogue; the document still closes.
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_EQ(json[json.size() - 2], '}');
+
+    // And the plain overload emits none of them.
+    std::string plain = to_json(snapshot());
+    EXPECT_EQ(plain.find("fault_sites"), std::string::npos);
+}
+
 TEST_F(MetricsTest, JsonOpcodesSectionEmitsNonzeroOnly) {
     std::string empty = to_json(snapshot());
     size_t ops = empty.find("\"opcodes\": {");

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <string>
+
 namespace bitc::fault {
 namespace {
 
@@ -21,8 +24,10 @@ class FaultInjectorTest : public ::testing::Test {
 
 constexpr Site kAllSites[] = {
     Site::kHeapAlloc, Site::kGcTrigger, Site::kStmCommit,
-    Site::kChannelOp, Site::kFfiMarshal,
+    Site::kChannelOp, Site::kFfiMarshal, Site::kWorkerCrash,
 };
+static_assert(std::size(kAllSites) == kNumSites,
+              "a new Site must be added to kAllSites");
 
 TEST_F(FaultInjectorTest, SiteNamesRoundTrip) {
     for (Site site : kAllSites) {
@@ -32,6 +37,30 @@ TEST_F(FaultInjectorTest, SiteNamesRoundTrip) {
     }
     EXPECT_FALSE(parse_site("bogus").is_ok());
     EXPECT_FALSE(parse_site("").is_ok());
+}
+
+// Schema pin for the --metrics fold: the per-site JSON is built by
+// iterating the registry, so a newly added Site shows up without
+// anyone editing the serializer.  Every site name must appear as a
+// key, each carrying its hit/injected counters.
+TEST_F(FaultInjectorTest, SitesJsonListsEverySiteWithCounters) {
+    Injector::instance().arm_count();
+    inject(Site::kStmCommit);
+    std::string json = Injector::instance().sites_json();
+    for (Site site : kAllSites) {
+        std::string key = '"' + std::string(site_name(site)) + "\":";
+        EXPECT_NE(json.find(key), std::string::npos)
+            << key << " missing from " << json;
+    }
+    EXPECT_NE(json.find("\"hits\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"injected\": 0"), std::string::npos) << json;
+    // Exactly one object per site: count the "hits" keys.
+    size_t hits_keys = 0;
+    for (size_t pos = json.find("\"hits\":"); pos != std::string::npos;
+         pos = json.find("\"hits\":", pos + 1)) {
+        ++hits_keys;
+    }
+    EXPECT_EQ(hits_keys, kNumSites);
 }
 
 TEST_F(FaultInjectorTest, DisarmedInjectIsInertAndUncounted) {

@@ -13,6 +13,11 @@
  *                                   workers=N|a:b:c:d queue=N batch=N
  *                                   packets=N impl=legacy|bitc seed=N
  *                                   payload=BYTES lookup-us=US
+ *                                   restarts=N window=MS backoff=MS
+ *                                   deadline=MS  (supervision knobs:
+ *                                   breaker budget, crash window +
+ *                                   cooldown, restart backoff, and the
+ *                                   per-batch end-to-end deadline)
  *
  * Options:
  *   --entry NAME          entry function for run (default: main)
@@ -76,8 +81,23 @@ usage()
         "  --metrics FILE --trace FILE\n"
         "  --pipeline SPEC (workers=N|a:b:c:d,queue=N,batch=N,"
         "packets=N,\n                   impl=legacy|bitc,seed=N,"
-        "payload=BYTES,lookup-us=US)\n");
+        "payload=BYTES,lookup-us=US,\n                   restarts=N,"
+        "window=MS,backoff=MS,deadline=MS)\n");
     return 2;
+}
+
+/**
+ * The metrics document every bitcc path writes: the registry snapshot
+ * plus the fault injector's per-site counters as a "fault_sites"
+ * section.  The section is built by iterating the site registry, so a
+ * new Site shows up here with no edits to this file.
+ */
+std::string
+metrics_document()
+{
+    return metrics::to_json(
+        metrics::snapshot(),
+        {{"fault_sites", fault::Injector::instance().sites_json()}});
 }
 
 /** Writes @p content to @p path, or stdout when path is "-". */
@@ -345,7 +365,7 @@ run_command(const Options& options)
     if (!options.metrics_path.empty()) {
         metrics::disable();
         Status written = write_text(options.metrics_path,
-                                    metrics::to_json(metrics::snapshot()));
+                                    metrics_document());
         if (!written.is_ok()) {
             std::fprintf(stderr, "bitcc: %s\n",
                          written.to_string().c_str());
@@ -462,8 +482,7 @@ run_pipeline(const std::vector<std::string>& tokens)
 
     if (!metrics_path.empty()) {
         metrics::disable();
-        Status written = write_text(metrics_path,
-                                    metrics::to_json(metrics::snapshot()));
+        Status written = write_text(metrics_path, metrics_document());
         if (!written.is_ok()) {
             std::fprintf(stderr, "bitcc: %s\n",
                          written.to_string().c_str());

@@ -20,3 +20,8 @@ ctest -L tier1 --output-on-failure -j"$(nproc)"
 # >= 2.0x 1->4-worker speedup (exit code enforces it).  Runs after the
 # test partition so a scaling regression never masks a correctness one.
 ./bench/bench_pipeline BENCH_pipeline.json
+
+# Robustness carrying cost: injection points, manual-heap hardening and
+# the supervised-pipeline machinery must stay within the 1.10x
+# fault-free budget (geomean; exit code enforces it).
+./bench/bench_robustness BENCH_robustness.json
