@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Scaling sweep for the TCP front-end: end-to-end frames/sec through
+ * a real loopback socket pair at 1, 2 and 4 pipeline workers per
+ * stage, with closed-loop clients (4 connections x 16 frames in
+ * flight) and the latency-bound classify shape (25us simulated
+ * route-table miss per packet).
+ *
+ * The enforced budget mirrors bench_pipeline's: the 1->4-worker
+ * speedup must stay >= 2.0x.  The front-end adds sockets, framing,
+ * the IO loop and the sink router on top of the engine — if that
+ * plumbing ever serialises the fleet (one poller thread hogging the
+ * lock, unbatched wakeups, queue contention), this is the number that
+ * sags, even though bench_pipeline still looks healthy.
+ *
+ * Emits BENCH_network.json (row per worker count with throughput and
+ * client-observed p50/p99 latency); exits nonzero when the scaling
+ * floor is missed.  --smoke shrinks the sweep and skips enforcement
+ * (the tier-1 ctest entry).
+ *
+ * Usage: bench_network [--smoke] [OUTPUT.json]
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interop/packet_stages.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace bitc::bench {
+namespace {
+
+constexpr double kScalingFloor = 2.0;
+constexpr uint32_t kLookupUs = 25;
+constexpr size_t kConns = 4;
+constexpr size_t kInflight = 16;
+
+struct Row {
+    size_t workers = 0;
+    size_t frames = 0;
+    double elapsed_ms = 0;
+    double frames_per_sec = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+};
+
+/** One closed-loop connection: send kInflight, then one per answer. */
+void
+client_loop(uint16_t port, uint64_t seed, size_t frames,
+            std::vector<uint64_t>& latencies_ns, bool& failed)
+{
+    auto client = net::NetClient::connect("127.0.0.1", port);
+    if (!client.is_ok()) {
+        failed = true;
+        return;
+    }
+    Rng rng(seed);
+    std::vector<uint64_t> sent_at(1u << 16, 0);
+    size_t sent = 0, answered = 0;
+    uint32_t next_flow = 1;
+    latencies_ns.reserve(frames);
+    while (answered < frames) {
+        while (sent - answered < kInflight && sent < frames) {
+            net::Frame frame;
+            frame.type = net::FrameType::kData;
+            frame.flow = next_flow;
+            next_flow = next_flow % 0xfffe + 1;
+            frame.payload.resize(conc::kPipeWireBytes);
+            interop::generate_packet(
+                rng, std::span<uint8_t>(frame.payload.data(),
+                                        frame.payload.size()));
+            sent_at[frame.flow] = now_ns();
+            if (!client.value().send_frame(frame).is_ok()) {
+                failed = true;
+                return;
+            }
+            ++sent;
+        }
+        auto got = client.value().recv_frame(/*timeout_ms=*/30000);
+        if (!got.is_ok()) {
+            failed = true;
+            return;
+        }
+        ++answered;
+        uint64_t t0 = sent_at[got.value().flow & 0xffff];
+        if (t0 != 0) latencies_ns.push_back(now_ns() - t0);
+    }
+}
+
+/** Runs one worker count @p repeats times; keeps the median run. */
+Row
+measure(size_t workers, size_t frames, int repeats)
+{
+    struct Run {
+        double elapsed_ms;
+        std::vector<uint64_t> latencies_ns;
+    };
+    std::vector<Run> runs;
+    for (int r = 0; r < repeats; ++r) {
+        conc::PipelineConfig config;
+        config.workers.fill(workers);
+        config.lookup_latency_us = kLookupUs;
+        config.batch_packets = 4;
+        config.queue_capacity = 32;
+        config.seed = 7;
+        options::ServeSpec serve;  // 127.0.0.1:0 = ephemeral
+        auto server = net::NetServer::create(serve, config);
+        if (!server.is_ok() || !server.value()->start().is_ok()) {
+            fprintf(stderr, "server start failed (workers=%zu)\n",
+                    workers);
+            abort();
+        }
+        uint16_t port = server.value()->port();
+
+        std::vector<std::vector<uint64_t>> latencies(kConns);
+        bool failures[kConns] = {};
+        std::vector<std::thread> clients;
+        uint64_t t0 = now_ns();
+        for (size_t c = 0; c < kConns; ++c) {
+            size_t share =
+                frames / kConns + (c < frames % kConns ? 1 : 0);
+            clients.emplace_back([&, c, share] {
+                client_loop(port, 7 + c, share, latencies[c],
+                            failures[c]);
+            });
+        }
+        for (std::thread& t : clients) t.join();
+        double elapsed_ms =
+            static_cast<double>(now_ns() - t0) / 1e6;
+        server.value()->stop();
+        net::ServerStats stats = server.value()->stats();
+        for (bool f : failures) {
+            if (f) {
+                fprintf(stderr, "client failed (workers=%zu)\n",
+                        workers);
+                abort();
+            }
+        }
+        if (!stats.conserved() || stats.generated != frames) {
+            fprintf(stderr, "ledger broken (workers=%zu):\n%s",
+                    workers, stats.to_string().c_str());
+            abort();
+        }
+        Run run;
+        run.elapsed_ms = elapsed_ms;
+        for (auto& per_conn : latencies) {
+            run.latencies_ns.insert(run.latencies_ns.end(),
+                                    per_conn.begin(),
+                                    per_conn.end());
+        }
+        runs.push_back(std::move(run));
+    }
+
+    std::sort(runs.begin(), runs.end(),
+              [](const Run& a, const Run& b) {
+                  return a.elapsed_ms < b.elapsed_ms;
+              });
+    Run& median = runs[runs.size() / 2];
+    std::sort(median.latencies_ns.begin(), median.latencies_ns.end());
+    auto pct = [&](double p) {
+        if (median.latencies_ns.empty()) return 0.0;
+        size_t idx = static_cast<size_t>(
+            p * static_cast<double>(median.latencies_ns.size() - 1));
+        return static_cast<double>(median.latencies_ns[idx]) / 1e6;
+    };
+
+    Row row;
+    row.workers = workers;
+    row.frames = frames;
+    row.elapsed_ms = median.elapsed_ms;
+    row.frames_per_sec = median.elapsed_ms > 0
+                             ? static_cast<double>(frames) * 1000.0 /
+                                   median.elapsed_ms
+                             : 0;
+    row.p50_ms = pct(0.50);
+    row.p99_ms = pct(0.99);
+    return row;
+}
+
+}  // namespace
+}  // namespace bitc::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace bitc::bench;
+
+    bool smoke = false;
+    const char* out_path = "BENCH_network.json";
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            out_path = argv[a];
+        }
+    }
+
+    int repeats = smoke ? 1 : 5;
+    size_t frames = smoke ? 800 : 8000;
+
+    const size_t worker_counts[] = {1, 2, 4};
+    std::vector<Row> rows;
+    for (size_t w : worker_counts) {
+        rows.push_back(measure(w, frames, repeats));
+    }
+
+    for (const Row& row : rows) {
+        printf("workers=%zu  %8zu frames  %9.3f ms  %10.0f frame/s  "
+               "p50 %.3f ms  p99 %.3f ms\n",
+               row.workers, row.frames, row.elapsed_ms,
+               row.frames_per_sec, row.p50_ms, row.p99_ms);
+    }
+
+    double one = rows[0].frames_per_sec;
+    double four = rows[2].frames_per_sec;
+    double scaling = one > 0 ? four / one : 0;
+    printf("network scaling 1->4 workers: %.2fx (floor %.1fx)%s\n",
+           scaling, kScalingFloor,
+           smoke ? " [smoke: not enforced]" : "");
+    bool within = smoke || scaling >= kScalingFloor;
+    if (!within) printf("SCALING UNDER FLOOR\n");
+
+    FILE* out = fopen(out_path, "w");
+    if (out == nullptr) {
+        fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    char stamp[64];
+    std::time_t now = std::time(nullptr);
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ",
+                  std::gmtime(&now));
+    fprintf(out, "{\n");
+    fprintf(out, "  \"bench\": \"network\",\n");
+    fprintf(out, "  \"date_utc\": \"%s\",\n", stamp);
+    fprintf(out, "  \"repeats\": %d,\n", repeats);
+    fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    fprintf(out, "  \"lookup_latency_us\": %u,\n", kLookupUs);
+    fprintf(out, "  \"connections\": %zu,\n", kConns);
+    fprintf(out, "  \"inflight_per_connection\": %zu,\n", kInflight);
+    fprintf(out, "  \"scaling_floor\": %.1f,\n", kScalingFloor);
+    fprintf(out, "  \"scaling_1_to_4\": %.3f,\n", scaling);
+    fprintf(out, "  \"within_budget\": %s,\n",
+            within ? "true" : "false");
+    fprintf(out, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        fprintf(out,
+                "    {\"workers\": %zu, \"frames\": %zu, "
+                "\"elapsed_ms\": %.3f, \"frames_per_sec\": %.0f, "
+                "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                row.workers, row.frames, row.elapsed_ms,
+                row.frames_per_sec, row.p50_ms, row.p99_ms,
+                i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(out, "  ]\n}\n");
+    fclose(out);
+    printf("wrote %s\n", out_path);
+    return within ? 0 : 1;
+}

@@ -220,17 +220,16 @@ ActorBank::serve_once(WorkerContext& ctx)
     while (true) {
         auto request = requests_.recv();
         if (!request.is_ok()) {
-            // Only a close (kFailedPrecondition after draining the
-            // backlog) ends service.  Any other failure — e.g. an
-            // injected kChannelOp fault — is transient: bailing
-            // out here would strand queued clients on reply
-            // futures that never resolve.  A transient failure
-            // after close still ends service (the injection point
-            // fires before recv can observe the close, so an
-            // every=1 plan would otherwise spin forever); the
-            // abandon sweep answers whatever is left.
-            if (request.status().code() ==
-                    StatusCode::kFailedPrecondition ||
+            // Only a close (kCancelled after draining the backlog)
+            // ends service.  Any other failure — e.g. an injected
+            // kChannelOp fault — is transient: bailing out here
+            // would strand queued clients on reply futures that
+            // never resolve.  A transient failure after close still
+            // ends service (the injection point fires before recv
+            // can observe the close, so an every=1 plan would
+            // otherwise spin forever); the abandon sweep answers
+            // whatever is left.
+            if (request.status().code() == StatusCode::kCancelled ||
                 requests_.closed()) {
                 return WorkerExit::kDone;
             }
@@ -291,9 +290,9 @@ ActorBank::ActorBank(size_t accounts, int64_t initial_balance,
         };
         // Open breaker: queued clients get an error, never silence.
         hooks.drain_one = [this] {
-            if (auto request = requests_.try_recv()) {
+            if (auto request = requests_.try_recv(); request.is_ok()) {
                 if (request->reply != nullptr) {
-                    request->reply->set_value(failed_precondition_error(
+                    request->reply->set_value(unavailable_error(
                         "bank server unavailable (breaker open)"));
                 }
                 return true;
@@ -308,9 +307,10 @@ ActorBank::ActorBank(size_t accounts, int64_t initial_balance,
         // point, so injected faults cannot hide one).
         hooks.abandon = [this] {
             requests_.close();
-            while (auto leftover = requests_.try_recv()) {
+            for (auto leftover = requests_.try_recv();
+                 leftover.is_ok(); leftover = requests_.try_recv()) {
                 if (leftover->reply != nullptr) {
-                    leftover->reply->set_value(failed_precondition_error(
+                    leftover->reply->set_value(cancelled_error(
                         "bank is shutting down"));
                 }
             }

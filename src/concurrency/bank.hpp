@@ -174,7 +174,7 @@ class ActorBank : public Bank {
      * request can be enqueued and the backlog drains), then joins the
      * server thread.  Every request that was accepted before the
      * close gets a real reply; a request arriving during or after
-     * shutdown gets a kFailedPrecondition error, never silence — a
+     * shutdown gets a kCancelled error, never silence — a
      * client blocked on its reply future must always be released.
      * Idempotent; the destructor calls it.  Callers must still not
      * race shutdown() with the bank's own destruction.

@@ -19,7 +19,6 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
-#include <optional>
 
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
@@ -34,7 +33,19 @@ namespace bitc::conc {
  *
  * send blocks while full; recv blocks while empty.  After close(),
  * sends fail immediately and recvs drain the backlog then fail with
- * kFailedPrecondition — the "iterate until disconnect" idiom.
+ * kCancelled — the "iterate until disconnect" idiom.
+ *
+ * Every send/recv variant speaks the same Status vocabulary, so call
+ * sites branch on codes instead of on which overload they called:
+ *
+ *   kCancelled        the channel is closed (and, for recv, drained);
+ *                     the condition is permanent.
+ *   kUnavailable      a non-blocking attempt found no room / no data;
+ *                     retrying later can succeed.
+ *   kDeadlineExceeded a bounded wait provably expired.
+ *   kResourceExhausted an injected kChannelOp fault (blocking
+ *                     variants only; the try_ forms are injection-free
+ *                     so drain/shutdown paths always make progress).
  */
 template <typename T>
 class Channel {
@@ -55,7 +66,7 @@ class Channel {
             not_full_.wait(lock, [&] { return send_ready(); });
         }
         if (closed_) {
-            return failed_precondition_error("send on closed channel");
+            return cancelled_error("send on closed channel");
         }
         queue_.push_back(std::move(value));
         note_send();
@@ -64,16 +75,25 @@ class Channel {
         return Status::ok();
     }
 
-    /** Non-blocking send; false when full or closed. */
-    bool try_send(T value) {
+    /**
+     * Non-blocking send: kCancelled when closed, kUnavailable when
+     * full.  Injection-free by design (like try_recv), so shutdown and
+     * event-loop paths can always make progress under a fault storm.
+     */
+    Status try_send(T value) {
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (closed_ || queue_.size() >= capacity_) return false;
+            if (closed_) {
+                return cancelled_error("send on closed channel");
+            }
+            if (queue_.size() >= capacity_) {
+                return unavailable_error("channel full");
+            }
             queue_.push_back(std::move(value));
             note_send();
         }
         not_empty_.notify_one();
-        return true;
+        return Status::ok();
     }
 
     /**
@@ -81,8 +101,8 @@ class Channel {
      * The outcome is decided by re-inspecting channel state under the
      * lock after the wait, never by the timeout flag alone:
      *
-     *  1. closed      -> kFailedPrecondition (close beats deadline —
-     *                    the peer's disconnect is the more actionable
+     *  1. closed      -> kCancelled (close beats deadline — the
+     *                    peer's disconnect is the more actionable
      *                    fact, even when the wait also timed out);
      *  2. room        -> enqueue (space freed between the wakeup and
      *                    the re-check is used, not reported as a
@@ -104,7 +124,7 @@ class Channel {
                 lock, deadline, [&] { return send_ready(); });
         }
         if (closed_) {
-            return failed_precondition_error("send on closed channel");
+            return cancelled_error("send on closed channel");
         }
         if (queue_.size() < capacity_) {
             queue_.push_back(std::move(value));
@@ -141,8 +161,7 @@ class Channel {
             not_empty_.wait(lock, [&] { return recv_ready(); });
         }
         if (queue_.empty()) {
-            return failed_precondition_error(
-                "recv on closed, empty channel");
+            return cancelled_error("recv on closed, empty channel");
         }
         T value = std::move(queue_.front());
         queue_.pop_front();
@@ -161,8 +180,8 @@ class Channel {
      *                    a value enqueued between the wakeup and the
      *                    re-check is delivered, not reported as a
      *                    timeout);
-     *  2. closed      -> kFailedPrecondition (close beats deadline,
-     *                    even when the wait also timed out);
+     *  2. closed      -> kCancelled (close beats deadline, even when
+     *                    the wait also timed out);
      *  3. otherwise   -> the wait provably expired: kDeadlineExceeded.
      */
     template <typename Clock, typename Duration>
@@ -187,8 +206,7 @@ class Channel {
             return value;
         }
         if (closed_) {
-            return failed_precondition_error(
-                "recv on closed, empty channel");
+            return cancelled_error("recv on closed, empty channel");
         }
         // Empty and not closed: the only way here is an expired wait
         // (a satisfied predicate implies one of the cases above, and
@@ -205,18 +223,27 @@ class Channel {
         return recv_until(std::chrono::steady_clock::now() + timeout);
     }
 
-    /** Non-blocking receive. */
-    std::optional<T> try_recv() {
-        std::optional<T> out;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (queue_.empty()) return std::nullopt;
-            out = std::move(queue_.front());
-            queue_.pop_front();
-            note_recv();
+    /**
+     * Non-blocking receive: kCancelled when closed and drained,
+     * kUnavailable when merely empty.  Injection-free by design: the
+     * drain/abandon paths rely on try_recv always making progress no
+     * matter what fault plan is armed.
+     */
+    Result<T> try_recv() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (queue_.empty()) {
+            if (closed_) {
+                return cancelled_error(
+                    "recv on closed, empty channel");
+            }
+            return unavailable_error("channel empty");
         }
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        note_recv();
+        lock.unlock();
         not_full_.notify_one();
-        return out;
+        return value;
     }
 
     /** Closes the channel; wakes all waiters. Idempotent. */
@@ -245,9 +272,14 @@ class Channel {
 
     /**
      * Closed AND empty — shutdown has fully propagated through this
-     * channel; the next recv() fails with kFailedPrecondition.  One
-     * lock hold, so the conjunction is a consistent snapshot (separate
-     * closed() + size() calls could interleave with a drain).
+     * channel; the next recv() fails with kCancelled.  One lock hold,
+     * so the conjunction is a consistent snapshot (separate closed() +
+     * size() calls could interleave with a drain).  Like every
+     * observer below, it takes mutex_: the pipeline report path reads
+     * these from the coordinating thread while workers are still
+     * touching the channel, and the lock — not a relaxed load — is
+     * what makes those cross-thread reads well-defined (pinned by the
+     * TelemetryObserversAreLockedUnderTraffic TSan test).
      */
     bool drained() const {
         std::lock_guard<std::mutex> lock(mutex_);

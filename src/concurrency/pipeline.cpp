@@ -165,7 +165,7 @@ forward_batch(Channel<PipeBatch>& out, PipeBatch&& batch,
             if (sent.is_ok()) break;
             // A closed destination never reopens, and an expired
             // deadline never un-expires; retrying either is futile.
-            if (sent.code() == StatusCode::kFailedPrecondition) break;
+            if (sent.code() == StatusCode::kCancelled) break;
             if (sent.code() == StatusCode::kDeadlineExceeded) break;
             dest_counters.fault_retries.fetch_add(
                 1, std::memory_order_relaxed);
@@ -401,10 +401,19 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
         size_t consecutive_faults = 0;
         WorkerExit exit = WorkerExit::kDone;
         while (true) {
-            auto batch = in.recv();
+            // Flush-on-idle: pending fan-out batches only wait while
+            // there is backlog to fold into them.  A streaming source
+            // (the network front-end submits packets as they arrive)
+            // may never fill a batch, so push what we have downstream
+            // before blocking on an empty input.
+            auto batch = in.try_recv();
+            if (!batch.is_ok() &&
+                batch.status().code() == StatusCode::kUnavailable) {
+                out.flush_all();
+                batch = in.recv();
+            }
             if (!batch.is_ok()) {
-                if (batch.status().code() ==
-                    StatusCode::kFailedPrecondition) {
+                if (batch.status().code() == StatusCode::kCancelled) {
                     break;  // closed and drained: normal shutdown
                 }
                 // Injected channel fault.  Transient unless it
@@ -442,9 +451,22 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
             uint64_t t0 = now_ns();
             for (PipePacket& p : b.packets) {
                 ++packets;
+                // A drop frame in flight (forward_drops): validate
+                // already rejected it; later stages pass it through
+                // untouched so the sink can answer its originator.
+                if (p.bucket == kPipeDropBucket) {
+                    out.push(std::move(p));
+                    continue;
+                }
                 switch (processor.process(p)) {
                   case Outcome::kDrop:
-                    rs.dropped.fetch_add(1, std::memory_order_relaxed);
+                    if (config.forward_drops) {
+                        p.bucket = kPipeDropBucket;
+                        out.push(std::move(p));
+                    } else {
+                        rs.dropped.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
                     break;
                   case Outcome::kFault:
                     rs.fault_dropped.fetch_add(
@@ -467,7 +489,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
         // Open breaker: shed the queue into the fault ledger —
         // try_recv has no injection point, so the drain always makes
         // progress no matter what plan is armed.
-        if (auto leftover = in.try_recv()) {
+        if (auto leftover = in.try_recv(); leftover.is_ok()) {
             rs.fault_dropped.fetch_add(leftover->packets.size(),
                                        std::memory_order_relaxed);
             return true;
@@ -482,7 +504,8 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
         // closed and drained, so both steps are no-ops.
         in.close();
         uint64_t stranded = 0;
-        while (auto leftover = in.try_recv()) {
+        for (auto leftover = in.try_recv(); leftover.is_ok();
+             leftover = in.try_recv()) {
             stranded += leftover->packets.size();
         }
         rs.fault_dropped.fetch_add(stranded,
@@ -551,7 +574,7 @@ run_sink(RunState& rs)
             consume(batch.value());
             continue;
         }
-        if (batch.status().code() == StatusCode::kFailedPrecondition) {
+        if (batch.status().code() == StatusCode::kCancelled) {
             break;  // closed and drained
         }
         // Injected fault.  The sink can never abandon its channel
@@ -561,9 +584,10 @@ run_sink(RunState& rs)
         rs.stages[kStageCount - 1].fault_retries.fetch_add(
             1, std::memory_order_relaxed);
         while (true) {
-            if (auto direct = rs.sink->try_recv()) {
+            if (auto direct = rs.sink->try_recv(); direct.is_ok()) {
                 consume(*direct);
-            } else if (rs.sink->closed()) {
+            } else if (direct.status().code() ==
+                       StatusCode::kCancelled) {
                 break;
             } else {
                 std::this_thread::yield();
@@ -572,6 +596,19 @@ run_sink(RunState& rs)
         break;
     }
     return result;
+}
+
+/** Fills the shared read-only payload arena packets index into. */
+void
+fill_payload_arena(const PipelineConfig& config,
+                   std::vector<uint8_t>& payload)
+{
+    if (config.payload_bytes == 0) return;
+    payload.resize(config.payload_bytes + (1u << 12));
+    Rng rng(config.seed ^ 0xfeedfacecafebeefull);
+    for (uint8_t& b : payload) {
+        b = static_cast<uint8_t>(rng.next());
+    }
 }
 
 }  // namespace
@@ -623,6 +660,197 @@ PipelineReport::to_string() const
     return out;
 }
 
+// --- PipelineEngine ------------------------------------------------------
+
+/**
+ * Engine internals.  Defined here so it can hold the same RunState the
+ * in-process run() shares with its source/sink threads; PacketPipeline
+ * (a friend) reaches through it for exactly that reason.  The program
+ * and payload arena are borrowed when PacketPipeline owns them across
+ * runs, owned when the engine stands alone (the network server).
+ */
+struct PipelineEngine::Impl {
+    explicit Impl(const PipelineConfig& c) : config(c), rs(c) {}
+
+    PipelineConfig config;
+    std::unique_ptr<vm::BuiltProgram> owned_built;
+    const vm::BuiltProgram* built = nullptr;
+    std::vector<uint8_t> owned_payload;
+    const std::vector<uint8_t>* payload = nullptr;
+    RunState rs;
+    std::vector<std::thread> workers;
+    bool started = false;
+    bool finished = false;
+};
+
+PipelineEngine::PipelineEngine(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl))
+{
+}
+
+PipelineEngine::~PipelineEngine()
+{
+    finish();
+}
+
+Result<std::unique_ptr<PipelineEngine>>
+PipelineEngine::create(PipelineConfig config)
+{
+    if (interop::packet_codec().layout().byte_size() > kPipeWireBytes) {
+        return internal_error("packet wire format exceeds PipePacket");
+    }
+    for (size_t& w : config.workers) w = w > 0 ? w : 1;
+    if (config.queue_capacity == 0) config.queue_capacity = 1;
+    if (config.batch_packets == 0) config.batch_packets = 1;
+    auto impl = std::make_unique<Impl>(config);
+    if (config.migrated) {
+        vm::BuildOptions options;
+        options.compiler.elide_proved_checks = true;
+        BITC_ASSIGN_OR_RETURN(
+            impl->owned_built,
+            vm::build_program(interop::migrated_stage_source(),
+                              options));
+        impl->built = impl->owned_built.get();
+    }
+    fill_payload_arena(config, impl->owned_payload);
+    impl->payload = &impl->owned_payload;
+    return std::unique_ptr<PipelineEngine>(
+        new PipelineEngine(std::move(impl)));
+}
+
+void
+PipelineEngine::start()
+{
+    Impl& im = *impl_;
+    assert(!im.started);
+    im.started = true;
+    metrics::gauge_set(metrics::Gauge::kPipeWorkers,
+                       im.config.total_workers());
+    im.workers.reserve(im.config.total_workers());
+    for (size_t s = 0; s < kStageCount; ++s) {
+        for (size_t w = 0; w < im.config.workers[s]; ++w) {
+            im.workers.emplace_back([&im, s, w] {
+                stage_worker(im.config, s, w, im.built, *im.payload,
+                             im.rs);
+            });
+        }
+    }
+}
+
+size_t
+PipelineEngine::shard_count() const
+{
+    return impl_->rs.inputs[0].size();
+}
+
+size_t
+PipelineEngine::shard_for(uint32_t flow) const
+{
+    size_t n = impl_->rs.inputs[0].size();
+    // Matches Forwarder::push exactly, so an externally submitted flow
+    // lands on the same worker an in-process source would pick.
+    return n == 1 ? 0 : flow_shard(flow, n);
+}
+
+Status
+PipelineEngine::submit(size_t shard, PipeBatch&& batch)
+{
+    Channel<PipeBatch>& in = *impl_->rs.inputs[0][shard];
+    if (batch.deadline_ns == 0) return in.send(std::move(batch));
+    const std::chrono::steady_clock::time_point deadline{
+        std::chrono::nanoseconds(batch.deadline_ns)};
+    return in.try_send_until(std::move(batch), deadline);
+}
+
+Status
+PipelineEngine::try_submit(size_t shard, const PipeBatch& batch)
+{
+    return impl_->rs.inputs[0][shard]->try_send(PipeBatch(batch));
+}
+
+bool
+PipelineEngine::shard_sick(size_t shard) const
+{
+    return impl_->rs.breaker_open[0][shard].load(
+        std::memory_order_acquire);
+}
+
+void
+PipelineEngine::close_input()
+{
+    for (auto& ch : impl_->rs.inputs[0]) ch->close();
+}
+
+Channel<PipeBatch>&
+PipelineEngine::sink_channel()
+{
+    return *impl_->rs.sink;
+}
+
+uint64_t
+PipelineEngine::dropped() const
+{
+    return impl_->rs.dropped.load(std::memory_order_relaxed);
+}
+
+uint64_t
+PipelineEngine::fault_dropped() const
+{
+    return impl_->rs.fault_dropped.load(std::memory_order_relaxed);
+}
+
+uint64_t
+PipelineEngine::shed() const
+{
+    return impl_->rs.shed.load(std::memory_order_relaxed);
+}
+
+void
+PipelineEngine::finish()
+{
+    Impl& im = *impl_;
+    if (im.finished || !im.started) return;
+    im.finished = true;
+    // Defensive: workers only exit once the input closes; close is
+    // idempotent, so a caller that already closed pays nothing.
+    for (auto& ch : im.rs.inputs[0]) ch->close();
+    for (std::thread& t : im.workers) t.join();
+}
+
+void
+PipelineEngine::fill_stage_reports(PipelineReport& report) const
+{
+    const Impl& im = *impl_;
+    for (size_t s = 0; s < kStageCount; ++s) {
+        PipelineStageReport& st = report.stages[s];
+        st.workers = im.config.workers[s];
+        st.packets = im.rs.stages[s].packets.load();
+        st.batches = im.rs.stages[s].batches.load();
+        st.fault_retries = im.rs.stages[s].fault_retries.load();
+        st.crashes = im.rs.supervisors[s]->crashes();
+        st.restarts = im.rs.supervisors[s]->restarts();
+        st.breaker_opens = im.rs.supervisors[s]->breaker_opens();
+        report.worker_crashes += st.crashes;
+        report.worker_restarts += st.restarts;
+        report.breaker_opens += st.breaker_opens;
+        for (const auto& ch : im.rs.inputs[s]) {
+            st.blocked_ns += ch->blocked_ns();
+            st.depth_high_water =
+                std::max(st.depth_high_water, ch->depth_high_water());
+        }
+    }
+    report.sink_depth_high_water = im.rs.sink->depth_high_water();
+    report.sink_blocked_ns = im.rs.sink->blocked_ns();
+}
+
+const PipelineConfig&
+PipelineEngine::config() const
+{
+    return impl_->config;
+}
+
+// --- PacketPipeline ------------------------------------------------------
+
 PacketPipeline::PacketPipeline(PipelineConfig config,
                                std::unique_ptr<vm::BuiltProgram> built)
     : config_(config), built_(std::move(built))
@@ -630,14 +858,7 @@ PacketPipeline::PacketPipeline(PipelineConfig config,
     for (size_t& w : config_.workers) w = w > 0 ? w : 1;
     if (config_.queue_capacity == 0) config_.queue_capacity = 1;
     if (config_.batch_packets == 0) config_.batch_packets = 1;
-    if (config_.payload_bytes > 0) {
-        // A shared read-only arena; packets index windows into it.
-        payload_.resize(config_.payload_bytes + (1u << 12));
-        Rng rng(config_.seed ^ 0xfeedfacecafebeefull);
-        for (uint8_t& b : payload_) {
-            b = static_cast<uint8_t>(rng.next());
-        }
-    }
+    fill_payload_arena(config_, payload_);
 }
 
 Result<std::unique_ptr<PacketPipeline>>
@@ -679,20 +900,23 @@ PacketPipeline::run(size_t packet_count)
         }
     }
 
-    RunState rs(config_);
-    metrics::gauge_set(metrics::Gauge::kPipeWorkers,
-                       config_.total_workers());
+    // One engine lifecycle per run, borrowing the program and payload
+    // arena this instance owns across runs.
+    auto impl = std::make_unique<PipelineEngine::Impl>(config_);
+    impl->built = built_.get();
+    impl->payload = &payload_;
+    PipelineEngine engine(std::move(impl));
+    RunState& rs = engine.impl_->rs;
 
-    std::vector<std::thread> threads;
-    threads.reserve(config_.total_workers() + 1);
     uint64_t start = now_ns();
+    engine.start();
 
     // Source: shard the stream into first-stage batches, then close —
     // the close is the only end-of-input signal the pipeline has.
     // With a deadline budget configured, every packet is stamped
     // "now + budget" as it enters; the earliest stamp in a batch
     // becomes the batch deadline every hand-off honors.
-    threads.emplace_back([this, &rs, &stream] {
+    std::thread source([this, &rs, &stream] {
         Forwarder out(rs, 0, config_.batch_packets);
         const uint64_t budget_ns = config_.deadline_ms * 1'000'000;
         for (PipePacket& p : stream) {
@@ -703,17 +927,9 @@ PacketPipeline::run(size_t packet_count)
         for (auto& ch : rs.inputs[0]) ch->close();
     });
 
-    for (size_t s = 0; s < kStageCount; ++s) {
-        for (size_t w = 0; w < config_.workers[s]; ++w) {
-            threads.emplace_back([this, &rs, s, w] {
-                stage_worker(config_, s, w, built_.get(), payload_,
-                             rs);
-            });
-        }
-    }
-
     SinkResult sink = run_sink(rs);
-    for (std::thread& t : threads) t.join();
+    source.join();
+    engine.finish();
     uint64_t elapsed = now_ns() - start;
 
     PipelineReport report;
@@ -731,26 +947,7 @@ PacketPipeline::run(size_t packet_count)
         elapsed > 0 ? static_cast<double>(packet_count) * 1e9 /
                           static_cast<double>(elapsed)
                     : 0.0;
-    for (size_t s = 0; s < kStageCount; ++s) {
-        PipelineStageReport& st = report.stages[s];
-        st.workers = config_.workers[s];
-        st.packets = rs.stages[s].packets.load();
-        st.batches = rs.stages[s].batches.load();
-        st.fault_retries = rs.stages[s].fault_retries.load();
-        st.crashes = rs.supervisors[s]->crashes();
-        st.restarts = rs.supervisors[s]->restarts();
-        st.breaker_opens = rs.supervisors[s]->breaker_opens();
-        report.worker_crashes += st.crashes;
-        report.worker_restarts += st.restarts;
-        report.breaker_opens += st.breaker_opens;
-        for (auto& ch : rs.inputs[s]) {
-            st.blocked_ns += ch->blocked_ns();
-            st.depth_high_water =
-                std::max(st.depth_high_water, ch->depth_high_water());
-        }
-    }
-    report.sink_depth_high_water = rs.sink->depth_high_water();
-    report.sink_blocked_ns = rs.sink->blocked_ns();
+    engine.fill_stage_reports(report);
 
     // Fold run totals into the registry at the run boundary, the same
     // discipline heap telemetry follows.
@@ -765,106 +962,32 @@ PacketPipeline::run(size_t packet_count)
     return report;
 }
 
+PipelineConfig
+config_from_spec(const options::PipelineSpec& spec)
+{
+    PipelineConfig config;
+    config.workers = spec.workers;
+    config.queue_capacity = spec.queue_capacity;
+    config.batch_packets = spec.batch_packets;
+    config.payload_bytes = spec.payload_bytes;
+    config.lookup_latency_us = spec.lookup_latency_us;
+    config.migrated = spec.migrated;
+    config.seed = spec.seed;
+    config.supervision.max_restarts = spec.max_restarts;
+    config.supervision.restart_window_ms = spec.restart_window_ms;
+    config.supervision.backoff_ms = spec.backoff_ms;
+    config.deadline_ms = spec.deadline_ms;
+    return config;
+}
+
 Result<PipelineSpec>
 parse_pipeline_spec(const std::string& spec)
 {
+    BITC_ASSIGN_OR_RETURN(options::PipelineSpec typed,
+                          options::PipelineSpec::parse(spec));
     PipelineSpec out;
-    if (spec.empty()) return out;
-    size_t pos = 0;
-    while (pos < spec.size()) {
-        size_t comma = spec.find(',', pos);
-        if (comma == std::string::npos) comma = spec.size();
-        std::string clause = spec.substr(pos, comma - pos);
-        pos = comma + 1;
-        size_t eq = clause.find('=');
-        if (eq == std::string::npos) {
-            return invalid_argument_error(
-                str_format("pipeline clause '%s' is not key=value",
-                           clause.c_str()));
-        }
-        std::string key = clause.substr(0, eq);
-        std::string value = clause.substr(eq + 1);
-        auto as_count = [&]() -> Result<size_t> {
-            char* end = nullptr;
-            unsigned long long n =
-                std::strtoull(value.c_str(), &end, 10);
-            if (end == value.c_str() || *end != '\0') {
-                return invalid_argument_error(str_format(
-                    "pipeline %s wants a number, got '%s'",
-                    key.c_str(), value.c_str()));
-            }
-            return static_cast<size_t>(n);
-        };
-        if (key == "workers") {
-            // Either one count for all stages or s0:s1:s2:s3.
-            std::array<size_t, kStageCount> workers{};
-            size_t field = 0, vpos = 0;
-            while (vpos <= value.size() && field <= kStageCount) {
-                size_t colon = value.find(':', vpos);
-                if (colon == std::string::npos) colon = value.size();
-                char* end = nullptr;
-                std::string tok = value.substr(vpos, colon - vpos);
-                unsigned long long n =
-                    std::strtoull(tok.c_str(), &end, 10);
-                if (end == tok.c_str() || *end != '\0' || n == 0) {
-                    return invalid_argument_error(str_format(
-                        "bad worker count '%s'", tok.c_str()));
-                }
-                workers[field++] = static_cast<size_t>(n);
-                vpos = colon + 1;
-                if (colon == value.size()) break;
-            }
-            if (field == 1) {
-                workers.fill(workers[0]);
-            } else if (field != kStageCount) {
-                return invalid_argument_error(
-                    "workers wants 1 or 4 colon-separated counts");
-            }
-            out.config.workers = workers;
-        } else if (key == "queue") {
-            BITC_ASSIGN_OR_RETURN(out.config.queue_capacity,
-                                  as_count());
-        } else if (key == "batch") {
-            BITC_ASSIGN_OR_RETURN(out.config.batch_packets,
-                                  as_count());
-        } else if (key == "packets") {
-            BITC_ASSIGN_OR_RETURN(out.packets, as_count());
-        } else if (key == "seed") {
-            BITC_ASSIGN_OR_RETURN(out.config.seed, as_count());
-        } else if (key == "payload") {
-            BITC_ASSIGN_OR_RETURN(out.config.payload_bytes,
-                                  as_count());
-        } else if (key == "lookup-us") {
-            BITC_ASSIGN_OR_RETURN(size_t us, as_count());
-            out.config.lookup_latency_us =
-                static_cast<uint32_t>(us);
-        } else if (key == "restarts") {
-            BITC_ASSIGN_OR_RETURN(size_t n, as_count());
-            out.config.supervision.max_restarts =
-                static_cast<uint32_t>(n);
-        } else if (key == "window") {
-            BITC_ASSIGN_OR_RETURN(size_t ms, as_count());
-            out.config.supervision.restart_window_ms = ms;
-        } else if (key == "backoff") {
-            BITC_ASSIGN_OR_RETURN(size_t ms, as_count());
-            out.config.supervision.backoff_ms = ms;
-        } else if (key == "deadline") {
-            BITC_ASSIGN_OR_RETURN(out.config.deadline_ms, as_count());
-        } else if (key == "impl") {
-            if (value == "legacy") {
-                out.config.migrated = false;
-            } else if (value == "bitc" || value == "migrated") {
-                out.config.migrated = true;
-            } else {
-                return invalid_argument_error(str_format(
-                    "pipeline impl '%s' (want legacy|bitc)",
-                    value.c_str()));
-            }
-        } else {
-            return invalid_argument_error(str_format(
-                "unknown pipeline key '%s'", key.c_str()));
-        }
-    }
+    out.config = config_from_spec(typed);
+    out.packets = typed.packets;
     return out;
 }
 

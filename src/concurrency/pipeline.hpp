@@ -50,8 +50,10 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/channel.hpp"
 #include "concurrency/supervisor.hpp"
 #include "interop/packet_stages.hpp"
+#include "support/options.hpp"
 #include "support/status.hpp"
 #include "vm/pipeline.hpp"
 
@@ -60,6 +62,15 @@ namespace bitc::conc {
 /** Wire buffer size per packet (the IPv4-style header is 20 bytes). */
 inline constexpr size_t kPipeWireBytes = 24;
 
+/**
+ * Bucket value tagging a packet the validate stage rejected when the
+ * pipeline runs with forward_drops: instead of vanishing into the
+ * dropped ledger, the packet rides to the sink carrying this tag (later
+ * stages pass it through untouched) so an external consumer — the
+ * network front-end — can answer its originator with a drop frame.
+ */
+inline constexpr int64_t kPipeDropBucket = -2;
+
 /** One packet in flight: header bytes plus routing/ordering metadata. */
 struct PipePacket {
     std::array<uint8_t, kPipeWireBytes> wire{};
@@ -67,6 +78,7 @@ struct PipePacket {
     uint32_t payload = 0;   ///< Offset of this packet's payload window.
     uint64_t flow_seq = 0;  ///< Per-flow sequence number (1-based).
     int64_t bucket = -1;    ///< Route bucket set by the classify stage.
+    uint64_t ingress_ns = 0;///< Entry stamp for end-to-end latency; 0 = unstamped.
 };
 
 /**
@@ -118,6 +130,15 @@ struct PipelineConfig {
      * Expired batches are shed with accounting instead of delivered.
      */
     uint64_t deadline_ms = 0;
+
+    /**
+     * When true, validate-stage rejects are tagged kPipeDropBucket and
+     * forwarded to the sink instead of being counted into the dropped
+     * ledger — the streaming mode the network server runs in, where
+     * every frame's originator must hear an answer.  The in-process
+     * run() keeps this off and preserves the historical accounting.
+     */
+    bool forward_drops = false;
 
     PipelineConfig() {
         vm.mode = vm::ValueMode::kUnboxed;
@@ -180,10 +201,107 @@ struct PipelineReport {
 };
 
 /**
+ * The pipeline's worker fleet as a long-lived streaming engine.
+ *
+ * PacketPipeline::run() drives a fixed generated stream through the
+ * stages; the engine is the same machinery with the source and sink
+ * handed to the caller, so an external producer — the network
+ * front-end in net/server.hpp — can feed batches in as they arrive
+ * and drain results from the sink channel at its own pace:
+ *
+ *   auto engine = PipelineEngine::create(config).value();
+ *   engine->start();                       // spawn stage workers
+ *   size_t s = engine->shard_for(flow);
+ *   engine->try_submit(s, std::move(b));   // kUnavailable = backpressure
+ *   ... engine->sink_channel().recv() ...  // results, flow-ordered
+ *   engine->close_input();                 // end of input
+ *   engine->finish();                      // join the fleet
+ *
+ * Lifecycle is one-shot: start() once, close_input() once, finish()
+ * once (finish is idempotent and the destructor runs it).  Submitting
+ * after close_input() fails with kCancelled.  The conservation ledger
+ * splits across the boundary: the caller counts what it submits and
+ * what it drains from the sink; dropped()/fault_dropped()/shed() are
+ * what the stages consumed in between, so
+ *
+ *   submitted == drained + dropped + fault_dropped + shed
+ *
+ * holds after finish() (with forward_drops, dropped() stays zero and
+ * rejects arrive at the sink tagged kPipeDropBucket).
+ */
+class PipelineEngine {
+  public:
+    /** Builds the migrated program (config.migrated) and payload arena. */
+    static Result<std::unique_ptr<PipelineEngine>> create(
+        PipelineConfig config);
+    ~PipelineEngine();
+    PipelineEngine(const PipelineEngine&) = delete;
+    PipelineEngine& operator=(const PipelineEngine&) = delete;
+
+    /** Spawns the stage workers.  Call exactly once. */
+    void start();
+
+    /** Number of first-stage shards batches can be submitted to. */
+    size_t shard_count() const;
+    /** The first-stage shard owning @p flow (pure flow hash). */
+    size_t shard_for(uint32_t flow) const;
+
+    /** Blocking submit; respects the batch deadline like a stage hop. */
+    Status submit(size_t shard, PipeBatch&& batch);
+    /**
+     * Non-blocking submit: kUnavailable when the shard's bounded input
+     * is full (the caller's backpressure signal — stop reading the
+     * socket), kCancelled after close_input().  The batch is returned
+     * untouched inside the failure path only in the sense that nothing
+     * was enqueued; the caller keeps its own copy to retry.
+     */
+    Status try_submit(size_t shard, const PipeBatch& batch);
+
+    /**
+     * True while @p shard's first-stage breaker is open: its worker
+     * keeps crashing and batches would go straight to the drop path.
+     * Callers that can answer the originator (the server) check this
+     * and reject at the edge instead.
+     */
+    bool shard_sick(size_t shard) const;
+
+    /** Closes the first-stage inputs; close propagates to the sink. */
+    void close_input();
+
+    /** Terminal output: recv until it reports kCancelled. */
+    Channel<PipeBatch>& sink_channel();
+
+    // Live ledger reads (relaxed; exact after finish()).
+    uint64_t dropped() const;
+    uint64_t fault_dropped() const;
+    uint64_t shed() const;
+
+    /** Joins the worker fleet.  Idempotent; destructor calls it. */
+    void finish();
+
+    /**
+     * Fills the per-stage/supervision/sink telemetry of @p report
+     * (stages, crash/restart/breaker totals, depth high-waters).
+     * Meaningful after finish().
+     */
+    void fill_stage_reports(PipelineReport& report) const;
+
+    const PipelineConfig& config() const;
+
+  private:
+    friend class PacketPipeline;
+    struct Impl;
+    explicit PipelineEngine(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
  * A runnable pipeline server.  create() builds the migrated-stage
  * program once; run() spawns the worker fleet, pushes @p packet_count
  * generated packets through it, and joins everything before
  * returning, so sequential runs on one instance are independent.
+ * Internally each run is one PipelineEngine lifecycle with an
+ * in-process source thread and verifying sink.
  */
 class PacketPipeline {
   public:
@@ -204,14 +322,20 @@ class PacketPipeline {
 };
 
 /**
- * Parses a driver spec like
- * "workers=4,queue=64,batch=32,packets=20000,impl=bitc,seed=7,
- *  payload=1024,lookup-us=200" into a config plus packet count.
- * workers accepts either one count for every stage or four
- * colon-separated per-stage counts ("1:2:4:4").  Supervision knobs:
- * restarts=N (breaker budget), window=MS (crash window + cooldown),
- * backoff=MS (initial restart backoff), deadline=MS (per-batch
- * end-to-end deadline; 0 disables).
+ * Converts the typed support-layer spec into this layer's config.
+ * The options struct is plain data; this is where its fields meet
+ * SupervisorConfig and the VM knobs.  Packet count travels separately
+ * (options::PipelineSpec::packets) because it parameterises a driver
+ * run, not the engine.
+ */
+PipelineConfig config_from_spec(const options::PipelineSpec& spec);
+
+/**
+ * Parsed --pipeline spec: engine config plus the driver packet count.
+ * The grammar itself lives in options::PipelineSpec::parse
+ * ("workers=N|a:b:c:d,queue=N,batch=N,packets=N,impl=legacy|bitc,
+ * seed=N,payload=BYTES,lookup-us=US,restarts=N,window=MS,backoff=MS,
+ * deadline=MS"); this is the thin adapter CLI-facing callers use.
  */
 struct PipelineSpec {
     PipelineConfig config;

@@ -1,0 +1,96 @@
+#include "net/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+
+namespace bitc::net {
+
+Result<NetClient>
+NetClient::connect(const std::string& host, uint16_t port)
+{
+    BITC_ASSIGN_OR_RETURN(Fd fd, connect_tcp(host, port));
+    return NetClient(std::move(fd));
+}
+
+Status
+NetClient::send_frame(const Frame& frame)
+{
+    return send_raw(encode_frame(frame));
+}
+
+Status
+NetClient::send_raw(std::span<const uint8_t> bytes)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t rc = ::send(fd_.get(), bytes.data() + off,
+                            bytes.size() - off, MSG_NOSIGNAL);
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EPIPE || errno == ECONNRESET) {
+                return cancelled_error("server closed the connection");
+            }
+            return internal_error(
+                str_format("send: %s", std::strerror(errno)));
+        }
+        off += static_cast<size_t>(rc);
+    }
+    return Status::ok();
+}
+
+Result<Frame>
+NetClient::recv_frame(uint64_t timeout_ms)
+{
+    uint64_t deadline = now_ns() + timeout_ms * 1000000ull;
+    while (true) {
+        auto parsed = decoder_.next();
+        if (!parsed.is_ok()) return parsed.status();
+        if (parsed.value().has_value()) {
+            return std::move(*parsed.value());
+        }
+        uint64_t now = now_ns();
+        if (now >= deadline) {
+            return deadline_exceeded_error("no frame before deadline");
+        }
+        pollfd pfd{fd_.get(), POLLIN, 0};
+        int wait_ms =
+            static_cast<int>((deadline - now) / 1000000ull) + 1;
+        int rc = ::poll(&pfd, 1, wait_ms);
+        if (rc < 0 && errno != EINTR) {
+            return internal_error(
+                str_format("poll: %s", std::strerror(errno)));
+        }
+        if (rc <= 0) continue;
+        uint8_t buf[4096];
+        ssize_t got = ::read(fd_.get(), buf, sizeof(buf));
+        if (got < 0) {
+            if (errno == EINTR || errno == EAGAIN) continue;
+            return cancelled_error("connection reset");
+        }
+        if (got == 0) {
+            return cancelled_error("server closed the connection");
+        }
+        decoder_.feed(
+            std::span<const uint8_t>(buf, static_cast<size_t>(got)));
+    }
+}
+
+void
+NetClient::shutdown_send()
+{
+    if (fd_.valid()) (void)::shutdown(fd_.get(), SHUT_WR);
+}
+
+void
+NetClient::close()
+{
+    fd_.reset();
+}
+
+}  // namespace bitc::net

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Blocking client for the pipeline's TCP front-end — the counterpart
+ * tests, the load generator and the network bench drive.  One
+ * NetClient is one connection; it is deliberately synchronous (send a
+ * frame, poll frames out with a deadline) because its users are
+ * scripted drivers, not servers.  Not thread-safe; one thread per
+ * client.
+ */
+#ifndef BITC_NET_CLIENT_HPP
+#define BITC_NET_CLIENT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "support/status.hpp"
+
+namespace bitc::net {
+
+class NetClient {
+  public:
+    /** Blocking TCP connect to the server. */
+    static Result<NetClient> connect(const std::string& host,
+                                     uint16_t port);
+
+    NetClient(NetClient&&) = default;
+    NetClient& operator=(NetClient&&) = default;
+
+    /** Writes one whole frame (blocking until accepted or error). */
+    Status send_frame(const Frame& frame);
+
+    /** Sends pre-encoded bytes (fuzz tests send malformed input). */
+    Status send_raw(std::span<const uint8_t> bytes);
+
+    /**
+     * Receives the next frame, waiting up to @p timeout_ms.
+     * kDeadlineExceeded on timeout; kCancelled when the server closed
+     * the connection; decoder errors pass through.
+     */
+    Result<Frame> recv_frame(uint64_t timeout_ms);
+
+    /** Half-close: no more sends; responses still readable. */
+    void shutdown_send();
+
+    /** Hard close. */
+    void close();
+
+    int fd() const { return fd_.get(); }
+
+  private:
+    explicit NetClient(Fd fd) : fd_(std::move(fd)) {}
+
+    Fd fd_;
+    FrameDecoder decoder_;
+};
+
+}  // namespace bitc::net
+
+#endif  // BITC_NET_CLIENT_HPP

@@ -1,0 +1,157 @@
+#include "net/poller.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <poll.h>
+#include <sys/epoll.h>
+
+#include "support/string_util.hpp"
+
+namespace bitc::net {
+
+namespace {
+
+Status
+errno_error(const char* what)
+{
+    return internal_error(
+        str_format("%s: %s", what, std::strerror(errno)));
+}
+
+uint32_t
+epoll_mask(bool want_read, bool want_write)
+{
+    uint32_t mask = 0;
+    if (want_read) mask |= EPOLLIN;
+    if (want_write) mask |= EPOLLOUT;
+    return mask;
+}
+
+short
+poll_mask(bool want_read, bool want_write)
+{
+    short mask = 0;
+    if (want_read) mask |= POLLIN;
+    if (want_write) mask |= POLLOUT;
+    return mask;
+}
+
+}  // namespace
+
+const char*
+poll_backend_name(PollBackend backend)
+{
+    return backend == PollBackend::kEpoll ? "epoll" : "poll";
+}
+
+Result<Poller>
+Poller::create()
+{
+    const char* forced = std::getenv("BITC_NET_POLLER");
+    if (forced != nullptr && std::string(forced) == "poll") {
+        return Poller(PollBackend::kPoll, Fd());
+    }
+    Fd epoll_fd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!epoll_fd.valid()) {
+        return Poller(PollBackend::kPoll, Fd());
+    }
+    return Poller(PollBackend::kEpoll, std::move(epoll_fd));
+}
+
+Status
+Poller::add(int fd, bool want_read, bool want_write)
+{
+    if (backend_ == PollBackend::kPoll) {
+        interest_[fd] = poll_mask(want_read, want_write);
+        return Status::ok();
+    }
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+        return errno_error("epoll_ctl(ADD)");
+    }
+    return Status::ok();
+}
+
+Status
+Poller::modify(int fd, bool want_read, bool want_write)
+{
+    if (backend_ == PollBackend::kPoll) {
+        auto it = interest_.find(fd);
+        if (it == interest_.end()) {
+            return not_found_error(
+                str_format("fd %d not registered", fd));
+        }
+        it->second = poll_mask(want_read, want_write);
+        return Status::ok();
+    }
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+        return errno_error("epoll_ctl(MOD)");
+    }
+    return Status::ok();
+}
+
+Status
+Poller::remove(int fd)
+{
+    if (backend_ == PollBackend::kPoll) {
+        interest_.erase(fd);
+        return Status::ok();
+    }
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
+        return errno_error("epoll_ctl(DEL)");
+    }
+    return Status::ok();
+}
+
+Result<size_t>
+Poller::wait(int timeout_ms, std::vector<PollEvent>& out)
+{
+    if (backend_ == PollBackend::kPoll) {
+        std::vector<pollfd> fds;
+        fds.reserve(interest_.size());
+        for (const auto& [fd, mask] : interest_) {
+            fds.push_back(pollfd{fd, mask, 0});
+        }
+        int rc;
+        do {
+            rc = ::poll(fds.data(),
+                        static_cast<nfds_t>(fds.size()), timeout_ms);
+        } while (rc < 0 && errno == EINTR);
+        if (rc < 0) return errno_error("poll");
+        size_t appended = 0;
+        for (const pollfd& p : fds) {
+            if (p.revents == 0) continue;
+            PollEvent ev;
+            ev.fd = p.fd;
+            ev.readable = (p.revents & POLLIN) != 0;
+            ev.writable = (p.revents & POLLOUT) != 0;
+            ev.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+            out.push_back(ev);
+            ++appended;
+        }
+        return appended;
+    }
+    epoll_event events[64];
+    int rc;
+    do {
+        rc = ::epoll_wait(epoll_.get(), events, 64, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return errno_error("epoll_wait");
+    for (int i = 0; i < rc; ++i) {
+        PollEvent ev;
+        ev.fd = events[i].data.fd;
+        ev.readable = (events[i].events & EPOLLIN) != 0;
+        ev.writable = (events[i].events & EPOLLOUT) != 0;
+        ev.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+        out.push_back(ev);
+    }
+    return static_cast<size_t>(rc);
+}
+
+}  // namespace bitc::net

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Readiness multiplexer for the server's event loop: epoll on Linux,
+ * with a portable poll(2) fallback selected at runtime (or forced via
+ * BITC_NET_POLLER=poll, which is how the fallback stays tested on a
+ * Linux CI host).  One instance belongs to one thread; the server
+ * wakes it from other threads through a self-pipe registered like any
+ * other fd.
+ */
+#ifndef BITC_NET_POLLER_HPP
+#define BITC_NET_POLLER_HPP
+
+#include <map>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "support/status.hpp"
+
+namespace bitc::net {
+
+/** One ready fd, with the conditions that fired. */
+struct PollEvent {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  ///< HUP/ERR: tear the connection down.
+};
+
+/** Which kernel interface a Poller instance ended up on. */
+enum class PollBackend : uint8_t { kEpoll, kPoll };
+
+const char* poll_backend_name(PollBackend backend);
+
+class Poller {
+  public:
+    /**
+     * Picks epoll when available, poll otherwise.  The environment
+     * variable BITC_NET_POLLER=poll forces the fallback.
+     */
+    static Result<Poller> create();
+
+    Poller(Poller&&) = default;
+    Poller& operator=(Poller&&) = default;
+
+    PollBackend backend() const { return backend_; }
+
+    /** Registers @p fd with the given interest set. */
+    Status add(int fd, bool want_read, bool want_write);
+
+    /** Replaces @p fd's interest set. */
+    Status modify(int fd, bool want_read, bool want_write);
+
+    /** Deregisters @p fd (must precede closing it). */
+    Status remove(int fd);
+
+    /**
+     * Blocks up to @p timeout_ms (-1 = forever) and appends ready fds
+     * to @p out.  Returns the number appended; 0 means timeout.
+     */
+    Result<size_t> wait(int timeout_ms, std::vector<PollEvent>& out);
+
+  private:
+    Poller(PollBackend backend, Fd epoll_fd)
+        : backend_(backend), epoll_(std::move(epoll_fd)) {}
+
+    PollBackend backend_;
+    Fd epoll_;  ///< epoll instance; invalid under the poll backend.
+    /** poll backend: fd -> POLLIN|POLLOUT interest mask. */
+    std::map<int, short> interest_;
+};
+
+}  // namespace bitc::net
+
+#endif  // BITC_NET_POLLER_HPP

@@ -1,0 +1,862 @@
+#include "net/server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "net/poller.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "support/metrics.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+#include "support/trace.hpp"
+
+namespace bitc::net {
+
+namespace {
+
+/** Flow ids are 16-bit on this transport; the top half routes. */
+constexpr uint32_t kClientFlowMask = 0xffffu;
+
+/** An error frame for @p flow carrying @p text. */
+std::vector<uint8_t>
+make_error_frame(uint32_t flow, const std::string& text)
+{
+    Frame frame;
+    frame.type = FrameType::kError;
+    frame.flow = flow;
+    frame.payload.assign(text.begin(), text.end());
+    return encode_frame(frame);
+}
+
+}  // namespace
+
+std::string
+ServerStats::to_string() const
+{
+    return str_format(
+        "net: %llu conns (%llu refused), %llu frames in, %llu out, "
+        "%llu protocol errors, %llu edge rejects\n"
+        "     teardowns: %llu sick, %llu clean; listener: %llu "
+        "crashes, %llu restarts, %llu breaker opens\n"
+        "     ledger: %llu generated = %llu delivered + %llu dropped "
+        "+ %llu fault-dropped + %llu shed + %llu rejected (%s)\n",
+        static_cast<unsigned long long>(accepted),
+        static_cast<unsigned long long>(refused),
+        static_cast<unsigned long long>(frames_in),
+        static_cast<unsigned long long>(frames_out),
+        static_cast<unsigned long long>(protocol_errors),
+        static_cast<unsigned long long>(edge_rejects),
+        static_cast<unsigned long long>(teardowns_sick),
+        static_cast<unsigned long long>(teardowns_clean),
+        static_cast<unsigned long long>(listener_crashes),
+        static_cast<unsigned long long>(listener_restarts),
+        static_cast<unsigned long long>(breaker_opens),
+        static_cast<unsigned long long>(generated),
+        static_cast<unsigned long long>(delivered),
+        static_cast<unsigned long long>(dropped),
+        static_cast<unsigned long long>(fault_dropped),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(rejected),
+        conserved() ? "conserved" : "NOT CONSERVED");
+}
+
+/**
+ * All server state.  Threading contract:
+ *
+ *  - the IO thread owns the poller, every fd, and each connection's
+ *    decoder/parked batch (never touched by anyone else);
+ *  - mu guards the connection table, the per-connection write queues
+ *    and liveness flags — the only state the sink thread reaches;
+ *  - the ledger counters are atomics so stats() can read mid-run.
+ */
+struct NetServer::Impl {
+    /** How one queued answer frame is accounted, for reclassification
+     *  when its connection dies before the bytes leave. */
+    enum LedgerTag : uint8_t { kNone = 0, kDelivered, kDropped };
+
+    struct OutFrame {
+        std::vector<uint8_t> bytes;
+        LedgerTag tag = kNone;
+    };
+
+    struct Conn {
+        Fd fd;
+        uint32_t id = 0;
+        FrameDecoder decoder;
+
+        // IO-thread-only: one batch the engine backpressured.
+        bool parked = false;
+        size_t parked_shard = 0;
+        conc::PipeBatch parked_batch;
+
+        bool paused = false;    ///< Read interest withdrawn.
+        bool want_write = false;///< Write interest registered.
+        bool draining = false;  ///< Peer EOF'd; answers still owed.
+        bool sick = false;      ///< Marked for teardown.
+        bool dead = false;      ///< fd closed; zombie until answered.
+
+        uint64_t inflight = 0;  ///< Packets in the engine (mu).
+        size_t write_off = 0;   ///< Bytes of the front frame written.
+        std::deque<OutFrame> write_q;  ///< mu.
+    };
+
+    Impl(options::ServeSpec s, conc::PipelineConfig c)
+        : serve(std::move(s)), config(c), supervisor(c.supervision) {}
+
+    options::ServeSpec serve;
+    conc::PipelineConfig config;
+    std::unique_ptr<conc::PipelineEngine> engine;
+    conc::Supervisor supervisor;
+
+    Fd listener;
+    uint16_t bound_port = 0;
+    Fd wake_r, wake_w;  ///< Self-pipe: sink -> IO loop wakeups.
+    std::optional<Poller> poller;
+
+    std::thread io_thread;
+    std::thread sink_thread;
+
+    mutable std::mutex mu;
+    std::condition_variable space_cv;  ///< Write-queue space freed.
+    std::condition_variable done_cv;   ///< max_frames drained / stop.
+    std::map<uint32_t, std::unique_ptr<Conn>> conns;
+    std::map<int, Conn*> by_fd;
+    uint32_t next_id = 1;
+    bool started = false;
+    bool stopped = false;
+    bool done = false;
+    std::atomic<bool> stopping{false};
+
+    std::atomic<uint64_t> accepted{0}, refused{0}, frames_in{0},
+        frames_out{0}, protocol_errors{0}, edge_rejects{0},
+        teardowns_sick{0}, teardowns_clean{0};
+    std::atomic<uint64_t> generated{0}, delivered{0}, dropped{0},
+        rejected{0};
+    std::atomic<uint64_t> inflight_total{0};
+
+    // --- helpers ---------------------------------------------------------
+
+    void wake_io() {
+        uint8_t byte = 1;
+        // Best-effort: a full pipe already guarantees a wakeup.
+        (void)!::write(wake_w.get(), &byte, 1);
+    }
+
+    bool max_frames_reached() const {
+        return serve.max_frames > 0 &&
+               generated.load(std::memory_order_relaxed) >=
+                   serve.max_frames;
+    }
+
+    /** mu held.  Answer frames ride the same bounded queue. */
+    void enqueue(Conn& c, std::vector<uint8_t> bytes, LedgerTag tag) {
+        c.write_q.push_back(OutFrame{std::move(bytes), tag});
+        frames_out.fetch_add(1, std::memory_order_relaxed);
+        metrics::count(metrics::Counter::kNetFramesOut);
+    }
+
+    /** mu held, IO thread.  Read interest tracks queue + park state. */
+    void update_read_interest(Conn& c) {
+        bool should_pause =
+            c.parked || c.write_q.size() >= serve.write_queue_frames;
+        if (c.dead || c.draining) return;
+        if (should_pause == c.paused) return;
+        c.paused = should_pause;
+        (void)poller->modify(c.fd.get(), /*want_read=*/!c.paused,
+                             /*want_write=*/c.want_write);
+    }
+
+    /** mu held, IO thread.  Registers/clears write interest. */
+    void update_write_interest(Conn& c, bool want) {
+        if (c.dead || want == c.want_write) return;
+        c.want_write = want;
+        (void)poller->modify(c.fd.get(),
+                             /*want_read=*/!c.paused && !c.draining,
+                             /*want_write=*/c.want_write);
+    }
+
+    /**
+     * mu held, IO thread.  Tears a connection down.  Queued answers
+     * that never left move from delivered/dropped to rejected; the
+     * fd closes; the entry lingers as a zombie while the engine still
+     * owes it packets (the sink rejects those as orphans).
+     */
+    void teardown(Conn& c, bool sick_teardown,
+                  const std::string& reason) {
+        if (c.dead) return;
+        if (sick_teardown && !reason.empty()) {
+            // Best-effort parting diagnostic; the socket may be gone.
+            std::vector<uint8_t> bye = make_error_frame(0, reason);
+            (void)write_some(c.fd.get(), bye);
+        }
+        (void)poller->remove(c.fd.get());
+        by_fd.erase(c.fd.get());
+        c.fd.reset();
+        c.dead = true;
+        c.sick = sick_teardown;
+        // Reclassify undeliverable answers (skip a half-written front
+        // frame: its bytes are on the wire and stay delivered).
+        size_t skip = c.write_off > 0 ? 1 : 0;
+        size_t i = 0;
+        for (const OutFrame& f : c.write_q) {
+            if (i++ < skip) continue;
+            if (f.tag == kDelivered) {
+                delivered.fetch_sub(1, std::memory_order_relaxed);
+                rejected.fetch_add(1, std::memory_order_relaxed);
+            } else if (f.tag == kDropped) {
+                dropped.fetch_sub(1, std::memory_order_relaxed);
+                rejected.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        c.write_q.clear();
+        c.write_off = 0;
+        c.parked = false;
+        space_cv.notify_all();
+        if (sick_teardown) {
+            teardowns_sick.fetch_add(1, std::memory_order_relaxed);
+            metrics::count(metrics::Counter::kNetConnTeardowns);
+        } else {
+            teardowns_clean.fetch_add(1, std::memory_order_relaxed);
+        }
+        metrics::gauge_sub(metrics::Gauge::kNetConnections);
+        trace::emit(trace::Event::kNetConnClose, c.id,
+                    sick_teardown ? 1 : 0);
+    }
+
+    /** mu held.  Erases zombies the engine owes nothing anymore. */
+    void reap_dead() {
+        for (auto it = conns.begin(); it != conns.end();) {
+            if (it->second->dead && it->second->inflight == 0) {
+                it = conns.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /** mu held.  max_frames done condition (see wait_done). */
+    void check_done() {
+        if (done || serve.max_frames == 0) return;
+        if (!max_frames_reached()) return;
+        uint64_t unanswered =
+            inflight_total.load(std::memory_order_relaxed);
+        uint64_t engine_lost =
+            engine->fault_dropped() + engine->shed();
+        if (unanswered > engine_lost) return;
+        for (const auto& [id, c] : conns) {
+            if (!c->write_q.empty()) return;
+        }
+        done = true;
+        done_cv.notify_all();
+    }
+
+    // --- IO loop ---------------------------------------------------------
+
+    /** IO thread, takes mu.  Flushes one connection's write queue. */
+    bool flush_conn(Conn& c) {
+        bool progressed = false;
+        while (!c.dead && !c.write_q.empty()) {
+            OutFrame& front = c.write_q.front();
+            std::span<const uint8_t> rest(
+                front.bytes.data() + c.write_off,
+                front.bytes.size() - c.write_off);
+            auto wrote = write_some(c.fd.get(), rest);
+            if (!wrote.is_ok()) {
+                if (wrote.status().code() ==
+                    StatusCode::kUnavailable) {
+                    update_write_interest(c, true);
+                } else {
+                    // Injected socket-io fault or a dead peer: the
+                    // connection is sick either way.
+                    teardown(c, /*sick=*/true,
+                             wrote.status().message());
+                }
+                return progressed;
+            }
+            progressed = progressed || wrote.value() > 0;
+            c.write_off += wrote.value();
+            if (c.write_off < front.bytes.size()) {
+                update_write_interest(c, true);
+                return progressed;
+            }
+            c.write_q.pop_front();
+            c.write_off = 0;
+            space_cv.notify_all();
+        }
+        if (!c.dead) {
+            update_write_interest(c, false);
+            update_read_interest(c);
+            if (c.draining && settled(c)) {
+                teardown(c, /*sick=*/false, "");
+            }
+        }
+        return progressed;
+    }
+
+    /** IO thread, mu held.  Retries engine-backpressured batches. */
+    bool retry_parked() {
+        bool progressed = false;
+        for (auto& [id, cp] : conns) {
+            Conn& c = *cp;
+            if (!c.parked || c.dead) continue;
+            Status st =
+                engine->try_submit(c.parked_shard, c.parked_batch);
+            if (st.is_ok()) {
+                generated.fetch_add(c.parked_batch.packets.size(),
+                                    std::memory_order_relaxed);
+                c.inflight += c.parked_batch.packets.size();
+                inflight_total.fetch_add(
+                    c.parked_batch.packets.size(),
+                    std::memory_order_relaxed);
+                c.parked = false;
+                c.parked_batch.packets.clear();
+                update_read_interest(c);
+                progressed = true;
+            } else if (st.code() == StatusCode::kCancelled) {
+                uint32_t flow =
+                    c.parked_batch.packets.empty()
+                        ? 0
+                        : c.parked_batch.packets[0].flow &
+                              kClientFlowMask;
+                enqueue(c, make_error_frame(flow, "server stopping"),
+                        kNone);
+                c.parked = false;
+                c.parked_batch.packets.clear();
+            }
+            // kUnavailable: stay parked, reading stays paused.
+        }
+        return progressed;
+    }
+
+    /** IO thread, mu held.  One decoded frame from @p c. */
+    void handle_frame(Conn& c, Frame&& frame) {
+        metrics::count(metrics::Counter::kNetFramesIn);
+        trace::emit(trace::Event::kNetFrameIn, c.id,
+                    static_cast<uint64_t>(frame.type));
+        if (frame.type != FrameType::kData) {
+            protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            metrics::count(metrics::Counter::kNetRejects);
+            enqueue(c,
+                    make_error_frame(
+                        frame.flow,
+                        str_format("unexpected %s frame",
+                                   frame_type_name(frame.type))),
+                    kNone);
+            return;
+        }
+        if (frame.payload.size() != conc::kPipeWireBytes) {
+            protocol_errors.fetch_add(1, std::memory_order_relaxed);
+            metrics::count(metrics::Counter::kNetRejects);
+            enqueue(c,
+                    make_error_frame(
+                        frame.flow,
+                        str_format("data payload %zu bytes (want %zu)",
+                                   frame.payload.size(),
+                                   conc::kPipeWireBytes)),
+                    kNone);
+            return;
+        }
+        frames_in.fetch_add(1, std::memory_order_relaxed);
+        if (max_frames_reached()) {
+            edge_rejects.fetch_add(1, std::memory_order_relaxed);
+            metrics::count(metrics::Counter::kNetRejects);
+            enqueue(c, make_error_frame(frame.flow, "server draining"),
+                    kNone);
+            return;
+        }
+
+        conc::PipePacket packet;
+        std::memcpy(packet.wire.data(), frame.payload.data(),
+                    conc::kPipeWireBytes);
+        packet.flow = (c.id << 16) | (frame.flow & kClientFlowMask);
+        packet.ingress_ns = now_ns();
+        size_t shard = engine->shard_for(packet.flow);
+        if (engine->shard_sick(shard)) {
+            edge_rejects.fetch_add(1, std::memory_order_relaxed);
+            metrics::count(metrics::Counter::kNetRejects);
+            enqueue(c, make_error_frame(frame.flow, "shard sick"),
+                    kNone);
+            return;
+        }
+
+        conc::PipeBatch batch;
+        uint64_t deadline_ms = frame.deadline_ms != 0
+                                   ? frame.deadline_ms
+                                   : config.deadline_ms;
+        if (deadline_ms != 0) {
+            batch.deadline_ns = now_ns() + deadline_ms * 1000000ull;
+        }
+        batch.packets.push_back(packet);
+
+        Status st = engine->try_submit(shard, batch);
+        if (st.is_ok()) {
+            generated.fetch_add(1, std::memory_order_relaxed);
+            c.inflight += 1;
+            inflight_total.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        if (st.code() == StatusCode::kUnavailable) {
+            // Engine backpressure: park the batch and stop reading
+            // this socket until the shard drains.
+            c.parked = true;
+            c.parked_shard = shard;
+            c.parked_batch = std::move(batch);
+            update_read_interest(c);
+            return;
+        }
+        enqueue(c, make_error_frame(frame.flow, "server stopping"),
+                kNone);
+    }
+
+    /**
+     * IO thread, mu held.  Decodes buffered bytes into frames until
+     * the buffer runs dry or the connection pauses (parked batch /
+     * full write queue).  Also called from the tick loop: a paused
+     * connection's backlog lives in the decoder, not the kernel, so
+     * unpausing alone would never deliver a read event for it.
+     */
+    bool drain_frames(Conn& c) {
+        bool progressed = false;
+        while (!c.dead && !c.paused) {
+            auto next = c.decoder.next();
+            if (!next.is_ok()) {
+                protocol_errors.fetch_add(1,
+                                          std::memory_order_relaxed);
+                metrics::count(metrics::Counter::kNetRejects);
+                teardown(c, /*sick=*/true, next.status().message());
+                return progressed;
+            }
+            if (!next.value().has_value()) break;
+            progressed = true;
+            handle_frame(c, std::move(*next.value()));
+            update_read_interest(c);
+        }
+        return progressed;
+    }
+
+    /** IO thread, mu held.  Drains readable bytes + complete frames. */
+    bool handle_readable(Conn& c) {
+        bool progressed = false;
+        uint8_t buf[4096];
+        while (!c.dead && !c.paused && !c.draining) {
+            auto got = read_some(c.fd.get(), buf);
+            if (!got.is_ok()) {
+                if (got.status().code() == StatusCode::kUnavailable) {
+                    break;  // socket drained
+                }
+                teardown(c, /*sick=*/true, got.status().message());
+                return progressed;
+            }
+            if (got.value().eof) {
+                c.draining = true;
+                if (settled(c)) teardown(c, /*sick=*/false, "");
+                return progressed;
+            }
+            progressed = true;
+            c.decoder.feed(
+                std::span<const uint8_t>(buf, got.value().bytes));
+            progressed = drain_frames(c) || progressed;
+        }
+        return progressed;
+    }
+
+    /** mu held.  Nothing owed: no packets in flight, no answers or
+     *  requests still buffered. */
+    bool settled(const Conn& c) const {
+        return c.inflight == 0 && c.write_q.empty() && !c.parked &&
+               c.decoder.buffered() == 0;
+    }
+
+    /**
+     * IO thread, takes mu.  Accepts until the listener is dry.
+     * Returns false when an injected accept fault should crash the
+     * loop body (the supervisor owns what happens next).
+     */
+    bool accept_ready(bool& progressed) {
+        while (true) {
+            auto conn_fd = accept_conn(listener.get());
+            if (!conn_fd.is_ok()) {
+                if (conn_fd.status().code() ==
+                    StatusCode::kUnavailable) {
+                    return true;
+                }
+                // Injected socket-io fault (or a real accept
+                // failure): this is a listener-level crash.
+                return false;
+            }
+            progressed = true;
+            std::lock_guard<std::mutex> lock(mu);
+            if (conns.size() >= serve.max_connections ||
+                max_frames_reached() || next_id > 0xffff) {
+                refused.fetch_add(1, std::memory_order_relaxed);
+                metrics::count(metrics::Counter::kNetRejects);
+                std::vector<uint8_t> bye = make_error_frame(
+                    0, conns.size() >= serve.max_connections
+                           ? "connection limit reached"
+                           : "server draining");
+                (void)write_some(conn_fd.value().get(), bye);
+                continue;  // fd closes on scope exit
+            }
+            auto conn = std::make_unique<Conn>();
+            conn->fd = std::move(conn_fd).take();
+            conn->id = next_id++;
+            int raw = conn->fd.get();
+            (void)poller->add(raw, /*want_read=*/true,
+                              /*want_write=*/false);
+            by_fd[raw] = conn.get();
+            conns[conn->id] = std::move(conn);
+            accepted.fetch_add(1, std::memory_order_relaxed);
+            metrics::count(metrics::Counter::kNetAccepts);
+            metrics::gauge_add(metrics::Gauge::kNetConnections);
+            trace::emit(trace::Event::kNetAccept, next_id - 1);
+        }
+    }
+
+    /** The supervised IO-loop body (one incarnation). */
+    conc::WorkerExit io_body(conc::WorkerContext& ctx) {
+        std::vector<PollEvent> events;
+        while (!ctx.stop_requested() &&
+               !stopping.load(std::memory_order_acquire)) {
+            bool progressed = false;
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                progressed = retry_parked() || progressed;
+                for (auto& [id, c] : conns) {
+                    if (!c->dead && c->sick) {
+                        // The sink marked it: its reader stalled past
+                        // the write budget.
+                        teardown(*c, /*sick=*/true, "write stall");
+                        continue;
+                    }
+                    // Frames stranded in the decoder while the
+                    // connection was paused (no read event will ever
+                    // re-announce them).
+                    if (!c->dead && !c->paused &&
+                        c->decoder.buffered() > 0) {
+                        progressed = drain_frames(*c) || progressed;
+                    }
+                    if (!c->dead && !c->write_q.empty()) {
+                        progressed = flush_conn(*c) || progressed;
+                    }
+                    if (!c->dead && c->draining && settled(*c)) {
+                        teardown(*c, /*sick=*/false, "");
+                    }
+                }
+                reap_dead();
+                check_done();
+            }
+            events.clear();
+            auto waited = poller->wait(/*timeout_ms=*/5, events);
+            if (!waited.is_ok()) return conc::WorkerExit::kCrash;
+            for (const PollEvent& ev : events) {
+                if (ev.fd == wake_r.get()) {
+                    uint8_t drain[256];
+                    while (true) {
+                        ssize_t rc = ::read(wake_r.get(), drain,
+                                            sizeof(drain));
+                        if (rc <= 0) break;
+                    }
+                    continue;
+                }
+                if (ev.fd == listener.get()) {
+                    if (ev.readable && !accept_ready(progressed)) {
+                        return conc::WorkerExit::kCrash;
+                    }
+                    continue;
+                }
+                std::lock_guard<std::mutex> lock(mu);
+                auto it = by_fd.find(ev.fd);
+                if (it == by_fd.end()) continue;
+                Conn& c = *it->second;
+                if (ev.error) {
+                    teardown(c, /*sick=*/!c.draining, "socket error");
+                    continue;
+                }
+                if (ev.writable) progressed = flush_conn(c) || progressed;
+                if (ev.readable && !c.dead) {
+                    progressed = handle_readable(c) || progressed;
+                }
+            }
+            if (progressed) ctx.note_progress();
+        }
+        return conc::WorkerExit::kDone;
+    }
+
+    /** IO-loop thread entry: the body under supervision. */
+    void io_main() {
+        conc::WorkerHooks hooks;
+        hooks.body = [this](conc::WorkerContext& ctx) {
+            return io_body(ctx);
+        };
+        hooks.input_closed = [this] {
+            return stopping.load(std::memory_order_acquire);
+        };
+        hooks.drain_one = [this] {
+            // Open breaker: answer one parked batch with an error
+            // frame so its originator is not left hanging (the frame
+            // never entered the ledger — it was never submitted).
+            std::lock_guard<std::mutex> lock(mu);
+            for (auto& [id, c] : conns) {
+                if (!c->parked || c->dead) continue;
+                uint32_t flow = c->parked_batch.packets.empty()
+                                    ? 0
+                                    : c->parked_batch.packets[0].flow &
+                                          kClientFlowMask;
+                edge_rejects.fetch_add(1, std::memory_order_relaxed);
+                metrics::count(metrics::Counter::kNetRejects);
+                enqueue(*c, make_error_frame(flow, "listener down"),
+                        kNone);
+                c->parked = false;
+                c->parked_batch.packets.clear();
+                return true;
+            }
+            return false;
+        };
+        supervisor.supervise(/*worker_id=*/0, hooks);
+    }
+
+    // --- sink thread ------------------------------------------------------
+
+    /** Sink thread.  Routes one processed packet to its connection. */
+    void route_packet(const conc::PipePacket& packet) {
+        uint32_t conn_id = packet.flow >> 16;
+        uint32_t client_flow = packet.flow & kClientFlowMask;
+        std::unique_lock<std::mutex> lock(mu);
+        inflight_total.fetch_sub(1, std::memory_order_relaxed);
+        auto it = conns.find(conn_id);
+        Conn* c = it != conns.end() ? it->second.get() : nullptr;
+        if (c != nullptr && c->inflight > 0) c->inflight -= 1;
+        if (c == nullptr || c->dead || c->sick) {
+            // Orphan: its connection died before the answer came out.
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            wake_io();
+            return;
+        }
+        if (c->write_q.size() >= serve.write_queue_frames) {
+            // Bounded queue is full: wait for the reader, up to the
+            // stall budget; a reader this slow is a sick connection.
+            wake_io();
+            bool roomy = space_cv.wait_for(
+                lock,
+                std::chrono::milliseconds(serve.write_stall_ms),
+                [&] {
+                    return c->dead || c->sick ||
+                           c->write_q.size() <
+                               serve.write_queue_frames ||
+                           stopping.load(std::memory_order_acquire);
+                });
+            if (!roomy || c->dead || c->sick ||
+                c->write_q.size() >= serve.write_queue_frames) {
+                c->sick = true;
+                rejected.fetch_add(1, std::memory_order_relaxed);
+                wake_io();
+                return;
+            }
+        }
+        bool is_drop = packet.bucket == conc::kPipeDropBucket;
+        Frame frame;
+        frame.type = is_drop ? FrameType::kDrop : FrameType::kResponse;
+        frame.flow = client_flow;
+        frame.payload.assign(packet.wire.begin(), packet.wire.end());
+        if (!is_drop) {
+            // Route bucket rides after the wire image, sign-extended.
+            uint64_t bucket = static_cast<uint64_t>(packet.bucket);
+            for (int shift = 56; shift >= 0; shift -= 8) {
+                frame.payload.push_back(
+                    static_cast<uint8_t>(bucket >> shift));
+            }
+        }
+        enqueue(*c, encode_frame(frame),
+                is_drop ? kDropped : kDelivered);
+        if (is_drop) {
+            dropped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            delivered.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (packet.ingress_ns != 0) {
+            metrics::observe(metrics::Histogram::kNetFrameLatencyNs,
+                             now_ns() - packet.ingress_ns);
+        }
+        trace::emit(trace::Event::kNetFrameOut, conn_id,
+                    static_cast<uint64_t>(frame.type));
+        wake_io();
+    }
+
+    void sink_main() {
+        conc::Channel<conc::PipeBatch>& sink = engine->sink_channel();
+        while (true) {
+            auto got = sink.recv();
+            if (!got.is_ok()) {
+                if (got.status().code() == StatusCode::kCancelled) {
+                    break;  // engine drained and closed
+                }
+                continue;  // injected channel fault: keep draining
+            }
+            for (const conc::PipePacket& packet :
+                 got.value().packets) {
+                route_packet(packet);
+            }
+        }
+    }
+};
+
+NetServer::NetServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+NetServer::~NetServer() { stop(); }
+
+Result<std::unique_ptr<NetServer>>
+NetServer::create(const options::ServeSpec& serve,
+                  conc::PipelineConfig pipeline)
+{
+    BITC_RETURN_IF_ERROR(serve.validate());
+    // Every data frame's originator must hear an answer: validate
+    // rejects ride to the sink as kDrop frames instead of vanishing
+    // into the in-process drop ledger.
+    pipeline.forward_drops = true;
+    auto impl = std::make_unique<Impl>(serve, pipeline);
+    BITC_ASSIGN_OR_RETURN(impl->engine,
+                          conc::PipelineEngine::create(pipeline));
+    return std::unique_ptr<NetServer>(new NetServer(std::move(impl)));
+}
+
+Status
+NetServer::start()
+{
+    Impl& im = *impl_;
+    if (im.started) {
+        return failed_precondition_error("server already started");
+    }
+    BITC_ASSIGN_OR_RETURN(im.listener,
+                          listen_tcp(im.serve.host, im.serve.port));
+    BITC_ASSIGN_OR_RETURN(im.bound_port,
+                          local_port(im.listener.get()));
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        return internal_error("self-pipe creation failed");
+    }
+    im.wake_r = Fd(pipe_fds[0]);
+    im.wake_w = Fd(pipe_fds[1]);
+    BITC_RETURN_IF_ERROR(set_nonblocking(im.wake_r.get()));
+    BITC_RETURN_IF_ERROR(set_nonblocking(im.wake_w.get()));
+    BITC_ASSIGN_OR_RETURN(auto poller, Poller::create());
+    im.poller.emplace(std::move(poller));
+    BITC_RETURN_IF_ERROR(
+        im.poller->add(im.listener.get(), true, false));
+    BITC_RETURN_IF_ERROR(im.poller->add(im.wake_r.get(), true, false));
+
+    im.engine->start();
+    im.started = true;
+    im.sink_thread = std::thread([&im] { im.sink_main(); });
+    im.io_thread = std::thread([&im] { im.io_main(); });
+    return Status::ok();
+}
+
+uint16_t
+NetServer::port() const
+{
+    return impl_->bound_port;
+}
+
+const options::ServeSpec&
+NetServer::serve_spec() const
+{
+    return impl_->serve;
+}
+
+void
+NetServer::wait_done()
+{
+    Impl& im = *impl_;
+    std::unique_lock<std::mutex> lock(im.mu);
+    im.done_cv.wait(lock, [&] {
+        return im.done || im.stopped ||
+               im.stopping.load(std::memory_order_acquire);
+    });
+}
+
+void
+NetServer::stop()
+{
+    Impl& im = *impl_;
+    {
+        std::lock_guard<std::mutex> lock(im.mu);
+        if (!im.started || im.stopped) return;
+        im.stopped = true;
+    }
+    im.stopping.store(true, std::memory_order_release);
+    im.wake_io();
+    im.space_cv.notify_all();
+    im.supervisor.request_shutdown();
+    if (im.io_thread.joinable()) im.io_thread.join();
+    im.engine->close_input();
+    im.engine->finish();
+    if (im.sink_thread.joinable()) im.sink_thread.join();
+
+    // Final sweep: whatever never left a write queue is rejected.
+    std::lock_guard<std::mutex> lock(im.mu);
+    for (auto& [id, c] : im.conns) {
+        if (c->dead) continue;
+        size_t skip = c->write_off > 0 ? 1 : 0;
+        size_t i = 0;
+        for (const Impl::OutFrame& f : c->write_q) {
+            if (i++ < skip) continue;
+            if (f.tag == Impl::kDelivered) {
+                im.delivered.fetch_sub(1, std::memory_order_relaxed);
+                im.rejected.fetch_add(1, std::memory_order_relaxed);
+            } else if (f.tag == Impl::kDropped) {
+                im.dropped.fetch_sub(1, std::memory_order_relaxed);
+                im.rejected.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        c->write_q.clear();
+        c->fd.reset();
+        c->dead = true;
+        im.teardowns_clean.fetch_add(1, std::memory_order_relaxed);
+        metrics::gauge_sub(metrics::Gauge::kNetConnections);
+        trace::emit(trace::Event::kNetConnClose, c->id, 0);
+    }
+    im.conns.clear();
+    im.by_fd.clear();
+    im.done_cv.notify_all();
+}
+
+ServerStats
+NetServer::stats() const
+{
+    const Impl& im = *impl_;
+    ServerStats out;
+    out.accepted = im.accepted.load(std::memory_order_relaxed);
+    out.refused = im.refused.load(std::memory_order_relaxed);
+    out.frames_in = im.frames_in.load(std::memory_order_relaxed);
+    out.frames_out = im.frames_out.load(std::memory_order_relaxed);
+    out.protocol_errors =
+        im.protocol_errors.load(std::memory_order_relaxed);
+    out.edge_rejects =
+        im.edge_rejects.load(std::memory_order_relaxed);
+    out.teardowns_sick =
+        im.teardowns_sick.load(std::memory_order_relaxed);
+    out.teardowns_clean =
+        im.teardowns_clean.load(std::memory_order_relaxed);
+    out.listener_crashes = im.supervisor.crashes();
+    out.listener_restarts = im.supervisor.restarts();
+    out.breaker_opens = im.supervisor.breaker_opens();
+    out.generated = im.generated.load(std::memory_order_relaxed);
+    out.delivered = im.delivered.load(std::memory_order_relaxed);
+    out.dropped = im.dropped.load(std::memory_order_relaxed);
+    out.fault_dropped = im.engine->fault_dropped();
+    out.shed = im.engine->shed();
+    out.rejected = im.rejected.load(std::memory_order_relaxed);
+    return out;
+}
+
+}  // namespace bitc::net

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * TCP front-end for the supervised packet pipeline: real sockets in,
+ * the PR-5 worker fleet behind them, answers routed back by flow.
+ *
+ * Architecture (docs/networking.md has the full story):
+ *
+ *  - One non-blocking IO-loop thread owns the listener, every
+ *    connection fd and the Poller (epoll, poll fallback).  It decodes
+ *    length-prefixed frames (net/wire.hpp) into single-packet
+ *    PipeBatches and submits them to a PipelineEngine with
+ *    try_submit: kUnavailable parks the batch on its connection and
+ *    *pauses reading that socket* — backpressure reaches the client
+ *    as TCP flow control, never as unbounded buffering.
+ *  - One sink thread drains the engine's sink channel and routes each
+ *    processed packet back to its connection by the conn-id half of
+ *    the flow word, as a kResponse (or kDrop) frame on a bounded
+ *    per-connection write queue.  A queue that stays full past
+ *    write_stall_ms marks the connection sick; the IO loop tears it
+ *    down and the undeliverable answers move to the rejected ledger.
+ *  - The IO loop runs under the same Supervisor machinery as the
+ *    stage workers, registered as the "socket-io" fault site's
+ *    victim: an injected accept fault crashes the loop body, the
+ *    supervisor restarts the listener with backoff, and a storm trips
+ *    the circuit breaker (connections survive restarts — their state
+ *    lives in the server, not the loop incarnation).  Injected
+ *    read/write faults are connection-level: the sick connection is
+ *    torn down, its originator answered best-effort with an error
+ *    frame.
+ *
+ * Conservation: every packet the server submits to the engine is
+ * accounted exactly once —
+ *
+ *   generated == delivered + dropped + fault_dropped + shed + rejected
+ *
+ * where delivered/dropped are answer frames handed to a live
+ * connection, fault_dropped/shed come from the engine's ledger, and
+ * rejected counts orphans (answers whose connection died first) and
+ * teardown remnants.  stats().conserved() checks it; exact after
+ * stop().
+ */
+#ifndef BITC_NET_SERVER_HPP
+#define BITC_NET_SERVER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "concurrency/pipeline.hpp"
+#include "support/options.hpp"
+#include "support/status.hpp"
+
+namespace bitc::net {
+
+/** Server-side totals; the packet ledger is exact after stop(). */
+struct ServerStats {
+    uint64_t accepted = 0;         ///< Connections accepted.
+    uint64_t refused = 0;          ///< Accepts refused (max-conns).
+    uint64_t frames_in = 0;        ///< Data frames decoded.
+    uint64_t frames_out = 0;       ///< Answer frames enqueued.
+    uint64_t protocol_errors = 0;  ///< Malformed frames answered kError.
+    uint64_t edge_rejects = 0;     ///< Data frames refused pre-submit
+                                   ///< (sick shard / server draining).
+    uint64_t teardowns_sick = 0;   ///< Connections torn down on fault.
+    uint64_t teardowns_clean = 0;  ///< Orderly disconnects.
+    uint64_t listener_crashes = 0; ///< IO-loop crashes (accept faults).
+    uint64_t listener_restarts = 0;///< Supervised loop restarts.
+    uint64_t breaker_opens = 0;    ///< Listener breaker trips.
+
+    // The packet conservation ledger.
+    uint64_t generated = 0;      ///< Packets submitted to the engine.
+    uint64_t delivered = 0;      ///< kResponse frames to live conns.
+    uint64_t dropped = 0;        ///< kDrop frames to live conns.
+    uint64_t fault_dropped = 0;  ///< Engine: lost to injected faults.
+    uint64_t shed = 0;           ///< Engine: deadline-shed batches.
+    uint64_t rejected = 0;       ///< Orphans + teardown remnants.
+
+    bool conserved() const {
+        return generated == delivered + dropped + fault_dropped +
+                                shed + rejected;
+    }
+
+    std::string to_string() const;
+};
+
+/**
+ * The front-end.  create() builds the engine (forward_drops is forced
+ * on so every frame's originator hears an answer); start() binds the
+ * listener and spawns the IO + sink threads; stop() drains and joins
+ * everything.  One-shot lifecycle like the engine's.
+ */
+class NetServer {
+  public:
+    /** Engine + listener configuration; binds nothing yet. */
+    static Result<std::unique_ptr<NetServer>> create(
+        const options::ServeSpec& serve,
+        conc::PipelineConfig pipeline);
+
+    ~NetServer();
+    NetServer(const NetServer&) = delete;
+    NetServer& operator=(const NetServer&) = delete;
+
+    /** Binds, listens and spawns the threads.  Call exactly once. */
+    Status start();
+
+    /** The bound port (the kernel's pick when the spec said 0). */
+    uint16_t port() const;
+
+    const options::ServeSpec& serve_spec() const;
+
+    /**
+     * Blocks until the spec's max_frames data frames have been
+     * submitted *and* every answer has left the write queues (or the
+     * server is stopping).  Requires max_frames > 0.
+     */
+    void wait_done();
+
+    /** Graceful shutdown: drain, join, close.  Idempotent. */
+    void stop();
+
+    /** Totals; the ledger is exact once stop() has returned. */
+    ServerStats stats() const;
+
+  private:
+    struct Impl;
+    explicit NetServer(std::unique_ptr<Impl> impl);
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bitc::net
+
+#endif  // BITC_NET_SERVER_HPP

@@ -1,0 +1,182 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/fault.hpp"
+#include "support/string_util.hpp"
+
+namespace bitc::net {
+
+namespace {
+
+Status
+errno_error(const char* what)
+{
+    return internal_error(
+        str_format("%s: %s", what, std::strerror(errno)));
+}
+
+Result<sockaddr_in>
+make_addr(const std::string& host, uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return invalid_argument_error(
+            str_format("bad IPv4 address '%s'", host.c_str()));
+    }
+    return addr;
+}
+
+}  // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Status
+set_nonblocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) return errno_error("fcntl(F_GETFL)");
+    if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        return errno_error("fcntl(F_SETFL)");
+    }
+    return Status::ok();
+}
+
+Result<Fd>
+listen_tcp(const std::string& host, uint16_t port)
+{
+    BITC_ASSIGN_OR_RETURN(sockaddr_in addr, make_addr(host, port));
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) return errno_error("socket");
+    int one = 1;
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+        return errno_error("bind");
+    }
+    if (::listen(fd.get(), SOMAXCONN) < 0) {
+        return errno_error("listen");
+    }
+    BITC_RETURN_IF_ERROR(set_nonblocking(fd.get()));
+    return fd;
+}
+
+Result<uint16_t>
+local_port(int fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) <
+        0) {
+        return errno_error("getsockname");
+    }
+    return ntohs(addr.sin_port);
+}
+
+Result<Fd>
+connect_tcp(const std::string& host, uint16_t port)
+{
+    BITC_ASSIGN_OR_RETURN(sockaddr_in addr, make_addr(host, port));
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) return errno_error("socket");
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return errno_error("connect");
+    int one = 1;
+    (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+    return fd;
+}
+
+Result<Fd>
+accept_conn(int listen_fd)
+{
+    if (fault::inject(fault::Site::kSocketIo)) {
+        return fault::injected_error(fault::Site::kSocketIo);
+    }
+    int rc;
+    do {
+        rc = ::accept(listen_fd, nullptr, nullptr);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return unavailable_error("no pending connection");
+        }
+        return errno_error("accept");
+    }
+    Fd fd(rc);
+    int one = 1;
+    (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+    if (Status nb = set_nonblocking(fd.get()); !nb.is_ok()) return nb;
+    return fd;
+}
+
+Result<ReadResult>
+read_some(int fd, std::span<uint8_t> buf)
+{
+    if (fault::inject(fault::Site::kSocketIo)) {
+        return fault::injected_error(fault::Site::kSocketIo);
+    }
+    ssize_t rc;
+    do {
+        rc = ::read(fd, buf.data(), buf.size());
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return unavailable_error("socket drained");
+        }
+        if (errno == ECONNRESET) {
+            return cancelled_error("connection reset by peer");
+        }
+        return errno_error("read");
+    }
+    ReadResult out;
+    out.bytes = static_cast<size_t>(rc);
+    out.eof = rc == 0;
+    return out;
+}
+
+Result<size_t>
+write_some(int fd, std::span<const uint8_t> data)
+{
+    if (fault::inject(fault::Site::kSocketIo)) {
+        return fault::injected_error(fault::Site::kSocketIo);
+    }
+    ssize_t rc;
+    do {
+        rc = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return unavailable_error("socket full");
+        }
+        if (errno == EPIPE || errno == ECONNRESET) {
+            return cancelled_error("peer gone");
+        }
+        return errno_error("write");
+    }
+    return static_cast<size_t>(rc);
+}
+
+}  // namespace bitc::net

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Thin RAII + Status wrappers over the POSIX socket calls the net
+ * front-end uses.  Two jobs:
+ *
+ *  - own file descriptors the systems-C++ way (move-only Fd, close on
+ *    destruction, EINTR handled once here instead of at every call
+ *    site), and
+ *  - make every accept/read/write a deterministic fault boundary: the
+ *    kSocketIo injection site fires *before* the system call, so a
+ *    fault plan like "socket-io:every=3" exercises the server's
+ *    failure paths on a loopback socket that would otherwise never
+ *    fail.
+ *
+ * All addresses are IPv4 dotted-quads ("127.0.0.1"); that is all the
+ * loopback experiments need.
+ */
+#ifndef BITC_NET_SOCKET_HPP
+#define BITC_NET_SOCKET_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "support/status.hpp"
+
+namespace bitc::net {
+
+/** Move-only owner of a file descriptor (closes on destruction). */
+class Fd {
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+    Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+    Fd& operator=(Fd&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = std::exchange(other.fd_, -1);
+        }
+        return *this;
+    }
+
+    bool valid() const { return fd_ >= 0; }
+    int get() const { return fd_; }
+
+    /** Releases ownership without closing. */
+    int release() { return std::exchange(fd_, -1); }
+
+    /** Closes now (idempotent). */
+    void reset();
+
+  private:
+    int fd_ = -1;
+};
+
+/** What a read produced: bytes, or the peer's orderly shutdown. */
+struct ReadResult {
+    size_t bytes = 0;
+    bool eof = false;  ///< true: the peer closed its write side.
+};
+
+/** Puts @p fd in non-blocking mode. */
+Status set_nonblocking(int fd);
+
+/**
+ * Binds and listens on @p host:@p port (port 0 = kernel-chosen
+ * ephemeral).  SO_REUSEADDR is set so tests can rebind promptly.
+ */
+Result<Fd> listen_tcp(const std::string& host, uint16_t port);
+
+/** The locally bound port of a listening/connected socket. */
+Result<uint16_t> local_port(int fd);
+
+/** Blocking connect to @p host:@p port. */
+Result<Fd> connect_tcp(const std::string& host, uint16_t port);
+
+/**
+ * Accepts one pending connection from non-blocking @p listen_fd.
+ * kUnavailable when none is pending; kResourceExhausted when the
+ * kSocketIo fault site fires (the listener's injected failure).
+ */
+Result<Fd> accept_conn(int listen_fd);
+
+/**
+ * Reads whatever is available into @p buf.  kUnavailable when the
+ * socket has nothing (EAGAIN); kResourceExhausted on an injected
+ * kSocketIo fault; eof set when the peer shut down cleanly.
+ */
+Result<ReadResult> read_some(int fd, std::span<uint8_t> buf);
+
+/**
+ * Writes as much of @p data as the socket accepts; returns the byte
+ * count (possibly 0 under EAGAIN via kUnavailable).  kResourceExhausted
+ * on an injected kSocketIo fault; kCancelled when the peer is gone
+ * (EPIPE/ECONNRESET).
+ */
+Result<size_t> write_some(int fd, std::span<const uint8_t> data);
+
+}  // namespace bitc::net
+
+#endif  // BITC_NET_SOCKET_HPP

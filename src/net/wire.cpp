@@ -1,0 +1,162 @@
+#include "net/wire.hpp"
+
+#include "support/string_util.hpp"
+
+namespace bitc::net {
+
+namespace {
+
+using repr::FieldSpec;
+using repr::RecordSpec;
+using repr::ScalarType;
+
+RecordSpec
+make_header_spec()
+{
+    RecordSpec spec;
+    spec.name = "net-frame-header";
+    spec.packing = repr::Packing::kNatural;
+    spec.pinned_byte_size = static_cast<uint32_t>(kFrameHeaderBytes);
+    spec.fields.push_back(FieldSpec("magic", ScalarType::uint_type(16)));
+    spec.fields.push_back(FieldSpec("version", ScalarType::uint_type(8)));
+    spec.fields.push_back(FieldSpec("type", ScalarType::uint_type(8)));
+    spec.fields.push_back(FieldSpec("flow", ScalarType::uint_type(32)));
+    spec.fields.push_back(
+        FieldSpec("deadline_ms", ScalarType::uint_type(32)));
+    spec.fields.push_back(FieldSpec("length", ScalarType::uint_type(32)));
+    return spec;
+}
+
+}  // namespace
+
+const char*
+frame_type_name(FrameType type)
+{
+    switch (type) {
+      case FrameType::kData: return "data";
+      case FrameType::kResponse: return "response";
+      case FrameType::kDrop: return "drop";
+      case FrameType::kError: return "error";
+    }
+    return "unknown";
+}
+
+const repr::RecordSpec&
+frame_header_spec()
+{
+    static const RecordSpec spec = make_header_spec();
+    return spec;
+}
+
+const repr::RecordCodec&
+frame_codec()
+{
+    static const repr::RecordCodec codec = [] {
+        auto layout = repr::compute_layout(frame_header_spec());
+        // The spec is a compile-time constant of this file; a layout
+        // failure is a programming error, not an input error.
+        assert(layout.is_ok());
+        return repr::RecordCodec(std::move(layout).take());
+    }();
+    return codec;
+}
+
+void
+encode_frame(const Frame& frame, std::vector<uint8_t>& out)
+{
+    const repr::RecordCodec& codec = frame_codec();
+    size_t base = out.size();
+    out.resize(base + kFrameHeaderBytes);
+    std::span<uint8_t> header(out.data() + base, kFrameHeaderBytes);
+    const auto& fields = codec.layout().fields();
+    codec.write_field(header, fields[0], kFrameMagic);
+    codec.write_field(header, fields[1], kFrameVersion);
+    codec.write_field(header, fields[2],
+                      static_cast<uint64_t>(frame.type));
+    codec.write_field(header, fields[3], frame.flow);
+    codec.write_field(header, fields[4], frame.deadline_ms);
+    codec.write_field(header, fields[5], frame.payload.size());
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+std::vector<uint8_t>
+encode_frame(const Frame& frame)
+{
+    std::vector<uint8_t> out;
+    out.reserve(kFrameHeaderBytes + frame.payload.size());
+    encode_frame(frame, out);
+    return out;
+}
+
+void
+FrameDecoder::feed(std::span<const uint8_t> bytes)
+{
+    // Compact lazily: drop the consumed prefix before growing, so a
+    // long-lived connection does not accrete its whole history.
+    if (consumed_ > 0 && consumed_ == buffer_.size()) {
+        buffer_.clear();
+        consumed_ = 0;
+    } else if (consumed_ > kMaxFramePayload) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<long>(consumed_));
+        consumed_ = 0;
+    }
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::optional<Frame>>
+FrameDecoder::next()
+{
+    if (!poisoned_.is_ok()) return poisoned_;
+    std::span<const uint8_t> rest(buffer_.data() + consumed_,
+                                  buffer_.size() - consumed_);
+    if (rest.size() < kFrameHeaderBytes) {
+        return std::optional<Frame>();  // truncated header: need bytes
+    }
+    const repr::RecordCodec& codec = frame_codec();
+    const auto& fields = codec.layout().fields();
+    uint64_t magic = codec.read_field(rest, fields[0]);
+    uint64_t version = codec.read_field(rest, fields[1]);
+    uint64_t type = codec.read_field(rest, fields[2]);
+    uint64_t flow = codec.read_field(rest, fields[3]);
+    uint64_t deadline_ms = codec.read_field(rest, fields[4]);
+    uint64_t length = codec.read_field(rest, fields[5]);
+    if (magic != kFrameMagic) {
+        poisoned_ = invalid_argument_error(str_format(
+            "frame magic 0x%04llx (want 0x%04x)",
+            static_cast<unsigned long long>(magic), kFrameMagic));
+        return poisoned_;
+    }
+    if (version != kFrameVersion) {
+        poisoned_ = failed_precondition_error(str_format(
+            "frame version %llu (this server speaks %u)",
+            static_cast<unsigned long long>(version), kFrameVersion));
+        return poisoned_;
+    }
+    if (type < static_cast<uint64_t>(FrameType::kData) ||
+        type > static_cast<uint64_t>(FrameType::kError)) {
+        poisoned_ = invalid_argument_error(str_format(
+            "frame type %llu", static_cast<unsigned long long>(type)));
+        return poisoned_;
+    }
+    if (length > kMaxFramePayload) {
+        poisoned_ = out_of_range_error(str_format(
+            "frame length %llu exceeds %zu",
+            static_cast<unsigned long long>(length), kMaxFramePayload));
+        return poisoned_;
+    }
+    if (rest.size() < kFrameHeaderBytes + length) {
+        return std::optional<Frame>();  // payload still in flight
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.flow = static_cast<uint32_t>(flow);
+    frame.deadline_ms = static_cast<uint32_t>(deadline_ms);
+    frame.payload.assign(
+        rest.begin() + kFrameHeaderBytes,
+        rest.begin() + static_cast<long>(kFrameHeaderBytes + length));
+    consumed_ += kFrameHeaderBytes + length;
+    return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace bitc::net

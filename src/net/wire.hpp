@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Wire protocol of the pipeline's TCP front-end: length-prefixed
+ * binary frames with a versioned, repr-described header.
+ *
+ * The header is not parsed with hand-written shifts: its layout is a
+ * repr::RecordSpec and the bytes are read through the same
+ * RecordCodec machinery the packet stages use (the C3 argument,
+ * applied to the server's own protocol).  Every frame is
+ *
+ *   +----------------- 16-byte header -----------------+---------+
+ *   | magic u16 | version u8 | type u8 | flow u32      | payload |
+ *   | deadline_ms u32 | length u32                     | (length)|
+ *   +---------------------------------------------------+---------+
+ *
+ * Requests are kData frames whose payload is one packet wire image
+ * (conc::kPipeWireBytes bytes).  The server answers every data frame
+ * exactly once: kResponse (processed wire image + route bucket),
+ * kDrop (validate rejected it), or kError (the connection is being
+ * torn down / the shard is sick; payload is human-readable text).
+ *
+ * FrameDecoder is incremental: feed() whatever the socket produced,
+ * call next() until it reports "incomplete".  Protocol violations
+ * (bad magic, unknown version, oversize length) are Status errors —
+ * the connection they arrived on cannot be resynchronised and must be
+ * torn down.
+ */
+#ifndef BITC_NET_WIRE_HPP
+#define BITC_NET_WIRE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "repr/codec.hpp"
+#include "support/status.hpp"
+
+namespace bitc::net {
+
+/** Frame-header magic ("BitC" pipeline port). */
+inline constexpr uint16_t kFrameMagic = 0xB17C;
+/** Current protocol version; bumped on any layout change. */
+inline constexpr uint8_t kFrameVersion = 1;
+/** Header size on the wire, pinned by the repr layout. */
+inline constexpr size_t kFrameHeaderBytes = 16;
+/** Upper bound on a frame payload; larger lengths are protocol errors. */
+inline constexpr size_t kMaxFramePayload = 1u << 16;
+
+/** Frame kinds (the header's type field). */
+enum class FrameType : uint8_t {
+    kData = 1,      ///< Client -> server: one packet to process.
+    kResponse = 2,  ///< Server -> client: processed packet + bucket.
+    kDrop = 3,      ///< Server -> client: validate rejected the packet.
+    kError = 4,     ///< Server -> client: text diagnostic; conn is dying.
+};
+
+/** Stable name for a frame type ("data", "response", ...). */
+const char* frame_type_name(FrameType type);
+
+/** One decoded frame: typed header fields plus the raw payload. */
+struct Frame {
+    FrameType type = FrameType::kData;
+    uint32_t flow = 0;         ///< Client-chosen flow id (echoed back).
+    uint32_t deadline_ms = 0;  ///< Relative deadline budget; 0 = none.
+    std::vector<uint8_t> payload;
+};
+
+/** The header layout as a repr record spec (natural packing, 16 B). */
+const repr::RecordSpec& frame_header_spec();
+
+/** Shared codec for the header layout. */
+const repr::RecordCodec& frame_codec();
+
+/** Serialises @p frame (header + payload) into @p out (appending). */
+void encode_frame(const Frame& frame, std::vector<uint8_t>& out);
+
+/** Convenience: a fresh buffer holding just @p frame. */
+std::vector<uint8_t> encode_frame(const Frame& frame);
+
+/**
+ * Incremental frame parser.  Bytes go in via feed(); complete frames
+ * come out of next():
+ *
+ *   - Result holding a Frame: one complete frame was consumed;
+ *   - Result holding std::nullopt: the buffer holds only a frame
+ *     prefix — feed more bytes;
+ *   - error Status: the stream is not speaking this protocol
+ *     (kInvalidArgument: bad magic or type; kFailedPrecondition:
+ *     version mismatch; kOutOfRange: length above kMaxFramePayload).
+ *     The decoder is poisoned and the connection must be torn down.
+ */
+class FrameDecoder {
+  public:
+    /** Appends raw socket bytes to the parse buffer. */
+    void feed(std::span<const uint8_t> bytes);
+
+    /** Extracts the next complete frame (see class comment). */
+    Result<std::optional<Frame>> next();
+
+    /** Bytes buffered but not yet consumed by next(). */
+    size_t buffered() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::vector<uint8_t> buffer_;
+    size_t consumed_ = 0;  ///< Prefix of buffer_ already parsed out.
+    Status poisoned_;      ///< First protocol error, sticky.
+};
+
+}  // namespace bitc::net
+
+#endif  // BITC_NET_WIRE_HPP

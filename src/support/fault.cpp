@@ -11,7 +11,7 @@ namespace {
 
 constexpr const char* kSiteNames[kNumSites] = {
     "heap-alloc", "gc-trigger", "stm-commit", "channel-op",
-    "ffi-marshal", "worker-crash",
+    "ffi-marshal", "worker-crash", "socket-io",
 };
 
 constexpr uint64_t kOperandMask =

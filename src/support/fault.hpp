@@ -40,10 +40,11 @@ enum class Site : uint8_t {
     kChannelOp,      ///< Channel send/recv entry points.
     kFfiMarshal,     ///< Record marshalling and VM buffer crossings.
     kWorkerCrash,    ///< Supervised worker loops; injection kills the worker.
+    kSocketIo,       ///< Network accept/read/write system-call boundaries.
 };
 
 /** Number of distinct sites (array sizing). */
-inline constexpr size_t kNumSites = 6;
+inline constexpr size_t kNumSites = 7;
 
 /** Stable name used in plans and messages, e.g. "heap-alloc". */
 const char* site_name(Site site);

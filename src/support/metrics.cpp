@@ -55,6 +55,11 @@ constexpr std::array<const char*, kNumCounters> kCounterNames = {
     "marshal.records_out",
     "fault.hits",
     "fault.injected",
+    "net.accepts",
+    "net.frames_in",
+    "net.frames_out",
+    "net.rejects",
+    "net.conn_teardowns",
 };
 
 constexpr std::array<const char*, kNumGauges> kGaugeNames = {
@@ -64,6 +69,7 @@ constexpr std::array<const char*, kNumGauges> kGaugeNames = {
     "channel.blocked_now",
     "pipeline.workers",
     "pipeline.breakers_open",
+    "net.connections",
 };
 
 constexpr std::array<const char*, kNumHistograms> kHistogramNames = {
@@ -73,6 +79,7 @@ constexpr std::array<const char*, kNumHistograms> kHistogramNames = {
     "vm.run_ns",
     "pipeline.batch_ns",
     "pipeline.shed_late_ns",
+    "net.frame_latency_ns",
 };
 
 }  // namespace

@@ -67,6 +67,11 @@ enum class Counter : uint16_t {
     kMarshalRecordsOut,   ///< Records marshalled out to raw bytes.
     kFaultHits,           ///< Armed fault sites reached.
     kFaultsInjected,      ///< Failures actually injected.
+    kNetAccepts,          ///< Connections accepted by the server.
+    kNetFramesIn,         ///< Wire frames decoded off sockets.
+    kNetFramesOut,        ///< Wire frames fully written to sockets.
+    kNetRejects,          ///< Frames answered with error/reject frames.
+    kNetConnTeardowns,    ///< Connections torn down as sick.
     kCount_,              ///< Sentinel: number of counters.
 };
 
@@ -78,6 +83,7 @@ enum class Gauge : uint16_t {
     kChanBlockedNow,        ///< Threads currently blocked on a channel.
     kPipeWorkers,           ///< Stage workers of the running pipeline.
     kPipeBreakersOpen,      ///< Breakers currently open (level gauge).
+    kNetConnections,        ///< Connections currently open (level gauge).
     kCount_,                ///< Sentinel: number of gauges.
 };
 
@@ -95,6 +101,7 @@ enum class Histogram : uint16_t {
     kVmRunNs,           ///< Wall time of one Vm::run.
     kPipeBatchNs,       ///< Stage processing time per hand-off batch.
     kPipeShedLateNs,    ///< How far past its deadline a shed batch was.
+    kNetFrameLatencyNs, ///< Frame decode-to-response-write latency.
     kCount_,            ///< Sentinel: number of histograms.
 };
 

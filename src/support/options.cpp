@@ -1,0 +1,428 @@
+#include "support/options.hpp"
+
+#include <cstdlib>
+
+#include "support/string_util.hpp"
+
+namespace bitc::options {
+
+namespace {
+
+/** Strict unsigned parse: the whole token must be digits. */
+Result<uint64_t>
+parse_count(const std::string& key, const std::string& value)
+{
+    // strtoull silently accepts a sign (negatives wrap); digits only.
+    bool digits_only = !value.empty();
+    for (char ch : value) digits_only = digits_only && ch >= '0' && ch <= '9';
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+    if (!digits_only || end == value.c_str() || *end != '\0') {
+        return invalid_argument_error(
+            str_format("%s wants a number, got '%s'", key.c_str(),
+                       value.c_str()));
+    }
+    return static_cast<uint64_t>(n);
+}
+
+/** Splits "a,b,c" into tokens (no empties collapsed). */
+std::vector<std::string>
+split(const std::string& text, char sep)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t next = text.find(sep, pos);
+        if (next == std::string::npos) next = text.size();
+        out.push_back(text.substr(pos, next - pos));
+        if (next == text.size()) break;
+        pos = next + 1;
+    }
+    return out;
+}
+
+/** Splits one "key=value" clause. */
+Status
+split_clause(const std::string& clause, std::string& key,
+             std::string& value)
+{
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+        return invalid_argument_error(str_format(
+            "clause '%s' is not key=value", clause.c_str()));
+    }
+    key = clause.substr(0, eq);
+    value = clause.substr(eq + 1);
+    return Status::ok();
+}
+
+}  // namespace
+
+// --- PipelineSpec --------------------------------------------------------
+
+Status
+PipelineSpec::validate() const
+{
+    for (size_t w : workers) {
+        if (w == 0) {
+            return invalid_argument_error(
+                "pipeline workers must be >= 1 per stage");
+        }
+    }
+    if (queue_capacity == 0) {
+        return invalid_argument_error("pipeline queue must be >= 1");
+    }
+    if (batch_packets == 0) {
+        return invalid_argument_error("pipeline batch must be >= 1");
+    }
+    return Status::ok();
+}
+
+std::string
+PipelineSpec::to_string() const
+{
+    bool uniform = true;
+    for (size_t w : workers) uniform = uniform && w == workers[0];
+    std::string w;
+    if (uniform) {
+        w = str_format("%zu", workers[0]);
+    } else {
+        for (size_t s = 0; s < workers.size(); ++s) {
+            w += str_format(s == 0 ? "%zu" : ":%zu", workers[s]);
+        }
+    }
+    return str_format(
+        "workers=%s,queue=%zu,batch=%zu,packets=%zu,impl=%s,"
+        "seed=%llu,payload=%zu,lookup-us=%u,restarts=%u,window=%llu,"
+        "backoff=%llu,deadline=%llu",
+        w.c_str(), queue_capacity, batch_packets, packets,
+        migrated ? "bitc" : "legacy",
+        static_cast<unsigned long long>(seed), payload_bytes,
+        lookup_latency_us, max_restarts,
+        static_cast<unsigned long long>(restart_window_ms),
+        static_cast<unsigned long long>(backoff_ms),
+        static_cast<unsigned long long>(deadline_ms));
+}
+
+Result<PipelineSpec>
+PipelineSpec::parse(const std::string& spec)
+{
+    PipelineSpec out;
+    if (spec.empty()) return out;
+    for (const std::string& clause : split(spec, ',')) {
+        std::string key, value;
+        BITC_RETURN_IF_ERROR(split_clause(clause, key, value));
+        if (key == "workers") {
+            // Either one count for all stages or s0:s1:s2:s3.
+            std::vector<std::string> fields = split(value, ':');
+            if (fields.size() != 1 &&
+                fields.size() != kPipelineStages) {
+                return invalid_argument_error(
+                    "workers wants 1 or 4 colon-separated counts");
+            }
+            std::array<size_t, kPipelineStages> w{};
+            for (size_t i = 0; i < fields.size(); ++i) {
+                BITC_ASSIGN_OR_RETURN(
+                    uint64_t n, parse_count("workers", fields[i]));
+                if (n == 0) {
+                    return invalid_argument_error(str_format(
+                        "bad worker count '%s'", fields[i].c_str()));
+                }
+                w[i] = static_cast<size_t>(n);
+            }
+            if (fields.size() == 1) w.fill(w[0]);
+            out.workers = w;
+        } else if (key == "queue") {
+            BITC_ASSIGN_OR_RETURN(uint64_t n, parse_count(key, value));
+            out.queue_capacity = static_cast<size_t>(n);
+        } else if (key == "batch") {
+            BITC_ASSIGN_OR_RETURN(uint64_t n, parse_count(key, value));
+            out.batch_packets = static_cast<size_t>(n);
+        } else if (key == "packets") {
+            BITC_ASSIGN_OR_RETURN(uint64_t n, parse_count(key, value));
+            out.packets = static_cast<size_t>(n);
+        } else if (key == "seed") {
+            BITC_ASSIGN_OR_RETURN(out.seed, parse_count(key, value));
+        } else if (key == "payload") {
+            BITC_ASSIGN_OR_RETURN(uint64_t n, parse_count(key, value));
+            out.payload_bytes = static_cast<size_t>(n);
+        } else if (key == "lookup-us") {
+            BITC_ASSIGN_OR_RETURN(uint64_t n, parse_count(key, value));
+            out.lookup_latency_us = static_cast<uint32_t>(n);
+        } else if (key == "restarts") {
+            BITC_ASSIGN_OR_RETURN(uint64_t n, parse_count(key, value));
+            out.max_restarts = static_cast<uint32_t>(n);
+        } else if (key == "window") {
+            BITC_ASSIGN_OR_RETURN(out.restart_window_ms,
+                                  parse_count(key, value));
+        } else if (key == "backoff") {
+            BITC_ASSIGN_OR_RETURN(out.backoff_ms,
+                                  parse_count(key, value));
+        } else if (key == "deadline") {
+            BITC_ASSIGN_OR_RETURN(out.deadline_ms,
+                                  parse_count(key, value));
+        } else if (key == "impl") {
+            if (value == "legacy") {
+                out.migrated = false;
+            } else if (value == "bitc" || value == "migrated") {
+                out.migrated = true;
+            } else {
+                return invalid_argument_error(str_format(
+                    "pipeline impl '%s' (want legacy|bitc)",
+                    value.c_str()));
+            }
+        } else {
+            return invalid_argument_error(str_format(
+                "unknown pipeline key '%s'", key.c_str()));
+        }
+    }
+    BITC_RETURN_IF_ERROR(out.validate());
+    return out;
+}
+
+// --- ServeSpec -----------------------------------------------------------
+
+Status
+ServeSpec::validate() const
+{
+    if (host.empty()) {
+        return invalid_argument_error("serve host must be nonempty");
+    }
+    if (write_queue_frames == 0) {
+        return invalid_argument_error(
+            "serve write-queue must be >= 1");
+    }
+    if (max_connections == 0) {
+        return invalid_argument_error("serve max-conns must be >= 1");
+    }
+    return Status::ok();
+}
+
+std::string
+ServeSpec::to_string() const
+{
+    return str_format(
+        "%s:%u,write-queue=%zu,max-frames=%llu,stall-ms=%llu,"
+        "max-conns=%zu",
+        host.c_str(), static_cast<unsigned>(port), write_queue_frames,
+        static_cast<unsigned long long>(max_frames),
+        static_cast<unsigned long long>(write_stall_ms),
+        max_connections);
+}
+
+Result<ServeSpec>
+ServeSpec::parse(const std::string& spec)
+{
+    if (spec.empty()) {
+        return invalid_argument_error("serve spec is empty");
+    }
+    ServeSpec out;
+    std::vector<std::string> clauses = split(spec, ',');
+    // First clause is HOST:PORT; the last ':' splits it so bracketless
+    // IPv6-ish hosts with colons still parse.
+    const std::string& endpoint = clauses[0];
+    size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+        return invalid_argument_error(str_format(
+            "serve endpoint '%s' is not HOST:PORT",
+            endpoint.c_str()));
+    }
+    out.host = endpoint.substr(0, colon);
+    BITC_ASSIGN_OR_RETURN(
+        uint64_t port, parse_count("port", endpoint.substr(colon + 1)));
+    if (port > 0xffff) {
+        return invalid_argument_error(
+            str_format("serve port %llu out of range",
+                       static_cast<unsigned long long>(port)));
+    }
+    out.port = static_cast<uint16_t>(port);
+    for (size_t i = 1; i < clauses.size(); ++i) {
+        std::string key, value;
+        BITC_RETURN_IF_ERROR(split_clause(clauses[i], key, value));
+        if (key == "write-queue") {
+            BITC_ASSIGN_OR_RETURN(uint64_t n, parse_count(key, value));
+            out.write_queue_frames = static_cast<size_t>(n);
+        } else if (key == "max-frames") {
+            BITC_ASSIGN_OR_RETURN(out.max_frames,
+                                  parse_count(key, value));
+        } else if (key == "stall-ms") {
+            BITC_ASSIGN_OR_RETURN(out.write_stall_ms,
+                                  parse_count(key, value));
+        } else if (key == "max-conns") {
+            BITC_ASSIGN_OR_RETURN(uint64_t n, parse_count(key, value));
+            out.max_connections = static_cast<size_t>(n);
+        } else {
+            return invalid_argument_error(str_format(
+                "unknown serve key '%s'", key.c_str()));
+        }
+    }
+    BITC_RETURN_IF_ERROR(out.validate());
+    return out;
+}
+
+// --- FaultPlan -----------------------------------------------------------
+
+Status
+FaultPlan::validate() const
+{
+    for (const Clause& c : clauses) {
+        if (c.action != Action::kCount && c.operand == 0) {
+            return invalid_argument_error(str_format(
+                "fault clause for %s wants a 1-based operand",
+                fault::site_name(c.site)));
+        }
+    }
+    return Status::ok();
+}
+
+std::string
+FaultPlan::to_string() const
+{
+    if (empty()) return "";
+    std::string out;
+    auto append = [&](const std::string& clause) {
+        if (!out.empty()) out += ',';
+        out += clause;
+    };
+    if (count_all) append("count");
+    for (const Clause& c : clauses) {
+        switch (c.action) {
+          case Action::kCount:
+            append(str_format("%s:count", fault::site_name(c.site)));
+            break;
+          case Action::kNth:
+            append(str_format(
+                "%s:nth=%llu", fault::site_name(c.site),
+                static_cast<unsigned long long>(c.operand)));
+            break;
+          case Action::kEvery:
+            append(str_format(
+                "%s:every=%llu", fault::site_name(c.site),
+                static_cast<unsigned long long>(c.operand)));
+            break;
+        }
+    }
+    return out;
+}
+
+Result<FaultPlan>
+FaultPlan::parse(const std::string& plan)
+{
+    FaultPlan out;
+    if (plan.empty() || plan == "off") return out;
+    for (const std::string& clause : split(plan, ',')) {
+        if (clause == "count") {
+            out.count_all = true;
+            continue;
+        }
+        size_t colon = clause.find(':');
+        if (colon == std::string::npos) {
+            return invalid_argument_error(str_format(
+                "fault clause '%s' is not site:action",
+                clause.c_str()));
+        }
+        BITC_ASSIGN_OR_RETURN(
+            fault::Site site,
+            fault::parse_site(clause.substr(0, colon)));
+        std::string action = clause.substr(colon + 1);
+        Clause c;
+        c.site = site;
+        if (action == "count") {
+            c.action = Action::kCount;
+        } else if (action.rfind("nth=", 0) == 0) {
+            c.action = Action::kNth;
+            BITC_ASSIGN_OR_RETURN(
+                c.operand, parse_count("nth", action.substr(4)));
+        } else if (action.rfind("every=", 0) == 0) {
+            c.action = Action::kEvery;
+            BITC_ASSIGN_OR_RETURN(
+                c.operand, parse_count("every", action.substr(6)));
+        } else {
+            return invalid_argument_error(str_format(
+                "fault action '%s' (want count|nth=N|every=K)",
+                action.c_str()));
+        }
+        out.clauses.push_back(c);
+    }
+    BITC_RETURN_IF_ERROR(out.validate());
+    return out;
+}
+
+// --- RuntimeOptions ------------------------------------------------------
+
+Status
+RuntimeOptions::validate() const
+{
+    BITC_RETURN_IF_ERROR(pipeline.validate());
+    if (serve.has_value()) BITC_RETURN_IF_ERROR(serve->validate());
+    return faults.validate();
+}
+
+// --- CLI option table ----------------------------------------------------
+
+const std::vector<CliOption>&
+cli_options()
+{
+    static const std::vector<CliOption> kTable = {
+        {"--entry", "NAME", "entry function for run (default: main)"},
+        {"--mode", "unboxed|boxed",
+         "value representation (default: unboxed)"},
+        {"--heap", "POLICY",
+         "region|manual|refcount|mark-sweep|mark-compact|semispace|"
+         "generational"},
+        {"--heap-words", "N", "heap size in 64-bit words (default: 4M)"},
+        {"--dispatch", "switch|threaded",
+         "interpreter loop (default: threaded)"},
+        {"--profile", nullptr,
+         "print a per-opcode count/time table after run"},
+        {"--no-fold", nullptr, "disable constant folding"},
+        {"--no-bce", nullptr, "keep all checks even when proved"},
+        {"--no-verify", nullptr, "skip verification entirely"},
+        {"--overflow", nullptr,
+         "also emit overflow obligations (verify)"},
+        {"--stats", nullptr,
+         "print instruction/heap statistics after run"},
+        {"--faults", "PLAN",
+         "arm fault injection: site:nth=N | site:every=K | count"},
+        {"--metrics", "FILE",
+         "write the versioned metrics JSON snapshot (\"-\" = stdout)"},
+        {"--trace", "FILE", "record runtime events; write the dump"},
+        {"--pipeline", "SPEC",
+         "run the CSP packet-pipeline server (see spec grammar below)"},
+        {"--serve", "HOST:PORT[,opts]",
+         "serve the pipeline over TCP: write-queue=N, max-frames=N, "
+         "stall-ms=MS, max-conns=N"},
+    };
+    return kTable;
+}
+
+std::string
+cli_usage()
+{
+    std::string out =
+        "usage: bitcc {check|verify|disasm|run} FILE [options] "
+        "[-- args...]\n"
+        "       bitcc --pipeline SPEC [--faults PLAN] "
+        "[--metrics FILE] [--trace FILE]\n"
+        "       bitcc --serve HOST:PORT[,opts] [--pipeline SPEC] "
+        "[--faults PLAN]\n"
+        "             [--metrics FILE] [--trace FILE]\n"
+        "options:\n";
+    for (const CliOption& opt : cli_options()) {
+        std::string flag = opt.flag;
+        if (opt.value != nullptr) {
+            flag += ' ';
+            flag += opt.value;
+        }
+        out += str_format("  %-28s %s\n", flag.c_str(), opt.help);
+    }
+    out +=
+        "pipeline spec (comma-separated key=value):\n"
+        "  workers=N|a:b:c:d queue=N batch=N packets=N "
+        "impl=legacy|bitc\n"
+        "  seed=N payload=BYTES lookup-us=US restarts=N window=MS\n"
+        "  backoff=MS deadline=MS\n";
+    return out;
+}
+
+}  // namespace bitc::options

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Structured runtime options: the typed forms behind every stringly
+ * bitcc flag and bench spec.
+ *
+ * The paper's API argument cuts both ways: a systems runtime that asks
+ * its operators to assemble "workers=4,queue=64,..." strings by hand
+ * has pushed its configuration invariants out of the type system and
+ * into everyone's fingers.  This module is the inversion: programs
+ * construct PipelineSpec / ServeSpec / FaultPlan values directly (every
+ * field typed, every constraint checked in validate()), and the string
+ * grammar survives only as a parse()/to_string() round-trip pair for
+ * the command line.  bitcc's usage text is generated from the option
+ * table here, so flags, help and parser can no longer drift apart.
+ *
+ * Layering: this is the support layer — the specs are plain data with
+ * no dependency on conc/ or net/.  Each consumer owns its converter
+ * (conc::config_from_spec, net::server_config_from_spec) so the specs
+ * stay reusable from tools, benches and tests alike.
+ */
+#ifndef BITC_SUPPORT_OPTIONS_HPP
+#define BITC_SUPPORT_OPTIONS_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/fault.hpp"
+#include "support/status.hpp"
+
+namespace bitc::options {
+
+/** Pipeline stage count as the option layer knows it (== interop's). */
+inline constexpr size_t kPipelineStages = 4;
+
+/**
+ * Typed form of the --pipeline spec.  Field defaults mirror
+ * conc::PipelineConfig so an empty spec string and a
+ * default-constructed value mean the same run.
+ *
+ * Canonical string grammar (parse accepts, to_string emits):
+ *
+ *   workers=N|a:b:c:d,queue=N,batch=N,packets=N,impl=legacy|bitc,
+ *   seed=N,payload=BYTES,lookup-us=US,restarts=N,window=MS,
+ *   backoff=MS,deadline=MS
+ *
+ * parse(to_string(s)) == s for every valid s (the round-trip tests
+ * pin this).
+ */
+struct PipelineSpec {
+    std::array<size_t, kPipelineStages> workers{1, 1, 1, 1};
+    size_t queue_capacity = 64;   ///< Bounded input depth, in batches.
+    size_t batch_packets = 32;    ///< Packets per hand-off batch.
+    size_t packets = 10000;       ///< Packets a driver run generates.
+    size_t payload_bytes = 0;     ///< Checksummed payload per packet.
+    uint32_t lookup_latency_us = 0;  ///< Simulated classify lookup.
+    bool migrated = false;        ///< true = BitC stage implementations.
+    uint64_t seed = 1;            ///< Packet-stream seed.
+    uint32_t max_restarts = 3;    ///< Supervisor breaker budget.
+    uint64_t restart_window_ms = 1000;  ///< Crash window + cooldown.
+    uint64_t backoff_ms = 1;      ///< First restart backoff.
+    uint64_t deadline_ms = 0;     ///< Per-batch deadline; 0 = none.
+
+    /** Every stage has a worker, every queue/batch has capacity. */
+    Status validate() const;
+
+    /** Canonical spec string (parses back to an equal value). */
+    std::string to_string() const;
+
+    /** Parses the spec grammar; validates before returning. */
+    static Result<PipelineSpec> parse(const std::string& spec);
+
+    bool operator==(const PipelineSpec&) const = default;
+
+    // Fluent builder steps, so call sites read as configuration:
+    //   PipelineSpec{}.with_workers(4).with_packets(20000)
+    PipelineSpec& with_workers(size_t all) {
+        workers.fill(all);
+        return *this;
+    }
+    PipelineSpec& with_stage_workers(
+        const std::array<size_t, kPipelineStages>& per_stage) {
+        workers = per_stage;
+        return *this;
+    }
+    PipelineSpec& with_queue(size_t n) { queue_capacity = n; return *this; }
+    PipelineSpec& with_batch(size_t n) { batch_packets = n; return *this; }
+    PipelineSpec& with_packets(size_t n) { packets = n; return *this; }
+    PipelineSpec& with_payload(size_t bytes) {
+        payload_bytes = bytes;
+        return *this;
+    }
+    PipelineSpec& with_lookup_us(uint32_t us) {
+        lookup_latency_us = us;
+        return *this;
+    }
+    PipelineSpec& with_migrated(bool on) { migrated = on; return *this; }
+    PipelineSpec& with_seed(uint64_t s) { seed = s; return *this; }
+    PipelineSpec& with_deadline_ms(uint64_t ms) {
+        deadline_ms = ms;
+        return *this;
+    }
+};
+
+/**
+ * Typed form of the --serve target.  Grammar:
+ *
+ *   HOST:PORT[,write-queue=N][,max-frames=N][,stall-ms=MS]
+ *            [,max-conns=N]
+ *
+ * PORT 0 asks the kernel for an ephemeral port (tests bind loopback
+ * this way and read the chosen port back from the server).
+ */
+struct ServeSpec {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    size_t write_queue_frames = 64;  ///< Per-connection write queue cap.
+    uint64_t max_frames = 0;   ///< Stop after N data frames; 0 = serve on.
+    uint64_t write_stall_ms = 5000;  ///< Slow-reader teardown threshold.
+    size_t max_connections = 64;     ///< Accept cap; extras are refused.
+
+    Status validate() const;
+    std::string to_string() const;
+    static Result<ServeSpec> parse(const std::string& spec);
+
+    bool operator==(const ServeSpec&) const = default;
+
+    ServeSpec& with_endpoint(std::string h, uint16_t p) {
+        host = std::move(h);
+        port = p;
+        return *this;
+    }
+    ServeSpec& with_write_queue(size_t frames) {
+        write_queue_frames = frames;
+        return *this;
+    }
+    ServeSpec& with_max_frames(uint64_t n) {
+        max_frames = n;
+        return *this;
+    }
+    ServeSpec& with_stall_ms(uint64_t ms) {
+        write_stall_ms = ms;
+        return *this;
+    }
+    ServeSpec& with_max_connections(size_t n) {
+        max_connections = n;
+        return *this;
+    }
+};
+
+/**
+ * Typed form of a --faults plan: the clause list the injector's
+ * string grammar encodes.  to_string() emits exactly the grammar
+ * fault::Injector::arm understands, so arming is
+ *
+ *   fault::ScopedPlan scoped(plan.to_string());
+ */
+struct FaultPlan {
+    enum class Action : uint8_t {
+        kCount,  ///< Census: count hits, never fail.
+        kNth,    ///< Fail exactly the operand-th hit (1-based).
+        kEvery,  ///< Fail every operand-th hit.
+    };
+    struct Clause {
+        fault::Site site{};
+        Action action = Action::kCount;
+        uint64_t operand = 0;  ///< N/K for kNth/kEvery; unused for kCount.
+        bool operator==(const Clause&) const = default;
+    };
+
+    bool count_all = false;  ///< The bare "count" plan: census every site.
+    std::vector<Clause> clauses;
+
+    bool empty() const { return !count_all && clauses.empty(); }
+
+    FaultPlan& count() { count_all = true; return *this; }
+    FaultPlan& nth(fault::Site site, uint64_t n) {
+        clauses.push_back({site, Action::kNth, n});
+        return *this;
+    }
+    FaultPlan& every(fault::Site site, uint64_t k) {
+        clauses.push_back({site, Action::kEvery, k});
+        return *this;
+    }
+    FaultPlan& count_site(fault::Site site) {
+        clauses.push_back({site, Action::kCount, 0});
+        return *this;
+    }
+
+    /** Operands are 1-based; kCount carries none. */
+    Status validate() const;
+
+    /** Injector plan string; "" when empty (ScopedPlan treats as off). */
+    std::string to_string() const;
+
+    /** Parses the injector grammar ("", "off", "count", clauses). */
+    static Result<FaultPlan> parse(const std::string& plan);
+
+    bool operator==(const FaultPlan&) const = default;
+};
+
+/**
+ * Everything a bitcc-style runtime invocation needs, as one validated
+ * value: what to run (pipeline), how to expose it (serve, when the
+ * front-end is wanted), what to break (faults) and where the
+ * telemetry goes.  Benches and tests build this instead of spec
+ * strings; the CLI builds it through the parse adapters above.
+ */
+struct RuntimeOptions {
+    PipelineSpec pipeline;
+    std::optional<ServeSpec> serve;
+    FaultPlan faults;
+    std::string metrics_path;  ///< "" = metrics registry stays off.
+    std::string trace_path;    ///< "" = trace ring stays off.
+
+    RuntimeOptions& with_pipeline(PipelineSpec spec) {
+        pipeline = std::move(spec);
+        return *this;
+    }
+    RuntimeOptions& with_serve(ServeSpec spec) {
+        serve = std::move(spec);
+        return *this;
+    }
+    RuntimeOptions& with_faults(FaultPlan plan) {
+        faults = std::move(plan);
+        return *this;
+    }
+    RuntimeOptions& with_metrics(std::string path) {
+        metrics_path = std::move(path);
+        return *this;
+    }
+    RuntimeOptions& with_trace(std::string path) {
+        trace_path = std::move(path);
+        return *this;
+    }
+
+    /** Validates every constituent spec. */
+    Status validate() const;
+
+    bool operator==(const RuntimeOptions&) const = default;
+};
+
+/**
+ * One row of the bitcc flag table: the flag, its value metavar («»
+ * when the flag is boolean), and the one-line help.  usage text is
+ * generated from these rows — the single source the parser and the
+ * help share, so they cannot drift.
+ */
+struct CliOption {
+    const char* flag;   ///< e.g. "--pipeline".
+    const char* value;  ///< Metavar like "SPEC", or nullptr (boolean).
+    const char* help;   ///< One line, no trailing newline.
+};
+
+/** Every bitcc flag, in display order. */
+const std::vector<CliOption>& cli_options();
+
+/** The full generated usage text (command forms + flag table). */
+std::string cli_usage();
+
+}  // namespace bitc::options
+
+#endif  // BITC_SUPPORT_OPTIONS_HPP

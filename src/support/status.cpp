@@ -14,6 +14,8 @@ status_code_name(StatusCode code)
       case StatusCode::kResourceExhausted: return "resource exhausted";
       case StatusCode::kFailedPrecondition: return "failed precondition";
       case StatusCode::kDeadlineExceeded: return "deadline exceeded";
+      case StatusCode::kUnavailable: return "unavailable";
+      case StatusCode::kCancelled: return "cancelled";
       case StatusCode::kUnimplemented: return "unimplemented";
       case StatusCode::kInternal: return "internal";
       case StatusCode::kTypeError: return "type error";
@@ -50,6 +52,10 @@ Status failed_precondition_error(std::string m)
 { return Status(StatusCode::kFailedPrecondition, std::move(m)); }
 Status deadline_exceeded_error(std::string m)
 { return Status(StatusCode::kDeadlineExceeded, std::move(m)); }
+Status unavailable_error(std::string m)
+{ return Status(StatusCode::kUnavailable, std::move(m)); }
+Status cancelled_error(std::string m)
+{ return Status(StatusCode::kCancelled, std::move(m)); }
 Status unimplemented_error(std::string m)
 { return Status(StatusCode::kUnimplemented, std::move(m)); }
 Status internal_error(std::string m)

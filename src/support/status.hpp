@@ -27,6 +27,8 @@ enum class StatusCode {
     kResourceExhausted, ///< Allocator or budget ran dry.
     kFailedPrecondition,///< Call sequencing or state error.
     kDeadlineExceeded,  ///< A bounded wait timed out.
+    kUnavailable,       ///< Try-again condition: full queue, empty queue.
+    kCancelled,         ///< Peer closed / operation torn down mid-flight.
     kUnimplemented,     ///< Feature intentionally absent.
     kInternal,          ///< Invariant violation inside the toolchain.
     kTypeError,         ///< Type-check failure in the language pipeline.
@@ -78,6 +80,8 @@ Status out_of_range_error(std::string message);
 Status resource_exhausted_error(std::string message);
 Status failed_precondition_error(std::string message);
 Status deadline_exceeded_error(std::string message);
+Status unavailable_error(std::string message);
+Status cancelled_error(std::string message);
 Status unimplemented_error(std::string message);
 Status internal_error(std::string message);
 Status type_error(std::string message);
@@ -118,6 +122,12 @@ class Result {
         assert(is_ok());
         return std::get<T>(std::move(state_));
     }
+
+    /** Pointer-style access to the value; requires is_ok(). */
+    const T& operator*() const& { return value(); }
+    T& operator*() & { return value(); }
+    const T* operator->() const { return &value(); }
+    T* operator->() { return &value(); }
 
     /** The error status; requires !is_ok(). */
     const Status& status() const {

@@ -40,7 +40,8 @@ constexpr std::array<const char*, kNumEvents> kEventNames = {
     "chan-block",   "chan-close", "vm-enter",        "vm-exit",
     "fault-injected", "pipe-handoff", "pipe-stage-exit",
     "worker-crash",   "worker-restart", "breaker-state",
-    "batch-shed",
+    "batch-shed",     "net-accept",     "net-conn-close",
+    "net-frame-in",   "net-frame-out",
 };
 
 }  // namespace

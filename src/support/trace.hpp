@@ -51,6 +51,10 @@ enum class Event : uint8_t {
     kWorkerRestart,   ///< arg0 = worker id, arg1 = backoff ns slept.
     kBreakerState,    ///< arg0 = worker id, arg1 = BreakerState.
     kBatchShed,       ///< arg0 = packets shed, arg1 = lateness ns.
+    kNetAccept,       ///< arg0 = connection id.
+    kNetConnClose,    ///< arg0 = connection id, arg1 = 0 clean/1 sick.
+    kNetFrameIn,      ///< arg0 = connection id, arg1 = frame type.
+    kNetFrameOut,     ///< arg0 = connection id, arg1 = frame type.
     kCount_,          ///< Sentinel: number of event types.
 };
 

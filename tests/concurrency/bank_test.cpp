@@ -190,7 +190,7 @@ TEST(ActorBankTest, CallAfterShutdownReturnsErrorNotSilence) {
     // whole suite.
     Status transfer = bank.transfer(0, 1, 10);
     ASSERT_FALSE(transfer.is_ok());
-    EXPECT_EQ(transfer.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(transfer.code(), StatusCode::kCancelled);
     EXPECT_EQ(bank.balance(0), 0) << "error path reports 0, not junk";
     EXPECT_EQ(bank.total(), 0);
     bank.deposit(0, 5);  // fire-and-forget must also not hang

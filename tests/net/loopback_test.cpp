@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Loopback end-to-end tests for the TCP front-end: a real NetServer
+ * on 127.0.0.1 (ephemeral port), driven by NetClient.
+ *
+ *  - Echo differential: every response must byte-match what the
+ *    legacy stage functions produce for the same wire image, and
+ *    every validate reject must come back as a kDrop frame.
+ *  - Lifecycle edges: mid-stream disconnect, slow readers that trip
+ *    the write-stall teardown, protocol violations.
+ *  - Fault storms on the socket-io site: the listener crashes under
+ *    supervision, sick connections are torn down, and the packet
+ *    conservation ledger stays exact through all of it.
+ *
+ * All tests run under the tier1_sanitizer label: ASan/UBSan and TSan
+ * both see real socket traffic and the IO/sink thread handshake.
+ */
+#include "net/server.hpp"
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <map>
+#include <sys/socket.h>
+#include <thread>
+
+#include "interop/packet_stages.hpp"
+#include "net/client.hpp"
+#include "net/wire.hpp"
+#include "support/fault.hpp"
+#include "support/rng.hpp"
+
+namespace bitc::net {
+namespace {
+
+options::ServeSpec
+loopback_spec()
+{
+    options::ServeSpec spec;  // 127.0.0.1, port 0 = kernel's pick
+    return spec;
+}
+
+conc::PipelineConfig
+small_engine()
+{
+    conc::PipelineConfig config;
+    config.workers = {1, 1, 1, 1};
+    config.queue_capacity = 8;
+    config.batch_packets = 4;
+    config.seed = 7;
+    return config;
+}
+
+Result<std::unique_ptr<NetServer>>
+start_server(const options::ServeSpec& serve,
+             const conc::PipelineConfig& config)
+{
+    auto server = NetServer::create(serve, config);
+    if (!server.is_ok()) return server.status();
+    Status st = server.value()->start();
+    if (!st.is_ok()) return st;
+    return std::move(server.value());
+}
+
+/** What the in-process pipeline would answer for this wire image. */
+struct Expected {
+    bool drop = false;
+    std::array<uint8_t, conc::kPipeWireBytes> wire{};
+    int64_t bucket = -1;
+};
+
+Expected
+reference_process(const std::array<uint8_t, conc::kPipeWireBytes>& in)
+{
+    Expected out;
+    out.wire = in;
+    if (interop::legacy_validate(out.wire) == 0) {
+        out.drop = true;
+        return out;
+    }
+    interop::legacy_decrement_ttl(out.wire);
+    interop::legacy_checksum(out.wire);
+    out.bucket = interop::legacy_classify(out.wire);
+    return out;
+}
+
+Frame
+data_frame(uint32_t flow,
+           const std::array<uint8_t, conc::kPipeWireBytes>& wire)
+{
+    Frame f;
+    f.type = FrameType::kData;
+    f.flow = flow;
+    f.payload.assign(wire.begin(), wire.end());
+    return f;
+}
+
+int64_t
+bucket_of(const Frame& response)
+{
+    // kResponse payload = processed wire image + big-endian bucket.
+    EXPECT_EQ(response.payload.size(), conc::kPipeWireBytes + 8);
+    uint64_t bucket = 0;
+    for (size_t i = 0; i < 8; ++i) {
+        bucket = (bucket << 8) |
+                 response.payload[conc::kPipeWireBytes + i];
+    }
+    return static_cast<int64_t>(bucket);
+}
+
+uint64_t
+test_seed()
+{
+    if (const char* env = std::getenv("BITC_TEST_SEED")) {
+        return std::strtoull(env, nullptr, 0);
+    }
+    return 7;
+}
+
+/**
+ * The headline differential: frames over a real socket must come back
+ * byte-identical to what the legacy stage chain computes in-process,
+ * drops included, with the client flow id echoed intact.
+ */
+TEST(LoopbackTest, EchoDifferentialMatchesInProcessPipeline) {
+    auto server = start_server(loopback_spec(), small_engine());
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+    auto client =
+        NetClient::connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+    uint64_t seed = test_seed();
+    SCOPED_TRACE(::testing::Message()
+                 << "replay with BITC_TEST_SEED=" << seed);
+    Rng rng(seed);
+    constexpr size_t kFrames = 300;
+    std::map<uint32_t, Expected> expected;
+    for (uint32_t flow = 1; flow <= kFrames; ++flow) {
+        std::array<uint8_t, conc::kPipeWireBytes> wire{};
+        interop::generate_packet(
+            rng, std::span<uint8_t>(wire.data(), wire.size()));
+        expected[flow] = reference_process(wire);
+        ASSERT_TRUE(
+            client.value().send_frame(data_frame(flow, wire)).is_ok());
+    }
+
+    size_t drops = 0;
+    for (size_t i = 0; i < kFrames; ++i) {
+        auto got = client.value().recv_frame(/*timeout_ms=*/10000);
+        ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+        const Frame& f = got.value();
+        auto want = expected.find(f.flow);
+        ASSERT_NE(want, expected.end()) << "unknown flow " << f.flow;
+        if (want->second.drop) {
+            EXPECT_EQ(f.type, FrameType::kDrop);
+            ++drops;
+        } else {
+            ASSERT_EQ(f.type, FrameType::kResponse);
+            ASSERT_GE(f.payload.size(), conc::kPipeWireBytes);
+            EXPECT_TRUE(std::equal(want->second.wire.begin(),
+                                   want->second.wire.end(),
+                                   f.payload.begin()))
+                << "wire image differs for flow " << f.flow;
+            EXPECT_EQ(bucket_of(f), want->second.bucket);
+        }
+        expected.erase(want);  // every frame answered exactly once
+    }
+    EXPECT_TRUE(expected.empty());
+    EXPECT_GT(drops, 0u) << "generator should emit some invalid "
+                            "packets; differential has no coverage "
+                            "of the drop path otherwise";
+
+    client.value().close();
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_EQ(stats.generated, kFrames);
+    EXPECT_EQ(stats.delivered + stats.dropped, kFrames);
+    EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(LoopbackTest, HalfCloseDrainsEveryAnswerThenCloses) {
+    auto server = start_server(loopback_spec(), small_engine());
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+    auto client =
+        NetClient::connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(client.is_ok());
+
+    Rng rng(test_seed());
+    constexpr size_t kFrames = 50;
+    for (uint32_t flow = 1; flow <= kFrames; ++flow) {
+        std::array<uint8_t, conc::kPipeWireBytes> wire{};
+        interop::generate_packet(
+            rng, std::span<uint8_t>(wire.data(), wire.size()));
+        ASSERT_TRUE(
+            client.value().send_frame(data_frame(flow, wire)).is_ok());
+    }
+    client.value().shutdown_send();
+    // Every answer still arrives, then a clean server-side close.
+    for (size_t i = 0; i < kFrames; ++i) {
+        auto got = client.value().recv_frame(10000);
+        ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+    }
+    auto eof = client.value().recv_frame(10000);
+    ASSERT_FALSE(eof.is_ok());
+    EXPECT_EQ(eof.status().code(), StatusCode::kCancelled);
+
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_EQ(stats.teardowns_clean, 1u);
+    EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(LoopbackTest, MidStreamDisconnectDoesNotPoisonTheServer) {
+    auto server = start_server(loopback_spec(), small_engine());
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+    {
+        // First client slams the door with answers still in flight.
+        auto rude =
+            NetClient::connect("127.0.0.1", server.value()->port());
+        ASSERT_TRUE(rude.is_ok());
+        Rng rng(test_seed());
+        for (uint32_t flow = 1; flow <= 40; ++flow) {
+            std::array<uint8_t, conc::kPipeWireBytes> wire{};
+            interop::generate_packet(
+                rng, std::span<uint8_t>(wire.data(), wire.size()));
+            ASSERT_TRUE(
+                rude.value().send_frame(data_frame(flow, wire)).is_ok());
+        }
+        rude.value().close();
+    }
+
+    // A second client on the same server still gets exact service.
+    auto polite =
+        NetClient::connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(polite.is_ok());
+    Rng rng(test_seed() + 1);
+    std::array<uint8_t, conc::kPipeWireBytes> wire{};
+    interop::generate_packet(
+        rng, std::span<uint8_t>(wire.data(), wire.size()));
+    Expected want = reference_process(wire);
+    ASSERT_TRUE(
+        polite.value().send_frame(data_frame(9, wire)).is_ok());
+    auto got = polite.value().recv_frame(10000);
+    ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+    EXPECT_EQ(got.value().flow, 9u);
+    EXPECT_EQ(got.value().type,
+              want.drop ? FrameType::kDrop : FrameType::kResponse);
+
+    polite.value().close();
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    // Answers for the rude client became orphans/remnants — rejected,
+    // never lost: the ledger must still balance to the packet.
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_EQ(stats.accepted, 2u);
+}
+
+TEST(LoopbackTest, SlowReaderTripsWriteStallTeardown) {
+    options::ServeSpec spec = loopback_spec();
+    spec.write_queue_frames = 4;  // tiny answer queue
+    spec.write_stall_ms = 50;     // short stall budget
+    auto server = start_server(spec, small_engine());
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+    auto client =
+        NetClient::connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(client.is_ok());
+    // Never read a byte; keep the pressure on until the server gives
+    // up on us.  A tiny receive buffer stops the kernel from soaking
+    // up the answers, the bounded write queue fills behind the full
+    // socket, and the sink times out waiting for space and marks the
+    // connection sick — which tears it down and unblocks our send
+    // with a reset.
+    int tiny = 1;
+    ASSERT_EQ(::setsockopt(client.value().fd(), SOL_SOCKET, SO_RCVBUF,
+                           &tiny, sizeof(tiny)),
+              0);
+    Rng rng(test_seed());
+    uint32_t flow = 0;
+    bool torn_down = false;
+    for (int round = 0; round < 4000 && !torn_down; ++round) {
+        std::array<uint8_t, conc::kPipeWireBytes> wire{};
+        interop::generate_packet(
+            rng, std::span<uint8_t>(wire.data(), wire.size()));
+        Status st = client.value().send_frame(
+            data_frame(++flow % 0xffff + 1, wire));
+        if (!st.is_ok()) {
+            torn_down = true;  // server closed us: teardown observed
+        }
+    }
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    if (torn_down) {
+        EXPECT_GE(stats.teardowns_sick, 1u);
+        EXPECT_GE(stats.rejected, 1u);
+    }
+}
+
+TEST(LoopbackTest, ProtocolViolationsAreAnsweredThenTornDown) {
+    auto server = start_server(loopback_spec(), small_engine());
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+    // A data frame with a wrong-size payload earns an error answer on
+    // a live connection.
+    auto client =
+        NetClient::connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(client.is_ok());
+    Frame runt;
+    runt.type = FrameType::kData;
+    runt.flow = 3;
+    runt.payload = {1, 2, 3};
+    ASSERT_TRUE(client.value().send_frame(runt).is_ok());
+    auto answer = client.value().recv_frame(10000);
+    ASSERT_TRUE(answer.is_ok()) << answer.status().to_string();
+    EXPECT_EQ(answer.value().type, FrameType::kError);
+    EXPECT_EQ(answer.value().flow, 3u);
+
+    // Garbage bytes poison the stream: the server must hang up.
+    std::vector<uint8_t> garbage(64, 0x5a);
+    ASSERT_TRUE(client.value().send_raw(garbage).is_ok());
+    auto gone = client.value().recv_frame(10000);
+    while (gone.is_ok()) {  // skip the best-effort parting error frame
+        gone = client.value().recv_frame(10000);
+    }
+    EXPECT_NE(gone.status().code(), StatusCode::kDeadlineExceeded);
+
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_GE(stats.protocol_errors, 2u);
+}
+
+/**
+ * socket-io storm at full strength: every accept/read/write attempt
+ * on the server faults.  The supervised listener crashes, restarts
+ * with backoff, trips its breaker; clients are refused or torn down.
+ * Whatever was admitted before the storm must still be accounted —
+ * conservation is exactly the property that survives the fire.
+ */
+TEST(LoopbackFaultTest, SocketIoStormKeepsTheLedgerExact) {
+    auto server = start_server(loopback_spec(), small_engine());
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+    // Admit real traffic first so the ledger has something to lose.
+    auto client =
+        NetClient::connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(client.is_ok());
+    Rng rng(test_seed());
+    for (uint32_t flow = 1; flow <= 20; ++flow) {
+        std::array<uint8_t, conc::kPipeWireBytes> wire{};
+        interop::generate_packet(
+            rng, std::span<uint8_t>(wire.data(), wire.size()));
+        ASSERT_TRUE(
+            client.value().send_frame(data_frame(flow, wire)).is_ok());
+    }
+    for (size_t i = 0; i < 20; ++i) {
+        ASSERT_TRUE(client.value().recv_frame(10000).is_ok());
+    }
+
+    {
+        fault::ScopedPlan storm("socket-io:every=1");
+        // More traffic into the storm: reads on the server now fault,
+        // so this connection will be torn down sick.
+        for (uint32_t flow = 21; flow <= 30; ++flow) {
+            std::array<uint8_t, conc::kPipeWireBytes> wire{};
+            interop::generate_packet(
+                rng, std::span<uint8_t>(wire.data(), wire.size()));
+            if (!client.value()
+                     .send_frame(data_frame(flow, wire))
+                     .is_ok()) {
+                break;  // already hung up on us
+            }
+        }
+        // New connections meet a crashing accept loop; give the
+        // supervisor time to burn through restarts into the breaker.
+        for (int attempt = 0; attempt < 5; ++attempt) {
+            auto doomed = NetClient::connect(
+                "127.0.0.1", server.value()->port());
+            // Connect may succeed at TCP level (backlog) even while
+            // accept faults; either way the frames go nowhere.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        server.value()->stop();
+    }
+
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_EQ(stats.delivered + stats.dropped, 20u)
+        << "pre-storm answers all reached the client";
+    EXPECT_GE(stats.listener_crashes, 1u)
+        << "accept faults must crash the supervised IO loop";
+}
+
+/** A milder storm with live traffic: some frames die, none vanish. */
+TEST(LoopbackFaultTest, PeriodicSocketFaultsPreserveConservation) {
+    auto server = start_server(loopback_spec(), small_engine());
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+    fault::ScopedPlan storm("socket-io:every=7");
+    size_t sent = 0;
+    for (int conn = 0; conn < 4; ++conn) {
+        auto client =
+            NetClient::connect("127.0.0.1", server.value()->port());
+        if (!client.is_ok()) continue;
+        Rng rng(test_seed() + static_cast<uint64_t>(conn));
+        for (uint32_t flow = 1; flow <= 25; ++flow) {
+            std::array<uint8_t, conc::kPipeWireBytes> wire{};
+            interop::generate_packet(
+                rng, std::span<uint8_t>(wire.data(), wire.size()));
+            if (!client.value()
+                     .send_frame(data_frame(flow, wire))
+                     .is_ok()) {
+                break;
+            }
+            ++sent;
+            auto got = client.value().recv_frame(2000);
+            if (!got.is_ok()) break;  // torn down mid-storm: expected
+        }
+    }
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_GT(sent, 0u);
+}
+
+/** The poll(2) fallback serves the same traffic as epoll. */
+TEST(LoopbackTest, PollFallbackBackendServes) {
+    ASSERT_EQ(::setenv("BITC_NET_POLLER", "poll", 1), 0);
+    auto server = start_server(loopback_spec(), small_engine());
+    ::unsetenv("BITC_NET_POLLER");
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+    auto client =
+        NetClient::connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(client.is_ok());
+    Rng rng(test_seed());
+    constexpr size_t kFrames = 60;
+    for (uint32_t flow = 1; flow <= kFrames; ++flow) {
+        std::array<uint8_t, conc::kPipeWireBytes> wire{};
+        interop::generate_packet(
+            rng, std::span<uint8_t>(wire.data(), wire.size()));
+        ASSERT_TRUE(
+            client.value().send_frame(data_frame(flow, wire)).is_ok());
+    }
+    for (size_t i = 0; i < kFrames; ++i) {
+        ASSERT_TRUE(client.value().recv_frame(10000).is_ok());
+    }
+    client.value().close();
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_EQ(stats.generated, kFrames);
+}
+
+}  // namespace
+}  // namespace bitc::net

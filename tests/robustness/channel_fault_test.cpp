@@ -67,7 +67,7 @@ TEST(ChannelOrderingTest, CloseBeatsAnAlreadyExpiredRecvDeadline) {
     auto result = channel.recv_until(std::chrono::steady_clock::now() -
                                      1s);
     ASSERT_FALSE(result.is_ok());
-    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
 }
 
 TEST(ChannelOrderingTest, CloseBeatsAnAlreadyExpiredSendDeadline) {
@@ -76,7 +76,7 @@ TEST(ChannelOrderingTest, CloseBeatsAnAlreadyExpiredSendDeadline) {
     auto status = channel.try_send_until(
         7, std::chrono::steady_clock::now() - 1s);
     ASSERT_FALSE(status.is_ok());
-    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(status.code(), StatusCode::kCancelled);
 }
 
 TEST(ChannelOrderingTest, BacklogDrainsBeforeCloseOrDeadlineApplies) {
@@ -91,7 +91,7 @@ TEST(ChannelOrderingTest, BacklogDrainsBeforeCloseOrDeadlineApplies) {
     auto drained = channel.recv_until(past);
     ASSERT_FALSE(drained.is_ok());
     EXPECT_EQ(drained.status().code(),
-              StatusCode::kFailedPrecondition)
+              StatusCode::kCancelled)
         << "after the drain, close (not the deadline) is reported";
 }
 
@@ -106,7 +106,7 @@ TEST(ChannelOrderingTest, MidWaitCloseWakesRecvBeforeItsDeadline) {
     auto elapsed = std::chrono::steady_clock::now() - start;
     closer.join();
     ASSERT_FALSE(result.is_ok());
-    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
     EXPECT_LT(elapsed, 4s) << "close must wake the waiter immediately";
 }
 
@@ -120,7 +120,7 @@ TEST(ChannelOrderingTest, MidWaitCloseWakesSendBeforeItsDeadline) {
     auto status = channel.try_send_for(2, 5s);
     closer.join();
     ASSERT_FALSE(status.is_ok());
-    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(status.code(), StatusCode::kCancelled);
 }
 
 // --- Injected channel-op failures -------------------------------------

@@ -25,6 +25,7 @@ class FaultInjectorTest : public ::testing::Test {
 constexpr Site kAllSites[] = {
     Site::kHeapAlloc, Site::kGcTrigger, Site::kStmCommit,
     Site::kChannelOp, Site::kFfiMarshal, Site::kWorkerCrash,
+    Site::kSocketIo,
 };
 static_assert(std::size(kAllSites) == kNumSites,
               "a new Site must be added to kAllSites");

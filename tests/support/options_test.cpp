@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Round-trip tests for the structured options layer: for every valid
+ * spec value s, parse(to_string(s)) == s — the property that lets the
+ * CLI strings survive as thin adapters over the typed API.  Plus the
+ * grammar rejection matrix and the generated usage text.
+ */
+#include "support/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bitc::options {
+namespace {
+
+TEST(PipelineSpecRoundTripTest, DefaultSurvives) {
+    PipelineSpec spec;
+    auto back = PipelineSpec::parse(spec.to_string());
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_EQ(back.value(), spec);
+}
+
+TEST(PipelineSpecRoundTripTest, EveryFieldSurvives) {
+    PipelineSpec spec;
+    spec.with_stage_workers({1, 2, 4, 3})
+        .with_queue(16)
+        .with_batch(8)
+        .with_packets(4321)
+        .with_payload(256)
+        .with_lookup_us(50)
+        .with_migrated(true)
+        .with_seed(99)
+        .with_deadline_ms(25);
+    spec.max_restarts = 5;
+    spec.restart_window_ms = 2000;
+    spec.backoff_ms = 7;
+    auto back = PipelineSpec::parse(spec.to_string());
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_EQ(back.value(), spec);
+}
+
+TEST(PipelineSpecRoundTripTest, UniformWorkersCollapseToOneCount) {
+    PipelineSpec spec = PipelineSpec{}.with_workers(4);
+    std::string text = spec.to_string();
+    EXPECT_NE(text.find("workers=4,"), std::string::npos) << text;
+    auto back = PipelineSpec::parse(text);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value(), spec);
+}
+
+TEST(PipelineSpecRoundTripTest, EmptyStringIsTheDefaultSpec) {
+    auto parsed = PipelineSpec::parse("");
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(parsed.value(), PipelineSpec{});
+}
+
+TEST(PipelineSpecTest, ValidateRejectsZeroes) {
+    EXPECT_FALSE(PipelineSpec{}.with_workers(0).validate().is_ok());
+    EXPECT_FALSE(PipelineSpec{}.with_queue(0).validate().is_ok());
+    EXPECT_FALSE(PipelineSpec{}.with_batch(0).validate().is_ok());
+    EXPECT_TRUE(PipelineSpec{}.validate().is_ok());
+}
+
+TEST(PipelineSpecTest, ParseRejectsBadGrammar) {
+    EXPECT_FALSE(PipelineSpec::parse("workers=1:2").is_ok());
+    EXPECT_FALSE(PipelineSpec::parse("workers=0").is_ok());
+    EXPECT_FALSE(PipelineSpec::parse("impl=rust").is_ok());
+    EXPECT_FALSE(PipelineSpec::parse("bogus=1").is_ok());
+    EXPECT_FALSE(PipelineSpec::parse("queue").is_ok());
+    EXPECT_FALSE(PipelineSpec::parse("queue=abc").is_ok());
+    EXPECT_FALSE(PipelineSpec::parse("seed=-3").is_ok());
+}
+
+TEST(ServeSpecRoundTripTest, DefaultSurvives) {
+    ServeSpec spec;
+    auto back = ServeSpec::parse(spec.to_string());
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_EQ(back.value(), spec);
+}
+
+TEST(ServeSpecRoundTripTest, EveryFieldSurvives) {
+    ServeSpec spec = ServeSpec{}
+                         .with_endpoint("0.0.0.0", 8080)
+                         .with_write_queue(16)
+                         .with_max_frames(50000)
+                         .with_stall_ms(250)
+                         .with_max_connections(8);
+    auto back = ServeSpec::parse(spec.to_string());
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_EQ(back.value(), spec);
+}
+
+TEST(ServeSpecTest, ParsesBareEndpoint) {
+    auto spec = ServeSpec::parse("10.1.2.3:4567");
+    ASSERT_TRUE(spec.is_ok());
+    EXPECT_EQ(spec.value().host, "10.1.2.3");
+    EXPECT_EQ(spec.value().port, 4567);
+}
+
+TEST(ServeSpecTest, ParseRejectsBadGrammar) {
+    EXPECT_FALSE(ServeSpec::parse("").is_ok());
+    EXPECT_FALSE(ServeSpec::parse("no-port").is_ok());
+    EXPECT_FALSE(ServeSpec::parse("host:99999").is_ok());
+    EXPECT_FALSE(ServeSpec::parse("h:1,bogus=2").is_ok());
+    EXPECT_FALSE(ServeSpec::parse("h:1,write-queue=0").is_ok());
+}
+
+TEST(FaultPlanRoundTripTest, EmptyPlanIsTheEmptyString) {
+    FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    EXPECT_EQ(plan.to_string(), "");
+    auto off = FaultPlan::parse("off");
+    ASSERT_TRUE(off.is_ok());
+    EXPECT_TRUE(off.value().empty());
+    auto blank = FaultPlan::parse("");
+    ASSERT_TRUE(blank.is_ok());
+    EXPECT_TRUE(blank.value().empty());
+}
+
+TEST(FaultPlanRoundTripTest, ClausesSurvive) {
+    FaultPlan plan = FaultPlan{}
+                         .nth(fault::Site::kHeapAlloc, 3)
+                         .every(fault::Site::kSocketIo, 7)
+                         .count_site(fault::Site::kChannelOp);
+    auto back = FaultPlan::parse(plan.to_string());
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_EQ(back.value(), plan);
+}
+
+TEST(FaultPlanRoundTripTest, CountAllSurvives) {
+    FaultPlan plan = FaultPlan{}.count();
+    auto back = FaultPlan::parse(plan.to_string());
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_EQ(back.value(), plan);
+}
+
+TEST(FaultPlanTest, ValidateRejectsZeroOperands) {
+    EXPECT_FALSE(FaultPlan{}
+                     .nth(fault::Site::kSocketIo, 0)
+                     .validate()
+                     .is_ok());
+    EXPECT_FALSE(FaultPlan{}
+                     .every(fault::Site::kSocketIo, 0)
+                     .validate()
+                     .is_ok());
+    EXPECT_TRUE(FaultPlan{}
+                    .every(fault::Site::kSocketIo, 1)
+                    .validate()
+                    .is_ok());
+}
+
+TEST(FaultPlanTest, ParseRejectsUnknownSite) {
+    EXPECT_FALSE(FaultPlan::parse("warp-core:every=2").is_ok());
+    EXPECT_FALSE(FaultPlan::parse("socket-io:sometimes").is_ok());
+}
+
+TEST(RuntimeOptionsTest, ValidateChainsConstituents) {
+    RuntimeOptions opts;
+    EXPECT_TRUE(opts.validate().is_ok());
+    opts.with_serve(ServeSpec{}.with_write_queue(0));
+    EXPECT_FALSE(opts.validate().is_ok());
+    opts.serve.reset();
+    opts.pipeline.with_queue(0);
+    EXPECT_FALSE(opts.validate().is_ok());
+}
+
+TEST(CliUsageTest, GeneratedFromTheOptionTable) {
+    // Every flag in the table must appear in the generated usage —
+    // that is the whole point of generating it.
+    std::string usage = cli_usage();
+    for (const CliOption& opt : cli_options()) {
+        EXPECT_NE(usage.find(opt.flag), std::string::npos)
+            << opt.flag << " missing from usage";
+        EXPECT_NE(usage.find(opt.help), std::string::npos)
+            << opt.flag << " help line missing from usage";
+    }
+    EXPECT_NE(usage.find("--serve"), std::string::npos);
+    EXPECT_NE(usage.find("--pipeline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bitc::options

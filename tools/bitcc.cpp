@@ -7,54 +7,30 @@
  *   bitcc disasm  FILE [opts]       ... + compile, print bytecode
  *   bitcc run     FILE [opts] -- [ARGS...]
  *                                   ... + execute (entry: main)
- *   bitcc --pipeline SPEC [--faults PLAN] [--metrics FILE]
- *                 [--trace FILE]     run the CSP packet-pipeline server;
- *                                   SPEC is comma-separated key=value:
- *                                   workers=N|a:b:c:d queue=N batch=N
- *                                   packets=N impl=legacy|bitc seed=N
- *                                   payload=BYTES lookup-us=US
- *                                   restarts=N window=MS backoff=MS
- *                                   deadline=MS  (supervision knobs:
- *                                   breaker budget, crash window +
- *                                   cooldown, restart backoff, and the
- *                                   per-batch end-to-end deadline)
+ *   bitcc --pipeline SPEC [...]     run the CSP packet-pipeline driver
+ *   bitcc --serve HOST:PORT [...]   serve the pipeline over TCP
  *
- * Options:
- *   --entry NAME          entry function for run (default: main)
- *   --mode unboxed|boxed  value representation (default: unboxed)
- *   --heap POLICY         region|manual|refcount|mark-sweep|mark-compact|semispace|
- *                         generational (default: region / generational)
- *   --heap-words N        heap size in 64-bit words (default: 4M)
- *   --dispatch MODE       switch|threaded interpreter loop
- *                         (default: threaded; falls back to switch
- *                         when the compiler lacks computed goto)
- *   --profile             print a per-opcode count/time table after run
- *   --no-fold             disable constant folding
- *   --no-bce              keep all checks even when proved
- *   --no-verify           skip verification entirely
- *   --overflow            also emit overflow obligations (verify)
- *   --stats               print instruction/heap statistics after run
- *   --faults PLAN         arm deterministic fault injection for run,
- *                         e.g. heap-alloc:nth=3 or gc-trigger:every=2
- *                         or count (hit census; printed with --stats)
- *   --metrics FILE        enable the metrics registry (plus per-opcode
- *                         counting) for run and write the versioned
- *                         JSON snapshot to FILE ("-" = stdout)
- *   --trace FILE          record runtime events into the trace ring
- *                         during run and write the dump to FILE
- *
+ * The flag table and full usage text are *generated* from
+ * options::cli_options() (src/support/options.hpp) — the one source
+ * the parser, the help and this comment share, so they cannot drift.
  * Long options also accept the --opt=value spelling.
  */
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "concurrency/pipeline.hpp"
+#include "net/server.hpp"
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
+#include "support/options.hpp"
 #include "support/string_util.hpp"
 #include "support/trace.hpp"
 #include "lang/parser.hpp"
@@ -68,21 +44,7 @@ using namespace bitc;
 int
 usage()
 {
-    std::fprintf(
-        stderr,
-        "usage: bitcc {check|verify|disasm|run} FILE [options] "
-        "[-- args...]\n"
-        "       bitcc --pipeline SPEC [--faults PLAN] [--metrics FILE] "
-        "[--trace FILE]\n"
-        "  --entry NAME --mode unboxed|boxed --heap POLICY\n"
-        "  --heap-words N --dispatch switch|threaded --profile\n"
-        "  --no-fold --no-bce --no-verify --overflow --stats\n"
-        "  --faults PLAN (site:nth=N | site:every=K | count)\n"
-        "  --metrics FILE --trace FILE\n"
-        "  --pipeline SPEC (workers=N|a:b:c:d,queue=N,batch=N,"
-        "packets=N,\n                   impl=legacy|bitc,seed=N,"
-        "payload=BYTES,lookup-us=US,\n                   restarts=N,"
-        "window=MS,backoff=MS,deadline=MS)\n");
+    std::fputs(options::cli_usage().c_str(), stderr);
     return 2;
 }
 
@@ -409,94 +371,110 @@ run_command(const Options& options)
 }
 
 /**
- * The --pipeline entry point: no source file, just a spec.  Telemetry
- * and fault flags mirror the run command so the pipeline server is
- * drivable with the exact tooling the single-VM path has.
+ * Parses the runtime-mode flags (--pipeline/--serve/--faults/
+ * --metrics/--trace) into one validated RuntimeOptions value.  The
+ * string grammars live behind the typed specs' parse() adapters; this
+ * loop only pairs flags with values.
  */
-int
-run_pipeline(const std::vector<std::string>& tokens)
+Result<options::RuntimeOptions>
+parse_runtime_options(const std::vector<std::string>& tokens)
 {
-    std::string spec;
-    std::string faults_plan;
-    std::string metrics_path;
-    std::string trace_path;
+    options::RuntimeOptions opts;
     for (size_t i = 0; i < tokens.size(); ++i) {
         const std::string& arg = tokens[i];
-        auto next = [&]() -> const char* {
-            return i + 1 < tokens.size() ? tokens[++i].c_str()
-                                         : nullptr;
+        auto next = [&]() -> Result<std::string> {
+            if (i + 1 >= tokens.size()) {
+                return invalid_argument_error(arg + " needs a value");
+            }
+            return tokens[++i];
         };
-        const char* value = nullptr;
         if (arg == "--pipeline") {
-            value = next();
-            if (value != nullptr) spec = value;
+            BITC_ASSIGN_OR_RETURN(std::string spec, next());
+            BITC_ASSIGN_OR_RETURN(opts.pipeline,
+                                  options::PipelineSpec::parse(spec));
+        } else if (arg == "--serve") {
+            BITC_ASSIGN_OR_RETURN(std::string spec, next());
+            BITC_ASSIGN_OR_RETURN(auto serve,
+                                  options::ServeSpec::parse(spec));
+            opts.serve = serve;
         } else if (arg == "--faults") {
-            value = next();
-            if (value != nullptr) faults_plan = value;
+            BITC_ASSIGN_OR_RETURN(std::string plan, next());
+            BITC_ASSIGN_OR_RETURN(opts.faults,
+                                  options::FaultPlan::parse(plan));
         } else if (arg == "--metrics") {
-            value = next();
-            if (value != nullptr) metrics_path = value;
+            BITC_ASSIGN_OR_RETURN(opts.metrics_path, next());
         } else if (arg == "--trace") {
-            value = next();
-            if (value != nullptr) trace_path = value;
+            BITC_ASSIGN_OR_RETURN(opts.trace_path, next());
         } else {
-            std::fprintf(stderr, "bitcc: unknown pipeline option %s\n",
-                         arg.c_str());
-            return usage();
+            return invalid_argument_error(
+                "unknown runtime option " + arg);
         }
-        if (value == nullptr) {
-            std::fprintf(stderr, "bitcc: %s needs a value\n",
-                         arg.c_str());
-            return usage();
+    }
+    BITC_RETURN_IF_ERROR(opts.validate());
+    return opts;
+}
+
+/**
+ * Telemetry bracketing shared by the pipeline and serve paths: faults
+ * and instrumentation cover only the run, never the build, and the
+ * snapshots land wherever the options say.
+ */
+class TelemetryScope {
+  public:
+    explicit TelemetryScope(const options::RuntimeOptions& opts)
+        : opts_(opts) {
+        if (!opts_.metrics_path.empty()) {
+            metrics::reset();
+            metrics::enable();
         }
+        if (!opts_.trace_path.empty()) trace::start();
     }
 
-    auto parsed = conc::parse_pipeline_spec(spec);
-    if (!parsed.is_ok()) {
-        std::fprintf(stderr, "bitcc: %s\n",
-                     parsed.status().to_string().c_str());
-        return 2;
+    /** Stops collection and writes the requested files. */
+    Status finish() {
+        if (!opts_.metrics_path.empty()) {
+            metrics::disable();
+            BITC_RETURN_IF_ERROR(
+                write_text(opts_.metrics_path, metrics_document()));
+        }
+        if (!opts_.trace_path.empty()) {
+            trace::stop();
+            BITC_RETURN_IF_ERROR(
+                write_text(opts_.trace_path, trace::dump()));
+        }
+        return Status::ok();
     }
-    auto pipeline = conc::PacketPipeline::create(parsed.value().config);
+
+  private:
+    const options::RuntimeOptions& opts_;
+};
+
+/** The --pipeline entry point: the in-process driver run. */
+int
+run_pipeline(const options::RuntimeOptions& opts)
+{
+    auto pipeline = conc::PacketPipeline::create(
+        conc::config_from_spec(opts.pipeline));
     if (!pipeline.is_ok()) {
         std::fprintf(stderr, "bitcc: %s\n",
                      pipeline.status().to_string().c_str());
         return 1;
     }
 
-    // Same bracketing discipline as run: faults and telemetry cover
-    // only the server's execution, never the build.
-    fault::ScopedPlan faults(faults_plan);
+    fault::ScopedPlan faults(opts.faults.to_string());
     if (!faults.status().is_ok()) {
         std::fprintf(stderr, "bitcc: %s\n",
                      faults.status().to_string().c_str());
         return 2;
     }
-    if (!metrics_path.empty()) {
-        metrics::reset();
-        metrics::enable();
-    }
-    if (!trace_path.empty()) trace::start();
+    TelemetryScope telemetry(opts);
 
-    auto report = pipeline.value()->run(parsed.value().packets);
+    auto report = pipeline.value()->run(opts.pipeline.packets);
 
-    if (!metrics_path.empty()) {
-        metrics::disable();
-        Status written = write_text(metrics_path, metrics_document());
-        if (!written.is_ok()) {
-            std::fprintf(stderr, "bitcc: %s\n",
-                         written.to_string().c_str());
-            return 1;
-        }
-    }
-    if (!trace_path.empty()) {
-        trace::stop();
-        Status written = write_text(trace_path, trace::dump());
-        if (!written.is_ok()) {
-            std::fprintf(stderr, "bitcc: %s\n",
-                         written.to_string().c_str());
-            return 1;
-        }
+    if (Status written = telemetry.finish(); !written.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     written.to_string().c_str());
+        return 1;
     }
     if (!report.is_ok()) {
         std::fprintf(stderr, "bitcc: %s\n",
@@ -504,11 +482,89 @@ run_pipeline(const std::vector<std::string>& tokens)
         return 4;
     }
     std::printf("%s", report.value().to_string().c_str());
-    if (!faults_plan.empty()) {
+    if (!opts.faults.empty()) {
         std::fprintf(stderr, "faults:\n%s",
                      fault::Injector::instance().report().c_str());
     }
     return report.value().conserved() ? 0 : 4;
+}
+
+std::atomic<bool> g_interrupted{false};
+
+void
+handle_interrupt(int)
+{
+    g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+/**
+ * The --serve entry point: the pipeline behind real sockets.  With
+ * max-frames=N the server drains after N data frames and exits (how
+ * the e2e tests drive it); otherwise it serves until SIGINT/SIGTERM.
+ */
+int
+run_serve(const options::RuntimeOptions& opts)
+{
+    auto server = net::NetServer::create(
+        *opts.serve, conc::config_from_spec(opts.pipeline));
+    if (!server.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     server.status().to_string().c_str());
+        return 1;
+    }
+
+    fault::ScopedPlan faults(opts.faults.to_string());
+    if (!faults.status().is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     faults.status().to_string().c_str());
+        return 2;
+    }
+    TelemetryScope telemetry(opts);
+
+    if (Status st = server.value()->start(); !st.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    std::printf("serving on %s:%u\n", opts.serve->host.c_str(),
+                static_cast<unsigned>(server.value()->port()));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, handle_interrupt);
+    std::signal(SIGTERM, handle_interrupt);
+    if (opts.serve->max_frames > 0) {
+        // wait_done returns once every accepted frame is answered; a
+        // watcher thread turns Ctrl-C into stop() so a wedged client
+        // cannot hold the server hostage.
+        std::thread watcher([&] {
+            while (!g_interrupted.load(std::memory_order_relaxed)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            }
+            server.value()->stop();
+        });
+        server.value()->wait_done();
+        g_interrupted.store(true, std::memory_order_relaxed);
+        watcher.join();
+    } else {
+        while (!g_interrupted.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+    }
+    server.value()->stop();
+
+    if (Status written = telemetry.finish(); !written.is_ok()) {
+        std::fprintf(stderr, "bitcc: %s\n",
+                     written.to_string().c_str());
+        return 1;
+    }
+    net::ServerStats stats = server.value()->stats();
+    std::printf("%s", stats.to_string().c_str());
+    if (!opts.faults.empty()) {
+        std::fprintf(stderr, "faults:\n%s",
+                     fault::Injector::instance().report().c_str());
+    }
+    return stats.conserved() ? 0 : 4;
 }
 
 }  // namespace
@@ -516,24 +572,37 @@ run_pipeline(const std::vector<std::string>& tokens)
 int
 main(int argc, char** argv)
 {
-    // The pipeline server takes a spec instead of a source file and so
-    // bypasses the file-command parser entirely.
-    for (int a = 1; a < argc; ++a) {
+    // The runtime modes (--pipeline driver, --serve front-end) take
+    // specs instead of a source file and so bypass the file-command
+    // parser entirely.
+    bool runtime_mode = false;
+    for (int a = 1; a < argc && !runtime_mode; ++a) {
         std::string raw = argv[a];
-        if (raw == "--pipeline" || raw.rfind("--pipeline=", 0) == 0) {
-            std::vector<std::string> tokens;
-            for (int b = 1; b < argc; ++b) {
-                std::string t = argv[b];
-                size_t eq = t.find('=');
-                if (t.rfind("--", 0) == 0 && eq != std::string::npos) {
-                    tokens.push_back(t.substr(0, eq));
-                    tokens.push_back(t.substr(eq + 1));
-                } else {
-                    tokens.push_back(std::move(t));
-                }
+        runtime_mode = raw == "--pipeline" ||
+                       raw.rfind("--pipeline=", 0) == 0 ||
+                       raw == "--serve" || raw.rfind("--serve=", 0) == 0;
+    }
+    if (runtime_mode) {
+        std::vector<std::string> tokens;
+        for (int b = 1; b < argc; ++b) {
+            std::string t = argv[b];
+            size_t eq = t.find('=');
+            if (t.rfind("--", 0) == 0 && eq != std::string::npos) {
+                tokens.push_back(t.substr(0, eq));
+                tokens.push_back(t.substr(eq + 1));
+            } else {
+                tokens.push_back(std::move(t));
             }
-            return run_pipeline(tokens);
         }
+        auto opts = parse_runtime_options(tokens);
+        if (!opts.is_ok()) {
+            std::fprintf(stderr, "bitcc: %s\n",
+                         opts.status().to_string().c_str());
+            return usage();
+        }
+        return opts.value().serve.has_value()
+                   ? run_serve(opts.value())
+                   : run_pipeline(opts.value());
     }
 
     if (argc < 3) return usage();

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * loadgen — closed-loop load generator for `bitcc --serve`.
+ *
+ *   loadgen HOST:PORT [--conns N] [--inflight M] [--frames N]
+ *           [--seed S] [--deadline-ms MS]
+ *
+ * Opens N connections, each driven by its own thread keeping M data
+ * frames in flight (send M, then one new frame per answer) until it
+ * has pushed its share of the total frame budget.  Prints aggregate
+ * throughput, the answer mix, and a log-scale end-to-end latency
+ * histogram.  Exit code 0 iff every sent frame was answered.
+ */
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/pipeline.hpp"
+#include "interop/packet_stages.hpp"
+#include "net/client.hpp"
+#include "net/wire.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+using namespace bitc;
+
+constexpr uint64_t kRecvTimeoutMs = 10000;
+
+struct WorkerTotals {
+    uint64_t sent = 0;
+    uint64_t responses = 0;
+    uint64_t drops = 0;
+    uint64_t errors = 0;
+    std::vector<uint64_t> latencies_ns;
+    Status failure;  ///< First hard failure, if any.
+};
+
+/** One connection's closed loop. */
+void
+run_worker(const std::string& host, uint16_t port, size_t inflight,
+           uint64_t frames, uint64_t seed, uint32_t deadline_ms,
+           WorkerTotals& totals)
+{
+    auto client = net::NetClient::connect(host, port);
+    if (!client.is_ok()) {
+        totals.failure = client.status();
+        return;
+    }
+    Rng rng(seed);
+    std::vector<uint64_t> sent_at(1u << 16, 0);
+    uint64_t in_flight = 0;
+    uint64_t answered = 0;
+    uint32_t next_flow = 1;
+    totals.latencies_ns.reserve(frames);
+    while (answered < frames) {
+        while (in_flight < inflight && totals.sent < frames) {
+            net::Frame frame;
+            frame.type = net::FrameType::kData;
+            frame.flow = next_flow;
+            next_flow = next_flow % 0xfffe + 1;
+            frame.deadline_ms = deadline_ms;
+            frame.payload.resize(conc::kPipeWireBytes);
+            interop::generate_packet(
+                rng, std::span<uint8_t>(frame.payload.data(),
+                                        frame.payload.size()));
+            sent_at[frame.flow] = now_ns();
+            if (Status st = client.value().send_frame(frame);
+                !st.is_ok()) {
+                totals.failure = st;
+                return;
+            }
+            ++totals.sent;
+            ++in_flight;
+        }
+        auto got = client.value().recv_frame(kRecvTimeoutMs);
+        if (!got.is_ok()) {
+            totals.failure = got.status();
+            return;
+        }
+        ++answered;
+        --in_flight;
+        switch (got.value().type) {
+          case net::FrameType::kResponse: ++totals.responses; break;
+          case net::FrameType::kDrop: ++totals.drops; break;
+          default: ++totals.errors; break;
+        }
+        uint64_t t0 = sent_at[got.value().flow & 0xffff];
+        if (t0 != 0) totals.latencies_ns.push_back(now_ns() - t0);
+    }
+}
+
+void
+print_histogram(std::vector<uint64_t>& lat)
+{
+    if (lat.empty()) return;
+    std::sort(lat.begin(), lat.end());
+    auto pct = [&](double p) {
+        size_t idx = static_cast<size_t>(
+            p * static_cast<double>(lat.size() - 1));
+        return static_cast<double>(lat[idx]) / 1e6;
+    };
+    std::printf(
+        "latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+        pct(0.50), pct(0.90), pct(0.99),
+        static_cast<double>(lat.back()) / 1e6);
+    // Log-scale buckets, one row per occupied power of two.
+    size_t bucket_count[64] = {};
+    for (uint64_t ns : lat) {
+        size_t b = 0;
+        while ((1ull << b) < ns && b < 63) ++b;
+        ++bucket_count[b];
+    }
+    for (size_t b = 0; b < 64; ++b) {
+        if (bucket_count[b] == 0) continue;
+        std::printf("  <= %8.3f ms  %zu\n",
+                    static_cast<double>(1ull << b) / 1e6,
+                    bucket_count[b]);
+    }
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: loadgen HOST:PORT [--conns N] [--inflight M]"
+                 " [--frames N] [--seed S] [--deadline-ms MS]\n");
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) return usage();
+    auto endpoint = options::ServeSpec::parse(argv[1]);
+    if (!endpoint.is_ok()) {
+        std::fprintf(stderr, "loadgen: %s\n",
+                     endpoint.status().to_string().c_str());
+        return 2;
+    }
+    size_t conns = 4;
+    size_t inflight = 16;
+    uint64_t frames = 10000;
+    uint64_t seed = 1;
+    uint32_t deadline_ms = 0;
+    for (int a = 2; a + 1 < argc; a += 2) {
+        std::string flag = argv[a];
+        uint64_t value = std::strtoull(argv[a + 1], nullptr, 10);
+        if (flag == "--conns") {
+            conns = static_cast<size_t>(value);
+        } else if (flag == "--inflight") {
+            inflight = static_cast<size_t>(value);
+        } else if (flag == "--frames") {
+            frames = value;
+        } else if (flag == "--seed") {
+            seed = value;
+        } else if (flag == "--deadline-ms") {
+            deadline_ms = static_cast<uint32_t>(value);
+        } else {
+            return usage();
+        }
+    }
+    if (conns == 0 || inflight == 0 || frames == 0) return usage();
+
+    std::vector<WorkerTotals> totals(conns);
+    std::vector<std::thread> threads;
+    uint64_t per_conn = frames / conns;
+    uint64_t remainder = frames % conns;
+    uint64_t t0 = bitc::now_ns();
+    for (size_t c = 0; c < conns; ++c) {
+        uint64_t share = per_conn + (c < remainder ? 1 : 0);
+        threads.emplace_back([&, c, share] {
+            run_worker(endpoint.value().host, endpoint.value().port,
+                       inflight, share, seed + c, deadline_ms,
+                       totals[c]);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    double elapsed_s =
+        static_cast<double>(bitc::now_ns() - t0) / 1e9;
+
+    WorkerTotals sum;
+    bool failed = false;
+    for (WorkerTotals& w : totals) {
+        sum.sent += w.sent;
+        sum.responses += w.responses;
+        sum.drops += w.drops;
+        sum.errors += w.errors;
+        sum.latencies_ns.insert(sum.latencies_ns.end(),
+                                w.latencies_ns.begin(),
+                                w.latencies_ns.end());
+        if (!w.failure.is_ok()) {
+            failed = true;
+            std::fprintf(stderr, "loadgen: %s\n",
+                         w.failure.to_string().c_str());
+        }
+    }
+    uint64_t answered = sum.responses + sum.drops + sum.errors;
+    std::printf(
+        "loadgen: %zu conns x %zu in-flight, %llu sent, "
+        "%llu answered (%llu responses, %llu drops, %llu errors)\n"
+        "throughput: %.0f frames/s over %.2f s\n",
+        conns, inflight,
+        static_cast<unsigned long long>(sum.sent),
+        static_cast<unsigned long long>(answered),
+        static_cast<unsigned long long>(sum.responses),
+        static_cast<unsigned long long>(sum.drops),
+        static_cast<unsigned long long>(sum.errors),
+        elapsed_s > 0 ? static_cast<double>(answered) / elapsed_s : 0,
+        elapsed_s);
+    print_histogram(sum.latencies_ns);
+    return failed || answered != sum.sent ? 1 : 0;
+}

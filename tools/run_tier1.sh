@@ -25,3 +25,9 @@ ctest -L tier1 --output-on-failure -j"$(nproc)"
 # the supervised-pipeline machinery must stay within the 1.10x
 # fault-free budget (geomean; exit code enforces it).
 ./bench/bench_robustness BENCH_robustness.json
+
+# Network front-end scaling: end-to-end frames/sec through loopback
+# sockets must keep the >= 2.0x 1->4-worker speedup (exit code
+# enforces it) — the socket/framing/IO-loop plumbing is in the loop
+# here, not just the engine.
+./bench/bench_network BENCH_network.json
