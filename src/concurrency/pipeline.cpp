@@ -70,6 +70,7 @@ struct RunState {
         }
         sink = std::make_unique<Channel<PipeBatch>>(
             config.queue_capacity);
+        on_loss = config.on_loss;
     }
 
     std::array<std::vector<std::unique_ptr<Channel<PipeBatch>>>,
@@ -99,7 +100,18 @@ struct RunState {
     std::atomic<uint64_t> fault_dropped{0};
     std::atomic<uint64_t> shed{0};
     std::atomic<uint64_t> payload_checksum{0};
+
+    /** Copy of PipelineConfig::on_loss; empty when nobody listens. */
+    std::function<void(uint32_t)> on_loss;
 };
+
+/** Reports every flow in @p batch to the loss callback, if any. */
+void
+note_lost(RunState& rs, const PipeBatch& batch)
+{
+    if (!rs.on_loss) return;
+    for (const PipePacket& p : batch.packets) rs.on_loss(p.flow);
+}
 
 /** True when @p batch carries a deadline that has already passed. */
 bool
@@ -114,6 +126,7 @@ shed_batch(RunState& rs, const PipeBatch& batch)
 {
     uint64_t n = batch.packets.size();
     rs.shed.fetch_add(n, std::memory_order_relaxed);
+    note_lost(rs, batch);
     uint64_t now = now_ns();
     uint64_t late =
         now > batch.deadline_ns ? now - batch.deadline_ns : 0;
@@ -251,14 +264,28 @@ class Forwarder {
                 std::memory_order_acquire)) {
             rs_.fault_dropped.fetch_add(pb.packets.size(),
                                         std::memory_order_relaxed);
+            note_lost(rs_, pb);
             pb = PipeBatch{};
             return;
+        }
+        // forward_batch consumes the batch even on failure, so the
+        // flow ids a loss must report are captured up front (only
+        // when someone listens — the fast path stays copy-free).
+        std::vector<uint32_t> flows;
+        if (rs_.on_loss) {
+            flows.reserve(pb.packets.size());
+            for (const PipePacket& p : pb.packets) {
+                flows.push_back(p.flow);
+            }
         }
         ForwardLoss loss = forward_batch(channel(d), std::move(pb),
                                          dest_stage_, counters());
         rs_.fault_dropped.fetch_add(loss.fault,
                                     std::memory_order_relaxed);
         rs_.shed.fetch_add(loss.shed, std::memory_order_relaxed);
+        if (rs_.on_loss && loss.fault + loss.shed > 0) {
+            for (uint32_t flow : flows) rs_.on_loss(flow);
+        }
         pb = PipeBatch{};
     }
 
@@ -444,6 +471,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
             if (fault::inject(fault::Site::kWorkerCrash)) {
                 rs.fault_dropped.fetch_add(
                     b.packets.size(), std::memory_order_relaxed);
+                note_lost(rs, b);
                 exit = WorkerExit::kCrash;
                 break;
             }
@@ -471,6 +499,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
                   case Outcome::kFault:
                     rs.fault_dropped.fetch_add(
                         1, std::memory_order_relaxed);
+                    if (rs.on_loss) rs.on_loss(p.flow);
                     break;
                   case Outcome::kForward:
                     out.push(std::move(p));
@@ -492,6 +521,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
         if (auto leftover = in.try_recv(); leftover.is_ok()) {
             rs.fault_dropped.fetch_add(leftover->packets.size(),
                                        std::memory_order_relaxed);
+            note_lost(rs, *leftover);
             return true;
         }
         return false;
@@ -507,6 +537,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
         for (auto leftover = in.try_recv(); leftover.is_ok();
              leftover = in.try_recv()) {
             stranded += leftover->packets.size();
+            note_lost(rs, *leftover);
         }
         rs.fault_dropped.fetch_add(stranded,
                                    std::memory_order_relaxed);

@@ -46,6 +46,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -139,6 +140,18 @@ struct PipelineConfig {
      * run() keeps this off and preserves the historical accounting.
      */
     bool forward_drops = false;
+
+    /**
+     * Optional loss callback: invoked once per packet the engine
+     * loses — deadline-shed or fault-dropped — with that packet's
+     * flow id, on whatever engine thread took the loss (no engine
+     * locks held).  An external producer that tracks per-flow debts
+     * (the network front-end owes every submitted packet an answer)
+     * uses it to settle flows whose answer will never reach the sink.
+     * Leave empty for zero overhead; the callback must not call back
+     * into the engine.
+     */
+    std::function<void(uint32_t flow)> on_loss;
 
     PipelineConfig() {
         vm.mode = vm::ValueMode::kUnboxed;

@@ -105,6 +105,14 @@ struct NetServer::Impl {
         bool dead = false;      ///< fd closed; zombie until answered.
 
         uint64_t inflight = 0;  ///< Packets in the engine (mu).
+        /**
+         * Sink waits parked on this connection's write queue (mu).
+         * A nonzero count pins the Conn against reap_dead: the sink
+         * releases mu inside space_cv.wait_for while still holding a
+         * raw pointer here, so teardown may mark the connection dead
+         * mid-wait but must never let it be freed.
+         */
+        uint64_t waiters = 0;
         size_t write_off = 0;   ///< Bytes of the front frame written.
         std::deque<OutFrame> write_q;  ///< mu.
     };
@@ -131,6 +139,9 @@ struct NetServer::Impl {
     std::map<uint32_t, std::unique_ptr<Conn>> conns;
     std::map<int, Conn*> by_fd;
     uint32_t next_id = 1;
+    /** Ids of reaped connections, ready for reuse (the wire flow
+     *  field gives connection ids only 16 bits). */
+    std::vector<uint32_t> free_ids;
     bool started = false;
     bool stopped = false;
     bool done = false;
@@ -232,10 +243,14 @@ struct NetServer::Impl {
                     sick_teardown ? 1 : 0);
     }
 
-    /** mu held.  Erases zombies the engine owes nothing anymore. */
+    /** mu held.  Erases zombies nothing references anymore — no
+     *  engine packets owed, no sink wait parked on them — and
+     *  recycles their ids for future accepts. */
     void reap_dead() {
         for (auto it = conns.begin(); it != conns.end();) {
-            if (it->second->dead && it->second->inflight == 0) {
+            const Conn& c = *it->second;
+            if (c.dead && c.inflight == 0 && c.waiters == 0) {
+                free_ids.push_back(it->first);
                 it = conns.erase(it);
             } else {
                 ++it;
@@ -247,11 +262,11 @@ struct NetServer::Impl {
     void check_done() {
         if (done || serve.max_frames == 0) return;
         if (!max_frames_reached()) return;
-        uint64_t unanswered =
-            inflight_total.load(std::memory_order_relaxed);
-        uint64_t engine_lost =
-            engine->fault_dropped() + engine->shed();
-        if (unanswered > engine_lost) return;
+        // Engine losses settle inflight through note_engine_loss, so
+        // zero means every admitted packet was answered or accounted.
+        if (inflight_total.load(std::memory_order_relaxed) != 0) {
+            return;
+        }
         for (const auto& [id, c] : conns) {
             if (!c->write_q.empty()) return;
         }
@@ -423,10 +438,16 @@ struct NetServer::Impl {
      * full write queue).  Also called from the tick loop: a paused
      * connection's backlog lives in the decoder, not the kernel, so
      * unpausing alone would never deliver a read event for it.
+     *
+     * The park flag is checked on its own, not just via paused: a
+     * draining connection never pauses (update_read_interest ignores
+     * it — there is no read interest left to withdraw), and decoding
+     * past a parked batch would let a second backpressured submit
+     * overwrite it, silently losing the first packet.
      */
     bool drain_frames(Conn& c) {
         bool progressed = false;
-        while (!c.dead && !c.paused) {
+        while (!c.dead && !c.paused && !c.parked) {
             auto next = c.decoder.next();
             if (!next.is_ok()) {
                 protocol_errors.fetch_add(1,
@@ -495,29 +516,39 @@ struct NetServer::Impl {
             }
             progressed = true;
             std::lock_guard<std::mutex> lock(mu);
+            bool id_available =
+                !free_ids.empty() || next_id <= 0xffff;
             if (conns.size() >= serve.max_connections ||
-                max_frames_reached() || next_id > 0xffff) {
+                max_frames_reached() || !id_available) {
                 refused.fetch_add(1, std::memory_order_relaxed);
                 metrics::count(metrics::Counter::kNetRejects);
                 std::vector<uint8_t> bye = make_error_frame(
                     0, conns.size() >= serve.max_connections
                            ? "connection limit reached"
+                       : !id_available
+                           ? "connection id space exhausted"
                            : "server draining");
                 (void)write_some(conn_fd.value().get(), bye);
                 continue;  // fd closes on scope exit
             }
             auto conn = std::make_unique<Conn>();
             conn->fd = std::move(conn_fd).take();
-            conn->id = next_id++;
+            if (!free_ids.empty()) {
+                conn->id = free_ids.back();
+                free_ids.pop_back();
+            } else {
+                conn->id = next_id++;
+            }
+            uint32_t id = conn->id;
             int raw = conn->fd.get();
             (void)poller->add(raw, /*want_read=*/true,
                               /*want_write=*/false);
             by_fd[raw] = conn.get();
-            conns[conn->id] = std::move(conn);
+            conns[id] = std::move(conn);
             accepted.fetch_add(1, std::memory_order_relaxed);
             metrics::count(metrics::Counter::kNetAccepts);
             metrics::gauge_add(metrics::Gauge::kNetConnections);
-            trace::emit(trace::Event::kNetAccept, next_id - 1);
+            trace::emit(trace::Event::kNetAccept, id);
         }
     }
 
@@ -626,6 +657,27 @@ struct NetServer::Impl {
 
     // --- sink thread ------------------------------------------------------
 
+    /**
+     * Any engine thread.  A submitted packet was lost inside the
+     * engine — deadline-shed or fault-dropped — and will never reach
+     * the sink: settle the owing connection's inflight so settled()
+     * and check_done() stop waiting for an answer that cannot come
+     * (a draining connection with a lost packet would otherwise stay
+     * a zombie until stop()).
+     */
+    void note_engine_loss(uint32_t flow) {
+        std::lock_guard<std::mutex> lock(mu);
+        inflight_total.fetch_sub(1, std::memory_order_relaxed);
+        auto it = conns.find(flow >> 16);
+        if (it != conns.end() && it->second->inflight > 0) {
+            it->second->inflight -= 1;
+        }
+        check_done();
+        // A draining connection may just have settled; only the IO
+        // thread owns teardown (poller state), so poke it.
+        wake_io();
+    }
+
     /** Sink thread.  Routes one processed packet to its connection. */
     void route_packet(const conc::PipePacket& packet) {
         uint32_t conn_id = packet.flow >> 16;
@@ -644,7 +696,11 @@ struct NetServer::Impl {
         if (c->write_q.size() >= serve.write_queue_frames) {
             // Bounded queue is full: wait for the reader, up to the
             // stall budget; a reader this slow is a sick connection.
+            // The wait releases mu, so the waiter count pins c: the
+            // IO thread may tear the connection down mid-wait (dead
+            // wakes the predicate) but reap_dead cannot free it.
             wake_io();
+            c->waiters += 1;
             bool roomy = space_cv.wait_for(
                 lock,
                 std::chrono::milliseconds(serve.write_stall_ms),
@@ -654,6 +710,7 @@ struct NetServer::Impl {
                                serve.write_queue_frames ||
                            stopping.load(std::memory_order_acquire);
                 });
+            c->waiters -= 1;
             if (!roomy || c->dead || c->sick ||
                 c->write_q.size() >= serve.write_queue_frames) {
                 c->sick = true;
@@ -724,6 +781,12 @@ NetServer::create(const options::ServeSpec& serve,
     // into the in-process drop ledger.
     pipeline.forward_drops = true;
     auto impl = std::make_unique<Impl>(serve, pipeline);
+    // Engine losses must settle the owing connection's ledger; the
+    // raw Impl pointer is safe because stop() joins the engine's
+    // workers before the Impl can die.
+    pipeline.on_loss = [im = impl.get()](uint32_t flow) {
+        im->note_engine_loss(flow);
+    };
     BITC_ASSIGN_OR_RETURN(impl->engine,
                           conc::PipelineEngine::create(pipeline));
     return std::unique_ptr<NetServer>(new NetServer(std::move(impl)));

@@ -299,6 +299,112 @@ TEST(LoopbackTest, SlowReaderTripsWriteStallTeardown) {
     }
 }
 
+/**
+ * Regression: a draining connection with an engine-parked batch must
+ * not lose frames.  A draining connection never pauses (there is no
+ * read interest left to withdraw), so drain_frames used to keep
+ * decoding its buffered backlog and a second backpressured submit
+ * overwrote the parked batch — that packet's originator never heard
+ * its promised answer.  A tiny engine plus a slow classify stage
+ * forces repeated parking; every accepted frame still owes exactly
+ * one answer before the clean close.
+ */
+TEST(LoopbackTest, BackpressuredDrainingConnectionAnswersEveryFrame) {
+    conc::PipelineConfig engine = small_engine();
+    engine.queue_capacity = 1;        // park on the second batch
+    engine.batch_packets = 1;
+    engine.lookup_latency_us = 3000;  // classify stalls the chain
+    auto server = start_server(loopback_spec(), engine);
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+    auto client =
+        NetClient::connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(client.is_ok());
+
+    Rng rng(test_seed());
+    constexpr size_t kFrames = 24;
+    for (uint32_t flow = 1; flow <= kFrames; ++flow) {
+        std::array<uint8_t, conc::kPipeWireBytes> wire{};
+        interop::generate_packet(
+            rng, std::span<uint8_t>(wire.data(), wire.size()));
+        ASSERT_TRUE(
+            client.value().send_frame(data_frame(flow, wire)).is_ok());
+    }
+    client.value().shutdown_send();  // drain while batches still park
+
+    size_t answers = 0;
+    auto got = client.value().recv_frame(10000);
+    while (got.is_ok()) {
+        EXPECT_NE(got.value().type, FrameType::kError)
+            << "unexpected error frame for flow " << got.value().flow;
+        ++answers;
+        got = client.value().recv_frame(10000);
+    }
+    EXPECT_EQ(got.status().code(), StatusCode::kCancelled)
+        << got.status().to_string();
+    EXPECT_EQ(answers, kFrames)
+        << "a parked packet was overwritten and never answered";
+
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_EQ(stats.rejected, 0u);
+}
+
+/**
+ * Regression: the sink must never hold a raw Conn* across its
+ * write-queue space wait without pinning the connection — an
+ * abortive client close used to let the IO thread tear down and reap
+ * the Conn while the sink was still parked on space_cv with a
+ * pointer into it (a use-after-free ASan catches).  Full write
+ * queues put the sink into that wait; RST closes land mid-wait.
+ */
+TEST(LoopbackTest, AbortiveCloseWhileSinkWaitsForWriteSpace) {
+    options::ServeSpec spec = loopback_spec();
+    spec.write_queue_frames = 2;  // sink parks almost immediately
+    spec.write_stall_ms = 2000;   // long wait: the close lands inside
+    auto server = start_server(spec, small_engine());
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+    Rng rng(test_seed());
+    for (int round = 0; round < 3; ++round) {
+        auto client =
+            NetClient::connect("127.0.0.1", server.value()->port());
+        ASSERT_TRUE(client.is_ok());
+        int tiny = 1;  // keep answers queued server-side, not read
+        ASSERT_EQ(::setsockopt(client.value().fd(), SOL_SOCKET,
+                               SO_RCVBUF, &tiny, sizeof(tiny)),
+                  0);
+        for (uint32_t flow = 1; flow <= 48; ++flow) {
+            std::array<uint8_t, conc::kPipeWireBytes> wire{};
+            interop::generate_packet(
+                rng, std::span<uint8_t>(wire.data(), wire.size()));
+            if (!client.value()
+                     .send_frame(data_frame(flow, wire))
+                     .is_ok()) {
+                break;
+            }
+        }
+        // Give the sink time to fill the queue and block, then slam
+        // the door abortively: SO_LINGER(0) turns close into a RST,
+        // which the IO thread sees as a socket error and tears the
+        // connection down while the sink still waits on it.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        struct linger lg{};
+        lg.l_onoff = 1;
+        lg.l_linger = 0;
+        ASSERT_EQ(::setsockopt(client.value().fd(), SOL_SOCKET,
+                               SO_LINGER, &lg, sizeof(lg)),
+                  0);
+        client.value().close();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_EQ(stats.accepted, 3u);
+}
+
 TEST(LoopbackTest, ProtocolViolationsAreAnsweredThenTornDown) {
     auto server = start_server(loopback_spec(), small_engine());
     ASSERT_TRUE(server.is_ok()) << server.status().to_string();
@@ -394,6 +500,52 @@ TEST(LoopbackFaultTest, SocketIoStormKeepsTheLedgerExact) {
         << "pre-storm answers all reached the client";
     EXPECT_GE(stats.listener_crashes, 1u)
         << "accept faults must crash the supervised IO loop";
+}
+
+/**
+ * Regression: packets lost *inside* the engine (here: worker-crash
+ * fault drops and breaker-drained backlogs) must settle the owing
+ * connection's inflight ledger.  A half-closed connection whose
+ * packets died in the engine used to never satisfy settled() — it
+ * stayed a zombie holding its socket open until stop().  With loss
+ * attribution the drain completes: late frames are answered or
+ * accounted, and the server closes the connection on its own.
+ */
+TEST(LoopbackFaultTest, EngineLossesSettleDrainingConnections) {
+    auto server = start_server(loopback_spec(), small_engine());
+    ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+    auto client =
+        NetClient::connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(client.is_ok());
+
+    fault::ScopedPlan storm("worker-crash:every=1");
+    Rng rng(test_seed());
+    constexpr size_t kFrames = 12;
+    for (uint32_t flow = 1; flow <= kFrames; ++flow) {
+        std::array<uint8_t, conc::kPipeWireBytes> wire{};
+        interop::generate_packet(
+            rng, std::span<uint8_t>(wire.data(), wire.size()));
+        ASSERT_TRUE(
+            client.value().send_frame(data_frame(flow, wire)).is_ok());
+    }
+    client.value().shutdown_send();
+    // Crashed packets earn no answer (they are fault-dropped with
+    // accounting); frames rejected at the edge once the breaker opens
+    // earn error frames.  Either way the server must reach settled()
+    // and close — before stop(), which is what this pins.
+    auto got = client.value().recv_frame(10000);
+    while (got.is_ok()) {
+        got = client.value().recv_frame(10000);
+    }
+    EXPECT_EQ(got.status().code(), StatusCode::kCancelled)
+        << "draining connection never settled: "
+        << got.status().to_string();
+
+    server.value()->stop();
+    ServerStats stats = server.value()->stats();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_GE(stats.teardowns_clean, 1u);
+    EXPECT_GT(stats.fault_dropped, 0u);
 }
 
 /** A milder storm with live traffic: some frames die, none vanish. */
