@@ -22,6 +22,7 @@
 
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
+#include "support/sim.hpp"
 #include "support/stats.hpp"
 #include "support/status.hpp"
 #include "support/trace.hpp"
@@ -57,13 +58,15 @@ class Channel {
 
     /** Blocking send. Fails if the channel is (or becomes) closed. */
     Status send(T value) {
+        sim::maybe_yield();  // hand-off point; no locks held yet
         if (fault::inject(fault::Site::kChannelOp)) {
             return fault::injected_error(fault::Site::kChannelOp);
         }
         std::unique_lock<std::mutex> lock(mutex_);
         if (!send_ready()) {
             BlockScope blocked(*this, /*recv=*/false);
-            not_full_.wait(lock, [&] { return send_ready(); });
+            sim::cv_wait(not_full_, lock,
+                         [&] { return send_ready(); });
         }
         if (closed_) {
             return cancelled_error("send on closed channel");
@@ -71,7 +74,7 @@ class Channel {
         queue_.push_back(std::move(value));
         note_send();
         lock.unlock();
-        not_empty_.notify_one();
+        sim::cv_notify_one(not_empty_);
         return Status::ok();
     }
 
@@ -92,7 +95,9 @@ class Channel {
             queue_.push_back(std::move(value));
             note_send();
         }
-        not_empty_.notify_one();
+        // No checkpoint here: try_send is called from event loops that
+        // hold their own locks (a parked thread must never pin one).
+        sim::cv_notify_one(not_empty_);
         return Status::ok();
     }
 
@@ -113,6 +118,7 @@ class Channel {
     Status try_send_until(
         T value,
         const std::chrono::time_point<Clock, Duration>& deadline) {
+        sim::maybe_yield();  // hand-off point; no locks held yet
         if (fault::inject(fault::Site::kChannelOp)) {
             return fault::injected_error(fault::Site::kChannelOp);
         }
@@ -120,8 +126,9 @@ class Channel {
         bool timed_out = false;
         if (!send_ready()) {
             BlockScope blocked(*this, /*recv=*/false);
-            timed_out = !not_full_.wait_until(
-                lock, deadline, [&] { return send_ready(); });
+            timed_out = !sim::cv_wait_until(
+                not_full_, lock, deadline,
+                [&] { return send_ready(); });
         }
         if (closed_) {
             return cancelled_error("send on closed channel");
@@ -130,7 +137,7 @@ class Channel {
             queue_.push_back(std::move(value));
             note_send();
             lock.unlock();
-            not_empty_.notify_one();
+            sim::cv_notify_one(not_empty_);
             return Status::ok();
         }
         // Not closed and still full: the only way here is an expired
@@ -145,20 +152,27 @@ class Channel {
     template <typename Rep, typename Period>
     Status try_send_for(
         T value, const std::chrono::duration<Rep, Period>& timeout) {
-        return try_send_until(std::move(value),
-                              std::chrono::steady_clock::now() +
-                                  timeout);
+        // Anchor at now_ns(), not steady_clock::now(): the two agree
+        // off-sim, and under a simulation the deadline must live on
+        // the virtual clock the wait is judged against.
+        return try_send_until(
+            std::move(value),
+            std::chrono::steady_clock::time_point(
+                std::chrono::nanoseconds(now_ns())) +
+                timeout);
     }
 
     /** Blocking receive. Fails once closed and drained. */
     Result<T> recv() {
+        sim::maybe_yield();  // hand-off point; no locks held yet
         if (fault::inject(fault::Site::kChannelOp)) {
             return fault::injected_error(fault::Site::kChannelOp);
         }
         std::unique_lock<std::mutex> lock(mutex_);
         if (!recv_ready()) {
             BlockScope blocked(*this, /*recv=*/true);
-            not_empty_.wait(lock, [&] { return recv_ready(); });
+            sim::cv_wait(not_empty_, lock,
+                         [&] { return recv_ready(); });
         }
         if (queue_.empty()) {
             return cancelled_error("recv on closed, empty channel");
@@ -167,7 +181,7 @@ class Channel {
         queue_.pop_front();
         note_recv();
         lock.unlock();
-        not_full_.notify_one();
+        sim::cv_notify_one(not_full_);
         return value;
     }
 
@@ -187,6 +201,7 @@ class Channel {
     template <typename Clock, typename Duration>
     Result<T> recv_until(
         const std::chrono::time_point<Clock, Duration>& deadline) {
+        sim::maybe_yield();  // hand-off point; no locks held yet
         if (fault::inject(fault::Site::kChannelOp)) {
             return fault::injected_error(fault::Site::kChannelOp);
         }
@@ -194,15 +209,16 @@ class Channel {
         bool timed_out = false;
         if (!recv_ready()) {
             BlockScope blocked(*this, /*recv=*/true);
-            timed_out = !not_empty_.wait_until(
-                lock, deadline, [&] { return recv_ready(); });
+            timed_out = !sim::cv_wait_until(
+                not_empty_, lock, deadline,
+                [&] { return recv_ready(); });
         }
         if (!queue_.empty()) {
             T value = std::move(queue_.front());
             queue_.pop_front();
             note_recv();
             lock.unlock();
-            not_full_.notify_one();
+            sim::cv_notify_one(not_full_);
             return value;
         }
         if (closed_) {
@@ -220,7 +236,10 @@ class Channel {
     template <typename Rep, typename Period>
     Result<T> recv_for(
         const std::chrono::duration<Rep, Period>& timeout) {
-        return recv_until(std::chrono::steady_clock::now() + timeout);
+        // Anchored at now_ns() for the same reason as try_send_for.
+        return recv_until(std::chrono::steady_clock::time_point(
+                              std::chrono::nanoseconds(now_ns())) +
+                          timeout);
     }
 
     /**
@@ -242,7 +261,7 @@ class Channel {
         queue_.pop_front();
         note_recv();
         lock.unlock();
-        not_full_.notify_one();
+        sim::cv_notify_one(not_full_);
         return value;
     }
 
@@ -256,8 +275,8 @@ class Channel {
                 trace::emit(trace::Event::kChanClose, queue_.size());
             }
         }
-        not_empty_.notify_all();
-        not_full_.notify_all();
+        sim::cv_notify_all(not_empty_);
+        sim::cv_notify_all(not_full_);
     }
 
     bool closed() const {

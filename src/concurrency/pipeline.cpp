@@ -13,6 +13,7 @@
 #include "support/fault.hpp"
 #include "support/metrics.hpp"
 #include "support/rng.hpp"
+#include "support/sim.hpp"
 #include "support/stats.hpp"
 #include "support/string_util.hpp"
 #include "support/trace.hpp"
@@ -324,8 +325,7 @@ class StageProcessor {
         }
         if (stage_ == interop::kClassify &&
             config_.lookup_latency_us > 0) {
-            std::this_thread::sleep_for(std::chrono::microseconds(
-                config_.lookup_latency_us));
+            sim::sleep_us(config_.lookup_latency_us);
         }
         return Outcome::kForward;
     }
@@ -621,7 +621,12 @@ run_sink(RunState& rs)
                        StatusCode::kCancelled) {
                 break;
             } else {
-                std::this_thread::yield();
+                // Poll on (virtual) time, not on a bare yield: the
+                // upstream workers this wait depends on may be parked
+                // in timed backoff/cooldown sleeps, and a yield-spinner
+                // stays runnable forever — which would pin the
+                // simulation's clock and livelock the run.
+                sim::sleep_us(50);
             }
         }
         break;
@@ -760,10 +765,11 @@ PipelineEngine::start()
     im.workers.reserve(im.config.total_workers());
     for (size_t s = 0; s < kStageCount; ++s) {
         for (size_t w = 0; w < im.config.workers[s]; ++w) {
-            im.workers.emplace_back([&im, s, w] {
-                stage_worker(im.config, s, w, im.built, *im.payload,
-                             im.rs);
-            });
+            im.workers.emplace_back(sim::spawn_thread(
+                "stage-worker", [&im, s, w] {
+                    stage_worker(im.config, s, w, im.built,
+                                 *im.payload, im.rs);
+                }));
         }
     }
 }
@@ -845,7 +851,7 @@ PipelineEngine::finish()
     // Defensive: workers only exit once the input closes; close is
     // idempotent, so a caller that already closed pays nothing.
     for (auto& ch : im.rs.inputs[0]) ch->close();
-    for (std::thread& t : im.workers) t.join();
+    for (std::thread& t : im.workers) sim::join_thread(t);
 }
 
 void
@@ -947,7 +953,8 @@ PacketPipeline::run(size_t packet_count)
     // With a deadline budget configured, every packet is stamped
     // "now + budget" as it enters; the earliest stamp in a batch
     // becomes the batch deadline every hand-off honors.
-    std::thread source([this, &rs, &stream] {
+    std::thread source(sim::spawn_thread("source", [this, &rs,
+                                                    &stream] {
         Forwarder out(rs, 0, config_.batch_packets);
         const uint64_t budget_ns = config_.deadline_ms * 1'000'000;
         for (PipePacket& p : stream) {
@@ -956,10 +963,10 @@ PacketPipeline::run(size_t packet_count)
         }
         out.flush_all();
         for (auto& ch : rs.inputs[0]) ch->close();
-    });
+    }));
 
     SinkResult sink = run_sink(rs);
-    source.join();
+    sim::join_thread(source);
     engine.finish();
     uint64_t elapsed = now_ns() - start;
 

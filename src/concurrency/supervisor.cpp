@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "support/metrics.hpp"
+#include "support/sim.hpp"
 #include "support/stats.hpp"
 #include "support/trace.hpp"
 
@@ -67,16 +68,18 @@ Supervisor::request_shutdown()
         std::lock_guard<std::mutex> lock(mutex_);
         shutdown_.store(true, std::memory_order_release);
     }
-    shutdown_cv_.notify_all();
+    sim::cv_notify_all(shutdown_cv_);
 }
 
 bool
 Supervisor::interruptible_wait(uint64_t ns)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    shutdown_cv_.wait_for(lock, std::chrono::nanoseconds(ns), [this] {
-        return shutdown_.load(std::memory_order_acquire);
-    });
+    sim::cv_wait_for(shutdown_cv_, lock, std::chrono::nanoseconds(ns),
+                     [this] {
+                         return shutdown_.load(
+                             std::memory_order_acquire);
+                     });
     return shutdown_.load(std::memory_order_acquire);
 }
 
@@ -154,6 +157,9 @@ Supervisor::supervise(uint32_t worker_id, const WorkerHooks& hooks)
         metrics::count(metrics::Counter::kPipeWorkerRestarts);
         trace::emit(trace::Event::kWorkerRestart, worker_id,
                     backoff_ns);
+        // Restart boundary: a schedule-exploration hand-off point (no
+        // locks held here).
+        sim::maybe_yield();
     }
 
     if (gauge_held) {

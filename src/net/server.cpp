@@ -6,15 +6,13 @@
 #include <deque>
 #include <map>
 #include <mutex>
-#include <optional>
 #include <thread>
-#include <unistd.h>
 #include <vector>
 
-#include "net/poller.hpp"
-#include "net/socket.hpp"
+#include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "support/metrics.hpp"
+#include "support/sim.hpp"
 #include "support/stats.hpp"
 #include "support/string_util.hpp"
 #include "support/trace.hpp"
@@ -89,7 +87,7 @@ struct NetServer::Impl {
     };
 
     struct Conn {
-        Fd fd;
+        int h = -1;  ///< Transport handle; -1 once dead.
         uint32_t id = 0;
         FrameDecoder decoder;
 
@@ -124,11 +122,12 @@ struct NetServer::Impl {
     conc::PipelineConfig config;
     std::unique_ptr<conc::PipelineEngine> engine;
     conc::Supervisor supervisor;
+    NetServerTestHooks hooks;
 
-    Fd listener;
+    /** The network seam: real sockets or the in-memory simulation. */
+    std::unique_ptr<Transport> transport;
+    int listener_h = -1;
     uint16_t bound_port = 0;
-    Fd wake_r, wake_w;  ///< Self-pipe: sink -> IO loop wakeups.
-    std::optional<Poller> poller;
 
     std::thread io_thread;
     std::thread sink_thread;
@@ -137,7 +136,7 @@ struct NetServer::Impl {
     std::condition_variable space_cv;  ///< Write-queue space freed.
     std::condition_variable done_cv;   ///< max_frames drained / stop.
     std::map<uint32_t, std::unique_ptr<Conn>> conns;
-    std::map<int, Conn*> by_fd;
+    std::map<int, Conn*> by_h;  ///< Transport handle -> connection.
     uint32_t next_id = 1;
     /** Ids of reaped connections, ready for reuse (the wire flow
      *  field gives connection ids only 16 bits). */
@@ -156,11 +155,7 @@ struct NetServer::Impl {
 
     // --- helpers ---------------------------------------------------------
 
-    void wake_io() {
-        uint8_t byte = 1;
-        // Best-effort: a full pipe already guarantees a wakeup.
-        (void)!::write(wake_w.get(), &byte, 1);
-    }
+    void wake_io() { transport->wake(); }
 
     bool max_frames_reached() const {
         return serve.max_frames > 0 &&
@@ -182,17 +177,17 @@ struct NetServer::Impl {
         if (c.dead || c.draining) return;
         if (should_pause == c.paused) return;
         c.paused = should_pause;
-        (void)poller->modify(c.fd.get(), /*want_read=*/!c.paused,
-                             /*want_write=*/c.want_write);
+        (void)transport->modify(c.h, /*want_read=*/!c.paused,
+                                /*want_write=*/c.want_write);
     }
 
     /** mu held, IO thread.  Registers/clears write interest. */
     void update_write_interest(Conn& c, bool want) {
         if (c.dead || want == c.want_write) return;
         c.want_write = want;
-        (void)poller->modify(c.fd.get(),
-                             /*want_read=*/!c.paused && !c.draining,
-                             /*want_write=*/c.want_write);
+        (void)transport->modify(c.h,
+                                /*want_read=*/!c.paused && !c.draining,
+                                /*want_write=*/c.want_write);
     }
 
     /**
@@ -207,11 +202,12 @@ struct NetServer::Impl {
         if (sick_teardown && !reason.empty()) {
             // Best-effort parting diagnostic; the socket may be gone.
             std::vector<uint8_t> bye = make_error_frame(0, reason);
-            (void)write_some(c.fd.get(), bye);
+            (void)transport->write(c.h, bye);
         }
-        (void)poller->remove(c.fd.get());
-        by_fd.erase(c.fd.get());
-        c.fd.reset();
+        (void)transport->remove(c.h);
+        by_h.erase(c.h);
+        transport->close(c.h);
+        c.h = -1;
         c.dead = true;
         c.sick = sick_teardown;
         // Reclassify undeliverable answers (skip a half-written front
@@ -231,7 +227,7 @@ struct NetServer::Impl {
         c.write_q.clear();
         c.write_off = 0;
         c.parked = false;
-        space_cv.notify_all();
+        sim::cv_notify_all(space_cv);
         if (sick_teardown) {
             teardowns_sick.fetch_add(1, std::memory_order_relaxed);
             metrics::count(metrics::Counter::kNetConnTeardowns);
@@ -271,7 +267,7 @@ struct NetServer::Impl {
             if (!c->write_q.empty()) return;
         }
         done = true;
-        done_cv.notify_all();
+        sim::cv_notify_all(done_cv);
     }
 
     // --- IO loop ---------------------------------------------------------
@@ -284,7 +280,7 @@ struct NetServer::Impl {
             std::span<const uint8_t> rest(
                 front.bytes.data() + c.write_off,
                 front.bytes.size() - c.write_off);
-            auto wrote = write_some(c.fd.get(), rest);
+            auto wrote = transport->write(c.h, rest);
             if (!wrote.is_ok()) {
                 if (wrote.status().code() ==
                     StatusCode::kUnavailable) {
@@ -305,7 +301,7 @@ struct NetServer::Impl {
             }
             c.write_q.pop_front();
             c.write_off = 0;
-            space_cv.notify_all();
+            sim::cv_notify_all(space_cv);
         }
         if (!c.dead) {
             update_write_interest(c, false);
@@ -447,7 +443,10 @@ struct NetServer::Impl {
      */
     bool drain_frames(Conn& c) {
         bool progressed = false;
-        while (!c.dead && !c.paused && !c.parked) {
+        // The hooks escape reverts the PR-6 guard for the simulation
+        // fixture that reproduces the parked-batch overwrite.
+        while (!c.dead && !c.paused &&
+               (!c.parked || hooks.parked_overwrite_bug)) {
             auto next = c.decoder.next();
             if (!next.is_ok()) {
                 protocol_errors.fetch_add(1,
@@ -469,7 +468,7 @@ struct NetServer::Impl {
         bool progressed = false;
         uint8_t buf[4096];
         while (!c.dead && !c.paused && !c.draining) {
-            auto got = read_some(c.fd.get(), buf);
+            auto got = transport->read(c.h, buf);
             if (!got.is_ok()) {
                 if (got.status().code() == StatusCode::kUnavailable) {
                     break;  // socket drained
@@ -479,6 +478,12 @@ struct NetServer::Impl {
             }
             if (got.value().eof) {
                 c.draining = true;
+                // Withdraw read interest now: a half-closed socket
+                // stays level-triggered readable forever, so polling
+                // it again buys nothing and busy-spins the loop until
+                // the drain settles.
+                (void)transport->modify(c.h, /*want_read=*/false,
+                                        c.want_write);
                 if (settled(c)) teardown(c, /*sick=*/false, "");
                 return progressed;
             }
@@ -504,9 +509,9 @@ struct NetServer::Impl {
      */
     bool accept_ready(bool& progressed) {
         while (true) {
-            auto conn_fd = accept_conn(listener.get());
-            if (!conn_fd.is_ok()) {
-                if (conn_fd.status().code() ==
+            auto conn_h = transport->accept();
+            if (!conn_h.is_ok()) {
+                if (conn_h.status().code() ==
                     StatusCode::kUnavailable) {
                     return true;
                 }
@@ -528,11 +533,12 @@ struct NetServer::Impl {
                        : !id_available
                            ? "connection id space exhausted"
                            : "server draining");
-                (void)write_some(conn_fd.value().get(), bye);
-                continue;  // fd closes on scope exit
+                (void)transport->write(conn_h.value(), bye);
+                transport->close(conn_h.value());
+                continue;
             }
             auto conn = std::make_unique<Conn>();
-            conn->fd = std::move(conn_fd).take();
+            conn->h = conn_h.value();
             if (!free_ids.empty()) {
                 conn->id = free_ids.back();
                 free_ids.pop_back();
@@ -540,10 +546,9 @@ struct NetServer::Impl {
                 conn->id = next_id++;
             }
             uint32_t id = conn->id;
-            int raw = conn->fd.get();
-            (void)poller->add(raw, /*want_read=*/true,
-                              /*want_write=*/false);
-            by_fd[raw] = conn.get();
+            (void)transport->add(conn->h, /*want_read=*/true,
+                                 /*want_write=*/false);
+            by_h[conn->h] = conn.get();
             conns[id] = std::move(conn);
             accepted.fetch_add(1, std::memory_order_relaxed);
             metrics::count(metrics::Counter::kNetAccepts);
@@ -557,6 +562,10 @@ struct NetServer::Impl {
         std::vector<PollEvent> events;
         while (!ctx.stop_requested() &&
                !stopping.load(std::memory_order_acquire)) {
+            // Hand-off point (no locks held): an IO loop kept hot by
+            // level-triggered readiness must not starve the other
+            // simulated threads of the run token.
+            sim::maybe_yield();
             bool progressed = false;
             {
                 std::lock_guard<std::mutex> lock(mu);
@@ -586,27 +595,18 @@ struct NetServer::Impl {
                 check_done();
             }
             events.clear();
-            auto waited = poller->wait(/*timeout_ms=*/5, events);
+            auto waited = transport->wait(/*timeout_ms=*/5, events);
             if (!waited.is_ok()) return conc::WorkerExit::kCrash;
             for (const PollEvent& ev : events) {
-                if (ev.fd == wake_r.get()) {
-                    uint8_t drain[256];
-                    while (true) {
-                        ssize_t rc = ::read(wake_r.get(), drain,
-                                            sizeof(drain));
-                        if (rc <= 0) break;
-                    }
-                    continue;
-                }
-                if (ev.fd == listener.get()) {
+                if (ev.fd == listener_h) {
                     if (ev.readable && !accept_ready(progressed)) {
                         return conc::WorkerExit::kCrash;
                     }
                     continue;
                 }
                 std::lock_guard<std::mutex> lock(mu);
-                auto it = by_fd.find(ev.fd);
-                if (it == by_fd.end()) continue;
+                auto it = by_h.find(ev.fd);
+                if (it == by_h.end()) continue;
                 Conn& c = *it->second;
                 if (ev.error) {
                     teardown(c, /*sick=*/!c.draining, "socket error");
@@ -701,8 +701,8 @@ struct NetServer::Impl {
             // wakes the predicate) but reap_dead cannot free it.
             wake_io();
             c->waiters += 1;
-            bool roomy = space_cv.wait_for(
-                lock,
+            bool roomy = sim::cv_wait_for(
+                space_cv, lock,
                 std::chrono::milliseconds(serve.write_stall_ms),
                 [&] {
                     return c->dead || c->sick ||
@@ -775,12 +775,21 @@ Result<std::unique_ptr<NetServer>>
 NetServer::create(const options::ServeSpec& serve,
                   conc::PipelineConfig pipeline)
 {
+    return create(serve, std::move(pipeline), nullptr);
+}
+
+Result<std::unique_ptr<NetServer>>
+NetServer::create(const options::ServeSpec& serve,
+                  conc::PipelineConfig pipeline,
+                  std::unique_ptr<Transport> transport)
+{
     BITC_RETURN_IF_ERROR(serve.validate());
     // Every data frame's originator must hear an answer: validate
     // rejects ride to the sink as kDrop frames instead of vanishing
     // into the in-process drop ledger.
     pipeline.forward_drops = true;
     auto impl = std::make_unique<Impl>(serve, pipeline);
+    impl->transport = std::move(transport);
     // Engine losses must settle the owing connection's ledger; the
     // raw Impl pointer is safe because stop() joins the engine's
     // workers before the Impl can die.
@@ -799,29 +808,30 @@ NetServer::start()
     if (im.started) {
         return failed_precondition_error("server already started");
     }
-    BITC_ASSIGN_OR_RETURN(im.listener,
-                          listen_tcp(im.serve.host, im.serve.port));
-    BITC_ASSIGN_OR_RETURN(im.bound_port,
-                          local_port(im.listener.get()));
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) != 0) {
-        return internal_error("self-pipe creation failed");
+    if (im.transport == nullptr) {
+        BITC_ASSIGN_OR_RETURN(im.transport, make_real_transport());
     }
-    im.wake_r = Fd(pipe_fds[0]);
-    im.wake_w = Fd(pipe_fds[1]);
-    BITC_RETURN_IF_ERROR(set_nonblocking(im.wake_r.get()));
-    BITC_RETURN_IF_ERROR(set_nonblocking(im.wake_w.get()));
-    BITC_ASSIGN_OR_RETURN(auto poller, Poller::create());
-    im.poller.emplace(std::move(poller));
+    BITC_ASSIGN_OR_RETURN(
+        im.listener_h,
+        im.transport->listen(im.serve.host, im.serve.port));
+    BITC_ASSIGN_OR_RETURN(im.bound_port,
+                          im.transport->listen_port());
     BITC_RETURN_IF_ERROR(
-        im.poller->add(im.listener.get(), true, false));
-    BITC_RETURN_IF_ERROR(im.poller->add(im.wake_r.get(), true, false));
+        im.transport->add(im.listener_h, true, false));
 
     im.engine->start();
     im.started = true;
-    im.sink_thread = std::thread([&im] { im.sink_main(); });
-    im.io_thread = std::thread([&im] { im.io_main(); });
+    im.sink_thread =
+        sim::spawn_thread("net-sink", [&im] { im.sink_main(); });
+    im.io_thread =
+        sim::spawn_thread("net-io", [&im] { im.io_main(); });
     return Status::ok();
+}
+
+void
+NetServer::set_test_hooks(const NetServerTestHooks& hooks)
+{
+    impl_->hooks = hooks;
 }
 
 uint16_t
@@ -841,7 +851,7 @@ NetServer::wait_done()
 {
     Impl& im = *impl_;
     std::unique_lock<std::mutex> lock(im.mu);
-    im.done_cv.wait(lock, [&] {
+    sim::cv_wait(im.done_cv, lock, [&] {
         return im.done || im.stopped ||
                im.stopping.load(std::memory_order_acquire);
     });
@@ -858,12 +868,12 @@ NetServer::stop()
     }
     im.stopping.store(true, std::memory_order_release);
     im.wake_io();
-    im.space_cv.notify_all();
+    sim::cv_notify_all(im.space_cv);
     im.supervisor.request_shutdown();
-    if (im.io_thread.joinable()) im.io_thread.join();
+    if (im.io_thread.joinable()) sim::join_thread(im.io_thread);
     im.engine->close_input();
     im.engine->finish();
-    if (im.sink_thread.joinable()) im.sink_thread.join();
+    if (im.sink_thread.joinable()) sim::join_thread(im.sink_thread);
 
     // Final sweep: whatever never left a write queue is rejected.
     std::lock_guard<std::mutex> lock(im.mu);
@@ -882,15 +892,16 @@ NetServer::stop()
             }
         }
         c->write_q.clear();
-        c->fd.reset();
+        im.transport->close(c->h);
+        c->h = -1;
         c->dead = true;
         im.teardowns_clean.fetch_add(1, std::memory_order_relaxed);
         metrics::gauge_sub(metrics::Gauge::kNetConnections);
         trace::emit(trace::Event::kNetConnClose, c->id, 0);
     }
     im.conns.clear();
-    im.by_fd.clear();
-    im.done_cv.notify_all();
+    im.by_h.clear();
+    sim::cv_notify_all(im.done_cv);
 }
 
 ServerStats

@@ -52,6 +52,19 @@
 
 namespace bitc::net {
 
+class Transport;
+
+/**
+ * Test-only switches, set before start().  parked_overwrite_bug
+ * reverts the PR-6 drain_frames guard so the historical parked-batch
+ * overwrite is reproducible by the deterministic simulation suite —
+ * a pinned seed must be able to demonstrate the schedule bug the
+ * guard fixed.
+ */
+struct NetServerTestHooks {
+    bool parked_overwrite_bug = false;
+};
+
 /** Server-side totals; the packet ledger is exact after stop(). */
 struct ServerStats {
     uint64_t accepted = 0;         ///< Connections accepted.
@@ -95,6 +108,19 @@ class NetServer {
     static Result<std::unique_ptr<NetServer>> create(
         const options::ServeSpec& serve,
         conc::PipelineConfig pipeline);
+
+    /**
+     * Same, but over an injected transport — the seam the
+     * deterministic simulation tests use (sim_transport.hpp).  Pass
+     * nullptr to get the real-socket transport at start().
+     */
+    static Result<std::unique_ptr<NetServer>> create(
+        const options::ServeSpec& serve,
+        conc::PipelineConfig pipeline,
+        std::unique_ptr<Transport> transport);
+
+    /** Installs test hooks.  Only valid before start(). */
+    void set_test_hooks(const NetServerTestHooks& hooks);
 
     ~NetServer();
     NetServer(const NetServer&) = delete;

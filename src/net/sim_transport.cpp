@@ -1,0 +1,430 @@
+#include "net/sim_transport.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "support/fault.hpp"
+#include "support/sim.hpp"
+
+namespace bitc::net {
+
+namespace {
+
+/** The listener's handle; connection handles start above it. */
+constexpr int kListenerHandle = 0;
+
+uint64_t
+splitmix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+struct SimTransport::Impl {
+    struct Conn {
+        int handle = 0;
+        std::deque<uint8_t> to_server;  ///< client -> server bytes
+        std::deque<uint8_t> to_client;  ///< server -> client bytes
+        bool accepted = false;      ///< still in the accept backlog
+        bool client_half_closed = false;  ///< server reads hit EOF
+        bool dropped = false;       ///< peer reset; server io fails
+        bool server_closed = false;
+        bool want_read = false;
+        bool want_write = false;
+        bool registered = false;    ///< add()ed, not yet remove()d
+    };
+
+    explicit Impl(SimTransportOptions o) : opts(o) {
+        rng[0] = splitmix(o.seed);
+        rng[1] = splitmix(o.seed + 0x94d049bb133111ebull);
+    }
+
+    uint64_t next_rng() {
+        uint64_t s1 = rng[0];
+        const uint64_t s0 = rng[1];
+        rng[0] = s0;
+        s1 ^= s1 << 23;
+        rng[1] = s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26);
+        return rng[1] + s0;
+    }
+
+    /** mu held.  Seeded transfer size for one read/write call. */
+    size_t chunk(size_t want) {
+        if (opts.max_chunk == 0 || want <= 1) return want;
+        size_t cap = std::min(want, opts.max_chunk);
+        return 1 + static_cast<size_t>(next_rng() % cap);
+    }
+
+    /** mu held.  True when this data-plane io should would-block. */
+    bool stutter() {
+        if (opts.stutter_every == 0) return false;
+        return ++io_count % opts.stutter_every == 0;
+    }
+
+    /** mu held. */
+    Conn* find(int h) {
+        auto it = conns.find(h);
+        return it == conns.end() ? nullptr : &it->second;
+    }
+
+    /** mu held.  The readiness set the server would poll out. */
+    void collect_ready(std::vector<PollEvent>& out) {
+        if (listening && !backlog.empty()) {
+            out.push_back(PollEvent{kListenerHandle, true, false,
+                                    false});
+        }
+        for (auto& [h, c] : conns) {
+            if (!c.registered || !c.accepted || c.server_closed) {
+                continue;
+            }
+            PollEvent ev;
+            ev.fd = h;
+            if (c.dropped) {
+                ev.error = true;
+            } else {
+                if (c.want_read && (!c.to_server.empty() ||
+                                    c.client_half_closed)) {
+                    ev.readable = true;
+                }
+                if (c.want_write &&
+                    c.to_client.size() < opts.conn_buf_bytes) {
+                    ev.writable = true;
+                }
+            }
+            if (ev.readable || ev.writable || ev.error) {
+                out.push_back(ev);
+            }
+        }
+    }
+
+    SimTransportOptions opts;
+    uint64_t rng[2];
+    uint64_t io_count = 0;
+
+    std::mutex mu;
+    std::condition_variable cv;  ///< Server wait() + client reads.
+    bool listening = false;
+    bool wake_pending = false;
+    int next_handle = kListenerHandle + 1;
+    std::map<int, Conn> conns;
+    std::deque<int> backlog;  ///< Connected, not yet accepted.
+};
+
+SimTransport::SimTransport(SimTransportOptions opts)
+    : impl_(std::make_unique<Impl>(opts))
+{
+}
+
+SimTransport::~SimTransport() = default;
+
+Result<int>
+SimTransport::listen(const std::string&, uint16_t)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->listening = true;
+    return kListenerHandle;
+}
+
+Result<uint16_t>
+SimTransport::listen_port()
+{
+    return static_cast<uint16_t>(0);
+}
+
+Result<int>
+SimTransport::accept()
+{
+    if (fault::inject(fault::Site::kSocketIo)) {
+        return fault::injected_error(fault::Site::kSocketIo);
+    }
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->backlog.empty()) {
+        return unavailable_error("no pending connection");
+    }
+    int h = impl_->backlog.front();
+    impl_->backlog.pop_front();
+    Impl::Conn* c = impl_->find(h);
+    if (c != nullptr) c->accepted = true;
+    return h;
+}
+
+Result<ReadResult>
+SimTransport::read(int h, std::span<uint8_t> buf)
+{
+    if (fault::inject(fault::Site::kSocketIo)) {
+        return fault::injected_error(fault::Site::kSocketIo);
+    }
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    Impl::Conn* c = impl_->find(h);
+    if (c == nullptr || c->server_closed) {
+        return cancelled_error("read on closed sim connection");
+    }
+    if (c->dropped) {
+        return cancelled_error("connection reset by peer (sim)");
+    }
+    if (c->to_server.empty()) {
+        if (c->client_half_closed) {
+            return ReadResult{0, /*eof=*/true};
+        }
+        return unavailable_error("sim socket empty");
+    }
+    if (impl_->stutter()) {
+        return unavailable_error("sim socket stutter");
+    }
+    size_t n = impl_->chunk(
+        std::min(buf.size(), c->to_server.size()));
+    for (size_t i = 0; i < n; ++i) {
+        buf[i] = c->to_server.front();
+        c->to_server.pop_front();
+    }
+    return ReadResult{n, /*eof=*/false};
+}
+
+Result<size_t>
+SimTransport::write(int h, std::span<const uint8_t> data)
+{
+    if (fault::inject(fault::Site::kSocketIo)) {
+        return fault::injected_error(fault::Site::kSocketIo);
+    }
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    Impl::Conn* c = impl_->find(h);
+    if (c == nullptr || c->server_closed) {
+        return cancelled_error("write on closed sim connection");
+    }
+    if (c->dropped) {
+        return cancelled_error("broken pipe (sim)");
+    }
+    if (data.empty()) return size_t{0};
+    size_t space = c->to_client.size() < impl_->opts.conn_buf_bytes
+                       ? impl_->opts.conn_buf_bytes -
+                             c->to_client.size()
+                       : 0;
+    if (space == 0) {
+        return unavailable_error("sim socket buffer full");
+    }
+    if (impl_->stutter()) {
+        return unavailable_error("sim socket stutter");
+    }
+    size_t n = impl_->chunk(std::min(data.size(), space));
+    c->to_client.insert(c->to_client.end(), data.begin(),
+                        data.begin() + static_cast<long>(n));
+    lock.unlock();
+    sim::cv_notify_all(impl_->cv);  // a client read may be waiting
+    return n;
+}
+
+Status
+SimTransport::add(int h, bool want_read, bool want_write)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (h == kListenerHandle) return Status::ok();
+    Impl::Conn* c = impl_->find(h);
+    if (c == nullptr) return not_found_error("unknown sim handle");
+    c->registered = true;
+    c->want_read = want_read;
+    c->want_write = want_write;
+    return Status::ok();
+}
+
+Status
+SimTransport::modify(int h, bool want_read, bool want_write)
+{
+    return add(h, want_read, want_write);
+}
+
+Status
+SimTransport::remove(int h)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (h == kListenerHandle) return Status::ok();
+    Impl::Conn* c = impl_->find(h);
+    if (c == nullptr) return not_found_error("unknown sim handle");
+    c->registered = false;
+    c->want_read = false;
+    c->want_write = false;
+    return Status::ok();
+}
+
+void
+SimTransport::close(int h)
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        Impl::Conn* c = impl_->find(h);
+        if (c == nullptr) return;
+        c->server_closed = true;
+        c->registered = false;
+        c->to_server.clear();
+    }
+    sim::cv_notify_all(impl_->cv);  // unblock client readers
+}
+
+Result<size_t>
+SimTransport::wait(int timeout_ms, std::vector<PollEvent>& out)
+{
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    size_t before = out.size();
+    impl_->collect_ready(out);
+    if (out.size() == before && !impl_->wake_pending &&
+        timeout_ms != 0) {
+        auto ready = [&] {
+            if (impl_->wake_pending) return true;
+            std::vector<PollEvent> probe;
+            impl_->collect_ready(probe);
+            return !probe.empty();
+        };
+        if (timeout_ms < 0) {
+            sim::cv_wait(impl_->cv, lock, ready);
+        } else {
+            sim::cv_wait_for(impl_->cv, lock,
+                             std::chrono::milliseconds(timeout_ms),
+                             ready);
+        }
+        impl_->collect_ready(out);
+    }
+    impl_->wake_pending = false;
+    size_t appended = out.size() - before;
+    if (impl_->opts.reorder && appended > 1) {
+        // Seeded Fisher-Yates over the appended events: the server
+        // services ready connections in a per-seed order.
+        for (size_t i = appended - 1; i > 0; --i) {
+            size_t j = static_cast<size_t>(impl_->next_rng() %
+                                           (i + 1));
+            std::swap(out[before + i], out[before + j]);
+        }
+    }
+    return appended;
+}
+
+void
+SimTransport::wake()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        impl_->wake_pending = true;
+    }
+    sim::cv_notify_all(impl_->cv);
+}
+
+int
+SimTransport::connect()
+{
+    int h;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        h = impl_->next_handle++;
+        Impl::Conn c;
+        c.handle = h;
+        impl_->conns.emplace(h, std::move(c));
+        impl_->backlog.push_back(h);
+    }
+    sim::cv_notify_all(impl_->cv);  // listener readiness changed
+    return h;
+}
+
+Status
+SimTransport::client_write(int h, std::span<const uint8_t> data)
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        Impl::Conn* c = impl_->find(h);
+        if (c == nullptr || c->server_closed || c->dropped) {
+            return cancelled_error("sim connection closed");
+        }
+        if (c->client_half_closed) {
+            return failed_precondition_error(
+                "client write after half-close");
+        }
+        c->to_server.insert(c->to_server.end(), data.begin(),
+                            data.end());
+    }
+    sim::cv_notify_all(impl_->cv);
+    return Status::ok();
+}
+
+Result<std::vector<uint8_t>>
+SimTransport::client_read(int h)
+{
+    bool freed = false;
+    std::vector<uint8_t> got;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        Impl::Conn* c = impl_->find(h);
+        if (c == nullptr) {
+            return cancelled_error("sim connection closed");
+        }
+        if (c->to_client.empty()) {
+            if (c->server_closed || c->dropped) {
+                return cancelled_error("sim connection closed");
+            }
+            return unavailable_error("nothing from server yet");
+        }
+        freed = c->to_client.size() >= impl_->opts.conn_buf_bytes;
+        got.assign(c->to_client.begin(), c->to_client.end());
+        c->to_client.clear();
+    }
+    if (freed) {
+        // The simulated kernel buffer just drained: the server's
+        // write interest becomes actionable again.
+        sim::cv_notify_all(impl_->cv);
+    }
+    return got;
+}
+
+Result<std::vector<uint8_t>>
+SimTransport::client_read_for(int h, int timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    Impl::Conn* c = impl_->find(h);
+    if (c == nullptr) return cancelled_error("sim connection closed");
+    sim::cv_wait_for(impl_->cv, lock,
+                     std::chrono::milliseconds(timeout_ms), [&] {
+                         return !c->to_client.empty() ||
+                                c->server_closed || c->dropped;
+                     });
+    lock.unlock();
+    return client_read(h);
+}
+
+void
+SimTransport::client_close_write(int h)
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        Impl::Conn* c = impl_->find(h);
+        if (c == nullptr) return;
+        c->client_half_closed = true;
+    }
+    sim::cv_notify_all(impl_->cv);
+}
+
+void
+SimTransport::client_drop(int h)
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        Impl::Conn* c = impl_->find(h);
+        if (c == nullptr) return;
+        c->dropped = true;
+        c->to_server.clear();
+        c->to_client.clear();
+    }
+    sim::cv_notify_all(impl_->cv);
+}
+
+bool
+SimTransport::server_closed(int h)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    Impl::Conn* c = impl_->find(h);
+    return c == nullptr || c->server_closed;
+}
+
+}  // namespace bitc::net

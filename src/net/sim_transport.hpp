@@ -1,0 +1,117 @@
+/**
+ * @file
+ * In-memory simulated transport for deterministic NetServer tests.
+ *
+ * A SimTransport is both sides of the wire: the server drives the
+ * Transport interface from its IO thread, and the test drives the
+ * client_* API as one or more simulated peers.  Each connection is a
+ * pair of in-memory byte queues; "readiness" is computed from queue
+ * state, and all waits ride the sim-aware condvar helpers, so under a
+ * Simulation nothing ever blocks in real time.
+ *
+ * Adversarial knobs (all seeded, all deterministic per seed):
+ *
+ *  - max_chunk: reads and writes transfer 1..max_chunk bytes per
+ *    call, exercising every partial-read/partial-write resume path
+ *    that a real kernel only produces under memory pressure;
+ *  - stutter_every: every Nth data-plane io returns kUnavailable
+ *    once, forcing would-block handling on paths loopback never
+ *    stresses;
+ *  - reorder: readiness events are shuffled per wait() call, so the
+ *    server processes connections in seed-chosen orders;
+ *  - conn_buf_bytes: the simulated kernel buffer; a client that stops
+ *    reading fills it and write() reports would-block — the write
+ *    stall scenario on demand.
+ *
+ * The kSocketIo fault site is consulted before every accept/read/
+ * write, exactly like the real socket wrappers, so fault plans behave
+ * identically over both transports.  client_drop() hard-drops a
+ * connection: subsequent server io fails with kCancelled and
+ * readiness reports an error, modeling a peer reset.
+ */
+#ifndef BITC_NET_SIM_TRANSPORT_HPP
+#define BITC_NET_SIM_TRANSPORT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "support/status.hpp"
+
+namespace bitc::net {
+
+/** Tuning for one SimTransport instance. */
+struct SimTransportOptions {
+    uint64_t seed = 1;           ///< Chunking/reorder RNG seed.
+    size_t max_chunk = 0;        ///< 0 = whole-buffer transfers.
+    uint32_t stutter_every = 0;  ///< 0 = never would-block.
+    bool reorder = true;         ///< Shuffle readiness per wait().
+    size_t conn_buf_bytes = 64 * 1024;  ///< Simulated kernel buffer.
+};
+
+class SimTransport final : public Transport {
+  public:
+    explicit SimTransport(SimTransportOptions opts);
+    ~SimTransport() override;
+
+    // --- Transport (server side, IO thread) ---------------------------
+
+    Result<int> listen(const std::string& host,
+                       uint16_t port) override;
+    Result<uint16_t> listen_port() override;
+    Result<int> accept() override;
+    Result<ReadResult> read(int h, std::span<uint8_t> buf) override;
+    Result<size_t> write(int h,
+                         std::span<const uint8_t> data) override;
+    Status add(int h, bool want_read, bool want_write) override;
+    Status modify(int h, bool want_read, bool want_write) override;
+    Status remove(int h) override;
+    void close(int h) override;
+    Result<size_t> wait(int timeout_ms,
+                        std::vector<PollEvent>& out) override;
+    void wake() override;
+
+    // --- simulated peers (test side) ----------------------------------
+
+    /** Opens a connection; pending until the server accepts. */
+    int connect();
+
+    /** Queues bytes for the server (its simulated kernel buffer is
+     *  unbounded on this side: client sends never block). */
+    Status client_write(int h, std::span<const uint8_t> data);
+
+    /**
+     * Drains everything the server has written.  kUnavailable when
+     * nothing is pending yet; kCancelled once the server closed the
+     * connection and the backlog is drained.
+     */
+    Result<std::vector<uint8_t>> client_read(int h);
+
+    /**
+     * client_read that waits (virtually, under a simulation) up to
+     * @p timeout_ms for data or close.
+     */
+    Result<std::vector<uint8_t>> client_read_for(int h,
+                                                 int timeout_ms);
+
+    /** Half-close: the server sees EOF after draining our bytes. */
+    void client_close_write(int h);
+
+    /** Hard drop: server io on @p h fails like a peer reset. */
+    void client_drop(int h);
+
+    /** True once the server closed (or dropped) the connection.  A
+     *  client that simply stops calling client_read models a stalled
+     *  reader: server bytes pile up to conn_buf_bytes, then server
+     *  writes would-block — the write-stall scenario on demand. */
+    bool server_closed(int h);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bitc::net
+
+#endif  // BITC_NET_SIM_TRANSPORT_HPP

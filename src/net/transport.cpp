@@ -1,0 +1,125 @@
+#include "net/transport.hpp"
+
+#include <unistd.h>
+
+#include <map>
+#include <utility>
+
+namespace bitc::net {
+
+namespace {
+
+/**
+ * The production Transport: a thin re-packaging of socket.hpp +
+ * poller.hpp.  Handles are the raw fds; the self-pipe that backed
+ * NetServer's wake_io() moves in here so wait()/wake() are
+ * self-contained and the pipe's events never reach the server.
+ */
+class RealTransport final : public Transport {
+  public:
+    RealTransport(Poller poller, Fd wake_r, Fd wake_w)
+        : poller_(std::move(poller)), wake_r_(std::move(wake_r)),
+          wake_w_(std::move(wake_w)) {}
+
+    Result<int> listen(const std::string& host,
+                       uint16_t port) override {
+        BITC_ASSIGN_OR_RETURN(Fd fd, listen_tcp(host, port));
+        int h = fd.get();
+        fds_[h] = std::move(fd);
+        listener_ = h;
+        return h;
+    }
+
+    Result<uint16_t> listen_port() override {
+        if (listener_ < 0) {
+            return failed_precondition_error("no listener");
+        }
+        return local_port(listener_);
+    }
+
+    Result<int> accept() override {
+        if (listener_ < 0) {
+            return failed_precondition_error("no listener");
+        }
+        BITC_ASSIGN_OR_RETURN(Fd fd, accept_conn(listener_));
+        int h = fd.get();
+        fds_[h] = std::move(fd);
+        return h;
+    }
+
+    Result<ReadResult> read(int h, std::span<uint8_t> buf) override {
+        return read_some(h, buf);
+    }
+
+    Result<size_t> write(int h,
+                         std::span<const uint8_t> data) override {
+        return write_some(h, data);
+    }
+
+    Status add(int h, bool want_read, bool want_write) override {
+        return poller_.add(h, want_read, want_write);
+    }
+
+    Status modify(int h, bool want_read, bool want_write) override {
+        return poller_.modify(h, want_read, want_write);
+    }
+
+    Status remove(int h) override { return poller_.remove(h); }
+
+    void close(int h) override { fds_.erase(h); }
+
+    Result<size_t> wait(int timeout_ms,
+                        std::vector<PollEvent>& out) override {
+        size_t before = out.size();
+        auto waited = poller_.wait(timeout_ms, out);
+        if (!waited.is_ok()) return waited.status();
+        // Filter out (and drain) the self-pipe's events: wakeups are
+        // transport plumbing, not server-visible readiness.
+        size_t kept = before;
+        for (size_t i = before; i < out.size(); ++i) {
+            if (out[i].fd == wake_r_.get()) {
+                uint8_t drain[256];
+                while (::read(wake_r_.get(), drain, sizeof(drain)) >
+                       0) {
+                }
+                continue;
+            }
+            out[kept++] = out[i];
+        }
+        out.resize(kept);
+        return kept - before;
+    }
+
+    void wake() override {
+        uint8_t byte = 1;
+        // Best-effort: a full pipe already guarantees a wakeup.
+        (void)!::write(wake_w_.get(), &byte, 1);
+    }
+
+  private:
+    Poller poller_;
+    Fd wake_r_, wake_w_;
+    int listener_ = -1;
+    std::map<int, Fd> fds_;  ///< Owned open handles.
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Transport>>
+make_real_transport()
+{
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        return internal_error("self-pipe creation failed");
+    }
+    Fd wake_r(pipe_fds[0]);
+    Fd wake_w(pipe_fds[1]);
+    BITC_RETURN_IF_ERROR(set_nonblocking(wake_r.get()));
+    BITC_RETURN_IF_ERROR(set_nonblocking(wake_w.get()));
+    BITC_ASSIGN_OR_RETURN(Poller poller, Poller::create());
+    BITC_RETURN_IF_ERROR(poller.add(wake_r.get(), true, false));
+    return std::unique_ptr<Transport>(new RealTransport(
+        std::move(poller), std::move(wake_r), std::move(wake_w)));
+}
+
+}  // namespace bitc::net

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The transport seam: everything NetServer needs from "the network"
+ * behind one virtual interface, so the same event loop runs over real
+ * epoll/poll sockets in production and over an in-memory simulated
+ * transport (sim_transport.hpp) in deterministic tests.
+ *
+ * Handles are small ints.  For the real transport they are the raw
+ * fds; for the simulated one they are synthetic ids.  The server
+ * never closes a handle behind the transport's back — close() is the
+ * only way out, and remove() must precede it (mirroring the
+ * poller-before-close rule real fds impose).
+ *
+ * wait() owns its own wakeup mechanism: wake() makes a concurrent or
+ * future wait() return promptly, and wakeup bookkeeping (the real
+ * transport's self-pipe) never leaks into the event list the server
+ * sees.
+ */
+#ifndef BITC_NET_TRANSPORT_HPP
+#define BITC_NET_TRANSPORT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/poller.hpp"
+#include "net/socket.hpp"
+#include "support/status.hpp"
+
+namespace bitc::net {
+
+/**
+ * One server-side endpoint abstraction.  All methods are called from
+ * the server's IO thread except wake(), which any thread may call.
+ * Status vocabulary matches socket.hpp: kUnavailable = would-block,
+ * kResourceExhausted = injected fault, kCancelled = peer gone.
+ */
+class Transport {
+  public:
+    virtual ~Transport() = default;
+
+    /** Binds the listening endpoint; returns its handle. */
+    virtual Result<int> listen(const std::string& host,
+                               uint16_t port) = 0;
+
+    /** The bound port (real transports; simulated ones return 0). */
+    virtual Result<uint16_t> listen_port() = 0;
+
+    /**
+     * Accepts one pending connection: its handle, kUnavailable when
+     * none is pending, kResourceExhausted on an injected fault.
+     */
+    virtual Result<int> accept() = 0;
+
+    /** read_some semantics (partial reads, eof flag). */
+    virtual Result<ReadResult> read(int h, std::span<uint8_t> buf) = 0;
+
+    /** write_some semantics (partial writes, kCancelled on EPIPE). */
+    virtual Result<size_t> write(int h,
+                                 std::span<const uint8_t> data) = 0;
+
+    /** Readiness interest registration, poller add/modify/remove. */
+    virtual Status add(int h, bool want_read, bool want_write) = 0;
+    virtual Status modify(int h, bool want_read, bool want_write) = 0;
+    virtual Status remove(int h) = 0;
+
+    /** Closes the handle (idempotent; also drops any interest). */
+    virtual void close(int h) = 0;
+
+    /**
+     * Blocks up to @p timeout_ms for readiness events and appends
+     * them to @p out (handle in PollEvent::fd).  Returns the count;
+     * 0 means timeout or a wake().  Wakeup plumbing never appears in
+     * @p out.
+     */
+    virtual Result<size_t> wait(int timeout_ms,
+                                std::vector<PollEvent>& out) = 0;
+
+    /** Interrupts a concurrent or future wait().  Any thread. */
+    virtual void wake() = 0;
+};
+
+/** The production transport: real sockets + epoll/poll + self-pipe. */
+Result<std::unique_ptr<Transport>> make_real_transport();
+
+}  // namespace bitc::net
+
+#endif  // BITC_NET_TRANSPORT_HPP

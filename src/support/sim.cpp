@@ -1,0 +1,535 @@
+#include "support/sim.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/string_util.hpp"
+#include "support/trace.hpp"
+
+namespace bitc::sim {
+
+namespace detail {
+
+std::atomic<Simulation*> g_installed{nullptr};
+
+namespace {
+struct Tls {
+    const Simulation* sim = nullptr;
+    void* rec = nullptr;
+};
+thread_local Tls t_reg;
+}  // namespace
+
+bool
+this_thread_registered(const Simulation* sim)
+{
+    return t_reg.sim == sim && t_reg.rec != nullptr;
+}
+
+}  // namespace detail
+
+namespace {
+
+/** Virtual epoch: 1 s, so "deadline 0 = none" conventions stay safe. */
+constexpr uint64_t kEpochNs = 1'000'000'000ull;
+
+/** Decisions kept verbatim; the count keeps going past the cap. */
+constexpr size_t kMaxRecordedDecisions = 1u << 20;
+
+/** Checkpoint preemption: 1-in-kYieldDenom of eligible checkpoints. */
+constexpr uint64_t kYieldDenom = 4;
+
+uint64_t
+splitmix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char*
+decision_kind_name(DecisionKind k)
+{
+    switch (k) {
+        case DecisionKind::kSpawn: return "spawn";
+        case DecisionKind::kSwitch: return "switch";
+        case DecisionKind::kBlock: return "block";
+        case DecisionKind::kNotify: return "notify";
+        case DecisionKind::kNotifyAll: return "notify-all";
+        case DecisionKind::kAdvance: return "advance";
+        case DecisionKind::kTimeout: return "timeout";
+        case DecisionKind::kYield: return "yield";
+        case DecisionKind::kExit: return "exit";
+    }
+    return "unknown";
+}
+
+/**
+ * One registered thread.  state transitions are all made under mu_:
+ *
+ *   kEmbryo   spawned, has not checked in yet (spawn barrier)
+ *   kRunnable eligible; waiting for the scheduler's grant
+ *   kRunning  holds the token — exactly one thread at a time
+ *   kBlocked  parked in wait()/sleep_ns() on chan (+ deadline)
+ *   kDone     exited or detached; the record stays for the trace
+ */
+struct Simulation::ThreadRec {
+    enum class St : uint8_t {
+        kEmbryo,
+        kRunnable,
+        kRunning,
+        kBlocked,
+        kDone
+    };
+
+    uint32_t id = 0;
+    std::string name;
+    St state = St::kEmbryo;
+    const void* chan = nullptr;
+    uint64_t deadline = kNoDeadline;
+    bool timed_out = false;
+    std::thread::id tid;         ///< Set at check-in; join() lookup.
+    std::condition_variable cv;  ///< Parked threads wait here on mu_.
+};
+
+Simulation::Simulation(uint64_t seed)
+    : seed_(seed), vnow_(kEpochNs)
+{
+    rng_state_[0] = splitmix(seed);
+    rng_state_[1] = splitmix(seed + 0xbf58476d1ce4e5b9ull);
+    Simulation* expected = nullptr;
+    bool installed = detail::g_installed.compare_exchange_strong(
+        expected, this, std::memory_order_acq_rel);
+    assert(installed && "one Simulation at a time");
+    (void)installed;
+}
+
+Simulation::~Simulation()
+{
+    detail::g_installed.store(nullptr, std::memory_order_release);
+}
+
+/** xorshift128+ inline so the header needs no rng.hpp include. */
+static uint64_t
+rng_next(uint64_t state[2])
+{
+    uint64_t s1 = state[0];
+    const uint64_t s0 = state[1];
+    state[0] = s0;
+    s1 ^= s1 << 23;
+    state[1] = s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26);
+    return state[1] + s0;
+}
+
+void
+Simulation::note_locked(DecisionKind kind, uint32_t thread, uint64_t arg)
+{
+    uint64_t step =
+        decision_count_.fetch_add(1, std::memory_order_relaxed);
+    if (decisions_.size() < kMaxRecordedDecisions) {
+        decisions_.push_back(Decision{step, kind, thread, arg});
+    }
+    if (kind == DecisionKind::kSwitch) {
+        trace::emit(trace::Event::kSimSwitch, thread, step);
+    } else if (kind == DecisionKind::kAdvance) {
+        trace::emit(trace::Event::kSimAdvance, arg, step);
+    }
+}
+
+void
+Simulation::deadlock_abort_locked()
+{
+    std::fprintf(stderr,
+                 "bitc-sim DEADLOCK: seed=%llu vnow=%llu decisions=%llu\n",
+                 static_cast<unsigned long long>(seed_),
+                 static_cast<unsigned long long>(now()),
+                 static_cast<unsigned long long>(
+                     decision_count_.load(std::memory_order_relaxed)));
+    for (const auto& t : threads_) {
+        std::fprintf(stderr, "  t%u <%s> state=%d deadline=%llu\n",
+                     t->id, t->name.c_str(),
+                     static_cast<int>(t->state),
+                     static_cast<unsigned long long>(t->deadline));
+    }
+    size_t n = decisions_.size();
+    size_t from = n > 40 ? n - 40 : 0;
+    for (size_t i = from; i < n; ++i) {
+        const Decision& d = decisions_[i];
+        std::fprintf(stderr, "  #%llu %s t%u %llu\n",
+                     static_cast<unsigned long long>(d.step),
+                     decision_kind_name(d.kind), d.thread,
+                     static_cast<unsigned long long>(d.arg));
+    }
+    std::fprintf(stderr,
+                 "replay with BITC_TEST_SEED=%llu\n",
+                 static_cast<unsigned long long>(seed_));
+    std::abort();
+}
+
+/**
+ * The scheduler: grants the token to one runnable thread, chosen by
+ * the seeded RNG.  Runs only when no thread holds the token.  When
+ * nothing is runnable but timed waiters exist, the virtual clock
+ * jumps to the earliest deadline and fires those waiters.  When
+ * nothing is runnable at all: deadlock — unless a detached external
+ * actor exists that may still notify (then the simulation idles until
+ * it does).  The spawn barrier (embryos_) keeps the runnable set — and
+ * with it every choice — deterministic.
+ */
+void
+Simulation::schedule_locked(std::unique_lock<std::mutex>& lk)
+{
+    if (scheduler_busy_) return;  // active scheduler will re-collect
+    scheduler_busy_ = true;
+    for (;;) {
+        while (embryos_ > 0) embryo_cv_.wait(lk);
+        bool someone_running = false;
+        std::vector<uint32_t> runnable;
+        for (const auto& t : threads_) {
+            if (t->state == ThreadRec::St::kRunning) {
+                someone_running = true;
+                break;
+            }
+            if (t->state == ThreadRec::St::kRunnable) {
+                runnable.push_back(t->id);
+            }
+        }
+        if (someone_running) break;  // a grant raced in; done
+        if (!runnable.empty()) {
+            uint32_t pick =
+                runnable.size() == 1
+                    ? runnable[0]
+                    : runnable[static_cast<size_t>(
+                          rng_next(rng_state_) % runnable.size())];
+            ThreadRec& r = *threads_[pick];
+            r.state = ThreadRec::St::kRunning;
+            running_ = pick;
+            note_locked(DecisionKind::kSwitch, pick, 0);
+            r.cv.notify_one();
+            break;
+        }
+        // Nothing runnable: advance the clock to the earliest timed
+        // waiter and fire everyone whose deadline it reaches.
+        uint64_t min_dl = kNoDeadline;
+        for (const auto& t : threads_) {
+            if (t->state == ThreadRec::St::kBlocked &&
+                t->deadline < min_dl) {
+                min_dl = t->deadline;
+            }
+        }
+        if (min_dl != kNoDeadline) {
+            uint64_t now = vnow_.load(std::memory_order_relaxed);
+            if (min_dl > now) {
+                vnow_.store(min_dl, std::memory_order_relaxed);
+                note_locked(DecisionKind::kAdvance, kNone,
+                            min_dl - now);
+            }
+            for (const auto& t : threads_) {
+                if (t->state == ThreadRec::St::kBlocked &&
+                    t->deadline <= min_dl) {
+                    t->state = ThreadRec::St::kRunnable;
+                    t->timed_out = true;
+                    t->chan = nullptr;
+                    t->deadline = kNoDeadline;
+                    note_locked(DecisionKind::kTimeout, t->id, 0);
+                }
+            }
+            continue;
+        }
+        bool any_blocked = false;
+        for (const auto& t : threads_) {
+            if (t->state == ThreadRec::St::kBlocked) {
+                any_blocked = true;
+                break;
+            }
+        }
+        running_ = kNone;
+        if (any_blocked && detaches_ == 0) deadlock_abort_locked();
+        break;  // idle: an external notify/attach/spawn restarts us
+    }
+    scheduler_busy_ = false;
+}
+
+void
+Simulation::park_until_running_locked(std::unique_lock<std::mutex>& lk,
+                                      ThreadRec& rec)
+{
+    rec.cv.wait(lk, [&] {
+        return rec.state == ThreadRec::St::kRunning;
+    });
+}
+
+std::thread
+Simulation::spawn(std::string name, std::function<void()> fn)
+{
+    ThreadRec* rec;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        auto owned = std::make_unique<ThreadRec>();
+        rec = owned.get();
+        rec->id = static_cast<uint32_t>(threads_.size());
+        rec->name = std::move(name);
+        rec->state = ThreadRec::St::kEmbryo;
+        ++embryos_;
+        note_locked(DecisionKind::kSpawn, rec->id, 0);
+        threads_.push_back(std::move(owned));
+    }
+    return std::thread([this, rec, fn = std::move(fn)]() mutable {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            detail::t_reg = {this, rec};
+            rec->tid = std::this_thread::get_id();
+            rec->state = ThreadRec::St::kRunnable;
+            --embryos_;
+            embryo_cv_.notify_all();
+            if (running_ == kNone) schedule_locked(lk);
+            park_until_running_locked(lk, *rec);
+        }
+        fn();
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            rec->state = ThreadRec::St::kDone;
+            running_ = kNone;
+            note_locked(DecisionKind::kExit, rec->id, 0);
+            wake_joiners_locked(rec);
+            detail::t_reg = {};
+            schedule_locked(lk);
+        }
+    });
+}
+
+void
+Simulation::attach(std::string name)
+{
+    assert(detail::t_reg.rec == nullptr &&
+           "thread already registered with a simulation");
+    std::unique_lock<std::mutex> lk(mu_);
+    auto owned = std::make_unique<ThreadRec>();
+    ThreadRec* rec = owned.get();
+    rec->id = static_cast<uint32_t>(threads_.size());
+    rec->name = std::move(name);
+    rec->state = ThreadRec::St::kRunnable;
+    rec->tid = std::this_thread::get_id();
+    note_locked(DecisionKind::kSpawn, rec->id, 1);
+    threads_.push_back(std::move(owned));
+    detail::t_reg = {this, rec};
+    if (running_ == kNone) schedule_locked(lk);
+    park_until_running_locked(lk, *rec);
+}
+
+void
+Simulation::detach()
+{
+    auto* rec = static_cast<ThreadRec*>(detail::t_reg.rec);
+    assert(rec != nullptr && detail::t_reg.sim == this);
+    std::unique_lock<std::mutex> lk(mu_);
+    rec->state = ThreadRec::St::kDone;
+    running_ = kNone;
+    ++detaches_;
+    note_locked(DecisionKind::kExit, rec->id, 1);
+    detail::t_reg = {};
+    schedule_locked(lk);
+}
+
+bool
+Simulation::wait(const void* chan, std::unique_lock<std::mutex>& user_lock,
+                 uint64_t deadline_ns)
+{
+    auto* rec = static_cast<ThreadRec*>(detail::t_reg.rec);
+    assert(rec != nullptr && detail::t_reg.sim == this &&
+           "sim wait from unregistered thread");
+    std::unique_lock<std::mutex> lk(mu_);
+    rec->state = ThreadRec::St::kBlocked;
+    rec->chan = chan;
+    rec->deadline = deadline_ns;
+    rec->timed_out = false;
+    running_ = kNone;
+    note_locked(DecisionKind::kBlock, rec->id,
+                deadline_ns == kNoDeadline ? 0 : deadline_ns);
+    // Release the caller's mutex only after registering: a notifier
+    // must either see the registration or have acted before we held
+    // the user lock — no lost wakeups.
+    user_lock.unlock();
+    schedule_locked(lk);
+    park_until_running_locked(lk, *rec);
+    bool timed_out = rec->timed_out;
+    rec->timed_out = false;
+    lk.unlock();
+    user_lock.lock();
+    return !timed_out;
+}
+
+void
+Simulation::notify(const void* chan, bool all)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    std::vector<uint32_t> waiters;
+    for (const auto& t : threads_) {
+        if (t->state == ThreadRec::St::kBlocked && t->chan == chan) {
+            waiters.push_back(t->id);
+        }
+    }
+    if (waiters.empty()) return;
+    auto wake = [&](uint32_t id) {
+        ThreadRec& r = *threads_[id];
+        r.state = ThreadRec::St::kRunnable;
+        r.chan = nullptr;
+        r.deadline = kNoDeadline;
+        r.timed_out = false;
+    };
+    if (all) {
+        for (uint32_t id : waiters) wake(id);
+        note_locked(DecisionKind::kNotifyAll, waiters[0],
+                    waiters.size());
+    } else {
+        uint32_t pick =
+            waiters.size() == 1
+                ? waiters[0]
+                : waiters[static_cast<size_t>(
+                      rng_next(rng_state_) % waiters.size())];
+        wake(pick);
+        note_locked(DecisionKind::kNotify, pick, waiters.size());
+    }
+    // A notify from the token holder never reschedules (the woken
+    // thread runs when the holder next blocks or yields); a notify
+    // from an unregistered actor while the simulation idles must
+    // restart the scheduler itself.
+    if (running_ == kNone) schedule_locked(lk);
+}
+
+void
+Simulation::wake_joiners_locked(const void* chan)
+{
+    size_t woken = 0;
+    uint32_t first = kNone;
+    for (const auto& t : threads_) {
+        if (t->state == ThreadRec::St::kBlocked && t->chan == chan) {
+            t->state = ThreadRec::St::kRunnable;
+            t->chan = nullptr;
+            t->deadline = kNoDeadline;
+            t->timed_out = false;
+            if (first == kNone) first = t->id;
+            ++woken;
+        }
+    }
+    if (woken > 0) {
+        note_locked(DecisionKind::kNotifyAll, first, woken);
+    }
+}
+
+void
+Simulation::join(std::thread& t)
+{
+    auto* rec = static_cast<ThreadRec*>(detail::t_reg.rec);
+    assert(rec != nullptr && detail::t_reg.sim == this);
+    if (!t.joinable()) return;
+    const std::thread::id target = t.get_id();
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        ThreadRec* trec = nullptr;
+        for (;;) {
+            for (const auto& tr : threads_) {
+                if (tr.get() != rec && tr->tid == target) {
+                    trec = tr.get();
+                    break;
+                }
+            }
+            if (trec != nullptr || embryos_ == 0) break;
+            // The target may be a spawned thread that has not checked
+            // in yet; its check-in signals embryo_cv_.
+            embryo_cv_.wait(lk);
+        }
+        while (trec != nullptr &&
+               trec->state != ThreadRec::St::kDone) {
+            rec->state = ThreadRec::St::kBlocked;
+            rec->chan = trec;  // the exit path wakes chan == rec
+            rec->deadline = kNoDeadline;
+            rec->timed_out = false;
+            running_ = kNone;
+            note_locked(DecisionKind::kBlock, rec->id, 0);
+            schedule_locked(lk);
+            park_until_running_locked(lk, *rec);
+        }
+    }
+    // The target is past its last simulated action (or was never a
+    // participant); the real join completes without the token.
+    t.join();
+}
+
+void
+Simulation::sleep_ns(uint64_t ns)
+{
+    auto* rec = static_cast<ThreadRec*>(detail::t_reg.rec);
+    assert(rec != nullptr && detail::t_reg.sim == this);
+    std::unique_lock<std::mutex> lk(mu_);
+    rec->state = ThreadRec::St::kBlocked;
+    rec->chan = rec;  // private channel: only the clock can wake it
+    rec->deadline = now() + ns;
+    rec->timed_out = false;
+    running_ = kNone;
+    note_locked(DecisionKind::kBlock, rec->id, rec->deadline);
+    schedule_locked(lk);
+    park_until_running_locked(lk, *rec);
+    rec->timed_out = false;
+}
+
+void
+Simulation::checkpoint(bool force)
+{
+    auto* rec = static_cast<ThreadRec*>(detail::t_reg.rec);
+    if (rec == nullptr || detail::t_reg.sim != this) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    bool others = embryos_ > 0;
+    if (!others) {
+        for (const auto& t : threads_) {
+            if (t.get() != rec &&
+                t->state == ThreadRec::St::kRunnable) {
+                others = true;
+                break;
+            }
+        }
+    }
+    if (!others) return;  // nobody to switch to; keep running
+    if (!force && rng_next(rng_state_) % kYieldDenom != 0) return;
+    note_locked(DecisionKind::kYield, rec->id, 0);
+    rec->state = ThreadRec::St::kRunnable;
+    running_ = kNone;
+    schedule_locked(lk);
+    park_until_running_locked(lk, *rec);
+}
+
+uint64_t
+Simulation::decision_count() const
+{
+    return decision_count_.load(std::memory_order_relaxed);
+}
+
+std::string
+Simulation::decision_log() const
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    std::string out;
+    out.reserve(decisions_.size() * 24);
+    for (const Decision& d : decisions_) {
+        out += str_format("%llu %s t%u %llu\n",
+                          static_cast<unsigned long long>(d.step),
+                          decision_kind_name(d.kind), d.thread,
+                          static_cast<unsigned long long>(d.arg));
+    }
+    return out;
+}
+
+std::thread
+spawn_thread(const char* name, std::function<void()> fn)
+{
+    if (Simulation* s = Simulation::installed()) {
+        return s->spawn(name, std::move(fn));
+    }
+    return std::thread(std::move(fn));
+}
+
+}  // namespace bitc::sim

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Deterministic simulation harness: a virtual clock and a seeded
+ * cooperative scheduler for the concurrency stack (FoundationDB
+ * style).
+ *
+ * The problem it solves: the channel/pipeline/supervisor/net stack is
+ * schedule-dependent code tested with real threads, real sleeps and
+ * real sockets, so a bug that needs one specific interleaving is only
+ * found by luck.  Under a Simulation the same code runs on real
+ * std::threads but *cooperatively*: exactly one registered thread
+ * executes at a time, every hand-off (channel wait, condvar notify,
+ * timed sleep, scheduling checkpoint) routes through the simulation,
+ * and every choice — which thread runs next, which notify_one victim
+ * wakes, whether a checkpoint preempts — is drawn from one seeded RNG
+ * and appended to a replayable decision trace.  Time is virtual: a
+ * timed wait never sleeps; when no thread is runnable the clock jumps
+ * to the earliest registered deadline.  Same seed, same decisions,
+ * same interleaving — a thousand schedules explored in the time one
+ * real-sleep test used to take, and a failing seed replays exactly.
+ *
+ * Integration contract (what instrumented code must follow):
+ *
+ *  - Blocking waits go through cv_wait / cv_wait_until / cv_wait_for
+ *    below.  The caller holds its own mutex via the unique_lock, the
+ *    helper releases it while parked — standard condvar semantics.
+ *  - Every notify on an instrumented condvar goes through
+ *    cv_notify_one / cv_notify_all (they also poke the real condvar,
+ *    so unregistered threads parked the classic way still wake).
+ *  - Threads that should participate are created with spawn_thread()
+ *    (falls back to plain std::thread when no simulation is
+ *    installed); test drivers join with Simulation::attach/detach.
+ *  - maybe_yield() checkpoints must only be placed where the calling
+ *    thread holds no user locks: a parked thread must never pin a
+ *    mutex another registered thread needs to reach its next sim
+ *    call.
+ *  - Off-sim cost: one relaxed atomic load and a predicted branch per
+ *    helper call (the same discipline as fault.hpp and trace.hpp).
+ */
+#ifndef BITC_SUPPORT_SIM_HPP
+#define BITC_SUPPORT_SIM_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bitc::sim {
+
+class Simulation;
+
+namespace detail {
+/** The installed simulation; null in production and ordinary tests. */
+extern std::atomic<Simulation*> g_installed;
+/** The calling thread's registration, if it belongs to @p sim. */
+bool this_thread_registered(const Simulation* sim);
+}  // namespace detail
+
+/** "No deadline" sentinel for untimed waits. */
+inline constexpr uint64_t kNoDeadline = ~0ull;
+
+/** Every scheduling choice the simulation makes, for the trace. */
+enum class DecisionKind : uint8_t {
+    kSpawn = 0,  ///< Thread registered (arg 1 = attached driver).
+    kSwitch,     ///< Thread granted the run token.
+    kBlock,      ///< Thread parked (arg = virtual deadline or 0).
+    kNotify,     ///< notify_one victim chosen (arg = waiter count).
+    kNotifyAll,  ///< All waiters on one condvar woken (arg = count).
+    kAdvance,    ///< Virtual clock advanced (arg = delta ns).
+    kTimeout,    ///< A timed waiter's deadline fired.
+    kYield,      ///< Checkpoint preemption taken.
+    kExit,       ///< Thread finished or detached.
+};
+
+const char* decision_kind_name(DecisionKind k);
+
+/** One replayable scheduler decision. */
+struct Decision {
+    uint64_t step = 0;    ///< Global decision sequence number.
+    DecisionKind kind = DecisionKind::kSpawn;
+    uint32_t thread = 0;  ///< Logical thread id the decision concerns.
+    uint64_t arg = 0;     ///< Kind-specific (deterministic; no pointers).
+};
+
+/**
+ * One deterministic run: virtual clock + cooperative scheduler +
+ * decision trace.  Construction installs it process-wide (one at a
+ * time); destruction uninstalls.  Not copyable, not movable.
+ *
+ * Thread ids are assigned in registration order, which is itself
+ * serialized by the scheduler — so the decision trace for a given
+ * seed is bit-identical across runs.
+ */
+class Simulation {
+  public:
+    explicit Simulation(uint64_t seed);
+    ~Simulation();
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    static Simulation* installed() {
+        return detail::g_installed.load(std::memory_order_acquire);
+    }
+
+    uint64_t seed() const { return seed_; }
+
+    /** Virtual time; now_ns() redirects here while installed. */
+    uint64_t now() const {
+        return vnow_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Creates a participating thread.  The spawn is a synchronization
+     * point: the scheduler never makes a choice while a spawned
+     * thread has not yet checked in, so registration order — and with
+     * it the whole decision trace — is deterministic.
+     */
+    std::thread spawn(std::string name, std::function<void()> fn);
+
+    /** Registers the calling (driver) thread and acquires the token. */
+    void attach(std::string name);
+
+    /**
+     * Deregisters the calling thread and releases the token.  After
+     * the first detach an unregistered actor exists, so an idle
+     * scheduler parks instead of declaring deadlock.
+     */
+    void detach();
+
+    /**
+     * Parks the calling registered thread until notify() wakes it or
+     * the virtual @p deadline_ns passes (kNoDeadline = never).
+     * Releases @p user_lock while parked, reacquires before
+     * returning.  Returns false when the wait timed out.
+     */
+    bool wait(const void* chan, std::unique_lock<std::mutex>& user_lock,
+              uint64_t deadline_ns);
+
+    /** Wakes one (seeded choice) or all threads parked on @p chan. */
+    void notify(const void* chan, bool all);
+
+    /** Virtual sleep: parks until the clock reaches now() + ns. */
+    void sleep_ns(uint64_t ns);
+
+    /**
+     * Joins @p t from a registered thread without deadlocking: a
+     * plain join would block the token holder on a target that needs
+     * the token to finish.  Parks the caller until the target's
+     * simulated work completes, then performs the real join.
+     */
+    void join(std::thread& t);
+
+    /**
+     * Checkpoint: with seeded probability, re-enters the scheduler so
+     * another runnable thread may be granted instead.  @p force takes
+     * the reschedule unconditionally (sim-aware yield loops).  Must
+     * not be called with user locks held.
+     */
+    void checkpoint(bool force);
+
+    /** Decisions recorded so far (also the total when capped). */
+    uint64_t decision_count() const;
+
+    /**
+     * The replayable decision trace as text, one line per decision:
+     * "<step> <kind> t<thread> <arg>".  Identical for identical
+     * seeds; recording caps at an internal limit but the count keeps
+     * going, so equality of log + count pins full-run determinism.
+     */
+    std::string decision_log() const;
+
+  private:
+    struct ThreadRec;
+
+    void note_locked(DecisionKind kind, uint32_t thread, uint64_t arg);
+    void wake_joiners_locked(const void* chan);
+    void schedule_locked(std::unique_lock<std::mutex>& lk);
+    void park_until_running_locked(std::unique_lock<std::mutex>& lk,
+                                   ThreadRec& rec);
+    [[noreturn]] void deadlock_abort_locked();
+
+    const uint64_t seed_;
+    std::atomic<uint64_t> vnow_;
+
+    mutable std::mutex mu_;
+    std::condition_variable embryo_cv_;  ///< Spawn-barrier wakeups.
+    std::vector<std::unique_ptr<ThreadRec>> threads_;
+    size_t embryos_ = 0;        ///< Spawned, not yet checked in.
+    bool scheduler_busy_ = false;
+    uint32_t running_ = kNone;  ///< Token holder; kNone when idle.
+    uint64_t detaches_ = 0;     ///< > 0: external actors may exist.
+    uint64_t rng_state_[2];     ///< Inline xorshift128+ (see .cpp).
+
+    std::vector<Decision> decisions_;
+    std::atomic<uint64_t> decision_count_{0};
+
+    static constexpr uint32_t kNone = 0xffffffffu;
+
+    friend bool detail::this_thread_registered(const Simulation*);
+};
+
+// --- helpers for instrumented code ----------------------------------------
+
+/**
+ * The installed simulation, but only when the calling thread is
+ * registered with it; the off-sim fast path is one atomic load.
+ */
+inline Simulation*
+participant()
+{
+    Simulation* s = Simulation::installed();
+    if (__builtin_expect(s == nullptr, 1)) return nullptr;
+    return detail::this_thread_registered(s) ? s : nullptr;
+}
+
+/** Nanos-since-epoch of an arbitrary chrono time_point. */
+template <typename Clock, typename Duration>
+uint64_t
+deadline_ns_of(const std::chrono::time_point<Clock, Duration>& tp)
+{
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  tp.time_since_epoch())
+                  .count();
+    return ns > 0 ? static_cast<uint64_t>(ns) : 0;
+}
+
+/**
+ * Drop-in for cv.wait(lock, pred): simulation-routed when the calling
+ * thread is registered, the real condvar otherwise.
+ */
+template <typename Pred>
+void
+cv_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+        Pred pred)
+{
+    if (Simulation* s = participant()) {
+        while (!pred()) s->wait(&cv, lock, kNoDeadline);
+        return;
+    }
+    cv.wait(lock, pred);
+}
+
+/**
+ * Drop-in for cv.wait_until(lock, deadline, pred).  In simulation the
+ * deadline is interpreted on the virtual clock (the caller computed
+ * it from now_ns()/steady_clock::now(), which the installed clock
+ * already redirected).  Returns pred() at exit, like the standard.
+ */
+template <typename Clock, typename Duration, typename Pred>
+bool
+cv_wait_until(std::condition_variable& cv,
+              std::unique_lock<std::mutex>& lock,
+              const std::chrono::time_point<Clock, Duration>& deadline,
+              Pred pred)
+{
+    if (Simulation* s = participant()) {
+        const uint64_t dl = deadline_ns_of(deadline);
+        while (!pred()) {
+            if (s->now() >= dl) return pred();
+            if (!s->wait(&cv, lock, dl)) return pred();
+        }
+        return true;
+    }
+    return cv.wait_until(lock, deadline, pred);
+}
+
+/** Drop-in for cv.wait_for(lock, timeout, pred). */
+template <typename Rep, typename Period, typename Pred>
+bool
+cv_wait_for(std::condition_variable& cv,
+            std::unique_lock<std::mutex>& lock,
+            const std::chrono::duration<Rep, Period>& timeout, Pred pred)
+{
+    if (Simulation* s = participant()) {
+        const uint64_t dl =
+            s->now() +
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    timeout)
+                    .count());
+        while (!pred()) {
+            if (s->now() >= dl) return pred();
+            if (!s->wait(&cv, lock, dl)) return pred();
+        }
+        return true;
+    }
+    return cv.wait_for(lock, timeout, pred);
+}
+
+/**
+ * Drop-in for cv.notify_one().  The simulation picks the victim among
+ * registered waiters (a seeded, traced decision); the real condvar is
+ * notified broadly so unregistered waiters — which wait with a
+ * predicate — cannot be starved by the split.
+ */
+inline void
+cv_notify_one(std::condition_variable& cv)
+{
+    if (Simulation* s = Simulation::installed()) {
+        s->notify(&cv, /*all=*/false);
+        cv.notify_all();
+        return;
+    }
+    cv.notify_one();
+}
+
+/** Drop-in for cv.notify_all(). */
+inline void
+cv_notify_all(std::condition_variable& cv)
+{
+    if (Simulation* s = Simulation::installed()) {
+        s->notify(&cv, /*all=*/true);
+    }
+    cv.notify_all();
+}
+
+/**
+ * Simulation-aware std::thread factory: participates when a
+ * simulation is installed, plain std::thread otherwise.
+ */
+std::thread spawn_thread(const char* name, std::function<void()> fn);
+
+/**
+ * Scheduling checkpoint: seeded chance to hand the token to another
+ * runnable thread.  No-op off-sim and on unregistered threads.  Only
+ * place where no user locks are held.
+ */
+inline void
+maybe_yield()
+{
+    if (Simulation* s = participant()) s->checkpoint(/*force=*/false);
+}
+
+/** Sim-aware std::this_thread::yield() for polite retry loops. */
+inline void
+yield_now()
+{
+    if (Simulation* s = participant()) {
+        s->checkpoint(/*force=*/true);
+        return;
+    }
+    std::this_thread::yield();
+}
+
+/**
+ * Sim-aware join: safe for registered joiners (the simulation parks
+ * them until the target finishes); a plain join otherwise.
+ */
+inline void
+join_thread(std::thread& t)
+{
+    if (Simulation* s = participant()) {
+        s->join(t);
+        return;
+    }
+    t.join();
+}
+
+/** Sim-aware sleep: virtual when registered, real otherwise. */
+inline void
+sleep_us(uint64_t us)
+{
+    if (Simulation* s = participant()) {
+        s->sleep_ns(us * 1000);
+        return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace bitc::sim
+
+#endif  // BITC_SUPPORT_SIM_HPP

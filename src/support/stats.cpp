@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "support/sim.hpp"
+
 namespace bitc {
 
 double
@@ -74,6 +76,14 @@ SampleStats::summary() const
 uint64_t
 now_ns()
 {
+    // Virtual-clock seam: while a deterministic simulation is
+    // installed, every timestamp in the process reads its clock, so
+    // deadlines, backoffs, and cooldowns computed from now_ns() are
+    // simulation time end to end.  Off-sim this costs one relaxed
+    // atomic load and a predicted-not-taken branch.
+    if (sim::Simulation* s = sim::Simulation::installed()) {
+        return s->now();
+    }
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())

@@ -41,7 +41,8 @@ constexpr std::array<const char*, kNumEvents> kEventNames = {
     "fault-injected", "pipe-handoff", "pipe-stage-exit",
     "worker-crash",   "worker-restart", "breaker-state",
     "batch-shed",     "net-accept",     "net-conn-close",
-    "net-frame-in",   "net-frame-out",
+    "net-frame-in",   "net-frame-out",  "sim-switch",
+    "sim-advance",
 };
 
 }  // namespace

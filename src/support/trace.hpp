@@ -55,6 +55,8 @@ enum class Event : uint8_t {
     kNetConnClose,    ///< arg0 = connection id, arg1 = 0 clean/1 sick.
     kNetFrameIn,      ///< arg0 = connection id, arg1 = frame type.
     kNetFrameOut,     ///< arg0 = connection id, arg1 = frame type.
+    kSimSwitch,       ///< arg0 = thread granted, arg1 = decision step.
+    kSimAdvance,      ///< arg0 = delta ns, arg1 = decision step.
     kCount_,          ///< Sentinel: number of event types.
 };
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "support/metrics.hpp"
+#include "tests/support/test_seed.hpp"
 
 namespace bitc::conc {
 namespace {
@@ -179,6 +180,10 @@ TEST(ChannelTest, BlockedTimeAccumulatesWhenReceiverWaits) {
 // the wrong outcome.  The contract: a queued value beats everything, a
 // close beats a timeout, and kDeadlineExceeded is only ever reported
 // when the channel was provably open and unready.
+//
+// These are the real-clock smokes: the waits that actually elapse
+// (recv_for/try_send_for expiring mid-park) run sleep-free on the
+// virtual clock in tests/sim/sim_test.cpp (docs/simulation.md).
 
 TEST(ChannelTest, RecvUntilDeliversValueDespiteExpiredDeadline) {
     Channel<int> ch(2);
@@ -327,12 +332,9 @@ TEST(ChannelStressTest, TimedMpmcWithMidStreamCloseLosesNothing) {
     // Base seed for the per-thread deadline streams: BITC_TEST_SEED in
     // the environment overrides the default, so a failing interleaving
     // can be replayed exactly.  Any failure below prints the seed.
-    uint64_t base_seed = 0x9e3779b97f4a7c15ull;
-    if (const char* env = std::getenv("BITC_TEST_SEED")) {
-        base_seed = std::strtoull(env, nullptr, 0);
-    }
-    SCOPED_TRACE(::testing::Message()
-                 << "replay with BITC_TEST_SEED=" << base_seed);
+    uint64_t base_seed =
+        bitc::test::seed_or(0x9e3779b97f4a7c15ull);
+    BITC_SEED_TRACE(base_seed);
 
     Channel<uint64_t> ch(16);
     std::vector<std::atomic<uint32_t>> seen(kTotal);

@@ -132,6 +132,10 @@ TEST(SupervisorTest, NeverResurrectsAWorkerWhoseInputIsClosed) {
     EXPECT_TRUE(abandoned);
 }
 
+// Real-clock smoke for the backoff path: it only proves shutdown
+// interrupts the sleep, never waits the ladder out.  The ladder's
+// actual durations (60 s + 120 s observed in microseconds of wall
+// time) are pinned on the virtual clock in tests/sim/sim_test.cpp.
 TEST(SupervisorTest, ShutdownInterruptsTheBackoffSleep) {
     SupervisorConfig config = fast_config();
     config.backoff_ms = 60000;  // would hang the test if uninterrupted

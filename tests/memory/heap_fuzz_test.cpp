@@ -17,6 +17,7 @@
 #include "memory/refcount_heap.hpp"
 #include "memory/semispace_heap.hpp"
 #include "support/rng.hpp"
+#include "tests/support/test_seed.hpp"
 
 namespace bitc::mem {
 namespace {
@@ -40,7 +41,9 @@ TEST_P(HeapFuzzTest, RandomScriptMatchesShadowModel) {
     constexpr int kSteps = 6000;
 
     auto heap = GetParam().make();
-    Rng rng(0xF022 + kSteps);
+    uint64_t seed = bitc::test::seed_or(0xF022 + kSteps);
+    BITC_SEED_TRACE(seed);
+    Rng rng(seed);
 
     // Root table: parallel arrays of heap refs and shadow objects.
     std::vector<ObjRef> roots(kRoots, kNullRef);

@@ -28,6 +28,7 @@
 #include "net/wire.hpp"
 #include "support/fault.hpp"
 #include "support/rng.hpp"
+#include "tests/support/test_seed.hpp"
 
 namespace bitc::net {
 namespace {
@@ -110,10 +111,7 @@ bucket_of(const Frame& response)
 uint64_t
 test_seed()
 {
-    if (const char* env = std::getenv("BITC_TEST_SEED")) {
-        return std::strtoull(env, nullptr, 0);
-    }
-    return 7;
+    return bitc::test::seed_or(7);
 }
 
 /**
@@ -129,8 +127,7 @@ TEST(LoopbackTest, EchoDifferentialMatchesInProcessPipeline) {
     ASSERT_TRUE(client.is_ok()) << client.status().to_string();
 
     uint64_t seed = test_seed();
-    SCOPED_TRACE(::testing::Message()
-                 << "replay with BITC_TEST_SEED=" << seed);
+    BITC_SEED_TRACE(seed);
     Rng rng(seed);
     constexpr size_t kFrames = 300;
     std::map<uint32_t, Expected> expected;
@@ -257,6 +254,10 @@ TEST(LoopbackTest, MidStreamDisconnectDoesNotPoisonTheServer) {
     EXPECT_EQ(stats.accepted, 2u);
 }
 
+// Real-clock smoke: one genuine kernel-buffer stall through real
+// sockets.  The same drill runs sleep-free on the virtual clock with
+// a scripted bounded buffer in tests/sim/sim_net_test.cpp
+// (StalledReaderTripsWriteStallTeardownVirtually).
 TEST(LoopbackTest, SlowReaderTripsWriteStallTeardown) {
     options::ServeSpec spec = loopback_spec();
     spec.write_queue_frames = 4;  // tiny answer queue

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "support/rng.hpp"
+#include "tests/support/test_seed.hpp"
 
 namespace bitc::net {
 namespace {
@@ -193,12 +194,8 @@ TEST(WireFormatTest, PoisonIsSticky) {
  * (no crashes, no garbage frames).
  */
 TEST(WireFuzzTest, RandomFramesSurviveRandomChunking) {
-    uint64_t base_seed = 0xb17c;
-    if (const char* env = std::getenv("BITC_TEST_SEED")) {
-        base_seed = std::strtoull(env, nullptr, 0);
-    }
-    SCOPED_TRACE(::testing::Message()
-                 << "replay with BITC_TEST_SEED=" << base_seed);
+    uint64_t base_seed = bitc::test::seed_or(0xb17c);
+    BITC_SEED_TRACE(base_seed);
     Rng rng(base_seed);
     for (int round = 0; round < 50; ++round) {
         std::vector<Frame> sent;
@@ -243,12 +240,8 @@ TEST(WireFuzzTest, RandomFramesSurviveRandomChunking) {
 }
 
 TEST(WireFuzzTest, RandomCorruptionNeverYieldsGarbageFrames) {
-    uint64_t base_seed = 0xb17c;
-    if (const char* env = std::getenv("BITC_TEST_SEED")) {
-        base_seed = std::strtoull(env, nullptr, 0);
-    }
-    SCOPED_TRACE(::testing::Message()
-                 << "replay with BITC_TEST_SEED=" << base_seed);
+    uint64_t base_seed = bitc::test::seed_or(0xb17c);
+    BITC_SEED_TRACE(base_seed);
     Rng rng(base_seed ^ 0x5eed);
     for (int round = 0; round < 200; ++round) {
         Frame f = sample_frame();

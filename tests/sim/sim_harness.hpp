@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Shared scenario runners for the deterministic-simulation suites.
+ *
+ * Each runner owns one complete Simulation lifecycle: install with a
+ * seed, attach the driver, drive the stack (pipeline run, net echo,
+ * net storm), capture the decision trace *before* detaching, and
+ * return a plain outcome struct the tests assert on.  Keeping the
+ * runners assertion-free lets the seed-sweep tests call them a
+ * thousand times without gtest overhead, and lets the determinism
+ * tests compare two outcomes field by field.
+ */
+#ifndef BITC_TESTS_SIM_SIM_HARNESS_HPP
+#define BITC_TESTS_SIM_SIM_HARNESS_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "concurrency/pipeline.hpp"
+#include "interop/packet_stages.hpp"
+#include "net/server.hpp"
+#include "net/sim_transport.hpp"
+#include "net/wire.hpp"
+#include "support/fault.hpp"
+#include "support/rng.hpp"
+#include "support/sim.hpp"
+
+namespace bitc::simtest {
+
+/** What the in-process stage chain would answer for one wire image. */
+struct Expected {
+    bool drop = false;
+    std::array<uint8_t, conc::kPipeWireBytes> wire{};
+    int64_t bucket = -1;
+};
+
+inline Expected
+reference_process(const std::array<uint8_t, conc::kPipeWireBytes>& in)
+{
+    Expected out;
+    out.wire = in;
+    if (interop::legacy_validate(out.wire) == 0) {
+        out.drop = true;
+        return out;
+    }
+    interop::legacy_decrement_ttl(out.wire);
+    interop::legacy_checksum(out.wire);
+    out.bucket = interop::legacy_classify(out.wire);
+    return out;
+}
+
+inline net::Frame
+data_frame(uint32_t flow,
+           const std::array<uint8_t, conc::kPipeWireBytes>& wire)
+{
+    net::Frame f;
+    f.type = net::FrameType::kData;
+    f.flow = flow;
+    f.payload.assign(wire.begin(), wire.end());
+    return f;
+}
+
+/** kResponse payload = processed wire image + big-endian bucket. */
+inline int64_t
+bucket_of(const net::Frame& response)
+{
+    uint64_t bucket = 0;
+    for (size_t i = 0; i < 8; ++i) {
+        bucket = (bucket << 8) |
+                 response.payload[conc::kPipeWireBytes + i];
+    }
+    return static_cast<int64_t>(bucket);
+}
+
+inline conc::PipelineConfig
+small_engine()
+{
+    conc::PipelineConfig config;
+    config.workers = {1, 1, 1, 1};
+    config.queue_capacity = 8;
+    config.batch_packets = 4;
+    config.seed = 7;
+    return config;
+}
+
+/** Fast supervision so storms restart and trip breakers virtually. */
+inline conc::SupervisorConfig
+fast_supervision()
+{
+    conc::SupervisorConfig sup;
+    sup.max_restarts = 2;
+    sup.restart_window_ms = 50;
+    sup.backoff_ms = 1;
+    sup.backoff_cap_ms = 4;
+    return sup;
+}
+
+/** Accumulates decoded answer frames from raw client_read bytes. */
+struct AnswerSink {
+    net::FrameDecoder decoder;
+    std::vector<net::Frame> frames;
+    bool poisoned = false;
+
+    void feed(const std::vector<uint8_t>& bytes) {
+        if (poisoned) return;
+        decoder.feed(bytes);
+        while (true) {
+            auto got = decoder.next();
+            if (!got.is_ok()) {
+                poisoned = true;
+                return;
+            }
+            if (!got.value().has_value()) return;
+            frames.push_back(std::move(*got.value()));
+        }
+    }
+};
+
+// --- pipeline + supervisor storm -----------------------------------------
+
+struct PipelineOutcome {
+    bool ok = false;           ///< create()/run() both succeeded.
+    std::string error;         ///< Status text when !ok.
+    conc::PipelineReport report;
+    std::string decision_log;
+    uint64_t decision_count = 0;
+};
+
+/**
+ * One supervised pipeline run under simulation: a seeded schedule, a
+ * virtual-time lookup stall in classify, and (optionally) a fault
+ * plan crashing workers so the supervisor's restart/backoff/breaker
+ * machinery runs on the virtual clock.
+ */
+inline PipelineOutcome
+run_pipeline_storm(uint64_t seed, size_t packets,
+                   const char* fault_plan)
+{
+    PipelineOutcome out;
+    sim::Simulation sim(seed);
+    sim.attach("driver");
+    {
+        std::optional<fault::ScopedPlan> plan;
+        if (fault_plan != nullptr) plan.emplace(fault_plan);
+
+        conc::PipelineConfig config = small_engine();
+        config.workers = {2, 1, 1, 1};
+        config.queue_capacity = 4;
+        config.batch_packets = 4;
+        config.lookup_latency_us = 20;  // virtual stall in classify
+        config.supervision = fast_supervision();
+
+        auto pipeline = conc::PacketPipeline::create(config);
+        if (!pipeline.is_ok()) {
+            out.error = pipeline.status().to_string();
+        } else {
+            auto report = pipeline.value()->run(packets);
+            if (!report.is_ok()) {
+                out.error = report.status().to_string();
+            } else {
+                out.ok = true;
+                out.report = report.value();
+            }
+        }
+    }
+    out.decision_log = sim.decision_log();
+    out.decision_count = sim.decision_count();
+    sim.detach();
+    return out;
+}
+
+// --- net echo (clean traffic over an adversarial transport) --------------
+
+struct EchoOutcome {
+    bool ok = false;       ///< Server came up and served.
+    std::string error;
+    bool all_matched = false;  ///< Every answer byte-matched reference.
+    uint64_t answers = 0;
+    net::ServerStats stats;
+    std::string decision_log;
+    uint64_t decision_count = 0;
+};
+
+/**
+ * One client, @p frames well-formed data frames over a SimTransport
+ * with seeded chunking, stutter and readiness reorder.  Every frame
+ * must come back as the reference kResponse/kDrop, byte-identical.
+ */
+inline EchoOutcome
+run_net_echo(uint64_t seed, size_t frames)
+{
+    EchoOutcome out;
+    sim::Simulation sim(seed);
+    sim.attach("driver");
+    {
+        net::SimTransportOptions topts;
+        topts.seed = seed;
+        topts.max_chunk = 5;
+        topts.stutter_every = 3;
+        topts.reorder = true;
+        auto transport =
+            std::make_unique<net::SimTransport>(topts);
+        net::SimTransport* wire = transport.get();
+
+        options::ServeSpec spec;
+        auto server = net::NetServer::create(spec, small_engine(),
+                                             std::move(transport));
+        Status started = server.is_ok() ? server.value()->start()
+                                        : server.status();
+        if (!started.is_ok()) {
+            out.error = started.to_string();
+        } else {
+            int h = wire->connect();
+            Rng rng(0xec40 ^ seed);
+            std::map<uint32_t, Expected> expected;
+            for (uint32_t flow = 1; flow <= frames; ++flow) {
+                std::array<uint8_t, conc::kPipeWireBytes> image{};
+                interop::generate_packet(
+                    rng,
+                    std::span<uint8_t>(image.data(), image.size()));
+                expected[flow] = reference_process(image);
+                wire->client_write(
+                    h, net::encode_frame(data_frame(flow, image)));
+                if (flow % 3 == 0) sim::yield_now();
+            }
+            wire->client_close_write(h);
+
+            AnswerSink sink;
+            while (sink.frames.size() < frames && !sink.poisoned) {
+                auto bytes = wire->client_read_for(h, 20000);
+                if (!bytes.is_ok()) break;
+                sink.feed(bytes.value());
+            }
+            out.answers = sink.frames.size();
+            out.all_matched = out.answers == frames;
+            for (const net::Frame& f : sink.frames) {
+                auto want = expected.find(f.flow);
+                if (want == expected.end()) {
+                    out.all_matched = false;
+                    break;
+                }
+                if (want->second.drop) {
+                    if (f.type != net::FrameType::kDrop) {
+                        out.all_matched = false;
+                        break;
+                    }
+                } else if (f.type != net::FrameType::kResponse ||
+                           f.payload.size() !=
+                               conc::kPipeWireBytes + 8 ||
+                           !std::equal(want->second.wire.begin(),
+                                       want->second.wire.end(),
+                                       f.payload.begin()) ||
+                           bucket_of(f) != want->second.bucket) {
+                    out.all_matched = false;
+                    break;
+                }
+                expected.erase(want);  // answered exactly once
+            }
+            server.value()->stop();
+            out.stats = server.value()->stats();
+            out.ok = true;
+        }
+    }
+    out.decision_log = sim.decision_log();
+    out.decision_count = sim.decision_count();
+    sim.detach();
+    return out;
+}
+
+// --- net storm (faults, a dropped peer, a draining peer) -----------------
+
+struct StormOutcome {
+    bool ok = false;
+    std::string error;
+    uint64_t answers = 0;  ///< Frames the draining client got back.
+    net::ServerStats stats;
+    std::string decision_log;
+    uint64_t decision_count = 0;
+};
+
+/**
+ * The full stack under fire: two clients over an adversarial
+ * SimTransport, a fault plan (worker crashes and/or socket-io
+ * faults), one peer hard-dropping mid-stream, the other half-closing
+ * and draining.  The invariant that must survive any seed is the
+ * conservation ledger; the determinism tests additionally pin the
+ * whole decision trace.
+ */
+inline StormOutcome
+run_net_storm(uint64_t seed, size_t frames_a, size_t frames_b,
+              const char* fault_plan)
+{
+    StormOutcome out;
+    sim::Simulation sim(seed);
+    sim.attach("driver");
+    {
+        std::optional<fault::ScopedPlan> plan;
+        if (fault_plan != nullptr) plan.emplace(fault_plan);
+
+        net::SimTransportOptions topts;
+        topts.seed = seed;
+        topts.max_chunk = 7;
+        topts.stutter_every = 5;
+        topts.reorder = true;
+        auto transport =
+            std::make_unique<net::SimTransport>(topts);
+        net::SimTransport* wire = transport.get();
+
+        options::ServeSpec spec;
+        spec.write_queue_frames = 8;
+        spec.write_stall_ms = 100;
+
+        conc::PipelineConfig engine = small_engine();
+        engine.queue_capacity = 2;
+        engine.batch_packets = 2;
+        engine.supervision = fast_supervision();
+
+        auto server = net::NetServer::create(spec, engine,
+                                             std::move(transport));
+        Status started = server.is_ok() ? server.value()->start()
+                                        : server.status();
+        if (!started.is_ok()) {
+            out.error = started.to_string();
+        } else {
+            int a = wire->connect();
+            int b = wire->connect();
+            Rng rng(0x5117 ^ seed);
+            for (uint32_t flow = 1; flow <= frames_a; ++flow) {
+                std::array<uint8_t, conc::kPipeWireBytes> image{};
+                interop::generate_packet(
+                    rng,
+                    std::span<uint8_t>(image.data(), image.size()));
+                wire->client_write(
+                    a, net::encode_frame(data_frame(flow, image)));
+                if (flow % 3 == 0) sim::yield_now();
+            }
+            for (uint32_t flow = 1; flow <= frames_b; ++flow) {
+                std::array<uint8_t, conc::kPipeWireBytes> image{};
+                interop::generate_packet(
+                    rng,
+                    std::span<uint8_t>(image.data(), image.size()));
+                wire->client_write(
+                    b, net::encode_frame(data_frame(flow, image)));
+                if (flow % 2 == 0) sim::yield_now();
+            }
+            wire->client_drop(b);       // peer reset mid-stream
+            wire->client_close_write(a);  // drain to completion
+
+            AnswerSink sink;
+            while (!sink.poisoned) {
+                auto bytes = wire->client_read_for(a, 20000);
+                if (!bytes.is_ok()) break;
+                sink.feed(bytes.value());
+            }
+            out.answers = sink.frames.size();
+            server.value()->stop();
+            out.stats = server.value()->stats();
+            out.ok = true;
+        }
+    }
+    out.decision_log = sim.decision_log();
+    out.decision_count = sim.decision_count();
+    sim.detach();
+    return out;
+}
+
+}  // namespace bitc::simtest
+
+#endif  // BITC_TESTS_SIM_SIM_HARNESS_HPP

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Simulated-transport tests: the SimTransport's adversarial wire
+ * behaviors (chunked transfers, stutter, half-close, peer reset), a
+ * full NetServer echo over it under the deterministic scheduler, the
+ * differential against a real loopback socket (byte-identical
+ * answers, identical ledgers), and the virtual-time migration of the
+ * slow-reader write-stall teardown — the scenario that needs real
+ * sleeps and kernel buffer tricks on a socket happens on demand here.
+ */
+#include "net/sim_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "support/stats.hpp"
+#include "tests/sim/sim_harness.hpp"
+#include "tests/support/test_seed.hpp"
+
+namespace bitc::net {
+namespace {
+
+/** listen + connect + accept boilerplate for direct transport tests. */
+struct Harness {
+    SimTransport transport;
+    bool ready = false;
+    int listener = -1;
+    int client = -1;  ///< client-side handle
+    int server = -1;  ///< accepted server-side handle
+
+    explicit Harness(SimTransportOptions opts)
+        : transport(std::move(opts)) {
+        auto lh = transport.listen("127.0.0.1", 0);
+        if (!lh.is_ok()) return;
+        listener = lh.value();
+        if (!transport.add(listener, true, false).is_ok()) return;
+        client = transport.connect();
+        auto accepted = transport.accept();
+        if (!accepted.is_ok()) return;
+        server = accepted.value();
+        if (!transport.add(server, true, false).is_ok()) return;
+        ready = true;
+    }
+};
+
+TEST(SimTransportTest, ChunkedTransferDeliversEveryByteInOrder) {
+    SimTransportOptions opts;
+    opts.seed = bitc::test::seed_or(21);
+    opts.max_chunk = 3;
+    opts.reorder = false;
+    Harness h(opts);
+    ASSERT_TRUE(h.ready);
+
+    std::vector<uint8_t> sent(100);
+    std::iota(sent.begin(), sent.end(), 0);
+    ASSERT_TRUE(h.transport.client_write(h.client, sent).is_ok());
+
+    // Server side: every read hands over at most max_chunk bytes.
+    std::vector<uint8_t> got;
+    std::vector<uint8_t> buf(64);
+    while (got.size() < sent.size()) {
+        auto r = h.transport.read(
+            h.server, std::span<uint8_t>(buf.data(), buf.size()));
+        ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+        ASSERT_FALSE(r.value().eof);
+        ASSERT_LE(r.value().bytes, 3u);
+        ASSERT_GT(r.value().bytes, 0u);
+        got.insert(got.end(), buf.begin(),
+                   buf.begin() + static_cast<long>(r.value().bytes));
+    }
+    EXPECT_EQ(got, sent);
+    auto empty = h.transport.read(
+        h.server, std::span<uint8_t>(buf.data(), buf.size()));
+    ASSERT_FALSE(empty.is_ok());
+    EXPECT_EQ(empty.status().code(), StatusCode::kUnavailable);
+
+    // And back: server writes are chunked too; the client drains all.
+    size_t written = 0;
+    while (written < sent.size()) {
+        auto w = h.transport.write(
+            h.server, std::span<const uint8_t>(sent.data() + written,
+                                               sent.size() - written));
+        ASSERT_TRUE(w.is_ok()) << w.status().to_string();
+        ASSERT_LE(w.value(), 3u);
+        written += w.value();
+    }
+    std::vector<uint8_t> echoed;
+    while (echoed.size() < sent.size()) {
+        auto r = h.transport.client_read(h.client);
+        ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+        echoed.insert(echoed.end(), r.value().begin(),
+                      r.value().end());
+    }
+    EXPECT_EQ(echoed, sent);
+}
+
+TEST(SimTransportTest, HalfCloseYieldsEofAfterTheBacklogDrains) {
+    SimTransportOptions opts;
+    opts.seed = bitc::test::seed_or(22);
+    Harness h(opts);
+    ASSERT_TRUE(h.ready);
+
+    std::vector<uint8_t> sent = {1, 2, 3, 4, 5};
+    ASSERT_TRUE(h.transport.client_write(h.client, sent).is_ok());
+    h.transport.client_close_write(h.client);
+
+    std::vector<uint8_t> buf(16);
+    auto r = h.transport.read(
+        h.server, std::span<uint8_t>(buf.data(), buf.size()));
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    EXPECT_EQ(r.value().bytes, sent.size());
+    EXPECT_FALSE(r.value().eof) << "bytes drain before the EOF";
+
+    auto eof = h.transport.read(
+        h.server, std::span<uint8_t>(buf.data(), buf.size()));
+    ASSERT_TRUE(eof.is_ok()) << eof.status().to_string();
+    EXPECT_EQ(eof.value().bytes, 0u);
+    EXPECT_TRUE(eof.value().eof);
+}
+
+TEST(SimTransportTest, DroppedPeerSurfacesAsErrorThenCancelledIo) {
+    SimTransportOptions opts;
+    opts.seed = bitc::test::seed_or(23);
+    opts.reorder = false;
+    Harness h(opts);
+    ASSERT_TRUE(h.ready);
+
+    h.transport.client_drop(h.client);
+    std::vector<PollEvent> events;
+    auto waited = h.transport.wait(0, events);
+    ASSERT_TRUE(waited.is_ok()) << waited.status().to_string();
+    bool saw_error = false;
+    for (const PollEvent& ev : events) {
+        if (ev.fd == h.server && ev.error) saw_error = true;
+    }
+    EXPECT_TRUE(saw_error)
+        << "readiness must report the reset connection";
+
+    std::vector<uint8_t> buf(16);
+    auto r = h.transport.read(
+        h.server, std::span<uint8_t>(buf.data(), buf.size()));
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(SimTransportTest, StutterInjectsWouldBlockPeriodically) {
+    SimTransportOptions opts;
+    opts.seed = bitc::test::seed_or(24);
+    opts.stutter_every = 2;
+    opts.max_chunk = 4;
+    Harness h(opts);
+    ASSERT_TRUE(h.ready);
+
+    std::vector<uint8_t> sent(32, 0xab);
+    ASSERT_TRUE(h.transport.client_write(h.client, sent).is_ok());
+
+    size_t got = 0;
+    size_t would_blocks = 0;
+    std::vector<uint8_t> buf(16);
+    for (int spin = 0; spin < 200 && got < sent.size(); ++spin) {
+        auto r = h.transport.read(
+            h.server, std::span<uint8_t>(buf.data(), buf.size()));
+        if (!r.is_ok()) {
+            ASSERT_EQ(r.status().code(), StatusCode::kUnavailable);
+            ++would_blocks;
+            continue;
+        }
+        got += r.value().bytes;
+    }
+    EXPECT_EQ(got, sent.size());
+    EXPECT_GT(would_blocks, 0u)
+        << "stutter_every=2 must fake at least one would-block";
+}
+
+TEST(SimTransportTest, BoundedBufferBackpressuresServerWrites) {
+    SimTransportOptions opts;
+    opts.seed = bitc::test::seed_or(25);
+    opts.conn_buf_bytes = 8;  // tiny simulated kernel buffer
+    Harness h(opts);
+    ASSERT_TRUE(h.ready);
+
+    std::vector<uint8_t> chunk(8, 0x5a);
+    auto first = h.transport.write(
+        h.server, std::span<const uint8_t>(chunk.data(), chunk.size()));
+    ASSERT_TRUE(first.is_ok());
+    EXPECT_EQ(first.value(), 8u);
+    auto blocked = h.transport.write(
+        h.server, std::span<const uint8_t>(chunk.data(), chunk.size()));
+    ASSERT_FALSE(blocked.is_ok());
+    EXPECT_EQ(blocked.status().code(), StatusCode::kUnavailable)
+        << "a stalled reader must surface as would-block";
+
+    // The client draining frees the buffer and unblocks the server.
+    ASSERT_TRUE(h.transport.client_read(h.client).is_ok());
+    auto retry = h.transport.write(
+        h.server, std::span<const uint8_t>(chunk.data(), chunk.size()));
+    ASSERT_TRUE(retry.is_ok());
+    EXPECT_GT(retry.value(), 0u);
+}
+
+// --- NetServer over the simulated wire -----------------------------------
+
+TEST(SimNetServerTest, EchoOverSimTransportMatchesReference) {
+    const uint64_t seed = bitc::test::seed_or(0x51e0);
+    BITC_SEED_TRACE(seed);
+    simtest::EchoOutcome out = simtest::run_net_echo(seed, 40);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.answers, 40u);
+    EXPECT_TRUE(out.all_matched)
+        << "an answer diverged from the reference stage chain";
+    EXPECT_TRUE(out.stats.conserved()) << out.stats.to_string();
+    EXPECT_EQ(out.stats.generated, 40u);
+    EXPECT_EQ(out.stats.protocol_errors, 0u);
+    EXPECT_GT(out.decision_count, 0u)
+        << "the echo must have run under the simulated scheduler";
+}
+
+TEST(SimNetServerTest, SameSeedReplaysTheEchoExactly) {
+    const uint64_t seed = bitc::test::seed_or(0x51e1);
+    BITC_SEED_TRACE(seed);
+    simtest::EchoOutcome a = simtest::run_net_echo(seed, 24);
+    simtest::EchoOutcome b = simtest::run_net_echo(seed, 24);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.decision_log, b.decision_log);
+    EXPECT_EQ(a.decision_count, b.decision_count);
+    EXPECT_EQ(a.stats.to_string(), b.stats.to_string());
+}
+
+/**
+ * The satellite differential: the same frame set over the simulated
+ * transport and over a real loopback socket must produce
+ * byte-identical per-flow answers and identical conservation
+ * ledgers.  This is what makes sim results trustworthy — a bug found
+ * on the simulated wire is a bug on the real one.
+ */
+TEST(SimNetServerTest, DifferentialSimVsRealLoopback) {
+    const uint64_t seed = bitc::test::seed_or(0xd1ff);
+    BITC_SEED_TRACE(seed);
+    constexpr size_t kFrames = 60;
+
+    // Build the frame set once; both sides replay it.
+    std::vector<std::array<uint8_t, conc::kPipeWireBytes>> wires;
+    {
+        Rng rng(seed);
+        for (size_t i = 0; i < kFrames; ++i) {
+            std::array<uint8_t, conc::kPipeWireBytes> image{};
+            interop::generate_packet(
+                rng, std::span<uint8_t>(image.data(), image.size()));
+            wires.push_back(image);
+        }
+    }
+
+    struct Answer {
+        FrameType type;
+        std::vector<uint8_t> payload;
+        bool operator==(const Answer&) const = default;
+    };
+
+    // Side A: simulated transport under the deterministic scheduler.
+    std::map<uint32_t, Answer> sim_answers;
+    ServerStats sim_stats;
+    {
+        sim::Simulation sim(seed);
+        sim.attach("driver");
+        {
+            SimTransportOptions topts;
+            topts.seed = seed;
+            topts.max_chunk = 5;
+            topts.stutter_every = 3;
+            auto transport = std::make_unique<SimTransport>(topts);
+            SimTransport* wire = transport.get();
+            options::ServeSpec spec;
+            auto server = NetServer::create(
+                spec, simtest::small_engine(), std::move(transport));
+            ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+            ASSERT_TRUE(server.value()->start().is_ok());
+            int h = wire->connect();
+            for (uint32_t flow = 1; flow <= kFrames; ++flow) {
+                ASSERT_TRUE(
+                    wire->client_write(
+                            h, encode_frame(simtest::data_frame(
+                                   flow, wires[flow - 1])))
+                        .is_ok());
+            }
+            wire->client_close_write(h);
+            simtest::AnswerSink sink;
+            while (sink.frames.size() < kFrames && !sink.poisoned) {
+                auto bytes = wire->client_read_for(h, 20000);
+                if (!bytes.is_ok()) break;
+                sink.feed(bytes.value());
+            }
+            for (const Frame& f : sink.frames) {
+                sim_answers[f.flow] = {f.type, f.payload};
+            }
+            server.value()->stop();
+            sim_stats = server.value()->stats();
+        }
+        sim.detach();
+    }
+
+    // Side B: a real loopback socket, no simulation installed.
+    std::map<uint32_t, Answer> real_answers;
+    ServerStats real_stats;
+    {
+        options::ServeSpec spec;
+        auto server =
+            NetServer::create(spec, simtest::small_engine());
+        ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+        ASSERT_TRUE(server.value()->start().is_ok());
+        auto client =
+            NetClient::connect("127.0.0.1", server.value()->port());
+        ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+        for (uint32_t flow = 1; flow <= kFrames; ++flow) {
+            ASSERT_TRUE(client.value()
+                            .send_frame(simtest::data_frame(
+                                flow, wires[flow - 1]))
+                            .is_ok());
+        }
+        for (size_t i = 0; i < kFrames; ++i) {
+            auto got = client.value().recv_frame(10000);
+            ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+            real_answers[got.value().flow] = {got.value().type,
+                                              got.value().payload};
+        }
+        client.value().close();
+        server.value()->stop();
+        real_stats = server.value()->stats();
+    }
+
+    // Byte-identical answers, flow by flow.
+    ASSERT_EQ(sim_answers.size(), kFrames);
+    ASSERT_EQ(real_answers.size(), kFrames);
+    for (uint32_t flow = 1; flow <= kFrames; ++flow) {
+        EXPECT_EQ(sim_answers[flow], real_answers[flow])
+            << "answers diverge for flow " << flow;
+    }
+
+    // Identical conservation ledgers.
+    EXPECT_TRUE(sim_stats.conserved()) << sim_stats.to_string();
+    EXPECT_TRUE(real_stats.conserved()) << real_stats.to_string();
+    EXPECT_EQ(sim_stats.generated, real_stats.generated);
+    EXPECT_EQ(sim_stats.delivered, real_stats.delivered);
+    EXPECT_EQ(sim_stats.dropped, real_stats.dropped);
+    EXPECT_EQ(sim_stats.fault_dropped, real_stats.fault_dropped);
+    EXPECT_EQ(sim_stats.shed, real_stats.shed);
+}
+
+/**
+ * The write-stall teardown, migrated onto the virtual clock: the
+ * loopback original needs SO_RCVBUF tricks and real stall budgets; a
+ * simulated peer just stops reading, the bounded buffer fills, the
+ * sink's stall wait expires virtually, and the connection is torn
+ * down sick — in milliseconds of wall time.  (The real-socket smoke
+ * stays in tests/net/loopback_test.cpp.)
+ */
+TEST(SimNetServerTest, StalledReaderTripsWriteStallTeardownVirtually) {
+    const uint64_t seed = bitc::test::seed_or(0x57a1);
+    BITC_SEED_TRACE(seed);
+    ServerStats stats;
+    bool closed = false;
+    auto start = std::chrono::steady_clock::now();
+    {
+        sim::Simulation sim(seed);
+        sim.attach("driver");
+        {
+            SimTransportOptions topts;
+            topts.seed = seed;
+            // Room for barely two answer frames: the write queue
+            // backs up behind it almost immediately.
+            topts.conn_buf_bytes =
+                2 * (kFrameHeaderBytes + conc::kPipeWireBytes + 8);
+            auto transport = std::make_unique<SimTransport>(topts);
+            SimTransport* wire = transport.get();
+            options::ServeSpec spec;
+            spec.write_queue_frames = 4;
+            spec.write_stall_ms = 50;
+            auto server = NetServer::create(
+                spec, simtest::small_engine(), std::move(transport));
+            ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+            ASSERT_TRUE(server.value()->start().is_ok());
+            int h = wire->connect();
+            Rng rng(seed);
+            for (uint32_t flow = 1; flow <= 40; ++flow) {
+                std::array<uint8_t, conc::kPipeWireBytes> image{};
+                interop::generate_packet(
+                    rng,
+                    std::span<uint8_t>(image.data(), image.size()));
+                ASSERT_TRUE(wire->client_write(
+                                    h, encode_frame(simtest::data_frame(
+                                           flow, image)))
+                                .is_ok());
+                sim::yield_now();  // let the server chew and stall
+            }
+            // Never read a byte.  The stall budget expires on the
+            // virtual clock and the server hangs up on us.
+            for (int spin = 0; spin < 10'000; ++spin) {
+                if (wire->server_closed(h)) break;
+                sim::sleep_us(1'000);
+            }
+            closed = wire->server_closed(h);
+            server.value()->stop();
+            stats = server.value()->stats();
+        }
+        sim.detach();
+    }
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    EXPECT_TRUE(closed) << "stalled reader was never torn down";
+    EXPECT_GE(stats.teardowns_sick, 1u) << stats.to_string();
+    EXPECT_TRUE(stats.conserved()) << stats.to_string();
+    EXPECT_LT(wall.count(), 5.0)
+        << "the stall budget must burn virtual, not real, time";
+}
+
+}  // namespace
+}  // namespace bitc::net

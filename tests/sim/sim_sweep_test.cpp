@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The exhaustive schedule sweep (slow label, own CI job): many more
+ * seeds and heavier storms than the tier-1 sweep.  Same invariants —
+ * every seeded schedule keeps the conservation ledgers exact and
+ * every echo answer matches the reference chain.  Override the base
+ * with BITC_TEST_SEED to sweep a fresh region of schedule space; a
+ * failure prints the seed, which replays the schedule exactly.
+ */
+#include <gtest/gtest.h>
+
+#include "tests/sim/sim_harness.hpp"
+#include "tests/support/test_seed.hpp"
+
+namespace bitc {
+namespace {
+
+TEST(SimDeepSweepTest, PipelineStormsConserveOnEverySchedule) {
+    const uint64_t base = bitc::test::seed_or(0xdeeb0);
+    for (int i = 0; i < 700; ++i) {
+        const uint64_t seed = base + static_cast<uint64_t>(i);
+        const char* plan =
+            i % 2 == 0 ? "worker-crash:every=5" : "channel-op:every=17";
+        simtest::PipelineOutcome out =
+            simtest::run_pipeline_storm(seed, 96, plan);
+        ASSERT_TRUE(out.ok) << "seed " << seed << ": " << out.error;
+        ASSERT_TRUE(out.report.conserved())
+            << "seed " << seed << " (" << plan << ") lost packets:\n"
+            << out.report.to_string();
+    }
+}
+
+TEST(SimDeepSweepTest, NetEchoMatchesReferenceOnEverySchedule) {
+    const uint64_t base = bitc::test::seed_or(0xdeeb1);
+    for (int i = 0; i < 400; ++i) {
+        const uint64_t seed = base + static_cast<uint64_t>(i);
+        simtest::EchoOutcome out = simtest::run_net_echo(seed, 12);
+        ASSERT_TRUE(out.ok) << "seed " << seed << ": " << out.error;
+        ASSERT_TRUE(out.all_matched)
+            << "seed " << seed << " diverged (" << out.answers
+            << "/12 answers)";
+        ASSERT_TRUE(out.stats.conserved())
+            << "seed " << seed << ":\n" << out.stats.to_string();
+    }
+}
+
+TEST(SimDeepSweepTest, NetStormsConserveOnEverySchedule) {
+    const uint64_t base = bitc::test::seed_or(0xdeeb2);
+    for (int i = 0; i < 400; ++i) {
+        const uint64_t seed = base + static_cast<uint64_t>(i);
+        const char* plan = i % 2 == 0 ? "worker-crash:every=7"
+                                      : "socket-io:every=23";
+        simtest::StormOutcome out =
+            simtest::run_net_storm(seed, 14, 8, plan);
+        ASSERT_TRUE(out.ok) << "seed " << seed << ": " << out.error;
+        ASSERT_TRUE(out.stats.conserved())
+            << "seed " << seed << " (" << plan << "):\n"
+            << out.stats.to_string();
+    }
+}
+
+}  // namespace
+}  // namespace bitc

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Deterministic-simulation core tests: the virtual clock, the seeded
+ * cooperative scheduler, channel deadline waits with zero real
+ * sleeps, supervisor backoff on virtual time, and the headline
+ * determinism property — the same seed replays the same pipeline run
+ * decision for decision, ledger for ledger.
+ */
+#include "support/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/channel.hpp"
+#include "concurrency/pipeline.hpp"
+#include "concurrency/supervisor.hpp"
+#include "support/stats.hpp"
+#include "tests/sim/sim_harness.hpp"
+#include "tests/support/test_seed.hpp"
+
+namespace bitc {
+namespace {
+
+using namespace std::chrono_literals;
+
+/** Real wall-clock seconds spent in @p fn (the sim must beat it). */
+double
+wall_seconds(const std::function<void()>& fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+TEST(SimClockTest, VirtualSleepAdvancesTheClockWithoutRealTime) {
+    uint64_t virtual_slept = 0;
+    double wall = wall_seconds([&] {
+        sim::Simulation sim(bitc::test::seed_or(1));
+        sim.attach("driver");
+        uint64_t t0 = now_ns();
+        sim::sleep_us(5'000'000);  // five *virtual* seconds
+        virtual_slept = now_ns() - t0;
+        sim.detach();
+    });
+    EXPECT_GE(virtual_slept, 5'000'000'000ull);
+    EXPECT_LT(wall, 2.0) << "virtual sleep must not sleep for real";
+}
+
+TEST(SimClockTest, NowNsRedirectsToTheVirtualClockWhileInstalled) {
+    uint64_t before = now_ns();
+    {
+        sim::Simulation sim(1);
+        sim.attach("driver");
+        EXPECT_EQ(now_ns(), sim.now());
+        sim::sleep_us(250);
+        EXPECT_EQ(now_ns(), sim.now());
+        sim.detach();
+    }
+    // Uninstalled again: back on the steady clock, which kept going.
+    EXPECT_GE(now_ns(), before);
+}
+
+TEST(SimChannelTest, TimedWaitsExpireOnTheVirtualClock) {
+    double wall = wall_seconds([&] {
+        sim::Simulation sim(bitc::test::seed_or(2));
+        sim.attach("driver");
+        conc::Channel<int> ch(1);
+
+        // Empty channel: a 750ms recv wait must expire virtually.
+        uint64_t t0 = now_ns();
+        auto got = ch.recv_for(750ms);
+        ASSERT_FALSE(got.is_ok());
+        EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+        EXPECT_GE(now_ns() - t0, 750'000'000ull)
+            << "the deadline fired before the virtual clock reached it";
+
+        // Full channel: a 500ms send wait must expire the same way.
+        ASSERT_TRUE(ch.try_send(1).is_ok());
+        t0 = now_ns();
+        Status st = ch.try_send_for(2, 500ms);
+        ASSERT_FALSE(st.is_ok());
+        EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+        EXPECT_GE(now_ns() - t0, 500'000'000ull);
+        sim.detach();
+    });
+    EXPECT_LT(wall, 2.0) << "deadline waits must not block real time";
+}
+
+TEST(SimChannelTest, AlreadyExpiredDeadlineFailsWithoutAdvancing) {
+    sim::Simulation sim(bitc::test::seed_or(3));
+    sim.attach("driver");
+    conc::Channel<int> ch(1);
+    uint64_t t0 = now_ns();
+    auto past = std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(t0 > 0 ? t0 - 1 : 0));
+    auto got = ch.recv_until(past);
+    ASSERT_FALSE(got.is_ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(now_ns(), t0)
+        << "an expired deadline must not advance the clock";
+    sim.detach();
+}
+
+TEST(SimSchedulerTest, HandOffAcrossSimThreadsDeliversAndTraces) {
+    sim::Simulation sim(bitc::test::seed_or(4));
+    sim.attach("driver");
+    conc::Channel<int> ch(1);
+    int got = 0;
+    std::thread consumer = sim.spawn("consumer", [&] {
+        auto r = ch.recv();
+        if (r.is_ok()) got = r.value();
+    });
+    ASSERT_TRUE(ch.send(41).is_ok());
+    sim::join_thread(consumer);
+    EXPECT_EQ(got, 41);
+
+    // The trace recorded the whole exchange: registrations, token
+    // switches, at least one park/wake pair, and the exits.
+    std::string log = sim.decision_log();
+    EXPECT_GT(sim.decision_count(), 0u);
+    EXPECT_NE(log.find("spawn"), std::string::npos) << log;
+    EXPECT_NE(log.find("switch"), std::string::npos) << log;
+    EXPECT_NE(log.find("exit"), std::string::npos) << log;
+    sim.detach();
+}
+
+TEST(SimSchedulerTest, SupervisorBackoffRunsOnTheVirtualClock) {
+    conc::SupervisorConfig config;
+    config.max_restarts = 3;
+    config.restart_window_ms = 600'000;  // crashes never age out here
+    config.backoff_ms = 60'000;          // would hang a real-time test
+    config.backoff_cap_ms = 240'000;
+
+    uint64_t virtual_elapsed = 0;
+    int runs = 0;
+    double wall = wall_seconds([&] {
+        sim::Simulation sim(bitc::test::seed_or(5));
+        sim.attach("driver");
+        uint64_t t0 = now_ns();
+        conc::Supervisor sup(config);
+        conc::WorkerHooks hooks;
+        hooks.body = [&](conc::WorkerContext& ctx) {
+            if (++runs < 3) return conc::WorkerExit::kCrash;
+            ctx.note_progress();
+            return conc::WorkerExit::kDone;
+        };
+        sup.supervise(0, hooks);
+        virtual_elapsed = now_ns() - t0;
+        EXPECT_EQ(sup.crashes(), 2u);
+        EXPECT_EQ(sup.restarts(), 2u);
+        sim.detach();
+    });
+    EXPECT_EQ(runs, 3);
+    // Two backoff sleeps, 60s then 120s, both virtual.
+    EXPECT_GE(virtual_elapsed, 180'000'000'000ull);
+    EXPECT_LT(wall, 5.0)
+        << "backoff must sleep on the virtual clock, not the wall";
+}
+
+TEST(SimDeterminismTest, SameSeedReplaysThePipelineRunExactly) {
+    const uint64_t seed = bitc::test::seed_or(0xd5ee);
+    BITC_SEED_TRACE(seed);
+
+    simtest::PipelineOutcome a =
+        simtest::run_pipeline_storm(seed, 160, nullptr);
+    simtest::PipelineOutcome b =
+        simtest::run_pipeline_storm(seed, 160, nullptr);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+
+    // The whole decision trace is bit-identical, not just the totals.
+    EXPECT_EQ(a.decision_count, b.decision_count);
+    EXPECT_EQ(a.decision_log, b.decision_log);
+    EXPECT_GT(a.decision_count, 100u)
+        << "a multi-worker run must route through the scheduler";
+
+    // And so is everything the run produced.
+    EXPECT_TRUE(a.report.conserved());
+    EXPECT_EQ(a.report.generated, b.report.generated);
+    EXPECT_EQ(a.report.delivered, b.report.delivered);
+    EXPECT_EQ(a.report.dropped, b.report.dropped);
+    EXPECT_EQ(a.report.fault_dropped, b.report.fault_dropped);
+    EXPECT_EQ(a.report.shed, b.report.shed);
+    EXPECT_EQ(a.report.route_checksum, b.report.route_checksum);
+    EXPECT_EQ(a.report.header_checksum_sum,
+              b.report.header_checksum_sum);
+    EXPECT_EQ(a.report.flows_in_order, b.report.flows_in_order);
+}
+
+TEST(SimDeterminismTest, SameSeedReplaysASupervisedStormExactly) {
+    const uint64_t seed = bitc::test::seed_or(0x570a);
+    BITC_SEED_TRACE(seed);
+
+    simtest::PipelineOutcome a =
+        simtest::run_pipeline_storm(seed, 96, "worker-crash:every=9");
+    simtest::PipelineOutcome b =
+        simtest::run_pipeline_storm(seed, 96, "worker-crash:every=9");
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.decision_log, b.decision_log);
+    EXPECT_EQ(a.decision_count, b.decision_count);
+    EXPECT_TRUE(a.report.conserved());
+    EXPECT_EQ(a.report.worker_crashes, b.report.worker_crashes);
+    EXPECT_EQ(a.report.worker_restarts, b.report.worker_restarts);
+    EXPECT_EQ(a.report.breaker_opens, b.report.breaker_opens);
+    EXPECT_EQ(a.report.fault_dropped, b.report.fault_dropped);
+}
+
+TEST(SimDeterminismTest, DifferentSeedsExploreDifferentSchedules) {
+    // Six seeds over a contended scenario must produce more than one
+    // distinct decision trace — otherwise the "seeded exploration"
+    // half of the harness is a no-op.  Deterministic per seed, so
+    // this either always passes or always fails.
+    std::set<std::string> distinct;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        simtest::PipelineOutcome out =
+            simtest::run_pipeline_storm(seed, 64, nullptr);
+        ASSERT_TRUE(out.ok) << "seed " << seed << ": " << out.error;
+        EXPECT_TRUE(out.report.conserved()) << "seed " << seed;
+        distinct.insert(out.decision_log);
+    }
+    EXPECT_GT(distinct.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bitc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared seed plumbing for every randomized test in the repo.
+ *
+ * One environment variable — BITC_TEST_SEED — overrides the seed of
+ * any test that includes this header, and every such test announces
+ * the seed it actually used through gtest's recorded properties plus
+ * a SCOPED_TRACE, so a CI failure always prints the exact replay
+ * command.  Before this helper each suite hand-rolled its own getenv
+ * parsing (and the fuzz suites had none at all): a failing fuzz run
+ * was unreproducible by construction.
+ *
+ * Usage:
+ *
+ *   uint64_t seed = bitc::test::seed_or(0xF00D);  // env override
+ *   BITC_SEED_TRACE(seed);  // failure output names the seed
+ */
+#ifndef BITC_TESTS_SUPPORT_TEST_SEED_HPP
+#define BITC_TESTS_SUPPORT_TEST_SEED_HPP
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace bitc::test {
+
+/**
+ * @p fallback, unless BITC_TEST_SEED is set — then the override.
+ * Parsed as base-10 or 0x-prefixed hex, matching what the failure
+ * message printed.
+ */
+inline uint64_t
+seed_or(uint64_t fallback)
+{
+    const char* env = std::getenv("BITC_TEST_SEED");
+    if (env == nullptr || *env == '\0') return fallback;
+    return std::strtoull(env, nullptr, 0);
+}
+
+}  // namespace bitc::test
+
+/**
+ * Announces @p seed on the active test: any assertion failure below
+ * this line carries "replay with BITC_TEST_SEED=<seed>", and the
+ * seed is recorded as a test property (visible in the XML CI
+ * artifacts even on pass).
+ */
+#define BITC_SEED_TRACE(seed)                                        \
+    ::testing::Test::RecordProperty("bitc_test_seed",               \
+                                    std::to_string(seed));          \
+    SCOPED_TRACE(::testing::Message()                               \
+                 << "replay with BITC_TEST_SEED=" << (seed))
+
+#endif  // BITC_TESTS_SUPPORT_TEST_SEED_HPP

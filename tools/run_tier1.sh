@@ -4,9 +4,14 @@
 # local and CI results cannot drift.
 #
 # Tier 1 is the `-L tier1` ctest partition (the label is matched as a
-# regex, so tier1_sanitizer suites are included).  The exhaustive
-# matrices carry the `slow` label and run in their own CI job; a plain
-# `ctest` still runs everything.
+# regex, so tier1_sanitizer suites are included, and so is tier1_sim —
+# the deterministic-simulation suites, which sweep ~1000 seeded
+# schedules per run in about a second because all time is virtual).
+# CI's sim-sweep job re-runs just that partition under a fresh random
+# BITC_TEST_SEED to explore new schedule space every push.  The
+# exhaustive matrices (including the 1500-seed sim deep sweep) carry
+# the `slow` label and run in their own CI job; a plain `ctest` still
+# runs everything.
 set -eu
 
 cd "$(dirname "$0")/.."
