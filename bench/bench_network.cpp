@@ -6,24 +6,40 @@
  * flight) and the latency-bound classify shape (25us simulated
  * route-table miss per packet).
  *
- * The enforced budget mirrors bench_pipeline's: the 1->4-worker
- * speedup must stay >= 2.0x.  The front-end adds sockets, framing,
- * the IO loop and the sink router on top of the engine — if that
- * plumbing ever serialises the fleet (one poller thread hogging the
- * lock, unbatched wakeups, queue contention), this is the number that
- * sags, even though bench_pipeline still looks healthy.
+ * The enforced budgets mirror bench_pipeline's scaling discipline
+ * plus the zero-copy data path's allocation discipline:
  *
- * Emits BENCH_network.json (row per worker count with throughput and
- * client-observed p50/p99 latency); exits nonzero when the scaling
- * floor is missed.  --smoke shrinks the sweep and skips enforcement
- * (the tier-1 ctest entry).
+ *  - the 1->4-worker speedup must stay >= 2.0x.  The front-end adds
+ *    sockets, framing, the IO loop and the sink router on top of the
+ *    engine — if that plumbing ever serialises the fleet (one poller
+ *    thread hogging the lock, unbatched wakeups, queue contention),
+ *    this is the number that sags even when bench_pipeline looks
+ *    healthy;
+ *  - steady-state heap allocations must stay under half an
+ *    allocation per frame (the binary replaces global operator new
+ *    to count them).  The pooled decode buffers, packed answer
+ *    slabs and recycled packet vectors are what hold this near
+ *    zero; a regression (a per-frame payload vector sneaking back
+ *    in) shows up as ~1.0+ immediately;
+ *  - once warm, the buffer pool must serve from its freelists: the
+ *    best repeat's pool-miss delta must stay within the warm-up
+ *    budget.
+ *
+ * Emits BENCH_network.json (row per worker count with throughput,
+ * client-observed p50/p99 latency, allocations per frame and
+ * steady-state pool misses); exits nonzero when any budget is
+ * missed.  --smoke shrinks the sweep and skips enforcement (the
+ * tier-1 ctest entry).
  *
  * Usage: bench_network [--smoke] [OUTPUT.json]
  */
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,13 +47,83 @@
 #include "interop/packet_stages.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "support/buffer_pool.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+
+// ---------------------------------------------------------------------------
+// Process-wide allocation counter.  Replacing the global allocation
+// functions counts every operator-new in every thread — server IO
+// loop, engine workers, sink and clients alike — which is exactly the
+// "allocations per frame" the zero-copy path is budgeted on.  All
+// variants are replaced as a matched set so no default half pairs
+// with a counted half.
+
+static std::atomic<uint64_t> g_allocs{0};
+
+static void*
+counted_alloc(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (n == 0) n = 1;
+    void* p = std::malloc(n);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+static void*
+counted_alloc(std::size_t n, std::align_val_t align)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    size_t a = static_cast<size_t>(align);
+    if (n == 0) n = 1;
+    // aligned_alloc wants the size rounded to the alignment.
+    size_t rounded = (n + a - 1) / a * a;
+    void* p = std::aligned_alloc(a, rounded);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a)
+{
+    return counted_alloc(n, a);
+}
+void* operator new[](std::size_t n, std::align_val_t a)
+{
+    return counted_alloc(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t,
+                       std::align_val_t) noexcept
+{
+    std::free(p);
+}
 
 namespace bitc::bench {
 namespace {
 
 constexpr double kScalingFloor = 2.0;
+constexpr double kAllocsPerFrameBudget = 0.5;
+/** Pool misses allowed in a warm repeat (fresh slabs are expected
+ *  only while the pool grows to the working set). */
+constexpr uint64_t kPoolMissBudget = 64;
 constexpr uint32_t kLookupUs = 25;
 constexpr size_t kConns = 4;
 constexpr size_t kInflight = 16;
@@ -49,9 +135,14 @@ struct Row {
     double frames_per_sec = 0;
     double p50_ms = 0;
     double p99_ms = 0;
+    double allocs_per_frame = 0;  ///< Best (steadiest) repeat.
+    uint64_t pool_misses_steady = 0;  ///< Same repeat's miss delta.
+    uint64_t pool_hits_steady = 0;    ///< Same repeat's hit delta.
 };
 
-/** One closed-loop connection: send kInflight, then one per answer. */
+/** One closed-loop connection: send kInflight, then one per answer.
+ *  The loop is allocation-free per frame: stack-encoded sends and
+ *  borrowed-view receives against the client's pooled decoder. */
 void
 client_loop(uint16_t port, uint64_t seed, size_t frames,
             std::vector<uint64_t>& latencies_ns, bool& failed)
@@ -65,25 +156,27 @@ client_loop(uint16_t port, uint64_t seed, size_t frames,
     std::vector<uint64_t> sent_at(1u << 16, 0);
     size_t sent = 0, answered = 0;
     uint32_t next_flow = 1;
+    uint8_t payload[conc::kPipeWireBytes];
     latencies_ns.reserve(frames);
     while (answered < frames) {
         while (sent - answered < kInflight && sent < frames) {
-            net::Frame frame;
-            frame.type = net::FrameType::kData;
-            frame.flow = next_flow;
+            uint32_t flow = next_flow;
             next_flow = next_flow % 0xfffe + 1;
-            frame.payload.resize(conc::kPipeWireBytes);
             interop::generate_packet(
-                rng, std::span<uint8_t>(frame.payload.data(),
-                                        frame.payload.size()));
-            sent_at[frame.flow] = now_ns();
-            if (!client.value().send_frame(frame).is_ok()) {
+                rng, std::span<uint8_t>(payload, sizeof payload));
+            sent_at[flow] = now_ns();
+            if (!client.value()
+                     .send_data(flow, /*deadline_ms=*/0,
+                                std::span<const uint8_t>(
+                                    payload, sizeof payload))
+                     .is_ok()) {
                 failed = true;
                 return;
             }
             ++sent;
         }
-        auto got = client.value().recv_frame(/*timeout_ms=*/30000);
+        auto got = client.value().recv_frame_view(
+            /*timeout_ms=*/30000);
         if (!got.is_ok()) {
             failed = true;
             return;
@@ -94,13 +187,18 @@ client_loop(uint16_t port, uint64_t seed, size_t frames,
     }
 }
 
-/** Runs one worker count @p repeats times; keeps the median run. */
+/** Runs one worker count @p repeats times; keeps the median run's
+ *  timing and the steadiest run's allocation counts (the first
+ *  repeat warms the pools; later repeats show the steady state). */
 Row
 measure(size_t workers, size_t frames, int repeats)
 {
     struct Run {
         double elapsed_ms;
         std::vector<uint64_t> latencies_ns;
+        double allocs_per_frame;
+        uint64_t pool_misses;
+        uint64_t pool_hits;
     };
     std::vector<Run> runs;
     for (int r = 0; r < repeats; ++r) {
@@ -122,6 +220,8 @@ measure(size_t workers, size_t frames, int repeats)
         std::vector<std::vector<uint64_t>> latencies(kConns);
         bool failures[kConns] = {};
         std::vector<std::thread> clients;
+        pool::BufferPoolStats pool0 = pool::frame_pool().stats();
+        uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
         uint64_t t0 = now_ns();
         for (size_t c = 0; c < kConns; ++c) {
             size_t share =
@@ -134,6 +234,8 @@ measure(size_t workers, size_t frames, int repeats)
         for (std::thread& t : clients) t.join();
         double elapsed_ms =
             static_cast<double>(now_ns() - t0) / 1e6;
+        uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+        pool::BufferPoolStats pool1 = pool::frame_pool().stats();
         server.value()->stop();
         net::ServerStats stats = server.value()->stats();
         for (bool f : failures) {
@@ -150,6 +252,11 @@ measure(size_t workers, size_t frames, int repeats)
         }
         Run run;
         run.elapsed_ms = elapsed_ms;
+        run.allocs_per_frame =
+            static_cast<double>(allocs1 - allocs0) /
+            static_cast<double>(frames);
+        run.pool_misses = pool1.misses - pool0.misses;
+        run.pool_hits = pool1.hits - pool0.hits;
         for (auto& per_conn : latencies) {
             run.latencies_ns.insert(run.latencies_ns.end(),
                                     per_conn.begin(),
@@ -157,6 +264,21 @@ measure(size_t workers, size_t frames, int repeats)
         }
         runs.push_back(std::move(run));
     }
+
+    // Steady-state allocation behaviour: the repeat with the fewest
+    // pool misses (pools warm across repeats inside one process).
+    const Run* steady = &runs[0];
+    for (const Run& run : runs) {
+        if (run.pool_misses < steady->pool_misses ||
+            (run.pool_misses == steady->pool_misses &&
+             run.allocs_per_frame < steady->allocs_per_frame)) {
+            steady = &run;
+        }
+    }
+    Row row;
+    row.allocs_per_frame = steady->allocs_per_frame;
+    row.pool_misses_steady = steady->pool_misses;
+    row.pool_hits_steady = steady->pool_hits;
 
     std::sort(runs.begin(), runs.end(),
               [](const Run& a, const Run& b) {
@@ -171,7 +293,6 @@ measure(size_t workers, size_t frames, int repeats)
         return static_cast<double>(median.latencies_ns[idx]) / 1e6;
     };
 
-    Row row;
     row.workers = workers;
     row.frames = frames;
     row.elapsed_ms = median.elapsed_ms;
@@ -213,9 +334,13 @@ main(int argc, char** argv)
 
     for (const Row& row : rows) {
         printf("workers=%zu  %8zu frames  %9.3f ms  %10.0f frame/s  "
-               "p50 %.3f ms  p99 %.3f ms\n",
+               "p50 %.3f ms  p99 %.3f ms  %.3f allocs/frame  "
+               "%llu pool misses\n",
                row.workers, row.frames, row.elapsed_ms,
-               row.frames_per_sec, row.p50_ms, row.p99_ms);
+               row.frames_per_sec, row.p50_ms, row.p99_ms,
+               row.allocs_per_frame,
+               static_cast<unsigned long long>(
+                   row.pool_misses_steady));
     }
 
     double one = rows[0].frames_per_sec;
@@ -224,8 +349,28 @@ main(int argc, char** argv)
     printf("network scaling 1->4 workers: %.2fx (floor %.1fx)%s\n",
            scaling, kScalingFloor,
            smoke ? " [smoke: not enforced]" : "");
-    bool within = smoke || scaling >= kScalingFloor;
-    if (!within) printf("SCALING UNDER FLOOR\n");
+    double worst_allocs = 0;
+    uint64_t worst_misses = 0;
+    for (const Row& row : rows) {
+        worst_allocs = std::max(worst_allocs, row.allocs_per_frame);
+        worst_misses =
+            std::max(worst_misses, row.pool_misses_steady);
+    }
+    printf("steady state: %.3f allocs/frame (budget %.1f), "
+           "%llu pool misses (budget %llu)%s\n",
+           worst_allocs, kAllocsPerFrameBudget,
+           static_cast<unsigned long long>(worst_misses),
+           static_cast<unsigned long long>(kPoolMissBudget),
+           smoke ? " [smoke: not enforced]" : "");
+    bool scaling_ok = scaling >= kScalingFloor;
+    bool allocs_ok = worst_allocs <= kAllocsPerFrameBudget;
+    bool misses_ok = worst_misses <= kPoolMissBudget;
+    bool within = smoke || (scaling_ok && allocs_ok && misses_ok);
+    if (!within) {
+        if (!scaling_ok) printf("SCALING UNDER FLOOR\n");
+        if (!allocs_ok) printf("ALLOCATIONS OVER BUDGET\n");
+        if (!misses_ok) printf("POOL MISSES OVER BUDGET\n");
+    }
 
     FILE* out = fopen(out_path, "w");
     if (out == nullptr) {
@@ -246,6 +391,10 @@ main(int argc, char** argv)
     fprintf(out, "  \"inflight_per_connection\": %zu,\n", kInflight);
     fprintf(out, "  \"scaling_floor\": %.1f,\n", kScalingFloor);
     fprintf(out, "  \"scaling_1_to_4\": %.3f,\n", scaling);
+    fprintf(out, "  \"allocs_per_frame_budget\": %.1f,\n",
+            kAllocsPerFrameBudget);
+    fprintf(out, "  \"pool_miss_budget\": %llu,\n",
+            static_cast<unsigned long long>(kPoolMissBudget));
     fprintf(out, "  \"within_budget\": %s,\n",
             within ? "true" : "false");
     fprintf(out, "  \"rows\": [\n");
@@ -254,9 +403,17 @@ main(int argc, char** argv)
         fprintf(out,
                 "    {\"workers\": %zu, \"frames\": %zu, "
                 "\"elapsed_ms\": %.3f, \"frames_per_sec\": %.0f, "
-                "\"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+                "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+                "\"allocs_per_frame\": %.3f, "
+                "\"pool_misses_steady\": %llu, "
+                "\"pool_hits_steady\": %llu}%s\n",
                 row.workers, row.frames, row.elapsed_ms,
                 row.frames_per_sec, row.p50_ms, row.p99_ms,
+                row.allocs_per_frame,
+                static_cast<unsigned long long>(
+                    row.pool_misses_steady),
+                static_cast<unsigned long long>(
+                    row.pool_hits_steady),
                 i + 1 < rows.size() ? "," : "");
     }
     fprintf(out, "  ]\n}\n");

@@ -102,6 +102,28 @@ class Channel {
     }
 
     /**
+     * Non-blocking send that preserves its argument on failure: the
+     * move out of @p value happens only when the enqueue succeeds, so
+     * a backpressured caller can park the very same object and retry
+     * later without ever copying it.  Injection-free like try_send.
+     */
+    Status try_send_keep(T& value) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_) {
+                return cancelled_error("send on closed channel");
+            }
+            if (queue_.size() >= capacity_) {
+                return unavailable_error("channel full");
+            }
+            queue_.push_back(std::move(value));
+            note_send();
+        }
+        sim::cv_notify_one(not_empty_);
+        return Status::ok();
+    }
+
+    /**
      * Bounded-wait send: blocks until room, close, or @p deadline.
      * The outcome is decided by re-inspecting channel state under the
      * lock after the wait, never by the timeout flag alone:

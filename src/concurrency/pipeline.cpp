@@ -230,6 +230,11 @@ class Forwarder {
                        ? 0
                        : flow_shard(packet.flow, pending_.size());
         PipeBatch& pb = pending_[d];
+        if (pb.packets.capacity() == 0) {
+            // Fresh slot (or just flushed downstream): refill from
+            // the recycler instead of growing a new vector.
+            pb.packets = acquire_packet_vec(batch_packets_);
+        }
         if (current_deadline_ns_ != 0 &&
             (pb.deadline_ns == 0 ||
              current_deadline_ns_ < pb.deadline_ns)) {
@@ -266,17 +271,20 @@ class Forwarder {
             rs_.fault_dropped.fetch_add(pb.packets.size(),
                                         std::memory_order_relaxed);
             note_lost(rs_, pb);
+            recycle_packet_vec(std::move(pb.packets));
             pb = PipeBatch{};
             return;
         }
         // forward_batch consumes the batch even on failure, so the
         // flow ids a loss must report are captured up front (only
         // when someone listens — the fast path stays copy-free).
-        std::vector<uint32_t> flows;
+        // loss_flows_ is a member so the capture reuses one
+        // allocation across every flush this worker ever does.
+        loss_flows_.clear();
         if (rs_.on_loss) {
-            flows.reserve(pb.packets.size());
+            loss_flows_.reserve(pb.packets.size());
             for (const PipePacket& p : pb.packets) {
-                flows.push_back(p.flow);
+                loss_flows_.push_back(p.flow);
             }
         }
         ForwardLoss loss = forward_batch(channel(d), std::move(pb),
@@ -285,7 +293,7 @@ class Forwarder {
                                     std::memory_order_relaxed);
         rs_.shed.fetch_add(loss.shed, std::memory_order_relaxed);
         if (rs_.on_loss && loss.fault + loss.shed > 0) {
-            for (uint32_t flow : flows) rs_.on_loss(flow);
+            for (uint32_t flow : loss_flows_) rs_.on_loss(flow);
         }
         pb = PipeBatch{};
     }
@@ -295,6 +303,7 @@ class Forwarder {
     size_t batch_packets_;
     uint64_t current_deadline_ns_ = 0;
     std::vector<PipeBatch> pending_;
+    std::vector<uint32_t> loss_flows_;
 };
 
 /** What a stage did with one packet. */
@@ -462,6 +471,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
             // and processing it would only make the next stage later.
             if (expired(b)) {
                 shed_batch(rs, b);
+                recycle_packet_vec(std::move(b.packets));
                 ctx.note_progress();
                 continue;
             }
@@ -472,6 +482,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
                 rs.fault_dropped.fetch_add(
                     b.packets.size(), std::memory_order_relaxed);
                 note_lost(rs, b);
+                recycle_packet_vec(std::move(b.packets));
                 exit = WorkerExit::kCrash;
                 break;
             }
@@ -507,6 +518,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
                 }
             }
             ++batches;
+            recycle_packet_vec(std::move(b.packets));
             metrics::observe(metrics::Histogram::kPipeBatchNs,
                              now_ns() - t0);
             ctx.note_progress();
@@ -522,6 +534,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
             rs.fault_dropped.fetch_add(leftover->packets.size(),
                                        std::memory_order_relaxed);
             note_lost(rs, *leftover);
+            recycle_packet_vec(std::move(leftover->packets));
             return true;
         }
         return false;
@@ -538,6 +551,7 @@ stage_worker(const PipelineConfig& config, size_t stage, size_t worker,
              leftover = in.try_recv()) {
             stranded += leftover->packets.size();
             note_lost(rs, *leftover);
+            recycle_packet_vec(std::move(leftover->packets));
         }
         rs.fault_dropped.fetch_add(stranded,
                                    std::memory_order_relaxed);
@@ -603,6 +617,7 @@ run_sink(RunState& rs)
         auto batch = rs.sink->recv();
         if (batch.is_ok()) {
             consume(batch.value());
+            recycle_packet_vec(std::move(batch.value().packets));
             continue;
         }
         if (batch.status().code() == StatusCode::kCancelled) {
@@ -617,6 +632,7 @@ run_sink(RunState& rs)
         while (true) {
             if (auto direct = rs.sink->try_recv(); direct.is_ok()) {
                 consume(*direct);
+                recycle_packet_vec(std::move(direct->packets));
             } else if (direct.status().code() ==
                        StatusCode::kCancelled) {
                 break;
@@ -648,6 +664,62 @@ fill_payload_arena(const PipelineConfig& config,
 }
 
 }  // namespace
+
+namespace {
+
+/** Freelist backing acquire/recycle_packet_vec.  Bounded so a burst
+ *  cannot pin its high-water memory; deliberately leaked so batches
+ *  recycled during static destruction still have somewhere to go. */
+struct PacketVecPool {
+    std::mutex mu;
+    std::vector<std::vector<PipePacket>> free;
+};
+
+PacketVecPool&
+packet_vec_pool()
+{
+    static PacketVecPool* pool = new PacketVecPool;
+    return *pool;
+}
+
+constexpr size_t kMaxPooledVecs = 256;
+constexpr size_t kMaxPooledVecCapacity = 4096;
+
+}  // namespace
+
+std::vector<PipePacket>
+acquire_packet_vec(size_t reserve_hint)
+{
+    PacketVecPool& pool = packet_vec_pool();
+    {
+        std::lock_guard<std::mutex> lock(pool.mu);
+        if (!pool.free.empty()) {
+            std::vector<PipePacket> vec = std::move(pool.free.back());
+            pool.free.pop_back();
+            metrics::count(metrics::Counter::kNetPoolHits);
+            return vec;
+        }
+    }
+    metrics::count(metrics::Counter::kNetPoolMisses);
+    std::vector<PipePacket> vec;
+    vec.reserve(reserve_hint);
+    return vec;
+}
+
+void
+recycle_packet_vec(std::vector<PipePacket>&& vec)
+{
+    if (vec.capacity() == 0 ||
+        vec.capacity() > kMaxPooledVecCapacity) {
+        return;  // nothing worth keeping / too big to park
+    }
+    vec.clear();
+    PacketVecPool& pool = packet_vec_pool();
+    std::lock_guard<std::mutex> lock(pool.mu);
+    if (pool.free.size() < kMaxPooledVecs) {
+        pool.free.push_back(std::move(vec));
+    }
+}
 
 std::string
 PipelineReport::to_string() const
@@ -803,6 +875,12 @@ Status
 PipelineEngine::try_submit(size_t shard, const PipeBatch& batch)
 {
     return impl_->rs.inputs[0][shard]->try_send(PipeBatch(batch));
+}
+
+Status
+PipelineEngine::try_submit(size_t shard, PipeBatch&& batch)
+{
+    return impl_->rs.inputs[0][shard]->try_send_keep(batch);
 }
 
 bool

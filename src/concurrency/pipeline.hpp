@@ -94,6 +94,18 @@ struct PipeBatch {
     uint64_t deadline_ns = 0;  ///< Absolute steady-clock ns; 0 = none.
 };
 
+/**
+ * Capacity-preserving recycler for batch packet vectors.  A batch's
+ * vector is allocated once, rides the channels from producer to
+ * terminal consumer, and comes back here instead of to the heap; the
+ * next producer re-acquires it with its capacity intact, so steady-
+ * state batch traffic allocates nothing.  Thread-safe; both ends of
+ * the pipeline (the network front-end and the stage workers) share
+ * the one process-wide pool.
+ */
+std::vector<PipePacket> acquire_packet_vec(size_t reserve_hint);
+void recycle_packet_vec(std::vector<PipePacket>&& vec);
+
 /** Knobs for one pipeline instance. */
 struct PipelineConfig {
     /** Workers per stage (zero entries are clamped to one). */
@@ -269,6 +281,13 @@ class PipelineEngine {
      * was enqueued; the caller keeps its own copy to retry.
      */
     Status try_submit(size_t shard, const PipeBatch& batch);
+    /**
+     * Copy-free try_submit: moves @p batch into the shard's input on
+     * success; on failure (kUnavailable backpressure, kCancelled
+     * close) the batch is left intact for the caller to park and
+     * retry — no packet vector is ever copied or lost.
+     */
+    Status try_submit(size_t shard, PipeBatch&& batch);
 
     /**
      * True while @p shard's first-stage breaker is open: its worker

@@ -25,6 +25,26 @@ NetClient::send_frame(const Frame& frame)
 }
 
 Status
+NetClient::send_data(uint32_t flow, uint32_t deadline_ms,
+                     std::span<const uint8_t> payload)
+{
+    constexpr size_t kSmallSendBytes = 128;
+    size_t need = encoded_frame_size(payload.size());
+    if (need > kSmallSendBytes) {
+        Frame frame;
+        frame.type = FrameType::kData;
+        frame.flow = flow;
+        frame.deadline_ms = deadline_ms;
+        frame.payload.assign(payload.begin(), payload.end());
+        return send_frame(frame);
+    }
+    uint8_t buf[kSmallSendBytes];
+    encode_frame_into(FrameType::kData, flow, deadline_ms, payload,
+                      std::span<uint8_t>(buf, need));
+    return send_raw(std::span<const uint8_t>(buf, need));
+}
+
+Status
 NetClient::send_raw(std::span<const uint8_t> bytes)
 {
     size_t off = 0;
@@ -47,12 +67,25 @@ NetClient::send_raw(std::span<const uint8_t> bytes)
 Result<Frame>
 NetClient::recv_frame(uint64_t timeout_ms)
 {
+    BITC_ASSIGN_OR_RETURN(FrameView view,
+                          recv_frame_view(timeout_ms));
+    Frame frame;
+    frame.type = view.type;
+    frame.flow = view.flow;
+    frame.deadline_ms = view.deadline_ms;
+    frame.payload.assign(view.payload.begin(), view.payload.end());
+    return frame;
+}
+
+Result<FrameView>
+NetClient::recv_frame_view(uint64_t timeout_ms)
+{
     uint64_t deadline = now_ns() + timeout_ms * 1000000ull;
     while (true) {
-        auto parsed = decoder_.next();
+        auto parsed = decoder_.next_view();
         if (!parsed.is_ok()) return parsed.status();
         if (parsed.value().has_value()) {
-            return std::move(*parsed.value());
+            return *parsed.value();
         }
         uint64_t now = now_ns();
         if (now >= deadline) {
@@ -67,8 +100,11 @@ NetClient::recv_frame(uint64_t timeout_ms)
                 str_format("poll: %s", std::strerror(errno)));
         }
         if (rc <= 0) continue;
-        uint8_t buf[4096];
-        ssize_t got = ::read(fd_.get(), buf, sizeof(buf));
+        // Read straight into the decoder's pooled buffer.
+        auto room = decoder_.tail(4096);
+        if (!room.is_ok()) return room.status();
+        ssize_t got = ::read(fd_.get(), room.value().data(),
+                             room.value().size());
         if (got < 0) {
             if (errno == EINTR || errno == EAGAIN) continue;
             return cancelled_error("connection reset");
@@ -76,8 +112,7 @@ NetClient::recv_frame(uint64_t timeout_ms)
         if (got == 0) {
             return cancelled_error("server closed the connection");
         }
-        decoder_.feed(
-            std::span<const uint8_t>(buf, static_cast<size_t>(got)));
+        decoder_.commit(static_cast<size_t>(got));
     }
 }
 

@@ -32,6 +32,14 @@ class NetClient {
     /** Writes one whole frame (blocking until accepted or error). */
     Status send_frame(const Frame& frame);
 
+    /**
+     * Allocation-free send for small frames: encodes into a stack
+     * buffer when the encoded frame fits (every data frame does),
+     * falling back to send_frame otherwise.  The bench's hot path.
+     */
+    Status send_data(uint32_t flow, uint32_t deadline_ms,
+                     std::span<const uint8_t> payload);
+
     /** Sends pre-encoded bytes (fuzz tests send malformed input). */
     Status send_raw(std::span<const uint8_t> bytes);
 
@@ -41,6 +49,14 @@ class NetClient {
      * the connection; decoder errors pass through.
      */
     Result<Frame> recv_frame(uint64_t timeout_ms);
+
+    /**
+     * Zero-copy variant of recv_frame: the view's payload borrows the
+     * decoder's pooled buffer and is valid only until the next
+     * recv_frame/recv_frame_view call.  Reads land directly in the
+     * decoder slab — no bounce buffer, no payload allocation.
+     */
+    Result<FrameView> recv_frame_view(uint64_t timeout_ms);
 
     /** Half-close: no more sends; responses still readable. */
     void shutdown_send();

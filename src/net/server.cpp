@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstring>
@@ -11,6 +12,7 @@
 
 #include "net/transport.hpp"
 #include "net/wire.hpp"
+#include "support/buffer_pool.hpp"
 #include "support/metrics.hpp"
 #include "support/sim.hpp"
 #include "support/stats.hpp"
@@ -24,15 +26,22 @@ namespace {
 /** Flow ids are 16-bit on this transport; the top half routes. */
 constexpr uint32_t kClientFlowMask = 0xffffu;
 
-/** An error frame for @p flow carrying @p text. */
-std::vector<uint8_t>
-make_error_frame(uint32_t flow, const std::string& text)
+/** Socket read size per transport->read into the decoder tail. */
+constexpr size_t kReadChunk = 16 * 1024;
+
+/** Frames gathered per vectored flush call (RealTransport's writev
+ *  wrapper caps at 64 iovecs; stay comfortably under it). */
+constexpr size_t kMaxFlushIovs = 32;
+
+/** Slab size answer frames pack into (dozens of answers per slab). */
+constexpr size_t kEncodeSlabBytes = 4096;
+
+/** @p text viewed as a frame payload. */
+std::span<const uint8_t>
+text_payload(const std::string& text)
 {
-    Frame frame;
-    frame.type = FrameType::kError;
-    frame.flow = flow;
-    frame.payload.assign(text.begin(), text.end());
-    return encode_frame(frame);
+    return {reinterpret_cast<const uint8_t*>(text.data()),
+            text.size()};
 }
 
 }  // namespace
@@ -71,18 +80,29 @@ ServerStats::to_string() const
  * All server state.  Threading contract:
  *
  *  - the IO thread owns the poller, every fd, and each connection's
- *    decoder/parked batch (never touched by anyone else);
+ *    decoder/pending/parked batches (never touched by anyone else);
  *  - mu guards the connection table, the per-connection write queues
  *    and liveness flags — the only state the sink thread reaches;
  *  - the ledger counters are atomics so stats() can read mid-run.
+ *
+ * Buffer ownership (docs/networking.md "Data path and buffer
+ * ownership" has the full map): inbound bytes live in the decoder's
+ * pooled slab until handle_frame copies the 24-byte wire image into
+ * the packet; outbound frames are encoded back-to-back into pooled
+ * slabs that each queued OutFrame pins by refcount, released as the
+ * flush pops them — at exactly the points their ledger tags resolve.
  */
 struct NetServer::Impl {
     /** How one queued answer frame is accounted, for reclassification
      *  when its connection dies before the bytes leave. */
     enum LedgerTag : uint8_t { kNone = 0, kDelivered, kDropped };
 
+    /** One encoded frame in a write queue: a window into a pooled
+     *  slab (shared with its queue neighbours) plus its ledger tag. */
     struct OutFrame {
-        std::vector<uint8_t> bytes;
+        pool::BufferRef buf;
+        uint32_t off = 0;
+        uint32_t len = 0;
         LedgerTag tag = kNone;
     };
 
@@ -91,16 +111,19 @@ struct NetServer::Impl {
         uint32_t id = 0;
         FrameDecoder decoder;
 
-        // IO-thread-only: one batch the engine backpressured.
-        bool parked = false;
-        size_t parked_shard = 0;
-        conc::PipeBatch parked_batch;
+        // IO-thread-only read-side batching: packets decoded in one
+        // pass group per engine shard here, and groups the engine
+        // backpressured park in parked until the shard drains.
+        std::vector<conc::PipeBatch> pending;  ///< One slot per shard.
+        std::vector<std::pair<size_t, conc::PipeBatch>> parked;
 
         bool paused = false;    ///< Read interest withdrawn.
         bool want_write = false;///< Write interest registered.
         bool draining = false;  ///< Peer EOF'd; answers still owed.
         bool sick = false;      ///< Marked for teardown.
+        bool closing = false;   ///< Sick; goodbye frame still queued.
         bool dead = false;      ///< fd closed; zombie until answered.
+        uint64_t close_deadline_ns = 0;  ///< closing drain budget.
 
         uint64_t inflight = 0;  ///< Packets in the engine (mu).
         /**
@@ -113,6 +136,21 @@ struct NetServer::Impl {
         uint64_t waiters = 0;
         size_t write_off = 0;   ///< Bytes of the front frame written.
         std::deque<OutFrame> write_q;  ///< mu.
+
+        // Encode packing state: answers append into this slab until
+        // it fills, so dozens of frames share one pool acquire.
+        pool::BufferRef enc_buf;
+        size_t enc_used = 0;
+    };
+
+    /** A refused connection whose goodbye is still draining: no id,
+     *  no ledger presence — just a handle, the encoded frame, and a
+     *  drain budget. */
+    struct PendingBye {
+        pool::BufferRef buf;
+        size_t len = 0;
+        size_t off = 0;
+        uint64_t deadline_ns = 0;
     };
 
     Impl(options::ServeSpec s, conc::PipelineConfig c)
@@ -137,6 +175,7 @@ struct NetServer::Impl {
     std::condition_variable done_cv;   ///< max_frames drained / stop.
     std::map<uint32_t, std::unique_ptr<Conn>> conns;
     std::map<int, Conn*> by_h;  ///< Transport handle -> connection.
+    std::map<int, PendingBye> byes;  ///< Refusal goodbyes in flight.
     uint32_t next_id = 1;
     /** Ids of reaped connections, ready for reuse (the wire flow
      *  field gives connection ids only 16 bits). */
@@ -163,18 +202,53 @@ struct NetServer::Impl {
                    serve.max_frames;
     }
 
-    /** mu held.  Answer frames ride the same bounded queue. */
-    void enqueue(Conn& c, std::vector<uint8_t> bytes, LedgerTag tag) {
-        c.write_q.push_back(OutFrame{std::move(bytes), tag});
+    /**
+     * mu held.  Encodes one answer frame into the connection's
+     * current encode slab (acquiring a fresh one when it fills) and
+     * queues it.  False when the pool refill failed (injected
+     * allocation fault) — the caller owns the ledger consequence.
+     */
+    bool enqueue(Conn& c, FrameType type, uint32_t flow,
+                 std::span<const uint8_t> payload, LedgerTag tag) {
+        size_t need = encoded_frame_size(payload.size());
+        if (!c.enc_buf.valid() ||
+            c.enc_used + need > c.enc_buf.capacity()) {
+            auto slab = pool::frame_pool().acquire(
+                std::max(need, kEncodeSlabBytes));
+            if (!slab.is_ok()) return false;
+            c.enc_buf = std::move(slab).take();
+            c.enc_used = 0;
+        }
+        std::span<uint8_t> out(c.enc_buf.data() + c.enc_used, need);
+        encode_frame_into(type, flow, /*deadline_ms=*/0, payload, out);
+        metrics::count(metrics::Counter::kNetBytesCopied,
+                       payload.size());
+        OutFrame f;
+        f.buf = c.enc_buf;
+        f.off = static_cast<uint32_t>(c.enc_used);
+        f.len = static_cast<uint32_t>(need);
+        f.tag = tag;
+        c.enc_used += need;
+        c.write_q.push_back(std::move(f));
         frames_out.fetch_add(1, std::memory_order_relaxed);
         metrics::count(metrics::Counter::kNetFramesOut);
+        return true;
+    }
+
+    /** mu held.  enqueue for error/text frames; failures fall back to
+     *  tearing the connection down at the call site. */
+    bool enqueue_error(Conn& c, uint32_t flow,
+                       const std::string& text) {
+        return enqueue(c, FrameType::kError, flow, text_payload(text),
+                       kNone);
     }
 
     /** mu held, IO thread.  Read interest tracks queue + park state. */
     void update_read_interest(Conn& c) {
         bool should_pause =
-            c.parked || c.write_q.size() >= serve.write_queue_frames;
-        if (c.dead || c.draining) return;
+            !c.parked.empty() ||
+            c.write_q.size() >= serve.write_queue_frames;
+        if (c.dead || c.draining || c.closing) return;
         if (should_pause == c.paused) return;
         c.paused = should_pause;
         (void)transport->modify(c.h, /*want_read=*/!c.paused,
@@ -185,33 +259,41 @@ struct NetServer::Impl {
     void update_write_interest(Conn& c, bool want) {
         if (c.dead || want == c.want_write) return;
         c.want_write = want;
-        (void)transport->modify(c.h,
-                                /*want_read=*/!c.paused && !c.draining,
-                                /*want_write=*/c.want_write);
+        (void)transport->modify(
+            c.h,
+            /*want_read=*/!c.paused && !c.draining && !c.closing,
+            /*want_write=*/c.want_write);
+    }
+
+    /** mu held.  Drops un-submitted packet groups (never entered the
+     *  ledger) and recycles their vectors. */
+    void clear_unsubmitted(Conn& c) {
+        for (conc::PipeBatch& g : c.pending) {
+            if (g.packets.capacity() > 0) {
+                conc::recycle_packet_vec(std::move(g.packets));
+            }
+            g = conc::PipeBatch{};
+        }
+        for (auto& [shard, batch] : c.parked) {
+            conc::recycle_packet_vec(std::move(batch.packets));
+        }
+        c.parked.clear();
     }
 
     /**
-     * mu held, IO thread.  Tears a connection down.  Queued answers
-     * that never left move from delivered/dropped to rejected; the
-     * fd closes; the entry lingers as a zombie while the engine still
-     * owes it packets (the sink rejects those as orphans).
+     * mu held, IO thread.  Final act of a teardown: reclassify queued
+     * answers that never left (skip a half-written front frame: its
+     * bytes are on the wire and stay delivered), close the fd, and
+     * leave the entry as a zombie while the engine still owes it
+     * packets (the sink rejects those as orphans).
      */
-    void teardown(Conn& c, bool sick_teardown,
-                  const std::string& reason) {
+    void finish_close(Conn& c) {
         if (c.dead) return;
-        if (sick_teardown && !reason.empty()) {
-            // Best-effort parting diagnostic; the socket may be gone.
-            std::vector<uint8_t> bye = make_error_frame(0, reason);
-            (void)transport->write(c.h, bye);
-        }
         (void)transport->remove(c.h);
         by_h.erase(c.h);
         transport->close(c.h);
         c.h = -1;
         c.dead = true;
-        c.sick = sick_teardown;
-        // Reclassify undeliverable answers (skip a half-written front
-        // frame: its bytes are on the wire and stay delivered).
         size_t skip = c.write_off > 0 ? 1 : 0;
         size_t i = 0;
         for (const OutFrame& f : c.write_q) {
@@ -226,8 +308,48 @@ struct NetServer::Impl {
         }
         c.write_q.clear();
         c.write_off = 0;
-        c.parked = false;
+        c.enc_buf.reset();
+        clear_unsubmitted(c);
         sim::cv_notify_all(space_cv);
+    }
+
+    /**
+     * mu held, IO thread.  Tears a connection down.  A sick teardown
+     * with a diagnosis queues the goodbye frame through the normal
+     * write queue (closing state) so a short write can no longer
+     * truncate it on the wire; the fd closes once it drains, on the
+     * write-stall budget, or immediately when the stream is already
+     * mid-frame (a goodbye after a truncated frame is garbage to the
+     * peer's decoder anyway).
+     */
+    void teardown(Conn& c, bool sick_teardown,
+                  const std::string& reason) {
+        if (c.dead) return;
+        if (c.closing) {
+            // Second failure while the goodbye drained: give up.
+            finish_close(c);
+            return;
+        }
+        bool mid_frame = c.write_off > 0;
+        // Reclassify undeliverable answers now; only the goodbye may
+        // still ride the queue after this point.
+        size_t skip = mid_frame ? 1 : 0;
+        size_t i = 0;
+        for (const OutFrame& f : c.write_q) {
+            if (i++ < skip) continue;
+            if (f.tag == kDelivered) {
+                delivered.fetch_sub(1, std::memory_order_relaxed);
+                rejected.fetch_add(1, std::memory_order_relaxed);
+            } else if (f.tag == kDropped) {
+                dropped.fetch_sub(1, std::memory_order_relaxed);
+                rejected.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        c.write_q.clear();
+        c.write_off = 0;
+        clear_unsubmitted(c);
+        sim::cv_notify_all(space_cv);
+        c.sick = sick_teardown;
         if (sick_teardown) {
             teardowns_sick.fetch_add(1, std::memory_order_relaxed);
             metrics::count(metrics::Counter::kNetConnTeardowns);
@@ -237,6 +359,20 @@ struct NetServer::Impl {
         metrics::gauge_sub(metrics::Gauge::kNetConnections);
         trace::emit(trace::Event::kNetConnClose, c.id,
                     sick_teardown ? 1 : 0);
+        if (sick_teardown && !reason.empty() && !mid_frame &&
+            !stopping.load(std::memory_order_acquire) &&
+            enqueue_error(c, 0, reason)) {
+            c.closing = true;
+            c.close_deadline_ns =
+                now_ns() + serve.write_stall_ms * 1000000ull;
+            (void)transport->modify(c.h, /*want_read=*/false,
+                                    /*want_write=*/true);
+            c.paused = true;
+            c.want_write = true;
+            flush_conn(c);  // usually drains in this one call
+            return;
+        }
+        finish_close(c);
     }
 
     /** mu held.  Erases zombies nothing references anymore — no
@@ -272,19 +408,35 @@ struct NetServer::Impl {
 
     // --- IO loop ---------------------------------------------------------
 
-    /** IO thread, takes mu.  Flushes one connection's write queue. */
+    /**
+     * IO thread, mu held.  Flushes one connection's write queue with
+     * vectored writes: up to kMaxFlushIovs queued frames drain per
+     * transport call instead of one syscall each.
+     */
     bool flush_conn(Conn& c) {
         bool progressed = false;
         while (!c.dead && !c.write_q.empty()) {
-            OutFrame& front = c.write_q.front();
-            std::span<const uint8_t> rest(
-                front.bytes.data() + c.write_off,
-                front.bytes.size() - c.write_off);
-            auto wrote = transport->write(c.h, rest);
+            std::span<const uint8_t> iovs[kMaxFlushIovs];
+            size_t n = 0;
+            size_t offered = 0;
+            for (const OutFrame& f : c.write_q) {
+                if (n == kMaxFlushIovs) break;
+                size_t skip = n == 0 ? c.write_off : 0;
+                iovs[n] = std::span<const uint8_t>(
+                    f.buf.data() + f.off + skip, f.len - skip);
+                offered += iovs[n].size();
+                ++n;
+            }
+            auto wrote = transport->write_batch(
+                c.h,
+                std::span<const std::span<const uint8_t>>(iovs, n));
             if (!wrote.is_ok()) {
                 if (wrote.status().code() ==
                     StatusCode::kUnavailable) {
                     update_write_interest(c, true);
+                } else if (c.closing) {
+                    // The goodbye will never make it: stop trying.
+                    finish_close(c);
                 } else {
                     // Injected socket-io fault or a dead peer: the
                     // connection is sick either way.
@@ -294,16 +446,38 @@ struct NetServer::Impl {
                 return progressed;
             }
             progressed = progressed || wrote.value() > 0;
-            c.write_off += wrote.value();
-            if (c.write_off < front.bytes.size()) {
+            size_t remaining = wrote.value();
+            size_t completed = 0;
+            while (remaining > 0) {
+                OutFrame& front = c.write_q.front();
+                size_t left = front.len - c.write_off;
+                if (remaining >= left) {
+                    remaining -= left;
+                    c.write_q.pop_front();
+                    c.write_off = 0;
+                    ++completed;
+                } else {
+                    c.write_off += remaining;
+                    remaining = 0;
+                }
+            }
+            metrics::observe(
+                metrics::Histogram::kNetWritevFramesPerCall,
+                completed);
+            if (completed > 0) sim::cv_notify_all(space_cv);
+            if (wrote.value() < offered) {
+                // Partial acceptance: the socket is (about to be)
+                // full — register interest and come back on the
+                // writable event.
                 update_write_interest(c, true);
                 return progressed;
             }
-            c.write_q.pop_front();
-            c.write_off = 0;
-            sim::cv_notify_all(space_cv);
         }
         if (!c.dead) {
+            if (c.closing) {
+                if (c.write_q.empty()) finish_close(c);
+                return progressed;
+            }
             update_write_interest(c, false);
             update_read_interest(c);
             if (c.draining && settled(c)) {
@@ -313,141 +487,212 @@ struct NetServer::Impl {
         return progressed;
     }
 
-    /** IO thread, mu held.  Retries engine-backpressured batches. */
+    /**
+     * mu held, IO thread.  Submits one shard's pending group.  On
+     * success the group's vector moves into the engine and the ledger
+     * admits its packets; on backpressure the group parks (pausing
+     * reads); on engine shutdown every packet is answered with an
+     * error frame (nothing entered the ledger).
+     */
+    void submit_shard(Conn& c, size_t shard) {
+        conc::PipeBatch& group = c.pending[shard];
+        size_t count = group.packets.size();
+        if (count == 0) return;
+        Status st = engine->try_submit(shard, std::move(group));
+        if (st.is_ok()) {
+            generated.fetch_add(count, std::memory_order_relaxed);
+            c.inflight += count;
+            inflight_total.fetch_add(count,
+                                     std::memory_order_relaxed);
+            group = conc::PipeBatch{};
+            return;
+        }
+        if (st.code() == StatusCode::kUnavailable) {
+            // Engine backpressure: park the group and stop reading
+            // this socket until the shard drains.  The test hook
+            // reintroduces the PR-6 overwrite bug: a second
+            // backpressured group for the same shard replaces the
+            // first, silently losing its packets.
+            if (hooks.parked_overwrite_bug) {
+                for (auto& [ps, pb] : c.parked) {
+                    if (ps == shard) {
+                        conc::recycle_packet_vec(
+                            std::move(pb.packets));
+                        pb = std::move(group);
+                        group = conc::PipeBatch{};
+                        update_read_interest(c);
+                        return;
+                    }
+                }
+            }
+            c.parked.emplace_back(shard, std::move(group));
+            group = conc::PipeBatch{};
+            update_read_interest(c);
+            return;
+        }
+        // kCancelled: the engine is shutting down.
+        for (const conc::PipePacket& p : group.packets) {
+            (void)enqueue_error(c, p.flow & kClientFlowMask,
+                                "server stopping");
+        }
+        conc::recycle_packet_vec(std::move(group.packets));
+        group = conc::PipeBatch{};
+    }
+
+    /** mu held, IO thread.  Submits every group this pass filled. */
+    void submit_pending(Conn& c) {
+        for (size_t shard = 0; shard < c.pending.size(); ++shard) {
+            if (c.dead) return;
+            submit_shard(c, shard);
+        }
+    }
+
+    /** IO thread, mu held.  Retries engine-backpressured groups. */
     bool retry_parked() {
         bool progressed = false;
         for (auto& [id, cp] : conns) {
             Conn& c = *cp;
-            if (!c.parked || c.dead) continue;
-            Status st =
-                engine->try_submit(c.parked_shard, c.parked_batch);
-            if (st.is_ok()) {
-                generated.fetch_add(c.parked_batch.packets.size(),
-                                    std::memory_order_relaxed);
-                c.inflight += c.parked_batch.packets.size();
-                inflight_total.fetch_add(
-                    c.parked_batch.packets.size(),
-                    std::memory_order_relaxed);
-                c.parked = false;
-                c.parked_batch.packets.clear();
-                update_read_interest(c);
-                progressed = true;
-            } else if (st.code() == StatusCode::kCancelled) {
-                uint32_t flow =
-                    c.parked_batch.packets.empty()
-                        ? 0
-                        : c.parked_batch.packets[0].flow &
-                              kClientFlowMask;
-                enqueue(c, make_error_frame(flow, "server stopping"),
-                        kNone);
-                c.parked = false;
-                c.parked_batch.packets.clear();
+            if (c.parked.empty() || c.dead) continue;
+            for (size_t i = 0; i < c.parked.size();) {
+                auto& [shard, batch] = c.parked[i];
+                size_t count = batch.packets.size();
+                Status st = engine->try_submit(shard,
+                                               std::move(batch));
+                if (st.is_ok()) {
+                    generated.fetch_add(count,
+                                        std::memory_order_relaxed);
+                    c.inflight += count;
+                    inflight_total.fetch_add(
+                        count, std::memory_order_relaxed);
+                    c.parked.erase(c.parked.begin() +
+                                   static_cast<long>(i));
+                    progressed = true;
+                } else if (st.code() == StatusCode::kCancelled) {
+                    for (const conc::PipePacket& p : batch.packets) {
+                        (void)enqueue_error(c,
+                                            p.flow & kClientFlowMask,
+                                            "server stopping");
+                    }
+                    conc::recycle_packet_vec(
+                        std::move(batch.packets));
+                    c.parked.erase(c.parked.begin() +
+                                   static_cast<long>(i));
+                } else {
+                    // kUnavailable: stay parked, reading stays paused.
+                    ++i;
+                }
             }
-            // kUnavailable: stay parked, reading stays paused.
+            if (c.parked.empty()) update_read_interest(c);
         }
         return progressed;
     }
 
-    /** IO thread, mu held.  One decoded frame from @p c. */
-    void handle_frame(Conn& c, Frame&& frame) {
+    /** IO thread, mu held.  One decoded frame view from @p c.  The
+     *  payload is borrowed from the decoder and fully consumed here
+     *  (copied into the packet's inline wire image or answered). */
+    void handle_frame(Conn& c, const FrameView& frame) {
         metrics::count(metrics::Counter::kNetFramesIn);
         trace::emit(trace::Event::kNetFrameIn, c.id,
                     static_cast<uint64_t>(frame.type));
         if (frame.type != FrameType::kData) {
             protocol_errors.fetch_add(1, std::memory_order_relaxed);
             metrics::count(metrics::Counter::kNetRejects);
-            enqueue(c,
-                    make_error_frame(
-                        frame.flow,
-                        str_format("unexpected %s frame",
-                                   frame_type_name(frame.type))),
-                    kNone);
+            if (!enqueue_error(
+                    c, frame.flow,
+                    str_format("unexpected %s frame",
+                               frame_type_name(frame.type)))) {
+                teardown(c, /*sick=*/true, "");
+            }
             return;
         }
         if (frame.payload.size() != conc::kPipeWireBytes) {
             protocol_errors.fetch_add(1, std::memory_order_relaxed);
             metrics::count(metrics::Counter::kNetRejects);
-            enqueue(c,
-                    make_error_frame(
-                        frame.flow,
-                        str_format("data payload %zu bytes (want %zu)",
-                                   frame.payload.size(),
-                                   conc::kPipeWireBytes)),
-                    kNone);
+            if (!enqueue_error(
+                    c, frame.flow,
+                    str_format("data payload %zu bytes (want %zu)",
+                               frame.payload.size(),
+                               conc::kPipeWireBytes))) {
+                teardown(c, /*sick=*/true, "");
+            }
             return;
         }
         frames_in.fetch_add(1, std::memory_order_relaxed);
         if (max_frames_reached()) {
             edge_rejects.fetch_add(1, std::memory_order_relaxed);
             metrics::count(metrics::Counter::kNetRejects);
-            enqueue(c, make_error_frame(frame.flow, "server draining"),
-                    kNone);
+            if (!enqueue_error(c, frame.flow, "server draining")) {
+                teardown(c, /*sick=*/true, "");
+            }
             return;
         }
 
-        conc::PipePacket packet;
-        std::memcpy(packet.wire.data(), frame.payload.data(),
-                    conc::kPipeWireBytes);
-        packet.flow = (c.id << 16) | (frame.flow & kClientFlowMask);
-        packet.ingress_ns = now_ns();
-        size_t shard = engine->shard_for(packet.flow);
+        uint32_t flow = (c.id << 16) | (frame.flow & kClientFlowMask);
+        size_t shard = engine->shard_for(flow);
         if (engine->shard_sick(shard)) {
             edge_rejects.fetch_add(1, std::memory_order_relaxed);
             metrics::count(metrics::Counter::kNetRejects);
-            enqueue(c, make_error_frame(frame.flow, "shard sick"),
-                    kNone);
+            if (!enqueue_error(c, frame.flow, "shard sick")) {
+                teardown(c, /*sick=*/true, "");
+            }
             return;
         }
 
-        conc::PipeBatch batch;
+        if (c.pending.empty()) {
+            c.pending.resize(engine->shard_count());
+        }
+        conc::PipeBatch& group = c.pending[shard];
+        if (group.packets.capacity() == 0) {
+            group.packets =
+                conc::acquire_packet_vec(config.batch_packets);
+        }
+        group.packets.emplace_back();
+        conc::PipePacket& packet = group.packets.back();
+        std::memcpy(packet.wire.data(), frame.payload.data(),
+                    conc::kPipeWireBytes);
+        metrics::count(metrics::Counter::kNetBytesCopied,
+                       conc::kPipeWireBytes);
+        packet.flow = flow;
+        packet.ingress_ns = now_ns();
         uint64_t deadline_ms = frame.deadline_ms != 0
                                    ? frame.deadline_ms
                                    : config.deadline_ms;
         if (deadline_ms != 0) {
-            batch.deadline_ns = now_ns() + deadline_ms * 1000000ull;
+            uint64_t deadline_ns =
+                now_ns() + deadline_ms * 1000000ull;
+            if (group.deadline_ns == 0 ||
+                deadline_ns < group.deadline_ns) {
+                group.deadline_ns = deadline_ns;
+            }
         }
-        batch.packets.push_back(packet);
-
-        Status st = engine->try_submit(shard, batch);
-        if (st.is_ok()) {
-            generated.fetch_add(1, std::memory_order_relaxed);
-            c.inflight += 1;
-            inflight_total.fetch_add(1, std::memory_order_relaxed);
-            return;
+        if (group.packets.size() >=
+            std::max<size_t>(config.batch_packets, 1)) {
+            submit_shard(c, shard);
         }
-        if (st.code() == StatusCode::kUnavailable) {
-            // Engine backpressure: park the batch and stop reading
-            // this socket until the shard drains.
-            c.parked = true;
-            c.parked_shard = shard;
-            c.parked_batch = std::move(batch);
-            update_read_interest(c);
-            return;
-        }
-        enqueue(c, make_error_frame(frame.flow, "server stopping"),
-                kNone);
     }
 
     /**
      * IO thread, mu held.  Decodes buffered bytes into frames until
-     * the buffer runs dry or the connection pauses (parked batch /
-     * full write queue).  Also called from the tick loop: a paused
-     * connection's backlog lives in the decoder, not the kernel, so
-     * unpausing alone would never deliver a read event for it.
+     * the buffer runs dry or the connection pauses (parked group /
+     * full write queue), then submits everything the pass grouped —
+     * one engine hand-off per shard per read, not per frame.  Also
+     * called from the tick loop: a paused connection's backlog lives
+     * in the decoder, not the kernel, so unpausing alone would never
+     * deliver a read event for it.
      *
-     * The park flag is checked on its own, not just via paused: a
+     * The park state is checked on its own, not just via paused: a
      * draining connection never pauses (update_read_interest ignores
      * it — there is no read interest left to withdraw), and decoding
-     * past a parked batch would let a second backpressured submit
-     * overwrite it, silently losing the first packet.
+     * past a parked group would pile more packets behind a shard that
+     * already refused them.
      */
     bool drain_frames(Conn& c) {
         bool progressed = false;
         // The hooks escape reverts the PR-6 guard for the simulation
         // fixture that reproduces the parked-batch overwrite.
-        while (!c.dead && !c.paused &&
-               (!c.parked || hooks.parked_overwrite_bug)) {
-            auto next = c.decoder.next();
+        while (!c.dead && !c.closing && !c.paused &&
+               (c.parked.empty() || hooks.parked_overwrite_bug)) {
+            auto next = c.decoder.next_view();
             if (!next.is_ok()) {
                 protocol_errors.fetch_add(1,
                                           std::memory_order_relaxed);
@@ -457,18 +702,29 @@ struct NetServer::Impl {
             }
             if (!next.value().has_value()) break;
             progressed = true;
-            handle_frame(c, std::move(*next.value()));
+            handle_frame(c, *next.value());
+            update_read_interest(c);
+        }
+        if (!c.dead && !c.closing) {
+            submit_pending(c);
             update_read_interest(c);
         }
         return progressed;
     }
 
-    /** IO thread, mu held.  Drains readable bytes + complete frames. */
+    /** IO thread, mu held.  Drains readable bytes + complete frames.
+     *  Reads land directly in the decoder's pooled slab — no stack
+     *  bounce buffer, no feed() copy. */
     bool handle_readable(Conn& c) {
         bool progressed = false;
-        uint8_t buf[4096];
-        while (!c.dead && !c.paused && !c.draining) {
-            auto got = transport->read(c.h, buf);
+        while (!c.dead && !c.paused && !c.draining && !c.closing) {
+            auto room = c.decoder.tail(kReadChunk);
+            if (!room.is_ok()) {
+                // Pool refill hit the injected allocation fault.
+                teardown(c, /*sick=*/true, room.status().message());
+                return progressed;
+            }
+            auto got = transport->read(c.h, room.value());
             if (!got.is_ok()) {
                 if (got.status().code() == StatusCode::kUnavailable) {
                     break;  // socket drained
@@ -488,18 +744,47 @@ struct NetServer::Impl {
                 return progressed;
             }
             progressed = true;
-            c.decoder.feed(
-                std::span<const uint8_t>(buf, got.value().bytes));
+            c.decoder.commit(got.value().bytes);
             progressed = drain_frames(c) || progressed;
         }
         return progressed;
     }
 
     /** mu held.  Nothing owed: no packets in flight, no answers or
-     *  requests still buffered. */
+     *  requests still buffered, no un-submitted groups. */
     bool settled(const Conn& c) const {
-        return c.inflight == 0 && c.write_q.empty() && !c.parked &&
-               c.decoder.buffered() == 0;
+        if (c.inflight != 0 || !c.write_q.empty() ||
+            !c.parked.empty() || c.decoder.buffered() != 0) {
+            return false;
+        }
+        for (const conc::PipeBatch& g : c.pending) {
+            if (!g.packets.empty()) return false;
+        }
+        return true;
+    }
+
+    /** mu held, IO thread.  Closes one refusal goodbye's handle. */
+    void close_bye(std::map<int, PendingBye>::iterator it) {
+        (void)transport->remove(it->first);
+        transport->close(it->first);
+        byes.erase(it);
+    }
+
+    /** mu held, IO thread.  Pushes one refusal goodbye forward. */
+    void flush_bye(std::map<int, PendingBye>::iterator it) {
+        PendingBye& bye = it->second;
+        std::span<const uint8_t> rest(bye.buf.data() + bye.off,
+                                      bye.len - bye.off);
+        auto wrote = transport->write(it->first, rest);
+        if (!wrote.is_ok()) {
+            if (wrote.status().code() == StatusCode::kUnavailable) {
+                return;  // writable event will come back
+            }
+            close_bye(it);
+            return;
+        }
+        bye.off += wrote.value();
+        if (bye.off >= bye.len) close_bye(it);
     }
 
     /**
@@ -527,14 +812,36 @@ struct NetServer::Impl {
                 max_frames_reached() || !id_available) {
                 refused.fetch_add(1, std::memory_order_relaxed);
                 metrics::count(metrics::Counter::kNetRejects);
-                std::vector<uint8_t> bye = make_error_frame(
-                    0, conns.size() >= serve.max_connections
-                           ? "connection limit reached"
-                       : !id_available
-                           ? "connection id space exhausted"
-                           : "server draining");
-                (void)transport->write(conn_h.value(), bye);
-                transport->close(conn_h.value());
+                // The goodbye drains through the event loop like any
+                // other frame (a fire-and-forget write could truncate
+                // it); the handle rides in byes until it finishes or
+                // the stall budget expires.
+                std::string reason =
+                    conns.size() >= serve.max_connections
+                        ? "connection limit reached"
+                    : !id_available
+                        ? "connection id space exhausted"
+                        : "server draining";
+                size_t need =
+                    encoded_frame_size(reason.size());
+                auto slab = pool::frame_pool().acquire(need);
+                if (!slab.is_ok()) {
+                    transport->close(conn_h.value());
+                    continue;
+                }
+                PendingBye bye;
+                bye.buf = std::move(slab).take();
+                bye.len = need;
+                bye.deadline_ns =
+                    now_ns() + serve.write_stall_ms * 1000000ull;
+                encode_frame_into(FrameType::kError, 0, 0,
+                                  text_payload(reason),
+                                  bye.buf.span().first(need));
+                int h = conn_h.value();
+                (void)transport->add(h, /*want_read=*/false,
+                                     /*want_write=*/true);
+                auto [it, inserted] = byes.emplace(h, std::move(bye));
+                if (inserted) flush_bye(it);
                 continue;
             }
             auto conn = std::make_unique<Conn>();
@@ -571,24 +878,37 @@ struct NetServer::Impl {
                 std::lock_guard<std::mutex> lock(mu);
                 progressed = retry_parked() || progressed;
                 for (auto& [id, c] : conns) {
-                    if (!c->dead && c->sick) {
+                    if (!c->dead && c->sick && !c->closing) {
                         // The sink marked it: its reader stalled past
                         // the write budget.
                         teardown(*c, /*sick=*/true, "write stall");
                         continue;
                     }
+                    if (!c->dead && c->closing &&
+                        now_ns() > c->close_deadline_ns) {
+                        // Goodbye drain budget exhausted.
+                        finish_close(*c);
+                        continue;
+                    }
                     // Frames stranded in the decoder while the
                     // connection was paused (no read event will ever
                     // re-announce them).
-                    if (!c->dead && !c->paused &&
+                    if (!c->dead && !c->closing && !c->paused &&
                         c->decoder.buffered() > 0) {
                         progressed = drain_frames(*c) || progressed;
                     }
                     if (!c->dead && !c->write_q.empty()) {
                         progressed = flush_conn(*c) || progressed;
                     }
-                    if (!c->dead && c->draining && settled(*c)) {
+                    if (!c->dead && !c->closing && c->draining &&
+                        settled(*c)) {
                         teardown(*c, /*sick=*/false, "");
+                    }
+                }
+                for (auto it = byes.begin(); it != byes.end();) {
+                    auto cur = it++;
+                    if (now_ns() > cur->second.deadline_ns) {
+                        close_bye(cur);
                     }
                 }
                 reap_dead();
@@ -606,10 +926,25 @@ struct NetServer::Impl {
                 }
                 std::lock_guard<std::mutex> lock(mu);
                 auto it = by_h.find(ev.fd);
-                if (it == by_h.end()) continue;
+                if (it == by_h.end()) {
+                    auto bit = byes.find(ev.fd);
+                    if (bit != byes.end()) {
+                        if (ev.error) {
+                            close_bye(bit);
+                        } else if (ev.writable) {
+                            flush_bye(bit);
+                        }
+                    }
+                    continue;
+                }
                 Conn& c = *it->second;
                 if (ev.error) {
-                    teardown(c, /*sick=*/!c.draining, "socket error");
+                    if (c.closing) {
+                        finish_close(c);
+                    } else {
+                        teardown(c, /*sick=*/!c.draining,
+                                 "socket error");
+                    }
                     continue;
                 }
                 if (ev.writable) progressed = flush_conn(c) || progressed;
@@ -624,35 +959,36 @@ struct NetServer::Impl {
 
     /** IO-loop thread entry: the body under supervision. */
     void io_main() {
-        conc::WorkerHooks hooks;
-        hooks.body = [this](conc::WorkerContext& ctx) {
+        conc::WorkerHooks worker_hooks;
+        worker_hooks.body = [this](conc::WorkerContext& ctx) {
             return io_body(ctx);
         };
-        hooks.input_closed = [this] {
+        worker_hooks.input_closed = [this] {
             return stopping.load(std::memory_order_acquire);
         };
-        hooks.drain_one = [this] {
-            // Open breaker: answer one parked batch with an error
-            // frame so its originator is not left hanging (the frame
-            // never entered the ledger — it was never submitted).
+        worker_hooks.drain_one = [this] {
+            // Open breaker: answer one parked group with error
+            // frames so its originators are not left hanging (the
+            // frames never entered the ledger — they were never
+            // submitted).
             std::lock_guard<std::mutex> lock(mu);
             for (auto& [id, c] : conns) {
-                if (!c->parked || c->dead) continue;
-                uint32_t flow = c->parked_batch.packets.empty()
-                                    ? 0
-                                    : c->parked_batch.packets[0].flow &
-                                          kClientFlowMask;
-                edge_rejects.fetch_add(1, std::memory_order_relaxed);
-                metrics::count(metrics::Counter::kNetRejects);
-                enqueue(*c, make_error_frame(flow, "listener down"),
-                        kNone);
-                c->parked = false;
-                c->parked_batch.packets.clear();
+                if (c->parked.empty() || c->dead) continue;
+                auto& [shard, batch] = c->parked.front();
+                for (const conc::PipePacket& p : batch.packets) {
+                    edge_rejects.fetch_add(1,
+                                           std::memory_order_relaxed);
+                    metrics::count(metrics::Counter::kNetRejects);
+                    (void)enqueue_error(*c, p.flow & kClientFlowMask,
+                                        "listener down");
+                }
+                conc::recycle_packet_vec(std::move(batch.packets));
+                c->parked.erase(c->parked.begin());
                 return true;
             }
             return false;
         };
-        supervisor.supervise(/*worker_id=*/0, hooks);
+        supervisor.supervise(/*worker_id=*/0, worker_hooks);
     }
 
     // --- sink thread ------------------------------------------------------
@@ -678,8 +1014,10 @@ struct NetServer::Impl {
         wake_io();
     }
 
-    /** Sink thread.  Routes one processed packet to its connection. */
-    void route_packet(const conc::PipePacket& packet) {
+    /** Sink thread.  Routes one processed packet to its connection.
+     *  Returns true when an answer was queued (the caller wakes the
+     *  IO thread once per batch, not once per packet). */
+    bool route_packet(const conc::PipePacket& packet) {
         uint32_t conn_id = packet.flow >> 16;
         uint32_t client_flow = packet.flow & kClientFlowMask;
         std::unique_lock<std::mutex> lock(mu);
@@ -691,7 +1029,7 @@ struct NetServer::Impl {
             // Orphan: its connection died before the answer came out.
             rejected.fetch_add(1, std::memory_order_relaxed);
             wake_io();
-            return;
+            return false;
         }
         if (c->write_q.size() >= serve.write_queue_frames) {
             // Bounded queue is full: wait for the reader, up to the
@@ -716,24 +1054,36 @@ struct NetServer::Impl {
                 c->sick = true;
                 rejected.fetch_add(1, std::memory_order_relaxed);
                 wake_io();
-                return;
+                return false;
             }
         }
         bool is_drop = packet.bucket == conc::kPipeDropBucket;
-        Frame frame;
-        frame.type = is_drop ? FrameType::kDrop : FrameType::kResponse;
-        frame.flow = client_flow;
-        frame.payload.assign(packet.wire.begin(), packet.wire.end());
+        // Answer payload: the wire image, plus the route bucket
+        // (big-endian, sign-extended) on responses.
+        uint8_t payload[conc::kPipeWireBytes + 8];
+        std::memcpy(payload, packet.wire.data(),
+                    conc::kPipeWireBytes);
+        size_t len = conc::kPipeWireBytes;
         if (!is_drop) {
-            // Route bucket rides after the wire image, sign-extended.
             uint64_t bucket = static_cast<uint64_t>(packet.bucket);
             for (int shift = 56; shift >= 0; shift -= 8) {
-                frame.payload.push_back(
-                    static_cast<uint8_t>(bucket >> shift));
+                payload[len++] =
+                    static_cast<uint8_t>(bucket >> shift);
             }
         }
-        enqueue(*c, encode_frame(frame),
-                is_drop ? kDropped : kDelivered);
+        if (!enqueue(*c,
+                     is_drop ? FrameType::kDrop
+                             : FrameType::kResponse,
+                     client_flow,
+                     std::span<const uint8_t>(payload, len),
+                     is_drop ? kDropped : kDelivered)) {
+            // Pool refill fault: this answer cannot be built.  The
+            // connection is sick; the packet settles as rejected.
+            c->sick = true;
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            wake_io();
+            return false;
+        }
         if (is_drop) {
             dropped.fetch_add(1, std::memory_order_relaxed);
         } else {
@@ -744,8 +1094,10 @@ struct NetServer::Impl {
                              now_ns() - packet.ingress_ns);
         }
         trace::emit(trace::Event::kNetFrameOut, conn_id,
-                    static_cast<uint64_t>(frame.type));
-        wake_io();
+                    is_drop ? static_cast<uint64_t>(FrameType::kDrop)
+                            : static_cast<uint64_t>(
+                                  FrameType::kResponse));
+        return true;
     }
 
     void sink_main() {
@@ -758,10 +1110,16 @@ struct NetServer::Impl {
                 }
                 continue;  // injected channel fault: keep draining
             }
+            bool queued = false;
             for (const conc::PipePacket& packet :
                  got.value().packets) {
-                route_packet(packet);
+                queued = route_packet(packet) || queued;
             }
+            conc::recycle_packet_vec(
+                std::move(got.value().packets));
+            // One wakeup per sink batch: the IO thread flushes every
+            // answer this batch queued in one pass.
+            if (queued) wake_io();
         }
     }
 };
@@ -892,6 +1250,7 @@ NetServer::stop()
             }
         }
         c->write_q.clear();
+        im.clear_unsubmitted(*c);
         im.transport->close(c->h);
         c->h = -1;
         c->dead = true;
@@ -901,6 +1260,10 @@ NetServer::stop()
     }
     im.conns.clear();
     im.by_h.clear();
+    for (auto& [h, bye] : im.byes) {
+        im.transport->close(h);
+    }
+    im.byes.clear();
     sim::cv_notify_all(im.done_cv);
 }
 

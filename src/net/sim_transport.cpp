@@ -220,6 +220,48 @@ SimTransport::write(int h, std::span<const uint8_t> data)
     return n;
 }
 
+Result<size_t>
+SimTransport::write_batch(int h,
+                          std::span<const std::span<const uint8_t>> iovs)
+{
+    if (fault::inject(fault::Site::kSocketIo)) {
+        return fault::injected_error(fault::Site::kSocketIo);
+    }
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    Impl::Conn* c = impl_->find(h);
+    if (c == nullptr || c->server_closed) {
+        return cancelled_error("write on closed sim connection");
+    }
+    if (c->dropped) {
+        return cancelled_error("broken pipe (sim)");
+    }
+    size_t total = 0;
+    for (std::span<const uint8_t> iov : iovs) total += iov.size();
+    if (total == 0) return size_t{0};
+    size_t space = c->to_client.size() < impl_->opts.conn_buf_bytes
+                       ? impl_->opts.conn_buf_bytes -
+                             c->to_client.size()
+                       : 0;
+    if (space == 0) {
+        return unavailable_error("sim socket buffer full");
+    }
+    if (impl_->stutter()) {
+        return unavailable_error("sim socket stutter");
+    }
+    size_t n = impl_->chunk(std::min(total, space));
+    size_t left = n;
+    for (std::span<const uint8_t> iov : iovs) {
+        if (left == 0) break;
+        size_t take = std::min(left, iov.size());
+        c->to_client.insert(c->to_client.end(), iov.begin(),
+                            iov.begin() + static_cast<long>(take));
+        left -= take;
+    }
+    lock.unlock();
+    sim::cv_notify_all(impl_->cv);  // a client read may be waiting
+    return n;
+}
+
 Status
 SimTransport::add(int h, bool want_read, bool want_write)
 {

@@ -64,6 +64,15 @@ class SimTransport final : public Transport {
     Result<ReadResult> read(int h, std::span<uint8_t> buf) override;
     Result<size_t> write(int h,
                          std::span<const uint8_t> data) override;
+    /**
+     * Vectored write with write()'s exact adversarial semantics —
+     * one fault consult, one stutter decision, one seeded chunk —
+     * applied across the *flattened* byte stream, so a chunk may end
+     * mid-iovec and the server's resume path gets exercised on frame
+     * boundaries real kernels never pick.
+     */
+    Result<size_t> write_batch(
+        int h, std::span<const std::span<const uint8_t>> iovs) override;
     Status add(int h, bool want_read, bool want_write) override;
     Status modify(int h, bool want_read, bool want_write) override;
     Status remove(int h) override;

@@ -1,12 +1,14 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "support/fault.hpp"
@@ -175,6 +177,40 @@ write_some(int fd, std::span<const uint8_t> data)
             return cancelled_error("peer gone");
         }
         return errno_error("write");
+    }
+    return static_cast<size_t>(rc);
+}
+
+Result<size_t>
+writev_some(int fd, std::span<const std::span<const uint8_t>> iovs)
+{
+    if (fault::inject(fault::Site::kSocketIo)) {
+        return fault::injected_error(fault::Site::kSocketIo);
+    }
+    // IOV_MAX is far above anything the flush path batches, but cap
+    // defensively rather than fail a giant queue.
+    iovec vecs[64];
+    size_t n = std::min(iovs.size(), sizeof(vecs) / sizeof(vecs[0]));
+    for (size_t i = 0; i < n; ++i) {
+        vecs[i].iov_base =
+            const_cast<uint8_t*>(iovs[i].data());
+        vecs[i].iov_len = iovs[i].size();
+    }
+    msghdr msg{};
+    msg.msg_iov = vecs;
+    msg.msg_iovlen = n;
+    ssize_t rc;
+    do {
+        rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return unavailable_error("socket full");
+        }
+        if (errno == EPIPE || errno == ECONNRESET) {
+            return cancelled_error("peer gone");
+        }
+        return errno_error("sendmsg");
     }
     return static_cast<size_t>(rc);
 }

@@ -101,6 +101,16 @@ Result<ReadResult> read_some(int fd, std::span<uint8_t> buf);
  */
 Result<size_t> write_some(int fd, std::span<const uint8_t> data);
 
+/**
+ * Vectored write: sends the buffers of @p iovs in order with one
+ * sendmsg(2), returning how many bytes the socket accepted (the
+ * kernel may stop mid-iovec; the caller resumes from that offset).
+ * Same Status vocabulary and single up-front kSocketIo fault consult
+ * as write_some — one syscall, one fault boundary.
+ */
+Result<size_t> writev_some(
+    int fd, std::span<const std::span<const uint8_t>> iovs);
+
 }  // namespace bitc::net
 
 #endif  // BITC_NET_SOCKET_HPP

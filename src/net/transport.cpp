@@ -7,6 +7,29 @@
 
 namespace bitc::net {
 
+Result<size_t>
+Transport::write_batch(int h,
+                       std::span<const std::span<const uint8_t>> iovs)
+{
+    // Fallback: one write() per buffer until the first short/failed
+    // acceptance.  kUnavailable with prior progress is progress.
+    size_t total = 0;
+    for (std::span<const uint8_t> iov : iovs) {
+        if (iov.empty()) continue;
+        auto wrote = write(h, iov);
+        if (!wrote.is_ok()) {
+            if (total > 0 && wrote.status().code() ==
+                                 StatusCode::kUnavailable) {
+                return total;
+            }
+            return wrote.status();
+        }
+        total += wrote.value();
+        if (wrote.value() < iov.size()) break;
+    }
+    return total;
+}
+
 namespace {
 
 /**
@@ -54,6 +77,12 @@ class RealTransport final : public Transport {
     Result<size_t> write(int h,
                          std::span<const uint8_t> data) override {
         return write_some(h, data);
+    }
+
+    Result<size_t> write_batch(
+        int h,
+        std::span<const std::span<const uint8_t>> iovs) override {
+        return writev_some(h, iovs);
     }
 
     Status add(int h, bool want_read, bool want_write) override {

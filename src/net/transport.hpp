@@ -61,6 +61,18 @@ class Transport {
     virtual Result<size_t> write(int h,
                                  std::span<const uint8_t> data) = 0;
 
+    /**
+     * Vectored write: drains the buffers of @p iovs in order as one
+     * transport operation (writev_some semantics — one syscall, one
+     * fault consult, partial progress allowed mid-iovec).  Returns
+     * total bytes accepted.  The default lowers onto write() one
+     * buffer at a time, stopping at the first partial acceptance, so
+     * every Transport keeps correct resume semantics even before it
+     * grows a native implementation.
+     */
+    virtual Result<size_t> write_batch(
+        int h, std::span<const std::span<const uint8_t>> iovs);
+
     /** Readiness interest registration, poller add/modify/remove. */
     virtual Status add(int h, bool want_read, bool want_write) = 0;
     virtual Status modify(int h, bool want_read, bool want_write) = 0;

@@ -1,5 +1,9 @@
 #include "net/wire.hpp"
 
+#include <cassert>
+#include <cstring>
+
+#include "support/metrics.hpp"
 #include "support/string_util.hpp"
 
 namespace bitc::net {
@@ -9,6 +13,9 @@ namespace {
 using repr::FieldSpec;
 using repr::RecordSpec;
 using repr::ScalarType;
+
+/** First slab the decoder acquires; grows through pool classes. */
+constexpr size_t kDecoderInitialBytes = 16 * 1024;
 
 RecordSpec
 make_header_spec()
@@ -62,21 +69,35 @@ frame_codec()
 }
 
 void
-encode_frame(const Frame& frame, std::vector<uint8_t>& out)
+encode_frame_into(FrameType type, uint32_t flow, uint32_t deadline_ms,
+                  std::span<const uint8_t> payload,
+                  std::span<uint8_t> out)
 {
+    assert(out.size() >= encoded_frame_size(payload.size()));
     const repr::RecordCodec& codec = frame_codec();
-    size_t base = out.size();
-    out.resize(base + kFrameHeaderBytes);
-    std::span<uint8_t> header(out.data() + base, kFrameHeaderBytes);
+    std::span<uint8_t> header = out.first(kFrameHeaderBytes);
     const auto& fields = codec.layout().fields();
     codec.write_field(header, fields[0], kFrameMagic);
     codec.write_field(header, fields[1], kFrameVersion);
-    codec.write_field(header, fields[2],
-                      static_cast<uint64_t>(frame.type));
-    codec.write_field(header, fields[3], frame.flow);
-    codec.write_field(header, fields[4], frame.deadline_ms);
-    codec.write_field(header, fields[5], frame.payload.size());
-    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+    codec.write_field(header, fields[2], static_cast<uint64_t>(type));
+    codec.write_field(header, fields[3], flow);
+    codec.write_field(header, fields[4], deadline_ms);
+    codec.write_field(header, fields[5], payload.size());
+    if (!payload.empty()) {
+        std::memcpy(out.data() + kFrameHeaderBytes, payload.data(),
+                    payload.size());
+    }
+}
+
+void
+encode_frame(const Frame& frame, std::vector<uint8_t>& out)
+{
+    size_t base = out.size();
+    out.resize(base + encoded_frame_size(frame.payload.size()));
+    encode_frame_into(frame.type, frame.flow, frame.deadline_ms,
+                      frame.payload,
+                      std::span<uint8_t>(out.data() + base,
+                                         out.size() - base));
 }
 
 std::vector<uint8_t>
@@ -91,27 +112,69 @@ encode_frame(const Frame& frame)
 void
 FrameDecoder::feed(std::span<const uint8_t> bytes)
 {
-    // Compact lazily: drop the consumed prefix before growing, so a
-    // long-lived connection does not accrete its whole history.
-    if (consumed_ > 0 && consumed_ == buffer_.size()) {
-        buffer_.clear();
-        consumed_ = 0;
-    } else if (consumed_ > kMaxFramePayload) {
-        buffer_.erase(buffer_.begin(),
-                      buffer_.begin() + static_cast<long>(consumed_));
-        consumed_ = 0;
+    if (bytes.empty()) return;
+    auto room = tail(bytes.size());
+    // feed() keeps the historical infallible signature; a pool refill
+    // fault here surfaces as a poisoned stream instead.
+    if (!room.is_ok()) {
+        if (poisoned_.is_ok()) poisoned_ = room.status();
+        return;
     }
-    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+    std::memcpy(room.value().data(), bytes.data(), bytes.size());
+    metrics::count(metrics::Counter::kNetBytesCopied, bytes.size());
+    commit(bytes.size());
 }
 
-Result<std::optional<Frame>>
-FrameDecoder::next()
+Result<std::span<uint8_t>>
+FrameDecoder::tail(size_t min_bytes)
+{
+    // Compact first: the consumed prefix is dead weight, and the
+    // residue is at most one partial frame.
+    if (consumed_ > 0) {
+        if (consumed_ == size_) {
+            size_ = 0;
+            consumed_ = 0;
+        } else if (buf_.valid() &&
+                   buf_.capacity() - size_ < min_bytes) {
+            size_t live = size_ - consumed_;
+            std::memmove(buf_.data(), buf_.data() + consumed_, live);
+            metrics::count(metrics::Counter::kNetBytesCopied, live);
+            size_ = live;
+            consumed_ = 0;
+        }
+    }
+    size_t need = size_ + min_bytes;
+    if (!buf_.valid() || buf_.capacity() < need) {
+        size_t want = need > kDecoderInitialBytes
+                          ? need
+                          : kDecoderInitialBytes;
+        auto grown = pool::frame_pool().acquire(want);
+        if (!grown.is_ok()) return grown.status();
+        if (buf_.valid() && size_ > consumed_) {
+            size_t live = size_ - consumed_;
+            std::memcpy(grown.value().data(),
+                        buf_.data() + consumed_, live);
+            metrics::count(metrics::Counter::kNetBytesCopied, live);
+            size_ = live;
+        } else {
+            size_ = 0;
+        }
+        consumed_ = 0;
+        buf_ = std::move(grown).take();
+    }
+    return std::span<uint8_t>(buf_.data() + size_,
+                              buf_.capacity() - size_);
+}
+
+Result<std::optional<FrameView>>
+FrameDecoder::next_view()
 {
     if (!poisoned_.is_ok()) return poisoned_;
-    std::span<const uint8_t> rest(buffer_.data() + consumed_,
-                                  buffer_.size() - consumed_);
+    std::span<const uint8_t> rest(
+        buf_.valid() ? buf_.data() + consumed_ : nullptr,
+        size_ - consumed_);
     if (rest.size() < kFrameHeaderBytes) {
-        return std::optional<Frame>();  // truncated header: need bytes
+        return std::optional<FrameView>();  // truncated header
     }
     const repr::RecordCodec& codec = frame_codec();
     const auto& fields = codec.layout().fields();
@@ -146,16 +209,30 @@ FrameDecoder::next()
         return poisoned_;
     }
     if (rest.size() < kFrameHeaderBytes + length) {
-        return std::optional<Frame>();  // payload still in flight
+        return std::optional<FrameView>();  // payload still in flight
     }
-    Frame frame;
-    frame.type = static_cast<FrameType>(type);
-    frame.flow = static_cast<uint32_t>(flow);
-    frame.deadline_ms = static_cast<uint32_t>(deadline_ms);
-    frame.payload.assign(
-        rest.begin() + kFrameHeaderBytes,
-        rest.begin() + static_cast<long>(kFrameHeaderBytes + length));
+    FrameView view;
+    view.type = static_cast<FrameType>(type);
+    view.flow = static_cast<uint32_t>(flow);
+    view.deadline_ms = static_cast<uint32_t>(deadline_ms);
+    view.payload = rest.subspan(kFrameHeaderBytes,
+                                static_cast<size_t>(length));
     consumed_ += kFrameHeaderBytes + length;
+    return std::optional<FrameView>(view);
+}
+
+Result<std::optional<Frame>>
+FrameDecoder::next()
+{
+    auto view = next_view();
+    if (!view.is_ok()) return view.status();
+    if (!view.value().has_value()) return std::optional<Frame>();
+    Frame frame;
+    frame.type = view.value()->type;
+    frame.flow = view.value()->flow;
+    frame.deadline_ms = view.value()->deadline_ms;
+    frame.payload.assign(view.value()->payload.begin(),
+                         view.value()->payload.end());
     return std::optional<Frame>(std::move(frame));
 }
 

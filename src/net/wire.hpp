@@ -19,11 +19,14 @@
  * kDrop (validate rejected it), or kError (the connection is being
  * torn down / the shard is sick; payload is human-readable text).
  *
- * FrameDecoder is incremental: feed() whatever the socket produced,
- * call next() until it reports "incomplete".  Protocol violations
- * (bad magic, unknown version, oversize length) are Status errors —
- * the connection they arrived on cannot be resynchronised and must be
- * torn down.
+ * FrameDecoder is incremental and pool-backed: its parse buffer is a
+ * slab from pool::frame_pool(), callers can read straight into
+ * tail()/commit() (no intermediate copy), and next_view() yields
+ * frames whose payload is a span into that slab — the zero-copy path
+ * the server runs.  feed()/next() remain as the copying convenience
+ * API scripted clients use.  Protocol violations (bad magic, unknown
+ * version, oversize length) are Status errors — the connection they
+ * arrived on cannot be resynchronised and must be torn down.
  */
 #ifndef BITC_NET_WIRE_HPP
 #define BITC_NET_WIRE_HPP
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "repr/codec.hpp"
+#include "support/buffer_pool.hpp"
 #include "support/status.hpp"
 
 namespace bitc::net {
@@ -66,6 +70,19 @@ struct Frame {
     std::vector<uint8_t> payload;
 };
 
+/**
+ * A decoded frame that still lives in the decoder's pooled buffer:
+ * header fields by value, payload as a borrowed span.  Valid only
+ * until the decoder's next tail()/commit()/feed()/next_view() call —
+ * consume (or copy out) before touching the decoder again.
+ */
+struct FrameView {
+    FrameType type = FrameType::kData;
+    uint32_t flow = 0;
+    uint32_t deadline_ms = 0;
+    std::span<const uint8_t> payload;
+};
+
 /** The header layout as a repr record spec (natural packing, 16 B). */
 const repr::RecordSpec& frame_header_spec();
 
@@ -78,11 +95,36 @@ void encode_frame(const Frame& frame, std::vector<uint8_t>& out);
 /** Convenience: a fresh buffer holding just @p frame. */
 std::vector<uint8_t> encode_frame(const Frame& frame);
 
+/** Bytes one encoded frame occupies for @p payload_len payload. */
+inline constexpr size_t
+encoded_frame_size(size_t payload_len)
+{
+    return kFrameHeaderBytes + payload_len;
+}
+
 /**
- * Incremental frame parser.  Bytes go in via feed(); complete frames
- * come out of next():
+ * Serialises one frame (header fields + @p payload) into @p out,
+ * which must hold at least encoded_frame_size(payload.size()) bytes.
+ * The allocation-free encode the pooled write path uses.
+ */
+void encode_frame_into(FrameType type, uint32_t flow,
+                       uint32_t deadline_ms,
+                       std::span<const uint8_t> payload,
+                       std::span<uint8_t> out);
+
+/**
+ * Incremental frame parser over a pooled slab.  Two input paths:
  *
- *   - Result holding a Frame: one complete frame was consumed;
+ *  - zero-copy: tail(n) exposes >= n writable bytes at the end of the
+ *    buffer (compacting/growing through the pool as needed; the pool
+ *    refill can fail — injected kHeapAlloc), the caller reads from
+ *    the socket straight into them and commit()s what arrived;
+ *  - copying: feed() appends caller-owned bytes (the client path).
+ *
+ * Frames come out of next_view() (borrowed payload, the server path)
+ * or next() (owned payload, compatibility):
+ *
+ *   - Result holding a value: one complete frame was consumed;
  *   - Result holding std::nullopt: the buffer holds only a frame
  *     prefix — feed more bytes;
  *   - error Status: the stream is not speaking this protocol
@@ -92,18 +134,32 @@ std::vector<uint8_t> encode_frame(const Frame& frame);
  */
 class FrameDecoder {
   public:
-    /** Appends raw socket bytes to the parse buffer. */
+    /** Appends raw socket bytes to the parse buffer (copying path). */
     void feed(std::span<const uint8_t> bytes);
 
-    /** Extracts the next complete frame (see class comment). */
+    /**
+     * Writable space of at least @p min_bytes at the buffer tail.
+     * Invalidates outstanding FrameViews (may compact).  Fails only
+     * when the pool refill does (injected allocation fault).
+     */
+    Result<std::span<uint8_t>> tail(size_t min_bytes);
+
+    /** Marks @p n bytes of the last tail() span as filled. */
+    void commit(size_t n) { size_ += n; }
+
+    /** Extracts the next complete frame without copying its payload. */
+    Result<std::optional<FrameView>> next_view();
+
+    /** Extracts the next complete frame, payload copied out. */
     Result<std::optional<Frame>> next();
 
-    /** Bytes buffered but not yet consumed by next(). */
-    size_t buffered() const { return buffer_.size() - consumed_; }
+    /** Bytes buffered but not yet consumed by next()/next_view(). */
+    size_t buffered() const { return size_ - consumed_; }
 
   private:
-    std::vector<uint8_t> buffer_;
-    size_t consumed_ = 0;  ///< Prefix of buffer_ already parsed out.
+    pool::BufferRef buf_;
+    size_t size_ = 0;      ///< Filled prefix of buf_.
+    size_t consumed_ = 0;  ///< Prefix of size_ already parsed out.
     Status poisoned_;      ///< First protocol error, sticky.
 };
 

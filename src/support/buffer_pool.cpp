@@ -1,0 +1,130 @@
+#include "support/buffer_pool.hpp"
+
+#include "support/fault.hpp"
+#include "support/metrics.hpp"
+
+namespace bitc::pool {
+
+namespace {
+
+/** Size classes: answers pack into the small ones, a worst-case frame
+ *  (64 KiB payload + header) plus read-ahead fits the 128 KiB one. */
+constexpr size_t kClassBytes[] = {
+    4096, 16384, 65536, 131072, 262144,
+};
+constexpr size_t kNumClasses =
+    sizeof(kClassBytes) / sizeof(kClassBytes[0]);
+/** size_class value marking an oversize one-off slab (never pooled). */
+constexpr uint32_t kOversize = 0xffffffffu;
+
+}  // namespace
+
+void
+BufferRef::reset()
+{
+    if (slab_ == nullptr) return;
+    Slab* slab = std::exchange(slab_, nullptr);
+    if (slab->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        slab->pool->recycle(slab);
+    }
+}
+
+BufferPool::BufferPool(size_t max_pooled_per_class)
+    : max_pooled_(max_pooled_per_class), classes_(kNumClasses)
+{
+}
+
+BufferPool::~BufferPool()
+{
+    // Outstanding refs must not outlive their pool; parked slabs are
+    // ours to free.
+    for (ClassList& cl : classes_) {
+        for (Slab* slab : cl.free) delete slab;
+    }
+}
+
+size_t
+BufferPool::class_for(size_t min_bytes)
+{
+    for (size_t i = 0; i < kNumClasses; ++i) {
+        if (kClassBytes[i] >= min_bytes) return i;
+    }
+    return kNumClasses;  // oversize
+}
+
+Result<BufferRef>
+BufferPool::acquire(size_t min_bytes)
+{
+    size_t cls = class_for(min_bytes);
+    if (cls < kNumClasses) {
+        ClassList& list = classes_[cls];
+        std::lock_guard<std::mutex> lock(list.mu);
+        if (!list.free.empty()) {
+            Slab* slab = list.free.back();
+            list.free.pop_back();
+            slab->refs.store(1, std::memory_order_relaxed);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            outstanding_.fetch_add(1, std::memory_order_relaxed);
+            metrics::count(metrics::Counter::kNetPoolHits);
+            return BufferRef(slab);
+        }
+    }
+    // Freelist dry (or oversize): a real allocation, so it is a real
+    // fault boundary too.
+    if (fault::inject(fault::Site::kHeapAlloc)) {
+        return fault::injected_error(fault::Site::kHeapAlloc);
+    }
+    auto slab = std::make_unique<Slab>();
+    slab->pool = this;
+    slab->size_class =
+        cls < kNumClasses ? static_cast<uint32_t>(cls) : kOversize;
+    slab->capacity = cls < kNumClasses ? kClassBytes[cls] : min_bytes;
+    slab->bytes = std::make_unique<uint8_t[]>(slab->capacity);
+    slab->refs.store(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    metrics::count(metrics::Counter::kNetPoolMisses);
+    return BufferRef(slab.release());
+}
+
+void
+BufferPool::recycle(Slab* slab)
+{
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    if (slab->size_class != kOversize) {
+        ClassList& list = classes_[slab->size_class];
+        std::lock_guard<std::mutex> lock(list.mu);
+        if (list.free.size() < max_pooled_) {
+            list.free.push_back(slab);
+            return;
+        }
+    }
+    delete slab;
+}
+
+BufferPoolStats
+BufferPool::stats() const
+{
+    BufferPoolStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.outstanding = outstanding_.load(std::memory_order_relaxed);
+    for (const ClassList& cl : classes_) {
+        std::lock_guard<std::mutex> lock(
+            const_cast<ClassList&>(cl).mu);
+        out.pooled += cl.free.size();
+    }
+    return out;
+}
+
+BufferPool&
+frame_pool()
+{
+    // Deliberately leaked: frames queued on connections at exit may
+    // drop their refs during static destruction, and the freelists
+    // they recycle into must still exist.
+    static BufferPool* pool = new BufferPool(/*max_pooled=*/128);
+    return *pool;
+}
+
+}  // namespace bitc::pool

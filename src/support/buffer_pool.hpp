@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Slab-style, size-classed buffer pool for the zero-copy frame data
+ * path — the C2 argument (idiomatic manual storage management)
+ * applied to network buffers.
+ *
+ * The paper's systems programmers keep C because a managed runtime
+ * hides who owns a buffer and when it is released; the front-end's
+ * answer is to make both explicit: a BufferPool hands out refcounted
+ * slabs from per-class freelists, a BufferRef pins one slab for as
+ * long as any frame still points into it, and release is a freelist
+ * push — no allocator traffic in steady state, no hidden copies.
+ *
+ * Concurrency: acquire/release are thread-safe (one mutex per size
+ * class).  The refcount is atomic, so BufferRefs may be copied and
+ * dropped from any thread; the *bytes* they guard follow the usual
+ * reader/writer rules of whatever protocol put them there (the net
+ * server writes a slab only from its IO thread).
+ *
+ * Fault awareness: refilling a class with a fresh slab is a real
+ * allocation, so it consults the kHeapAlloc fault site first —
+ * exactly like ManagedHeap::allocate — and reports the injected
+ * failure as a Status instead of dying.  Freelist hits are
+ * injection-free: recycling cannot fail.
+ *
+ * Metrics: every acquire counts net.pool.hits or net.pool.misses, so
+ * a steady state that still misses is visible in --metrics and is
+ * budget-enforced by bench_network.
+ */
+#ifndef BITC_SUPPORT_BUFFER_POOL_HPP
+#define BITC_SUPPORT_BUFFER_POOL_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace bitc::pool {
+
+class BufferPool;
+
+/**
+ * One pooled slab: capacity bytes plus the intrusive control state
+ * (refcount, owning pool, size class).  Never handled directly —
+ * BufferRef is the only public face.
+ */
+struct Slab {
+    BufferPool* pool = nullptr;
+    std::atomic<uint32_t> refs{0};
+    uint32_t size_class = 0;
+    size_t capacity = 0;
+    std::unique_ptr<uint8_t[]> bytes;
+};
+
+/**
+ * Shared handle to a pooled slab.  Copies share the refcount; the
+ * last one out returns the slab to its pool's freelist.  A default-
+ * constructed ref is empty (data() == nullptr).
+ */
+class BufferRef {
+  public:
+    BufferRef() = default;
+    BufferRef(const BufferRef& other) : slab_(other.slab_) {
+        if (slab_ != nullptr) {
+            slab_->refs.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    BufferRef(BufferRef&& other) noexcept
+        : slab_(std::exchange(other.slab_, nullptr)) {}
+    BufferRef& operator=(const BufferRef& other) {
+        BufferRef copy(other);
+        std::swap(slab_, copy.slab_);
+        return *this;
+    }
+    BufferRef& operator=(BufferRef&& other) noexcept {
+        if (this != &other) {
+            reset();
+            slab_ = std::exchange(other.slab_, nullptr);
+        }
+        return *this;
+    }
+    ~BufferRef() { reset(); }
+
+    bool valid() const { return slab_ != nullptr; }
+    uint8_t* data() const {
+        return slab_ != nullptr ? slab_->bytes.get() : nullptr;
+    }
+    size_t capacity() const {
+        return slab_ != nullptr ? slab_->capacity : 0;
+    }
+    std::span<uint8_t> span() const {
+        return {data(), capacity()};
+    }
+
+    /** Drops this reference (possibly recycling the slab). */
+    void reset();
+
+  private:
+    friend class BufferPool;
+    explicit BufferRef(Slab* slab) : slab_(slab) {}
+    Slab* slab_ = nullptr;
+};
+
+/** Point-in-time pool accounting (relaxed reads; exact when quiesced). */
+struct BufferPoolStats {
+    uint64_t hits = 0;      ///< Acquires served from a freelist.
+    uint64_t misses = 0;    ///< Acquires that allocated a fresh slab.
+    uint64_t outstanding = 0;  ///< Slabs currently referenced.
+    uint64_t pooled = 0;    ///< Slabs parked on freelists.
+};
+
+class BufferPool {
+  public:
+    /**
+     * @p max_pooled_per_class bounds each freelist: releases past the
+     * bound free the slab instead of parking it, so a burst does not
+     * pin its high-water memory forever.
+     */
+    explicit BufferPool(size_t max_pooled_per_class = 64);
+    ~BufferPool();
+    BufferPool(const BufferPool&) = delete;
+    BufferPool& operator=(const BufferPool&) = delete;
+
+    /**
+     * A slab of at least @p min_bytes.  Freelist hit: infallible and
+     * allocation-free.  Miss: consults the kHeapAlloc fault site, then
+     * allocates a fresh slab of the class size (oversize requests get
+     * an exact-size one-off slab, still refcounted and recycled into
+     * the top class's list if it fits the bound).
+     */
+    Result<BufferRef> acquire(size_t min_bytes);
+
+    BufferPoolStats stats() const;
+
+  private:
+    friend class BufferRef;
+    static size_t class_for(size_t min_bytes);
+    void recycle(Slab* slab);
+
+    struct ClassList {
+        std::mutex mu;
+        std::vector<Slab*> free;
+    };
+
+    size_t max_pooled_;
+    std::vector<ClassList> classes_;
+    std::atomic<uint64_t> hits_{0}, misses_{0}, outstanding_{0};
+};
+
+/** The process-wide pool the frame data path draws from. */
+BufferPool& frame_pool();
+
+}  // namespace bitc::pool
+
+#endif  // BITC_SUPPORT_BUFFER_POOL_HPP

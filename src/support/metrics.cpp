@@ -60,6 +60,9 @@ constexpr std::array<const char*, kNumCounters> kCounterNames = {
     "net.frames_out",
     "net.rejects",
     "net.conn_teardowns",
+    "net.pool.hits",
+    "net.pool.misses",
+    "net.bytes_copied",
 };
 
 constexpr std::array<const char*, kNumGauges> kGaugeNames = {
@@ -80,6 +83,7 @@ constexpr std::array<const char*, kNumHistograms> kHistogramNames = {
     "pipeline.batch_ns",
     "pipeline.shed_late_ns",
     "net.frame_latency_ns",
+    "net.writev_frames_per_call",
 };
 
 }  // namespace

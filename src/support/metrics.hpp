@@ -72,6 +72,9 @@ enum class Counter : uint16_t {
     kNetFramesOut,        ///< Wire frames fully written to sockets.
     kNetRejects,          ///< Frames answered with error/reject frames.
     kNetConnTeardowns,    ///< Connections torn down as sick.
+    kNetPoolHits,         ///< Buffer acquires served from a freelist.
+    kNetPoolMisses,       ///< Buffer acquires that hit the allocator.
+    kNetBytesCopied,      ///< Payload bytes copied on the data path.
     kCount_,              ///< Sentinel: number of counters.
 };
 
@@ -102,6 +105,7 @@ enum class Histogram : uint16_t {
     kPipeBatchNs,       ///< Stage processing time per hand-off batch.
     kPipeShedLateNs,    ///< How far past its deadline a shed batch was.
     kNetFrameLatencyNs, ///< Frame decode-to-response-write latency.
+    kNetWritevFramesPerCall, ///< Frames drained per vectored write.
     kCount_,            ///< Sentinel: number of histograms.
 };
 

@@ -195,6 +195,15 @@ TEST_F(MetricsTest, InstrumentNamesAreStableAndDotted) {
     EXPECT_STREQ(gauge_name(Gauge::kHeapWordsInUse),
                  "heap.words_in_use");
     EXPECT_STREQ(histogram_name(Histogram::kGcPauseNs), "gc.pause_ns");
+    // The zero-copy data path's instruments: external dashboards key
+    // on these exact strings.
+    EXPECT_STREQ(counter_name(Counter::kNetPoolHits), "net.pool.hits");
+    EXPECT_STREQ(counter_name(Counter::kNetPoolMisses),
+                 "net.pool.misses");
+    EXPECT_STREQ(counter_name(Counter::kNetBytesCopied),
+                 "net.bytes_copied");
+    EXPECT_STREQ(histogram_name(Histogram::kNetWritevFramesPerCall),
+                 "net.writev_frames_per_call");
 
     // Every instrument has a unique non-empty name.
     std::vector<std::string> names;

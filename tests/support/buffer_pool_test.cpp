@@ -1,0 +1,168 @@
+#include "support/buffer_pool.hpp"
+
+#include <cstring>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+#include "support/fault.hpp"
+
+namespace bitc::pool {
+namespace {
+
+TEST(BufferPoolTest, AcquireGivesWritableClassSizedSlab) {
+    BufferPool pool;
+    auto buf = pool.acquire(100);
+    ASSERT_TRUE(buf.is_ok());
+    EXPECT_TRUE(buf.value().valid());
+    EXPECT_GE(buf.value().capacity(), 100u);
+    std::memset(buf.value().data(), 0xab, buf.value().capacity());
+    EXPECT_EQ(buf.value().span().size(), buf.value().capacity());
+}
+
+TEST(BufferPoolTest, ReleaseThenAcquireReusesTheSlab) {
+    BufferPool pool;
+    auto first = pool.acquire(4096);
+    ASSERT_TRUE(first.is_ok());
+    uint8_t* bytes = first.value().data();
+    first.value().reset();
+    auto second = pool.acquire(4096);
+    ASSERT_TRUE(second.is_ok());
+    EXPECT_EQ(second.value().data(), bytes);
+    BufferPoolStats stats = pool.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.outstanding, 1u);
+}
+
+TEST(BufferPoolTest, DistinctLiveSlabsNeverAlias) {
+    BufferPool pool;
+    auto a = pool.acquire(64);
+    auto b = pool.acquire(64);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_NE(a.value().data(), b.value().data());
+}
+
+TEST(BufferPoolTest, CopiesShareTheSlabUntilLastRefDrops) {
+    BufferPool pool;
+    auto buf = pool.acquire(64);
+    ASSERT_TRUE(buf.is_ok());
+    uint8_t* bytes = buf.value().data();
+    BufferRef copy = buf.value();
+    EXPECT_EQ(copy.data(), bytes);
+    buf.value().reset();
+    // The copy still pins the slab: it must not be on a freelist.
+    EXPECT_EQ(pool.stats().pooled, 0u);
+    auto other = pool.acquire(64);
+    ASSERT_TRUE(other.is_ok());
+    EXPECT_NE(other.value().data(), bytes);
+    copy.reset();
+    EXPECT_EQ(pool.stats().pooled, 1u);
+}
+
+TEST(BufferPoolTest, SizeClassesServeAscendingRequests) {
+    BufferPool pool;
+    size_t last = 0;
+    for (size_t want : {1ul, 4096ul, 4097ul, 65536ul, 262144ul}) {
+        auto buf = pool.acquire(want);
+        ASSERT_TRUE(buf.is_ok()) << want;
+        EXPECT_GE(buf.value().capacity(), want);
+        EXPECT_GE(buf.value().capacity(), last);
+        last = want;
+    }
+}
+
+TEST(BufferPoolTest, OversizeRequestsGetExactOneOffSlabs) {
+    BufferPool pool;
+    constexpr size_t kHuge = 1u << 20;  // over the top class
+    auto buf = pool.acquire(kHuge);
+    ASSERT_TRUE(buf.is_ok());
+    EXPECT_GE(buf.value().capacity(), kHuge);
+    buf.value().reset();
+    // One-off slabs are freed, not pooled: no freelist growth.
+    EXPECT_EQ(pool.stats().pooled, 0u);
+}
+
+TEST(BufferPoolTest, FreelistBoundCapsPooledSlabs) {
+    BufferPool pool(/*max_pooled_per_class=*/2);
+    std::vector<BufferRef> live;
+    for (int i = 0; i < 5; ++i) {
+        auto buf = pool.acquire(64);
+        ASSERT_TRUE(buf.is_ok());
+        live.push_back(std::move(buf).take());
+    }
+    live.clear();
+    EXPECT_EQ(pool.stats().pooled, 2u);
+    EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(BufferPoolTest, WarmSteadyStateNeverMisses) {
+    BufferPool pool;
+    { auto warm = pool.acquire(4096); ASSERT_TRUE(warm.is_ok()); }
+    uint64_t misses_before = pool.stats().misses;
+    for (int i = 0; i < 100; ++i) {
+        auto buf = pool.acquire(4096);
+        ASSERT_TRUE(buf.is_ok());
+    }
+    EXPECT_EQ(pool.stats().misses, misses_before);
+    EXPECT_GE(pool.stats().hits, 100u);
+}
+
+TEST(BufferPoolTest, RefillConsultsHeapAllocFaultSite) {
+    BufferPool pool;
+    auto& injector = fault::Injector::instance();
+    injector.arm_nth(fault::Site::kHeapAlloc, 1);
+    auto miss = pool.acquire(64);  // empty freelist -> real refill
+    EXPECT_FALSE(miss.is_ok());
+    EXPECT_EQ(miss.status().code(), StatusCode::kResourceExhausted);
+    injector.disarm();
+    // The failed acquire left the pool consistent.
+    auto after = pool.acquire(64);
+    ASSERT_TRUE(after.is_ok());
+    EXPECT_EQ(pool.stats().outstanding, 1u);
+}
+
+TEST(BufferPoolTest, FreelistHitsAreInjectionFree) {
+    BufferPool pool;
+    { auto warm = pool.acquire(64); ASSERT_TRUE(warm.is_ok()); }
+    auto& injector = fault::Injector::instance();
+    injector.arm_every(fault::Site::kHeapAlloc, 1);  // fail them all
+    auto hit = pool.acquire(64);
+    injector.disarm();
+    ASSERT_TRUE(hit.is_ok()) << "freelist hit must not consult the "
+                                "fault site";
+}
+
+TEST(BufferPoolTest, ConcurrentAcquireReleaseStaysConsistent) {
+    BufferPool pool;
+    constexpr int kThreads = 4;
+    constexpr int kIters = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&pool] {
+            for (int i = 0; i < kIters; ++i) {
+                auto buf = pool.acquire(64 + (i % 3) * 8192);
+                ASSERT_TRUE(buf.is_ok());
+                buf.value().data()[0] = static_cast<uint8_t>(i);
+                BufferRef copy = buf.value();
+                buf.value().reset();
+                copy.reset();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    BufferPoolStats stats = pool.stats();
+    EXPECT_EQ(stats.outstanding, 0u);
+    EXPECT_EQ(stats.hits + stats.misses,
+              static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(BufferPoolTest, FramePoolIsSharedAndUsable) {
+    auto a = frame_pool().acquire(1024);
+    ASSERT_TRUE(a.is_ok());
+    std::memset(a.value().data(), 0, 1024);
+}
+
+}  // namespace
+}  // namespace bitc::pool

@@ -31,8 +31,12 @@ ctest -L tier1 --output-on-failure -j"$(nproc)"
 # fault-free budget (geomean; exit code enforces it).
 ./bench/bench_robustness BENCH_robustness.json
 
-# Network front-end scaling: end-to-end frames/sec through loopback
-# sockets must keep the >= 2.0x 1->4-worker speedup (exit code
-# enforces it) — the socket/framing/IO-loop plumbing is in the loop
+# Network front-end scaling and data-path budgets: end-to-end
+# frames/sec through loopback sockets must keep the >= 2.0x
+# 1->4-worker speedup, steady-state heap allocations must stay under
+# 0.5 per frame (the binary counts operator new process-wide and
+# prints an allocs/frame column), and a warm repeat's buffer-pool
+# misses must stay within the warm-up budget — all three enforced by
+# exit code.  The socket/framing/IO-loop plumbing is in the loop
 # here, not just the engine.
 ./bench/bench_network BENCH_network.json
